@@ -1,0 +1,58 @@
+//! E10: cost of the secure-summation backends at the Reduce step.
+//!
+//! Quantifies the paper's claim that its masking protocol keeps
+//! "cryptographic operations … minimized": pairwise masking and additive
+//! sharing cost microseconds per aggregation, the homomorphic (Paillier)
+//! baseline costs milliseconds — three to four orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppml_crypto::{AdditiveSharing, PairwiseMasking, PaillierAggregation, PlainSum, SecureSum};
+
+fn inputs(parties: usize, len: usize) -> Vec<Vec<f64>> {
+    (0..parties)
+        .map(|p| (0..len).map(|i| ((p * len + i) as f64 * 0.7).sin()).collect())
+        .collect()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("securesum");
+    for &len in &[16usize, 256] {
+        let data = inputs(4, len);
+        group.bench_with_input(BenchmarkId::new("plain", len), &data, |b, d| {
+            b.iter(|| PlainSum.aggregate(d).unwrap())
+        });
+        let masking = PairwiseMasking::new(7);
+        group.bench_with_input(BenchmarkId::new("pairwise-masking", len), &data, |b, d| {
+            b.iter(|| masking.aggregate(d).unwrap())
+        });
+        let sharing = AdditiveSharing::new(7);
+        group.bench_with_input(BenchmarkId::new("additive-sharing", len), &data, |b, d| {
+            b.iter(|| sharing.aggregate(d).unwrap())
+        });
+    }
+    // Paillier is orders of magnitude slower; bench a short vector only.
+    let paillier = PaillierAggregation::keygen(256, 7).expect("keygen");
+    let data = inputs(4, 16);
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("paillier", 16), &data, |b, d| {
+        b.iter(|| paillier.aggregate(d).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_party_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("securesum_parties");
+    for &parties in &[2usize, 4, 8, 16] {
+        let data = inputs(parties, 64);
+        let masking = PairwiseMasking::new(5);
+        group.bench_with_input(
+            BenchmarkId::new("pairwise-masking", parties),
+            &data,
+            |b, d| b.iter(|| masking.aggregate(d).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_party_scaling);
+criterion_main!(benches);

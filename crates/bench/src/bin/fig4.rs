@@ -1,0 +1,180 @@
+//! Regenerates the paper's evaluation artifacts (Fig. 4 a–h, the §VI
+//! baselines, and the data-locality numbers) as CSV.
+//!
+//! ```text
+//! cargo run -p ppml-bench --bin fig4 --release -- --panel all
+//! cargo run -p ppml-bench --bin fig4 --release -- --panel a        # Fig. 4(a)+(e) run
+//! cargo run -p ppml-bench --bin fig4 --release -- --panel baseline
+//! cargo run -p ppml-bench --bin fig4 --release -- --panel locality
+//! PPML_SCALE=full cargo run -p ppml-bench --bin fig4 --release -- --panel all
+//! ```
+//!
+//! Output goes to stdout and to `results/<panel>.csv`.
+
+use std::fs;
+use std::path::Path;
+
+use ppml_bench::{
+    panel_to_csv, run_baseline, run_comparison, run_locality, run_panel, ExperimentScale, Panel,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fig4 --panel <a|b|c|d|e|f|g|h|linear_horizontal|kernel_horizontal|\
+         linear_vertical|kernel_vertical|baseline|locality|comparison|all>"
+    );
+    std::process::exit(2)
+}
+
+fn panel_for(arg: &str) -> Option<Panel> {
+    match arg {
+        "a" | "e" | "linear_horizontal" => Some(Panel::LinearHorizontal),
+        "b" | "f" | "kernel_horizontal" => Some(Panel::KernelHorizontal),
+        "c" | "g" | "linear_vertical" => Some(Panel::LinearVertical),
+        "d" | "h" | "kernel_vertical" => Some(Panel::KernelVertical),
+        _ => None,
+    }
+}
+
+fn write_result(name: &str, contents: &str) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}.csv")), contents)
+}
+
+fn emit_panel(panel: Panel, scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
+    let (fig_conv, fig_acc) = panel.figures();
+    eprintln!("# running {} (Fig. {fig_conv} convergence, Fig. {fig_acc} accuracy)...", panel.id());
+    let start = std::time::Instant::now();
+    let result = run_panel(panel, scale)?;
+    let csv = panel_to_csv(&result);
+    print!("{csv}");
+    write_result(panel.id(), &csv)?;
+    for s in &result.series {
+        eprintln!(
+            "#   {:>7}: Δz² {:.2e} -> {:.2e}, accuracy {:.3} -> {:.3}",
+            s.dataset,
+            s.z_delta.first().copied().unwrap_or(f64::NAN),
+            s.z_delta.last().copied().unwrap_or(f64::NAN),
+            s.accuracy.first().copied().unwrap_or(f64::NAN),
+            s.accuracy.last().copied().unwrap_or(f64::NAN),
+        );
+    }
+    eprintln!("# {} done in {:.1?}", panel.id(), start.elapsed());
+    Ok(())
+}
+
+fn emit_baseline(scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("# running centralized baselines (§VI: ≈0.95 / ≈0.70 / ≈0.98)...");
+    let rows = run_baseline(scale)?;
+    let mut csv = String::from("dataset,centralized_accuracy\n");
+    for (name, acc) in &rows {
+        csv.push_str(&format!("{name},{acc}\n"));
+        eprintln!("#   {name:>7}: {acc:.3}");
+    }
+    print!("{csv}");
+    write_result("baseline", &csv)?;
+    Ok(())
+}
+
+fn emit_comparison(scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("# running method comparison (E12)...");
+    let rows = run_comparison(scale)?;
+    let mut csv = String::from(
+        "dataset,centralized_linear,centralized_kernel,random_kernel,\
+         horizontal_linear,horizontal_kernel,vertical_linear,vertical_kernel\n",
+    );
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.dataset,
+            r.centralized_linear,
+            r.centralized_kernel,
+            r.random_kernel,
+            r.horizontal_linear,
+            r.horizontal_kernel,
+            r.vertical_linear,
+            r.vertical_kernel
+        ));
+        eprintln!(
+            "#   {:>7}: central {:.3}/{:.3}  randkern {:.3}  HL {:.3} HK {:.3} VL {:.3} VK {:.3}",
+            r.dataset,
+            r.centralized_linear,
+            r.centralized_kernel,
+            r.random_kernel,
+            r.horizontal_linear,
+            r.horizontal_kernel,
+            r.vertical_linear,
+            r.vertical_kernel
+        );
+    }
+    print!("{csv}");
+    write_result("comparison", &csv)?;
+    Ok(())
+}
+
+fn emit_locality(scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("# running data-locality experiment (E11)...");
+    let reports = run_locality(scale)?;
+    let mut csv = String::from(
+        "dataset,raw_bytes,shuffle_bytes_per_iter,broadcast_bytes_per_iter,locality_ratio,task_retries\n",
+    );
+    for r in &reports {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.dataset,
+            r.raw_bytes,
+            r.shuffle_bytes_per_iter,
+            r.broadcast_bytes_per_iter,
+            r.locality_ratio,
+            r.task_retries
+        ));
+        eprintln!(
+            "#   {:>7}: raw {} B, shuffle {} B/iter ({}x smaller), locality {:.2}",
+            r.dataset,
+            r.raw_bytes,
+            r.shuffle_bytes_per_iter,
+            r.raw_bytes / r.shuffle_bytes_per_iter.max(1),
+            r.locality_ratio
+        );
+    }
+    print!("{csv}");
+    write_result("locality", &csv)?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let panel_arg = match args.as_slice() {
+        [_, flag, value] if flag == "--panel" => value.clone(),
+        [_] => "all".to_string(),
+        _ => usage(),
+    };
+    let scale = ExperimentScale::from_env();
+    eprintln!(
+        "# scale: cancer {} / higgs {} / ocr {}, {} iterations, M = {}",
+        scale.cancer_n,
+        scale.higgs_n,
+        scale.ocr_n,
+        scale.iterations,
+        ppml_bench::M_LEARNERS
+    );
+    match panel_arg.as_str() {
+        "all" => {
+            for p in Panel::ALL {
+                emit_panel(p, &scale)?;
+            }
+            emit_baseline(&scale)?;
+            emit_locality(&scale)?;
+            emit_comparison(&scale)?;
+        }
+        "baseline" => emit_baseline(&scale)?,
+        "locality" => emit_locality(&scale)?,
+        "comparison" => emit_comparison(&scale)?,
+        other => match panel_for(other) {
+            Some(p) => emit_panel(p, &scale)?,
+            None => usage(),
+        },
+    }
+    Ok(())
+}

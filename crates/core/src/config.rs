@@ -1,0 +1,206 @@
+use ppml_kernel::{Kernel, LandmarkStrategy};
+use ppml_qp::QpConfig;
+
+use crate::{Result, TrainError};
+
+/// Hyper-parameters shared by all four trainers.
+///
+/// Defaults are exactly the paper's evaluation settings (§VI): `C = 50`,
+/// `ρ = 100`, 100 iterations, RBF landmarks subsampled from the data when a
+/// kernel trainer is used.
+///
+/// # Example
+///
+/// ```
+/// use ppml_core::AdmmConfig;
+///
+/// let cfg = AdmmConfig::default()
+///     .with_rho(10.0)
+///     .with_max_iter(50)
+///     .with_seed(7);
+/// assert_eq!(cfg.rho, 10.0);
+/// assert_eq!(cfg.c, 50.0); // paper default retained
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmmConfig {
+    /// Slack penalty `C`.
+    pub c: f64,
+    /// ADMM penalty / learning-speed parameter `ρ`. High values emphasize
+    /// consensus over margin (§VI's discussion).
+    pub rho: f64,
+    /// Number of ADMM iterations to drive.
+    pub max_iter: usize,
+    /// Optional early-stop threshold on `‖z^{t+1} − z^t‖²`; `None` runs all
+    /// `max_iter` iterations (as the paper's figures do).
+    pub tol: Option<f64>,
+    /// Kernel for the nonlinear trainers (ignored by the linear ones).
+    pub kernel: Kernel,
+    /// Number of landmark points `l` for the reduced consensus space
+    /// (§IV-B); only the horizontal kernel trainer uses it.
+    pub landmarks: usize,
+    /// How landmarks are chosen.
+    pub landmark_strategy: LandmarkStrategy,
+    /// Inner QP solver settings.
+    pub qp: QpConfig,
+    /// Seed driving every randomized component (landmarks, masks).
+    pub seed: u64,
+    /// Nyström rank for the vertical kernel trainer: `Some(l)` replaces
+    /// each node's exact `N × N` Gram operator with an `l`-landmark
+    /// low-rank approximation (`O(N·l)` per iteration instead of `O(N²)`),
+    /// trading a little accuracy for paper-scale `N`. `None` (default)
+    /// keeps the exact operator. Ignored by the other trainers.
+    pub nystrom_rank: Option<usize>,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        AdmmConfig {
+            c: 50.0,
+            rho: 100.0,
+            max_iter: 100,
+            tol: None,
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            landmarks: 30,
+            landmark_strategy: LandmarkStrategy::SubsampleRows,
+            qp: QpConfig {
+                tol: 1e-7,
+                max_iter: 200_000,
+            },
+            seed: 0x9e37,
+            nystrom_rank: None,
+        }
+    }
+}
+
+impl AdmmConfig {
+    /// Sets the slack penalty `C`.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Sets the ADMM penalty `ρ`.
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Sets an early-stop tolerance on `‖Δz‖²`.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = Some(tol);
+        self
+    }
+
+    /// Sets the kernel for the nonlinear trainers.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the landmark count `l`.
+    pub fn with_landmarks(mut self, landmarks: usize) -> Self {
+        self.landmarks = landmarks;
+        self
+    }
+
+    /// Sets the landmark selection strategy.
+    pub fn with_landmark_strategy(mut self, strategy: LandmarkStrategy) -> Self {
+        self.landmark_strategy = strategy;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the Nyström approximation for the vertical kernel trainer.
+    pub fn with_nystrom(mut self, rank: usize) -> Self {
+        self.nystrom_rank = Some(rank);
+        self
+    }
+
+    /// Validates ranges; every trainer calls this first.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::BadConfig`] with the offending field.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: &str| {
+            Err(TrainError::BadConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if !(self.c > 0.0) || !self.c.is_finite() {
+            return fail("C must be positive and finite");
+        }
+        if !(self.rho > 0.0) || !self.rho.is_finite() {
+            return fail("rho must be positive and finite");
+        }
+        if self.max_iter == 0 {
+            return fail("max_iter must be at least 1");
+        }
+        if let Some(t) = self.tol {
+            if !(t > 0.0) {
+                return fail("tol must be positive when set");
+            }
+        }
+        if self.landmarks == 0 {
+            return fail("landmark count must be at least 1");
+        }
+        if self.nystrom_rank == Some(0) {
+            return fail("nystrom rank must be at least 1 when set");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = AdmmConfig::default();
+        assert_eq!(cfg.c, 50.0);
+        assert_eq!(cfg.rho, 100.0);
+        assert_eq!(cfg.max_iter, 100);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = AdmmConfig::default()
+            .with_c(1.0)
+            .with_rho(2.0)
+            .with_max_iter(3)
+            .with_tol(1e-5)
+            .with_landmarks(9)
+            .with_seed(42);
+        assert_eq!(cfg.c, 1.0);
+        assert_eq!(cfg.rho, 2.0);
+        assert_eq!(cfg.max_iter, 3);
+        assert_eq!(cfg.tol, Some(1e-5));
+        assert_eq!(cfg.landmarks, 9);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(AdmmConfig::default().with_c(0.0).validate().is_err());
+        assert!(AdmmConfig::default().with_rho(-1.0).validate().is_err());
+        assert!(AdmmConfig::default().with_max_iter(0).validate().is_err());
+        assert!(AdmmConfig::default().with_tol(0.0).validate().is_err());
+        assert!(AdmmConfig::default().with_landmarks(0).validate().is_err());
+        let mut cfg = AdmmConfig::default();
+        cfg.c = f64::NAN;
+        assert!(cfg.validate().is_err());
+    }
+}

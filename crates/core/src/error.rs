@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Errors surfaced while training a distributed SVM.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A partition was empty, single-class where that is unsupported, or
+    /// otherwise unusable.
+    BadPartition {
+        /// Which learner and what was wrong.
+        reason: String,
+    },
+    /// A configuration value is out of range.
+    BadConfig {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The local dual QP failed.
+    Qp(ppml_qp::QpError),
+    /// A dense factorization failed (e.g. a kernel operator that is not
+    /// positive definite).
+    Linalg(ppml_linalg::LinalgError),
+    /// The secure aggregation protocol failed.
+    Crypto(ppml_crypto::CryptoError),
+    /// The MapReduce runtime failed.
+    MapReduce(ppml_mapreduce::MapReduceError),
+    /// Dataset handling failed.
+    Data(ppml_data::DataError),
+    /// The centralized reference model failed to train (baseline paths).
+    Svm(ppml_svm::SvmError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::BadPartition { reason } => write!(f, "bad partition: {reason}"),
+            TrainError::BadConfig { reason } => write!(f, "bad config: {reason}"),
+            TrainError::Qp(e) => write!(f, "local qp failed: {e}"),
+            TrainError::Linalg(e) => write!(f, "factorization failed: {e}"),
+            TrainError::Crypto(e) => write!(f, "secure aggregation failed: {e}"),
+            TrainError::MapReduce(e) => write!(f, "mapreduce failed: {e}"),
+            TrainError::Data(e) => write!(f, "data handling failed: {e}"),
+            TrainError::Svm(e) => write!(f, "baseline svm failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Qp(e) => Some(e),
+            TrainError::Linalg(e) => Some(e),
+            TrainError::Crypto(e) => Some(e),
+            TrainError::MapReduce(e) => Some(e),
+            TrainError::Data(e) => Some(e),
+            TrainError::Svm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($($ty:ty => $variant:ident),*) => {
+        $(impl From<$ty> for TrainError {
+            fn from(e: $ty) -> Self {
+                TrainError::$variant(e)
+            }
+        })*
+    };
+}
+
+from_impl!(
+    ppml_qp::QpError => Qp,
+    ppml_linalg::LinalgError => Linalg,
+    ppml_crypto::CryptoError => Crypto,
+    ppml_mapreduce::MapReduceError => MapReduce,
+    ppml_data::DataError => Data,
+    ppml_svm::SvmError => Svm
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: TrainError = ppml_qp::QpError::InvalidBounds { lo: 1.0, hi: 0.0 }.into();
+        assert!(matches!(e, TrainError::Qp(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("qp"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TrainError>();
+    }
+}

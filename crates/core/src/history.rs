@@ -1,0 +1,113 @@
+/// Per-iteration training trace — exactly the series Fig. 4 plots.
+///
+/// `z_delta[t] = ‖z^{t+1} − z^t‖²` (panels a–d) and, when an evaluation set
+/// was supplied to the trainer, `accuracy[t]` = correct-classification
+/// ratio after iteration `t` (panels e–h).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceHistory {
+    /// Squared consensus-variable movement per iteration.
+    pub z_delta: Vec<f64>,
+    /// Test accuracy per iteration (empty when no eval set was supplied).
+    pub accuracy: Vec<f64>,
+}
+
+impl ConvergenceHistory {
+    /// Iterations recorded.
+    pub fn len(&self) -> usize {
+        self.z_delta.len()
+    }
+
+    /// `true` before the first iteration lands.
+    pub fn is_empty(&self) -> bool {
+        self.z_delta.is_empty()
+    }
+
+    /// Last `‖Δz‖²`, or `None` before the first iteration.
+    pub fn final_delta(&self) -> Option<f64> {
+        self.z_delta.last().copied()
+    }
+
+    /// Last recorded accuracy, if evaluation was enabled.
+    pub fn final_accuracy(&self) -> Option<f64> {
+        self.accuracy.last().copied()
+    }
+
+    /// First iteration index (0-based) at which `‖Δz‖²` dropped below
+    /// `threshold` and stayed below it for the rest of the trace.
+    pub fn iterations_to_converge(&self, threshold: f64) -> Option<usize> {
+        let mut candidate = None;
+        for (i, &d) in self.z_delta.iter().enumerate() {
+            if d < threshold {
+                candidate.get_or_insert(i);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// Emits `iteration,z_delta[,accuracy]` CSV rows (the `fig4` binary's
+    /// output format).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(if self.accuracy.is_empty() {
+            "iteration,z_delta\n"
+        } else {
+            "iteration,z_delta,accuracy\n"
+        });
+        for i in 0..self.len() {
+            if self.accuracy.is_empty() {
+                out.push_str(&format!("{},{:e}\n", i + 1, self.z_delta[i]));
+            } else {
+                out.push_str(&format!(
+                    "{},{:e},{}\n",
+                    i + 1,
+                    self.z_delta[i],
+                    self.accuracy[i]
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history() {
+        let h = ConvergenceHistory::default();
+        assert!(h.is_empty());
+        assert_eq!(h.final_delta(), None);
+        assert_eq!(h.final_accuracy(), None);
+        assert_eq!(h.iterations_to_converge(1.0), None);
+    }
+
+    #[test]
+    fn converge_index_requires_staying_below() {
+        let h = ConvergenceHistory {
+            z_delta: vec![1.0, 0.01, 2.0, 0.01, 0.001],
+            accuracy: vec![],
+        };
+        // Dips below at 1 but bounces back; the stable crossing is at 3.
+        assert_eq!(h.iterations_to_converge(0.1), Some(3));
+        assert_eq!(h.iterations_to_converge(1e-9), None);
+    }
+
+    #[test]
+    fn csv_includes_accuracy_when_present(){
+        let h = ConvergenceHistory {
+            z_delta: vec![0.5],
+            accuracy: vec![0.9],
+        };
+        let csv = h.to_csv();
+        assert!(csv.starts_with("iteration,z_delta,accuracy\n"));
+        assert!(csv.contains("1,"));
+        assert!(csv.contains(",0.9"));
+        let h2 = ConvergenceHistory {
+            z_delta: vec![0.5],
+            accuracy: vec![],
+        };
+        assert!(h2.to_csv().starts_with("iteration,z_delta\n"));
+    }
+}

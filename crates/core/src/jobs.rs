@@ -1,0 +1,797 @@
+//! The trainers as MapReduce jobs (the paper's Fig. 1 deployment).
+//!
+//! Learner `m`'s partition is loaded as a block **pinned to node `m`**
+//! (data locality: the raw rows never move). The per-learner ADMM state —
+//! dual variables `λ_m, γ_m/r_m, β_m` — lives in the block's persistent
+//! mapper state, exactly the long-running-mapper model of Twister. Each
+//! iteration the driver broadcasts the consensus `(z, s)`; every Map task
+//! first takes its scaled-dual step against the fresh consensus, then
+//! solves its local subproblem and emits **only a masked share** of
+//! `[w_m + γ_m ; b_m + β_m]`; the Reduce step wrapping-sums the shares,
+//! which cancels every mask ([`crate::SeededMasker`]) and yields exactly
+//! the sum the average needs — the reducer never sees an individual model.
+//!
+//! Given the same seed, the cluster execution and the in-process trainer
+//! produce identical iterates: the fixed-point sums are mask-independent.
+//!
+//! # Example
+//!
+//! ```
+//! use ppml_core::jobs::{train_linear_on_cluster, ClusterTuning};
+//! use ppml_core::AdmmConfig;
+//! use ppml_data::{synth, Partition};
+//!
+//! # fn main() -> Result<(), ppml_core::TrainError> {
+//! let ds = synth::blobs(80, 1);
+//! let parts = Partition::horizontal(&ds, 4, 2)?;
+//! let cfg = AdmmConfig::default().with_max_iter(15);
+//! let (outcome, metrics) =
+//!     train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default())?;
+//! assert!(outcome.model.accuracy(&ds) > 0.9);
+//! assert_eq!(metrics.remote_reads, 0); // every map ran on its data node
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Mutex;
+
+use ppml_data::Dataset;
+use ppml_mapreduce::{
+    BlockId, ByteSized, Cluster, ClusterConfig, FaultPlan, IterativeJob, JobMetrics, NodeId,
+};
+use ppml_qp::QpConfig;
+use ppml_svm::LinearSvm;
+
+use crate::horizontal::kernel::{HkLearner, HorizontalKernelSvm, KernelOutcome};
+use crate::horizontal::linear::{validate_parts, HlLearner, LinearOutcome};
+use crate::masks::SeededMasker;
+use crate::{AdmmConfig, ConvergenceHistory, Result, TrainError};
+
+/// Cluster knobs exposed to the training drivers (node count is always the
+/// learner count, and block placement is always 1:1 — those are the paper's
+/// architecture, not tunables).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterTuning {
+    /// Injected faults (exercises the re-execution path mid-training).
+    pub fault_plan: FaultPlan,
+    /// Per-task retry budget; `None` = runtime default.
+    pub max_attempts: Option<usize>,
+}
+
+/// Map-side ADMM behaviour shared by the linear and kernel learners.
+pub(crate) trait ConsensusLearner: Send + 'static {
+    fn local_step(&mut self, z: &[f64], s: f64, qp: &QpConfig) -> Result<()>;
+    fn share(&self) -> Vec<f64>;
+    fn dual_update(&mut self, z: &[f64], s: f64);
+}
+
+impl ConsensusLearner for HlLearner {
+    fn local_step(&mut self, z: &[f64], s: f64, qp: &QpConfig) -> Result<()> {
+        HlLearner::local_step(self, z, s, qp)
+    }
+    fn share(&self) -> Vec<f64> {
+        HlLearner::share(self)
+    }
+    fn dual_update(&mut self, z: &[f64], s: f64) {
+        HlLearner::dual_update(self, z, s)
+    }
+}
+
+impl ConsensusLearner for HkLearner {
+    fn local_step(&mut self, z: &[f64], s: f64, qp: &QpConfig) -> Result<()> {
+        HkLearner::local_step(self, z, s, qp)
+    }
+    fn share(&self) -> Vec<f64> {
+        HkLearner::share(self)
+    }
+    fn dual_update(&mut self, z: &[f64], s: f64) {
+        HkLearner::dual_update(self, z, s)
+    }
+}
+
+/// Block payload: one learner's private partition.
+///
+/// The wrapper gives the runtime a wire-size estimate for remote reads —
+/// which the 1:1 placement never triggers, and the metrics prove it.
+pub struct LearnerBlock(pub Dataset);
+
+impl ByteSized for LearnerBlock {
+    fn byte_len(&self) -> usize {
+        8 * self.0.len() * (self.0.features() + 1)
+    }
+}
+
+/// Broadcast state: the consensus variables plus the iteration counter the
+/// maskers key their pads on.
+#[derive(Debug, Clone)]
+pub struct ConsensusBroadcast {
+    /// Consensus weight image (`z`).
+    pub z: Vec<f64>,
+    /// Consensus bias (`s`).
+    pub s: f64,
+    /// ADMM iteration index.
+    pub iteration: u64,
+}
+
+impl ByteSized for ConsensusBroadcast {
+    fn byte_len(&self) -> usize {
+        self.z.byte_len() + 16
+    }
+}
+
+/// The generic consensus-ADMM MapReduce job.
+pub(crate) struct ConsensusJob<L: ConsensusLearner> {
+    qp: QpConfig,
+    parties: usize,
+    mask_seed: u64,
+    /// Learners pre-built (and pre-validated) by the driver; `init_state`
+    /// claims them one block at a time.
+    prebuilt: Mutex<Vec<Option<L>>>,
+}
+
+impl<L: ConsensusLearner> ConsensusJob<L> {
+    fn new(learners: Vec<L>, cfg: &AdmmConfig) -> Self {
+        ConsensusJob {
+            qp: cfg.qp,
+            parties: learners.len(),
+            mask_seed: cfg.seed,
+            prebuilt: Mutex::new(learners.into_iter().map(Some).collect()),
+        }
+    }
+}
+
+/// Mapper state: the learner plus its masking endpoint.
+pub(crate) struct ConsensusState<L> {
+    pub(crate) learner: L,
+    masker: SeededMasker,
+}
+
+impl<L: ConsensusLearner> IterativeJob for ConsensusJob<L> {
+    type BlockPayload = LearnerBlock;
+    type MapperState = ConsensusState<L>;
+    type Broadcast = ConsensusBroadcast;
+    type Key = ();
+    type MapOut = Vec<u64>;
+    type ReduceOut = Vec<u64>;
+
+    fn init_state(&self, block: BlockId, _payload: &LearnerBlock) -> ConsensusState<L> {
+        let party = block.0 as usize;
+        let learner = self.prebuilt.lock().expect("prebuilt lock")[party]
+            .take()
+            .expect("one mapper state per block");
+        ConsensusState {
+            learner,
+            masker: SeededMasker::new(self.mask_seed, party, self.parties),
+        }
+    }
+
+    fn map(
+        &self,
+        _node: NodeId,
+        _payload: &LearnerBlock,
+        state: &mut ConsensusState<L>,
+        broadcast: &ConsensusBroadcast,
+    ) -> Vec<((), Vec<u64>)> {
+        // The scaled-dual step uses the consensus just received (for the
+        // first iteration both z and the local model are zero, so the step
+        // is a no-op) — the same sequence as the in-process trainer.
+        if broadcast.iteration > 0 {
+            state.learner.dual_update(&broadcast.z, broadcast.s);
+        }
+        // Input shapes were validated by the driver before the cluster was
+        // built, so a failure here is a bug, not bad input.
+        state
+            .learner
+            .local_step(&broadcast.z, broadcast.s, &self.qp)
+            .expect("local ADMM step failed on validated input");
+        let share = state.learner.share();
+        let masked = state
+            .masker
+            .mask_share(&share, broadcast.iteration)
+            .expect("consensus values exceeded the fixed-point range");
+        vec![((), masked)]
+    }
+
+    fn reduce(&self, _key: &(), values: Vec<Vec<u64>>) -> Vec<u64> {
+        // Wrapping sum cancels all masks; the driver decodes.
+        let len = values.first().map_or(0, Vec::len);
+        (0..len)
+            .map(|i| values.iter().fold(0u64, |acc, v| acc.wrapping_add(v[i])))
+            .collect()
+    }
+}
+
+fn cluster_config(m: usize, tuning: &ClusterTuning) -> ClusterConfig {
+    let mut cc = ClusterConfig {
+        nodes: m,
+        replication: 1,
+        fault_plan: tuning.fault_plan.clone(),
+        ..Default::default()
+    };
+    if let Some(a) = tuning.max_attempts {
+        cc.max_attempts = a;
+    }
+    cc
+}
+
+/// Boots a cluster for `learners`, pins each partition to its node, and
+/// drives `cfg.max_iter` ADMM rounds. `snapshot` turns the cluster + fresh
+/// consensus into a per-iteration accuracy (when evaluating).
+fn drive<L, FSnap>(
+    parts: &[Dataset],
+    learners: Vec<L>,
+    share_len: usize,
+    cfg: &AdmmConfig,
+    tuning: &ClusterTuning,
+    mut snapshot: FSnap,
+) -> Result<(Cluster<ConsensusJob<L>>, Vec<f64>, f64, ConvergenceHistory)>
+where
+    L: ConsensusLearner,
+    FSnap: FnMut(&Cluster<ConsensusJob<L>>, &[f64], f64) -> Result<Option<f64>>,
+{
+    let m = parts.len();
+    let job = ConsensusJob::new(learners, cfg);
+    let mut cluster = Cluster::new(cluster_config(m, tuning), job)?;
+    for (i, p) in parts.iter().enumerate() {
+        cluster.load_block_on(LearnerBlock(p.clone()), NodeId(i))?;
+    }
+    let codec = ppml_crypto::FixedPointCodec::default();
+    let mut z = vec![0.0; share_len - 1];
+    let mut s = 0.0;
+    let mut history = ConvergenceHistory::default();
+    for iteration in 0..cfg.max_iter as u64 {
+        let out = cluster.run_iteration(&ConsensusBroadcast {
+            z: z.clone(),
+            s,
+            iteration,
+        })?;
+        let summed = &out
+            .outputs
+            .first()
+            .ok_or_else(|| TrainError::BadPartition {
+                reason: "reduce produced no output".to_string(),
+            })?
+            .1;
+        if summed.len() != share_len {
+            return Err(TrainError::BadPartition {
+                reason: format!(
+                    "share length mismatch: expected {share_len}, got {}",
+                    summed.len()
+                ),
+            });
+        }
+        let z_new: Vec<f64> = summed[..share_len - 1]
+            .iter()
+            .map(|&v| codec.decode_u64(v) / m as f64)
+            .collect();
+        let s_new = codec.decode_u64(summed[share_len - 1]) / m as f64;
+        let delta = ppml_linalg::vecops::dist_sq(&z_new, &z);
+        z = z_new;
+        s = s_new;
+        history.z_delta.push(delta);
+        if let Some(acc) = snapshot(&cluster, &z, s)? {
+            history.accuracy.push(acc);
+        }
+        if let Some(tol) = cfg.tol {
+            if delta < tol {
+                break;
+            }
+        }
+    }
+    Ok((cluster, z, s, history))
+}
+
+/// Runs the horizontally partitioned **linear** trainer on a simulated
+/// cluster: one node per learner, pinned blocks, masked shares at Reduce.
+///
+/// Returns the trained outcome plus the cluster's cost metrics (locality,
+/// shuffle bytes — benchmark E11 reads these).
+///
+/// # Errors
+///
+/// As [`crate::HorizontalLinearSvm::train`], plus
+/// [`TrainError::MapReduce`] for runtime failures (e.g. a fault plan that
+/// exhausts its retry budget).
+pub fn train_linear_on_cluster(
+    parts: &[Dataset],
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    tuning: ClusterTuning,
+) -> Result<(LinearOutcome, JobMetrics)> {
+    cfg.validate()?;
+    let k = validate_parts(parts)?;
+    let m = parts.len();
+    let learners = parts
+        .iter()
+        .map(|p| HlLearner::new(p, m, cfg))
+        .collect::<Result<Vec<_>>>()?;
+    let (cluster, z, s, history) = drive(parts, learners, k + 1, cfg, &tuning, |_cl, z, s| {
+        Ok(eval.map(|ds| LinearSvm::from_parts(z.to_vec(), s).accuracy(ds)))
+    })?;
+    let local_models = cluster
+        .store()
+        .block_ids()
+        .into_iter()
+        .map(|b| {
+            let st = cluster.mapper_state(b).expect("state persists");
+            LinearSvm::from_parts(st.learner.w.clone(), st.learner.b)
+        })
+        .collect();
+    let metrics = cluster.metrics().clone();
+    Ok((
+        LinearOutcome {
+            model: LinearSvm::from_parts(z, s),
+            local_models,
+            history,
+        },
+        metrics,
+    ))
+}
+
+/// Runs the horizontally partitioned **kernel** trainer on a simulated
+/// cluster. See [`train_linear_on_cluster`].
+///
+/// # Errors
+///
+/// As [`crate::HorizontalKernelSvm::train`] plus MapReduce runtime errors.
+pub fn train_kernel_on_cluster(
+    parts: &[Dataset],
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    tuning: ClusterTuning,
+) -> Result<(KernelOutcome, JobMetrics)> {
+    cfg.validate()?;
+    let k = validate_parts(parts)?;
+    let landmarks = HorizontalKernelSvm::choose_landmarks(parts, k, cfg)?;
+    let m = parts.len();
+    let learners = parts
+        .iter()
+        .map(|p| HkLearner::new(p, m, &landmarks, cfg))
+        .collect::<Result<Vec<_>>>()?;
+    let l = landmarks.len();
+    let lm = &landmarks;
+    let (cluster, _z, _s, history) = drive(parts, learners, l + 1, cfg, &tuning, |cl, _z, _s| {
+        match eval {
+            None => Ok(None),
+            Some(ds) => {
+                let first = cl.store().block_ids()[0];
+                let st = cl.mapper_state(first).expect("state persists");
+                Ok(Some(st.learner.model(lm)?.accuracy(ds)))
+            }
+        }
+    })?;
+    let first = cluster.store().block_ids()[0];
+    let model = cluster
+        .mapper_state(first)
+        .expect("state persists")
+        .learner
+        .model(&landmarks)?;
+    let metrics = cluster.metrics().clone();
+    Ok((
+        KernelOutcome {
+            model,
+            history,
+            landmarks,
+        },
+        metrics,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Vertical deployment
+// ---------------------------------------------------------------------------
+
+/// Node-local behaviour shared by the two vertical learners.
+pub(crate) trait VerticalNode: Send + 'static {
+    fn step(&mut self, gap: &[f64]) -> Result<()>;
+    fn contribution(&self) -> &[f64];
+}
+
+impl VerticalNode for crate::vertical::linear::VlNode {
+    fn step(&mut self, gap: &[f64]) -> Result<()> {
+        crate::vertical::linear::VlNode::step(self, gap)
+    }
+    fn contribution(&self) -> &[f64] {
+        &self.c
+    }
+}
+
+impl VerticalNode for crate::vertical::kernel::VkNode {
+    fn step(&mut self, gap: &[f64]) -> Result<()> {
+        crate::vertical::kernel::VkNode::step(self, gap)
+    }
+    fn contribution(&self) -> &[f64] {
+        &self.c
+    }
+}
+
+/// Block payload for a vertical learner: its column slice (all rows, its
+/// features only). Labels stay with the driver/reducer, as §IV-C assumes
+/// they are shared.
+pub struct VerticalBlock(pub ppml_linalg::Matrix);
+
+impl ByteSized for VerticalBlock {
+    fn byte_len(&self) -> usize {
+        8 * self.0.rows() * self.0.cols()
+    }
+}
+
+/// Broadcast for the vertical schemes: the consensus gap `z − c̄ + r`.
+#[derive(Debug, Clone)]
+pub struct VerticalBroadcast {
+    /// `z − c̄ + r`, length `N`.
+    pub gap: Vec<f64>,
+    /// ADMM iteration index (keys the masking pads).
+    pub iteration: u64,
+}
+
+impl ByteSized for VerticalBroadcast {
+    fn byte_len(&self) -> usize {
+        self.gap.byte_len() + 8
+    }
+}
+
+/// The vertical consensus MapReduce job: Map emits a masked share of
+/// `c_m = X_m w_m`; Reduce cancels the masks into `c̄`; the driver (playing
+/// the paper's Reducer role for the `z`-subproblem) updates `z, r, b`.
+pub(crate) struct VerticalJob<L: VerticalNode> {
+    parties: usize,
+    mask_seed: u64,
+    prebuilt: Mutex<Vec<Option<L>>>,
+}
+
+/// Mapper state for the vertical job.
+pub(crate) struct VerticalState<L> {
+    pub(crate) node: L,
+    masker: SeededMasker,
+}
+
+impl<L: VerticalNode> IterativeJob for VerticalJob<L> {
+    type BlockPayload = VerticalBlock;
+    type MapperState = VerticalState<L>;
+    type Broadcast = VerticalBroadcast;
+    type Key = ();
+    type MapOut = Vec<u64>;
+    type ReduceOut = Vec<u64>;
+
+    fn init_state(&self, block: BlockId, _payload: &VerticalBlock) -> VerticalState<L> {
+        let party = block.0 as usize;
+        let node = self.prebuilt.lock().expect("prebuilt lock")[party]
+            .take()
+            .expect("one mapper state per block");
+        VerticalState {
+            node,
+            masker: SeededMasker::new(self.mask_seed, party, self.parties),
+        }
+    }
+
+    fn map(
+        &self,
+        _node: NodeId,
+        _payload: &VerticalBlock,
+        state: &mut VerticalState<L>,
+        broadcast: &VerticalBroadcast,
+    ) -> Vec<((), Vec<u64>)> {
+        state
+            .node
+            .step(&broadcast.gap)
+            .expect("vertical node step failed on validated input");
+        let masked = state
+            .masker
+            .mask_share(state.node.contribution(), broadcast.iteration)
+            .expect("contribution exceeded the fixed-point range");
+        vec![((), masked)]
+    }
+
+    fn reduce(&self, _key: &(), values: Vec<Vec<u64>>) -> Vec<u64> {
+        let len = values.first().map_or(0, Vec::len);
+        (0..len)
+            .map(|i| values.iter().fold(0u64, |acc, v| acc.wrapping_add(v[i])))
+            .collect()
+    }
+}
+
+fn drive_vertical<L, FSnap>(
+    view: &ppml_data::VerticalView,
+    nodes: Vec<L>,
+    cfg: &AdmmConfig,
+    tuning: &ClusterTuning,
+    mut snapshot: FSnap,
+) -> Result<(
+    Cluster<VerticalJob<L>>,
+    crate::vertical::linear::VerticalReducer,
+    ConvergenceHistory,
+)>
+where
+    L: VerticalNode,
+    FSnap: FnMut(&Cluster<VerticalJob<L>>, f64) -> Result<Option<f64>>,
+{
+    let m = view.learners();
+    let n = view.rows();
+    let job = VerticalJob {
+        parties: m,
+        mask_seed: cfg.seed,
+        prebuilt: Mutex::new(nodes.into_iter().map(Some).collect()),
+    };
+    let mut cluster = Cluster::new(cluster_config(m, tuning), job)?;
+    for p in 0..m {
+        cluster.load_block_on(VerticalBlock(view.part(p).clone()), NodeId(p))?;
+    }
+    let codec = ppml_crypto::FixedPointCodec::default();
+    let mut reducer = crate::vertical::linear::VerticalReducer::new(view.y().to_vec(), cfg)?;
+    let mut gap = vec![0.0; n];
+    let mut history = ConvergenceHistory::default();
+    for iteration in 0..cfg.max_iter as u64 {
+        let out = cluster.run_iteration(&VerticalBroadcast {
+            gap: gap.clone(),
+            iteration,
+        })?;
+        let summed = &out
+            .outputs
+            .first()
+            .ok_or_else(|| TrainError::BadPartition {
+                reason: "reduce produced no output".to_string(),
+            })?
+            .1;
+        if summed.len() != n {
+            return Err(TrainError::BadPartition {
+                reason: format!("contribution length mismatch: expected {n}, got {}", summed.len()),
+            });
+        }
+        let cbar: Vec<f64> = summed.iter().map(|&v| codec.decode_u64(v)).collect();
+        let delta = reducer.step(&cbar)?;
+        gap = reducer.gap(&cbar);
+        history.z_delta.push(delta);
+        if let Some(acc) = snapshot(&cluster, reducer.bias)? {
+            history.accuracy.push(acc);
+        }
+        if let Some(tol) = cfg.tol {
+            if delta < tol {
+                break;
+            }
+        }
+    }
+    Ok((cluster, reducer, history))
+}
+
+/// Runs the vertically partitioned **linear** trainer on a simulated
+/// cluster: learner `m`'s column slice is pinned to node `m`, masked
+/// contributions meet only at the Reduce step, and the driver solves the
+/// `z`-subproblem (the paper's Reducer role in §IV-C).
+///
+/// # Errors
+///
+/// As [`crate::VerticalLinearSvm::train`] plus MapReduce runtime errors.
+pub fn train_vertical_linear_on_cluster(
+    view: &ppml_data::VerticalView,
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    tuning: ClusterTuning,
+) -> Result<(crate::vertical::linear::VerticalOutcome, JobMetrics)> {
+    cfg.validate()?;
+    let m = view.learners();
+    let nodes = (0..m)
+        .map(|p| crate::vertical::linear::VlNode::new(view.part(p), cfg.rho))
+        .collect::<Result<Vec<_>>>()?;
+    let (cluster, reducer, history) =
+        drive_vertical(view, nodes, cfg, &tuning, |cl, bias| match eval {
+            None => Ok(None),
+            Some(ds) => {
+                let w = collect_vl_weights(cl);
+                let model = crate::vertical::linear::assemble(view, &w, bias);
+                Ok(Some(model.accuracy(ds)))
+            }
+        })?;
+    let w = collect_vl_weights(&cluster);
+    let metrics = cluster.metrics().clone();
+    Ok((
+        crate::vertical::linear::VerticalOutcome {
+            model: crate::vertical::linear::assemble(view, &w, reducer.bias),
+            history,
+        },
+        metrics,
+    ))
+}
+
+fn collect_vl_weights(
+    cluster: &Cluster<VerticalJob<crate::vertical::linear::VlNode>>,
+) -> Vec<Vec<f64>> {
+    cluster
+        .store()
+        .block_ids()
+        .into_iter()
+        .map(|b| cluster.mapper_state(b).expect("state persists").node.w.clone())
+        .collect()
+}
+
+/// Runs the vertically partitioned **kernel** trainer on a simulated
+/// cluster. See [`train_vertical_linear_on_cluster`].
+///
+/// # Errors
+///
+/// As [`crate::VerticalKernelSvm::train`] plus MapReduce runtime errors.
+pub fn train_vertical_kernel_on_cluster(
+    view: &ppml_data::VerticalView,
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    tuning: ClusterTuning,
+) -> Result<(crate::vertical::kernel::VerticalKernelOutcome, JobMetrics)> {
+    cfg.validate()?;
+    let m = view.learners();
+    let nodes = (0..m)
+        .map(|p| crate::vertical::kernel::VkNode::new(view.part(p), cfg.kernel, cfg))
+        .collect::<Result<Vec<_>>>()?;
+    let (cluster, reducer, history) =
+        drive_vertical(view, nodes, cfg, &tuning, |cl, bias| match eval {
+            None => Ok(None),
+            Some(ds) => {
+                let expansions = collect_vk_expansions(cl);
+                let model =
+                    crate::vertical::kernel::assemble(view, cfg.kernel, expansions, bias);
+                Ok(Some(model.accuracy(ds)))
+            }
+        })?;
+    let expansions = collect_vk_expansions(&cluster);
+    let metrics = cluster.metrics().clone();
+    Ok((
+        crate::vertical::kernel::VerticalKernelOutcome {
+            model: crate::vertical::kernel::assemble(view, cfg.kernel, expansions, reducer.bias),
+            history,
+        },
+        metrics,
+    ))
+}
+
+fn collect_vk_expansions(
+    cluster: &Cluster<VerticalJob<crate::vertical::kernel::VkNode>>,
+) -> Vec<(ppml_linalg::Matrix, Vec<f64>)> {
+    cluster
+        .store()
+        .block_ids()
+        .into_iter()
+        .map(|b| cluster.mapper_state(b).expect("state persists").node.expansion())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppml_data::{synth, Partition};
+    use ppml_kernel::Kernel;
+
+    fn parts4() -> (Vec<Dataset>, Dataset, Dataset) {
+        let ds = synth::blobs(160, 1);
+        let (train, test) = ds.split(0.5, 2).unwrap();
+        let parts = Partition::horizontal(&train, 4, 3).unwrap();
+        (parts, train, test)
+    }
+
+    #[test]
+    fn cluster_linear_matches_in_process() {
+        let (parts, _, test) = parts4();
+        let cfg = AdmmConfig::default().with_max_iter(12);
+        let (on_cluster, metrics) =
+            train_linear_on_cluster(&parts, &cfg, Some(&test), ClusterTuning::default()).unwrap();
+        let in_process =
+            crate::HorizontalLinearSvm::train(&parts, &cfg, Some(&test)).unwrap();
+        // The fixed-point sums are mask-independent → identical iterates.
+        for (a, b) in on_cluster
+            .model
+            .weights()
+            .iter()
+            .zip(in_process.model.weights())
+        {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(on_cluster.history.accuracy, in_process.history.accuracy);
+        assert_eq!(metrics.iterations, 12);
+    }
+
+    #[test]
+    fn all_map_tasks_are_data_local() {
+        let (parts, _, _) = parts4();
+        let cfg = AdmmConfig::default().with_max_iter(5);
+        let (_, metrics) =
+            train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).unwrap();
+        assert_eq!(metrics.remote_reads, 0);
+        assert_eq!(metrics.locality_hits, 4 * 5);
+        assert_eq!(metrics.bytes_remote_read, 0);
+    }
+
+    #[test]
+    fn shuffle_traffic_is_tiny_compared_to_raw_data() {
+        // The data-locality claim (E11): per-iteration shuffle is O(k·M),
+        // raw data is O(N·k).
+        let (parts, train, _) = parts4();
+        let cfg = AdmmConfig::default().with_max_iter(10);
+        let (_, metrics) =
+            train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).unwrap();
+        let raw_bytes = 8 * train.len() * (train.features() + 1);
+        let shuffled_per_iter = metrics.bytes_shuffled / 10;
+        assert!(
+            shuffled_per_iter < raw_bytes / 10,
+            "shuffle {shuffled_per_iter} should be far below raw {raw_bytes}"
+        );
+    }
+
+    #[test]
+    fn survives_injected_task_failures() {
+        let (parts, _, _) = parts4();
+        let cfg = AdmmConfig::default().with_max_iter(6);
+        let tuning = ClusterTuning {
+            fault_plan: FaultPlan::new()
+                .fail_first_attempts(2, BlockId(1), 1)
+                .fail_first_attempts(4, BlockId(3), 1),
+            max_attempts: Some(3),
+        };
+        let (faulty, metrics) = train_linear_on_cluster(&parts, &cfg, None, tuning).unwrap();
+        let (clean, _) =
+            train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).unwrap();
+        assert_eq!(metrics.task_retries, 2);
+        // Re-execution must not change the result.
+        for (a, b) in faulty.model.weights().iter().zip(clean.model.weights()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cluster_vertical_linear_matches_in_process() {
+        let ds = synth::cancer_like(160, 7);
+        let (train, test) = ds.split(0.5, 8).unwrap();
+        let view = Partition::vertical(&train, 3, 9).unwrap();
+        let cfg = AdmmConfig::default().with_max_iter(25);
+        let (on_cluster, metrics) =
+            train_vertical_linear_on_cluster(&view, &cfg, Some(&test), ClusterTuning::default())
+                .unwrap();
+        let in_process = crate::VerticalLinearSvm::train(&view, &cfg, Some(&test)).unwrap();
+        assert_eq!(on_cluster.history.accuracy, in_process.history.accuracy);
+        for m in 0..3 {
+            for (a, b) in on_cluster
+                .model
+                .weight_slice(m)
+                .iter()
+                .zip(in_process.model.weight_slice(m))
+            {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
+        assert_eq!(metrics.remote_reads, 0, "column slices must not move");
+    }
+
+    #[test]
+    fn cluster_vertical_kernel_trains() {
+        let ds = synth::blobs(100, 17);
+        let (train, test) = ds.split(0.5, 18).unwrap();
+        let view = Partition::vertical(&train, 2, 19).unwrap();
+        let cfg = AdmmConfig::default()
+            .with_max_iter(30)
+            .with_kernel(Kernel::Rbf { gamma: 0.5 });
+        let (out, metrics) =
+            train_vertical_kernel_on_cluster(&view, &cfg, Some(&test), ClusterTuning::default())
+                .unwrap();
+        let acc = out.model.accuracy(&test);
+        assert!(acc > 0.85, "cluster vertical kernel accuracy {acc}");
+        assert_eq!(metrics.locality_hits, 2 * 30);
+        // In-process agreement.
+        let in_process = crate::VerticalKernelSvm::train(&view, &cfg, Some(&test)).unwrap();
+        assert_eq!(out.history.accuracy, in_process.history.accuracy);
+    }
+
+    #[test]
+    fn cluster_kernel_matches_in_process() {
+        let ds = synth::xor_like(160, 4);
+        let (train, test) = ds.split(0.5, 5).unwrap();
+        let parts = Partition::horizontal(&train, 4, 6).unwrap();
+        let cfg = AdmmConfig::default()
+            .with_max_iter(10)
+            .with_landmarks(10)
+            .with_kernel(Kernel::Rbf { gamma: 0.5 });
+        let (on_cluster, metrics) =
+            train_kernel_on_cluster(&parts, &cfg, Some(&test), ClusterTuning::default()).unwrap();
+        let in_process = crate::HorizontalKernelSvm::train(&parts, &cfg, Some(&test)).unwrap();
+        assert_eq!(on_cluster.history.accuracy, in_process.history.accuracy);
+        let acc = on_cluster.model.accuracy(&test);
+        assert!(acc > 0.8, "cluster kernel accuracy {acc}");
+        assert_eq!(metrics.remote_reads, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Privacy-preserving consensus-ADMM SVM training over MapReduce —
+//! the core contribution of *Xu et al., "Privacy-preserving Machine
+//! Learning Algorithms for Big Data Systems", ICDCS 2015*.
+//!
+//! # The four trainers
+//!
+//! | Type | Partitioning | Model | Paper section |
+//! |---|---|---|---|
+//! | [`HorizontalLinearSvm`] | by rows (Fig. 2) | linear | §IV-A |
+//! | [`HorizontalKernelSvm`] | by rows | kernel (landmark consensus) | §IV-B |
+//! | [`VerticalLinearSvm`] | by columns (Fig. 3) | linear | §IV-C |
+//! | [`VerticalKernelSvm`] | by columns | kernel | §IV-C end |
+//!
+//! Each trainer decomposes the joint SVM into per-learner subproblems
+//! (Map), reaches consensus through a [`SecureSum`] protocol at the reducer
+//! (the paper's §V pairwise-masking protocol by default), and iterates to
+//! the centralized optimum (Lemmas 4.1/4.2). Raw training data never leaves
+//! its learner; only the per-iteration local models move, and those only as
+//! masked shares.
+//!
+//! All trainers run in two modes:
+//! * **in-process** (`train`) — learners simulated in one address space,
+//!   aggregation through any [`SecureSum`] backend; this is what the
+//!   benchmarks sweep;
+//! * **MapReduce** (`train_on_cluster`, horizontal trainers) — learners are
+//!   data nodes of a [`ppml_mapreduce::Cluster`]; the mask exchange rides
+//!   on pre-agreed pairwise seeds so each mapper masks independently and
+//!   the Reduce step only ever sees the cancelled sum.
+//!
+//! # Example
+//!
+//! ```
+//! use ppml_core::{AdmmConfig, HorizontalLinearSvm};
+//! use ppml_data::{synth, Partition};
+//!
+//! # fn main() -> Result<(), ppml_core::TrainError> {
+//! let ds = synth::blobs(120, 1);
+//! let (train, test) = ds.split(0.5, 2)?;
+//! let parts = Partition::horizontal(&train, 4, 3)?; // M = 4 learners
+//! let cfg = AdmmConfig::default().with_max_iter(30);
+//! let outcome = HorizontalLinearSvm::train(&parts, &cfg, Some(&test))?;
+//! assert!(outcome.model.accuracy(&test) > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![forbid(unsafe_code)]
+mod config;
+pub mod dp;
+mod error;
+mod history;
+pub mod jobs;
+mod masks;
+pub mod multiclass;
+pub mod preprocessing;
+
+mod horizontal {
+    pub mod kernel;
+    pub mod linear;
+}
+mod vertical {
+    pub mod kernel;
+    pub mod linear;
+}
+
+pub use config::AdmmConfig;
+pub use error::TrainError;
+pub use history::ConvergenceHistory;
+pub use horizontal::kernel::{HorizontalKernelSvm, KernelConsensusModel, KernelOutcome};
+pub use horizontal::linear::{HorizontalLinearSvm, LinearOutcome};
+pub use masks::SeededMasker;
+pub use vertical::kernel::{VerticalKernelModel, VerticalKernelOutcome, VerticalKernelSvm};
+pub use vertical::linear::{VerticalLinearModel, VerticalLinearSvm, VerticalOutcome};
+
+// Re-exported so callers can pick an aggregation backend without importing
+// ppml-crypto directly.
+pub use ppml_crypto::{
+    AdditiveSharing, PairwiseMasking, PaillierAggregation, SecureSum, ThresholdSharing,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TrainError>;

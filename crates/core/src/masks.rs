@@ -1,0 +1,192 @@
+//! Seed-agreed pairwise masking for the MapReduce deployment.
+//!
+//! In the in-process trainers, the mask exchange of §V's protocol is routed
+//! directly ([`ppml_crypto::MaskingParty`]). On a real cluster, a
+//! mapper-to-mapper channel inside an iteration is awkward, so the standard
+//! deployment trick (as in secure-aggregation systems) is used instead:
+//! every *pair* of learners agrees on a seed once, up front, and both
+//! re-derive the pair's mask for iteration `t` locally. Learner `i` adds
+//! the pair mask for every `j > i` and subtracts it for every `j < i`, so
+//! summing all masked shares cancels every mask — the same algebra as the
+//! paper's `Sedᵢ − Revᵢ`, with the network exchange replaced by a PRG.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use ppml_crypto::{CryptoError, FixedPointCodec};
+
+use crate::Result;
+
+/// One learner's masking endpoint with pre-agreed pairwise seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededMasker {
+    shared_seed: u64,
+    party: usize,
+    parties: usize,
+    codec: FixedPointCodec,
+}
+
+impl SeededMasker {
+    /// Creates the endpoint for `party` of `parties`. All parties must use
+    /// the same `shared_seed` (it stands for the pairwise agreement
+    /// handshake).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party >= parties` or `parties == 0`.
+    pub fn new(shared_seed: u64, party: usize, parties: usize) -> Self {
+        assert!(parties > 0, "at least one party");
+        assert!(party < parties, "party {party} out of range {parties}");
+        SeededMasker {
+            shared_seed,
+            party,
+            parties,
+            codec: FixedPointCodec::default(),
+        }
+    }
+
+    /// The fixed-point codec in use.
+    pub fn codec(&self) -> FixedPointCodec {
+        self.codec
+    }
+
+    /// Deterministic pair mask stream for `(lo, hi)` at `iteration`.
+    fn pair_rng(&self, lo: usize, hi: usize, iteration: u64) -> StdRng {
+        // Mix the tuple into one seed; SplitMix-style finalization.
+        let mut s = self.shared_seed
+            ^ (lo as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (hi as u64).wrapping_mul(0xBF58476D1CE4E5B9)
+            ^ iteration.wrapping_mul(0x94D049BB133111EB);
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xBF58476D1CE4E5B9);
+        s ^= s >> 27;
+        StdRng::seed_from_u64(s)
+    }
+
+    /// Masks this learner's values for `iteration`: fixed-point encode, then
+    /// add the pair mask for every higher-indexed peer and subtract it for
+    /// every lower-indexed one.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ValueOutOfRange`] when a value exceeds the fixed-point
+    /// range.
+    pub fn mask_share(&self, values: &[f64], iteration: u64) -> Result<Vec<u64>> {
+        let mut out = Vec::with_capacity(values.len());
+        for &v in values {
+            out.push(self.codec.encode_u64(v)?);
+        }
+        for peer in 0..self.parties {
+            if peer == self.party {
+                continue;
+            }
+            let (lo, hi) = (self.party.min(peer), self.party.max(peer));
+            let mut rng = self.pair_rng(lo, hi, iteration);
+            let add = self.party == lo;
+            for slot in out.iter_mut() {
+                let m: u64 = rng.gen();
+                *slot = if add {
+                    slot.wrapping_add(m)
+                } else {
+                    slot.wrapping_sub(m)
+                };
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reducer side: wrapping-sums the masked shares of **all** parties and
+    /// decodes. Masks cancel if and only if every party contributed exactly
+    /// once for the same iteration.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ProtocolMisuse`] on missing or ragged shares.
+    pub fn combine(shares: &[Vec<u64>], parties: usize, codec: FixedPointCodec) -> Result<Vec<f64>> {
+        if shares.len() != parties {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "share count does not match party count",
+            }
+            .into());
+        }
+        let len = shares[0].len();
+        if shares.iter().any(|s| s.len() != len) {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "shares have different lengths",
+            }
+            .into());
+        }
+        Ok((0..len)
+            .map(|i| {
+                let sum = shares.iter().fold(0u64, |acc, s| acc.wrapping_add(s[i]));
+                codec.decode_u64(sum)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_cancel_in_the_sum() {
+        let parties = 4;
+        let values: Vec<Vec<f64>> = (0..parties)
+            .map(|p| (0..5).map(|i| (p * 5 + i) as f64 * 0.25 - 2.0).collect())
+            .collect();
+        let maskers: Vec<SeededMasker> =
+            (0..parties).map(|p| SeededMasker::new(99, p, parties)).collect();
+        let shares: Vec<Vec<u64>> = maskers
+            .iter()
+            .zip(&values)
+            .map(|(m, v)| m.mask_share(v, 7).unwrap())
+            .collect();
+        let sum = SeededMasker::combine(&shares, parties, maskers[0].codec()).unwrap();
+        for i in 0..5 {
+            let want: f64 = values.iter().map(|v| v[i]).sum();
+            assert!((sum[i] - want).abs() < 1e-6, "{} vs {}", sum[i], want);
+        }
+    }
+
+    #[test]
+    fn share_differs_from_raw_encoding() {
+        let m = SeededMasker::new(1, 0, 3);
+        let raw = m.codec().encode_u64(1.5).unwrap();
+        let masked = m.mask_share(&[1.5], 0).unwrap();
+        assert_ne!(masked[0], raw);
+    }
+
+    #[test]
+    fn masks_differ_across_iterations() {
+        let m = SeededMasker::new(1, 0, 2);
+        let a = m.mask_share(&[0.0], 0).unwrap();
+        let b = m.mask_share(&[0.0], 1).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mixed_iteration_shares_do_not_cancel() {
+        let parties = 2;
+        let maskers: Vec<SeededMasker> =
+            (0..parties).map(|p| SeededMasker::new(5, p, parties)).collect();
+        let s0 = maskers[0].mask_share(&[1.0], 0).unwrap();
+        let s1 = maskers[1].mask_share(&[1.0], 1).unwrap(); // wrong iteration
+        let sum = SeededMasker::combine(&[s0, s1], parties, maskers[0].codec()).unwrap();
+        assert!((sum[0] - 2.0).abs() > 1.0, "stale masks must not cancel");
+    }
+
+    #[test]
+    fn combine_validates_inputs() {
+        let codec = FixedPointCodec::default();
+        assert!(SeededMasker::combine(&[vec![0]], 2, codec).is_err());
+        assert!(SeededMasker::combine(&[vec![0], vec![0, 1]], 2, codec).is_err());
+    }
+
+    #[test]
+    fn single_party_is_identity() {
+        let m = SeededMasker::new(3, 0, 1);
+        let shares = vec![m.mask_share(&[2.5, -1.0], 4).unwrap()];
+        let sum = SeededMasker::combine(&shares, 1, m.codec()).unwrap();
+        assert!((sum[0] - 2.5).abs() < 1e-6 && (sum[1] + 1.0).abs() < 1e-6);
+    }
+}

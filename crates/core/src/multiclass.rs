@@ -1,0 +1,199 @@
+//! Privacy-preserving multiclass training via one-vs-rest (extension).
+//!
+//! The paper evaluates optdigits as a binary task, but the workload is
+//! natively 10-class. The standard LIBSVM-style reduction trains one binary
+//! classifier per class and predicts by arg-max decision value; this module
+//! applies it on top of the horizontally partitioned linear trainer, so the
+//! full multiclass pipeline inherits the binary scheme's privacy profile
+//! (each class's model is just another consensus run over the same
+//! partitions — nothing new leaves any learner).
+
+use ppml_data::multiclass::MulticlassDataset;
+use ppml_data::Dataset;
+use ppml_svm::LinearSvm;
+
+use crate::{AdmmConfig, HorizontalLinearSvm, Result, TrainError};
+
+/// A one-vs-rest ensemble of privacy-preserving linear SVMs.
+///
+/// # Example
+///
+/// ```
+/// use ppml_core::multiclass::OneVsRestSvm;
+/// use ppml_core::AdmmConfig;
+/// use ppml_data::multiclass::digits_like;
+///
+/// # fn main() -> Result<(), ppml_core::TrainError> {
+/// let ds = digits_like(200, 4, 5);
+/// let (train, test) = ds.split(0.5, 6)?;
+/// let cfg = AdmmConfig::default().with_max_iter(30);
+/// let model = OneVsRestSvm::train_horizontal(&train, 4, &cfg)?;
+/// assert!(model.accuracy(&test) > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OneVsRestSvm {
+    models: Vec<LinearSvm>,
+}
+
+impl OneVsRestSvm {
+    /// Trains one distributed binary SVM per class over horizontally
+    /// partitioned data: the multiclass rows are split across `learners`
+    /// once, and every class's one-vs-rest labeling reuses that partition
+    /// (as a real federation would — the records don't move between runs).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::BadPartition`]/[`TrainError::BadConfig`] plus anything
+    /// the binary trainer reports.
+    pub fn train_horizontal(
+        data: &MulticlassDataset,
+        learners: usize,
+        cfg: &AdmmConfig,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        if data.is_empty() {
+            return Err(TrainError::BadPartition {
+                reason: "empty multiclass dataset".to_string(),
+            });
+        }
+        // One fixed row partition, reused for every class.
+        let row_sets = partition_rows(data.len(), learners, cfg.seed)?;
+        let mut models = Vec::with_capacity(data.classes() as usize);
+        for class in 0..data.classes() {
+            let binary = data.one_vs_rest(class)?;
+            let parts: Vec<Dataset> = row_sets.iter().map(|idx| binary.select(idx)).collect();
+            let outcome = HorizontalLinearSvm::train(&parts, cfg, None)?;
+            models.push(outcome.model);
+        }
+        Ok(OneVsRestSvm { models })
+    }
+
+    /// Trains centrally (baseline for the distributed ensemble).
+    ///
+    /// # Errors
+    ///
+    /// As the underlying [`LinearSvm::train`].
+    pub fn train_centralized(data: &MulticlassDataset, c: f64) -> Result<Self> {
+        let mut models = Vec::with_capacity(data.classes() as usize);
+        for class in 0..data.classes() {
+            let binary = data.one_vs_rest(class)?;
+            models.push(LinearSvm::train(&binary, c)?);
+        }
+        Ok(OneVsRestSvm { models })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> u32 {
+        self.models.len() as u32
+    }
+
+    /// Per-class decision values for a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Svm`] on a feature-dimension mismatch.
+    pub fn decisions(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.models
+            .iter()
+            .map(|m| m.decision(x).map_err(TrainError::from))
+            .collect()
+    }
+
+    /// Predicted class (arg-max decision value).
+    ///
+    /// # Errors
+    ///
+    /// As [`OneVsRestSvm::decisions`].
+    pub fn predict(&self, x: &[f64]) -> Result<u32> {
+        let d = self.decisions(x)?;
+        Ok(d.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite decisions"))
+            .map(|(i, _)| i as u32)
+            .expect("at least one class"))
+    }
+
+    /// Multiclass accuracy on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimensions differ.
+    pub fn accuracy(&self, data: &MulticlassDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| {
+                self.predict(data.sample(i)).expect("dimension checked") == data.labels()[i]
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Random row assignment shared across the per-class runs.
+fn partition_rows(n: usize, learners: usize, seed: u64) -> Result<Vec<Vec<usize>>> {
+    if learners == 0 || learners > n {
+        return Err(TrainError::BadPartition {
+            reason: format!("{learners} learners for {n} rows"),
+        });
+    }
+    let mut rng = ppml_data::rng::seeded(seed ^ 0x0517);
+    let perm = ppml_data::rng::permutation(n, &mut rng);
+    let mut sets = vec![Vec::new(); learners];
+    for (pos, &row) in perm.iter().enumerate() {
+        if pos < learners {
+            sets[pos].push(row);
+        } else {
+            sets[rand::Rng::gen_range(&mut rng, 0..learners)].push(row);
+        }
+    }
+    Ok(sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppml_data::multiclass::digits_like;
+
+    #[test]
+    fn distributed_ovr_matches_centralized() {
+        let ds = digits_like(300, 5, 11);
+        let (train, test) = ds.split(0.5, 12).unwrap();
+        let central = OneVsRestSvm::train_centralized(&train, 50.0).unwrap();
+        let cfg = AdmmConfig::default().with_max_iter(40);
+        let distributed = OneVsRestSvm::train_horizontal(&train, 4, &cfg).unwrap();
+        let ac = central.accuracy(&test);
+        let ad = distributed.accuracy(&test);
+        assert!(ac > 0.9, "central multiclass {ac}");
+        assert!(ad > ac - 0.08, "distributed {ad} vs central {ac}");
+        assert_eq!(distributed.classes(), 5);
+    }
+
+    #[test]
+    fn predictions_are_valid_classes() {
+        let ds = digits_like(100, 3, 13);
+        let cfg = AdmmConfig::default().with_max_iter(15);
+        let model = OneVsRestSvm::train_horizontal(&ds, 2, &cfg).unwrap();
+        for i in 0..ds.len() {
+            assert!(model.predict(ds.sample(i)).unwrap() < 3);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_partitioning() {
+        let ds = digits_like(4, 2, 14);
+        let cfg = AdmmConfig::default().with_max_iter(2);
+        assert!(OneVsRestSvm::train_horizontal(&ds, 10, &cfg).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let ds = digits_like(60, 3, 15);
+        let cfg = AdmmConfig::default().with_max_iter(5);
+        let model = OneVsRestSvm::train_horizontal(&ds, 2, &cfg).unwrap();
+        assert!(model.decisions(&[0.0; 3]).is_err());
+    }
+}

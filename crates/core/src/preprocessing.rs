@@ -1,0 +1,217 @@
+//! Secure distributed preprocessing.
+//!
+//! §VI's footnote concedes that feature selection/scaling "is also a
+//! centralized operation" in the paper. This module provides the closest
+//! distributed primitive with the same trust profile as training itself:
+//! **secure standardization**. Each learner submits only its local
+//! `(count, Σx_j, Σx_j²)` per feature through a [`SecureSum`] protocol; the
+//! aggregate yields global means and variances without revealing any
+//! learner's moments, and every learner then scales its partition locally.
+//!
+//! The aggregate `(n, Σx, Σx²)` discloses exactly the global first and
+//! second moments — strictly less than what the final trained model
+//! discloses, so the scheme's overall leakage profile is unchanged.
+
+use ppml_crypto::{FixedPointCodec, PairwiseMasking, SecureSum};
+use ppml_data::Dataset;
+
+use crate::{Result, TrainError};
+
+/// Global per-feature `(mean, std)` fitted through secure aggregation.
+///
+/// # Example
+///
+/// ```
+/// use ppml_core::preprocessing::SecureStandardizer;
+/// use ppml_data::{synth, Partition};
+///
+/// # fn main() -> Result<(), ppml_core::TrainError> {
+/// let ds = synth::cancer_like(200, 3);
+/// let parts = Partition::horizontal(&ds, 4, 5)?;
+/// let scaler = SecureStandardizer::fit(&parts, 42)?;
+/// let scaled: Vec<_> = parts
+///     .iter()
+///     .map(|p| scaler.transform(p))
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(scaled.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecureStandardizer {
+    stats: Vec<(f64, f64)>,
+    total_count: usize,
+}
+
+impl SecureStandardizer {
+    /// Fits global moments over horizontally partitioned data using the
+    /// paper's masking protocol (seeded by `seed`).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::BadPartition`] for empty/inconsistent partitions;
+    /// protocol failures are forwarded.
+    pub fn fit(parts: &[Dataset], seed: u64) -> Result<Self> {
+        // Wider dynamic range than the default codec: second moments of a
+        // few thousand unstandardized samples can reach ~1e7.
+        let masking =
+            PairwiseMasking::new(seed).with_codec(FixedPointCodec::new(20));
+        Self::fit_with(parts, &masking)
+    }
+
+    /// Fits with an explicit aggregation backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureStandardizer::fit`].
+    pub fn fit_with(parts: &[Dataset], aggregator: &dyn SecureSum) -> Result<Self> {
+        let k = crate::horizontal::linear::validate_parts(parts)?;
+        // Each learner's message: [count, Σx_0.., Σx_{k-1}, Σx²_0.., Σx²_{k-1}]
+        let contributions: Vec<Vec<f64>> = parts
+            .iter()
+            .map(|p| {
+                let mut msg = vec![p.len() as f64];
+                let mut sums = vec![0.0; k];
+                let mut sumsq = vec![0.0; k];
+                for i in 0..p.len() {
+                    for (j, &v) in p.sample(i).iter().enumerate() {
+                        sums[j] += v;
+                        sumsq[j] += v * v;
+                    }
+                }
+                msg.extend_from_slice(&sums);
+                msg.extend_from_slice(&sumsq);
+                msg
+            })
+            .collect();
+        let agg = aggregator.aggregate(&contributions)?;
+        let n = agg[0];
+        if n < 2.0 {
+            return Err(TrainError::BadPartition {
+                reason: "fewer than two samples in total".to_string(),
+            });
+        }
+        let stats = (0..k)
+            .map(|j| {
+                let mean = agg[1 + j] / n;
+                let var = (agg[1 + k + j] / n - mean * mean).max(0.0);
+                (mean, var.sqrt().max(1e-12))
+            })
+            .collect();
+        Ok(SecureStandardizer {
+            stats,
+            total_count: n.round() as usize,
+        })
+    }
+
+    /// The fitted per-feature `(mean, std)`.
+    pub fn stats(&self) -> &[(f64, f64)] {
+        &self.stats
+    }
+
+    /// Total sample count across all learners (the only per-learner-free
+    /// scalar the protocol reveals).
+    pub fn total_count(&self) -> usize {
+        self.total_count
+    }
+
+    /// Applies the global transform to a dataset (a learner's partition or
+    /// a test set).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Data`] when the feature counts disagree.
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        Ok(data.apply_scaling(&self.stats)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppml_data::{synth, Partition};
+
+    fn parts() -> (Dataset, Vec<Dataset>) {
+        let ds = synth::cancer_like(240, 13);
+        let parts = Partition::horizontal(&ds, 4, 14).unwrap();
+        (ds, parts)
+    }
+
+    #[test]
+    fn secure_stats_match_centralized_stats() {
+        let (ds, parts) = parts();
+        let scaler = SecureStandardizer::fit(&parts, 1).unwrap();
+        let (_, central_stats) = ds.standardize().unwrap();
+        assert_eq!(scaler.total_count(), ds.len());
+        for ((ms, ss), (mc, sc)) in scaler.stats().iter().zip(&central_stats) {
+            assert!((ms - mc).abs() < 1e-4, "mean {ms} vs {mc}");
+            assert!((ss - sc).abs() < 1e-4, "std {ss} vs {sc}");
+        }
+    }
+
+    #[test]
+    fn transformed_union_is_standardized() {
+        let (_, parts) = parts();
+        let scaler = SecureStandardizer::fit(&parts, 2).unwrap();
+        // Pool the transformed partitions and check global moments.
+        let mut all: Vec<Vec<f64>> = Vec::new();
+        for p in &parts {
+            let t = scaler.transform(p).unwrap();
+            for i in 0..t.len() {
+                all.push(t.sample(i).to_vec());
+            }
+        }
+        let n = all.len() as f64;
+        for j in 0..all[0].len() {
+            let mean: f64 = all.iter().map(|r| r[j]).sum::<f64>() / n;
+            let var: f64 = all.iter().map(|r| (r[j] - mean) * (r[j] - mean)).sum::<f64>() / n;
+            assert!(mean.abs() < 1e-6, "feature {j} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "feature {j} var {var}");
+        }
+    }
+
+    #[test]
+    fn plain_and_masked_fit_agree() {
+        let (_, parts) = parts();
+        let secure = SecureStandardizer::fit(&parts, 3).unwrap();
+        let plain = SecureStandardizer::fit_with(&parts, &ppml_crypto::PlainSum).unwrap();
+        for ((ms, ss), (mp, sp)) in secure.stats().iter().zip(plain.stats()) {
+            assert!((ms - mp).abs() < 1e-4);
+            assert!((ss - sp).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scaling_improves_conditioning_for_training() {
+        // Blow one feature's scale up; training on scaled data must not be
+        // worse than on the raw data.
+        let (ds, _) = parts();
+        let raw = Dataset::new(
+            ppml_linalg::Matrix::from_fn(ds.len(), ds.features(), |i, j| {
+                ds.x()[(i, j)] * if j == 0 { 1000.0 } else { 1.0 }
+            }),
+            ds.y().to_vec(),
+        )
+        .unwrap();
+        let parts = Partition::horizontal(&raw, 4, 15).unwrap();
+        let scaler = SecureStandardizer::fit(&parts, 4).unwrap();
+        let scaled: Vec<Dataset> = parts.iter().map(|p| scaler.transform(p).unwrap()).collect();
+        let cfg = crate::AdmmConfig::default().with_max_iter(40);
+        let on_scaled = crate::HorizontalLinearSvm::train(&scaled, &cfg, None).unwrap();
+        let eval = scaler.transform(&raw).unwrap();
+        assert!(on_scaled.model.accuracy(&eval) > 0.9);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(SecureStandardizer::fit(&[], 0).is_err());
+    }
+
+    #[test]
+    fn transform_validates_dimensions() {
+        let (_, parts) = parts();
+        let scaler = SecureStandardizer::fit(&parts, 5).unwrap();
+        let other = synth::blobs(10, 1); // 2 features ≠ 9
+        assert!(scaler.transform(&other).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A plaintext does not fit the fixed-point encoding range.
+    ValueOutOfRange {
+        /// The offending value, rendered to text (f64 is not `Eq`).
+        value: String,
+        /// Largest encodable magnitude.
+        limit: String,
+    },
+    /// A decoded aggregate exceeded the representable range, meaning the
+    /// modular sum wrapped and the result would be silently wrong.
+    AggregateOverflow,
+    /// Requested key size is too small to be meaningful.
+    KeyTooSmall {
+        /// Bits requested.
+        bits: usize,
+        /// Minimum accepted.
+        min: usize,
+    },
+    /// A ciphertext or group element was not in the expected group.
+    NotInGroup,
+    /// A modular inverse does not exist (operand shares a factor with the
+    /// modulus).
+    NotInvertible,
+    /// The protocol was invoked with inconsistent party inputs (e.g. vectors
+    /// of different lengths, or zero parties).
+    ProtocolMisuse {
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::ValueOutOfRange { value, limit } => {
+                write!(f, "value {value} outside encodable range (limit {limit})")
+            }
+            CryptoError::AggregateOverflow => {
+                write!(f, "aggregate overflowed the fixed-point range")
+            }
+            CryptoError::KeyTooSmall { bits, min } => {
+                write!(f, "key size {bits} bits is below the minimum {min}")
+            }
+            CryptoError::NotInGroup => write!(f, "element is not in the expected group"),
+            CryptoError::NotInvertible => write!(f, "element has no modular inverse"),
+            CryptoError::ProtocolMisuse { reason } => write!(f, "protocol misuse: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CryptoError::AggregateOverflow.to_string().contains("overflow"));
+        assert!(CryptoError::ProtocolMisuse { reason: "empty" }
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<CryptoError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Montgomery modular multiplication and exponentiation for odd moduli.
+//!
+//! Paillier spends essentially all of its time in `mod_pow` over `n²`; with
+//! schoolbook reduction each step costs a full long division. Montgomery's
+//! REDC replaces those divisions with shifts, making keygen/enc/dec usable
+//! at realistic key sizes.
+
+use crate::BigUint;
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+///
+/// # Example
+///
+/// ```
+/// use ppml_crypto::{BigUint, Montgomery};
+///
+/// let m = BigUint::from(1_000_000_007u64); // odd prime
+/// let ctx = Montgomery::new(&m);
+/// let r = ctx.mod_pow(&BigUint::from(3u64), &BigUint::from(10u64));
+/// assert_eq!(r.to_u64(), Some(59049 % 1_000_000_007));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    /// The modulus `n` (odd, > 1).
+    n: BigUint,
+    /// Limb count `k`; `R = 2^(64k)`.
+    k: usize,
+    /// `n' = -n⁻¹ mod 2⁶⁴`.
+    n_prime: u64,
+    /// `R² mod n`, for conversion into the Montgomery domain.
+    r2: BigUint,
+}
+
+impl Montgomery {
+    /// Builds a context for the odd modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or `n <= 1`; callers in this crate always pass
+    /// RSA-style moduli.
+    pub fn new(n: &BigUint) -> Self {
+        assert!(!n.is_even(), "Montgomery requires an odd modulus");
+        assert!(!n.is_one() && !n.is_zero(), "modulus must exceed 1");
+        let k = n.limbs().len();
+        let n0 = n.limbs()[0];
+        // Newton's iteration: doubles correct bits each round; 6 rounds
+        // suffice for 64 bits starting from the 3-bit-correct seed `n0`.
+        let mut inv = n0;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+        // R² mod n via shifting (one-time cost).
+        let r2 = BigUint::one().shl(64 * k * 2).rem(n);
+        Montgomery {
+            n: n.clone(),
+            k,
+            n_prime,
+            r2,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Montgomery reduction: computes `t · R⁻¹ mod n` for `t < n·R`.
+    fn redc(&self, t: &BigUint) -> BigUint {
+        let k = self.k;
+        let n_limbs = self.n.limbs();
+        // Working buffer of 2k+1 limbs.
+        let mut buf = vec![0u64; 2 * k + 1];
+        let t_limbs = t.limbs();
+        buf[..t_limbs.len()].copy_from_slice(t_limbs);
+        for i in 0..k {
+            let m = buf[i].wrapping_mul(self.n_prime);
+            // buf += m * n << (64*i)
+            let mut carry = 0u128;
+            for (j, &nl) in n_limbs.iter().enumerate() {
+                let idx = i + j;
+                let v = buf[idx] as u128 + (m as u128) * (nl as u128) + carry;
+                buf[idx] = v as u64;
+                carry = v >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let v = buf[idx] as u128 + carry;
+                buf[idx] = v as u64;
+                carry = v >> 64;
+                idx += 1;
+            }
+        }
+        // Divide by R: drop the low k limbs.
+        let out = BigUint::from_limbs(buf[k..].to_vec());
+        if out >= self.n {
+            out.sub(&self.n)
+        } else {
+            out
+        }
+    }
+
+    /// Converts into the Montgomery domain: `a · R mod n`.
+    fn to_mont(&self, a: &BigUint) -> BigUint {
+        self.redc(&a.mul(&self.r2))
+    }
+
+    /// Montgomery-domain product.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.redc(&a.mul(b))
+    }
+
+    /// `base^exp mod n` by left-to-right square-and-multiply in the
+    /// Montgomery domain.
+    pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.n);
+        }
+        let base = base.rem(&self.n);
+        if base.is_zero() {
+            return BigUint::zero();
+        }
+        let mb = self.to_mont(&base);
+        let mut acc = mb.clone();
+        for i in (0..exp.bits() - 1).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &mb);
+            }
+        }
+        self.redc(&acc)
+    }
+
+    /// `a · b mod n` through one round-trip into the Montgomery domain.
+    pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let ma = self.to_mont(&a.rem(&self.n));
+        self.mont_mul(&ma, &b.rem(&self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_slow_mod_pow_small() {
+        let m = BigUint::from(10_007u64); // odd prime
+        let ctx = Montgomery::new(&m);
+        for base in [0u64, 1, 2, 9999, 12345] {
+            for exp in [0u64, 1, 2, 17, 5000] {
+                let fast = ctx.mod_pow(&BigUint::from(base), &BigUint::from(exp));
+                // Reference: repeated mod_mul without Montgomery.
+                let mut r = BigUint::one();
+                for _ in 0..exp {
+                    r = r.mod_mul(&BigUint::from(base), &m);
+                }
+                assert_eq!(fast, r, "base {base}, exp {exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_u128_arithmetic() {
+        let m = BigUint::from(0xFFFF_FFFF_FFFF_FFC5u64); // 2^64 - 59 (prime)
+        let ctx = Montgomery::new(&m);
+        let a = 0x1234_5678_9ABC_DEFFu64;
+        let got = ctx.mod_mul(&BigUint::from(a), &BigUint::from(a));
+        let want = ((a as u128 * a as u128) % 0xFFFF_FFFF_FFFF_FFC5u128) as u64;
+        assert_eq!(got.to_u64(), Some(want));
+    }
+
+    #[test]
+    fn fermat_on_multi_limb_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        let ctx = Montgomery::new(&p);
+        let exp = p.sub(&BigUint::one());
+        assert!(ctx.mod_pow(&BigUint::from(3u64), &exp).is_one());
+    }
+
+    #[test]
+    fn zero_and_one_exponents() {
+        let m = BigUint::from(101u64);
+        let ctx = Montgomery::new(&m);
+        assert!(ctx.mod_pow(&BigUint::from(7u64), &BigUint::zero()).is_one());
+        assert_eq!(
+            ctx.mod_pow(&BigUint::from(7u64), &BigUint::one()).to_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn rejects_even_modulus() {
+        Montgomery::new(&BigUint::from(10u64));
+    }
+}

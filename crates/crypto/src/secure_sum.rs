@@ -1,0 +1,773 @@
+//! Secure summation protocols for the Reduce() step.
+//!
+//! §V of the paper: the reducer must compute `z = (1/M)·Σ wₘ` without
+//! learning any individual `wₘ`, in the semi-honest model, resisting
+//! coalitions of mappers. Three interchangeable backends implement the
+//! [`SecureSum`] trait; the MapReduce trainers treat them as a pluggable
+//! reducer component.
+//!
+//! The message-level API ([`MaskingParty`], [`MaskedShare`]) is exposed
+//! separately so the `ppml-mapreduce` runtime can route the actual
+//! mapper-to-mapper mask exchange rather than assuming a trusted in-process
+//! coordinator.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{CryptoError, FixedPointCodec, Paillier, Result};
+
+/// A protocol that sums the parties' private vectors so the aggregator only
+/// ever sees the total.
+pub trait SecureSum {
+    /// Aggregates `inputs[m]` (the private vector of party `m`) into the
+    /// element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ProtocolMisuse`] for empty or ragged inputs;
+    /// [`CryptoError::ValueOutOfRange`] when a coordinate exceeds the
+    /// fixed-point range.
+    fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>>;
+
+    /// Short protocol name for logs and benchmark labels.
+    fn name(&self) -> &'static str;
+
+    /// Communication cost of one aggregation: `(messages, bytes)` as a
+    /// function of party count and vector length. Used by the E10/E11
+    /// benchmarks to report overhead without instrumenting transports.
+    fn cost(&self, parties: usize, len: usize) -> (usize, usize);
+}
+
+fn validate(inputs: &[Vec<f64>]) -> Result<usize> {
+    let first = inputs
+        .first()
+        .ok_or(CryptoError::ProtocolMisuse {
+            reason: "no parties",
+        })?
+        .len();
+    if inputs.iter().any(|v| v.len() != first) {
+        return Err(CryptoError::ProtocolMisuse {
+            reason: "party vectors have different lengths",
+        });
+    }
+    Ok(first)
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise masking (the paper's protocol)
+// ---------------------------------------------------------------------------
+
+/// One mapper's state in the coalition-resistant pairwise-masking protocol.
+///
+/// Protocol (verbatim from §V):
+/// 1. each mapper generates `M−1` random numbers (here: vectors);
+/// 2. sends them to the other `M−1` mappers individually;
+/// 3. sums its generated numbers (`Sedᵢ`) and its received numbers (`Revᵢ`);
+/// 4. sends `wᵢ + Sedᵢ − Revᵢ` to the reducer;
+/// 5. the reducer adds the `M` submissions — every mask was added once and
+///    subtracted once, so only `Σ wᵢ` survives.
+///
+/// Arithmetic is over `Z_{2⁶⁴}` on fixed-point encodings, so the masked
+/// share is statistically independent of `wᵢ` (one-time-pad style) as long
+/// as at least one co-mapper does not collude.
+#[derive(Debug, Clone)]
+pub struct MaskingParty {
+    id: usize,
+    parties: usize,
+    /// `outgoing[j]` is the mask vector destined for the party with
+    /// index `j` in the "others" ordering (see [`MaskingParty::outgoing`]).
+    outgoing: Vec<Vec<u64>>,
+    codec: FixedPointCodec,
+}
+
+/// The single message a mapper sends to the reducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedShare {
+    /// Originating party.
+    pub party: usize,
+    /// `wᵢ + Sedᵢ − Revᵢ` over `Z_{2⁶⁴}`, coordinate-wise.
+    pub payload: Vec<u64>,
+}
+
+impl MaskingParty {
+    /// Creates party `id` of `parties`, pre-generating the `M−1` outgoing
+    /// mask vectors of length `len` from `seed` (each party must use a
+    /// distinct seed; the trainers derive them from per-node RNGs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= parties` or `parties == 0`.
+    pub fn new(id: usize, parties: usize, len: usize, seed: u64, codec: FixedPointCodec) -> Self {
+        assert!(parties > 0, "at least one party required");
+        assert!(id < parties, "party id {id} out of range {parties}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outgoing = (0..parties.saturating_sub(1))
+            .map(|_| (0..len).map(|_| rng.gen::<u64>()).collect())
+            .collect();
+        MaskingParty {
+            id,
+            parties,
+            outgoing,
+            codec,
+        }
+    }
+
+    /// This party's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Global party indices this party sends masks to, in the order used by
+    /// [`MaskingParty::outgoing`].
+    pub fn peers(&self) -> Vec<usize> {
+        (0..self.parties).filter(|&p| p != self.id).collect()
+    }
+
+    /// The mask vector to transmit to the `k`-th peer (ordering of
+    /// [`MaskingParty::peers`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn outgoing(&self, k: usize) -> &[u64] {
+        &self.outgoing[k]
+    }
+
+    /// Computes the reducer-bound share from this party's private values and
+    /// the masks received from every peer (same ordering as
+    /// [`MaskingParty::peers`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ProtocolMisuse`] when the received-mask count or any
+    /// vector length is wrong; [`CryptoError::ValueOutOfRange`] when a value
+    /// exceeds the fixed-point range.
+    pub fn masked_share(&self, values: &[f64], received: &[&[u64]]) -> Result<MaskedShare> {
+        if received.len() != self.parties - 1 {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "wrong number of received masks",
+            });
+        }
+        let len = values.len();
+        if self.outgoing.iter().any(|m| m.len() != len)
+            || received.iter().any(|m| m.len() != len)
+        {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "mask length does not match value length",
+            });
+        }
+        let mut payload = Vec::with_capacity(len);
+        for (i, &v) in values.iter().enumerate() {
+            let mut acc = self.codec.encode_u64(v)?;
+            for sent in &self.outgoing {
+                acc = acc.wrapping_add(sent[i]);
+            }
+            for recv in received {
+                acc = acc.wrapping_sub(recv[i]);
+            }
+            payload.push(acc);
+        }
+        Ok(MaskedShare {
+            party: self.id,
+            payload,
+        })
+    }
+
+    /// Reducer side: sums the masked shares; masks cancel pairwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ProtocolMisuse`] for empty or ragged shares.
+    pub fn combine(shares: &[MaskedShare], codec: FixedPointCodec) -> Result<Vec<f64>> {
+        let first = shares
+            .first()
+            .ok_or(CryptoError::ProtocolMisuse { reason: "no shares" })?
+            .payload
+            .len();
+        if shares.iter().any(|s| s.payload.len() != first) {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "shares have different lengths",
+            });
+        }
+        Ok((0..first)
+            .map(|i| {
+                let total = shares
+                    .iter()
+                    .fold(0u64, |acc, s| acc.wrapping_add(s.payload[i]));
+                codec.decode_u64(total)
+            })
+            .collect())
+    }
+}
+
+/// In-process driver for the paper's pairwise-masking protocol.
+///
+/// See [`MaskingParty`] for the message-level API the MapReduce runtime
+/// uses; this type wires all parties together for library callers and tests.
+#[derive(Debug, Clone, Copy)]
+pub struct PairwiseMasking {
+    seed: u64,
+    codec: FixedPointCodec,
+}
+
+impl PairwiseMasking {
+    /// Creates the protocol driver; `seed` derives every party's mask
+    /// stream.
+    pub fn new(seed: u64) -> Self {
+        PairwiseMasking {
+            seed,
+            codec: FixedPointCodec::default(),
+        }
+    }
+
+    /// Overrides the fixed-point codec.
+    pub fn with_codec(mut self, codec: FixedPointCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+}
+
+impl SecureSum for PairwiseMasking {
+    fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let len = validate(inputs)?;
+        let m = inputs.len();
+        let parties: Vec<MaskingParty> = (0..m)
+            .map(|i| {
+                MaskingParty::new(
+                    i,
+                    m,
+                    len,
+                    self.seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B9),
+                    self.codec,
+                )
+            })
+            .collect();
+        // Route the mask exchange: peer j of party i receives i's k-th
+        // outgoing vector, where k is j's position among i's peers.
+        let mut shares = Vec::with_capacity(m);
+        for (i, party) in parties.iter().enumerate() {
+            let mut received: Vec<&[u64]> = Vec::with_capacity(m - 1);
+            for &peer in &party.peers() {
+                let sender = &parties[peer];
+                let k = sender
+                    .peers()
+                    .iter()
+                    .position(|&p| p == i)
+                    .expect("peer graphs are symmetric");
+                received.push(sender.outgoing(k));
+            }
+            shares.push(party.masked_share(&inputs[i], &received)?);
+        }
+        MaskingParty::combine(&shares, self.codec)
+    }
+
+    fn name(&self) -> &'static str {
+        "pairwise-masking"
+    }
+
+    fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        // M(M-1) mask messages + M shares; every message carries `len` u64s.
+        let messages = parties * (parties - 1) + parties;
+        (messages, messages * len * 8)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Additive secret sharing
+// ---------------------------------------------------------------------------
+
+/// Additive secret sharing over `Z_{2⁶⁴}`: each party splits its encoded
+/// vector into `M` random shares that sum to it, keeps one, and distributes
+/// the rest; every party then forwards the sum of the shares it holds to
+/// the reducer.
+///
+/// Information-theoretically hiding against any coalition that misses at
+/// least one share-holder. Same asymptotic communication as
+/// [`PairwiseMasking`]; included as the classical SMC baseline (cf. the
+/// secure-sum protocols of Kantarcioglu & Clifton cited in §II).
+#[derive(Debug, Clone, Copy)]
+pub struct AdditiveSharing {
+    seed: u64,
+    codec: FixedPointCodec,
+}
+
+impl AdditiveSharing {
+    /// Creates the protocol driver.
+    pub fn new(seed: u64) -> Self {
+        AdditiveSharing {
+            seed,
+            codec: FixedPointCodec::default(),
+        }
+    }
+
+    /// Overrides the fixed-point codec.
+    pub fn with_codec(mut self, codec: FixedPointCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+}
+
+impl SecureSum for AdditiveSharing {
+    fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let len = validate(inputs)?;
+        let m = inputs.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // held[j][i] accumulates the shares party j holds for coordinate i.
+        let mut held = vec![vec![0u64; len]; m];
+        for (owner, values) in inputs.iter().enumerate() {
+            for (i, &v) in values.iter().enumerate() {
+                let enc = self.codec.encode_u64(v)?;
+                let mut rest = enc;
+                for j in 0..m {
+                    if j == m - 1 {
+                        held[j][i] = held[j][i].wrapping_add(rest);
+                    } else {
+                        let share: u64 = rng.gen();
+                        rest = rest.wrapping_sub(share);
+                        held[j][i] = held[j][i].wrapping_add(share);
+                    }
+                }
+                let _ = owner; // shares are owner-agnostic once split
+            }
+        }
+        // Reducer sums the per-party partials.
+        Ok((0..len)
+            .map(|i| {
+                let total = held.iter().fold(0u64, |acc, h| acc.wrapping_add(h[i]));
+                self.codec.decode_u64(total)
+            })
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "additive-sharing"
+    }
+
+    fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        let messages = parties * (parties - 1) + parties;
+        (messages, messages * len * 8)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paillier aggregation
+// ---------------------------------------------------------------------------
+
+/// Additively homomorphic aggregation with Paillier.
+///
+/// Each party encrypts its fixed-point coordinates under the authority's
+/// public key; the reducer multiplies ciphertexts coordinate-wise and hands
+/// the aggregate to the key authority for decryption. The reducer never
+/// sees a plaintext; the authority only ever sees the sum.
+///
+/// This is the heavyweight baseline for the paper's claim that its masking
+/// protocol keeps "cryptographic operations … minimized" — benchmark E10
+/// quantifies the gap.
+#[derive(Debug, Clone)]
+pub struct PaillierAggregation {
+    paillier: Paillier,
+    codec: FixedPointCodec,
+    seed: u64,
+}
+
+impl PaillierAggregation {
+    /// Generates a key pair of `bits` and wraps it for aggregation.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::KeyTooSmall`] when `bits` is below the Paillier
+    /// minimum.
+    pub fn keygen(bits: usize, seed: u64) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(PaillierAggregation {
+            paillier: Paillier::keygen(bits, &mut rng)?,
+            codec: FixedPointCodec::default(),
+            seed,
+        })
+    }
+
+    /// Overrides the fixed-point codec.
+    pub fn with_codec(mut self, codec: FixedPointCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Borrows the underlying cryptosystem (e.g. to inspect key sizes).
+    pub fn paillier(&self) -> &Paillier {
+        &self.paillier
+    }
+}
+
+impl SecureSum for PaillierAggregation {
+    fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let len = validate(inputs)?;
+        let n = self.paillier.public_key().modulus().clone();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5_A5A5);
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut acc = self.paillier.neutral();
+            for party in inputs {
+                let pt = self.codec.encode_group(party[i], &n)?;
+                let ct = self.paillier.encrypt(&pt, &mut rng)?;
+                acc = self.paillier.add(&acc, &ct);
+            }
+            let sum_pt = self.paillier.decrypt(&acc);
+            out.push(self.codec.decode_group(&sum_pt, &n)?);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "paillier"
+    }
+
+    fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        // One ciphertext per coordinate per party, plus the aggregate back
+        // to the authority. Ciphertexts live in Z_{n²}.
+        let ct_bytes = self.paillier.public_key().modulus_squared().bits() / 8 + 1;
+        let messages = parties * len + len;
+        (messages, messages * ct_bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold (dropout-tolerant) sharing
+// ---------------------------------------------------------------------------
+
+/// Dropout-tolerant secure summation via Shamir threshold sharing.
+///
+/// Every party splits its fixed-point contribution into `n` Shamir shares
+/// (threshold `t`) and sends share `j` to party `j`; each party sums the
+/// shares it holds across all contributors — Shamir sharing is linear, so a
+/// sum of shares is a share of the sum — and submits one summed share
+/// vector to the reducer. **Any `t` submissions reconstruct the total**, so
+/// up to `n − t` parties may crash after distributing their shares without
+/// losing the round; fewer than `t` collaborators learn nothing.
+///
+/// This is the classic remedy for the pairwise-masking protocol's dropout
+/// fragility (a vanished mapper leaves uncancelled pads). Values are
+/// encoded into `GF(2⁶¹ − 1)` with the fixed-point codec; the sum of
+/// magnitudes must stay below half the field order, which the codec's
+/// range check guarantees for ≤ 4096 parties.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdSharing {
+    threshold: usize,
+    seed: u64,
+    codec: FixedPointCodec,
+}
+
+impl ThresholdSharing {
+    /// Creates the protocol with reconstruction threshold `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn new(threshold: usize, seed: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        ThresholdSharing {
+            threshold,
+            seed,
+            codec: FixedPointCodec::default(),
+        }
+    }
+
+    /// The reconstruction threshold `t`.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Encodes an `f64` into the field (two's-complement style around the
+    /// Mersenne modulus).
+    fn encode(&self, v: f64) -> Result<u64> {
+        let i = self.codec.encode_i64(v)?;
+        Ok(if i >= 0 {
+            i as u64 % crate::shamir::MODULUS
+        } else {
+            crate::shamir::MODULUS - (i.unsigned_abs() % crate::shamir::MODULUS)
+        })
+    }
+
+    fn decode(&self, v: u64) -> f64 {
+        let half = crate::shamir::MODULUS / 2;
+        if v > half {
+            -self.codec.decode_i64((crate::shamir::MODULUS - v) as i64)
+        } else {
+            self.codec.decode_i64(v as i64)
+        }
+    }
+
+    /// Aggregates while simulating that only the parties in `alive` survive
+    /// to the submission phase (all parties distributed their shares
+    /// first). The sum still covers **every** party's input.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ProtocolMisuse`] when fewer than `t` parties are
+    /// alive, `alive` references unknown parties, or inputs are malformed.
+    pub fn aggregate_with_dropout(
+        &self,
+        inputs: &[Vec<f64>],
+        alive: &[usize],
+    ) -> Result<Vec<f64>> {
+        use rand::SeedableRng;
+        let len = validate(inputs)?;
+        let n = inputs.len();
+        if alive.len() < self.threshold {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "fewer live parties than the threshold",
+            });
+        }
+        if alive.iter().any(|&p| p >= n) {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "alive set references unknown party",
+            });
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ 0x7582);
+        // held[j][i]: the field-sum of coordinate i shares held by party j.
+        let mut held = vec![vec![0u64; len]; n];
+        for values in inputs {
+            for (i, &v) in values.iter().enumerate() {
+                let shares =
+                    crate::shamir::split(self.encode(v)?, self.threshold, n, &mut rng)?;
+                for (j, s) in shares.into_iter().enumerate() {
+                    // Field addition mod 2⁶¹−1.
+                    let sum = (held[j][i] as u128 + s.y as u128) % crate::shamir::MODULUS as u128;
+                    held[j][i] = sum as u64;
+                }
+            }
+        }
+        // Reconstruction from the live parties' summed shares.
+        (0..len)
+            .map(|i| {
+                let column: Vec<crate::shamir::Share> = alive
+                    .iter()
+                    .take(self.threshold)
+                    .map(|&p| crate::shamir::Share {
+                        x: p as u64 + 1,
+                        y: held[p][i],
+                    })
+                    .collect();
+                Ok(self.decode(crate::shamir::reconstruct(&column)?))
+            })
+            .collect()
+    }
+}
+
+impl SecureSum for ThresholdSharing {
+    fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let all: Vec<usize> = (0..inputs.len()).collect();
+        self.aggregate_with_dropout(inputs, &all)
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold-sharing"
+    }
+
+    fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        // n² share messages + n submissions, 8 bytes per field element.
+        let messages = parties * parties + parties;
+        (messages, messages * len * 8)
+    }
+}
+
+/// Plain (insecure) summation — the "no protocol" baseline for benchmarks.
+///
+/// Provides the denominator for the crypto-overhead measurements (E10);
+/// never use it where privacy is expected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainSum;
+
+impl SecureSum for PlainSum {
+    fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        let len = validate(inputs)?;
+        Ok((0..len)
+            .map(|i| inputs.iter().map(|v| v[i]).sum())
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "plain"
+    }
+
+    fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        (parties, parties * len * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, -2.0, 3.5, 0.0],
+            vec![0.25, 2.0, -3.5, 10.0],
+            vec![-1.25, 4.0, 7.0, -10.0],
+        ]
+    }
+
+    fn expected() -> Vec<f64> {
+        vec![0.0, 4.0, 7.0, 0.0]
+    }
+
+    fn check(sum: &[f64]) {
+        for (s, e) in sum.iter().zip(expected()) {
+            assert!((s - e).abs() < 1e-6, "{s} != {e}");
+        }
+    }
+
+    #[test]
+    fn masking_matches_plain_sum() {
+        check(&PairwiseMasking::new(3).aggregate(&inputs()).unwrap());
+    }
+
+    #[test]
+    fn masking_single_party_degenerates_gracefully() {
+        let sum = PairwiseMasking::new(3)
+            .aggregate(&[vec![1.5, -2.5]])
+            .unwrap();
+        assert!((sum[0] - 1.5).abs() < 1e-6 && (sum[1] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sharing_matches_plain_sum() {
+        check(&AdditiveSharing::new(11).aggregate(&inputs()).unwrap());
+    }
+
+    #[test]
+    fn paillier_matches_plain_sum() {
+        let agg = PaillierAggregation::keygen(128, 5).unwrap();
+        check(&agg.aggregate(&inputs()).unwrap());
+    }
+
+    #[test]
+    fn plain_sum_baseline() {
+        check(&PlainSum.aggregate(&inputs()).unwrap());
+    }
+
+    #[test]
+    fn protocols_reject_ragged_inputs() {
+        let bad = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(PairwiseMasking::new(0).aggregate(&bad).is_err());
+        assert!(AdditiveSharing::new(0).aggregate(&bad).is_err());
+        assert!(PlainSum.aggregate(&bad).is_err());
+        assert!(PairwiseMasking::new(0).aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn masked_share_hides_values() {
+        // The payload of a single share must differ from the raw encoding —
+        // i.e. the mask is actually applied.
+        let codec = FixedPointCodec::default();
+        let m = 3;
+        let parties: Vec<MaskingParty> =
+            (0..m).map(|i| MaskingParty::new(i, m, 2, 100 + i as u64, codec)).collect();
+        let values = [5.0, -1.0];
+        let received: Vec<&[u64]> = parties[1..]
+            .iter()
+            .map(|p| {
+                let k = p.peers().iter().position(|&q| q == 0).unwrap();
+                p.outgoing(k)
+            })
+            .collect();
+        let share = parties[0].masked_share(&values, &received).unwrap();
+        let raw0 = codec.encode_u64(5.0).unwrap();
+        assert_ne!(share.payload[0], raw0, "mask failed to hide the value");
+    }
+
+    #[test]
+    fn party_level_protocol_roundtrip() {
+        let codec = FixedPointCodec::default();
+        let m = 4;
+        let len = 3;
+        let parties: Vec<MaskingParty> =
+            (0..m).map(|i| MaskingParty::new(i, m, len, 7 * i as u64 + 1, codec)).collect();
+        let values: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..len).map(|j| (i * len + j) as f64 * 0.5 - 2.0).collect())
+            .collect();
+        let mut shares = Vec::new();
+        for (i, party) in parties.iter().enumerate() {
+            let received: Vec<&[u64]> = party
+                .peers()
+                .iter()
+                .map(|&peer| {
+                    let k = parties[peer].peers().iter().position(|&q| q == i).unwrap();
+                    parties[peer].outgoing(k)
+                })
+                .collect();
+            shares.push(party.masked_share(&values[i], &received).unwrap());
+        }
+        let sum = MaskingParty::combine(&shares, codec).unwrap();
+        for j in 0..len {
+            let want: f64 = values.iter().map(|v| v[j]).sum();
+            assert!((sum[j] - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_share_validates_mask_counts() {
+        let codec = FixedPointCodec::default();
+        let p = MaskingParty::new(0, 3, 2, 1, codec);
+        assert!(p.masked_share(&[1.0, 2.0], &[]).is_err());
+    }
+
+    #[test]
+    fn cost_models_scale_with_parties() {
+        let pm = PairwiseMasking::new(0);
+        let (msg4, bytes4) = pm.cost(4, 10);
+        let (msg8, bytes8) = pm.cost(8, 10);
+        assert!(msg8 > msg4 && bytes8 > bytes4);
+        assert_eq!(msg4, 4 * 3 + 4);
+        // Paillier bytes dominate masking bytes at equal sizes.
+        let pa = PaillierAggregation::keygen(128, 1).unwrap();
+        assert!(pa.cost(4, 10).1 > bytes4);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            PairwiseMasking::new(0).name(),
+            AdditiveSharing::new(0).name(),
+            ThresholdSharing::new(2, 0).name(),
+            PlainSum.name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+
+    #[test]
+    fn threshold_matches_plain_sum() {
+        check(&ThresholdSharing::new(2, 9).aggregate(&inputs()).unwrap());
+    }
+
+    #[test]
+    fn threshold_survives_dropout() {
+        let ts = ThresholdSharing::new(2, 10);
+        // Parties 0 and 2 survive; party 1's contribution is still counted.
+        let sum = ts.aggregate_with_dropout(&inputs(), &[0, 2]).unwrap();
+        check(&sum);
+        // Different survivor sets agree.
+        let sum2 = ts.aggregate_with_dropout(&inputs(), &[1, 2]).unwrap();
+        for (a, b) in sum.iter().zip(&sum2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn threshold_validates_aliveness() {
+        let ts = ThresholdSharing::new(3, 11);
+        assert!(ts.aggregate_with_dropout(&inputs(), &[0, 1]).is_err());
+        assert!(ts.aggregate_with_dropout(&inputs(), &[0, 1, 9]).is_err());
+    }
+
+    #[test]
+    fn threshold_handles_negative_values() {
+        let ts = ThresholdSharing::new(2, 12);
+        let sum = ts
+            .aggregate(&[vec![-5.5, 2.0], vec![1.5, -3.0]])
+            .unwrap();
+        assert!((sum[0] + 4.0).abs() < 1e-6);
+        assert!((sum[1] + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,335 @@
+//! Labeled binary-classification datasets.
+
+use ppml_linalg::Matrix;
+
+use crate::{rng, DataError, Result};
+
+/// A binary-classification dataset: a feature matrix (one sample per row)
+/// and labels in `{−1, +1}`.
+///
+/// # Example
+///
+/// ```
+/// use ppml_data::Dataset;
+/// use ppml_linalg::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]])?;
+/// let ds = Dataset::new(x, vec![1.0, -1.0])?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.label(1), -1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    x: Matrix,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating label count and values.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::LabelMismatch`] or [`DataError::BadLabel`].
+    pub fn new(x: Matrix, y: Vec<f64>) -> Result<Self> {
+        if x.rows() != y.len() {
+            return Err(DataError::LabelMismatch {
+                rows: x.rows(),
+                labels: y.len(),
+            });
+        }
+        if let Some((i, &v)) = y.iter().enumerate().find(|(_, &v)| v != 1.0 && v != -1.0) {
+            return Err(DataError::BadLabel { index: i, value: v });
+        }
+        Ok(Dataset { x, y })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The feature matrix.
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The label vector.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// One sample's feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        self.x.row(i)
+    }
+
+    /// One sample's label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// Counts of `(positive, negative)` samples.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.y.iter().filter(|&&v| v > 0.0).count();
+        (pos, self.y.len() - pos)
+    }
+
+    /// Sub-dataset formed by the given row indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn select(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(idx),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Random `(train, test)` split with `fraction` of samples in train.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::BadSplit`] when either side would be empty;
+    /// [`DataError::Empty`] on an empty dataset.
+    pub fn split(&self, fraction: f64, seed: u64) -> Result<(Dataset, Dataset)> {
+        if self.is_empty() {
+            return Err(DataError::Empty);
+        }
+        let n_train = (self.len() as f64 * fraction).round() as usize;
+        if n_train == 0 || n_train >= self.len() {
+            return Err(DataError::BadSplit { fraction });
+        }
+        let perm = rng::permutation(self.len(), &mut rng::seeded(seed));
+        Ok((
+            self.select(&perm[..n_train]),
+            self.select(&perm[n_train..]),
+        ))
+    }
+
+    /// Standardizes features to zero mean / unit variance **using this
+    /// dataset's statistics**, returning the scaled dataset and the
+    /// `(mean, std)` per feature so the same transform can be applied to a
+    /// test set via [`Dataset::apply_scaling`].
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Empty`] on an empty dataset.
+    pub fn standardize(&self) -> Result<(Dataset, Vec<(f64, f64)>)> {
+        if self.is_empty() {
+            return Err(DataError::Empty);
+        }
+        let (n, k) = (self.len(), self.features());
+        let mut stats = Vec::with_capacity(k);
+        for j in 0..k {
+            let col = self.x.col(j);
+            let mean = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+            let std = var.sqrt().max(1e-12);
+            stats.push((mean, std));
+        }
+        Ok((self.apply_scaling(&stats)?, stats))
+    }
+
+    /// Applies a previously computed per-feature `(mean, std)` transform.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::BadPartition`] when the stats length does not match the
+    /// feature count.
+    pub fn apply_scaling(&self, stats: &[(f64, f64)]) -> Result<Dataset> {
+        if stats.len() != self.features() {
+            return Err(DataError::BadPartition {
+                reason: format!(
+                    "{} scaling stats for {} features",
+                    stats.len(),
+                    self.features()
+                ),
+            });
+        }
+        let x = Matrix::from_fn(self.len(), self.features(), |i, j| {
+            (self.x[(i, j)] - stats[j].0) / stats[j].1
+        });
+        Ok(Dataset {
+            x,
+            y: self.y.clone(),
+        })
+    }
+
+    /// Serializes as CSV: one sample per line, features then label.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.len() {
+            for v in self.sample(i) {
+                out.push_str(&format!("{v},"));
+            }
+            out.push_str(&format!("{}\n", self.y[i]));
+        }
+        out
+    }
+
+    /// Parses the CSV format produced by [`Dataset::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Parse`] with the offending line;
+    /// [`DataError::Empty`] for blank input.
+    pub fn from_csv(text: &str) -> Result<Dataset> {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut y = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let vals: std::result::Result<Vec<f64>, _> =
+                line.split(',').map(str::trim).map(str::parse::<f64>).collect();
+            let mut vals = vals.map_err(|e| DataError::Parse {
+                line: lineno + 1,
+                reason: e.to_string(),
+            })?;
+            let label = vals.pop().ok_or(DataError::Parse {
+                line: lineno + 1,
+                reason: "empty line".to_string(),
+            })?;
+            y.push(label);
+            rows.push(vals);
+        }
+        if rows.is_empty() {
+            return Err(DataError::Empty);
+        }
+        let cols = rows[0].len();
+        if let Some(i) = rows.iter().position(|r| r.len() != cols) {
+            return Err(DataError::Parse {
+                line: i + 1,
+                reason: "inconsistent column count".to_string(),
+            });
+        }
+        let data: Vec<f64> = rows.into_iter().flatten().collect();
+        let x = Matrix::from_vec(y.len(), cols, data).expect("validated shape");
+        Dataset::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64);
+        let y = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let x = Matrix::zeros(2, 2);
+        assert!(matches!(
+            Dataset::new(x.clone(), vec![1.0]),
+            Err(DataError::LabelMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(x, vec![1.0, 0.0]),
+            Err(DataError::BadLabel { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.features(), 3);
+        assert_eq!(ds.sample(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(ds.label(1), -1.0);
+        assert_eq!(ds.class_counts(), (5, 5));
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn select_preserves_pairing() {
+        let ds = toy();
+        let sub = ds.select(&[3, 0]);
+        assert_eq!(sub.sample(0), ds.sample(3));
+        assert_eq!(sub.label(0), ds.label(3));
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = toy();
+        let (train, test) = ds.split(0.5, 9).unwrap();
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(train.len(), 5);
+        // Deterministic in the seed.
+        let (train2, _) = ds.split(0.5, 9).unwrap();
+        assert_eq!(train, train2);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let ds = toy();
+        assert!(ds.split(0.0, 1).is_err());
+        assert!(ds.split(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let ds = toy();
+        let (scaled, stats) = ds.standardize().unwrap();
+        for j in 0..3 {
+            let col = scaled.x().col(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+        // Applying the same stats to the original reproduces the scaled set.
+        assert_eq!(ds.apply_scaling(&stats).unwrap(), scaled);
+    }
+
+    #[test]
+    fn apply_scaling_validates_length() {
+        let ds = toy();
+        assert!(ds.apply_scaling(&[(0.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = toy();
+        let parsed = Dataset::from_csv(&ds.to_csv()).unwrap();
+        assert_eq!(parsed.len(), ds.len());
+        assert_eq!(parsed.y(), ds.y());
+        assert!(parsed.x().max_abs_diff(ds.x()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(matches!(
+            Dataset::from_csv("1.0,foo,1\n"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(Dataset::from_csv(""), Err(DataError::Empty)));
+        assert!(Dataset::from_csv("1.0,2.0,1\n3.0,-1\n").is_err());
+    }
+}

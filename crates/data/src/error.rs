@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// Errors produced when constructing or partitioning datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// Label vector length differs from the number of rows.
+    LabelMismatch {
+        /// Rows in the feature matrix.
+        rows: usize,
+        /// Labels supplied.
+        labels: usize,
+    },
+    /// A label was not `+1` or `-1`.
+    BadLabel {
+        /// Row index of the offending label.
+        index: usize,
+        /// The value found.
+        value: f64,
+    },
+    /// Requested more parts than available rows/features, or zero parts.
+    BadPartition {
+        /// What was requested vs. available.
+        reason: String,
+    },
+    /// A split fraction was outside `(0, 1)` or produced an empty side.
+    BadSplit {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// The dataset is empty where a non-empty one is required.
+    Empty,
+    /// CSV parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What failed on it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LabelMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
+            }
+            DataError::BadLabel { index, value } => {
+                write!(f, "label at row {index} is {value}, expected +1 or -1")
+            }
+            DataError::BadPartition { reason } => write!(f, "bad partition: {reason}"),
+            DataError::BadSplit { fraction } => {
+                write!(f, "split fraction {fraction} leaves one side empty")
+            }
+            DataError::Empty => write!(f, "dataset is empty"),
+            DataError::Parse { line, reason } => write!(f, "csv line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(DataError::Empty.to_string().contains("empty"));
+        let e = DataError::BadLabel {
+            index: 3,
+            value: 0.5,
+        };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

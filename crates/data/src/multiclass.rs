@@ -1,0 +1,242 @@
+//! Multiclass datasets and one-vs-rest reductions.
+//!
+//! The paper's OCR workload (optdigits) is natively a 10-class problem that
+//! §VI evaluates as binary. This module carries the full multiclass task so
+//! the one-vs-rest wrapper in `ppml-core` can train one privacy-preserving
+//! binary SVM per class — the standard reduction LIBSVM applies.
+
+use ppml_linalg::Matrix;
+
+use crate::{rng, DataError, Dataset, Result};
+
+/// A labeled multiclass dataset (labels are small class indices).
+///
+/// # Example
+///
+/// ```
+/// use ppml_data::multiclass::digits_like;
+///
+/// let ds = digits_like(100, 10, 7);
+/// assert_eq!(ds.classes(), 10);
+/// assert_eq!(ds.features(), 64);
+/// let binary = ds.one_vs_rest(3).unwrap();   // class 3 vs the rest
+/// assert_eq!(binary.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticlassDataset {
+    x: Matrix,
+    labels: Vec<u32>,
+    classes: u32,
+}
+
+impl MulticlassDataset {
+    /// Creates a dataset; labels must all be `< classes`.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::LabelMismatch`] on a length mismatch and
+    /// [`DataError::BadLabel`] on an out-of-range label.
+    pub fn new(x: Matrix, labels: Vec<u32>, classes: u32) -> Result<Self> {
+        if x.rows() != labels.len() {
+            return Err(DataError::LabelMismatch {
+                rows: x.rows(),
+                labels: labels.len(),
+            });
+        }
+        if let Some((i, &l)) = labels.iter().enumerate().find(|(_, &l)| l >= classes) {
+            return Err(DataError::BadLabel {
+                index: i,
+                value: l as f64,
+            });
+        }
+        Ok(MulticlassDataset { x, labels, classes })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> u32 {
+        self.classes
+    }
+
+    /// The feature matrix.
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// One sample's features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        self.x.row(i)
+    }
+
+    /// The binary one-vs-rest view for `class`: label `+1` for members,
+    /// `−1` for everything else.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::BadLabel`] when `class >= self.classes()`.
+    pub fn one_vs_rest(&self, class: u32) -> Result<Dataset> {
+        if class >= self.classes {
+            return Err(DataError::BadLabel {
+                index: 0,
+                value: class as f64,
+            });
+        }
+        let y = self
+            .labels
+            .iter()
+            .map(|&l| if l == class { 1.0 } else { -1.0 })
+            .collect();
+        Dataset::new(self.x.clone(), y)
+    }
+
+    /// Random `(train, test)` split preserving sample/label pairing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dataset::split`].
+    pub fn split(&self, fraction: f64, seed: u64) -> Result<(Self, Self)> {
+        if self.is_empty() {
+            return Err(DataError::Empty);
+        }
+        let n_train = (self.len() as f64 * fraction).round() as usize;
+        if n_train == 0 || n_train >= self.len() {
+            return Err(DataError::BadSplit { fraction });
+        }
+        let perm = rng::permutation(self.len(), &mut rng::seeded(seed));
+        let pick = |idx: &[usize]| MulticlassDataset {
+            x: self.x.select_rows(idx),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        };
+        Ok((pick(&perm[..n_train]), pick(&perm[n_train..])))
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes as usize];
+        for &l in &self.labels {
+            h[l as usize] += 1;
+        }
+        h
+    }
+}
+
+/// Generator mirroring optdigits' full task: `classes` digit classes over
+/// 64 correlated features from an 8-dimensional latent space, with class
+/// centers placed at random well-separated latent directions.
+pub fn digits_like(n: usize, classes: u32, seed: u64) -> MulticlassDataset {
+    const LATENT: usize = 8;
+    const FEATURES: usize = 64;
+    assert!(classes >= 2, "need at least two classes");
+    let mut r = rng::seeded(seed ^ 0xD161);
+    // Class centers: random latent directions, normalized to radius 4 so
+    // classes are well separated (digits are easy to tell apart).
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let v = rng::normal_vec(LATENT, &mut r);
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            v.iter().map(|x| 4.0 * x / norm).collect()
+        })
+        .collect();
+    let mix = Matrix::from_fn(FEATURES, LATENT, |_, _| {
+        rng::standard_normal(&mut r) / (LATENT as f64).sqrt()
+    });
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = (i as u32) % classes;
+        labels.push(class);
+        let z: Vec<f64> = (0..LATENT)
+            .map(|d| centers[class as usize][d] + rng::standard_normal(&mut r))
+            .collect();
+        let mut x = mix.matvec(&z).expect("latent dims match");
+        for v in &mut x {
+            *v += 0.05 * rng::standard_normal(&mut r);
+        }
+        rows.push(x);
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    MulticlassDataset::new(
+        Matrix::from_rows(&refs).expect("equal-length rows"),
+        labels,
+        classes,
+    )
+    .expect("labels in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_shapes_and_balance() {
+        let ds = digits_like(100, 10, 1);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.classes(), 10);
+        assert_eq!(ds.features(), 64);
+        let h = ds.class_histogram();
+        assert_eq!(h.len(), 10);
+        assert!(h.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn one_vs_rest_labels() {
+        let ds = digits_like(40, 4, 2);
+        let bin = ds.one_vs_rest(2).unwrap();
+        for i in 0..ds.len() {
+            let want = if ds.labels()[i] == 2 { 1.0 } else { -1.0 };
+            assert_eq!(bin.label(i), want);
+        }
+        assert!(ds.one_vs_rest(4).is_err());
+    }
+
+    #[test]
+    fn split_preserves_pairing_and_classes() {
+        let ds = digits_like(60, 3, 3);
+        let (train, test) = ds.split(0.5, 4).unwrap();
+        assert_eq!(train.len() + test.len(), 60);
+        assert_eq!(train.classes(), 3);
+        // A row in train matches its label from the original.
+        let row = train.sample(0).to_vec();
+        let idx = (0..ds.len())
+            .find(|&i| ds.sample(i) == row.as_slice())
+            .expect("row came from the original");
+        assert_eq!(ds.labels()[idx], train.labels()[0]);
+    }
+
+    #[test]
+    fn validation() {
+        let x = Matrix::zeros(2, 2);
+        assert!(MulticlassDataset::new(x.clone(), vec![0], 2).is_err());
+        assert!(MulticlassDataset::new(x, vec![0, 5], 2).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(digits_like(30, 3, 9), digits_like(30, 3, 9));
+        assert_ne!(digits_like(30, 3, 9), digits_like(30, 3, 10));
+    }
+}

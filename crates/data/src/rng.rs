@@ -1,0 +1,80 @@
+//! Deterministic random sampling helpers shared across the workspace.
+//!
+//! Everything in the evaluation pipeline must be reproducible from a single
+//! `u64` seed; these helpers wrap [`rand::rngs::StdRng`] with the couple of
+//! distributions the generators and trainers need (the offline dependency
+//! set has no `rand_distr`).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Creates the workspace-standard seeded RNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal draw (Box–Muller; uses two uniforms per call for
+/// simplicity — sampling cost is irrelevant next to training cost).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Fills a vector with i.i.d. `N(0, 1)` draws.
+pub fn normal_vec<R: Rng>(len: usize, rng: &mut R) -> Vec<f64> {
+    (0..len).map(|_| standard_normal(rng)).collect()
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let a = normal_vec(16, &mut seeded(3));
+        let b = normal_vec(16, &mut seeded(3));
+        assert_eq!(a, b);
+        let c = normal_vec(16, &mut seeded(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(11);
+        let v = normal_vec(20_000, &mut rng);
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = seeded(5);
+        let p = permutation(100, &mut rng);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_of_small_sizes() {
+        let mut rng = seeded(1);
+        assert_eq!(permutation(0, &mut rng), Vec::<usize>::new());
+        assert_eq!(permutation(1, &mut rng), vec![0]);
+    }
+}

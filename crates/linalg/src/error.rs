@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Errors produced by dense linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// The payload is `(expected, found)` rendered as `rows x cols`.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: (usize, usize),
+        /// Shape that was actually supplied.
+        found: (usize, usize),
+    },
+    /// An operation that requires a square matrix was given a rectangular one.
+    NotSquare {
+        /// The offending shape.
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization failed: the matrix is not (numerically)
+    /// symmetric positive definite. Carries the pivot index where the
+    /// factorization broke down.
+    NotPositiveDefinite {
+        /// Pivot index at which a non-positive diagonal was encountered.
+        pivot: usize,
+    },
+    /// LU factorization or solve encountered an (exactly or numerically)
+    /// singular matrix. Carries the pivot column where no usable pivot exists.
+    Singular {
+        /// Column index at which the matrix was found singular.
+        pivot: usize,
+    },
+    /// A matrix constructor was given rows of unequal length.
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the first row whose length differs.
+        row: usize,
+        /// That row's length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, found } => write!(
+                f,
+                "shape mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix is not square: {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { pivot } => write!(
+                f,
+                "matrix is not positive definite (breakdown at pivot {pivot})"
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (no pivot in column {pivot})")
+            }
+            LinalgError::RaggedRows { first, row, len } => write!(
+                f,
+                "ragged rows: row 0 has {first} entries but row {row} has {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = LinalgError::ShapeMismatch {
+            expected: (2, 3),
+            found: (3, 2),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: expected 2x3, found 3x2");
+        let e = LinalgError::NotPositiveDefinite { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Dense linear algebra for the `ppml` workspace.
+//!
+//! The privacy-preserving SVM trainers in `ppml-core` only need a small,
+//! predictable slice of dense linear algebra: row-major matrices, matrix
+//! products, Cholesky and LU factorizations, and triangular solves. Rather
+//! than pulling a BLAS binding into the offline dependency set, this crate
+//! implements that slice directly with an emphasis on correctness (every
+//! factorization is property-tested against its defining identity) and
+//! reasonable cache behaviour (GEMM is blocked and walks `B` row-wise).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), ppml_linalg::LinalgError> {
+//! use ppml_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let chol = a.cholesky()?;
+//! let x = chol.solve(&[1.0, 2.0])?;
+//! // A x = b
+//! let b = a.matvec(&x)?;
+//! assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![forbid(unsafe_code)]
+mod chol;
+mod error;
+mod lu;
+mod matrix;
+pub mod vecops;
+
+pub use chol::Cholesky;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

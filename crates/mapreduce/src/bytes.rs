@@ -1,0 +1,95 @@
+//! Size accounting for shuffle and broadcast traffic.
+//!
+//! The engine charges every map output and broadcast to [`crate::JobMetrics`]
+//! so the benchmarks can compare "bytes moved per iteration" against "bytes
+//! of raw training data" — the quantitative form of the paper's data-locality
+//! argument. `ByteSized` reports the serialized size a value *would* have on
+//! the wire (8 bytes per `f64`/`u64`, etc.); nothing is actually serialized.
+
+/// Wire-size estimate of a value.
+pub trait ByteSized {
+    /// Number of bytes this value would occupy serialized.
+    fn byte_len(&self) -> usize;
+}
+
+impl ByteSized for () {
+    fn byte_len(&self) -> usize {
+        0
+    }
+}
+
+macro_rules! fixed_size {
+    ($($t:ty),*) => {
+        $(impl ByteSized for $t {
+            fn byte_len(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+fixed_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl<T: ByteSized> ByteSized for Vec<T> {
+    fn byte_len(&self) -> usize {
+        8 + self.iter().map(ByteSized::byte_len).sum::<usize>()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Option<T> {
+    fn byte_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, ByteSized::byte_len)
+    }
+}
+
+impl ByteSized for String {
+    fn byte_len(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized> ByteSized for (A, B) {
+    fn byte_len(&self) -> usize {
+        self.0.byte_len() + self.1.byte_len()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized, C: ByteSized> ByteSized for (A, B, C) {
+    fn byte_len(&self) -> usize {
+        self.0.byte_len() + self.1.byte_len() + self.2.byte_len()
+    }
+}
+
+impl<T: ByteSized + ?Sized> ByteSized for &T {
+    fn byte_len(&self) -> usize {
+        (*self).byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(0u64.byte_len(), 8);
+        assert_eq!(0f64.byte_len(), 8);
+        assert_eq!(true.byte_len(), 1);
+        assert_eq!(().byte_len(), 0);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1.0f64; 4].byte_len(), 8 + 32);
+        assert_eq!("abc".to_string().byte_len(), 11);
+        assert_eq!((1u64, 2.0f64).byte_len(), 16);
+        assert_eq!(Some(1u32).byte_len(), 5);
+        assert_eq!(None::<u32>.byte_len(), 1);
+    }
+
+    #[test]
+    fn nested() {
+        let v: Vec<Vec<f64>> = vec![vec![0.0; 2], vec![0.0; 3]];
+        assert_eq!(v.byte_len(), 8 + (8 + 16) + (8 + 24));
+    }
+}

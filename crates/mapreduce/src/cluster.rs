@@ -1,0 +1,847 @@
+//! The threaded cluster runtime: workers, shuffle, reduce, iteration driver.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::{
+    BlockId, BlockStore, ByteSized, FaultPlan, IterativeJob, JobMetrics, MapReduceError, NodeId,
+    Scheduler,
+};
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of data/compute nodes (the paper's `M` learners map 1:1 onto
+    /// nodes in the trainers).
+    pub nodes: usize,
+    /// Concurrent map slots per node.
+    pub map_slots_per_node: usize,
+    /// HDFS-style replication factor for stored blocks.
+    pub replication: usize,
+    /// Per-task retry budget (attempts, not retries).
+    pub max_attempts: usize,
+    /// Injected faults (empty by default).
+    pub fault_plan: FaultPlan,
+    /// Scheduler locality/balance trade-off; see
+    /// [`Scheduler::with_locality_slack`].
+    pub locality_slack: usize,
+    /// Number of parallel reduce tasks per iteration. `1` reduces inline on
+    /// the driver (the paper's single-Reducer topology); larger values
+    /// partition the key space round-robin across worker nodes.
+    pub reduce_tasks: usize,
+}
+
+impl Default for ClusterConfig {
+    /// Four nodes — the paper's evaluation setup — with one slot each,
+    /// no replication, three attempts.
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            map_slots_per_node: 1,
+            replication: 1,
+            max_attempts: 3,
+            fault_plan: FaultPlan::new(),
+            locality_slack: 1,
+            reduce_tasks: 1,
+        }
+    }
+}
+
+impl ClusterConfig {
+    fn validate(&self) -> Result<(), MapReduceError> {
+        let fail = |reason: &str| {
+            Err(MapReduceError::BadConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if self.nodes == 0 {
+            return fail("zero nodes");
+        }
+        if self.map_slots_per_node == 0 {
+            return fail("zero map slots per node");
+        }
+        if self.replication == 0 || self.replication > self.nodes {
+            return fail("replication must be in 1..=nodes");
+        }
+        if self.max_attempts == 0 {
+            return fail("max_attempts must be at least 1");
+        }
+        if self.reduce_tasks == 0 {
+            return fail("reduce_tasks must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+/// What one driven iteration returned.
+pub struct IterationOutput<J: IterativeJob> {
+    /// Reduce outputs in key order.
+    pub outputs: Vec<(J::Key, J::ReduceOut)>,
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Metrics for this iteration only (cumulative totals live on
+    /// [`Cluster::metrics`]).
+    pub metrics: JobMetrics,
+}
+
+impl<J: IterativeJob> std::fmt::Debug for IterationOutput<J>
+where
+    J::Key: std::fmt::Debug,
+    J::ReduceOut: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IterationOutput")
+            .field("iteration", &self.iteration)
+            .field("outputs", &self.outputs)
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+enum WorkerMsg<J: IterativeJob> {
+    Map {
+        block: BlockId,
+        payload: Arc<J::BlockPayload>,
+        state: J::MapperState,
+        broadcast: J::Broadcast,
+        inject_failure: bool,
+        delay: Duration,
+    },
+    Reduce {
+        groups: Vec<(J::Key, Vec<J::MapOut>)>,
+    },
+    Shutdown,
+}
+
+struct MapResult<J: IterativeJob> {
+    block: BlockId,
+    state: J::MapperState,
+    pairs: Option<Vec<(J::Key, J::MapOut)>>,
+    elapsed: Duration,
+}
+
+enum WorkerOut<J: IterativeJob> {
+    Map(MapResult<J>),
+    Reduce {
+        outputs: Vec<(J::Key, J::ReduceOut)>,
+        elapsed: Duration,
+    },
+}
+
+/// A running iterative MapReduce cluster bound to one job.
+///
+/// See the crate-level docs for the execution model and an end-to-end
+/// example.
+pub struct Cluster<J: IterativeJob> {
+    job: Arc<J>,
+    config: ClusterConfig,
+    store: BlockStore<J::BlockPayload>,
+    states: BTreeMap<BlockId, J::MapperState>,
+    senders: Vec<Sender<WorkerMsg<J>>>,
+    results: Receiver<WorkerOut<J>>,
+    handles: Vec<JoinHandle<()>>,
+    scheduler: Scheduler,
+    metrics: JobMetrics,
+    iteration: usize,
+}
+
+impl<J: IterativeJob> Cluster<J>
+where
+    J::BlockPayload: ByteSized,
+{
+    /// Boots the worker threads and an empty block store.
+    ///
+    /// # Errors
+    ///
+    /// [`MapReduceError::BadConfig`] for degenerate configurations.
+    pub fn new(config: ClusterConfig, job: J) -> Result<Self, MapReduceError> {
+        config.validate()?;
+        let job = Arc::new(job);
+        let (result_tx, results) = unbounded::<WorkerOut<J>>();
+        let mut senders = Vec::with_capacity(config.nodes);
+        let mut handles = Vec::new();
+        for node in 0..config.nodes {
+            let (tx, rx) = unbounded::<WorkerMsg<J>>();
+            senders.push(tx);
+            for slot in 0..config.map_slots_per_node {
+                let rx: Receiver<WorkerMsg<J>> = rx.clone();
+                let result_tx = result_tx.clone();
+                let job = Arc::clone(&job);
+                let node_id = NodeId(node);
+                let handle = std::thread::Builder::new()
+                    .name(format!("mr-node{node}-slot{slot}"))
+                    .spawn(move || worker_loop(node_id, job, rx, result_tx))
+                    .expect("spawning worker thread");
+                handles.push(handle);
+            }
+        }
+        Ok(Cluster {
+            scheduler: Scheduler::new(config.nodes).with_locality_slack(config.locality_slack),
+            store: BlockStore::new(config.nodes, config.replication),
+            job,
+            config,
+            states: BTreeMap::new(),
+            senders,
+            results,
+            handles,
+            metrics: JobMetrics::default(),
+            iteration: 0,
+        })
+    }
+
+    /// Loads blocks with automatic (round-robin) placement; returns their
+    /// ids in input order.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid configs; returns `Result` to keep the
+    /// signature stable once quota checks land.
+    pub fn load_blocks(
+        &mut self,
+        payloads: Vec<J::BlockPayload>,
+    ) -> Result<Vec<BlockId>, MapReduceError> {
+        Ok(payloads
+            .into_iter()
+            .map(|p| {
+                let id = self.store.put(p);
+                let payload = self.store.payload(id).expect("just inserted");
+                self.states.insert(id, self.job.init_state(id, &payload));
+                id
+            })
+            .collect())
+    }
+
+    /// Loads one block pinned to a specific node — learner `m`'s private
+    /// partition must live on learner `m`'s machine.
+    ///
+    /// # Errors
+    ///
+    /// [`MapReduceError::BadConfig`] when the node does not exist.
+    pub fn load_block_on(
+        &mut self,
+        payload: J::BlockPayload,
+        node: NodeId,
+    ) -> Result<BlockId, MapReduceError> {
+        if node.0 >= self.config.nodes {
+            return Err(MapReduceError::BadConfig {
+                reason: format!("no such node {node}"),
+            });
+        }
+        let id = self.store.put_on(payload, node);
+        let payload = self.store.payload(id).expect("just inserted");
+        self.states.insert(id, self.job.init_state(id, &payload));
+        Ok(id)
+    }
+
+    /// Runs one Map → Shuffle → Reduce round with the given broadcast and
+    /// returns the reduce outputs (in key order) plus per-iteration metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`MapReduceError::NoBlocks`] before any data is loaded;
+    /// [`MapReduceError::TaskFailed`] when a task exhausts its attempts;
+    /// [`MapReduceError::WorkerLost`] if a worker thread died.
+    pub fn run_iteration(
+        &mut self,
+        broadcast: &J::Broadcast,
+    ) -> Result<IterationOutput<J>, MapReduceError> {
+        let blocks = self.store.block_ids();
+        if blocks.is_empty() {
+            return Err(MapReduceError::NoBlocks);
+        }
+        let mut iter_metrics = JobMetrics {
+            iterations: 1,
+            ..Default::default()
+        };
+        let assignments = self.scheduler.assign(&self.store, &blocks, &[]);
+
+        // Broadcast cost: once per node that receives at least one task.
+        let mut nodes_hit: Vec<bool> = vec![false; self.config.nodes];
+        for a in &assignments {
+            nodes_hit[a.node.0] = true;
+        }
+        iter_metrics.bytes_broadcast +=
+            broadcast.byte_len() * nodes_hit.iter().filter(|h| **h).count();
+
+        // Track attempts, current placement and exclusions per block for
+        // retry placement.
+        let mut attempts: BTreeMap<BlockId, usize> = BTreeMap::new();
+        let mut inflight: BTreeMap<BlockId, NodeId> = BTreeMap::new();
+        let mut exclusions: Vec<(BlockId, NodeId)> = Vec::new();
+        for a in &assignments {
+            inflight.insert(a.block, a.node);
+            self.dispatch(a.block, a.node, a.data_local, broadcast, &mut attempts, &mut iter_metrics)?;
+        }
+
+        // Collect results, retrying failures on other nodes.
+        let mut block_outputs: BTreeMap<BlockId, Vec<(J::Key, J::MapOut)>> = BTreeMap::new();
+        let mut done = 0usize;
+        while done < blocks.len() {
+            let out = self
+                .results
+                .recv()
+                .map_err(|_| MapReduceError::WorkerLost { node: NodeId(0) })?;
+            let WorkerOut::Map(res) = out else {
+                // A stray reduce result cannot occur: reduce tasks are only
+                // dispatched after every map result is in.
+                unreachable!("reduce result during map phase");
+            };
+            iter_metrics.map_time += res.elapsed;
+            self.states.insert(res.block, res.state);
+            match res.pairs {
+                Some(pairs) => {
+                    for (_, v) in &pairs {
+                        iter_metrics.bytes_shuffled += v.byte_len();
+                    }
+                    block_outputs.insert(res.block, pairs);
+                    done += 1;
+                }
+                None => {
+                    iter_metrics.task_retries += 1;
+                    let tried = attempts.get(&res.block).copied().unwrap_or(1);
+                    if tried >= self.config.max_attempts {
+                        return Err(MapReduceError::TaskFailed {
+                            block: res.block,
+                            attempts: tried,
+                        });
+                    }
+                    // Exclude the node that just ran (and failed) this
+                    // attempt, then re-place the task elsewhere.
+                    let failed_on = inflight
+                        .get(&res.block)
+                        .copied()
+                        .expect("failed block was dispatched");
+                    exclusions.push((res.block, failed_on));
+                    let replacement = self
+                        .scheduler
+                        .assign(&self.store, &[res.block], &exclusions)
+                        .pop()
+                        .expect("one block in, one assignment out");
+                    inflight.insert(res.block, replacement.node);
+                    self.dispatch(
+                        replacement.block,
+                        replacement.node,
+                        replacement.data_local,
+                        broadcast,
+                        &mut attempts,
+                        &mut iter_metrics,
+                    )?;
+                }
+            }
+        }
+
+        // Shuffle: group by key, deterministic (blocks in id order within
+        // each key group).
+        let mut groups: BTreeMap<J::Key, Vec<J::MapOut>> = BTreeMap::new();
+        for (_block, pairs) in block_outputs {
+            for (k, v) in pairs {
+                groups.entry(k).or_default().push(v);
+            }
+        }
+        let outputs = self.run_reduce_phase(groups, &mut iter_metrics)?;
+
+        let iteration = self.iteration;
+        self.iteration += 1;
+        self.metrics.merge(&iter_metrics);
+        Ok(IterationOutput {
+            outputs,
+            iteration,
+            metrics: iter_metrics,
+        })
+    }
+
+    /// Executes the reduce phase: inline for a single reduce task (the
+    /// paper's lone-Reducer topology), otherwise partitioned round-robin
+    /// over the worker nodes and merged back in key order.
+    fn run_reduce_phase(
+        &mut self,
+        groups: BTreeMap<J::Key, Vec<J::MapOut>>,
+        iter_metrics: &mut JobMetrics,
+    ) -> Result<Vec<(J::Key, J::ReduceOut)>, MapReduceError> {
+        let r_tasks = self.config.reduce_tasks.min(groups.len()).max(1);
+        if r_tasks <= 1 {
+            let reduce_start = Instant::now();
+            let outputs = groups
+                .into_iter()
+                .map(|(k, vs)| {
+                    let r = self.job.reduce(&k, vs);
+                    (k, r)
+                })
+                .collect();
+            iter_metrics.reduce_time = reduce_start.elapsed();
+            return Ok(outputs);
+        }
+        // Partition key groups round-robin (keys arrive sorted, so the
+        // partitioning is deterministic), dispatch one task per partition.
+        let mut partitions: Vec<Vec<(J::Key, Vec<J::MapOut>)>> =
+            (0..r_tasks).map(|_| Vec::new()).collect();
+        for (i, kv) in groups.into_iter().enumerate() {
+            partitions[i % r_tasks].push(kv);
+        }
+        for (task, part) in partitions.into_iter().enumerate() {
+            let node = task % self.config.nodes;
+            self.senders[node]
+                .send(WorkerMsg::Reduce { groups: part })
+                .map_err(|_| MapReduceError::WorkerLost { node: NodeId(node) })?;
+        }
+        let mut merged: BTreeMap<J::Key, J::ReduceOut> = BTreeMap::new();
+        let mut done = 0usize;
+        while done < r_tasks {
+            let out = self
+                .results
+                .recv()
+                .map_err(|_| MapReduceError::WorkerLost { node: NodeId(0) })?;
+            match out {
+                WorkerOut::Reduce { outputs, elapsed } => {
+                    iter_metrics.reduce_time += elapsed;
+                    for (k, v) in outputs {
+                        merged.insert(k, v);
+                    }
+                    done += 1;
+                }
+                WorkerOut::Map(_) => {
+                    unreachable!("map result during reduce phase")
+                }
+            }
+        }
+        Ok(merged.into_iter().collect())
+    }
+
+    fn dispatch(
+        &mut self,
+        block: BlockId,
+        node: NodeId,
+        data_local: bool,
+        broadcast: &J::Broadcast,
+        attempts: &mut BTreeMap<BlockId, usize>,
+        iter_metrics: &mut JobMetrics,
+    ) -> Result<(), MapReduceError> {
+        let payload = self.store.payload(block).expect("scheduled block exists");
+        let state = self
+            .states
+            .remove(&block)
+            .expect("state present for scheduled block");
+        if data_local {
+            iter_metrics.locality_hits += 1;
+        } else {
+            iter_metrics.remote_reads += 1;
+            iter_metrics.bytes_remote_read += payload.byte_len();
+        }
+        let attempt = attempts.entry(block).and_modify(|a| *a += 1).or_insert(1);
+        let spec = self.config.fault_plan.spec(self.iteration, block);
+        let inject_failure = *attempt <= spec.fail_attempts;
+        self.senders[node.0]
+            .send(WorkerMsg::Map {
+                block,
+                payload,
+                state,
+                broadcast: broadcast.clone(),
+                inject_failure,
+                delay: spec.delay,
+            })
+            .map_err(|_| MapReduceError::WorkerLost { node })?;
+        Ok(())
+    }
+
+    /// Cumulative metrics since the cluster booted.
+    pub fn metrics(&self) -> &JobMetrics {
+        &self.metrics
+    }
+
+    /// Number of iterations driven so far.
+    pub fn iterations_run(&self) -> usize {
+        self.iteration
+    }
+
+    /// The block directory (placement inspection for tests/benches).
+    pub fn store(&self) -> &BlockStore<J::BlockPayload> {
+        &self.store
+    }
+
+    /// Read access to a block's persistent mapper state.
+    pub fn mapper_state(&self, block: BlockId) -> Option<&J::MapperState> {
+        self.states.get(&block)
+    }
+
+    /// The job being executed.
+    pub fn job(&self) -> &J {
+        &self.job
+    }
+}
+
+fn worker_loop<J: IterativeJob>(
+    node: NodeId,
+    job: Arc<J>,
+    rx: Receiver<WorkerMsg<J>>,
+    tx: Sender<WorkerOut<J>>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Shutdown => break,
+            WorkerMsg::Reduce { groups } => {
+                let start = Instant::now();
+                let outputs: Vec<(J::Key, J::ReduceOut)> = groups
+                    .into_iter()
+                    .map(|(k, vs)| {
+                        let r = job.reduce(&k, vs);
+                        (k, r)
+                    })
+                    .collect();
+                let _ = tx.send(WorkerOut::Reduce {
+                    outputs,
+                    elapsed: start.elapsed(),
+                });
+            }
+            WorkerMsg::Map {
+                block,
+                payload,
+                mut state,
+                broadcast,
+                inject_failure,
+                delay,
+            } => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                let start = Instant::now();
+                let pairs = if inject_failure {
+                    None
+                } else {
+                    let raw = job.map(node, &payload, &mut state, &broadcast);
+                    // Node-local combine before anything crosses the network.
+                    let mut grouped: BTreeMap<J::Key, Vec<J::MapOut>> = BTreeMap::new();
+                    for (k, v) in raw {
+                        grouped.entry(k).or_default().push(v);
+                    }
+                    let mut combined = Vec::new();
+                    for (k, vs) in grouped {
+                        for v in job.combine(&k, vs) {
+                            combined.push((k.clone(), v));
+                        }
+                    }
+                    Some(combined)
+                };
+                let _ = tx.send(WorkerOut::Map(MapResult {
+                    block,
+                    state,
+                    pairs,
+                    elapsed: start.elapsed(),
+                }));
+            }
+        }
+    }
+}
+
+impl<J: IterativeJob> Drop for Cluster<J> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // One shutdown per slot sharing this node queue.
+            for _ in 0..self.config.map_slots_per_node {
+                let _ = tx.send(WorkerMsg::Shutdown);
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic word-count, iterative only trivially (one round).
+    struct WordCount;
+
+    impl IterativeJob for WordCount {
+        type BlockPayload = String;
+        type MapperState = usize; // counts how many times this block was mapped
+        type Broadcast = ();
+        type Key = String;
+        type MapOut = u64;
+        type ReduceOut = u64;
+
+        fn init_state(&self, _: BlockId, _: &String) -> usize {
+            0
+        }
+
+        fn map(
+            &self,
+            _node: NodeId,
+            payload: &String,
+            state: &mut usize,
+            _b: &(),
+        ) -> Vec<(String, u64)> {
+            *state += 1;
+            payload
+                .split_whitespace()
+                .map(|w| (w.to_string(), 1))
+                .collect()
+        }
+
+        fn reduce(&self, _k: &String, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+    }
+
+    fn wc_cluster(config: ClusterConfig) -> Cluster<WordCount> {
+        let mut c = Cluster::new(config, WordCount).unwrap();
+        c.load_blocks(vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog".to_string(),
+            "the fox".to_string(),
+        ])
+        .unwrap();
+        c
+    }
+
+    fn counts(out: &IterationOutput<WordCount>) -> BTreeMap<String, u64> {
+        out.outputs.iter().cloned().collect()
+    }
+
+    #[test]
+    fn word_count_is_correct() {
+        let mut c = wc_cluster(ClusterConfig::default());
+        let out = c.run_iteration(&()).unwrap();
+        let m = counts(&out);
+        assert_eq!(m["the"], 3);
+        assert_eq!(m["fox"], 2);
+        assert_eq!(m["dog"], 1);
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn results_identical_across_cluster_shapes() {
+        let shapes = [
+            ClusterConfig {
+                nodes: 1,
+                ..Default::default()
+            },
+            ClusterConfig {
+                nodes: 3,
+                map_slots_per_node: 2,
+                replication: 2,
+                ..Default::default()
+            },
+            ClusterConfig {
+                nodes: 8,
+                ..Default::default()
+            },
+        ];
+        let mut reference = None;
+        for cfg in shapes {
+            let mut c = wc_cluster(cfg);
+            let out = counts(&c.run_iteration(&()).unwrap());
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r),
+            }
+        }
+    }
+
+    #[test]
+    fn mapper_state_persists_across_iterations() {
+        let mut c = wc_cluster(ClusterConfig::default());
+        let blocks = c.store().block_ids();
+        for _ in 0..5 {
+            c.run_iteration(&()).unwrap();
+        }
+        for b in blocks {
+            assert_eq!(*c.mapper_state(b).unwrap(), 5);
+        }
+        assert_eq!(c.iterations_run(), 5);
+    }
+
+    #[test]
+    fn injected_failure_is_retried_and_result_unchanged() {
+        let blocks_probe = {
+            let c = wc_cluster(ClusterConfig::default());
+            c.store().block_ids()
+        };
+        let cfg = ClusterConfig {
+            fault_plan: FaultPlan::new().fail_first_attempts(0, blocks_probe[0], 1),
+            ..Default::default()
+        };
+        let mut c = wc_cluster(cfg);
+        let out = c.run_iteration(&()).unwrap();
+        assert_eq!(counts(&out)["the"], 3);
+        assert_eq!(out.metrics.task_retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_error_out() {
+        let blocks_probe = {
+            let c = wc_cluster(ClusterConfig::default());
+            c.store().block_ids()
+        };
+        let cfg = ClusterConfig {
+            max_attempts: 2,
+            fault_plan: FaultPlan::new().fail_first_attempts(0, blocks_probe[0], 10),
+            ..Default::default()
+        };
+        let mut c = wc_cluster(cfg);
+        match c.run_iteration(&()) {
+            Err(MapReduceError::TaskFailed { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_delay_shows_in_map_time() {
+        let blocks_probe = {
+            let c = wc_cluster(ClusterConfig::default());
+            c.store().block_ids()
+        };
+        // Delay is applied before timing starts; map_time measures useful
+        // work, so instead check wall clock of the iteration.
+        let cfg = ClusterConfig {
+            fault_plan: FaultPlan::new().delay(0, blocks_probe[0], Duration::from_millis(30)),
+            ..Default::default()
+        };
+        let mut c = wc_cluster(cfg);
+        let t0 = Instant::now();
+        c.run_iteration(&()).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn metrics_track_locality_and_shuffle() {
+        let mut c = wc_cluster(ClusterConfig::default());
+        let out = c.run_iteration(&()).unwrap();
+        // 3 blocks on 4 nodes, replication 1, blocks ≤ nodes → all local.
+        assert_eq!(out.metrics.locality_hits, 3);
+        assert_eq!(out.metrics.remote_reads, 0);
+        assert!(out.metrics.bytes_shuffled > 0);
+        assert_eq!(c.metrics().iterations, 1);
+    }
+
+    #[test]
+    fn no_blocks_is_an_error() {
+        let mut c: Cluster<WordCount> =
+            Cluster::new(ClusterConfig::default(), WordCount).unwrap();
+        assert!(matches!(c.run_iteration(&()), Err(MapReduceError::NoBlocks)));
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        for cfg in [
+            ClusterConfig {
+                nodes: 0,
+                ..Default::default()
+            },
+            ClusterConfig {
+                map_slots_per_node: 0,
+                ..Default::default()
+            },
+            ClusterConfig {
+                replication: 9,
+                ..Default::default()
+            },
+            ClusterConfig {
+                max_attempts: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(Cluster::new(cfg, WordCount).is_err());
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_matches_inline_reduce() {
+        let single = {
+            let mut c = wc_cluster(ClusterConfig::default());
+            counts(&c.run_iteration(&()).unwrap())
+        };
+        for reduce_tasks in [2usize, 3, 16] {
+            let mut c = wc_cluster(ClusterConfig {
+                reduce_tasks,
+                ..Default::default()
+            });
+            let out = c.run_iteration(&()).unwrap();
+            assert_eq!(counts(&out), single, "reduce_tasks = {reduce_tasks}");
+        }
+    }
+
+    #[test]
+    fn zero_reduce_tasks_rejected() {
+        let cfg = ClusterConfig {
+            reduce_tasks: 0,
+            ..Default::default()
+        };
+        assert!(Cluster::new(cfg, WordCount).is_err());
+    }
+
+    /// Word-count with a summing combiner: same results, less shuffle.
+    struct CombinedWordCount;
+
+    impl IterativeJob for CombinedWordCount {
+        type BlockPayload = String;
+        type MapperState = ();
+        type Broadcast = ();
+        type Key = String;
+        type MapOut = u64;
+        type ReduceOut = u64;
+
+        fn init_state(&self, _: BlockId, _: &String) {}
+
+        fn map(&self, _n: NodeId, payload: &String, _s: &mut (), _b: &()) -> Vec<(String, u64)> {
+            payload
+                .split_whitespace()
+                .map(|w| (w.to_string(), 1))
+                .collect()
+        }
+
+        fn reduce(&self, _k: &String, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+
+        fn combine(&self, _k: &String, values: Vec<u64>) -> Vec<u64> {
+            vec![values.into_iter().sum()]
+        }
+    }
+
+    #[test]
+    fn combiner_preserves_results_and_cuts_shuffle() {
+        let payloads = vec![
+            "a a a a b".to_string(),
+            "a b b b".to_string(),
+            "c a a".to_string(),
+        ];
+        let mut plain = wc_cluster(ClusterConfig::default());
+        let plain_out = plain.run_iteration(&()).unwrap();
+        let _ = plain_out;
+
+        let mut with = Cluster::new(ClusterConfig::default(), CombinedWordCount).unwrap();
+        with.load_blocks(payloads.clone()).unwrap();
+        let combined_out = with.run_iteration(&()).unwrap();
+
+        let mut without = Cluster::new(ClusterConfig::default(), WordCount).unwrap();
+        without.load_blocks(payloads).unwrap();
+        let without_out = without.run_iteration(&()).unwrap();
+
+        let a: BTreeMap<String, u64> = combined_out.outputs.iter().cloned().collect();
+        let b: BTreeMap<String, u64> = without_out.outputs.iter().cloned().collect();
+        assert_eq!(a, b, "combiner changed the answer");
+        assert!(
+            combined_out.metrics.bytes_shuffled < without_out.metrics.bytes_shuffled,
+            "combiner should cut shuffle bytes: {} vs {}",
+            combined_out.metrics.bytes_shuffled,
+            without_out.metrics.bytes_shuffled
+        );
+    }
+
+    #[test]
+    fn pinned_blocks_map_on_their_node() {
+        let mut c: Cluster<WordCount> =
+            Cluster::new(ClusterConfig::default(), WordCount).unwrap();
+        let id = c.load_block_on("private words".to_string(), NodeId(2)).unwrap();
+        assert_eq!(c.store().replicas(id).unwrap()[0], NodeId(2));
+        let out = c.run_iteration(&()).unwrap();
+        assert_eq!(out.metrics.locality_hits, 1);
+        assert!(c.load_block_on("x".to_string(), NodeId(99)).is_err());
+    }
+}

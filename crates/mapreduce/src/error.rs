@@ -1,0 +1,58 @@
+use std::fmt;
+
+use crate::{BlockId, NodeId};
+
+/// Errors surfaced by the MapReduce runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapReduceError {
+    /// The cluster configuration is unusable (zero nodes/slots, replication
+    /// larger than the cluster, ...).
+    BadConfig {
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A map task exhausted its retry budget.
+    TaskFailed {
+        /// Block whose map task kept failing.
+        block: BlockId,
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// A worker thread disappeared (panicked) mid-job.
+    WorkerLost {
+        /// The node whose worker died.
+        node: NodeId,
+    },
+    /// Job was driven with no blocks loaded.
+    NoBlocks,
+}
+
+impl fmt::Display for MapReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapReduceError::BadConfig { reason } => write!(f, "bad cluster config: {reason}"),
+            MapReduceError::TaskFailed { block, attempts } => {
+                write!(f, "map task for {block:?} failed after {attempts} attempts")
+            }
+            MapReduceError::WorkerLost { node } => write!(f, "worker for {node} terminated"),
+            MapReduceError::NoBlocks => write!(f, "no blocks loaded into the cluster"),
+        }
+    }
+}
+
+impl std::error::Error for MapReduceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = MapReduceError::TaskFailed {
+            block: BlockId(3),
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(MapReduceError::NoBlocks.to_string().contains("no blocks"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic fault injection for map task attempts.
+//!
+//! Production MapReduce tolerates task failure by re-execution; the trainers
+//! inherit that for free because their mapper state lives with the driver
+//! between iterations. The plan here lets tests and benches kill or delay
+//! *specific attempts* of specific blocks at specific iterations, so
+//! re-execution paths are exercised deterministically rather than by luck.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::BlockId;
+
+/// What to do to one (iteration, block) map task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSpec {
+    /// Fail this many initial attempts (each failure triggers a retry on
+    /// another node).
+    pub fail_attempts: usize,
+    /// Artificial execution delay applied to every attempt (straggler
+    /// simulation).
+    pub delay: Duration,
+}
+
+/// A schedule of injected faults.
+///
+/// # Example
+///
+/// ```
+/// use ppml_mapreduce::{BlockId, FaultPlan, FaultSpec};
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new()
+///     .fail_first_attempts(2, BlockId(0), 1)           // iteration 2: one failure
+///     .delay(3, BlockId(1), Duration::from_millis(5)); // iteration 3: straggler
+/// assert_eq!(plan.spec(2, BlockId(0)).fail_attempts, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    specs: BTreeMap<(usize, BlockId), FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails the first `attempts` attempts of `block`'s map task at
+    /// `iteration`.
+    pub fn fail_first_attempts(mut self, iteration: usize, block: BlockId, attempts: usize) -> Self {
+        self.specs.entry((iteration, block)).or_default().fail_attempts = attempts;
+        self
+    }
+
+    /// Delays every attempt of `block`'s map task at `iteration`.
+    pub fn delay(mut self, iteration: usize, block: BlockId, delay: Duration) -> Self {
+        self.specs.entry((iteration, block)).or_default().delay = delay;
+        self
+    }
+
+    /// The spec applying to one task (default = no fault).
+    pub fn spec(&self, iteration: usize, block: BlockId) -> FaultSpec {
+        self.specs
+            .get(&(iteration, block))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// `true` when the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_no_fault() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let s = plan.spec(0, BlockId(0));
+        assert_eq!(s.fail_attempts, 0);
+        assert_eq!(s.delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn builder_accumulates_on_same_key() {
+        let plan = FaultPlan::new()
+            .fail_first_attempts(1, BlockId(2), 3)
+            .delay(1, BlockId(2), Duration::from_millis(7));
+        let s = plan.spec(1, BlockId(2));
+        assert_eq!(s.fail_attempts, 3);
+        assert_eq!(s.delay, Duration::from_millis(7));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let plan = FaultPlan::new().fail_first_attempts(1, BlockId(0), 1);
+        assert_eq!(plan.spec(1, BlockId(1)).fail_attempts, 0);
+        assert_eq!(plan.spec(2, BlockId(0)).fail_attempts, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Engine invariant: the result of a MapReduce computation is a pure
+//! function of the job and its inputs — never of the cluster shape,
+//! scheduling, replication, or injected (recoverable) faults.
+
+use std::collections::BTreeMap;
+
+use ppml_mapreduce::{
+    BlockId, Cluster, ClusterConfig, FaultPlan, IterativeJob, MapReduceError, NodeId,
+};
+use proptest::prelude::*;
+
+/// Sums per-residue-class histograms of integer blocks; iterative so that
+/// state persistence also gets exercised.
+struct Histogram;
+
+impl IterativeJob for Histogram {
+    type BlockPayload = Vec<u64>;
+    type MapperState = u64; // running offset, proves state persistence
+    type Broadcast = u64; // modulus
+    type Key = u64;
+    type MapOut = u64;
+    type ReduceOut = u64;
+
+    fn init_state(&self, _: BlockId, _: &Vec<u64>) -> u64 {
+        0
+    }
+
+    fn map(&self, _n: NodeId, block: &Vec<u64>, state: &mut u64, modulus: &u64) -> Vec<(u64, u64)> {
+        *state += 1;
+        block.iter().map(|&v| ((v + *state - 1) % modulus, 1)).collect()
+    }
+
+    fn reduce(&self, _k: &u64, values: Vec<u64>) -> u64 {
+        values.into_iter().sum()
+    }
+}
+
+fn reference(blocks: &[Vec<u64>], modulus: u64, iteration_state: u64) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for b in blocks {
+        for &v in b {
+            *m.entry((v + iteration_state) % modulus).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn output_independent_of_cluster_shape_and_faults(
+        blocks in proptest::collection::vec(proptest::collection::vec(0u64..100, 1..8), 1..6),
+        nodes in 1usize..6,
+        slots in 1usize..3,
+        replication_raw in 1usize..4,
+        fail_block in 0usize..6,
+        fail_count in 0usize..2,
+        modulus in 2u64..9,
+    ) {
+        let replication = replication_raw.min(nodes);
+        let mut fault_plan = FaultPlan::new();
+        if fail_count > 0 {
+            fault_plan = fault_plan.fail_first_attempts(
+                0,
+                BlockId((fail_block % blocks.len()) as u64),
+                fail_count,
+            );
+        }
+        let cfg = ClusterConfig {
+            nodes,
+            map_slots_per_node: slots,
+            replication,
+            max_attempts: 4,
+            fault_plan,
+            locality_slack: 1,
+            reduce_tasks: 1 + nodes % 3,
+        };
+        let mut cluster = Cluster::new(cfg, Histogram).unwrap();
+        cluster.load_blocks(blocks.clone()).unwrap();
+        // Two iterations: the second must see updated mapper state.
+        for iteration in 0..2u64 {
+            let out = cluster
+                .run_iteration(&modulus)
+                .map_err(|e: MapReduceError| TestCaseError::fail(e.to_string()))?;
+            let got: BTreeMap<u64, u64> = out.outputs.iter().cloned().collect();
+            prop_assert_eq!(got, reference(&blocks, modulus, iteration));
+        }
+        // Metrics sanity: every map attempt is either local or remote.
+        let m = cluster.metrics();
+        prop_assert!(m.locality_hits + m.remote_reads >= 2 * blocks.len());
+        prop_assert_eq!(m.iterations, 2);
+    }
+}

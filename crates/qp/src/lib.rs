@@ -1,0 +1,796 @@
+//! Quadratic-programming solvers for the SVM dual problems.
+//!
+//! Every subproblem in the paper reduces to one of two convex QP shapes:
+//!
+//! * **Box QP** — `min ½λᵀQλ + qᵀλ` subject to `lo ≤ λᵢ ≤ hi`. This is the
+//!   per-mapper dual of the horizontally-partitioned trainers (the bias is
+//!   quadratically penalized by ADMM, so no equality constraint survives; see
+//!   DESIGN.md §2). Solved by [`solve_box`]: projected cyclic coordinate
+//!   descent with an incrementally maintained gradient.
+//! * **Box + single equality QP** — the same with one extra constraint
+//!   `Σᵢ aᵢλᵢ = t`, `aᵢ ∈ {−1, +1}` (a label vector). This is the reducer's
+//!   `z`-subproblem in the vertically-partitioned trainers and the classic
+//!   centralized SVM dual. Solved by [`solve_box_eq`]: an SMO-style
+//!   maximal-violating-pair method (Platt; Keerthi et al.), the same family
+//!   of solver the paper cites via LIBSVM.
+//!
+//! Both solvers report KKT residuals and support warm starts, which the ADMM
+//! outer loop exploits (`*_from` variants).
+//!
+//! # Example
+//!
+//! ```
+//! use ppml_linalg::Matrix;
+//! use ppml_qp::{solve_box, QpConfig};
+//!
+//! # fn main() -> Result<(), ppml_qp::QpError> {
+//! // min ½ x² - x  on [0, 10]  →  x = 1
+//! let q = Matrix::from_rows(&[&[1.0]]).unwrap();
+//! let sol = solve_box(&q, &[-1.0], 0.0, 10.0, &QpConfig::default())?;
+//! assert!((sol.x[0] - 1.0).abs() < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![forbid(unsafe_code)]
+use ppml_linalg::Matrix;
+use std::fmt;
+
+/// Errors produced by the QP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QpError {
+    /// `Q` is not square, or the linear term / constraint vector has the
+    /// wrong length.
+    ShapeMismatch {
+        /// Human-readable description of the offending operand.
+        what: &'static str,
+        /// Expected length/size.
+        expected: usize,
+        /// Actual length/size.
+        found: usize,
+    },
+    /// The bounds are inverted (`lo > hi`) or not finite.
+    InvalidBounds {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// No point in the box satisfies the equality constraint.
+    InfeasibleEquality {
+        /// The requested right-hand side `t`.
+        target: f64,
+        /// Smallest achievable `Σ aᵢλᵢ` in the box.
+        min: f64,
+        /// Largest achievable `Σ aᵢλᵢ` in the box.
+        max: f64,
+    },
+    /// An equality-constraint coefficient was not `+1` or `-1`.
+    BadConstraintCoefficient {
+        /// Index of the offending coefficient.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for QpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QpError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what}: expected length {expected}, found {found}"),
+            QpError::InvalidBounds { lo, hi } => write!(f, "invalid bounds [{lo}, {hi}]"),
+            QpError::InfeasibleEquality { target, min, max } => write!(
+                f,
+                "equality target {target} outside achievable range [{min}, {max}]"
+            ),
+            QpError::BadConstraintCoefficient { index, value } => write!(
+                f,
+                "constraint coefficient at {index} is {value}, expected +1 or -1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+/// Stopping criteria shared by both solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpConfig {
+    /// Maximum KKT violation at which the solution is accepted.
+    pub tol: f64,
+    /// Hard cap on iterations (coordinate sweeps for [`solve_box`], pair
+    /// updates for [`solve_box_eq`]).
+    pub max_iter: usize,
+}
+
+impl Default for QpConfig {
+    fn default() -> Self {
+        QpConfig {
+            tol: 1e-8,
+            max_iter: 100_000,
+        }
+    }
+}
+
+/// Solution of a QP, with convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpSolution {
+    /// The minimizer (or best iterate when `converged` is false).
+    pub x: Vec<f64>,
+    /// Iterations actually used.
+    pub iterations: usize,
+    /// Final maximum KKT violation.
+    pub kkt_violation: f64,
+    /// Whether `kkt_violation <= tol` was reached within `max_iter`.
+    pub converged: bool,
+}
+
+fn validate_common(q: &Matrix, lin: &[f64], lo: f64, hi: f64) -> Result<usize, QpError> {
+    let n = q.rows();
+    if q.cols() != n {
+        return Err(QpError::ShapeMismatch {
+            what: "Q must be square",
+            expected: n,
+            found: q.cols(),
+        });
+    }
+    if lin.len() != n {
+        return Err(QpError::ShapeMismatch {
+            what: "linear term",
+            expected: n,
+            found: lin.len(),
+        });
+    }
+    if !(lo <= hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(QpError::InvalidBounds { lo, hi });
+    }
+    Ok(n)
+}
+
+/// Per-coordinate KKT violation for box constraints: at the lower bound the
+/// gradient must be ≥ 0, at the upper bound ≤ 0, in the interior ≈ 0.
+fn box_violation(x: f64, g: f64, lo: f64, hi: f64) -> f64 {
+    let eps = 1e-12 * (1.0 + hi.abs().max(lo.abs()));
+    if x <= lo + eps {
+        (-g).max(0.0)
+    } else if x >= hi - eps {
+        g.max(0.0)
+    } else {
+        g.abs()
+    }
+}
+
+/// Solves `min ½xᵀQx + qᵀx` over the box `[lo, hi]ⁿ`, starting from the
+/// projection of `x0` onto the box.
+///
+/// `Q` must be symmetric positive semidefinite; the solver only reads it
+/// row-wise and assumes symmetry.
+///
+/// # Errors
+///
+/// [`QpError::ShapeMismatch`] or [`QpError::InvalidBounds`] on malformed
+/// input.
+pub fn solve_box_from(
+    q: &Matrix,
+    lin: &[f64],
+    lo: f64,
+    hi: f64,
+    x0: &[f64],
+    cfg: &QpConfig,
+) -> Result<QpSolution, QpError> {
+    let n = validate_common(q, lin, lo, hi)?;
+    if x0.len() != n {
+        return Err(QpError::ShapeMismatch {
+            what: "warm start",
+            expected: n,
+            found: x0.len(),
+        });
+    }
+    let mut x: Vec<f64> = x0.iter().map(|&v| v.clamp(lo, hi)).collect();
+    // g = Qx + q, maintained incrementally.
+    let mut g = q.matvec(&x).expect("validated shape");
+    for (gi, &qi) in g.iter_mut().zip(lin) {
+        *gi += qi;
+    }
+    let mut viol = f64::INFINITY;
+    let mut sweeps = 0usize;
+    while sweeps < cfg.max_iter {
+        sweeps += 1;
+        viol = 0.0;
+        for i in 0..n {
+            let qii = q[(i, i)];
+            let v = box_violation(x[i], g[i], lo, hi);
+            if v > viol {
+                viol = v;
+            }
+            if v <= cfg.tol || qii <= 0.0 {
+                // Zero curvature coordinates are left to the violation check:
+                // with Q PSD and qii == 0 the whole row is zero, so the
+                // optimum is at a bound determined by sign(g).
+                if qii <= 0.0 && v > cfg.tol {
+                    let new = if g[i] > 0.0 { lo } else { hi };
+                    let delta = new - x[i];
+                    if delta != 0.0 {
+                        x[i] = new;
+                        let row = q.row(i);
+                        for (gk, &qk) in g.iter_mut().zip(row) {
+                            *gk += delta * qk;
+                        }
+                    }
+                }
+                continue;
+            }
+            let new = (x[i] - g[i] / qii).clamp(lo, hi);
+            let delta = new - x[i];
+            if delta != 0.0 {
+                x[i] = new;
+                let row = q.row(i);
+                for (gk, &qk) in g.iter_mut().zip(row) {
+                    *gk += delta * qk;
+                }
+            }
+        }
+        if viol <= cfg.tol {
+            break;
+        }
+    }
+    Ok(QpSolution {
+        converged: viol <= cfg.tol,
+        x,
+        iterations: sweeps,
+        kkt_violation: viol,
+    })
+}
+
+/// [`solve_box_from`] started from the zero vector (projected onto the box).
+///
+/// # Errors
+///
+/// See [`solve_box_from`].
+pub fn solve_box(
+    q: &Matrix,
+    lin: &[f64],
+    lo: f64,
+    hi: f64,
+    cfg: &QpConfig,
+) -> Result<QpSolution, QpError> {
+    let zeros = vec![0.0; q.rows()];
+    solve_box_from(q, lin, lo, hi, &zeros, cfg)
+}
+
+/// Solves `min ½xᵀQx + qᵀx` over `[lo, hi]ⁿ` intersected with the hyperplane
+/// `Σᵢ aᵢxᵢ = t`, where every `aᵢ ∈ {−1, +1}` (a label vector).
+///
+/// Uses SMO with maximal-violating-pair working-set selection; the dual
+/// feasibility gap `m(α) − M(α)` (Keerthi et al.) is the reported KKT
+/// violation.
+///
+/// # Errors
+///
+/// Shape/bounds errors as in [`solve_box`];
+/// [`QpError::BadConstraintCoefficient`] if some `aᵢ ∉ {−1, +1}`;
+/// [`QpError::InfeasibleEquality`] when no box point satisfies the
+/// constraint.
+pub fn solve_box_eq(
+    q: &Matrix,
+    lin: &[f64],
+    lo: f64,
+    hi: f64,
+    a: &[f64],
+    target: f64,
+    cfg: &QpConfig,
+) -> Result<QpSolution, QpError> {
+    let n = validate_common(q, lin, lo, hi)?;
+    if a.len() != n {
+        return Err(QpError::ShapeMismatch {
+            what: "constraint vector",
+            expected: n,
+            found: a.len(),
+        });
+    }
+    for (i, &ai) in a.iter().enumerate() {
+        if ai != 1.0 && ai != -1.0 {
+            return Err(QpError::BadConstraintCoefficient {
+                index: i,
+                value: ai,
+            });
+        }
+    }
+    // Feasible start: begin at the box corner minimizing Σaᵢxᵢ, then raise
+    // coordinates greedily until the target is met.
+    let (mut lo_sum, mut hi_sum) = (0.0, 0.0);
+    for &ai in a {
+        // Contribution range of one coordinate: aᵢxᵢ ∈ [min, max].
+        let (cmin, cmax) = if ai > 0.0 { (lo, hi) } else { (-hi, -lo) };
+        lo_sum += cmin;
+        hi_sum += cmax;
+    }
+    let tol_feas = 1e-9 * (1.0 + target.abs());
+    if target < lo_sum - tol_feas || target > hi_sum + tol_feas {
+        return Err(QpError::InfeasibleEquality {
+            target,
+            min: lo_sum,
+            max: hi_sum,
+        });
+    }
+    let mut x: Vec<f64> = a
+        .iter()
+        .map(|&ai| if ai > 0.0 { lo } else { hi })
+        .collect();
+    let mut need = target - lo_sum; // ≥ 0; each coordinate can add up to hi-lo
+    let span = hi - lo;
+    for i in 0..n {
+        if need <= 0.0 {
+            break;
+        }
+        let add = need.min(span);
+        // Moving coordinate i by `add / aᵢ` raises Σaᵢxᵢ by `add`.
+        if a[i] > 0.0 {
+            x[i] += add;
+        } else {
+            x[i] -= add;
+        }
+        need -= add;
+    }
+
+    let mut g = q.matvec(&x).expect("validated shape");
+    for (gi, &qi) in g.iter_mut().zip(lin) {
+        *gi += qi;
+    }
+
+    let mut iterations = 0usize;
+    let mut gap = f64::INFINITY;
+    while iterations < cfg.max_iter {
+        iterations += 1;
+        // Maximal violating pair: i maximizes −aᵢgᵢ over I_up,
+        // j minimizes −aⱼgⱼ over I_low.
+        let eps = 1e-12 * (1.0 + hi.abs().max(lo.abs()));
+        let mut m_up = f64::NEG_INFINITY;
+        let mut m_low = f64::INFINITY;
+        let (mut bi, mut bj) = (usize::MAX, usize::MAX);
+        for k in 0..n {
+            let up = (a[k] > 0.0 && x[k] < hi - eps) || (a[k] < 0.0 && x[k] > lo + eps);
+            let low = (a[k] > 0.0 && x[k] > lo + eps) || (a[k] < 0.0 && x[k] < hi - eps);
+            let score = -a[k] * g[k];
+            if up && score > m_up {
+                m_up = score;
+                bi = k;
+            }
+            if low && score < m_low {
+                m_low = score;
+                bj = k;
+            }
+        }
+        gap = m_up - m_low;
+        if bi == usize::MAX || bj == usize::MAX || gap <= cfg.tol {
+            if gap.is_infinite() {
+                // Degenerate: everything pinned and no movable pair.
+                gap = 0.0;
+            }
+            break;
+        }
+        let (i, j) = (bi, bj);
+        // Optimize along x_i += aᵢδ, x_j -= aⱼδ (keeps Σaᵢxᵢ constant).
+        let eta = q[(i, i)] + q[(j, j)] - 2.0 * a[i] * a[j] * q[(i, j)];
+        let grad_dir = a[i] * g[i] - a[j] * g[j]; // dObj/dδ at δ=0
+        let mut delta = if eta > 1e-12 {
+            -grad_dir / eta
+        } else {
+            // Flat direction: move as far as the box allows, in the
+            // descending direction.
+            if grad_dir > 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        };
+        // Clip to the box for both coordinates.
+        let (d_lo_i, d_hi_i) = if a[i] > 0.0 {
+            (lo - x[i], hi - x[i])
+        } else {
+            (x[i] - hi, x[i] - lo)
+        };
+        let (d_lo_j, d_hi_j) = if a[j] > 0.0 {
+            (x[j] - hi, x[j] - lo)
+        } else {
+            (lo - x[j], hi - x[j])
+        };
+        let d_lo = d_lo_i.max(d_lo_j);
+        let d_hi = d_hi_i.min(d_hi_j);
+        delta = delta.clamp(d_lo, d_hi);
+        if delta == 0.0 || !delta.is_finite() {
+            // Numerical dead end: accept current iterate.
+            break;
+        }
+        let di = a[i] * delta;
+        let dj = -a[j] * delta;
+        x[i] += di;
+        x[j] += dj;
+        let rowi = q.row(i);
+        let rowj = q.row(j);
+        for ((gk, &qik), &qjk) in g.iter_mut().zip(rowi).zip(rowj) {
+            *gk += di * qik + dj * qjk;
+        }
+    }
+    Ok(QpSolution {
+        converged: gap <= cfg.tol,
+        x,
+        iterations,
+        kkt_violation: gap.max(0.0),
+    })
+}
+
+/// Solves the **separable** box + single-equality QP
+/// `min Σᵢ (½·dᵢ·xᵢ² + qᵢ·xᵢ)` subject to `lo ≤ xᵢ ≤ hi`, `Σᵢ aᵢxᵢ = t`,
+/// with every `dᵢ > 0` and `aᵢ ∈ {−1, +1}`.
+///
+/// This is the reducer-side `z`-subproblem of the vertically partitioned
+/// trainers (the Hessian there is `(1/ρ)·I`). With a diagonal Hessian the
+/// KKT system collapses to a one-dimensional root find on the equality
+/// multiplier `ν`: `xᵢ(ν) = clamp(−(qᵢ + ν·aᵢ)/dᵢ)` and
+/// `h(ν) = Σ aᵢxᵢ(ν)` is monotone non-increasing, so bisection solves the
+/// problem to machine precision in ~100 iterations regardless of size —
+/// no `n×n` matrix is ever formed.
+///
+/// # Errors
+///
+/// The same error conditions as [`solve_box_eq`]; additionally a diagonal
+/// with non-positive or non-finite entries is rejected with
+/// [`QpError::ShapeMismatch`] (`what = "diagonal"`).
+pub fn solve_separable_eq(
+    diag: &[f64],
+    lin: &[f64],
+    lo: f64,
+    hi: f64,
+    a: &[f64],
+    target: f64,
+) -> Result<QpSolution, QpError> {
+    let n = diag.len();
+    if lin.len() != n {
+        return Err(QpError::ShapeMismatch {
+            what: "linear term",
+            expected: n,
+            found: lin.len(),
+        });
+    }
+    if a.len() != n {
+        return Err(QpError::ShapeMismatch {
+            what: "constraint vector",
+            expected: n,
+            found: a.len(),
+        });
+    }
+    if diag.iter().any(|&d| d <= 0.0 || !d.is_finite()) {
+        return Err(QpError::ShapeMismatch {
+            what: "diagonal",
+            expected: n,
+            found: n,
+        });
+    }
+    if !(lo <= hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(QpError::InvalidBounds { lo, hi });
+    }
+    for (i, &ai) in a.iter().enumerate() {
+        if ai != 1.0 && ai != -1.0 {
+            return Err(QpError::BadConstraintCoefficient {
+                index: i,
+                value: ai,
+            });
+        }
+    }
+    // Feasible range of Σ aᵢxᵢ.
+    let (mut lo_sum, mut hi_sum) = (0.0, 0.0);
+    for &ai in a {
+        let (cmin, cmax) = if ai > 0.0 { (lo, hi) } else { (-hi, -lo) };
+        lo_sum += cmin;
+        hi_sum += cmax;
+    }
+    if target < lo_sum - 1e-9 || target > hi_sum + 1e-9 {
+        return Err(QpError::InfeasibleEquality {
+            target,
+            min: lo_sum,
+            max: hi_sum,
+        });
+    }
+    let x_of = |nu: f64, out: &mut Vec<f64>| {
+        out.clear();
+        for i in 0..n {
+            out.push(((-(lin[i] + nu * a[i])) / diag[i]).clamp(lo, hi));
+        }
+    };
+    let h = |nu: f64, buf: &mut Vec<f64>| -> f64 {
+        x_of(nu, buf);
+        buf.iter().zip(a).map(|(x, ai)| x * ai).sum::<f64>() - target
+    };
+    // Expanding bracket around ν = 0: h is non-increasing in ν.
+    let mut buf = Vec::with_capacity(n);
+    let (mut lo_nu, mut hi_nu) = (-1.0f64, 1.0f64);
+    let mut guard = 0;
+    while h(lo_nu, &mut buf) < 0.0 && guard < 200 {
+        lo_nu *= 2.0;
+        guard += 1;
+    }
+    guard = 0;
+    while h(hi_nu, &mut buf) > 0.0 && guard < 200 {
+        hi_nu *= 2.0;
+        guard += 1;
+    }
+    // Bisection.
+    let mut iterations = 0usize;
+    for _ in 0..200 {
+        iterations += 1;
+        let mid = 0.5 * (lo_nu + hi_nu);
+        if h(mid, &mut buf) > 0.0 {
+            lo_nu = mid;
+        } else {
+            hi_nu = mid;
+        }
+        if hi_nu - lo_nu < 1e-14 * (1.0 + hi_nu.abs()) {
+            break;
+        }
+    }
+    let nu = 0.5 * (lo_nu + hi_nu);
+    let mut x = Vec::with_capacity(n);
+    x_of(nu, &mut x);
+    // Exact-feasibility polish: distribute any residual over interior
+    // coordinates (they can absorb it without violating bounds).
+    let resid: f64 = target - x.iter().zip(a).map(|(x, ai)| x * ai).sum::<f64>();
+    if resid.abs() > 0.0 {
+        let interior: Vec<usize> = (0..n)
+            .filter(|&i| x[i] > lo + 1e-12 && x[i] < hi - 1e-12)
+            .collect();
+        if !interior.is_empty() {
+            let per = resid / interior.len() as f64;
+            for &i in &interior {
+                x[i] = (x[i] + per * a[i]).clamp(lo, hi);
+            }
+        }
+    }
+    let kkt = (target - x.iter().zip(a).map(|(x, ai)| x * ai).sum::<f64>()).abs();
+    Ok(QpSolution {
+        x,
+        iterations,
+        kkt_violation: kkt,
+        converged: kkt < 1e-8 * (1.0 + target.abs()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diag(0.5);
+        a
+    }
+
+    #[test]
+    fn box_unconstrained_interior_matches_linear_solve() {
+        // Wide bounds → minimizer is -Q⁻¹q.
+        let q = spd(6, 2);
+        let lin: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
+        let sol = solve_box(&q, &lin, -1e6, 1e6, &QpConfig::default()).unwrap();
+        assert!(sol.converged);
+        let direct = q
+            .cholesky()
+            .unwrap()
+            .solve(&lin.iter().map(|v| -v).collect::<Vec<_>>())
+            .unwrap();
+        for (a, b) in sol.x.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn box_active_bounds() {
+        // min ½x² + 2x on [0, 1] → gradient positive everywhere → x = 0.
+        let q = Matrix::identity(1);
+        let sol = solve_box(&q, &[2.0], 0.0, 1.0, &QpConfig::default()).unwrap();
+        assert_eq!(sol.x[0], 0.0);
+        // min ½x² - 5x on [0, 1] → x = 1 (upper bound).
+        let sol = solve_box(&q, &[-5.0], 0.0, 1.0, &QpConfig::default()).unwrap();
+        assert_eq!(sol.x[0], 1.0);
+    }
+
+    #[test]
+    fn box_warm_start_converges_faster() {
+        let q = spd(20, 5);
+        let lin: Vec<f64> = (0..20).map(|i| (i as f64 * 0.71).cos()).collect();
+        let cfg = QpConfig::default();
+        let cold = solve_box(&q, &lin, 0.0, 10.0, &cfg).unwrap();
+        let warm = solve_box_from(&q, &lin, 0.0, 10.0, &cold.x, &cfg).unwrap();
+        assert!(warm.converged);
+        assert!(warm.iterations <= 2, "warm start took {}", warm.iterations);
+    }
+
+    #[test]
+    fn box_kkt_certificate_holds() {
+        let q = spd(10, 9);
+        let lin: Vec<f64> = (0..10).map(|i| i as f64 * 0.3 - 1.5).collect();
+        let sol = solve_box(&q, &lin, 0.0, 2.0, &QpConfig::default()).unwrap();
+        assert!(sol.converged);
+        let mut g = q.matvec(&sol.x).unwrap();
+        for (gi, &qi) in g.iter_mut().zip(&lin) {
+            *gi += qi;
+        }
+        for i in 0..10 {
+            assert!(box_violation(sol.x[i], g[i], 0.0, 2.0) <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn box_rejects_bad_shapes() {
+        let q = Matrix::zeros(2, 3);
+        assert!(matches!(
+            solve_box(&q, &[0.0; 2], 0.0, 1.0, &QpConfig::default()),
+            Err(QpError::ShapeMismatch { .. })
+        ));
+        let q = Matrix::identity(2);
+        assert!(matches!(
+            solve_box(&q, &[0.0; 3], 0.0, 1.0, &QpConfig::default()),
+            Err(QpError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            solve_box(&q, &[0.0; 2], 1.0, 0.0, &QpConfig::default()),
+            Err(QpError::InvalidBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn eq_simple_two_variable() {
+        // min ½(x² + y²) s.t. x + y = 1, 0 ≤ x,y ≤ 1 → x = y = ½.
+        let q = Matrix::identity(2);
+        let sol = solve_box_eq(&q, &[0.0, 0.0], 0.0, 1.0, &[1.0, 1.0], 1.0, &QpConfig::default())
+            .unwrap();
+        assert!(sol.converged);
+        assert!((sol.x[0] - 0.5).abs() < 1e-7 && (sol.x[1] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn eq_constraint_is_maintained_exactly() {
+        let q = spd(12, 13);
+        let lin: Vec<f64> = (0..12).map(|i| (i as f64).sin() - 0.2).collect();
+        let a: Vec<f64> = (0..12).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let sol =
+            solve_box_eq(&q, &lin, 0.0, 5.0, &a, 2.5, &QpConfig::default()).unwrap();
+        let dot: f64 = sol.x.iter().zip(&a).map(|(x, a)| x * a).sum();
+        assert!((dot - 2.5).abs() < 1e-9, "constraint drifted: {dot}");
+        for &xi in &sol.x {
+            assert!((-1e-12..=5.0 + 1e-12).contains(&xi));
+        }
+    }
+
+    #[test]
+    fn eq_infeasible_detected() {
+        let q = Matrix::identity(2);
+        let err = solve_box_eq(&q, &[0.0; 2], 0.0, 1.0, &[1.0, 1.0], 5.0, &QpConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, QpError::InfeasibleEquality { .. }));
+    }
+
+    #[test]
+    fn eq_bad_coefficient_detected() {
+        let q = Matrix::identity(2);
+        let err = solve_box_eq(&q, &[0.0; 2], 0.0, 1.0, &[1.0, 0.5], 0.0, &QpConfig::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QpError::BadConstraintCoefficient { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn eq_matches_box_when_constraint_inactive_via_lagrange() {
+        // For the equality-constrained optimum, there must exist ν with
+        // g + ν·a = 0 on interior coordinates (stationarity).
+        let q = spd(8, 21);
+        let lin: Vec<f64> = (0..8).map(|i| 0.1 * i as f64 - 0.4).collect();
+        let a: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sol = solve_box_eq(&q, &lin, 0.0, 3.0, &a, 0.0, &QpConfig::default()).unwrap();
+        assert!(sol.converged);
+        let mut g = q.matvec(&sol.x).unwrap();
+        for (gi, &qi) in g.iter_mut().zip(&lin) {
+            *gi += qi;
+        }
+        // Estimate ν from the interior coordinates and check consistency.
+        let interior: Vec<usize> = (0..8)
+            .filter(|&i| sol.x[i] > 1e-9 && sol.x[i] < 3.0 - 1e-9)
+            .collect();
+        if interior.len() >= 2 {
+            let nu = -g[interior[0]] / a[interior[0]];
+            for &i in &interior[1..] {
+                assert!(
+                    (g[i] + nu * a[i]).abs() < 1e-5,
+                    "stationarity failed at {i}: {}",
+                    g[i] + nu * a[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq_centralized_svm_toy_dual() {
+        // Two points, y = [+1, -1], x = [1], [-1] with linear kernel:
+        // Q = yᵢyⱼxᵢxⱼ = [[1,1],[1,1]], dual: min ½λᵀQλ - 1ᵀλ, yᵀλ = 0.
+        // Symmetry gives λ1 = λ2 = λ; obj = 2λ² - 2λ ... wait ½·(λ,λ)Q(λ,λ)ᵀ = 2λ²·½·...
+        // ½(λ² + 2λ² + λ²)·.. = 2λ² → min 2λ²−2λ → λ = ½.
+        let q = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let sol = solve_box_eq(
+            &q,
+            &[-1.0, -1.0],
+            0.0,
+            10.0,
+            &[1.0, -1.0],
+            0.0,
+            &QpConfig::default(),
+        )
+        .unwrap();
+        assert!(sol.converged);
+        assert!((sol.x[0] - 0.5).abs() < 1e-7, "{:?}", sol.x);
+        assert!((sol.x[1] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn separable_matches_smo_on_diagonal_problems() {
+        // Q = diag(d): both solvers must agree.
+        let n = 12;
+        let diag: Vec<f64> = (0..n).map(|i| 0.5 + 0.1 * i as f64).collect();
+        let lin: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin()).collect();
+        let a: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let q = Matrix::from_fn(n, n, |i, j| if i == j { diag[i] } else { 0.0 });
+        let smo = solve_box_eq(&q, &lin, 0.0, 3.0, &a, 1.0, &QpConfig::default()).unwrap();
+        let fast = solve_separable_eq(&diag, &lin, 0.0, 3.0, &a, 1.0).unwrap();
+        assert!(fast.converged);
+        for (u, v) in smo.x.iter().zip(&fast.x) {
+            assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn separable_satisfies_constraint_exactly() {
+        let n = 50;
+        let diag = vec![0.01; n]; // 1/ρ with ρ = 100
+        let lin: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos() - 0.3).collect();
+        let a: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let sol = solve_separable_eq(&diag, &lin, 0.0, 50.0, &a, 0.0).unwrap();
+        let dot: f64 = sol.x.iter().zip(&a).map(|(x, ai)| x * ai).sum();
+        assert!(dot.abs() < 1e-8, "constraint residual {dot}");
+        assert!(sol.x.iter().all(|&v| (0.0..=50.0).contains(&v)));
+    }
+
+    #[test]
+    fn separable_rejects_bad_input() {
+        assert!(matches!(
+            solve_separable_eq(&[1.0, -1.0], &[0.0; 2], 0.0, 1.0, &[1.0, 1.0], 0.0),
+            Err(QpError::ShapeMismatch { what: "diagonal", .. })
+        ));
+        assert!(solve_separable_eq(&[1.0], &[0.0; 2], 0.0, 1.0, &[1.0], 0.0).is_err());
+        assert!(matches!(
+            solve_separable_eq(&[1.0, 1.0], &[0.0; 2], 0.0, 1.0, &[1.0, 1.0], 10.0),
+            Err(QpError::InfeasibleEquality { .. })
+        ));
+    }
+
+    #[test]
+    fn solvers_are_deterministic() {
+        let q = spd(10, 31);
+        let lin = vec![-1.0; 10];
+        let s1 = solve_box(&q, &lin, 0.0, 1.0, &QpConfig::default()).unwrap();
+        let s2 = solve_box(&q, &lin, 0.0, 1.0, &QpConfig::default()).unwrap();
+        assert_eq!(s1, s2);
+    }
+}

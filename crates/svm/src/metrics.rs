@@ -1,0 +1,133 @@
+//! Classification metrics.
+
+/// Fraction of `(predicted, actual)` pairs that agree (sign comparison).
+///
+/// Returns 0 for an empty iterator.
+///
+/// ```
+/// let acc = ppml_svm::accuracy([(1.0, 1.0), (-1.0, 1.0)]);
+/// assert_eq!(acc, 0.5);
+/// ```
+pub fn accuracy<I: IntoIterator<Item = (f64, f64)>>(pairs: I) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (pred, actual) in pairs {
+        total += 1;
+        if (pred >= 0.0) == (actual >= 0.0) {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// A binary confusion matrix (positive class = `+1`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Actual `+1` predicted `+1`.
+    pub tp: usize,
+    /// Actual `−1` predicted `−1`.
+    pub tn: usize,
+    /// Actual `−1` predicted `+1`.
+    pub fp: usize,
+    /// Actual `+1` predicted `−1`.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Total samples counted.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Accuracy `= (tp + tn) / total` (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// Precision on the positive class (0 when no positive predictions).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall on the positive class (0 when no positive actuals).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall; 0 when undefined).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Builds a confusion matrix from `(predicted, actual)` sign pairs.
+pub fn confusion<I: IntoIterator<Item = (f64, f64)>>(pairs: I) -> Confusion {
+    let mut c = Confusion::default();
+    for (pred, actual) in pairs {
+        match (pred >= 0.0, actual >= 0.0) {
+            (true, true) => c.tp += 1,
+            (false, false) => c.tn += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_sign_agreement() {
+        assert_eq!(accuracy([(0.2, 1.0), (-3.0, -1.0), (0.5, -1.0)]), 2.0 / 3.0);
+        assert_eq!(accuracy(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn confusion_cells() {
+        let c = confusion([
+            (1.0, 1.0),   // tp
+            (1.0, 1.0),   // tp
+            (-1.0, -1.0), // tn
+            (1.0, -1.0),  // fp
+            (-1.0, 1.0),  // fn
+        ]);
+        assert_eq!((c.tp, c.tn, c.fp, c.fn_), (2, 1, 1, 1));
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusion_is_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

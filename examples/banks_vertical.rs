@@ -1,0 +1,53 @@
+//! The paper's second motivating scenario (§I): several banks conduct a
+//! joint credit-risk analysis over the **same customers** but with
+//! *different feature sets* — vertically partitioned data (Fig. 3). Labels
+//! (defaulted / repaid) are shared; each bank's feature columns are not.
+//!
+//! ```text
+//! cargo run --example banks_vertical --release
+//! ```
+
+use ppml::core::{AdmmConfig, VerticalKernelSvm, VerticalLinearSvm};
+use ppml::data::{synth, Partition};
+use ppml::kernel::Kernel;
+use ppml::svm::LinearSvm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Customer records: 28 behavioural features, heavily overlapping
+    // classes (credit risk is genuinely hard to separate).
+    let customers = synth::higgs_like(1200, 17);
+    let (train, test) = customers.split(0.5, 9)?;
+
+    // Three banks hold complementary feature subsets of every customer.
+    let banks = Partition::vertical(&train, 3, 4)?;
+    for b in 0..banks.learners() {
+        println!(
+            "bank {b}: {} customers x {} features (columns {:?}...)",
+            banks.rows(),
+            banks.features_of(b).len(),
+            &banks.features_of(b)[..banks.features_of(b).len().min(5)]
+        );
+    }
+
+    // Upper bound: one bank hypothetically holding every feature.
+    let centralized = LinearSvm::train(&train, 50.0)?;
+    println!("\ncentralized baseline accuracy: {:.3}", centralized.accuracy(&test));
+
+    // Privacy-preserving joint training: each bank only ever reveals its
+    // masked contribution X_m·w_m to the secure sum.
+    let cfg = AdmmConfig::default().with_max_iter(60);
+    let linear = VerticalLinearSvm::train(&banks, &cfg, Some(&test))?;
+    println!("vertical linear accuracy:     {:.3}", linear.model.accuracy(&test));
+
+    let cfg_k = cfg.with_kernel(Kernel::Rbf { gamma: 0.05 });
+    let kernel = VerticalKernelSvm::train(&banks, &cfg_k, Some(&test))?;
+    println!("vertical kernel accuracy:     {:.3}", kernel.model.accuracy(&test));
+
+    println!("\nconvergence ‖z(t+1) − z(t)‖² (linear, every 10th iteration):");
+    for (i, d) in linear.history.z_delta.iter().enumerate() {
+        if i % 10 == 0 {
+            println!("  iter {:>3}: {d:>12.3e}", i + 1);
+        }
+    }
+    Ok(())
+}

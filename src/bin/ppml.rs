@@ -1,0 +1,207 @@
+//! `ppml` command-line interface: generate workloads, train
+//! privacy-preserving SVMs over CSV data, and evaluate saved models.
+//!
+//! ```text
+//! ppml gen   --dataset cancer --n 569 --seed 1 --out data.csv
+//! ppml train --mode hl --data data.csv --learners 4 --iters 100 \
+//!            --c 50 --rho 100 --out model.txt [--cluster]
+//! ppml eval  --model model.txt --data test.csv
+//! ```
+//!
+//! Training modes: `hl` (horizontal linear), `vl` (vertical linear),
+//! `central` (the baseline). The kernel trainers have no flat-text model
+//! format and are reachable through the library API and examples instead.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
+use ppml::core::{AdmmConfig, HorizontalLinearSvm, VerticalLinearSvm};
+use ppml::data::{synth, Dataset, Partition};
+use ppml::svm::LinearSvm;
+
+fn usage() -> String {
+    "usage:\n  ppml gen   --dataset <cancer|higgs|ocr|blobs|xor> --n <N> [--seed S] --out FILE\n  \
+     ppml split --data FILE [--fraction F] [--seed S] --train FILE --test FILE\n  \
+     ppml train --mode <hl|vl|central> --data FILE [--learners M] [--iters T]\n             \
+     [--c C] [--rho RHO] [--seed S] [--cluster] --out MODEL\n  \
+     ppml eval  --model MODEL --data FILE\n\n\
+     note: each `gen` seed draws a fresh task distribution — create one file\n\
+     and `split` it, rather than generating train and test separately"
+        .to_string()
+}
+
+fn cmd_split(flags: BTreeMap<String, String>) -> Result<(), String> {
+    let data = load_dataset(required(&flags, "data")?)?;
+    let fraction: f64 = numeric(&flags, "fraction", 0.5)?;
+    let seed: u64 = numeric(&flags, "seed", 1)?;
+    let (train, test) = data.split(fraction, seed).map_err(|e| e.to_string())?;
+    let train_path = required(&flags, "train")?;
+    let test_path = required(&flags, "test")?;
+    std::fs::write(train_path, train.to_csv()).map_err(|e| e.to_string())?;
+    std::fs::write(test_path, test.to_csv()).map_err(|e| e.to_string())?;
+    println!(
+        "split {} samples into {} train ({train_path}) / {} test ({test_path})",
+        data.len(),
+        train.len(),
+        test.len()
+    );
+    Ok(())
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag}"))?;
+        if key == "cluster" {
+            map.insert(key.to_string(), "true".to_string());
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            map.insert(key.to_string(), value.clone());
+        }
+    }
+    Ok(map)
+}
+
+fn required<'a>(flags: &'a BTreeMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v}")),
+    }
+}
+
+fn cmd_gen(flags: BTreeMap<String, String>) -> Result<(), String> {
+    let n: usize = numeric(&flags, "n", 500)?;
+    let seed: u64 = numeric(&flags, "seed", 1)?;
+    let out = required(&flags, "out")?;
+    let ds = match required(&flags, "dataset")? {
+        "cancer" => synth::cancer_like(n, seed),
+        "higgs" => synth::higgs_like(n, seed),
+        "ocr" => synth::ocr_like(n, seed),
+        "blobs" => synth::blobs(n, seed),
+        "xor" => synth::xor_like(n, seed),
+        other => return Err(format!("unknown dataset {other}")),
+    };
+    std::fs::write(out, ds.to_csv()).map_err(|e| e.to_string())?;
+    println!("wrote {} samples x {} features to {out}", ds.len(), ds.features());
+    Ok(())
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Dataset::from_csv(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
+    let data = load_dataset(required(&flags, "data")?)?;
+    let learners: usize = numeric(&flags, "learners", 4)?;
+    let iters: usize = numeric(&flags, "iters", 100)?;
+    let c: f64 = numeric(&flags, "c", 50.0)?;
+    let rho: f64 = numeric(&flags, "rho", 100.0)?;
+    let seed: u64 = numeric(&flags, "seed", 1)?;
+    let out = required(&flags, "out")?;
+    let on_cluster = flags.contains_key("cluster");
+    let cfg = AdmmConfig::default()
+        .with_c(c)
+        .with_rho(rho)
+        .with_max_iter(iters)
+        .with_seed(seed);
+
+    let (model, trace): (LinearSvm, Vec<f64>) = match required(&flags, "mode")? {
+        "central" => {
+            let m = LinearSvm::train(&data, c).map_err(|e| e.to_string())?;
+            (m, Vec::new())
+        }
+        "hl" => {
+            let parts =
+                Partition::horizontal(&data, learners, seed).map_err(|e| e.to_string())?;
+            if on_cluster {
+                let (outcome, metrics) =
+                    train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default())
+                        .map_err(|e| e.to_string())?;
+                println!(
+                    "cluster: locality {:.2}, {} B shuffled, {} B broadcast",
+                    metrics.locality_ratio(),
+                    metrics.bytes_shuffled,
+                    metrics.bytes_broadcast
+                );
+                (outcome.model, outcome.history.z_delta)
+            } else {
+                let outcome =
+                    HorizontalLinearSvm::train(&parts, &cfg, None).map_err(|e| e.to_string())?;
+                (outcome.model, outcome.history.z_delta)
+            }
+        }
+        "vl" => {
+            let view = Partition::vertical(&data, learners, seed).map_err(|e| e.to_string())?;
+            let outcome = VerticalLinearSvm::train(&view, &cfg, None).map_err(|e| e.to_string())?;
+            (outcome.model.to_linear_svm(), outcome.history.z_delta)
+        }
+        other => return Err(format!("unknown mode {other}")),
+    };
+
+    std::fs::write(out, model.to_text()).map_err(|e| e.to_string())?;
+    println!("trained on {} samples; train accuracy {:.3}", data.len(), model.accuracy(&data));
+    if let Some(last) = trace.last() {
+        println!("final consensus movement: {last:.3e} after {} iterations", trace.len());
+    }
+    println!("model written to {out}");
+    Ok(())
+}
+
+fn cmd_eval(flags: BTreeMap<String, String>) -> Result<(), String> {
+    let model_text =
+        std::fs::read_to_string(required(&flags, "model")?).map_err(|e| e.to_string())?;
+    let model = LinearSvm::from_text(&model_text).map_err(|e| e.to_string())?;
+    let data = load_dataset(required(&flags, "data")?)?;
+    let confusion = ppml::svm::confusion((0..data.len()).map(|i| {
+        (
+            model.classify(data.sample(i)).expect("dimension match"),
+            data.label(i),
+        )
+    }));
+    println!("samples   : {}", confusion.total());
+    println!("accuracy  : {:.4}", confusion.accuracy());
+    println!("precision : {:.4}", confusion.precision());
+    println!("recall    : {:.4}", confusion.recall());
+    println!("f1        : {:.4}", confusion.f1());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let result = parse_flags(rest).and_then(|flags| match cmd.as_str() {
+        "gen" => cmd_gen(flags),
+        "split" => cmd_split(flags),
+        "train" => cmd_train(flags),
+        "eval" => cmd_eval(flags),
+        _ => Err(usage()),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # ppml — privacy-preserving machine learning for big-data systems
+//!
+//! A full Rust implementation of *Xu, Yue, Guo, Guo, Fang,
+//! "Privacy-preserving Machine Learning Algorithms for Big Data Systems",
+//! IEEE ICDCS 2015*: consensus-ADMM support vector machines trained over an
+//! iterative MapReduce substrate, where raw training data never leaves its
+//! owner's node and the per-iteration local models are aggregated through a
+//! coalition-resistant secure summation protocol.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `ppml-core` | the four distributed trainers + MapReduce drivers |
+//! | [`data`] | `ppml-data` | datasets, partitioners, calibrated synthetic workloads |
+//! | [`svm`] | `ppml-svm` | the centralized SVM baseline (§VI's benchmark) |
+//! | [`crypto`] | `ppml-crypto` | secure summation, Paillier, fixed-point codec |
+//! | [`mapreduce`] | `ppml-mapreduce` | the Twister-style iterative MapReduce engine |
+//! | [`kernel`] | `ppml-kernel` | kernels + landmark sets |
+//! | [`qp`] | `ppml-qp` | the dual QP solvers |
+//! | [`linalg`] | `ppml-linalg` | dense linear algebra |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ppml::core::{AdmmConfig, HorizontalLinearSvm};
+//! use ppml::data::{synth, Partition};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Four organizations hold disjoint rows of a joint training set.
+//! let dataset = synth::cancer_like(400, 7);
+//! let (train, test) = dataset.split(0.5, 1)?;
+//! let learners = Partition::horizontal(&train, 4, 2)?;
+//!
+//! // Train collaboratively; only masked model averages ever leave a node.
+//! let cfg = AdmmConfig::default().with_max_iter(50);
+//! let outcome = HorizontalLinearSvm::train(&learners, &cfg, Some(&test))?;
+//!
+//! println!("accuracy: {:.3}", outcome.model.accuracy(&test));
+//! assert!(outcome.model.accuracy(&test) > 0.85);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for the paper's motivating scenarios (collaborating
+//! hospitals, banks with complementary features) and `ppml-bench` for the
+//! harness regenerating every figure of the paper's evaluation.
+
+
+#![forbid(unsafe_code)]
+pub use ppml_core as core;
+pub use ppml_crypto as crypto;
+pub use ppml_data as data;
+pub use ppml_kernel as kernel;
+pub use ppml_linalg as linalg;
+pub use ppml_mapreduce as mapreduce;
+pub use ppml_qp as qp;
+pub use ppml_svm as svm;
