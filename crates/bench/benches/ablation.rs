@@ -5,83 +5,63 @@
 //! * landmark count `l` — quality/cost of the reduced consensus space;
 //! * learner count `M` — scaling the collaboration.
 //!
-//! Criterion reports time; the accompanying accuracy numbers are printed by
-//! the `fig4` binary runs recorded in EXPERIMENTS.md.
+//! This harness reports time; the accompanying accuracy numbers are
+//! printed by the `fig4` binary runs recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppml_core::{AdmmConfig, HorizontalKernelSvm, HorizontalLinearSvm};
+use ppml_bench::timing::{bench, SLOW_SAMPLES};
+use ppml_core::{AdmmConfig, HorizontalKernelSvm, HorizontalLinearSvm, VerticalKernelSvm};
 use ppml_data::{synth, Partition};
 use ppml_kernel::Kernel;
 
-fn bench_rho(c: &mut Criterion) {
+fn main() {
     let ds = synth::cancer_like(240, 3);
     let parts = Partition::horizontal(&ds, 4, 1).expect("partition");
-    let mut group = c.benchmark_group("ablation_rho");
-    group.sample_size(10);
     for &rho in &[1.0f64, 10.0, 100.0] {
         // Time to drive Δz² below 1e-5 (capped at 200 iterations).
         let cfg = AdmmConfig::default()
             .with_rho(rho)
             .with_max_iter(200)
             .with_tol(1e-5);
-        group.bench_with_input(BenchmarkId::from_parameter(rho), &cfg, |b, cfg| {
-            b.iter(|| HorizontalLinearSvm::train(&parts, cfg, None).unwrap())
+        bench(&format!("ablation_rho/{rho}"), SLOW_SAMPLES, || {
+            HorizontalLinearSvm::train(&parts, &cfg, None).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_landmarks(c: &mut Criterion) {
-    let ds = synth::xor_like(240, 5);
-    let parts = Partition::horizontal(&ds, 4, 1).expect("partition");
-    let mut group = c.benchmark_group("ablation_landmarks");
-    group.sample_size(10);
+    let xor = synth::xor_like(240, 5);
+    let xor_parts = Partition::horizontal(&xor, 4, 1).expect("partition");
     for &l in &[5usize, 15, 40] {
         let cfg = AdmmConfig::default()
             .with_kernel(Kernel::Rbf { gamma: 0.5 })
             .with_landmarks(l)
             .with_max_iter(20);
-        group.bench_with_input(BenchmarkId::from_parameter(l), &cfg, |b, cfg| {
-            b.iter(|| HorizontalKernelSvm::train(&parts, cfg, None).unwrap())
+        bench(&format!("ablation_landmarks/{l}"), SLOW_SAMPLES, || {
+            HorizontalKernelSvm::train(&xor_parts, &cfg, None).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_learner_count(c: &mut Criterion) {
-    let ds = synth::cancer_like(320, 3);
-    let mut group = c.benchmark_group("ablation_learners");
-    group.sample_size(10);
+    let big = synth::cancer_like(320, 3);
     for &m in &[2usize, 4, 8, 16] {
-        let parts = Partition::horizontal(&ds, m, 1).expect("partition");
+        let parts = Partition::horizontal(&big, m, 1).expect("partition");
         let cfg = AdmmConfig::default().with_max_iter(20);
-        group.bench_with_input(BenchmarkId::from_parameter(m), &parts, |b, p| {
-            b.iter(|| HorizontalLinearSvm::train(p, &cfg, None).unwrap())
+        bench(&format!("ablation_learners/{m}"), SLOW_SAMPLES, || {
+            HorizontalLinearSvm::train(&parts, &cfg, None).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_nystrom(c: &mut Criterion) {
-    use ppml_core::VerticalKernelSvm;
-    let ds = synth::cancer_like(400, 7);
-    let view = Partition::vertical(&ds, 4, 2).expect("partition");
-    let mut group = c.benchmark_group("ablation_nystrom");
-    group.sample_size(10);
+    let wide = synth::cancer_like(400, 7);
+    let view = Partition::vertical(&wide, 4, 2).expect("partition");
     let base = AdmmConfig::default()
         .with_max_iter(10)
         .with_kernel(Kernel::Rbf { gamma: 1.0 / 9.0 });
-    group.bench_function("exact", |b| {
-        b.iter(|| VerticalKernelSvm::train(&view, &base, None).unwrap())
+    bench("ablation_nystrom/exact", SLOW_SAMPLES, || {
+        VerticalKernelSvm::train(&view, &base, None).unwrap()
     });
     for &rank in &[20usize, 60] {
         let cfg = base.with_nystrom(rank);
-        group.bench_with_input(BenchmarkId::new("rank", rank), &cfg, |b, cfg| {
-            b.iter(|| VerticalKernelSvm::train(&view, cfg, None).unwrap())
-        });
+        bench(
+            &format!("ablation_nystrom/rank/{rank}"),
+            SLOW_SAMPLES,
+            || VerticalKernelSvm::train(&view, &cfg, None).unwrap(),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rho, bench_landmarks, bench_learner_count, bench_nystrom);
-criterion_main!(benches);

@@ -1,23 +1,17 @@
 //! Timing harness for the four Fig. 4 trainer configurations.
 //!
-//! Criterion measures the wall-clock of a full (quick-scale) training run
-//! per trainer; the *data* for the figures comes from the `fig4` binary
+//! Measures the wall-clock of a full (quick-scale) training run per
+//! trainer; the *data* for the figures comes from the `fig4` binary
 //! (`cargo run -p ppml-bench --bin fig4 --release`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppml_bench::timing::{bench, SLOW_SAMPLES};
 use ppml_bench::{run_panel, ExperimentScale, Panel};
 
-fn bench_panels(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale::quick();
-    let mut group = c.benchmark_group("fig4");
-    group.sample_size(10);
     for panel in Panel::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(panel.id()), &panel, |b, &p| {
-            b.iter(|| run_panel(p, &scale).expect("panel run"))
+        bench(&format!("fig4/{}", panel.id()), SLOW_SAMPLES, || {
+            run_panel(panel, &scale).expect("panel run")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_panels);
-criterion_main!(benches);

@@ -2,50 +2,37 @@
 //! effect.
 //!
 //! Benches one ADMM MapReduce round at different cluster widths, and the
-//! same workload with locality-aware vs locality-blind scheduling. Byte
-//! counters (the paper's "moving computation results is much cheaper than
-//! moving data") come from the `fig4 --panel locality` binary.
+//! same workload with and without injected task failures. Byte counters
+//! (the paper's "moving computation results is much cheaper than moving
+//! data") come from the `fig4 --panel locality` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppml_bench::timing::{bench, SLOW_SAMPLES};
 use ppml_core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml_core::AdmmConfig;
 use ppml_data::{synth, Partition};
+use ppml_mapreduce::{BlockId, FaultPlan};
 
-fn bench_cluster_rounds(c: &mut Criterion) {
+fn main() {
     let ds = synth::cancer_like(240, 3);
-    let mut group = c.benchmark_group("cluster_rounds");
-    group.sample_size(10);
+    let cfg = AdmmConfig::default().with_max_iter(5);
     for &m in &[2usize, 4, 8] {
         let parts = Partition::horizontal(&ds, m, 1).expect("partition");
-        let cfg = AdmmConfig::default().with_max_iter(5);
-        group.bench_with_input(BenchmarkId::new("learners", m), &parts, |b, p| {
-            b.iter(|| train_linear_on_cluster(p, &cfg, None, ClusterTuning::default()).unwrap())
-        });
+        bench(
+            &format!("cluster_rounds/learners/{m}"),
+            SLOW_SAMPLES,
+            || train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).unwrap(),
+        );
     }
-    group.finish();
-}
 
-fn bench_fault_recovery_overhead(c: &mut Criterion) {
-    use ppml_mapreduce::{BlockId, FaultPlan};
-    let ds = synth::cancer_like(240, 3);
     let parts = Partition::horizontal(&ds, 4, 1).expect("partition");
-    let cfg = AdmmConfig::default().with_max_iter(5);
-    let mut group = c.benchmark_group("fault_recovery");
-    group.sample_size(10);
-    group.bench_function("clean", |b| {
-        b.iter(|| train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).unwrap())
+    bench("fault_recovery/clean", SLOW_SAMPLES, || {
+        train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).unwrap()
     });
-    group.bench_function("one_failure_per_run", |b| {
-        b.iter(|| {
-            let tuning = ClusterTuning {
-                fault_plan: FaultPlan::new().fail_first_attempts(2, BlockId(1), 1),
-                max_attempts: Some(3),
-            };
-            train_linear_on_cluster(&parts, &cfg, None, tuning).unwrap()
-        })
+    bench("fault_recovery/one_failure_per_run", SLOW_SAMPLES, || {
+        let tuning = ClusterTuning {
+            fault_plan: FaultPlan::new().fail_first_attempts(2, BlockId(1), 1),
+            max_attempts: Some(3),
+        };
+        train_linear_on_cluster(&parts, &cfg, None, tuning).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_cluster_rounds, bench_fault_recovery_overhead);
-criterion_main!(benches);

@@ -5,54 +5,52 @@
 //! sharing cost microseconds per aggregation, the homomorphic (Paillier)
 //! baseline costs milliseconds — three to four orders of magnitude.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ppml_crypto::{AdditiveSharing, PairwiseMasking, PaillierAggregation, PlainSum, SecureSum};
+use ppml_bench::timing::{bench, FAST_SAMPLES, SLOW_SAMPLES};
+use ppml_crypto::{AdditiveSharing, PaillierAggregation, PairwiseMasking, PlainSum, SecureSum};
 
 fn inputs(parties: usize, len: usize) -> Vec<Vec<f64>> {
     (0..parties)
-        .map(|p| (0..len).map(|i| ((p * len + i) as f64 * 0.7).sin()).collect())
+        .map(|p| {
+            (0..len)
+                .map(|i| ((p * len + i) as f64 * 0.7).sin())
+                .collect()
+        })
         .collect()
 }
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("securesum");
+fn main() {
     for &len in &[16usize, 256] {
         let data = inputs(4, len);
-        group.bench_with_input(BenchmarkId::new("plain", len), &data, |b, d| {
-            b.iter(|| PlainSum.aggregate(d).unwrap())
+        bench(&format!("securesum/plain/{len}"), FAST_SAMPLES, || {
+            PlainSum.aggregate(&data).unwrap()
         });
         let masking = PairwiseMasking::new(7);
-        group.bench_with_input(BenchmarkId::new("pairwise-masking", len), &data, |b, d| {
-            b.iter(|| masking.aggregate(d).unwrap())
-        });
+        bench(
+            &format!("securesum/pairwise-masking/{len}"),
+            FAST_SAMPLES,
+            || masking.aggregate(&data).unwrap(),
+        );
         let sharing = AdditiveSharing::new(7);
-        group.bench_with_input(BenchmarkId::new("additive-sharing", len), &data, |b, d| {
-            b.iter(|| sharing.aggregate(d).unwrap())
-        });
+        bench(
+            &format!("securesum/additive-sharing/{len}"),
+            FAST_SAMPLES,
+            || sharing.aggregate(&data).unwrap(),
+        );
     }
     // Paillier is orders of magnitude slower; bench a short vector only.
     let paillier = PaillierAggregation::keygen(256, 7).expect("keygen");
     let data = inputs(4, 16);
-    group.sample_size(10);
-    group.bench_with_input(BenchmarkId::new("paillier", 16), &data, |b, d| {
-        b.iter(|| paillier.aggregate(d).unwrap())
+    bench("securesum/paillier/16", SLOW_SAMPLES, || {
+        paillier.aggregate(&data).unwrap()
     });
-    group.finish();
-}
 
-fn bench_party_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("securesum_parties");
     for &parties in &[2usize, 4, 8, 16] {
         let data = inputs(parties, 64);
         let masking = PairwiseMasking::new(5);
-        group.bench_with_input(
-            BenchmarkId::new("pairwise-masking", parties),
-            &data,
-            |b, d| b.iter(|| masking.aggregate(d).unwrap()),
+        bench(
+            &format!("securesum_parties/pairwise-masking/{parties}"),
+            FAST_SAMPLES,
+            || masking.aggregate(&data).unwrap(),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_protocols, bench_party_scaling);
-criterion_main!(benches);

@@ -44,7 +44,10 @@ fn write_result(name: &str, contents: &str) -> std::io::Result<()> {
 
 fn emit_panel(panel: Panel, scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
     let (fig_conv, fig_acc) = panel.figures();
-    eprintln!("# running {} (Fig. {fig_conv} convergence, Fig. {fig_acc} accuracy)...", panel.id());
+    eprintln!(
+        "# running {} (Fig. {fig_conv} convergence, Fig. {fig_acc} accuracy)...",
+        panel.id()
+    );
     let start = std::time::Instant::now();
     let result = run_panel(panel, scale)?;
     let csv = panel_to_csv(&result);

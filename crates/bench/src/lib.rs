@@ -13,8 +13,9 @@
 //! for smoke tests. Convergence *shape* is scale-invariant — that is what
 //! the reproduction is judged on.
 
-
 #![forbid(unsafe_code)]
+pub mod timing;
+
 use ppml_core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml_core::{
     AdmmConfig, HorizontalKernelSvm, HorizontalLinearSvm, VerticalKernelSvm, VerticalLinearSvm,
@@ -112,7 +113,7 @@ impl ExperimentScale {
         }
     }
 
-    /// Smoke-test scale for CI and criterion.
+    /// Smoke-test scale for CI and the timed bench binaries.
     pub fn quick() -> Self {
         ExperimentScale {
             cancer_n: 160,
@@ -489,7 +490,11 @@ mod tests {
         let scale = ExperimentScale::quick();
         let reports = run_locality(&scale).unwrap();
         for r in reports {
-            assert_eq!(r.locality_ratio, 1.0, "{}: remote reads happened", r.dataset);
+            assert_eq!(
+                r.locality_ratio, 1.0,
+                "{}: remote reads happened",
+                r.dataset
+            );
             assert!(r.raw_bytes > 0);
             assert!(r.shuffle_bytes_per_iter > 0);
         }

@@ -138,17 +138,17 @@ impl AdmmConfig {
                 reason: reason.to_string(),
             })
         };
-        if !(self.c > 0.0) || !self.c.is_finite() {
+        if !(self.c.is_finite() && self.c > 0.0) {
             return fail("C must be positive and finite");
         }
-        if !(self.rho > 0.0) || !self.rho.is_finite() {
+        if !(self.rho.is_finite() && self.rho > 0.0) {
             return fail("rho must be positive and finite");
         }
         if self.max_iter == 0 {
             return fail("max_iter must be at least 1");
         }
         if let Some(t) = self.tol {
-            if !(t > 0.0) {
+            if t.is_nan() || t <= 0.0 {
                 return fail("tol must be positive when set");
             }
         }
@@ -199,8 +199,10 @@ mod tests {
         assert!(AdmmConfig::default().with_max_iter(0).validate().is_err());
         assert!(AdmmConfig::default().with_tol(0.0).validate().is_err());
         assert!(AdmmConfig::default().with_landmarks(0).validate().is_err());
-        let mut cfg = AdmmConfig::default();
-        cfg.c = f64::NAN;
+        let cfg = AdmmConfig {
+            c: f64::NAN,
+            ..AdmmConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

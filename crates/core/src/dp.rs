@@ -55,7 +55,7 @@ impl OutputPerturbation {
     ///
     /// [`TrainError::BadConfig`] unless `ε > 0` and finite.
     pub fn new(epsilon: f64) -> Result<Self> {
-        if !(epsilon > 0.0) || !epsilon.is_finite() {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
             return Err(TrainError::BadConfig {
                 reason: format!("epsilon must be positive and finite, got {epsilon}"),
             });
@@ -107,7 +107,7 @@ impl OutputPerturbation {
         c: f64,
         seed: u64,
     ) -> Result<LinearSvm> {
-        if !(c > 0.0) {
+        if c.is_nan() || c <= 0.0 {
             return Err(TrainError::BadConfig {
                 reason: format!("C must be positive, got {c}"),
             });
@@ -125,7 +125,7 @@ impl OutputPerturbation {
         // Radius: Γ(d, scale) as a sum of d Exp(scale) draws.
         let mut radius = 0.0;
         for _ in 0..d {
-            let u: f64 = rand::Rng::gen_range(&mut r, f64::MIN_POSITIVE..1.0);
+            let u: f64 = r.unit_f64().max(f64::MIN_POSITIVE);
             radius += -scale * u.ln();
         }
         let mut w = model.weights().to_vec();
@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn sensitivity_formula() {
-        let mech = OutputPerturbation::new(1.0).unwrap().with_feature_bound(2.0);
+        let mech = OutputPerturbation::new(1.0)
+            .unwrap()
+            .with_feature_bound(2.0);
         assert_eq!(mech.sensitivity(0.5), 2.0);
         assert_eq!(mech.epsilon(), 1.0);
     }

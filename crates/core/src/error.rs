@@ -27,6 +27,13 @@ pub enum TrainError {
     Data(ppml_data::DataError),
     /// The centralized reference model failed to train (baseline paths).
     Svm(ppml_svm::SvmError),
+    /// The wire transport failed (timeout, peer gone, corrupt frame).
+    Transport(ppml_transport::TransportError),
+    /// A peer sent a frame that violates the coordination protocol.
+    Protocol {
+        /// What arrived and why it was unacceptable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -40,6 +47,8 @@ impl fmt::Display for TrainError {
             TrainError::MapReduce(e) => write!(f, "mapreduce failed: {e}"),
             TrainError::Data(e) => write!(f, "data handling failed: {e}"),
             TrainError::Svm(e) => write!(f, "baseline svm failed: {e}"),
+            TrainError::Transport(e) => write!(f, "transport failed: {e}"),
+            TrainError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
         }
     }
 }
@@ -53,6 +62,7 @@ impl std::error::Error for TrainError {
             TrainError::MapReduce(e) => Some(e),
             TrainError::Data(e) => Some(e),
             TrainError::Svm(e) => Some(e),
+            TrainError::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -74,7 +84,8 @@ from_impl!(
     ppml_crypto::CryptoError => Crypto,
     ppml_mapreduce::MapReduceError => MapReduce,
     ppml_data::DataError => Data,
-    ppml_svm::SvmError => Svm
+    ppml_svm::SvmError => Svm,
+    ppml_transport::TransportError => Transport
 );
 
 #[cfg(test)]

@@ -95,7 +95,7 @@ mod tests {
     }
 
     #[test]
-    fn csv_includes_accuracy_when_present(){
+    fn csv_includes_accuracy_when_present() {
         let h = ConvergenceHistory {
             z_delta: vec![0.5],
             accuracy: vec![0.9],

@@ -175,7 +175,7 @@ impl HkLearner {
         let c_vec = vecops::sub(z, &self.r);
         let d = s_cons - self.beta;
         let u = self.kg_chol.solve(&c_vec)?; // K_g⁻¹(z − r)
-        // q_i = ρM·y_i·(K(X,X_g)u)_i + d·y_i − 1
+                                             // q_i = ρM·y_i·(K(X,X_g)u)_i + d·y_i − 1
         let kmgu = self.kmg.matvec(&u)?;
         let lin: Vec<f64> = (0..self.y.len())
             .map(|i| self.rho * self.m * self.y[i] * kmgu[i] + d * self.y[i] - 1.0)
@@ -209,8 +209,8 @@ impl HkLearner {
 
     /// Scaled-dual ascent after receiving the new consensus.
     pub(crate) fn dual_update(&mut self, z: &[f64], s_cons: f64) {
-        for j in 0..self.r.len() {
-            self.r[j] += self.gw[j] - z[j];
+        for ((r, &gw), &zj) in self.r.iter_mut().zip(&self.gw).zip(z) {
+            *r += gw - zj;
         }
         self.beta += self.b - s_cons;
     }

@@ -118,8 +118,8 @@ impl HlLearner {
 
     /// Scaled-dual ascent after receiving the new consensus.
     pub(crate) fn dual_update(&mut self, z: &[f64], s: f64) {
-        for j in 0..self.gamma.len() {
-            self.gamma[j] += self.w[j] - z[j];
+        for ((g, &w), &zj) in self.gamma.iter_mut().zip(&self.w).zip(z) {
+            *g += w - zj;
         }
         self.beta += self.b - s;
     }
@@ -253,7 +253,11 @@ mod tests {
         let (parts, _train, test) = blob_parts();
         let cfg = AdmmConfig::default().with_max_iter(30);
         let out = HorizontalLinearSvm::train(&parts, &cfg, Some(&test)).unwrap();
-        assert!(out.model.accuracy(&test) > 0.95, "{}", out.model.accuracy(&test));
+        assert!(
+            out.model.accuracy(&test) > 0.95,
+            "{}",
+            out.model.accuracy(&test)
+        );
         assert_eq!(out.history.len(), 30);
         assert_eq!(out.history.accuracy.len(), 30);
         // z movement must shrink by orders of magnitude.
@@ -289,8 +293,7 @@ mod tests {
             let norm = 0.5 * vecops::norm_sq(w);
             let hinge: f64 = (0..train.len())
                 .map(|i| {
-                    let margin =
-                        train.label(i) * (vecops::dot(w, train.sample(i)) + b);
+                    let margin = train.label(i) * (vecops::dot(w, train.sample(i)) + b);
                     (1.0 - margin).max(0.0)
                 })
                 .sum();
@@ -360,8 +363,8 @@ mod tests {
             &ppml_crypto::AdditiveSharing::new(2),
         )
         .unwrap();
-        let c = HorizontalLinearSvm::train_with(&parts, &cfg, None, &ppml_crypto::PlainSum)
-            .unwrap();
+        let c =
+            HorizontalLinearSvm::train_with(&parts, &cfg, None, &ppml_crypto::PlainSum).unwrap();
         for ((wa, wb), wc) in a
             .model
             .weights()
@@ -384,14 +387,13 @@ mod tests {
         ));
         let ds = synth::blobs(10, 1);
         let empty = Dataset::new(Matrix::zeros(0, 2), vec![]).unwrap();
-        assert!(HorizontalLinearSvm::train(
-            &[ds.clone(), empty],
-            &AdmmConfig::default(),
-            None
-        )
-        .is_err());
+        assert!(
+            HorizontalLinearSvm::train(&[ds.clone(), empty], &AdmmConfig::default(), None).is_err()
+        );
         let wrong_dim = synth::cancer_like(10, 1);
-        assert!(HorizontalLinearSvm::train(&[ds, wrong_dim], &AdmmConfig::default(), None).is_err());
+        assert!(
+            HorizontalLinearSvm::train(&[ds, wrong_dim], &AdmmConfig::default(), None).is_err()
+        );
     }
 
     #[test]

@@ -99,6 +99,17 @@ impl ByteSized for LearnerBlock {
     fn byte_len(&self) -> usize {
         8 * self.0.len() * (self.0.features() + 1)
     }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // Row-major features followed by the label, dimensions implied by
+        // the block descriptor: exactly `byte_len()` bytes.
+        for i in 0..self.0.len() {
+            for v in self.0.sample(i) {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&self.0.label(i).to_le_bytes());
+        }
+    }
 }
 
 /// Broadcast state: the consensus variables plus the iteration counter the
@@ -116,6 +127,12 @@ pub struct ConsensusBroadcast {
 impl ByteSized for ConsensusBroadcast {
     fn byte_len(&self) -> usize {
         self.z.byte_len() + 16
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.z.encode_into(out);
+        self.s.encode_into(out);
+        self.iteration.encode_into(out);
     }
 }
 
@@ -217,6 +234,7 @@ fn cluster_config(m: usize, tuning: &ClusterTuning) -> ClusterConfig {
 /// Boots a cluster for `learners`, pins each partition to its node, and
 /// drives `cfg.max_iter` ADMM rounds. `snapshot` turns the cluster + fresh
 /// consensus into a per-iteration accuracy (when evaluating).
+#[allow(clippy::type_complexity)]
 fn drive<L, FSnap>(
     parts: &[Dataset],
     learners: Vec<L>,
@@ -350,16 +368,22 @@ pub fn train_kernel_on_cluster(
         .collect::<Result<Vec<_>>>()?;
     let l = landmarks.len();
     let lm = &landmarks;
-    let (cluster, _z, _s, history) = drive(parts, learners, l + 1, cfg, &tuning, |cl, _z, _s| {
-        match eval {
-            None => Ok(None),
-            Some(ds) => {
-                let first = cl.store().block_ids()[0];
-                let st = cl.mapper_state(first).expect("state persists");
-                Ok(Some(st.learner.model(lm)?.accuracy(ds)))
-            }
-        }
-    })?;
+    let (cluster, _z, _s, history) =
+        drive(
+            parts,
+            learners,
+            l + 1,
+            cfg,
+            &tuning,
+            |cl, _z, _s| match eval {
+                None => Ok(None),
+                Some(ds) => {
+                    let first = cl.store().block_ids()[0];
+                    let st = cl.mapper_state(first).expect("state persists");
+                    Ok(Some(st.learner.model(lm)?.accuracy(ds)))
+                }
+            },
+        )?;
     let first = cluster.store().block_ids()[0];
     let model = cluster
         .mapper_state(first)
@@ -414,6 +438,12 @@ impl ByteSized for VerticalBlock {
     fn byte_len(&self) -> usize {
         8 * self.0.rows() * self.0.cols()
     }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in self.0.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
 }
 
 /// Broadcast for the vertical schemes: the consensus gap `z − c̄ + r`.
@@ -428,6 +458,11 @@ pub struct VerticalBroadcast {
 impl ByteSized for VerticalBroadcast {
     fn byte_len(&self) -> usize {
         self.gap.byte_len() + 8
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.gap.encode_into(out);
+        self.iteration.encode_into(out);
     }
 }
 
@@ -535,7 +570,10 @@ where
             .1;
         if summed.len() != n {
             return Err(TrainError::BadPartition {
-                reason: format!("contribution length mismatch: expected {n}, got {}", summed.len()),
+                reason: format!(
+                    "contribution length mismatch: expected {n}, got {}",
+                    summed.len()
+                ),
             });
         }
         let cbar: Vec<f64> = summed.iter().map(|&v| codec.decode_u64(v)).collect();
@@ -600,7 +638,14 @@ fn collect_vl_weights(
         .store()
         .block_ids()
         .into_iter()
-        .map(|b| cluster.mapper_state(b).expect("state persists").node.w.clone())
+        .map(|b| {
+            cluster
+                .mapper_state(b)
+                .expect("state persists")
+                .node
+                .w
+                .clone()
+        })
         .collect()
 }
 
@@ -626,8 +671,7 @@ pub fn train_vertical_kernel_on_cluster(
             None => Ok(None),
             Some(ds) => {
                 let expansions = collect_vk_expansions(cl);
-                let model =
-                    crate::vertical::kernel::assemble(view, cfg.kernel, expansions, bias);
+                let model = crate::vertical::kernel::assemble(view, cfg.kernel, expansions, bias);
                 Ok(Some(model.accuracy(ds)))
             }
         })?;
@@ -649,7 +693,13 @@ fn collect_vk_expansions(
         .store()
         .block_ids()
         .into_iter()
-        .map(|b| cluster.mapper_state(b).expect("state persists").node.expansion())
+        .map(|b| {
+            cluster
+                .mapper_state(b)
+                .expect("state persists")
+                .node
+                .expansion()
+        })
         .collect()
 }
 
@@ -672,8 +722,7 @@ mod tests {
         let cfg = AdmmConfig::default().with_max_iter(12);
         let (on_cluster, metrics) =
             train_linear_on_cluster(&parts, &cfg, Some(&test), ClusterTuning::default()).unwrap();
-        let in_process =
-            crate::HorizontalLinearSvm::train(&parts, &cfg, Some(&test)).unwrap();
+        let in_process = crate::HorizontalLinearSvm::train(&parts, &cfg, Some(&test)).unwrap();
         // The fixed-point sums are mask-independent → identical iterates.
         for (a, b) in on_cluster
             .model
@@ -700,9 +749,12 @@ mod tests {
 
     #[test]
     fn shuffle_traffic_is_tiny_compared_to_raw_data() {
-        // The data-locality claim (E11): per-iteration shuffle is O(k·M),
-        // raw data is O(N·k).
-        let (parts, train, _) = parts4();
+        // The data-locality claim (E11): per-iteration shuffle is O(k·M)
+        // frames, raw data is O(N·k). Use enough rows that the per-frame
+        // overhead (28 bytes each) cannot blur the asymptotic gap.
+        let ds = synth::blobs(640, 1);
+        let (train, _test) = ds.split(0.5, 2).unwrap();
+        let parts = Partition::horizontal(&train, 4, 3).unwrap();
         let cfg = AdmmConfig::default().with_max_iter(10);
         let (_, metrics) =
             train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).unwrap();

@@ -44,9 +44,9 @@
 //! # }
 //! ```
 
-
 #![forbid(unsafe_code)]
 mod config;
+pub mod distributed;
 pub mod dp;
 mod error;
 mod history;
@@ -65,6 +65,7 @@ mod vertical {
 }
 
 pub use config::AdmmConfig;
+pub use distributed::DistributedOutcome;
 pub use error::TrainError;
 pub use history::ConvergenceHistory;
 pub use horizontal::kernel::{HorizontalKernelSvm, KernelConsensusModel, KernelOutcome};
@@ -76,7 +77,7 @@ pub use vertical::linear::{VerticalLinearModel, VerticalLinearSvm, VerticalOutco
 // Re-exported so callers can pick an aggregation backend without importing
 // ppml-crypto directly.
 pub use ppml_crypto::{
-    AdditiveSharing, PairwiseMasking, PaillierAggregation, SecureSum, ThresholdSharing,
+    AdditiveSharing, PaillierAggregation, PairwiseMasking, SecureSum, ThresholdSharing,
 };
 
 /// Crate-wide result alias.

@@ -10,7 +10,7 @@
 //! summing all masked shares cancels every mask — the same algebra as the
 //! paper's `Sedᵢ − Revᵢ`, with the network exchange replaced by a PRG.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ppml_data::rng::Rng64;
 
 use ppml_crypto::{CryptoError, FixedPointCodec};
 
@@ -50,7 +50,7 @@ impl SeededMasker {
     }
 
     /// Deterministic pair mask stream for `(lo, hi)` at `iteration`.
-    fn pair_rng(&self, lo: usize, hi: usize, iteration: u64) -> StdRng {
+    fn pair_rng(&self, lo: usize, hi: usize, iteration: u64) -> Rng64 {
         // Mix the tuple into one seed; SplitMix-style finalization.
         let mut s = self.shared_seed
             ^ (lo as u64).wrapping_mul(0x9E3779B97F4A7C15)
@@ -59,7 +59,7 @@ impl SeededMasker {
         s ^= s >> 30;
         s = s.wrapping_mul(0xBF58476D1CE4E5B9);
         s ^= s >> 27;
-        StdRng::seed_from_u64(s)
+        Rng64::new(s)
     }
 
     /// Masks this learner's values for `iteration`: fixed-point encode, then
@@ -83,7 +83,7 @@ impl SeededMasker {
             let mut rng = self.pair_rng(lo, hi, iteration);
             let add = self.party == lo;
             for slot in out.iter_mut() {
-                let m: u64 = rng.gen();
+                let m: u64 = rng.next_u64();
                 *slot = if add {
                     slot.wrapping_add(m)
                 } else {
@@ -101,7 +101,11 @@ impl SeededMasker {
     /// # Errors
     ///
     /// [`CryptoError::ProtocolMisuse`] on missing or ragged shares.
-    pub fn combine(shares: &[Vec<u64>], parties: usize, codec: FixedPointCodec) -> Result<Vec<f64>> {
+    pub fn combine(
+        shares: &[Vec<u64>],
+        parties: usize,
+        codec: FixedPointCodec,
+    ) -> Result<Vec<f64>> {
         if shares.len() != parties {
             return Err(CryptoError::ProtocolMisuse {
                 reason: "share count does not match party count",
@@ -134,8 +138,9 @@ mod tests {
         let values: Vec<Vec<f64>> = (0..parties)
             .map(|p| (0..5).map(|i| (p * 5 + i) as f64 * 0.25 - 2.0).collect())
             .collect();
-        let maskers: Vec<SeededMasker> =
-            (0..parties).map(|p| SeededMasker::new(99, p, parties)).collect();
+        let maskers: Vec<SeededMasker> = (0..parties)
+            .map(|p| SeededMasker::new(99, p, parties))
+            .collect();
         let shares: Vec<Vec<u64>> = maskers
             .iter()
             .zip(&values)
@@ -167,8 +172,9 @@ mod tests {
     #[test]
     fn mixed_iteration_shares_do_not_cancel() {
         let parties = 2;
-        let maskers: Vec<SeededMasker> =
-            (0..parties).map(|p| SeededMasker::new(5, p, parties)).collect();
+        let maskers: Vec<SeededMasker> = (0..parties)
+            .map(|p| SeededMasker::new(5, p, parties))
+            .collect();
         let s0 = maskers[0].mask_share(&[1.0], 0).unwrap();
         let s1 = maskers[1].mask_share(&[1.0], 1).unwrap(); // wrong iteration
         let sum = SeededMasker::combine(&[s0, s1], parties, maskers[0].codec()).unwrap();

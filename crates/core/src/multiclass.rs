@@ -147,7 +147,7 @@ fn partition_rows(n: usize, learners: usize, seed: u64) -> Result<Vec<Vec<usize>
         if pos < learners {
             sets[pos].push(row);
         } else {
-            sets[rand::Rng::gen_range(&mut rng, 0..learners)].push(row);
+            sets[rng.index(learners)].push(row);
         }
     }
     Ok(sets)

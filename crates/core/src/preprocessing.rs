@@ -54,8 +54,7 @@ impl SecureStandardizer {
     pub fn fit(parts: &[Dataset], seed: u64) -> Result<Self> {
         // Wider dynamic range than the default codec: second moments of a
         // few thousand unstandardized samples can reach ~1e7.
-        let masking =
-            PairwiseMasking::new(seed).with_codec(FixedPointCodec::new(20));
+        let masking = PairwiseMasking::new(seed).with_codec(FixedPointCodec::new(20));
         Self::fit_with(parts, &masking)
     }
 
@@ -164,7 +163,11 @@ mod tests {
         let n = all.len() as f64;
         for j in 0..all[0].len() {
             let mean: f64 = all.iter().map(|r| r[j]).sum::<f64>() / n;
-            let var: f64 = all.iter().map(|r| (r[j] - mean) * (r[j] - mean)).sum::<f64>() / n;
+            let var: f64 = all
+                .iter()
+                .map(|r| (r[j] - mean) * (r[j] - mean))
+                .sum::<f64>()
+                / n;
             assert!(mean.abs() < 1e-6, "feature {j} mean {mean}");
             assert!((var - 1.0).abs() < 1e-4, "feature {j} var {var}");
         }

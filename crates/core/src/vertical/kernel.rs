@@ -49,8 +49,7 @@ impl VerticalKernelModel {
     /// Panics if `x` is shorter than the highest partitioned feature index.
     pub fn decision(&self, x: &[f64]) -> f64 {
         let mut acc = self.bias;
-        for ((slice, coeff), cols) in self.slices.iter().zip(&self.coeffs).zip(&self.feature_sets)
-        {
+        for ((slice, coeff), cols) in self.slices.iter().zip(&self.coeffs).zip(&self.feature_sets) {
             let xm: Vec<f64> = cols.iter().map(|&c| x[c]).collect();
             let krow = self.kernel.eval_row(&xm, slice);
             acc += vecops::dot(&krow, coeff);
@@ -167,8 +166,7 @@ impl VerticalKernelSvm {
                 }
             }
         }
-        let expansions: Vec<(Matrix, Vec<f64>)> =
-            nodes.iter().map(VkNode::expansion).collect();
+        let expansions: Vec<(Matrix, Vec<f64>)> = nodes.iter().map(VkNode::expansion).collect();
         Ok(VerticalKernelOutcome {
             model: assemble(view, cfg.kernel, expansions, reducer.bias),
             history,

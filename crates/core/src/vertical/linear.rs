@@ -388,13 +388,9 @@ mod tests {
         let view = Partition::vertical(&ds, 2, 9).unwrap();
         let cfg = AdmmConfig::default().with_max_iter(8);
         let a = VerticalLinearSvm::train_with(&view, &cfg, None, &ppml_crypto::PlainSum).unwrap();
-        let b = VerticalLinearSvm::train_with(
-            &view,
-            &cfg,
-            None,
-            &ppml_crypto::PairwiseMasking::new(4),
-        )
-        .unwrap();
+        let b =
+            VerticalLinearSvm::train_with(&view, &cfg, None, &ppml_crypto::PairwiseMasking::new(4))
+                .unwrap();
         for (u, v) in a
             .model
             .to_linear_svm()
@@ -433,7 +429,12 @@ mod tests {
     #[test]
     fn recover_bias_prefers_free_svs() {
         // λ = (C/2) free at index 0: b = y0 − z0 exactly.
-        let b = recover_bias(&[25.0, 0.0, 50.0], &[0.4, 2.0, -1.0], &[1.0, 1.0, -1.0], 50.0);
+        let b = recover_bias(
+            &[25.0, 0.0, 50.0],
+            &[0.4, 2.0, -1.0],
+            &[1.0, 1.0, -1.0],
+            50.0,
+        );
         assert!((b - 0.6).abs() < 1e-12);
     }
 }

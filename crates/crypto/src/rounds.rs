@@ -1,0 +1,643 @@
+//! The §V protocols as message flows over a real transport.
+//!
+//! [`crate::PairwiseMasking`] and [`crate::ThresholdSharing`] route their
+//! messages in process: every party's masks and shares are plain function
+//! arguments. This module re-expresses the same rounds as frames crossing a
+//! [`Transport`] — the deployment shape of the paper's Fig. 1, where each
+//! mapper is its own process and the only way to move a mask is to send it.
+//!
+//! Numerically nothing changes: the fixed-point sums are mask- and
+//! share-independent, so a round over a lossy loopback fabric or real TCP
+//! reconstructs exactly the value the in-process drivers produce. The tests
+//! exercise precisely that, with injected frame drops, duplicates and
+//! reordering recovered by the [`Courier`]'s retransmission layer.
+//!
+//! Two flows are provided:
+//!
+//! * [`PairwiseRound`] — the paper's own protocol: a full-mesh mask
+//!   exchange ([`Message::MaskExchange`]) followed by one
+//!   [`Message::MaskedShare`] submission per party, gathered and combined by
+//!   a reducer ([`gather_masked_sum`]).
+//! * [`ThresholdRound`] — the dropout-tolerant variant: Shamir share
+//!   distribution ([`Message::Shares`]), local field-summing, and
+//!   reconstruction from any `t` survivors
+//!   ([`reconstruct_threshold_sum`]); parties may crash *after*
+//!   distributing without losing the round, mirroring
+//!   [`crate::ThresholdSharing::aggregate_with_dropout`].
+
+use std::time::Duration;
+
+use ppml_transport::{Courier, Message, PartyId, Transport, TransportError};
+
+use crate::secure_sum::validate;
+use crate::{CryptoError, FixedPointCodec, MaskedShare, MaskingParty, ThresholdSharing};
+
+/// Failures of a transport-backed protocol round.
+#[derive(Debug)]
+pub enum RoundError {
+    /// The cryptographic layer rejected something (range, share shapes …).
+    Crypto(CryptoError),
+    /// The fabric failed (timeout after retries, closed hub, socket error).
+    Transport(TransportError),
+    /// A well-formed frame arrived that the protocol state machine cannot
+    /// accept (wrong iteration, unknown sender, duplicate role …).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::Crypto(e) => write!(f, "crypto failure in round: {e}"),
+            RoundError::Transport(e) => write!(f, "transport failure in round: {e}"),
+            RoundError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RoundError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoundError::Crypto(e) => Some(e),
+            RoundError::Transport(e) => Some(e),
+            RoundError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<CryptoError> for RoundError {
+    fn from(e: CryptoError) -> Self {
+        RoundError::Crypto(e)
+    }
+}
+
+impl From<TransportError> for RoundError {
+    fn from(e: TransportError) -> Self {
+        RoundError::Transport(e)
+    }
+}
+
+/// Result alias for round flows.
+pub type Result<T> = std::result::Result<T, RoundError>;
+
+/// Per-party mask seed, identical to the derivation inside
+/// [`crate::PairwiseMasking`] so distributed and in-process runs share mask
+/// streams (and therefore byte-identical masked frames under one seed).
+pub fn party_seed(base: u64, party: usize) -> u64 {
+    base.wrapping_add(party as u64).wrapping_mul(0x9E3779B9)
+}
+
+/// One party's endpoint in a transport-backed pairwise-masking round.
+pub struct PairwiseRound<T: Transport> {
+    courier: Courier<T>,
+    parties: usize,
+    base_seed: u64,
+    codec: FixedPointCodec,
+    timeout: Duration,
+}
+
+impl<T: Transport> PairwiseRound<T> {
+    /// Wraps `courier` as one of `parties` protocol parties (this party's id
+    /// is the courier's). `base_seed` must be shared by all parties.
+    pub fn new(courier: Courier<T>, parties: usize, base_seed: u64) -> Self {
+        PairwiseRound {
+            courier,
+            parties,
+            base_seed,
+            codec: FixedPointCodec::default(),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Overrides the fixed-point codec (all parties must agree).
+    pub fn with_codec(mut self, codec: FixedPointCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Overrides the per-message receive window.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// This endpoint's party index.
+    pub fn party(&self) -> usize {
+        self.courier.party() as usize
+    }
+
+    /// Access to the underlying courier (stats, manual sends).
+    pub fn courier_mut(&mut self) -> &mut Courier<T> {
+        &mut self.courier
+    }
+
+    /// Unwraps the round back into its courier.
+    pub fn into_courier(self) -> Courier<T> {
+        self.courier
+    }
+
+    /// Runs the full mask exchange for `iteration` — steps 1–3 of the §V
+    /// protocol, with the "sends them to the other `M−1` mappers" step as
+    /// real frames — and returns the reducer-bound masked share (step 4).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors (after the courier's retries), crypto range errors,
+    /// or [`RoundError::Protocol`] on frames that do not belong to this
+    /// round.
+    pub fn masked_share(&mut self, iteration: u64, values: &[f64]) -> Result<MaskedShare> {
+        let me = self.party();
+        let masker = MaskingParty::new(
+            me,
+            self.parties,
+            values.len(),
+            party_seed(self.base_seed, me),
+            self.codec,
+        );
+        let peers = masker.peers();
+        for (k, &peer) in peers.iter().enumerate() {
+            self.courier.send_reliable(
+                peer as PartyId,
+                &Message::MaskExchange {
+                    iteration,
+                    masks: masker.outgoing(k).to_vec(),
+                },
+            )?;
+        }
+        let mut received: Vec<Option<Vec<u64>>> = vec![None; peers.len()];
+        let mut missing = peers.len();
+        while missing > 0 {
+            let env = self.courier.recv(self.timeout)?;
+            match env.msg {
+                Message::MaskExchange {
+                    iteration: it,
+                    masks,
+                } if it == iteration => {
+                    let slot = peers
+                        .iter()
+                        .position(|&p| p == env.from as usize)
+                        .ok_or(RoundError::Protocol("mask from a party outside the round"))?;
+                    if received[slot].replace(masks).is_some() {
+                        return Err(RoundError::Protocol("two mask vectors from one peer"));
+                    }
+                    missing -= 1;
+                }
+                Message::MaskExchange { .. } => {
+                    return Err(RoundError::Protocol("mask for a different iteration"))
+                }
+                _ => return Err(RoundError::Protocol("unexpected frame in mask exchange")),
+            }
+        }
+        let refs: Vec<&[u64]> = received
+            .iter()
+            .map(|m| m.as_deref().expect("all peers accounted for"))
+            .collect();
+        Ok(masker.masked_share(values, &refs)?)
+    }
+
+    /// Submits a masked share to the reducer (step 4's network half).
+    /// Returns the bytes put on the wire, retransmissions included.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors after the retry budget.
+    pub fn submit(
+        &mut self,
+        reducer: PartyId,
+        iteration: u64,
+        share: &MaskedShare,
+    ) -> Result<usize> {
+        Ok(self.courier.send_reliable(
+            reducer,
+            &Message::MaskedShare {
+                iteration,
+                party: share.party as u32,
+                payload: share.payload.clone(),
+            },
+        )?)
+    }
+}
+
+/// Reducer side of the pairwise round: waits until `total` distinct shares
+/// for `iteration` are present and sums them (step 5 — masks cancel).
+///
+/// `shares` seeds the collection with locally produced shares (a reducer
+/// that is itself a party passes its own); the rest arrive as
+/// [`Message::MaskedShare`] frames.
+///
+/// # Errors
+///
+/// Transport errors, crypto shape errors, or [`RoundError::Protocol`] on
+/// frames that do not belong to the round.
+pub fn gather_masked_sum<T: Transport>(
+    courier: &mut Courier<T>,
+    iteration: u64,
+    mut shares: Vec<MaskedShare>,
+    total: usize,
+    codec: FixedPointCodec,
+    timeout: Duration,
+) -> Result<Vec<f64>> {
+    while shares.len() < total {
+        let env = courier.recv(timeout)?;
+        match env.msg {
+            Message::MaskedShare {
+                iteration: it,
+                party,
+                payload,
+            } if it == iteration => {
+                if shares.iter().any(|s| s.party == party as usize) {
+                    return Err(RoundError::Protocol("two shares from one party"));
+                }
+                shares.push(MaskedShare {
+                    party: party as usize,
+                    payload,
+                });
+            }
+            Message::MaskedShare { .. } => {
+                return Err(RoundError::Protocol("share for a different iteration"))
+            }
+            _ => return Err(RoundError::Protocol("unexpected frame in share gather")),
+        }
+    }
+    Ok(MaskingParty::combine(&shares, codec)?)
+}
+
+/// One party's endpoint in a transport-backed threshold-sharing round.
+pub struct ThresholdRound<T: Transport> {
+    courier: Courier<T>,
+    parties: usize,
+    scheme: ThresholdSharing,
+    base_seed: u64,
+    timeout: Duration,
+}
+
+impl<T: Transport> ThresholdRound<T> {
+    /// Wraps `courier` as one of `parties` parties with reconstruction
+    /// threshold `threshold`. `base_seed` must be shared (it only derives
+    /// the *local* coefficient streams; any seeds reconstruct the same sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` (as [`ThresholdSharing::new`]).
+    pub fn new(courier: Courier<T>, parties: usize, threshold: usize, base_seed: u64) -> Self {
+        ThresholdRound {
+            courier,
+            parties,
+            scheme: ThresholdSharing::new(threshold, base_seed),
+            base_seed,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Overrides the per-message receive window.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// This endpoint's party index.
+    pub fn party(&self) -> usize {
+        self.courier.party() as usize
+    }
+
+    /// Access to the underlying courier.
+    pub fn courier_mut(&mut self) -> &mut Courier<T> {
+        &mut self.courier
+    }
+
+    /// Phase 1: Shamir-splits `values`, ships share vector `j` to party `j`
+    /// ([`Message::Shares`]), and field-adds every share vector received
+    /// from the other parties. Returns this party's held sum vector — a
+    /// share of the *total*, by linearity.
+    ///
+    /// After this phase completes, this party's input is fully distributed:
+    /// the caller may crash before [`ThresholdRound::submit`] and the round
+    /// still reconstructs, as long as `threshold` parties survive.
+    ///
+    /// # Errors
+    ///
+    /// Transport, crypto, or protocol errors as [`PairwiseRound::masked_share`].
+    pub fn distribute_and_sum(&mut self, iteration: u64, values: &[f64]) -> Result<Vec<u64>> {
+        let me = self.party();
+        let n = self.parties;
+        let t = self.scheme.threshold();
+        let len = values.len();
+        let mut rng = ppml_data::rng::Rng64::new(party_seed(self.base_seed ^ 0x7582, me));
+        // dest[j][i] = party j's share of this party's coordinate i.
+        let mut dest = vec![vec![0u64; len]; n];
+        for (i, &v) in values.iter().enumerate() {
+            let shares = crate::shamir::split(self.scheme.encode(v)?, t, n, &mut rng)?;
+            for (j, s) in shares.into_iter().enumerate() {
+                dest[j][i] = s.y;
+            }
+        }
+        let mut held = std::mem::take(&mut dest[me]);
+        for (j, values) in dest.into_iter().enumerate() {
+            if j != me {
+                self.courier
+                    .send_reliable(j as PartyId, &Message::Shares { iteration, values })?;
+            }
+        }
+        let mut seen = vec![false; n];
+        seen[me] = true;
+        let mut missing = n - 1;
+        while missing > 0 {
+            let env = self.courier.recv(self.timeout)?;
+            match env.msg {
+                Message::Shares {
+                    iteration: it,
+                    values,
+                } if it == iteration => {
+                    let from = env.from as usize;
+                    if from >= n || seen[from] {
+                        return Err(RoundError::Protocol("bad or duplicate share sender"));
+                    }
+                    if values.len() != len {
+                        return Err(RoundError::Protocol("share vector length mismatch"));
+                    }
+                    seen[from] = true;
+                    for (h, s) in held.iter_mut().zip(values) {
+                        *h = field_add(*h, s);
+                    }
+                    missing -= 1;
+                }
+                Message::Shares { .. } => {
+                    return Err(RoundError::Protocol("shares for a different iteration"))
+                }
+                _ => {
+                    return Err(RoundError::Protocol(
+                        "unexpected frame in share distribution",
+                    ))
+                }
+            }
+        }
+        Ok(held)
+    }
+
+    /// Phase 2: submits the held sum vector to the reducer as a
+    /// [`Message::MaskedShare`] (the "my share of the total" submission).
+    ///
+    /// The submission is deliberately *unacknowledged*: the reducer stops
+    /// listening once `threshold` parties have reported, so a surplus
+    /// submitter waiting for an ack would wait forever. Losing a
+    /// submission is indistinguishable from this party dropping out after
+    /// distribution — precisely the failure the scheme absorbs.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors on the single transmission.
+    pub fn submit(&mut self, reducer: PartyId, iteration: u64, held: Vec<u64>) -> Result<usize> {
+        let me = self.party() as u32;
+        Ok(self.courier.send_unreliable(
+            reducer,
+            &Message::MaskedShare {
+                iteration,
+                party: me,
+                payload: held,
+            },
+        )?)
+    }
+}
+
+/// Reducer side of the threshold round: collects submissions until
+/// `threshold` distinct parties have reported, then Lagrange-reconstructs
+/// every coordinate of the total. Parties that crashed between distribution
+/// and submission are simply never heard from — their *inputs* are still in
+/// the sum.
+///
+/// # Errors
+///
+/// Transport errors (including a timeout when fewer than `threshold`
+/// parties survive), reconstruction errors, protocol violations.
+pub fn reconstruct_threshold_sum<T: Transport>(
+    courier: &mut Courier<T>,
+    iteration: u64,
+    threshold: usize,
+    len: usize,
+    scheme: &ThresholdSharing,
+    timeout: Duration,
+) -> Result<Vec<f64>> {
+    let mut submissions: Vec<(usize, Vec<u64>)> = Vec::with_capacity(threshold);
+    while submissions.len() < threshold {
+        let env = courier.recv(timeout)?;
+        match env.msg {
+            Message::MaskedShare {
+                iteration: it,
+                party,
+                payload,
+            } if it == iteration => {
+                let party = party as usize;
+                if submissions.iter().any(|(p, _)| *p == party) {
+                    return Err(RoundError::Protocol("two submissions from one party"));
+                }
+                if payload.len() != len {
+                    return Err(RoundError::Protocol("submission length mismatch"));
+                }
+                submissions.push((party, payload));
+            }
+            Message::MaskedShare { .. } => {
+                return Err(RoundError::Protocol("submission for a different iteration"))
+            }
+            _ => return Err(RoundError::Protocol("unexpected frame in reconstruction")),
+        }
+    }
+    (0..len)
+        .map(|i| {
+            let column: Vec<crate::shamir::Share> = submissions
+                .iter()
+                .map(|(p, held)| crate::shamir::Share {
+                    x: *p as u64 + 1,
+                    y: held[i],
+                })
+                .collect();
+            Ok(scheme.decode(crate::shamir::reconstruct(&column)?))
+        })
+        .collect()
+}
+
+/// Field addition mod `2⁶¹ − 1` (widened to avoid overflow).
+fn field_add(a: u64, b: u64) -> u64 {
+    ((a as u128 + b as u128) % crate::shamir::MODULUS as u128) as u64
+}
+
+/// Convenience: validates inputs like the in-process drivers do, for tests
+/// that feed both paths the same vectors.
+pub fn validate_inputs(inputs: &[Vec<f64>]) -> Result<usize> {
+    Ok(validate(inputs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PairwiseMasking, SecureSum};
+    use ppml_transport::{LinkFilter, LoopbackHub, NetFaultPlan, RetryPolicy};
+
+    const TICK: Duration = Duration::from_secs(2);
+
+    fn inputs(m: usize) -> Vec<Vec<f64>> {
+        (0..m)
+            .map(|p| (0..4).map(|i| (p * 4 + i) as f64 * 0.375 - 2.0).collect())
+            .collect()
+    }
+
+    fn expected_sum(inputs: &[Vec<f64>]) -> Vec<f64> {
+        let len = inputs[0].len();
+        (0..len)
+            .map(|i| inputs.iter().map(|v| v[i]).sum())
+            .collect()
+    }
+
+    /// Runs a full pairwise round over a hub: parties 1..m exchange+submit,
+    /// party 0 participates and also reduces.
+    fn run_pairwise(m: usize, plan: NetFaultPlan, seed: u64) -> Vec<f64> {
+        let hub = LoopbackHub::with_faults(m, plan);
+        let data = inputs(m);
+        let mut handles = Vec::new();
+        for (p, values) in data.iter().enumerate().skip(1) {
+            let courier = Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+            let values = values.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut round = PairwiseRound::new(courier, m, seed).with_timeout(TICK);
+                let share = round.masked_share(7, &values).expect("mask exchange");
+                round.submit(0, 7, &share).expect("submit");
+            }));
+        }
+        let courier = Courier::new(hub.endpoint(0), RetryPolicy::fast_local());
+        let mut round = PairwiseRound::new(courier, m, seed).with_timeout(TICK);
+        let own = round
+            .masked_share(7, &data[0])
+            .expect("reducer's own share");
+        let sum = gather_masked_sum(
+            round.courier_mut(),
+            7,
+            vec![own],
+            m,
+            FixedPointCodec::default(),
+            TICK,
+        )
+        .expect("gather");
+        for h in handles {
+            h.join().expect("party thread");
+        }
+        sum
+    }
+
+    #[test]
+    fn pairwise_round_matches_in_process_driver() {
+        let m = 4;
+        let sum = run_pairwise(m, NetFaultPlan::none(), 99);
+        let reference = PairwiseMasking::new(99).aggregate(&inputs(m)).unwrap();
+        // Same seed → same mask streams → identical fixed-point arithmetic.
+        assert_eq!(sum, reference);
+    }
+
+    #[test]
+    fn pairwise_round_survives_dropped_and_duplicated_frames() {
+        // Destroy the first copy of several mask frames (kind 5) and one
+        // share frame (kind 6), duplicate another mask frame; the courier
+        // retransmits and dedupes, and the sum is unchanged.
+        let plan = NetFaultPlan::none()
+            .drop_frames(LinkFilter::any().kind(5), 3)
+            .duplicate_frames(LinkFilter::any().kind(5), 2)
+            .drop_frames(LinkFilter::any().kind(6), 1);
+        let m = 4;
+        let clean = run_pairwise(m, NetFaultPlan::none(), 3);
+        let lossy = run_pairwise(m, plan, 3);
+        assert_eq!(clean, lossy);
+        let want = expected_sum(&inputs(m));
+        for (a, b) in lossy.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pairwise_round_tolerates_reordering() {
+        let plan = NetFaultPlan::none().delay_frames(LinkFilter::any().kind(5), 2, 1);
+        let sum = run_pairwise(3, plan, 5);
+        let want = expected_sum(&inputs(3));
+        for (a, b) in sum.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pairwise_round_is_deterministic_per_seed() {
+        let a = run_pairwise(3, NetFaultPlan::none(), 11);
+        let b = run_pairwise(3, NetFaultPlan::none(), 11);
+        assert_eq!(a, b);
+    }
+
+    /// Threshold round with parties in `crash` dying after distribution.
+    fn run_threshold(m: usize, t: usize, crash: &[usize], plan: NetFaultPlan) -> Vec<f64> {
+        let hub = LoopbackHub::with_faults(m, plan);
+        let data = inputs(m);
+        let len = data[0].len();
+        let mut handles = Vec::new();
+        for (p, values) in data.iter().enumerate().skip(1) {
+            let courier = Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+            let values = values.clone();
+            let dies = crash.contains(&p);
+            handles.push(std::thread::spawn(move || {
+                let mut round = ThresholdRound::new(courier, m, t, 42).with_timeout(TICK);
+                let held = round.distribute_and_sum(3, &values).expect("distribute");
+                // A crash *after* distribution loses the submission only.
+                if !dies {
+                    round.submit(0, 3, held).expect("submit");
+                }
+            }));
+        }
+        let courier = Courier::new(hub.endpoint(0), RetryPolicy::fast_local());
+        let mut round = ThresholdRound::new(courier, m, t, 42).with_timeout(TICK);
+        let held = round
+            .distribute_and_sum(3, &data[0])
+            .expect("reducer distribute");
+        round.submit(0, 3, held).expect("reducer self-submission");
+        let scheme = ThresholdSharing::new(t, 42);
+        let sum = reconstruct_threshold_sum(round.courier_mut(), 3, t, len, &scheme, TICK)
+            .expect("reconstruct");
+        for h in handles {
+            h.join().expect("party thread");
+        }
+        sum
+    }
+
+    #[test]
+    fn threshold_round_reconstructs_full_sum() {
+        let m = 4;
+        let sum = run_threshold(m, 3, &[], NetFaultPlan::none());
+        let want = expected_sum(&inputs(m));
+        for (a, b) in sum.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn threshold_round_recovers_from_dropout_after_distribution() {
+        // Party 2 distributes its shares, then vanishes before submitting.
+        // Its input must still be inside the reconstructed sum — the whole
+        // point of the scheme, now demonstrated over a transport.
+        let m = 4;
+        let sum = run_threshold(m, 3, &[2], NetFaultPlan::none());
+        let want = expected_sum(&inputs(m));
+        for (a, b) in sum.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        // And it agrees with the in-process dropout simulation exactly.
+        let reference = ThresholdSharing::new(3, 42)
+            .aggregate_with_dropout(&inputs(m), &[0, 1, 3])
+            .unwrap();
+        assert_eq!(sum, reference);
+    }
+
+    #[test]
+    fn threshold_round_survives_lossy_links() {
+        let plan = NetFaultPlan::none()
+            .drop_frames(LinkFilter::any().kind(8), 2)
+            .duplicate_frames(LinkFilter::any().kind(8), 1);
+        let m = 4;
+        let sum = run_threshold(m, 2, &[1], plan);
+        let want = expected_sum(&inputs(m));
+        for (a, b) in sum.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! mapper-to-mapper mask exchange rather than assuming a trusted in-process
 //! coordinator.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use ppml_data::rng::Rng64;
 
 use crate::{CryptoError, FixedPointCodec, Paillier, Result};
 
@@ -37,7 +37,7 @@ pub trait SecureSum {
     fn cost(&self, parties: usize, len: usize) -> (usize, usize);
 }
 
-fn validate(inputs: &[Vec<f64>]) -> Result<usize> {
+pub(crate) fn validate(inputs: &[Vec<f64>]) -> Result<usize> {
     let first = inputs
         .first()
         .ok_or(CryptoError::ProtocolMisuse {
@@ -99,9 +99,9 @@ impl MaskingParty {
     pub fn new(id: usize, parties: usize, len: usize, seed: u64, codec: FixedPointCodec) -> Self {
         assert!(parties > 0, "at least one party required");
         assert!(id < parties, "party id {id} out of range {parties}");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let outgoing = (0..parties.saturating_sub(1))
-            .map(|_| (0..len).map(|_| rng.gen::<u64>()).collect())
+            .map(|_| (0..len).map(|_| rng.next_u64()).collect())
             .collect();
         MaskingParty {
             id,
@@ -148,9 +148,7 @@ impl MaskingParty {
             });
         }
         let len = values.len();
-        if self.outgoing.iter().any(|m| m.len() != len)
-            || received.iter().any(|m| m.len() != len)
-        {
+        if self.outgoing.iter().any(|m| m.len() != len) || received.iter().any(|m| m.len() != len) {
             return Err(CryptoError::ProtocolMisuse {
                 reason: "mask length does not match value length",
             });
@@ -180,7 +178,9 @@ impl MaskingParty {
     pub fn combine(shares: &[MaskedShare], codec: FixedPointCodec) -> Result<Vec<f64>> {
         let first = shares
             .first()
-            .ok_or(CryptoError::ProtocolMisuse { reason: "no shares" })?
+            .ok_or(CryptoError::ProtocolMisuse {
+                reason: "no shares",
+            })?
             .payload
             .len();
         if shares.iter().any(|s| s.payload.len() != first) {
@@ -310,20 +310,20 @@ impl SecureSum for AdditiveSharing {
     fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
         let len = validate(inputs)?;
         let m = inputs.len();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::new(self.seed);
         // held[j][i] accumulates the shares party j holds for coordinate i.
         let mut held = vec![vec![0u64; len]; m];
         for (owner, values) in inputs.iter().enumerate() {
             for (i, &v) in values.iter().enumerate() {
                 let enc = self.codec.encode_u64(v)?;
                 let mut rest = enc;
-                for j in 0..m {
+                for (j, row) in held.iter_mut().enumerate() {
                     if j == m - 1 {
-                        held[j][i] = held[j][i].wrapping_add(rest);
+                        row[i] = row[i].wrapping_add(rest);
                     } else {
-                        let share: u64 = rng.gen();
+                        let share: u64 = rng.next_u64();
                         rest = rest.wrapping_sub(share);
-                        held[j][i] = held[j][i].wrapping_add(share);
+                        row[i] = row[i].wrapping_add(share);
                     }
                 }
                 let _ = owner; // shares are owner-agnostic once split
@@ -377,7 +377,7 @@ impl PaillierAggregation {
     /// [`CryptoError::KeyTooSmall`] when `bits` is below the Paillier
     /// minimum.
     pub fn keygen(bits: usize, seed: u64) -> Result<Self> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         Ok(PaillierAggregation {
             paillier: Paillier::keygen(bits, &mut rng)?,
             codec: FixedPointCodec::default(),
@@ -401,7 +401,7 @@ impl SecureSum for PaillierAggregation {
     fn aggregate(&self, inputs: &[Vec<f64>]) -> Result<Vec<f64>> {
         let len = validate(inputs)?;
         let n = self.paillier.public_key().modulus().clone();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA5A5_A5A5);
+        let mut rng = Rng64::new(self.seed ^ 0xA5A5_A5A5);
         let mut out = Vec::with_capacity(len);
         for i in 0..len {
             let mut acc = self.paillier.neutral();
@@ -477,7 +477,7 @@ impl ThresholdSharing {
 
     /// Encodes an `f64` into the field (two's-complement style around the
     /// Mersenne modulus).
-    fn encode(&self, v: f64) -> Result<u64> {
+    pub(crate) fn encode(&self, v: f64) -> Result<u64> {
         let i = self.codec.encode_i64(v)?;
         Ok(if i >= 0 {
             i as u64 % crate::shamir::MODULUS
@@ -486,7 +486,7 @@ impl ThresholdSharing {
         })
     }
 
-    fn decode(&self, v: u64) -> f64 {
+    pub(crate) fn decode(&self, v: u64) -> f64 {
         let half = crate::shamir::MODULUS / 2;
         if v > half {
             -self.codec.decode_i64((crate::shamir::MODULUS - v) as i64)
@@ -503,12 +503,7 @@ impl ThresholdSharing {
     ///
     /// [`CryptoError::ProtocolMisuse`] when fewer than `t` parties are
     /// alive, `alive` references unknown parties, or inputs are malformed.
-    pub fn aggregate_with_dropout(
-        &self,
-        inputs: &[Vec<f64>],
-        alive: &[usize],
-    ) -> Result<Vec<f64>> {
-        use rand::SeedableRng;
+    pub fn aggregate_with_dropout(&self, inputs: &[Vec<f64>], alive: &[usize]) -> Result<Vec<f64>> {
         let len = validate(inputs)?;
         let n = inputs.len();
         if alive.len() < self.threshold {
@@ -521,13 +516,12 @@ impl ThresholdSharing {
                 reason: "alive set references unknown party",
             });
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ 0x7582);
+        let mut rng = Rng64::new(self.seed ^ 0x7582);
         // held[j][i]: the field-sum of coordinate i shares held by party j.
         let mut held = vec![vec![0u64; len]; n];
         for values in inputs {
             for (i, &v) in values.iter().enumerate() {
-                let shares =
-                    crate::shamir::split(self.encode(v)?, self.threshold, n, &mut rng)?;
+                let shares = crate::shamir::split(self.encode(v)?, self.threshold, n, &mut rng)?;
                 for (j, s) in shares.into_iter().enumerate() {
                     // Field addition mod 2⁶¹−1.
                     let sum = (held[j][i] as u128 + s.y as u128) % crate::shamir::MODULUS as u128;
@@ -659,8 +653,9 @@ mod tests {
         // i.e. the mask is actually applied.
         let codec = FixedPointCodec::default();
         let m = 3;
-        let parties: Vec<MaskingParty> =
-            (0..m).map(|i| MaskingParty::new(i, m, 2, 100 + i as u64, codec)).collect();
+        let parties: Vec<MaskingParty> = (0..m)
+            .map(|i| MaskingParty::new(i, m, 2, 100 + i as u64, codec))
+            .collect();
         let values = [5.0, -1.0];
         let received: Vec<&[u64]> = parties[1..]
             .iter()
@@ -679,8 +674,9 @@ mod tests {
         let codec = FixedPointCodec::default();
         let m = 4;
         let len = 3;
-        let parties: Vec<MaskingParty> =
-            (0..m).map(|i| MaskingParty::new(i, m, len, 7 * i as u64 + 1, codec)).collect();
+        let parties: Vec<MaskingParty> = (0..m)
+            .map(|i| MaskingParty::new(i, m, len, 7 * i as u64 + 1, codec))
+            .collect();
         let values: Vec<Vec<f64>> = (0..m)
             .map(|i| (0..len).map(|j| (i * len + j) as f64 * 0.5 - 2.0).collect())
             .collect();
@@ -764,9 +760,7 @@ mod tests {
     #[test]
     fn threshold_handles_negative_values() {
         let ts = ThresholdSharing::new(2, 12);
-        let sum = ts
-            .aggregate(&[vec![-5.5, 2.0], vec![1.5, -3.0]])
-            .unwrap();
+        let sum = ts.aggregate(&[vec![-5.5, 2.0], vec![1.5, -3.0]]).unwrap();
         assert!((sum[0] + 4.0).abs() < 1e-6);
         assert!((sum[1] + 1.0).abs() < 1e-6);
     }

@@ -14,7 +14,7 @@
 //! reduction two shifts and an add — fast enough to share whole model
 //! vectors.
 
-use rand::Rng;
+use ppml_data::rng::Rng64;
 
 use crate::{CryptoError, Result};
 
@@ -24,7 +24,7 @@ pub const MODULUS: u64 = (1 << 61) - 1;
 /// Reduction modulo the Mersenne prime.
 fn reduce(x: u128) -> u64 {
     // x = hi·2⁶¹ + lo ≡ hi + lo (mod 2⁶¹−1); two rounds reach < 2p.
-    let mut r = ((x >> 61) + (x & MODULUS as u128)) as u128;
+    let mut r = (x >> 61) + (x & MODULUS as u128);
     r = (r >> 61) + (r & MODULUS as u128);
     let mut v = r as u64;
     if v >= MODULUS {
@@ -47,7 +47,7 @@ fn sub(a: u64, b: u64) -> u64 {
 
 /// Modular inverse by Fermat (p is prime).
 fn inv(a: u64) -> Result<u64> {
-    if a % MODULUS == 0 {
+    if a.is_multiple_of(MODULUS) {
         return Err(CryptoError::NotInvertible);
     }
     // a^(p-2) mod p by square-and-multiply.
@@ -86,17 +86,17 @@ pub struct Share {
 ///
 /// ```
 /// use ppml_crypto::shamir::{reconstruct, split};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use ppml_data::rng::Rng64;
 ///
 /// # fn main() -> Result<(), ppml_crypto::CryptoError> {
-/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut rng = Rng64::new(1);
 /// let shares = split(42, 3, 5, &mut rng)?;   // 3-of-5
 /// let got = reconstruct(&shares[1..4])?;      // any 3 suffice
 /// assert_eq!(got, 42);
 /// # Ok(())
 /// # }
 /// ```
-pub fn split<R: Rng>(secret: u64, t: usize, n: usize, rng: &mut R) -> Result<Vec<Share>> {
+pub fn split(secret: u64, t: usize, n: usize, rng: &mut Rng64) -> Result<Vec<Share>> {
     if t == 0 || t > n {
         return Err(CryptoError::ProtocolMisuse {
             reason: "threshold must satisfy 1 <= t <= n",
@@ -115,7 +115,7 @@ pub fn split<R: Rng>(secret: u64, t: usize, n: usize, rng: &mut R) -> Result<Vec
     }
     // Random polynomial of degree t-1 with constant term = secret.
     let coeffs: Vec<u64> = std::iter::once(secret)
-        .chain((1..t).map(|_| rng.gen_range(0..MODULUS)))
+        .chain((1..t).map(|_| rng.below(MODULUS)))
         .collect();
     Ok((1..=n as u64)
         .map(|x| {
@@ -176,11 +176,11 @@ pub fn reconstruct(shares: &[Share]) -> Result<u64> {
 /// # Errors
 ///
 /// As [`split`].
-pub fn split_vector<R: Rng>(
+pub fn split_vector(
     values: &[u64],
     t: usize,
     n: usize,
-    rng: &mut R,
+    rng: &mut Rng64,
 ) -> Result<Vec<Vec<Share>>> {
     let mut per_party: Vec<Vec<Share>> = vec![Vec::with_capacity(values.len()); n];
     for &v in values {
@@ -221,10 +221,8 @@ pub fn reconstruct_vector(parties: &[&[Share]]) -> Result<Vec<u64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> Rng64 {
+        Rng64::new(7)
     }
 
     #[test]

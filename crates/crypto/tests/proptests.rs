@@ -5,77 +5,114 @@
 use ppml_crypto::{
     AdditiveSharing, BigUint, FixedPointCodec, Montgomery, PairwiseMasking, PlainSum, SecureSum,
 };
-use proptest::prelude::*;
+use ppml_data::check::{run_cases, Gen};
 
 fn big(v: u128) -> BigUint {
     BigUint::from(v)
 }
 
-proptest! {
-    #[test]
-    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+/// Uniform `u128` assembled from two PRNG words.
+fn any_u128(g: &mut Gen) -> u128 {
+    (u128::from(g.rng().next_u64()) << 64) | u128::from(g.rng().next_u64())
+}
+
+#[test]
+fn add_matches_u128() {
+    run_cases("add_matches_u128", 64, |g, _| {
+        let (a, b) = (g.rng().next_u64(), g.rng().next_u64());
         let want = a as u128 + b as u128;
-        prop_assert_eq!(big(a as u128).add(&big(b as u128)).to_u128(), Some(want));
-    }
+        assert_eq!(big(a as u128).add(&big(b as u128)).to_u128(), Some(want));
+    });
+}
 
-    #[test]
-    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn mul_matches_u128() {
+    run_cases("mul_matches_u128", 64, |g, _| {
+        let (a, b) = (g.rng().next_u64(), g.rng().next_u64());
         let want = a as u128 * b as u128;
-        prop_assert_eq!(big(a as u128).mul(&big(b as u128)).to_u128(), Some(want));
-    }
+        assert_eq!(big(a as u128).mul(&big(b as u128)).to_u128(), Some(want));
+    });
+}
 
-    #[test]
-    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+#[test]
+fn div_rem_matches_u128() {
+    run_cases("div_rem_matches_u128", 64, |g, _| {
+        let a = any_u128(g);
+        let b = any_u128(g).max(1);
         let (q, r) = big(a).div_rem(&big(b));
-        prop_assert_eq!(q.to_u128(), Some(a / b));
-        prop_assert_eq!(r.to_u128(), Some(a % b));
-    }
+        assert_eq!(q.to_u128(), Some(a / b));
+        assert_eq!(r.to_u128(), Some(a % b));
+    });
+}
 
-    #[test]
-    fn sub_inverts_add(a in any::<u128>(), b in any::<u128>()) {
+#[test]
+fn sub_inverts_add() {
+    run_cases("sub_inverts_add", 64, |g, _| {
+        let (a, b) = (any_u128(g), any_u128(g));
         let s = big(a).add(&big(b));
-        prop_assert_eq!(s.sub(&big(b)), big(a));
-        prop_assert_eq!(s.sub(&big(a)), big(b));
-    }
+        assert_eq!(s.sub(&big(b)), big(a));
+        assert_eq!(s.sub(&big(a)), big(b));
+    });
+}
 
-    #[test]
-    fn mul_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+#[test]
+fn mul_distributes() {
+    run_cases("mul_distributes", 64, |g, _| {
+        let (a, b, c) = (g.rng().next_u64(), g.rng().next_u64(), g.rng().next_u64());
         let (a, b, c) = (big(a as u128), big(b as u128), big(c as u128));
         let lhs = a.add(&b).mul(&c);
         let rhs = a.mul(&c).add(&b.mul(&c));
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn shifts_invert(a in any::<u128>(), n in 0usize..200) {
-        prop_assert_eq!(big(a).shl(n).shr(n), big(a));
-    }
+#[test]
+fn shifts_invert() {
+    run_cases("shifts_invert", 64, |g, _| {
+        let a = any_u128(g);
+        let n = g.usize_in(0, 200);
+        assert_eq!(big(a).shl(n).shr(n), big(a));
+    });
+}
 
-    #[test]
-    fn bytes_roundtrip(a in any::<u128>()) {
-        let v = big(a);
-        prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
-    }
+#[test]
+fn bytes_roundtrip() {
+    run_cases("bytes_roundtrip", 64, |g, _| {
+        let v = big(any_u128(g));
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+    });
+}
 
-    #[test]
-    fn gcd_divides_both(a in 1u128.., b in 1u128..) {
-        let g = big(a).gcd(&big(b));
-        prop_assert!(big(a).rem(&g).is_zero());
-        prop_assert!(big(b).rem(&g).is_zero());
-    }
+#[test]
+fn gcd_divides_both() {
+    run_cases("gcd_divides_both", 64, |g, _| {
+        let a = any_u128(g).max(1);
+        let b = any_u128(g).max(1);
+        let g2 = big(a).gcd(&big(b));
+        assert!(big(a).rem(&g2).is_zero());
+        assert!(big(b).rem(&g2).is_zero());
+    });
+}
 
-    #[test]
-    fn mod_inv_is_inverse_mod_prime(a in 1u64..) {
+#[test]
+fn mod_inv_is_inverse_mod_prime() {
+    run_cases("mod_inv_is_inverse_mod_prime", 64, |g, _| {
         // 2^61 - 1 is a Mersenne prime.
         let p = big((1u128 << 61) - 1);
-        let a = big(a as u128).rem(&p);
-        prop_assume!(!a.is_zero());
+        let a = big(g.rng().next_u64().max(1) as u128).rem(&p);
+        if a.is_zero() {
+            return; // vanishingly rare draw outside the group
+        }
         let inv = a.mod_inv(&p).expect("prime modulus, nonzero element");
-        prop_assert!(a.mod_mul(&inv, &p).is_one());
-    }
+        assert!(a.mod_mul(&inv, &p).is_one());
+    });
+}
 
-    #[test]
-    fn montgomery_matches_naive_modpow(base in any::<u64>(), exp in 0u64..4096) {
+#[test]
+fn montgomery_matches_naive_modpow() {
+    run_cases("montgomery_matches_naive_modpow", 48, |g, _| {
+        let base = g.rng().next_u64();
+        let exp = g.u64_in(0, 4096);
         let m = big(0xFFFF_FFFF_FFFF_FFC5); // 2^64 - 59, odd prime
         let ctx = Montgomery::new(&m);
         let fast = ctx.mod_pow(&big(base as u128), &big(exp as u128));
@@ -88,46 +125,52 @@ proptest! {
                 acc = acc.mod_mul(&b, &m);
             }
         }
-        prop_assert_eq!(fast, acc);
-    }
+        assert_eq!(fast, acc);
+    });
+}
 
-    #[test]
+#[test]
+fn fixed_point_roundtrip() {
     // The default codec admits |v| ≤ 2⁶²/2³²/2¹² ≈ 2.6e5.
-    fn fixed_point_roundtrip(v in -2e5f64..2e5) {
+    run_cases("fixed_point_roundtrip", 64, |g, _| {
+        let v = g.f64_in(-2e5, 2e5);
         let c = FixedPointCodec::default();
         let dec = c.decode_i64(c.encode_i64(v).unwrap());
-        prop_assert!((dec - v).abs() <= c.resolution());
+        assert!((dec - v).abs() <= c.resolution());
         let dec_u = c.decode_u64(c.encode_u64(v).unwrap());
-        prop_assert!((dec_u - v).abs() <= c.resolution());
-    }
+        assert!((dec_u - v).abs() <= c.resolution());
+    });
+}
 
-    #[test]
-    fn fixed_point_sum_is_homomorphic(vals in proptest::collection::vec(-1e4f64..1e4, 1..32)) {
+#[test]
+fn fixed_point_sum_is_homomorphic() {
+    run_cases("fixed_point_sum_is_homomorphic", 64, |g, _| {
+        let len = g.usize_in(1, 32);
+        let vals = g.vec_f64(-1e4, 1e4, len);
         let c = FixedPointCodec::default();
         let enc_sum = vals
             .iter()
             .map(|&v| c.encode_u64(v).unwrap())
             .fold(0u64, u64::wrapping_add);
         let want: f64 = vals.iter().sum();
-        prop_assert!((c.decode_u64(enc_sum) - want).abs() < vals.len() as f64 * c.resolution());
-    }
+        assert!((c.decode_u64(enc_sum) - want).abs() < vals.len() as f64 * c.resolution());
+    });
+}
 
-    #[test]
-    fn secure_sums_agree_with_plain(
-        inputs in proptest::collection::vec(
-            proptest::collection::vec(-1e3f64..1e3, 4),
-            1..6,
-        ),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn secure_sums_agree_with_plain() {
+    run_cases("secure_sums_agree_with_plain", 48, |g, _| {
+        let parties = g.usize_in(1, 6);
+        let inputs: Vec<Vec<f64>> = (0..parties).map(|_| g.vec_f64(-1e3, 1e3, 4)).collect();
+        let seed = g.rng().next_u64();
         let plain = PlainSum.aggregate(&inputs).unwrap();
         let masked = PairwiseMasking::new(seed).aggregate(&inputs).unwrap();
         let shared = AdditiveSharing::new(seed).aggregate(&inputs).unwrap();
         for i in 0..4 {
-            prop_assert!((plain[i] - masked[i]).abs() < 1e-5);
-            prop_assert!((plain[i] - shared[i]).abs() < 1e-5);
+            assert!((plain[i] - masked[i]).abs() < 1e-5);
+            assert!((plain[i] - shared[i]).abs() < 1e-5);
         }
-    }
+    });
 }
 
 // Paillier property tests are heavier (keygen), so one shared key pair is
@@ -135,45 +178,52 @@ proptest! {
 mod paillier_props {
     use super::*;
     use ppml_crypto::Paillier;
-    use rand::{rngs::StdRng, SeedableRng};
+    use ppml_data::rng::Rng64;
     use std::sync::OnceLock;
 
     fn system() -> &'static Paillier {
         static SYS: OnceLock<Paillier> = OnceLock::new();
         SYS.get_or_init(|| {
-            let mut rng = StdRng::seed_from_u64(99);
+            let mut rng = Rng64::new(99);
             Paillier::keygen(128, &mut rng).expect("keygen")
         })
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn enc_dec_roundtrip(m in any::<u64>()) {
+    #[test]
+    fn enc_dec_roundtrip() {
+        run_cases("enc_dec_roundtrip", 32, |g, _| {
+            let m = g.rng().next_u64();
             let ph = system();
-            let mut rng = StdRng::seed_from_u64(m);
+            let mut rng = Rng64::new(m);
             let c = ph.encrypt(&BigUint::from(m), &mut rng).unwrap();
-            prop_assert_eq!(ph.decrypt(&c).to_u64(), Some(m));
-        }
+            assert_eq!(ph.decrypt(&c).to_u64(), Some(m));
+        });
+    }
 
-        #[test]
-        fn addition_homomorphism(a in any::<u32>(), b in any::<u32>()) {
+    #[test]
+    fn addition_homomorphism() {
+        run_cases("addition_homomorphism", 32, |g, _| {
+            let a = g.rng().next_u64() as u32;
+            let b = g.rng().next_u64() as u32;
             let ph = system();
-            let mut rng = StdRng::seed_from_u64(a as u64 ^ ((b as u64) << 32));
+            let mut rng = Rng64::new(a as u64 ^ ((b as u64) << 32));
             let ca = ph.encrypt(&BigUint::from(a as u64), &mut rng).unwrap();
             let cb = ph.encrypt(&BigUint::from(b as u64), &mut rng).unwrap();
             let sum = ph.decrypt(&ph.add(&ca, &cb));
-            prop_assert_eq!(sum.to_u64(), Some(a as u64 + b as u64));
-        }
+            assert_eq!(sum.to_u64(), Some(a as u64 + b as u64));
+        });
+    }
 
-        #[test]
-        fn scalar_homomorphism(m in any::<u32>(), k in 0u32..1000) {
+    #[test]
+    fn scalar_homomorphism() {
+        run_cases("scalar_homomorphism", 32, |g, _| {
+            let m = g.rng().next_u64() as u32;
+            let k = g.u64_in(0, 1000) as u32;
             let ph = system();
-            let mut rng = StdRng::seed_from_u64(m as u64 + k as u64);
+            let mut rng = Rng64::new(m as u64 + k as u64);
             let c = ph.encrypt(&BigUint::from(m as u64), &mut rng).unwrap();
             let prod = ph.decrypt(&ph.mul_plain(&c, &BigUint::from(k as u64)));
-            prop_assert_eq!(prod.to_u64(), Some(m as u64 * k as u64));
-        }
+            assert_eq!(prod.to_u64(), Some(m as u64 * k as u64));
+        });
     }
 }

@@ -122,10 +122,7 @@ impl Dataset {
             return Err(DataError::BadSplit { fraction });
         }
         let perm = rng::permutation(self.len(), &mut rng::seeded(seed));
-        Ok((
-            self.select(&perm[..n_train]),
-            self.select(&perm[n_train..]),
-        ))
+        Ok((self.select(&perm[..n_train]), self.select(&perm[n_train..])))
     }
 
     /// Standardizes features to zero mean / unit variance **using this
@@ -202,8 +199,11 @@ impl Dataset {
             if line.trim().is_empty() {
                 continue;
             }
-            let vals: std::result::Result<Vec<f64>, _> =
-                line.split(',').map(str::trim).map(str::parse::<f64>).collect();
+            let vals: std::result::Result<Vec<f64>, _> = line
+                .split(',')
+                .map(str::trim)
+                .map(str::parse::<f64>)
+                .collect();
             let mut vals = vals.map_err(|e| DataError::Parse {
                 line: lineno + 1,
                 reason: e.to_string(),
@@ -237,7 +237,9 @@ mod tests {
 
     fn toy() -> Dataset {
         let x = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64);
-        let y = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         Dataset::new(x, y).unwrap()
     }
 
@@ -299,8 +301,8 @@ mod tests {
         for j in 0..3 {
             let col = scaled.x().col(j);
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-9);
         }

@@ -34,8 +34,8 @@
 //! # }
 //! ```
 
-
 #![forbid(unsafe_code)]
+pub mod check;
 mod dataset;
 mod error;
 pub mod multiclass;

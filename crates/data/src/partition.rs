@@ -2,7 +2,7 @@
 
 use ppml_linalg::Matrix;
 
-use crate::{rng, Dataset, DataError, Result};
+use crate::{rng, DataError, Dataset, Result};
 
 /// Partitioning constructors. The type itself is a namespace; partitions are
 /// returned as plain datasets (horizontal) or a [`VerticalView`].
@@ -33,7 +33,7 @@ impl Partition {
             if pos < m {
                 assignment[pos].push(row);
             } else {
-                let learner = rand::Rng::gen_range(&mut rng, 0..m);
+                let learner = rng.index(m);
                 assignment[learner].push(row);
             }
         }
@@ -60,7 +60,7 @@ impl Partition {
             if pos < m {
                 feature_sets[pos].push(col);
             } else {
-                let learner = rand::Rng::gen_range(&mut rng, 0..m);
+                let learner = rng.index(m);
                 feature_sets[learner].push(col);
             }
         }
@@ -161,7 +161,9 @@ mod tests {
 
     fn toy(n: usize, k: usize) -> Dataset {
         let x = Matrix::from_fn(n, k, |i, j| (i * k + j) as f64);
-        let y = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         Dataset::new(x, y).unwrap()
     }
 
@@ -176,7 +178,11 @@ mod tests {
         // Every original row appears exactly once across parts.
         let mut seen: Vec<Vec<f64>> = parts
             .iter()
-            .flat_map(|p| (0..p.len()).map(|i| p.sample(i).to_vec()).collect::<Vec<_>>())
+            .flat_map(|p| {
+                (0..p.len())
+                    .map(|i| p.sample(i).to_vec())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut orig: Vec<Vec<f64>> = (0..20).map(|i| ds.sample(i).to_vec()).collect();
@@ -225,8 +231,8 @@ mod tests {
         let view = Partition::vertical(&ds, 2, 9).unwrap();
         let sample = ds.sample(2);
         let slices = view.slice_sample(sample);
-        for m in 0..2 {
-            assert_eq!(slices[m].as_slice(), view.part(m).row(2));
+        for (m, slice) in slices.iter().enumerate() {
+            assert_eq!(slice.as_slice(), view.part(m).row(2));
         }
     }
 

@@ -1,23 +1,98 @@
-//! Deterministic random sampling helpers shared across the workspace.
+//! Deterministic random sampling for the whole workspace — no external
+//! crates.
 //!
 //! Everything in the evaluation pipeline must be reproducible from a single
-//! `u64` seed; these helpers wrap [`rand::rngs::StdRng`] with the couple of
-//! distributions the generators and trainers need (the offline dependency
-//! set has no `rand_distr`).
+//! `u64` seed. The previous revision wrapped `rand::rngs::StdRng`; the
+//! offline build has no registry access, so [`Rng64`] is now an internal
+//! xoshiro256++ generator (Blackman & Vigna) seeded through SplitMix64 —
+//! the standard construction, ~10 lines, and statistically far stronger
+//! than the sampling here needs. The helpers below cover the couple of
+//! distributions the generators and trainers use.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+/// The workspace PRNG: xoshiro256++ with SplitMix64 seed expansion.
+///
+/// Deterministic in the seed, `Clone` so streams can be forked, and cheap
+/// enough to create per (pair, iteration) as the masking layer does.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a single seed (SplitMix64 expansion, so
+    /// nearby seeds still give unrelated streams).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)`, unbiased via rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Reject the final partial block so every residue is equally likely.
+        let limit = u64::MAX - u64::MAX % bound;
+        loop {
+            let x = self.next_u64();
+            if x < limit {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+}
 
 /// Creates the workspace-standard seeded RNG.
-pub fn seeded(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 /// One standard-normal draw (Box–Muller; uses two uniforms per call for
 /// simplicity — sampling cost is irrelevant next to training cost).
-pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+pub fn standard_normal(rng: &mut Rng64) -> f64 {
     loop {
-        let u1: f64 = rng.gen();
-        let u2: f64 = rng.gen();
+        let u1 = rng.unit_f64();
+        let u2 = rng.unit_f64();
         if u1 > f64::MIN_POSITIVE {
             return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         }
@@ -25,15 +100,15 @@ pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
 }
 
 /// Fills a vector with i.i.d. `N(0, 1)` draws.
-pub fn normal_vec<R: Rng>(len: usize, rng: &mut R) -> Vec<f64> {
+pub fn normal_vec(len: usize, rng: &mut Rng64) -> Vec<f64> {
     (0..len).map(|_| standard_normal(rng)).collect()
 }
 
 /// A uniformly random permutation of `0..n` (Fisher–Yates).
-pub fn permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+pub fn permutation(n: usize, rng: &mut Rng64) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.index(i + 1);
         idx.swap(i, j);
     }
     idx
@@ -63,6 +138,32 @@ mod tests {
     }
 
     #[test]
+    fn unit_f64_in_range_and_spread() {
+        let mut rng = seeded(2);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = seeded(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
     fn permutation_is_a_permutation() {
         let mut rng = seeded(5);
         let p = permutation(100, &mut rng);
@@ -76,5 +177,14 @@ mod tests {
         let mut rng = seeded(1);
         assert_eq!(permutation(0, &mut rng), Vec::<usize>::new());
         assert_eq!(permutation(1, &mut rng), vec![0]);
+    }
+
+    #[test]
+    fn forked_streams_diverge() {
+        let mut a = seeded(9);
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+        let _ = a.next_u64();
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 }

@@ -31,7 +31,10 @@ fn separation_for_accuracy(acc: f64) -> f64 {
 
 /// Newton's method on the normal CDF (only used for non-standard targets).
 fn inverse_probit(p: f64) -> f64 {
-    assert!((0.5..1.0).contains(&p), "accuracy target must be in [0.5, 1)");
+    assert!(
+        (0.5..1.0).contains(&p),
+        "accuracy target must be in [0.5, 1)"
+    );
     let mut x = 0.0f64;
     for _ in 0..64 {
         let cdf = 0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2));
@@ -92,7 +95,7 @@ pub fn cancer_like(n: usize, seed: u64) -> Dataset {
 /// (centralized baseline ≈ 70 %) — "its two classes are highly inseparable".
 pub fn higgs_like(n: usize, seed: u64) -> Dataset {
     // Bayes target 73% → empirical SVM ≈ the paper's 70%.
-    two_gaussians(n, 28, separation_for_accuracy(0.73), seed ^ 0x81_66_5)
+    two_gaussians(n, 28, separation_for_accuracy(0.73), seed ^ 0x81665)
 }
 
 /// Optical-digits stand-in: 64 features generated from an 8-dimensional
@@ -128,11 +131,7 @@ pub fn ocr_like(n: usize, seed: u64) -> Dataset {
         rows.push(x);
     }
     let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
-    Dataset::new(
-        Matrix::from_rows(&refs).expect("equal-length rows"),
-        y,
-    )
-    .expect("labels are ±1")
+    Dataset::new(Matrix::from_rows(&refs).expect("equal-length rows"), y).expect("labels are ±1")
 }
 
 /// A trivially separable 2-D dataset for quickstarts and tests: class `+1`
@@ -330,12 +329,7 @@ mod tests {
     fn label_noise_flips_exactly_the_requested_fraction() {
         let ds = blobs(100, 3);
         let noisy = with_label_noise(&ds, 0.2, 7);
-        let flipped = ds
-            .y()
-            .iter()
-            .zip(noisy.y())
-            .filter(|(a, b)| a != b)
-            .count();
+        let flipped = ds.y().iter().zip(noisy.y()).filter(|(a, b)| a != b).count();
         assert_eq!(flipped, 20);
         // Features untouched.
         assert!(noisy.x().max_abs_diff(ds.x()).unwrap() < 1e-15);

@@ -179,8 +179,14 @@ mod tests {
     #[test]
     fn subsample_is_deterministic_in_seed() {
         let d = data();
-        assert_eq!(LandmarkSet::subsample(&d, 3, 5), LandmarkSet::subsample(&d, 3, 5));
-        assert_ne!(LandmarkSet::subsample(&d, 3, 5), LandmarkSet::subsample(&d, 3, 6));
+        assert_eq!(
+            LandmarkSet::subsample(&d, 3, 5),
+            LandmarkSet::subsample(&d, 3, 5)
+        );
+        assert_ne!(
+            LandmarkSet::subsample(&d, 3, 5),
+            LandmarkSet::subsample(&d, 3, 6)
+        );
     }
 
     #[test]

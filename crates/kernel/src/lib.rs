@@ -27,7 +27,6 @@
 //! # }
 //! ```
 
-
 #![forbid(unsafe_code)]
 mod landmarks;
 mod nystrom;
@@ -41,9 +40,10 @@ use ppml_linalg::{vecops, Matrix};
 ///
 /// The variants mirror §III-B of the paper. All variants are `Copy` so
 /// trainers can store the kernel by value in their configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Kernel {
     /// `K(x, y) = ⟨x, y⟩` — recovers the linear SVM.
+    #[default]
     Linear,
     /// `K(x, y) = (a·⟨x, y⟩ + b)^degree`.
     Polynomial {
@@ -67,12 +67,6 @@ pub enum Kernel {
         /// Additive offset `c`.
         c: f64,
     },
-}
-
-impl Default for Kernel {
-    fn default() -> Self {
-        Kernel::Linear
-    }
 }
 
 impl Kernel {
@@ -188,7 +182,7 @@ mod tests {
     fn sigmoid_bounded() {
         let k = Kernel::Sigmoid { c: 0.0 };
         let v = k.eval(&[10.0], &[10.0]);
-        assert!(v <= 1.0 && v >= -1.0);
+        assert!((-1.0..=1.0).contains(&v));
     }
 
     #[test]

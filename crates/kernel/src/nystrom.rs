@@ -196,11 +196,7 @@ mod tests {
         let ny = NystromFactor::fit(&x, kernel, 10, 100.0, 3).unwrap();
         let exact = kernel.gram(&x);
         let approx = ny.approx_gram().unwrap();
-        let rel = approx
-            .sub(&exact)
-            .unwrap()
-            .fro_norm()
-            / exact.fro_norm();
+        let rel = approx.sub(&exact).unwrap().fro_norm() / exact.fro_norm();
         assert!(rel < 0.15, "relative error {rel}");
     }
 
@@ -215,10 +211,7 @@ mod tests {
         let alpha = ny.solve(&e).unwrap();
         let w_l = ny.landmark_coeffs(&alpha).unwrap();
         let c1 = ny.contribution(&w_l).unwrap();
-        let c2 = vecops::scale(
-            &ny.approx_gram().unwrap().matvec(&alpha).unwrap(),
-            rho,
-        );
+        let c2 = vecops::scale(&ny.approx_gram().unwrap().matvec(&alpha).unwrap(), rho);
         for (a, b) in c1.iter().zip(&c2) {
             assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         }

@@ -105,8 +105,8 @@ impl Cholesky {
         // Backward: Lᵀ x = y
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * yk;
             }
             y[i] = s / self.l[(i, i)];
         }
@@ -161,7 +161,9 @@ mod tests {
         // A = B Bᵀ + n I is SPD for any B.
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let b = Matrix::from_fn(n, n, |_, _| next());

@@ -24,7 +24,6 @@
 //! # }
 //! ```
 
-
 #![forbid(unsafe_code)]
 mod chol;
 mod error;

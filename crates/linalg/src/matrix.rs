@@ -133,7 +133,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -143,7 +147,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -153,7 +161,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
+        assert!(
+            j < self.cols,
+            "col {j} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -202,8 +214,7 @@ impl Matrix {
             for i in 0..m {
                 let arow = self.row(i);
                 let orow = &mut out.data[i * n..(i + 1) * n];
-                for kk in k0..kend {
-                    let aik = arow[kk];
+                for (kk, &aik) in arow.iter().enumerate().take(kend).skip(k0) {
                     if aik == 0.0 {
                         continue;
                     }
@@ -531,7 +542,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -572,7 +586,10 @@ mod tests {
     fn add_sub_scale() {
         let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         let b = Matrix::from_rows(&[&[3.0, 5.0]]).unwrap();
-        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[4.0, 7.0]]).unwrap());
+        assert_eq!(
+            a.add(&b).unwrap(),
+            Matrix::from_rows(&[&[4.0, 7.0]]).unwrap()
+        );
         assert_eq!(
             b.sub(&a).unwrap(),
             Matrix::from_rows(&[&[2.0, 3.0]]).unwrap()
@@ -591,7 +608,10 @@ mod tests {
     fn select_rows_and_cols() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
         let r = a.select_rows(&[2, 0]);
-        assert_eq!(r, Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]).unwrap());
+        assert_eq!(
+            r,
+            Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 2.0, 3.0]]).unwrap()
+        );
         let c = a.select_cols(&[1]);
         assert_eq!(c, Matrix::from_rows(&[&[2.0], &[5.0], &[8.0]]).unwrap());
     }

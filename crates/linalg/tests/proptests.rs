@@ -2,131 +2,167 @@
 //! must satisfy its defining identity on random well-conditioned inputs, and
 //! the algebraic laws of the matrix/vector operations must hold.
 
+use ppml_data::check::{run_cases, Gen};
 use ppml_linalg::{vecops, Matrix};
-use proptest::prelude::*;
 
-/// Strategy: matrix of the given shape with entries in [-1, 1].
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-1.0f64..1.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized by construction"))
+/// Random matrix of the given shape with entries in [-1, 1].
+fn matrix(g: &mut Gen, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, g.vec_f64(-1.0, 1.0, rows * cols)).expect("sized by construction")
 }
 
-/// Strategy: SPD matrix built as `B·Bᵀ + n·I`.
-fn spd(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix(n, n).prop_map(move |b| {
-        let mut a = b.matmul(&b.transpose()).expect("square");
-        a.add_diag(n as f64 + 1.0);
-        a
-    })
+/// Random SPD matrix built as `B·Bᵀ + (n+1)·I`.
+fn spd(g: &mut Gen, n: usize) -> Matrix {
+    let b = matrix(g, n, n);
+    let mut a = b.matmul(&b.transpose()).expect("square");
+    a.add_diag(n as f64 + 1.0);
+    a
 }
 
-proptest! {
-    #[test]
-    fn matmul_associative(a in matrix(4, 3), b in matrix(3, 5), c in matrix(5, 2)) {
+#[test]
+fn matmul_associative() {
+    run_cases("matmul_associative", 64, |g, _| {
+        let (a, b, c) = (matrix(g, 4, 3), matrix(g, 3, 5), matrix(g, 5, 2));
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
-        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
-    }
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_add(a in matrix(3, 4), b in matrix(4, 3), c in matrix(4, 3)) {
+#[test]
+fn matmul_distributes_over_add() {
+    run_cases("matmul_distributes_over_add", 64, |g, _| {
+        let (a, b, c) = (matrix(g, 3, 4), matrix(g, 4, 3), matrix(g, 4, 3));
         let left = a.matmul(&b.add(&c).unwrap()).unwrap();
         let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
-        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
-    }
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
+    });
+}
 
-    #[test]
-    fn transpose_reverses_product(a in matrix(3, 5), b in matrix(5, 4)) {
+#[test]
+fn transpose_reverses_product() {
+    run_cases("transpose_reverses_product", 64, |g, _| {
+        let (a, b) = (matrix(g, 3, 5), matrix(g, 5, 4));
         let left = a.matmul(&b).unwrap().transpose();
         let right = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-12);
-    }
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-12);
+    });
+}
 
-    #[test]
-    fn t_matmul_equals_transpose_then_matmul(a in matrix(6, 3), b in matrix(6, 4)) {
+#[test]
+fn t_matmul_equals_transpose_then_matmul() {
+    run_cases("t_matmul_equals_transpose_then_matmul", 64, |g, _| {
+        let (a, b) = (matrix(g, 6, 3), matrix(g, 6, 4));
         let fast = a.t_matmul(&b).unwrap();
         let slow = a.transpose().matmul(&b).unwrap();
-        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-12);
-    }
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-12);
+    });
+}
 
-    #[test]
-    fn matvec_matches_matmul(a in matrix(5, 3), x in proptest::collection::vec(-1.0f64..1.0, 3)) {
+#[test]
+fn matvec_matches_matmul() {
+    run_cases("matvec_matches_matmul", 64, |g, _| {
+        let a = matrix(g, 5, 3);
+        let x = g.vec_f64(-1.0, 1.0, 3);
         let xm = Matrix::from_vec(3, 1, x.clone()).unwrap();
         let v = a.matvec(&x).unwrap();
         let m = a.matmul(&xm).unwrap();
         for i in 0..5 {
-            prop_assert!((v[i] - m[(i, 0)]).abs() < 1e-12);
+            assert!((v[i] - m[(i, 0)]).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_reconstructs(a in spd(6)) {
+#[test]
+fn cholesky_reconstructs() {
+    run_cases("cholesky_reconstructs", 64, |g, _| {
+        let a = spd(g, 6);
         let l = a.cholesky().unwrap();
         let back = l.factor().matmul(&l.factor().transpose()).unwrap();
-        prop_assert!(a.max_abs_diff(&back).unwrap() < 1e-8);
-    }
+        assert!(a.max_abs_diff(&back).unwrap() < 1e-8);
+    });
+}
 
-    #[test]
-    fn cholesky_solve_residual(a in spd(6), b in proptest::collection::vec(-1.0f64..1.0, 6)) {
+#[test]
+fn cholesky_solve_residual() {
+    run_cases("cholesky_solve_residual", 64, |g, _| {
+        let a = spd(g, 6);
+        let b = g.vec_f64(-1.0, 1.0, 6);
         let x = a.cholesky().unwrap().solve(&b).unwrap();
         let r = a.matvec(&x).unwrap();
         for (ri, bi) in r.iter().zip(&b) {
-            prop_assert!((ri - bi).abs() < 1e-8);
+            assert!((ri - bi).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_solve_residual(a in spd(5), b in proptest::collection::vec(-1.0f64..1.0, 5)) {
+#[test]
+fn lu_solve_residual() {
+    run_cases("lu_solve_residual", 64, |g, _| {
+        let a = spd(g, 5);
+        let b = g.vec_f64(-1.0, 1.0, 5);
         // SPD implies nonsingular, so LU must succeed too.
         let x = a.lu().unwrap().solve(&b).unwrap();
         let r = a.matvec(&x).unwrap();
         for (ri, bi) in r.iter().zip(&b) {
-            prop_assert!((ri - bi).abs() < 1e-8);
+            assert!((ri - bi).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_and_cholesky_agree(a in spd(5), b in proptest::collection::vec(-1.0f64..1.0, 5)) {
+#[test]
+fn lu_and_cholesky_agree() {
+    run_cases("lu_and_cholesky_agree", 64, |g, _| {
+        let a = spd(g, 5);
+        let b = g.vec_f64(-1.0, 1.0, 5);
         let x1 = a.lu().unwrap().solve(&b).unwrap();
         let x2 = a.cholesky().unwrap().solve(&b).unwrap();
         for (u, v) in x1.iter().zip(&x2) {
-            prop_assert!((u - v).abs() < 1e-7);
+            assert!((u - v).abs() < 1e-7);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dot_is_bilinear(
-        a in proptest::collection::vec(-1.0f64..1.0, 8),
-        b in proptest::collection::vec(-1.0f64..1.0, 8),
-        c in proptest::collection::vec(-1.0f64..1.0, 8),
-        s in -2.0f64..2.0,
-    ) {
+#[test]
+fn dot_is_bilinear() {
+    run_cases("dot_is_bilinear", 64, |g, _| {
+        let a = g.vec_f64(-1.0, 1.0, 8);
+        let b = g.vec_f64(-1.0, 1.0, 8);
+        let c = g.vec_f64(-1.0, 1.0, 8);
+        let s = g.f64_in(-2.0, 2.0);
         let lhs = vecops::dot(&vecops::add(&a, &vecops::scale(&b, s)), &c);
         let rhs = vecops::dot(&a, &c) + s * vecops::dot(&b, &c);
-        prop_assert!((lhs - rhs).abs() < 1e-10);
-    }
+        assert!((lhs - rhs).abs() < 1e-10);
+    });
+}
 
-    #[test]
-    fn norm_triangle_inequality(
-        a in proptest::collection::vec(-1.0f64..1.0, 8),
-        b in proptest::collection::vec(-1.0f64..1.0, 8),
-    ) {
-        prop_assert!(vecops::norm(&vecops::add(&a, &b)) <= vecops::norm(&a) + vecops::norm(&b) + 1e-12);
-    }
+#[test]
+fn norm_triangle_inequality() {
+    run_cases("norm_triangle_inequality", 64, |g, _| {
+        let a = g.vec_f64(-1.0, 1.0, 8);
+        let b = g.vec_f64(-1.0, 1.0, 8);
+        assert!(vecops::norm(&vecops::add(&a, &b)) <= vecops::norm(&a) + vecops::norm(&b) + 1e-12);
+    });
+}
 
-    #[test]
-    fn select_rows_roundtrip(a in matrix(5, 3)) {
+#[test]
+fn select_rows_roundtrip() {
+    run_cases("select_rows_roundtrip", 64, |g, _| {
+        let a = matrix(g, 5, 3);
         let idx: Vec<usize> = (0..5).collect();
-        prop_assert_eq!(a.select_rows(&idx), a.clone());
-    }
+        assert_eq!(a.select_rows(&idx), a.clone());
+    });
+}
 
-    #[test]
-    fn mean_is_between_min_and_max(vs in proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, 4), 1..6)) {
+#[test]
+fn mean_is_between_min_and_max() {
+    run_cases("mean_is_between_min_and_max", 64, |g, _| {
+        let rows = g.usize_in(1, 6);
+        let vs: Vec<Vec<f64>> = (0..rows).map(|_| g.vec_f64(-1.0, 1.0, 4)).collect();
         let m = vecops::mean(vs.iter().map(|v| v.as_slice())).unwrap();
         for j in 0..4 {
             let lo = vs.iter().map(|v| v[j]).fold(f64::INFINITY, f64::min);
             let hi = vs.iter().map(|v| v[j]).fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(m[j] >= lo - 1e-12 && m[j] <= hi + 1e-12);
+            assert!(m[j] >= lo - 1e-12 && m[j] <= hi + 1e-12);
         }
-    }
+    });
 }

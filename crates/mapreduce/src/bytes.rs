@@ -3,93 +3,45 @@
 //! The engine charges every map output and broadcast to [`crate::JobMetrics`]
 //! so the benchmarks can compare "bytes moved per iteration" against "bytes
 //! of raw training data" — the quantitative form of the paper's data-locality
-//! argument. `ByteSized` reports the serialized size a value *would* have on
-//! the wire (8 bytes per `f64`/`u64`, etc.); nothing is actually serialized.
+//! argument.
+//!
+//! Historically this module carried its own `ByteSized` estimator trait that
+//! only *predicted* serialized sizes. The wire codec in `ppml-transport`
+//! implements the same size arithmetic (8 bytes per `f64`/`u64`, 8-byte
+//! length prefixes on `Vec`/`String`, 1-byte `Option` tags …) but backs it
+//! with a real encoder, so the numbers the metrics report are the lengths of
+//! bytes that genuinely exist. `ByteSized` is now an alias of that trait:
+//! every map output and broadcast type is encodable, and
+//! [`ByteSized::byte_len`] is exactly `encode().len()`.
 
-/// Wire-size estimate of a value.
-pub trait ByteSized {
-    /// Number of bytes this value would occupy serialized.
-    fn byte_len(&self) -> usize;
-}
-
-impl ByteSized for () {
-    fn byte_len(&self) -> usize {
-        0
-    }
-}
-
-macro_rules! fixed_size {
-    ($($t:ty),*) => {
-        $(impl ByteSized for $t {
-            fn byte_len(&self) -> usize {
-                std::mem::size_of::<$t>()
-            }
-        })*
-    };
-}
-
-fixed_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
-
-impl<T: ByteSized> ByteSized for Vec<T> {
-    fn byte_len(&self) -> usize {
-        8 + self.iter().map(ByteSized::byte_len).sum::<usize>()
-    }
-}
-
-impl<T: ByteSized> ByteSized for Option<T> {
-    fn byte_len(&self) -> usize {
-        1 + self.as_ref().map_or(0, ByteSized::byte_len)
-    }
-}
-
-impl ByteSized for String {
-    fn byte_len(&self) -> usize {
-        8 + self.len()
-    }
-}
-
-impl<A: ByteSized, B: ByteSized> ByteSized for (A, B) {
-    fn byte_len(&self) -> usize {
-        self.0.byte_len() + self.1.byte_len()
-    }
-}
-
-impl<A: ByteSized, B: ByteSized, C: ByteSized> ByteSized for (A, B, C) {
-    fn byte_len(&self) -> usize {
-        self.0.byte_len() + self.1.byte_len() + self.2.byte_len()
-    }
-}
-
-impl<T: ByteSized + ?Sized> ByteSized for &T {
-    fn byte_len(&self) -> usize {
-        (*self).byte_len()
-    }
-}
+pub use ppml_transport::Wire as ByteSized;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The legacy estimator numbers must survive the switch to the real
+    /// codec — downstream benchmarks compare against recorded baselines.
     #[test]
-    fn scalars() {
+    fn legacy_sizes_preserved() {
         assert_eq!(0u64.byte_len(), 8);
         assert_eq!(0f64.byte_len(), 8);
         assert_eq!(true.byte_len(), 1);
         assert_eq!(().byte_len(), 0);
-    }
-
-    #[test]
-    fn containers() {
         assert_eq!(vec![1.0f64; 4].byte_len(), 8 + 32);
         assert_eq!("abc".to_string().byte_len(), 11);
         assert_eq!((1u64, 2.0f64).byte_len(), 16);
         assert_eq!(Some(1u32).byte_len(), 5);
         assert_eq!(None::<u32>.byte_len(), 1);
+        let v: Vec<Vec<f64>> = vec![vec![0.0; 2], vec![0.0; 3]];
+        assert_eq!(v.byte_len(), 8 + (8 + 16) + (8 + 24));
     }
 
     #[test]
-    fn nested() {
-        let v: Vec<Vec<f64>> = vec![vec![0.0; 2], vec![0.0; 3]];
-        assert_eq!(v.byte_len(), 8 + (8 + 16) + (8 + 24));
+    fn byte_len_is_encoded_len() {
+        let v: Vec<u64> = vec![7, 8, 9];
+        assert_eq!(v.byte_len(), v.encode().len());
+        let s = "shuffle".to_string();
+        assert_eq!(s.byte_len(), s.encode().len());
     }
 }

@@ -1,11 +1,12 @@
 //! The threaded cluster runtime: workers, shuffle, reduce, iteration driver.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use ppml_transport::FRAME_OVERHEAD;
 
 use crate::{
     BlockId, BlockStore, ByteSized, FaultPlan, IterativeJob, JobMetrics, MapReduceError, NodeId,
@@ -161,14 +162,18 @@ where
     pub fn new(config: ClusterConfig, job: J) -> Result<Self, MapReduceError> {
         config.validate()?;
         let job = Arc::new(job);
-        let (result_tx, results) = unbounded::<WorkerOut<J>>();
+        let (result_tx, results) = channel::<WorkerOut<J>>();
         let mut senders = Vec::with_capacity(config.nodes);
         let mut handles = Vec::new();
         for node in 0..config.nodes {
-            let (tx, rx) = unbounded::<WorkerMsg<J>>();
+            // `std::sync::mpsc` receivers are single-consumer; the map slots
+            // of one node share theirs behind a mutex (lock, take one
+            // message, release — the queue itself stays MPMC-shaped).
+            let (tx, rx) = channel::<WorkerMsg<J>>();
             senders.push(tx);
+            let rx = Arc::new(Mutex::new(rx));
             for slot in 0..config.map_slots_per_node {
-                let rx: Receiver<WorkerMsg<J>> = rx.clone();
+                let rx = Arc::clone(&rx);
                 let result_tx = result_tx.clone();
                 let job = Arc::clone(&job);
                 let node_id = NodeId(node);
@@ -265,7 +270,7 @@ where
             nodes_hit[a.node.0] = true;
         }
         iter_metrics.bytes_broadcast +=
-            broadcast.byte_len() * nodes_hit.iter().filter(|h| **h).count();
+            framed(broadcast.byte_len()) * nodes_hit.iter().filter(|h| **h).count();
 
         // Track attempts, current placement and exclusions per block for
         // retry placement.
@@ -274,10 +279,18 @@ where
         let mut exclusions: Vec<(BlockId, NodeId)> = Vec::new();
         for a in &assignments {
             inflight.insert(a.block, a.node);
-            self.dispatch(a.block, a.node, a.data_local, broadcast, &mut attempts, &mut iter_metrics)?;
+            self.dispatch(
+                a.block,
+                a.node,
+                a.data_local,
+                broadcast,
+                &mut attempts,
+                &mut iter_metrics,
+            )?;
         }
 
         // Collect results, retrying failures on other nodes.
+        #[allow(clippy::type_complexity)]
         let mut block_outputs: BTreeMap<BlockId, Vec<(J::Key, J::MapOut)>> = BTreeMap::new();
         let mut done = 0usize;
         while done < blocks.len() {
@@ -295,7 +308,7 @@ where
             match res.pairs {
                 Some(pairs) => {
                     for (_, v) in &pairs {
-                        iter_metrics.bytes_shuffled += v.byte_len();
+                        iter_metrics.bytes_shuffled += framed(v.byte_len());
                     }
                     block_outputs.insert(res.block, pairs);
                     done += 1;
@@ -357,6 +370,7 @@ where
     /// Executes the reduce phase: inline for a single reduce task (the
     /// paper's lone-Reducer topology), otherwise partitioned round-robin
     /// over the worker nodes and merged back in key order.
+    #[allow(clippy::type_complexity)]
     fn run_reduce_phase(
         &mut self,
         groups: BTreeMap<J::Key, Vec<J::MapOut>>,
@@ -377,6 +391,7 @@ where
         }
         // Partition key groups round-robin (keys arrive sorted, so the
         // partitioning is deterministic), dispatch one task per partition.
+        #[allow(clippy::type_complexity)]
         let mut partitions: Vec<Vec<(J::Key, Vec<J::MapOut>)>> =
             (0..r_tasks).map(|_| Vec::new()).collect();
         for (i, kv) in groups.into_iter().enumerate() {
@@ -429,7 +444,7 @@ where
             iter_metrics.locality_hits += 1;
         } else {
             iter_metrics.remote_reads += 1;
-            iter_metrics.bytes_remote_read += payload.byte_len();
+            iter_metrics.bytes_remote_read += framed(payload.byte_len());
         }
         let attempt = attempts.entry(block).and_modify(|a| *a += 1).or_insert(1);
         let spec = self.config.fault_plan.spec(self.iteration, block);
@@ -473,13 +488,26 @@ where
     }
 }
 
+/// Bytes one value costs on the wire: its encoding carried as the payload
+/// of a single transport frame. Keeping the metrics in frame units makes
+/// them directly comparable with the byte counters the TCP/loopback
+/// transports report for the genuinely distributed deployment.
+fn framed(payload_len: usize) -> usize {
+    FRAME_OVERHEAD + payload_len
+}
+
 fn worker_loop<J: IterativeJob>(
     node: NodeId,
     job: Arc<J>,
-    rx: Receiver<WorkerMsg<J>>,
+    rx: Arc<Mutex<Receiver<WorkerMsg<J>>>>,
     tx: Sender<WorkerOut<J>>,
 ) {
-    while let Ok(msg) = rx.recv() {
+    loop {
+        // Hold the lock only for the dequeue, never while mapping/reducing.
+        let msg = match rx.lock().expect("worker queue lock").recv() {
+            Ok(msg) => msg,
+            Err(_) => break,
+        };
         match msg {
             WorkerMsg::Shutdown => break,
             WorkerMsg::Reduce { groups } => {
@@ -721,9 +749,11 @@ mod tests {
 
     #[test]
     fn no_blocks_is_an_error() {
-        let mut c: Cluster<WordCount> =
-            Cluster::new(ClusterConfig::default(), WordCount).unwrap();
-        assert!(matches!(c.run_iteration(&()), Err(MapReduceError::NoBlocks)));
+        let mut c: Cluster<WordCount> = Cluster::new(ClusterConfig::default(), WordCount).unwrap();
+        assert!(matches!(
+            c.run_iteration(&()),
+            Err(MapReduceError::NoBlocks)
+        ));
     }
 
     #[test]
@@ -835,10 +865,51 @@ mod tests {
     }
 
     #[test]
+    fn locality_slack_changes_locality_ratio() {
+        // Skewed placement: every block lives on node 0. Strict balance
+        // (slack 0) must spread the tasks and pay remote reads; generous
+        // slack keeps them local to node 0.
+        let run = |slack: usize| {
+            let mut c: Cluster<WordCount> = Cluster::new(
+                ClusterConfig {
+                    locality_slack: slack,
+                    ..Default::default()
+                },
+                WordCount,
+            )
+            .unwrap();
+            for i in 0..8 {
+                c.load_block_on(format!("words number {i}"), NodeId(0))
+                    .unwrap();
+            }
+            let out = c.run_iteration(&()).unwrap();
+            out.metrics
+        };
+        let strict = run(0);
+        let loose = run(100);
+        assert_eq!(loose.locality_ratio(), 1.0);
+        assert!(
+            strict.locality_ratio() < loose.locality_ratio(),
+            "slack 0 ratio {} should be below slack 100 ratio {}",
+            strict.locality_ratio(),
+            loose.locality_ratio()
+        );
+        // The locality misses are charged as framed remote block reads.
+        assert_eq!(
+            strict.bytes_remote_read,
+            strict
+                .remote_reads
+                .checked_mul(framed("words number 0".to_string().byte_len()))
+                .unwrap()
+        );
+    }
+
+    #[test]
     fn pinned_blocks_map_on_their_node() {
-        let mut c: Cluster<WordCount> =
-            Cluster::new(ClusterConfig::default(), WordCount).unwrap();
-        let id = c.load_block_on("private words".to_string(), NodeId(2)).unwrap();
+        let mut c: Cluster<WordCount> = Cluster::new(ClusterConfig::default(), WordCount).unwrap();
+        let id = c
+            .load_block_on("private words".to_string(), NodeId(2))
+            .unwrap();
         assert_eq!(c.store().replicas(id).unwrap()[0], NodeId(2));
         let out = c.run_iteration(&()).unwrap();
         assert_eq!(out.metrics.locality_hits, 1);

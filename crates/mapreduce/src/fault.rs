@@ -48,8 +48,16 @@ impl FaultPlan {
 
     /// Fails the first `attempts` attempts of `block`'s map task at
     /// `iteration`.
-    pub fn fail_first_attempts(mut self, iteration: usize, block: BlockId, attempts: usize) -> Self {
-        self.specs.entry((iteration, block)).or_default().fail_attempts = attempts;
+    pub fn fail_first_attempts(
+        mut self,
+        iteration: usize,
+        block: BlockId,
+        attempts: usize,
+    ) -> Self {
+        self.specs
+            .entry((iteration, block))
+            .or_default()
+            .fail_attempts = attempts;
         self
     }
 

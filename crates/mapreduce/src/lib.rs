@@ -16,7 +16,7 @@
 //!    driver that loops Map → Shuffle → Reduce → feedback.
 //!
 //! The "cluster" is a pool of OS threads, one set of map slots per simulated
-//! node, fed over crossbeam channels; an in-memory [`BlockStore`] plays HDFS
+//! node, fed over `std::sync::mpsc` channels; an in-memory [`BlockStore`] plays HDFS
 //! (block placement with a replication factor), and the [`Scheduler`]
 //! assigns map tasks to replicas-first, falling back to remote reads that
 //! are charged to the [`JobMetrics`]. A [`FaultPlan`] can kill or delay
@@ -60,7 +60,6 @@
 //! # Ok(())
 //! # }
 //! ```
-
 
 #![forbid(unsafe_code)]
 mod block;

@@ -141,11 +141,18 @@ mod tests {
         // some tasks remote.
         let mut s: BlockStore<u32> = BlockStore::new(4, 1);
         let ids: Vec<BlockId> = (0..8).map(|i| s.put_on(i, NodeId(0))).collect();
-        let plan = Scheduler::new(4).with_locality_slack(0).assign(&s, &ids, &[]);
+        let plan = Scheduler::new(4)
+            .with_locality_slack(0)
+            .assign(&s, &ids, &[]);
         let remote = plan.iter().filter(|t| !t.data_local).count();
-        assert!(remote > 0, "expected some remote reads under strict balance");
+        assert!(
+            remote > 0,
+            "expected some remote reads under strict balance"
+        );
         // With unbounded slack, everything stays local on node 0.
-        let plan = Scheduler::new(4).with_locality_slack(100).assign(&s, &ids, &[]);
+        let plan = Scheduler::new(4)
+            .with_locality_slack(100)
+            .assign(&s, &ids, &[]);
         assert!(plan.iter().all(|t| t.data_local && t.node == NodeId(0)));
     }
 

@@ -4,10 +4,8 @@
 
 use std::collections::BTreeMap;
 
-use ppml_mapreduce::{
-    BlockId, Cluster, ClusterConfig, FaultPlan, IterativeJob, MapReduceError, NodeId,
-};
-use proptest::prelude::*;
+use ppml_data::check::run_cases;
+use ppml_mapreduce::{BlockId, Cluster, ClusterConfig, FaultPlan, IterativeJob, NodeId};
 
 /// Sums per-residue-class histograms of integer blocks; iterative so that
 /// state persistence also gets exercised.
@@ -27,7 +25,10 @@ impl IterativeJob for Histogram {
 
     fn map(&self, _n: NodeId, block: &Vec<u64>, state: &mut u64, modulus: &u64) -> Vec<(u64, u64)> {
         *state += 1;
-        block.iter().map(|&v| ((v + *state - 1) % modulus, 1)).collect()
+        block
+            .iter()
+            .map(|&v| ((v + *state - 1) % modulus, 1))
+            .collect()
     }
 
     fn reduce(&self, _k: &u64, values: Vec<u64>) -> u64 {
@@ -45,50 +46,57 @@ fn reference(blocks: &[Vec<u64>], modulus: u64, iteration_state: u64) -> BTreeMa
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn output_independent_of_cluster_shape_and_faults() {
+    run_cases(
+        "output_independent_of_cluster_shape_and_faults",
+        24,
+        |g, _case| {
+            let n_blocks = g.usize_in(1, 6);
+            let blocks: Vec<Vec<u64>> = (0..n_blocks)
+                .map(|_| {
+                    let len = g.usize_in(1, 8);
+                    g.vec_u64(0, 100, len)
+                })
+                .collect();
+            let nodes = g.usize_in(1, 6);
+            let slots = g.usize_in(1, 3);
+            let replication = g.usize_in(1, 4).min(nodes);
+            let fail_block = g.usize_in(0, 6);
+            let fail_count = g.usize_in(0, 2);
+            let modulus = g.u64_in(2, 9);
 
-    #[test]
-    fn output_independent_of_cluster_shape_and_faults(
-        blocks in proptest::collection::vec(proptest::collection::vec(0u64..100, 1..8), 1..6),
-        nodes in 1usize..6,
-        slots in 1usize..3,
-        replication_raw in 1usize..4,
-        fail_block in 0usize..6,
-        fail_count in 0usize..2,
-        modulus in 2u64..9,
-    ) {
-        let replication = replication_raw.min(nodes);
-        let mut fault_plan = FaultPlan::new();
-        if fail_count > 0 {
-            fault_plan = fault_plan.fail_first_attempts(
-                0,
-                BlockId((fail_block % blocks.len()) as u64),
-                fail_count,
-            );
-        }
-        let cfg = ClusterConfig {
-            nodes,
-            map_slots_per_node: slots,
-            replication,
-            max_attempts: 4,
-            fault_plan,
-            locality_slack: 1,
-            reduce_tasks: 1 + nodes % 3,
-        };
-        let mut cluster = Cluster::new(cfg, Histogram).unwrap();
-        cluster.load_blocks(blocks.clone()).unwrap();
-        // Two iterations: the second must see updated mapper state.
-        for iteration in 0..2u64 {
-            let out = cluster
-                .run_iteration(&modulus)
-                .map_err(|e: MapReduceError| TestCaseError::fail(e.to_string()))?;
-            let got: BTreeMap<u64, u64> = out.outputs.iter().cloned().collect();
-            prop_assert_eq!(got, reference(&blocks, modulus, iteration));
-        }
-        // Metrics sanity: every map attempt is either local or remote.
-        let m = cluster.metrics();
-        prop_assert!(m.locality_hits + m.remote_reads >= 2 * blocks.len());
-        prop_assert_eq!(m.iterations, 2);
-    }
+            let mut fault_plan = FaultPlan::new();
+            if fail_count > 0 {
+                fault_plan = fault_plan.fail_first_attempts(
+                    0,
+                    BlockId((fail_block % blocks.len()) as u64),
+                    fail_count,
+                );
+            }
+            let cfg = ClusterConfig {
+                nodes,
+                map_slots_per_node: slots,
+                replication,
+                max_attempts: 4,
+                fault_plan,
+                locality_slack: 1,
+                reduce_tasks: 1 + nodes % 3,
+            };
+            let mut cluster = Cluster::new(cfg, Histogram).unwrap();
+            cluster.load_blocks(blocks.clone()).unwrap();
+            // Two iterations: the second must see updated mapper state.
+            for iteration in 0..2u64 {
+                let out = cluster
+                    .run_iteration(&modulus)
+                    .expect("faults are recoverable");
+                let got: BTreeMap<u64, u64> = out.outputs.iter().cloned().collect();
+                assert_eq!(got, reference(&blocks, modulus, iteration));
+            }
+            // Metrics sanity: every map attempt is either local or remote.
+            let m = cluster.metrics();
+            assert!(m.locality_hits + m.remote_reads >= 2 * blocks.len());
+            assert_eq!(m.iterations, 2);
+        },
+    );
 }

@@ -32,7 +32,6 @@
 //! # }
 //! ```
 
-
 #![forbid(unsafe_code)]
 use ppml_linalg::Matrix;
 use std::fmt;
@@ -146,7 +145,7 @@ fn validate_common(q: &Matrix, lin: &[f64], lo: f64, hi: f64) -> Result<usize, Q
             found: lin.len(),
         });
     }
-    if !(lo <= hi) || !lo.is_finite() || !hi.is_finite() {
+    if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
         return Err(QpError::InvalidBounds { lo, hi });
     }
     Ok(n)
@@ -318,10 +317,7 @@ pub fn solve_box_eq(
             max: hi_sum,
         });
     }
-    let mut x: Vec<f64> = a
-        .iter()
-        .map(|&ai| if ai > 0.0 { lo } else { hi })
-        .collect();
+    let mut x: Vec<f64> = a.iter().map(|&ai| if ai > 0.0 { lo } else { hi }).collect();
     let mut need = target - lo_sum; // ≥ 0; each coordinate can add up to hi-lo
     let span = hi - lo;
     for i in 0..n {
@@ -472,7 +468,7 @@ pub fn solve_separable_eq(
             found: n,
         });
     }
-    if !(lo <= hi) || !lo.is_finite() || !hi.is_finite() {
+    if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
         return Err(QpError::InvalidBounds { lo, hi });
     }
     for (i, &ai) in a.iter().enumerate() {
@@ -627,8 +623,8 @@ mod tests {
         for (gi, &qi) in g.iter_mut().zip(&lin) {
             *gi += qi;
         }
-        for i in 0..10 {
-            assert!(box_violation(sol.x[i], g[i], 0.0, 2.0) <= 1e-6);
+        for (&xi, &gi) in sol.x.iter().zip(&g) {
+            assert!(box_violation(xi, gi, 0.0, 2.0) <= 1e-6);
         }
     }
 
@@ -654,8 +650,16 @@ mod tests {
     fn eq_simple_two_variable() {
         // min ½(x² + y²) s.t. x + y = 1, 0 ≤ x,y ≤ 1 → x = y = ½.
         let q = Matrix::identity(2);
-        let sol = solve_box_eq(&q, &[0.0, 0.0], 0.0, 1.0, &[1.0, 1.0], 1.0, &QpConfig::default())
-            .unwrap();
+        let sol = solve_box_eq(
+            &q,
+            &[0.0, 0.0],
+            0.0,
+            1.0,
+            &[1.0, 1.0],
+            1.0,
+            &QpConfig::default(),
+        )
+        .unwrap();
         assert!(sol.converged);
         assert!((sol.x[0] - 0.5).abs() < 1e-7 && (sol.x[1] - 0.5).abs() < 1e-7);
     }
@@ -664,9 +668,10 @@ mod tests {
     fn eq_constraint_is_maintained_exactly() {
         let q = spd(12, 13);
         let lin: Vec<f64> = (0..12).map(|i| (i as f64).sin() - 0.2).collect();
-        let a: Vec<f64> = (0..12).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
-        let sol =
-            solve_box_eq(&q, &lin, 0.0, 5.0, &a, 2.5, &QpConfig::default()).unwrap();
+        let a: Vec<f64> = (0..12)
+            .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let sol = solve_box_eq(&q, &lin, 0.0, 5.0, &a, 2.5, &QpConfig::default()).unwrap();
         let dot: f64 = sol.x.iter().zip(&a).map(|(x, a)| x * a).sum();
         assert!((dot - 2.5).abs() < 1e-9, "constraint drifted: {dot}");
         for &xi in &sol.x {
@@ -677,16 +682,32 @@ mod tests {
     #[test]
     fn eq_infeasible_detected() {
         let q = Matrix::identity(2);
-        let err = solve_box_eq(&q, &[0.0; 2], 0.0, 1.0, &[1.0, 1.0], 5.0, &QpConfig::default())
-            .unwrap_err();
+        let err = solve_box_eq(
+            &q,
+            &[0.0; 2],
+            0.0,
+            1.0,
+            &[1.0, 1.0],
+            5.0,
+            &QpConfig::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, QpError::InfeasibleEquality { .. }));
     }
 
     #[test]
     fn eq_bad_coefficient_detected() {
         let q = Matrix::identity(2);
-        let err = solve_box_eq(&q, &[0.0; 2], 0.0, 1.0, &[1.0, 0.5], 0.0, &QpConfig::default())
-            .unwrap_err();
+        let err = solve_box_eq(
+            &q,
+            &[0.0; 2],
+            0.0,
+            1.0,
+            &[1.0, 0.5],
+            0.0,
+            &QpConfig::default(),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             QpError::BadConstraintCoefficient { index: 1, .. }
@@ -699,7 +720,9 @@ mod tests {
         // g + ν·a = 0 on interior coordinates (stationarity).
         let q = spd(8, 21);
         let lin: Vec<f64> = (0..8).map(|i| 0.1 * i as f64 - 0.4).collect();
-        let a: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let a: Vec<f64> = (0..8)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let sol = solve_box_eq(&q, &lin, 0.0, 3.0, &a, 0.0, &QpConfig::default()).unwrap();
         assert!(sol.converged);
         let mut g = q.matvec(&sol.x).unwrap();
@@ -750,7 +773,9 @@ mod tests {
         let n = 12;
         let diag: Vec<f64> = (0..n).map(|i| 0.5 + 0.1 * i as f64).collect();
         let lin: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin()).collect();
-        let a: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let q = Matrix::from_fn(n, n, |i, j| if i == j { diag[i] } else { 0.0 });
         let smo = solve_box_eq(&q, &lin, 0.0, 3.0, &a, 1.0, &QpConfig::default()).unwrap();
         let fast = solve_separable_eq(&diag, &lin, 0.0, 3.0, &a, 1.0).unwrap();
@@ -765,7 +790,9 @@ mod tests {
         let n = 50;
         let diag = vec![0.01; n]; // 1/ρ with ρ = 100
         let lin: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos() - 0.3).collect();
-        let a: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let sol = solve_separable_eq(&diag, &lin, 0.0, 50.0, &a, 0.0).unwrap();
         let dot: f64 = sol.x.iter().zip(&a).map(|(x, ai)| x * ai).sum();
         assert!(dot.abs() < 1e-8, "constraint residual {dot}");
@@ -776,7 +803,10 @@ mod tests {
     fn separable_rejects_bad_input() {
         assert!(matches!(
             solve_separable_eq(&[1.0, -1.0], &[0.0; 2], 0.0, 1.0, &[1.0, 1.0], 0.0),
-            Err(QpError::ShapeMismatch { what: "diagonal", .. })
+            Err(QpError::ShapeMismatch {
+                what: "diagonal",
+                ..
+            })
         ));
         assert!(solve_separable_eq(&[1.0], &[0.0; 2], 0.0, 1.0, &[1.0], 0.0).is_err());
         assert!(matches!(

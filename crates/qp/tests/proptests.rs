@@ -2,21 +2,18 @@
 //! problems on random positive-definite instances, and the equality solver
 //! must never leave the feasible set.
 
+use ppml_data::check::{run_cases, Gen};
 use ppml_linalg::Matrix;
 use ppml_qp::{solve_box, solve_box_eq, QpConfig};
-use proptest::prelude::*;
 
-fn spd_and_lin(n: usize) -> impl Strategy<Value = (Matrix, Vec<f64>)> {
-    (
-        proptest::collection::vec(-1.0f64..1.0, n * n),
-        proptest::collection::vec(-2.0f64..2.0, n),
-    )
-        .prop_map(move |(raw, lin)| {
-            let b = Matrix::from_vec(n, n, raw).expect("sized");
-            let mut q = b.matmul(&b.transpose()).expect("square");
-            q.add_diag(0.3);
-            (q, lin)
-        })
+/// Random SPD quadratic term (`B·Bᵀ + 0.3·I`) and linear term.
+fn spd_and_lin(g: &mut Gen, n: usize) -> (Matrix, Vec<f64>) {
+    let raw = g.vec_f64(-1.0, 1.0, n * n);
+    let lin = g.vec_f64(-2.0, 2.0, n);
+    let b = Matrix::from_vec(n, n, raw).expect("sized");
+    let mut q = b.matmul(&b.transpose()).expect("square");
+    q.add_diag(0.3);
+    (q, lin)
 }
 
 fn grad(q: &Matrix, lin: &[f64], x: &[f64]) -> Vec<f64> {
@@ -27,56 +24,61 @@ fn grad(q: &Matrix, lin: &[f64], x: &[f64]) -> Vec<f64> {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn box_solution_satisfies_kkt((q, lin) in spd_and_lin(8)) {
+#[test]
+fn box_solution_satisfies_kkt() {
+    run_cases("box_solution_satisfies_kkt", 64, |g, _| {
+        let (q, lin) = spd_and_lin(g, 8);
         let sol = solve_box(&q, &lin, 0.0, 1.5, &QpConfig::default()).unwrap();
-        prop_assert!(sol.converged);
-        let g = grad(&q, &lin, &sol.x);
-        for i in 0..8 {
-            let xi = sol.x[i];
-            prop_assert!((-1e-12..=1.5 + 1e-12).contains(&xi));
+        assert!(sol.converged);
+        let gr = grad(&q, &lin, &sol.x);
+        for (&xi, &gi) in sol.x.iter().zip(&gr) {
+            assert!((-1e-12..=1.5 + 1e-12).contains(&xi));
             if xi < 1e-9 {
-                prop_assert!(g[i] >= -1e-6, "lower-bound KKT failed: g={}", g[i]);
+                assert!(gi >= -1e-6, "lower-bound KKT failed: g={gi}");
             } else if xi > 1.5 - 1e-9 {
-                prop_assert!(g[i] <= 1e-6, "upper-bound KKT failed: g={}", g[i]);
+                assert!(gi <= 1e-6, "upper-bound KKT failed: g={gi}");
             } else {
-                prop_assert!(g[i].abs() <= 1e-6, "interior KKT failed: g={}", g[i]);
+                assert!(gi.abs() <= 1e-6, "interior KKT failed: g={gi}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn box_is_no_worse_than_random_feasible_points(
-        (q, lin) in spd_and_lin(6),
-        probe in proptest::collection::vec(0.0f64..1.0, 6),
-    ) {
+#[test]
+fn box_is_no_worse_than_random_feasible_points() {
+    run_cases("box_is_no_worse_than_random_feasible_points", 64, |g, _| {
+        let (q, lin) = spd_and_lin(g, 6);
+        let probe = g.vec_f64(0.0, 1.0, 6);
         let obj = |x: &[f64]| {
             0.5 * ppml_linalg::vecops::dot(&q.matvec(x).unwrap(), x)
                 + ppml_linalg::vecops::dot(&lin, x)
         };
         let sol = solve_box(&q, &lin, 0.0, 1.0, &QpConfig::default()).unwrap();
-        prop_assert!(obj(&sol.x) <= obj(&probe) + 1e-8);
-    }
+        assert!(obj(&sol.x) <= obj(&probe) + 1e-8);
+    });
+}
 
-    #[test]
-    fn eq_solution_feasible_and_optimal(
-        (q, lin) in spd_and_lin(8),
-        signs in proptest::collection::vec(prop_oneof![Just(1.0f64), Just(-1.0f64)], 8),
-        t in -2.0f64..2.0,
-    ) {
+#[test]
+fn eq_solution_feasible_and_optimal() {
+    run_cases("eq_solution_feasible_and_optimal", 64, |g, _| {
+        let (q, lin) = spd_and_lin(g, 8);
+        let signs: Vec<f64> = (0..8).map(|_| *g.pick(&[1.0f64, -1.0])).collect();
+        let t = g.f64_in(-2.0, 2.0);
         // Keep the target inside the achievable range of Σ aᵢxᵢ.
-        let min: f64 = signs.iter().map(|&s| if s > 0.0 { 0.0 } else { -2.0 }).sum();
+        let min: f64 = signs
+            .iter()
+            .map(|&s| if s > 0.0 { 0.0 } else { -2.0 })
+            .sum();
         let max: f64 = signs.iter().map(|&s| if s > 0.0 { 2.0 } else { 0.0 }).sum();
-        prop_assume!(t > min + 0.1 && t < max - 0.1);
+        if !(t > min + 0.1 && t < max - 0.1) {
+            return; // infeasible target: skip this case
+        }
         let sol = solve_box_eq(&q, &lin, 0.0, 2.0, &signs, t, &QpConfig::default()).unwrap();
         // Feasibility.
         let dot: f64 = sol.x.iter().zip(&signs).map(|(x, a)| x * a).sum();
-        prop_assert!((dot - t).abs() < 1e-8, "constraint violated: {dot} vs {t}");
+        assert!((dot - t).abs() < 1e-8, "constraint violated: {dot} vs {t}");
         for &xi in &sol.x {
-            prop_assert!((-1e-12..=2.0 + 1e-12).contains(&xi));
+            assert!((-1e-12..=2.0 + 1e-12).contains(&xi));
         }
         // Optimality vs. feasible two-coordinate perturbations.
         let obj = |x: &[f64]| {
@@ -86,28 +88,35 @@ proptest! {
         let base = obj(&sol.x);
         for i in 0..8 {
             for j in 0..8 {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 for &d in &[1e-4, -1e-4] {
                     let mut y = sol.x.clone();
                     y[i] += signs[i] * d;
                     y[j] -= signs[j] * d;
                     let feasible = y.iter().all(|&v| (0.0..=2.0).contains(&v));
                     if feasible {
-                        prop_assert!(obj(&y) >= base - 1e-7,
-                            "perturbation ({i},{j},{d}) improved objective");
+                        assert!(
+                            obj(&y) >= base - 1e-7,
+                            "perturbation ({i},{j},{d}) improved objective"
+                        );
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn box_warm_start_is_consistent((q, lin) in spd_and_lin(6)) {
+#[test]
+fn box_warm_start_is_consistent() {
+    run_cases("box_warm_start_is_consistent", 64, |g, _| {
+        let (q, lin) = spd_and_lin(g, 6);
         let cfg = QpConfig::default();
         let cold = solve_box(&q, &lin, 0.0, 1.0, &cfg).unwrap();
         let warm = ppml_qp::solve_box_from(&q, &lin, 0.0, 1.0, &cold.x, &cfg).unwrap();
         for (a, b) in cold.x.iter().zip(&warm.x) {
-            prop_assert!((a - b).abs() < 1e-7);
+            assert!((a - b).abs() < 1e-7);
         }
-    }
+    });
 }

@@ -26,7 +26,6 @@
 //! # }
 //! ```
 
-
 #![forbid(unsafe_code)]
 mod linear;
 mod metrics;

@@ -66,10 +66,7 @@ impl LinearSvm {
         for (i, &c) in coeffs.iter().enumerate() {
             ppml_linalg::vecops::axpy(c, sv.row(i), &mut w);
         }
-        LinearSvm {
-            w,
-            b: model.bias(),
-        }
+        LinearSvm { w, b: model.bias() }
     }
 
     /// Builds a model directly from weights (used by the distributed
@@ -115,7 +112,11 @@ impl LinearSvm {
     /// Serializes as a small line-oriented text format (stable across
     /// versions of this crate; see [`LinearSvm::from_text`]).
     pub fn to_text(&self) -> String {
-        let mut out = format!("ppml-linear-svm v1\nbias {:e}\nweights {}\n", self.b, self.w.len());
+        let mut out = format!(
+            "ppml-linear-svm v1\nbias {:e}\nweights {}\n",
+            self.b,
+            self.w.len()
+        );
         for w in &self.w {
             out.push_str(&format!("{w:e}\n"));
         }

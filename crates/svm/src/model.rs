@@ -103,15 +103,18 @@ impl KernelSvm {
             .filter(|&i| lambda[i] > params.c * 1e-6 && lambda[i] < params.c * (1.0 - 1e-6))
             .collect();
         let bias = if !free.is_empty() {
-            free.iter().map(|&i| y[i] - raw(data.sample(i))).sum::<f64>() / free.len() as f64
+            free.iter()
+                .map(|&i| y[i] - raw(data.sample(i)))
+                .sum::<f64>()
+                / free.len() as f64
         } else {
             // All SVs at bound: take the midpoint of the feasible interval
             // [max over y=+1 of (1 - f), min over y=-1 of (-1 - f)].
             let mut lo = f64::NEG_INFINITY;
             let mut hi = f64::INFINITY;
-            for i in 0..n {
+            for (i, &yi) in y.iter().enumerate().take(n) {
                 let v = raw(data.sample(i));
-                if y[i] > 0.0 {
+                if yi > 0.0 {
                     lo = lo.max(1.0 - v);
                 } else {
                     hi = hi.min(-1.0 - v);
@@ -165,14 +168,12 @@ impl KernelSvm {
     ///
     /// Panics if `data` has a different feature count than the model.
     pub fn accuracy(&self, data: &Dataset) -> f64 {
-        crate::accuracy(
-            (0..data.len()).map(|i| {
-                (
-                    self.classify(data.sample(i)).expect("dimension checked"),
-                    data.label(i),
-                )
-            }),
-        )
+        crate::accuracy((0..data.len()).map(|i| {
+            (
+                self.classify(data.sample(i)).expect("dimension checked"),
+                data.label(i),
+            )
+        }))
     }
 
     /// Number of support vectors.
@@ -279,7 +280,10 @@ mod tests {
         let m = KernelSvm::train(&ds, &SvmParams::default()).unwrap();
         assert!(matches!(
             m.decision(&[1.0, 2.0, 3.0]),
-            Err(SvmError::DimensionMismatch { expected: 2, found: 3 })
+            Err(SvmError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            })
         ));
     }
 

@@ -150,10 +150,11 @@ mod tests {
 
     #[test]
     fn cv_validates_fold_count() {
+        type Predictor = Box<dyn Fn(&[f64]) -> f64>;
         let ds = synth::blobs(10, 1);
-        let fail = |_: &Dataset| -> Result<Box<dyn Fn(&[f64]) -> f64>> { unreachable!() };
+        let fail = |_: &Dataset| -> Result<Predictor> { unreachable!() };
         assert!(cross_validate(&ds, 1, 0, fail).is_err());
-        let fail = |_: &Dataset| -> Result<Box<dyn Fn(&[f64]) -> f64>> { unreachable!() };
+        let fail = |_: &Dataset| -> Result<Predictor> { unreachable!() };
         assert!(cross_validate(&ds, 11, 0, fail).is_err());
     }
 

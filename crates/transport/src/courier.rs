@@ -1,0 +1,321 @@
+//! Reliable delivery over any [`Transport`]: acknowledgements,
+//! retransmission with bounded exponential backoff, and duplicate
+//! suppression.
+//!
+//! The underlying fabrics are allowed to drop, duplicate and reorder
+//! frames (the loopback backend does so on purpose; TCP reconnection can
+//! lose a frame in flight). `Courier` layers a stop-and-wait ARQ on top:
+//! every non-ack frame is acknowledged by the receiver with
+//! [`Message::Ack`] carrying the frame's sequence number; the sender
+//! retransmits under the *same* sequence number (flagged
+//! [`FLAG_RETRANSMIT`]) until the ack arrives or the retry budget is
+//! spent; receivers remember delivered `(sender, seq)` pairs, re-ack
+//! duplicates, and deliver each message exactly once in arrival order.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::frame::{Message, PartyId, FLAG_RETRANSMIT};
+use crate::retry::RetryPolicy;
+use crate::transport::{Envelope, Transport, TransportError};
+
+/// Exactly-once messaging over a lossy transport.
+pub struct Courier<T: Transport> {
+    transport: T,
+    policy: RetryPolicy,
+    /// Messages received (and acked) while waiting for our own acks.
+    inbox: VecDeque<Envelope>,
+    /// Sequence numbers already delivered, per sender.
+    seen: HashMap<PartyId, HashSet<u64>>,
+    /// Acks that arrived before we looked for them: (peer, seq).
+    acks: HashSet<(PartyId, u64)>,
+}
+
+impl<T: Transport> Courier<T> {
+    /// Wraps `transport` with retry schedule `policy`.
+    pub fn new(transport: T, policy: RetryPolicy) -> Self {
+        Courier {
+            transport,
+            policy,
+            inbox: VecDeque::new(),
+            seen: HashMap::new(),
+            acks: HashSet::new(),
+        }
+    }
+
+    /// This endpoint's party id.
+    pub fn party(&self) -> PartyId {
+        self.transport.party()
+    }
+
+    /// Read-only access to the wrapped transport (stats, hub handles …).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Unwraps the courier.
+    pub fn into_inner(self) -> T {
+        self.transport
+    }
+
+    /// Sends `msg` and blocks until the destination acknowledges it,
+    /// retransmitting per the retry policy. Returns the total bytes put on
+    /// the wire for this message (retransmissions included).
+    ///
+    /// Messages arriving while we wait are acknowledged, deduplicated and
+    /// queued for [`Courier::recv`] — two parties can therefore
+    /// `send_reliable` to each other simultaneously without deadlock.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when the retry budget is exhausted
+    /// without an acknowledgement; any transport error is propagated.
+    pub fn send_reliable(&mut self, to: PartyId, msg: &Message) -> Result<usize, TransportError> {
+        let seq = self.transport.next_seq(to);
+        let mut total = 0usize;
+        for attempt in 0..self.policy.max_attempts {
+            let flags = if attempt == 0 { 0 } else { FLAG_RETRANSMIT };
+            total += self.transport.send_raw(to, msg, seq, flags)?;
+            if self.await_ack(to, seq, self.policy.backoff(attempt))? {
+                return Ok(total);
+            }
+        }
+        Err(TransportError::Timeout)
+    }
+
+    /// Waits for an ack of `(to, seq)` until `window` elapses, processing
+    /// (and acking) whatever else arrives meanwhile.
+    fn await_ack(
+        &mut self,
+        to: PartyId,
+        seq: u64,
+        window: Duration,
+    ) -> Result<bool, TransportError> {
+        if self.acks.remove(&(to, seq)) {
+            return Ok(true);
+        }
+        let deadline = Instant::now() + window;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            match self.transport.recv(deadline - now) {
+                Ok(env) => {
+                    self.absorb(env)?;
+                    if self.acks.remove(&(to, seq)) {
+                        return Ok(true);
+                    }
+                }
+                Err(TransportError::Timeout) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends `msg` once, without waiting for an acknowledgement. Returns
+    /// the bytes put on the wire.
+    ///
+    /// The receiver still acks it (it cannot know the sender isn't
+    /// waiting); the ack is simply absorbed and ignored. Use this for
+    /// messages whose loss the protocol tolerates by design — e.g. a
+    /// threshold-sharing submission, where a lost submission is
+    /// indistinguishable from the sender dropping out and the round
+    /// reconstructs from the survivors.
+    ///
+    /// # Errors
+    ///
+    /// Any transport error is propagated.
+    pub fn send_unreliable(&mut self, to: PartyId, msg: &Message) -> Result<usize, TransportError> {
+        let seq = self.transport.next_seq(to);
+        self.transport.send_raw(to, msg, seq, 0)
+    }
+
+    /// Receives the next new (non-duplicate, non-ack) message.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when nothing new arrives in time.
+    pub fn recv(&mut self, timeout: Duration) -> Result<Envelope, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(env) = self.inbox.pop_front() {
+                return Ok(env);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            let env = self.transport.recv(deadline - now)?;
+            self.absorb(env)?;
+        }
+    }
+
+    /// Routes one raw envelope: acks are recorded, fresh messages are
+    /// acked and queued, duplicates are re-acked and discarded.
+    fn absorb(&mut self, env: Envelope) -> Result<(), TransportError> {
+        if let Message::Ack { of_seq } = env.msg {
+            self.acks.insert((env.from, of_seq));
+            return Ok(());
+        }
+        // Always acknowledge — the sender may have missed the last ack.
+        let ack = Message::Ack { of_seq: env.seq };
+        let ack_seq = self.transport.next_seq(env.from);
+        self.transport.send_raw(env.from, &ack, ack_seq, 0)?;
+        let fresh = self.seen.entry(env.from).or_default().insert(env.seq);
+        if fresh {
+            self.inbox.push_back(env);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{LinkFilter, NetFaultPlan};
+    use crate::loopback::LoopbackHub;
+
+    const TICK: Duration = Duration::from_millis(500);
+
+    fn pair(
+        plan: NetFaultPlan,
+    ) -> (
+        Courier<crate::LoopbackTransport>,
+        Courier<crate::LoopbackTransport>,
+    ) {
+        let hub = LoopbackHub::with_faults(2, plan);
+        (
+            Courier::new(hub.endpoint(0), RetryPolicy::fast_local()),
+            Courier::new(hub.endpoint(1), RetryPolicy::fast_local()),
+        )
+    }
+
+    /// Drives `b` as a responder in a background thread while the closure
+    /// runs `a`'s side; the responder echoes nothing, just receives `n`
+    /// messages.
+    fn receive_n_in_background(
+        mut b: Courier<crate::LoopbackTransport>,
+        n: usize,
+    ) -> std::thread::JoinHandle<Vec<Envelope>> {
+        std::thread::spawn(move || {
+            (0..n)
+                .map(|_| b.recv(TICK).expect("responder recv"))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn lossless_round_trip() {
+        let (mut a, b) = pair(NetFaultPlan::none());
+        let rx = receive_n_in_background(b, 1);
+        a.send_reliable(1, &Message::Heartbeat { nonce: 3 })
+            .unwrap();
+        let got = rx.join().unwrap();
+        assert_eq!(got[0].msg, Message::Heartbeat { nonce: 3 });
+    }
+
+    #[test]
+    fn dropped_first_transmission_is_recovered_by_retry() {
+        // Drop the first data frame 0→1; the retransmit must get through.
+        let plan = NetFaultPlan::none().drop_frames(LinkFilter::any().from(0).kind(3), 1);
+        let (mut a, b) = pair(plan);
+        let rx = receive_n_in_background(b, 1);
+        let bytes = a
+            .send_reliable(1, &Message::Heartbeat { nonce: 8 })
+            .unwrap();
+        let got = rx.join().unwrap();
+        assert_eq!(got[0].msg, Message::Heartbeat { nonce: 8 });
+        assert_eq!(got[0].flags, FLAG_RETRANSMIT);
+        // Two transmissions were paid for.
+        let one = crate::Frame::encoded_len_of(&Message::Heartbeat { nonce: 8 });
+        assert_eq!(bytes, 2 * one);
+    }
+
+    #[test]
+    fn dropped_ack_does_not_duplicate_delivery() {
+        // The data frame arrives, but the first ack 1→0 is destroyed: the
+        // sender retransmits, the receiver re-acks but must deliver once.
+        let plan = NetFaultPlan::none().drop_frames(LinkFilter::any().from(1).kind(4), 1);
+        let (mut a, mut b) = pair(plan);
+        let rx = std::thread::spawn(move || {
+            let first = b.recv(TICK).expect("first delivery");
+            let second = b.recv(Duration::from_millis(100));
+            (first, second, b)
+        });
+        a.send_reliable(1, &Message::Heartbeat { nonce: 4 })
+            .unwrap();
+        let (first, second, _b) = rx.join().unwrap();
+        assert_eq!(first.msg, Message::Heartbeat { nonce: 4 });
+        assert!(
+            matches!(second, Err(TransportError::Timeout)),
+            "duplicate was delivered: {second:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_data_frame_is_delivered_once() {
+        let plan = NetFaultPlan::none().duplicate_frames(LinkFilter::any().from(0).kind(3), 1);
+        let (mut a, mut b) = pair(plan);
+        let rx = std::thread::spawn(move || {
+            let first = b.recv(TICK).expect("delivery");
+            let second = b.recv(Duration::from_millis(100));
+            (first, second)
+        });
+        a.send_reliable(1, &Message::Heartbeat { nonce: 6 })
+            .unwrap();
+        let (first, second) = rx.join().unwrap();
+        assert_eq!(first.msg, Message::Heartbeat { nonce: 6 });
+        assert!(matches!(second, Err(TransportError::Timeout)));
+    }
+
+    #[test]
+    fn unacked_send_times_out_after_budget() {
+        // Destroy every data frame; the courier must give up cleanly.
+        let plan = NetFaultPlan::none().drop_frames(LinkFilter::any().from(0).kind(3), u32::MAX);
+        let (mut a, _b) = pair(plan);
+        let err = a
+            .send_reliable(1, &Message::Heartbeat { nonce: 1 })
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Timeout));
+    }
+
+    #[test]
+    fn simultaneous_bidirectional_sends_do_not_deadlock() {
+        let (mut a, mut b) = pair(NetFaultPlan::none());
+        let ha = std::thread::spawn(move || {
+            a.send_reliable(1, &Message::Heartbeat { nonce: 10 })
+                .unwrap();
+            a.recv(TICK).unwrap()
+        });
+        let hb = std::thread::spawn(move || {
+            b.send_reliable(0, &Message::Heartbeat { nonce: 20 })
+                .unwrap();
+            b.recv(TICK).unwrap()
+        });
+        assert_eq!(ha.join().unwrap().msg, Message::Heartbeat { nonce: 20 });
+        assert_eq!(hb.join().unwrap().msg, Message::Heartbeat { nonce: 10 });
+    }
+
+    #[test]
+    fn reordered_frames_both_arrive() {
+        let plan = NetFaultPlan::none().delay_frames(LinkFilter::any().from(0).kind(3), 1, 1);
+        let (mut a, b) = pair(plan);
+        let rx = receive_n_in_background(b, 2);
+        a.send_reliable(1, &Message::Heartbeat { nonce: 1 })
+            .unwrap();
+        a.send_reliable(1, &Message::Heartbeat { nonce: 2 })
+            .unwrap();
+        let mut nonces: Vec<u64> = rx
+            .join()
+            .unwrap()
+            .into_iter()
+            .map(|e| match e.msg {
+                Message::Heartbeat { nonce } => nonce,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        nonces.sort_unstable();
+        assert_eq!(nonces, vec![1, 2]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic network fault injection for the loopback backend.
+//!
+//! Mirrors the builder idiom of `ppml-mapreduce`'s compute-side `FaultPlan`:
+//! a plan is a list of rules, each matching a link (sender, destination,
+//! optionally a message kind) with a budget of occurrences. Rules are
+//! consulted in insertion order on every send; the first match with budget
+//! left fires and consumes one unit. Everything is counter-based, so a test
+//! replaying the same traffic sees the same faults.
+
+use crate::frame::PartyId;
+
+/// What happens to a matched frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The frame vanishes in transit.
+    Drop,
+    /// The frame is delivered twice.
+    Duplicate,
+    /// Delivery is held back until `0` more frames have been delivered on
+    /// the destination's queue (reordering past later traffic); a held
+    /// frame is flushed when the queue drains, so delay never deadlocks.
+    Delay(u32),
+}
+
+/// Which frames a rule applies to; `None` fields match anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFilter {
+    from: Option<PartyId>,
+    to: Option<PartyId>,
+    kind: Option<u8>,
+}
+
+impl LinkFilter {
+    /// Matches every frame.
+    pub fn any() -> Self {
+        LinkFilter::default()
+    }
+
+    /// Restricts to frames sent by `party`.
+    pub fn from(mut self, party: PartyId) -> Self {
+        self.from = Some(party);
+        self
+    }
+
+    /// Restricts to frames addressed to `party`.
+    pub fn to(mut self, party: PartyId) -> Self {
+        self.to = Some(party);
+        self
+    }
+
+    /// Restricts to frames whose [`crate::Message::kind`] equals `kind`.
+    pub fn kind(mut self, kind: u8) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    fn matches(&self, from: PartyId, to: PartyId, kind: u8) -> bool {
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && self.kind.is_none_or(|k| k == kind)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    filter: LinkFilter,
+    action: FaultAction,
+    remaining: u32,
+}
+
+/// An ordered set of fault rules with per-rule budgets.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultPlan {
+    rules: Vec<Rule>,
+}
+
+impl NetFaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// Drops the first `n` frames matching `filter`.
+    pub fn drop_frames(mut self, filter: LinkFilter, n: u32) -> Self {
+        self.rules.push(Rule {
+            filter,
+            action: FaultAction::Drop,
+            remaining: n,
+        });
+        self
+    }
+
+    /// Duplicates the first `n` frames matching `filter`.
+    pub fn duplicate_frames(mut self, filter: LinkFilter, n: u32) -> Self {
+        self.rules.push(Rule {
+            filter,
+            action: FaultAction::Duplicate,
+            remaining: n,
+        });
+        self
+    }
+
+    /// Delays the first `n` frames matching `filter` past `slots`
+    /// subsequent deliveries to the same destination.
+    pub fn delay_frames(mut self, filter: LinkFilter, n: u32, slots: u32) -> Self {
+        self.rules.push(Rule {
+            filter,
+            action: FaultAction::Delay(slots),
+            remaining: n,
+        });
+        self
+    }
+
+    /// True when no rule can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.rules.iter().all(|r| r.remaining == 0)
+    }
+
+    /// Decides the fate of one frame, consuming budget from the first
+    /// matching rule. `None` means deliver normally.
+    pub fn apply(&mut self, from: PartyId, to: PartyId, kind: u8) -> Option<FaultAction> {
+        for rule in &mut self.rules {
+            if rule.remaining > 0 && rule.filter.matches(from, to, kind) {
+                rule.remaining -= 1;
+                return Some(rule.action);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_consumed_in_order() {
+        let mut plan = NetFaultPlan::none()
+            .drop_frames(LinkFilter::any().from(1), 2)
+            .duplicate_frames(LinkFilter::any(), 1);
+        assert_eq!(plan.apply(1, 0, 6), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(1, 0, 6), Some(FaultAction::Drop));
+        // Drop budget exhausted; the catch-all duplicate rule fires next.
+        assert_eq!(plan.apply(1, 0, 6), Some(FaultAction::Duplicate));
+        assert_eq!(plan.apply(1, 0, 6), None);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn filters_restrict_matches() {
+        let mut plan =
+            NetFaultPlan::none().drop_frames(LinkFilter::any().from(2).to(0).kind(6), 10);
+        assert_eq!(plan.apply(1, 0, 6), None);
+        assert_eq!(plan.apply(2, 1, 6), None);
+        assert_eq!(plan.apply(2, 0, 7), None);
+        assert_eq!(plan.apply(2, 0, 6), Some(FaultAction::Drop));
+    }
+
+    #[test]
+    fn empty_plan_delivers_everything() {
+        let mut plan = NetFaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.apply(0, 1, 1), None);
+    }
+}

@@ -1,0 +1,543 @@
+//! The framed wire format every transport backend speaks.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [u32 len]                                  // bytes after this field
+//! [u8 version][u8 kind][u16 flags]           // codec version, payload kind
+//! [u32 from][u32 to][u64 seq]                // routing + per-link sequence
+//! [payload …]                                // kind-specific, Wire-encoded
+//! [u32 crc32]                                // over version … payload
+//! ```
+//!
+//! `len` covers everything after itself (20-byte header remainder, the
+//! payload, and the 4-byte CRC), so a stream reader needs exactly two
+//! reads per frame. The CRC is IEEE 802.3 CRC-32 over the region between
+//! the length prefix and the checksum itself; a corrupted frame decodes to
+//! [`FrameError::BadChecksum`] rather than garbage. Unknown versions and
+//! kinds are rejected up front so the format can evolve behind the version
+//! byte.
+
+use crate::wire::{Reader, Wire, WireError};
+
+/// Current codec version; bump on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed bytes around every payload: 4 (length prefix) + 20 (version, kind,
+/// flags, from, to, seq) + 4 (crc) — i.e. a frame occupies
+/// `FRAME_OVERHEAD + payload_len` bytes on the wire.
+pub const FRAME_OVERHEAD: usize = 28;
+
+/// Flag bit: this frame is a retransmission of an earlier sequence number.
+pub const FLAG_RETRANSMIT: u16 = 1;
+
+/// A participant in the protocol (coordinator is conventionally 0).
+pub type PartyId = u32;
+
+/// IEEE 802.3 CRC-32 (reflected, init/final 0xFFFF_FFFF).
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                (c >> 1) ^ 0xEDB8_8320
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Every message the protocol exchanges.
+///
+/// The first four are control frames; the middle group carries the secure
+/// summation / consensus protocol of the paper's §V; [`Message::Blob`] is
+/// the escape hatch for application payloads (the MapReduce layer ships its
+/// `Wire`-encoded job data through it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Connection opener: announces the sender's party id.
+    Hello {
+        /// The dialing party.
+        party: PartyId,
+    },
+    /// Response to [`Message::Hello`].
+    HelloAck {
+        /// The accepting party.
+        party: PartyId,
+    },
+    /// Liveness probe; echoed nonce correlates request and response.
+    Heartbeat {
+        /// Opaque echo token.
+        nonce: u64,
+    },
+    /// Acknowledges receipt of the frame with sequence `of_seq`.
+    Ack {
+        /// Sequence number being acknowledged.
+        of_seq: u64,
+    },
+    /// Pairwise mask exchange (§V): the `Sed`/`Rev` vector one party sends
+    /// its pair partner for one iteration.
+    MaskExchange {
+        /// ADMM iteration the masks belong to.
+        iteration: u64,
+        /// Mask words over `Z_{2^64}`.
+        masks: Vec<u64>,
+    },
+    /// A learner's masked, fixed-point local model for one iteration.
+    MaskedShare {
+        /// ADMM iteration the share belongs to.
+        iteration: u64,
+        /// Originating learner.
+        party: PartyId,
+        /// Masked fixed-point words; masks cancel in the modular sum.
+        payload: Vec<u64>,
+    },
+    /// Consensus state broadcast from the coordinator after each reduce.
+    Consensus {
+        /// Iteration this state concludes.
+        iteration: u64,
+        /// The consensus iterate `z`.
+        z: Vec<f64>,
+        /// Auxiliary state (scaled dual / previous iterate as the flow
+        /// requires; empty when unused).
+        s: Vec<f64>,
+        /// True when the coordinator has declared convergence.
+        done: bool,
+    },
+    /// Threshold-scheme share delivery or partial-sum return (Shamir words).
+    Shares {
+        /// Protocol round the shares belong to.
+        iteration: u64,
+        /// Share words over GF(2⁶¹−1).
+        values: Vec<u64>,
+    },
+    /// Application payload: opaque `Wire`-encoded bytes plus a caller tag.
+    Blob {
+        /// Application-defined discriminator.
+        tag: u16,
+        /// Encoded body.
+        bytes: Vec<u8>,
+    },
+    /// Orderly teardown.
+    Shutdown,
+}
+
+impl Message {
+    /// The kind byte written into the frame header.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::HelloAck { .. } => 2,
+            Message::Heartbeat { .. } => 3,
+            Message::Ack { .. } => 4,
+            Message::MaskExchange { .. } => 5,
+            Message::MaskedShare { .. } => 6,
+            Message::Consensus { .. } => 7,
+            Message::Shares { .. } => 8,
+            Message::Blob { .. } => 9,
+            Message::Shutdown => 10,
+        }
+    }
+
+    /// Exact encoded payload size in bytes.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Message::Hello { party } | Message::HelloAck { party } => party.byte_len(),
+            Message::Heartbeat { nonce } => nonce.byte_len(),
+            Message::Ack { of_seq } => of_seq.byte_len(),
+            Message::MaskExchange { iteration, masks } => iteration.byte_len() + masks.byte_len(),
+            Message::MaskedShare {
+                iteration,
+                party,
+                payload,
+            } => iteration.byte_len() + party.byte_len() + payload.byte_len(),
+            Message::Consensus {
+                iteration,
+                z,
+                s,
+                done,
+            } => iteration.byte_len() + z.byte_len() + s.byte_len() + done.byte_len(),
+            Message::Shares { iteration, values } => iteration.byte_len() + values.byte_len(),
+            Message::Blob { tag, bytes } => tag.byte_len() + bytes.byte_len(),
+            Message::Shutdown => 0,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Hello { party } | Message::HelloAck { party } => party.encode_into(out),
+            Message::Heartbeat { nonce } => nonce.encode_into(out),
+            Message::Ack { of_seq } => of_seq.encode_into(out),
+            Message::MaskExchange { iteration, masks } => {
+                iteration.encode_into(out);
+                masks.encode_into(out);
+            }
+            Message::MaskedShare {
+                iteration,
+                party,
+                payload,
+            } => {
+                iteration.encode_into(out);
+                party.encode_into(out);
+                payload.encode_into(out);
+            }
+            Message::Consensus {
+                iteration,
+                z,
+                s,
+                done,
+            } => {
+                iteration.encode_into(out);
+                z.encode_into(out);
+                s.encode_into(out);
+                done.encode_into(out);
+            }
+            Message::Shares { iteration, values } => {
+                iteration.encode_into(out);
+                values.encode_into(out);
+            }
+            Message::Blob { tag, bytes } => {
+                tag.encode_into(out);
+                bytes.encode_into(out);
+            }
+            Message::Shutdown => {}
+        }
+    }
+
+    fn decode_payload(kind: u8, r: &mut Reader<'_>) -> Result<Message, WireError> {
+        Ok(match kind {
+            1 => Message::Hello { party: r.u32()? },
+            2 => Message::HelloAck { party: r.u32()? },
+            3 => Message::Heartbeat { nonce: r.u64()? },
+            4 => Message::Ack { of_seq: r.u64()? },
+            5 => Message::MaskExchange {
+                iteration: r.u64()?,
+                masks: r.vec_u64()?,
+            },
+            6 => Message::MaskedShare {
+                iteration: r.u64()?,
+                party: r.u32()?,
+                payload: r.vec_u64()?,
+            },
+            7 => Message::Consensus {
+                iteration: r.u64()?,
+                z: r.vec_f64()?,
+                s: r.vec_f64()?,
+                done: r.bool()?,
+            },
+            8 => Message::Shares {
+                iteration: r.u64()?,
+                values: r.vec_u64()?,
+            },
+            9 => Message::Blob {
+                tag: r.u16()?,
+                bytes: r.byte_vec()?,
+            },
+            10 => Message::Shutdown,
+            _ => return Err(WireError::Malformed("unknown message kind")),
+        })
+    }
+}
+
+/// Frame decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// The CRC trailer did not match the frame contents.
+    BadChecksum {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried in the trailer.
+        stored: u32,
+    },
+    /// Length prefix disagrees with the bytes available.
+    BadLength {
+        /// Length the prefix declared.
+        declared: usize,
+        /// Bytes actually present after the prefix.
+        available: usize,
+    },
+    /// The payload failed structural decoding.
+    BadPayload(WireError),
+    /// Payload bytes were left over after decoding the message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::BadChecksum { computed, stored } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {computed:#010x}, stored {stored:#010x}"
+                )
+            }
+            FrameError::BadLength {
+                declared,
+                available,
+            } => write!(f, "length prefix {declared} but {available} bytes present"),
+            FrameError::BadPayload(e) => write!(f, "payload: {e}"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing payload bytes"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::BadPayload(e)
+    }
+}
+
+/// One routed, checksummed protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Header flag bits ([`FLAG_RETRANSMIT`] …).
+    pub flags: u16,
+    /// Sending party.
+    pub from: PartyId,
+    /// Destination party.
+    pub to: PartyId,
+    /// Per-(sender, destination) sequence number, starting at 1.
+    pub seq: u64,
+    /// The message body.
+    pub msg: Message,
+}
+
+impl Frame {
+    /// Total on-wire size of a frame carrying `msg`.
+    pub fn encoded_len_of(msg: &Message) -> usize {
+        FRAME_OVERHEAD + msg.payload_len()
+    }
+
+    /// Total on-wire size of this frame.
+    pub fn encoded_len(&self) -> usize {
+        Self::encoded_len_of(&self.msg)
+    }
+
+    /// Encodes the complete frame (length prefix through CRC trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = self.msg.payload_len();
+        let body_len = 20 + payload_len + 4; // header remainder + payload + crc
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.push(WIRE_VERSION);
+        out.push(self.msg.kind());
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&self.from.to_le_bytes());
+        out.extend_from_slice(&self.to.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        self.msg.encode_payload(&mut out);
+        debug_assert_eq!(out.len(), 4 + 20 + payload_len);
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+
+    /// Decodes a complete frame from `buf` (which must contain exactly one
+    /// frame, length prefix included).
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = Reader::new(buf);
+        let declared = r.u32().map_err(FrameError::BadPayload)? as usize;
+        if declared != buf.len() - 4 {
+            return Err(FrameError::BadLength {
+                declared,
+                available: buf.len() - 4,
+            });
+        }
+        if declared < 24 {
+            return Err(FrameError::BadLength {
+                declared,
+                available: buf.len() - 4,
+            });
+        }
+        let crc_region = &buf[4..buf.len() - 4];
+        let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+        let computed = crc32(crc_region);
+        if computed != stored {
+            return Err(FrameError::BadChecksum { computed, stored });
+        }
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let kind = r.u8()?;
+        let flags = r.u16()?;
+        let from = r.u32()?;
+        let to = r.u32()?;
+        let seq = r.u64()?;
+        let payload_len = declared - 24;
+        let payload = &crc_region[20..20 + payload_len];
+        let mut pr = Reader::new(payload);
+        let msg = Message::decode_payload(kind, &mut pr)?;
+        if pr.remaining() != 0 {
+            return Err(FrameError::TrailingBytes(pr.remaining()));
+        }
+        Ok(Frame {
+            flags,
+            from,
+            to,
+            seq,
+            msg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { party: 3 },
+            Message::HelloAck { party: 0 },
+            Message::Heartbeat { nonce: 0xDEAD_BEEF },
+            Message::Ack { of_seq: 42 },
+            Message::MaskExchange {
+                iteration: 7,
+                masks: vec![1, u64::MAX, 3],
+            },
+            Message::MaskedShare {
+                iteration: 9,
+                party: 2,
+                payload: vec![5, 6, 7, 8],
+            },
+            Message::Consensus {
+                iteration: 11,
+                z: vec![0.5, -1.25],
+                s: vec![3.0],
+                done: true,
+            },
+            Message::Shares {
+                iteration: 1,
+                values: vec![99, 100],
+            },
+            Message::Blob {
+                tag: 77,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            Message::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for (i, msg) in sample_messages().into_iter().enumerate() {
+            let frame = Frame {
+                flags: FLAG_RETRANSMIT,
+                from: 1,
+                to: 2,
+                seq: i as u64 + 1,
+                msg,
+            };
+            let enc = frame.encode();
+            assert_eq!(enc.len(), frame.encoded_len(), "length invariant");
+            let dec = Frame::decode(&enc).expect("round trip");
+            assert_eq!(dec, frame);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let frame = Frame {
+            flags: 0,
+            from: 0,
+            to: 1,
+            seq: 1,
+            msg: Message::MaskedShare {
+                iteration: 3,
+                party: 0,
+                payload: vec![10, 20, 30],
+            },
+        };
+        let good = frame.encode();
+        for i in 4..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Frame::decode(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let frame = Frame {
+            flags: 0,
+            from: 0,
+            to: 1,
+            seq: 1,
+            msg: Message::Shutdown,
+        };
+        let mut enc = frame.encode();
+        enc[4] = WIRE_VERSION + 1;
+        // Recompute the CRC so only the version is wrong.
+        let crc = crc32(&enc[4..enc.len() - 4]);
+        let n = enc.len();
+        enc[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&enc),
+            Err(FrameError::BadVersion(WIRE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let enc = Frame {
+            flags: 0,
+            from: 0,
+            to: 1,
+            seq: 5,
+            msg: Message::Heartbeat { nonce: 1 },
+        }
+        .encode();
+        assert!(Frame::decode(&enc[..enc.len() - 3]).is_err());
+        assert!(Frame::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn overhead_constant_is_exact() {
+        let enc = Frame {
+            flags: 0,
+            from: 0,
+            to: 0,
+            seq: 1,
+            msg: Message::Shutdown,
+        }
+        .encode();
+        assert_eq!(enc.len(), FRAME_OVERHEAD);
+        let msg = Message::Shares {
+            iteration: 0,
+            values: vec![0; 10],
+        };
+        assert_eq!(Frame::encoded_len_of(&msg), FRAME_OVERHEAD + 8 + 8 + 8 * 10);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

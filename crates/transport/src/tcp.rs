@@ -1,0 +1,461 @@
+//! TCP backend over `std::net`: length-prefixed frames on long-lived
+//! connections, per-message write timeouts, bounded exponential-backoff
+//! dialing and transparent reconnection.
+//!
+//! Topology is star-friendly: an endpoint only needs listed addresses for
+//! the peers it *dials* (learners list the coordinator). Inbound
+//! connections identify themselves with a [`Message::Hello`] as their
+//! first frame; the acceptor registers the connection's write half under
+//! that party id and answers [`Message::HelloAck`], after which frames
+//! flow in both directions on the same socket — so learners never open
+//! listening ports for the coordinator's replies.
+//!
+//! Hello/HelloAck are transport-internal on this backend: they are
+//! counted in [`LinkStats`] (they really cross the wire) but never
+//! surface from [`Transport::recv`].
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use crate::frame::{Frame, Message, PartyId};
+use crate::retry::RetryPolicy;
+use crate::transport::{Envelope, LinkStats, Transport, TransportError};
+
+#[derive(Default)]
+struct AtomicStats {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    retries: AtomicU64,
+}
+
+struct Shared {
+    party: PartyId,
+    conns: Mutex<HashMap<PartyId, TcpStream>>,
+    inbox_tx: mpsc::Sender<Envelope>,
+    stats: AtomicStats,
+    shutdown: AtomicBool,
+    io_timeout: Duration,
+}
+
+impl Shared {
+    fn register(&self, party: PartyId, stream: &TcpStream) {
+        if let Ok(write_half) = stream.try_clone() {
+            let _ = write_half.set_write_timeout(Some(self.io_timeout));
+            let _ = write_half.set_nodelay(true);
+            self.conns
+                .lock()
+                .expect("conns lock")
+                .insert(party, write_half);
+        }
+    }
+
+    /// Writes one already-encoded frame, counting it.
+    fn write_frame(&self, stream: &mut TcpStream, encoded: &[u8]) -> std::io::Result<()> {
+        stream.write_all(encoded)?;
+        stream.flush()?;
+        self.stats
+            .bytes_sent
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let body_len = u32::from_le_bytes(len_buf) as usize;
+    // Defensive ceiling: a single model broadcast is far below this.
+    if body_len > 1 << 28 {
+        return Err(std::io::Error::other("frame length exceeds 256 MiB cap"));
+    }
+    let mut buf = vec![0u8; 4 + body_len];
+    buf[..4].copy_from_slice(&len_buf);
+    stream.read_exact(&mut buf[4..])?;
+    Ok(buf)
+}
+
+/// Reads frames off one socket until EOF/error, delivering app messages to
+/// the inbox and handling the hello handshake in place.
+fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(None);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let encoded = match read_frame(&mut stream) {
+            Ok(buf) => buf,
+            Err(_) => return, // peer closed or socket failed; dialer will reconnect
+        };
+        let frame = match Frame::decode(&encoded) {
+            Ok(f) => f,
+            Err(_) => return, // corrupt stream: drop the connection
+        };
+        shared
+            .stats
+            .bytes_received
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        if frame.to != shared.party {
+            continue; // misrouted; ignore
+        }
+        match frame.msg {
+            Message::Hello { party } => {
+                shared.register(party, &stream);
+                let ack = Frame {
+                    flags: 0,
+                    from: shared.party,
+                    to: party,
+                    seq: 0,
+                    msg: Message::HelloAck {
+                        party: shared.party,
+                    },
+                }
+                .encode();
+                if let Ok(mut w) = stream.try_clone() {
+                    let _ = shared.write_frame(&mut w, &ack);
+                }
+            }
+            Message::HelloAck { .. } => {}
+            msg => {
+                let env = Envelope {
+                    from: frame.from,
+                    seq: frame.seq,
+                    flags: frame.flags,
+                    msg,
+                };
+                if shared.inbox_tx.send(env).is_err() {
+                    return; // endpoint dropped
+                }
+            }
+        }
+    }
+}
+
+/// A `std::net` TCP endpoint.
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    inbox: mpsc::Receiver<Envelope>,
+    peers: HashMap<PartyId, SocketAddr>,
+    next_seq: HashMap<PartyId, u64>,
+    retry: RetryPolicy,
+    local_addr: SocketAddr,
+    listener_addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Binds `party`'s endpoint on `addr` (use port 0 for an ephemeral
+    /// port; see [`TcpTransport::local_addr`]). `peers` lists the
+    /// addresses this endpoint may dial; parties absent from the map can
+    /// still reach us by dialing in.
+    pub fn bind(
+        party: PartyId,
+        addr: SocketAddr,
+        peers: HashMap<PartyId, SocketAddr>,
+        retry: RetryPolicy,
+        io_timeout: Duration,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (inbox_tx, inbox) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            party,
+            conns: Mutex::new(HashMap::new()),
+            inbox_tx,
+            stats: AtomicStats::default(),
+            shutdown: AtomicBool::new(false),
+            io_timeout,
+        });
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || reader_loop(&shared, stream));
+                }
+            });
+        }
+        Ok(TcpTransport {
+            shared,
+            inbox,
+            peers,
+            next_seq: HashMap::new(),
+            retry,
+            local_addr,
+            listener_addr: local_addr,
+        })
+    }
+
+    /// The address this endpoint is actually listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Parties with a registered live connection — peers we dialed plus
+    /// peers that dialed in and completed the hello handshake. Lets a
+    /// coordinator wait for its learners before the first broadcast.
+    pub fn connected_parties(&self) -> Vec<PartyId> {
+        let conns = self.shared.conns.lock().expect("conns lock");
+        let mut parties: Vec<PartyId> = conns.keys().copied().collect();
+        parties.sort_unstable();
+        parties
+    }
+
+    /// Dials `to`, performs the hello handshake, spawns the reader, and
+    /// registers the write half.
+    fn dial(&self, to: PartyId, addr: SocketAddr) -> Result<(), TransportError> {
+        let stream = TcpStream::connect_timeout(&addr, self.shared.io_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(self.shared.io_timeout))?;
+        let hello = Frame {
+            flags: 0,
+            from: self.shared.party,
+            to,
+            seq: 0,
+            msg: Message::Hello {
+                party: self.shared.party,
+            },
+        }
+        .encode();
+        {
+            let mut write_half = stream.try_clone()?;
+            self.shared.write_frame(&mut write_half, &hello)?;
+        }
+        {
+            let shared = Arc::clone(&self.shared);
+            let reader = stream.try_clone()?;
+            std::thread::spawn(move || reader_loop(&shared, reader));
+        }
+        self.shared.register(to, &stream);
+        Ok(())
+    }
+
+    /// Fetches (establishing if necessary) a write half for `to`.
+    fn connection_for(&self, to: PartyId, attempt: u32) -> Result<TcpStream, TransportError> {
+        if let Some(conn) = self.shared.conns.lock().expect("conns lock").get(&to) {
+            return Ok(conn.try_clone()?);
+        }
+        match self.peers.get(&to) {
+            Some(&addr) => {
+                self.dial(to, addr)?;
+                let conns = self.shared.conns.lock().expect("conns lock");
+                Ok(conns
+                    .get(&to)
+                    .ok_or(TransportError::Unreachable(to))?
+                    .try_clone()?)
+            }
+            // We cannot dial this party; it must dial us. Give the
+            // handshake time to land before the caller retries.
+            None => {
+                std::thread::sleep(self.retry.backoff(attempt));
+                let conns = self.shared.conns.lock().expect("conns lock");
+                conns
+                    .get(&to)
+                    .ok_or(TransportError::Unreachable(to))?
+                    .try_clone()
+                    .map_err(TransportError::Io)
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn party(&self) -> PartyId {
+        self.shared.party
+    }
+
+    fn next_seq(&mut self, to: PartyId) -> u64 {
+        let slot = self.next_seq.entry(to).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    fn send_raw(
+        &mut self,
+        to: PartyId,
+        msg: &Message,
+        seq: u64,
+        flags: u16,
+    ) -> Result<usize, TransportError> {
+        let encoded = Frame {
+            flags,
+            from: self.shared.party,
+            to,
+            seq,
+            msg: msg.clone(),
+        }
+        .encode();
+        let mut last_err: Option<TransportError> = None;
+        for attempt in 0..self.retry.max_attempts {
+            if attempt > 0 {
+                self.shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.retry.backoff(attempt - 1));
+            }
+            match self.connection_for(to, attempt) {
+                Ok(mut conn) => match self.shared.write_frame(&mut conn, &encoded) {
+                    Ok(()) => return Ok(encoded.len()),
+                    Err(e) => {
+                        // Connection went stale: forget it and redial.
+                        self.shared.conns.lock().expect("conns lock").remove(&to);
+                        last_err = Some(TransportError::Io(e));
+                    }
+                },
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(TransportError::Unreachable(to)))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Envelope, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(env) => Ok(env),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn stats(&self) -> LinkStats {
+        let s = &self.shared.stats;
+        LinkStats {
+            frames_sent: s.frames_sent.load(Ordering::Relaxed),
+            frames_received: s.frames_received.load(Ordering::Relaxed),
+            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: s.bytes_received.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Nudge the accept loop awake so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.listener_addr, Duration::from_millis(100));
+        // Closing the write halves makes reader threads see EOF.
+        self.shared.conns.lock().expect("conns lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::courier::Courier;
+
+    fn loopback_addr() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("addr")
+    }
+
+    fn bind(party: PartyId, peers: HashMap<PartyId, SocketAddr>) -> TcpTransport {
+        TcpTransport::bind(
+            party,
+            loopback_addr(),
+            peers,
+            RetryPolicy::fast_local(),
+            Duration::from_secs(2),
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn dial_in_and_reply_on_same_socket() {
+        let mut server = bind(0, HashMap::new());
+        let mut client = bind(1, HashMap::from([(0, server.local_addr())]));
+        client
+            .send(0, &Message::Heartbeat { nonce: 11 })
+            .expect("client send");
+        let env = server.recv(Duration::from_secs(5)).expect("server recv");
+        assert_eq!(env.from, 1);
+        assert_eq!(env.msg, Message::Heartbeat { nonce: 11 });
+        // The server replies without knowing the client's address.
+        server
+            .send(1, &Message::Heartbeat { nonce: 22 })
+            .expect("server send");
+        let env = client.recv(Duration::from_secs(5)).expect("client recv");
+        assert_eq!(env.from, 0);
+        assert_eq!(env.msg, Message::Heartbeat { nonce: 22 });
+    }
+
+    #[test]
+    fn unreachable_peer_fails_after_bounded_retries() {
+        let mut lone = bind(3, HashMap::new());
+        let err = lone.send(9, &Message::Shutdown).unwrap_err();
+        assert!(matches!(err, TransportError::Unreachable(9)));
+    }
+
+    #[test]
+    fn courier_over_tcp_round_trips() {
+        let server = bind(0, HashMap::new());
+        let server_addr = server.local_addr();
+        let client = bind(1, HashMap::from([(0, server_addr)]));
+        let mut sc = Courier::new(server, RetryPolicy::tcp_default());
+        let mut cc = Courier::new(client, RetryPolicy::tcp_default());
+        let h = std::thread::spawn(move || {
+            let env = sc.recv(Duration::from_secs(5)).expect("server recv");
+            (env, sc)
+        });
+        cc.send_reliable(
+            0,
+            &Message::MaskedShare {
+                iteration: 1,
+                party: 1,
+                payload: vec![1, 2, 3],
+            },
+        )
+        .expect("reliable send");
+        let (env, _sc) = h.join().unwrap();
+        assert_eq!(
+            env.msg,
+            Message::MaskedShare {
+                iteration: 1,
+                party: 1,
+                payload: vec![1, 2, 3],
+            }
+        );
+    }
+
+    #[test]
+    fn reconnects_after_peer_restart() {
+        let mut server = bind(0, HashMap::new());
+        let server_addr = server.local_addr();
+        let mut client = bind(1, HashMap::from([(0, server_addr)]));
+        client.send(0, &Message::Heartbeat { nonce: 1 }).unwrap();
+        assert_eq!(
+            server.recv(Duration::from_secs(5)).unwrap().msg,
+            Message::Heartbeat { nonce: 1 }
+        );
+        // Restart the server on the same port.
+        let port_addr = server.local_addr();
+        drop(server);
+        std::thread::sleep(Duration::from_millis(50));
+        let mut server = TcpTransport::bind(
+            0,
+            port_addr,
+            HashMap::new(),
+            RetryPolicy::fast_local(),
+            Duration::from_secs(2),
+        )
+        .expect("rebind");
+        // The client's cached connection is dead; send_raw must notice the
+        // failure, redial and deliver.
+        let mut delivered = false;
+        for nonce in 2..6 {
+            if client.send(0, &Message::Heartbeat { nonce }).is_ok()
+                && server.recv(Duration::from_secs(2)).is_ok()
+            {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "client never reconnected");
+    }
+}

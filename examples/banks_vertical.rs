@@ -31,17 +31,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Upper bound: one bank hypothetically holding every feature.
     let centralized = LinearSvm::train(&train, 50.0)?;
-    println!("\ncentralized baseline accuracy: {:.3}", centralized.accuracy(&test));
+    println!(
+        "\ncentralized baseline accuracy: {:.3}",
+        centralized.accuracy(&test)
+    );
 
     // Privacy-preserving joint training: each bank only ever reveals its
     // masked contribution X_m·w_m to the secure sum.
     let cfg = AdmmConfig::default().with_max_iter(60);
     let linear = VerticalLinearSvm::train(&banks, &cfg, Some(&test))?;
-    println!("vertical linear accuracy:     {:.3}", linear.model.accuracy(&test));
+    println!(
+        "vertical linear accuracy:     {:.3}",
+        linear.model.accuracy(&test)
+    );
 
     let cfg_k = cfg.with_kernel(Kernel::Rbf { gamma: 0.05 });
     let kernel = VerticalKernelSvm::train(&banks, &cfg_k, Some(&test))?;
-    println!("vertical kernel accuracy:     {:.3}", kernel.model.accuracy(&test));
+    println!(
+        "vertical kernel accuracy:     {:.3}",
+        kernel.model.accuracy(&test)
+    );
 
     println!("\nconvergence ‖z(t+1) − z(t)‖² (linear, every 10th iteration):");
     for (i, d) in linear.history.z_delta.iter().enumerate() {

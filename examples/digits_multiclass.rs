@@ -24,13 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Privacy-free upper bound.
     let central = OneVsRestSvm::train_centralized(&train, 50.0)?;
-    println!("centralized one-vs-rest accuracy: {:.3}", central.accuracy(&test));
+    println!(
+        "centralized one-vs-rest accuracy: {:.3}",
+        central.accuracy(&test)
+    );
 
     // Four learners; ten consensus runs (one per digit) over the same fixed
     // partitions — records never move between runs.
     let cfg = AdmmConfig::default().with_max_iter(40);
     let distributed = OneVsRestSvm::train_horizontal(&train, 4, &cfg)?;
-    println!("distributed one-vs-rest accuracy: {:.3}", distributed.accuracy(&test));
+    println!(
+        "distributed one-vs-rest accuracy: {:.3}",
+        distributed.accuracy(&test)
+    );
 
     // Show a few predictions with their per-class scores.
     for i in 0..3 {

@@ -1,0 +1,158 @@
+//! Distributed horizontal-linear SVM across real OS processes.
+//!
+//! Re-runs the Fig. 2 star topology with three learner *processes*
+//! talking TCP on localhost to an in-process coordinator, then checks the
+//! result against `train_linear_on_cluster` (the simulated-cluster path):
+//! because the protocol aggregates fixed-point wrapping sums, the two
+//! must agree to well below 1e-6 — in fact bit for bit.
+//!
+//! ```text
+//! cargo run --example distributed_hl
+//! ```
+//!
+//! The example re-executes itself with `learner <party> <addr>` for the
+//! child role, so it needs no other binary to be built.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use ppml::core::distributed::{coordinate_linear, feature_count, learn_linear};
+use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
+use ppml::core::AdmmConfig;
+use ppml::data::{synth, Dataset, Partition};
+use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
+
+const LEARNERS: usize = 3;
+
+/// Every process regenerates the same dataset and config from these
+/// constants — no training data crosses the wire.
+fn shared_setup() -> (Vec<Dataset>, AdmmConfig) {
+    let ds = synth::blobs(96, 5);
+    let parts = Partition::horizontal(&ds, LEARNERS, 1).expect("partition");
+    let cfg = AdmmConfig::default().with_max_iter(12).with_seed(11);
+    (parts, cfg)
+}
+
+fn learner_process(party: usize, coordinator: SocketAddr) {
+    let (parts, cfg) = shared_setup();
+    let transport = TcpTransport::bind(
+        party as PartyId,
+        "127.0.0.1:0".parse().expect("loopback addr"),
+        HashMap::from([(LEARNERS as PartyId, coordinator)]),
+        RetryPolicy::tcp_default(),
+        Duration::from_secs(5),
+    )
+    .expect("bind learner");
+    let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+    // Dial in so the coordinator counts this learner as connected.
+    courier
+        .send_unreliable(
+            LEARNERS as PartyId,
+            &Message::Heartbeat {
+                nonce: party as u64,
+            },
+        )
+        .expect("announce");
+    let model = learn_linear(
+        &mut courier,
+        LEARNERS,
+        &parts[party],
+        &cfg,
+        Duration::from_secs(30),
+    )
+    .expect("learner");
+    println!(
+        "learner {party} (pid {}): consensus bias {:+.6}",
+        std::process::id(),
+        model.bias()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "learner" {
+        let party: usize = args[2].parse().expect("party index");
+        let addr: SocketAddr = args[3].parse().expect("coordinator addr");
+        learner_process(party, addr);
+        return;
+    }
+
+    let (parts, cfg) = shared_setup();
+    let features = feature_count(&parts).expect("partitions");
+
+    // Reference: the same protocol on the in-process simulated cluster.
+    let (reference, _) =
+        train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).expect("cluster run");
+
+    let transport = TcpTransport::bind(
+        LEARNERS as PartyId,
+        "127.0.0.1:0".parse().expect("loopback addr"),
+        HashMap::new(),
+        RetryPolicy::tcp_default(),
+        Duration::from_secs(5),
+    )
+    .expect("bind coordinator");
+    let addr = transport.local_addr();
+    println!(
+        "coordinator (pid {}) listening on {addr}",
+        std::process::id()
+    );
+
+    let exe = std::env::current_exe().expect("current exe");
+    let children: Vec<Child> = (0..LEARNERS)
+        .map(|party| {
+            Command::new(&exe)
+                .args(["learner", &party.to_string(), &addr.to_string()])
+                .spawn()
+                .expect("spawn learner process")
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while transport.connected_parties().len() < LEARNERS {
+        assert!(Instant::now() < deadline, "learners never connected");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+    let outcome = coordinate_linear(
+        &mut courier,
+        LEARNERS,
+        features,
+        &cfg,
+        None,
+        Duration::from_secs(30),
+    )
+    .expect("coordinate");
+
+    for mut child in children {
+        let status = child.wait().expect("wait for learner");
+        assert!(status.success(), "learner process failed");
+    }
+
+    println!(
+        "distributed run: {} rounds, {} bytes on the wire",
+        outcome.metrics.iterations,
+        outcome.metrics.total_network_bytes()
+    );
+
+    // The distributed protocol must reproduce the simulated cluster.
+    let max_dev = outcome
+        .model
+        .weights()
+        .iter()
+        .zip(reference.model.weights())
+        .map(|(a, b)| (a - b).abs())
+        .fold(
+            (outcome.model.bias() - reference.model.bias()).abs(),
+            f64::max,
+        );
+    println!("max deviation from in-process cluster run: {max_dev:.3e}");
+    assert!(
+        max_dev < 1e-6,
+        "distributed and in-process runs disagree: {max_dev}"
+    );
+    println!("distributed TCP training matches the in-process cluster result");
+}

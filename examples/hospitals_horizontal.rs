@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hospitals = Partition::horizontal(&train, 4, 5)?;
     for (i, h) in hospitals.iter().enumerate() {
         let (pos, neg) = h.class_counts();
-        println!("hospital {i}: {} patients ({pos} positive, {neg} negative)", h.len());
+        println!(
+            "hospital {i}: {} patients ({pos} positive, {neg} negative)",
+            h.len()
+        );
     }
 
     let cfg = AdmmConfig::default()
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (outcome, metrics) = train_kernel_on_cluster(&hospitals, &cfg, Some(&test), tuning)?;
 
-    println!("\nkernel consensus accuracy: {:.3}", outcome.model.accuracy(&test));
+    println!(
+        "\nkernel consensus accuracy: {:.3}",
+        outcome.model.accuracy(&test)
+    );
     println!("accuracy by iteration (every 5th):");
     for (i, a) in outcome.history.accuracy.iter().enumerate() {
         if i % 5 == 0 {

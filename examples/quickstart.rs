@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // What pooling the data would buy (the privacy-free upper bound).
     let centralized = LinearSvm::train(&train, 50.0)?;
-    println!("centralized baseline accuracy: {:.3}", centralized.accuracy(&test));
+    println!(
+        "centralized baseline accuracy: {:.3}",
+        centralized.accuracy(&test)
+    );
 
     // The privacy-preserving alternative: each organization keeps its rows,
     // per-iteration local models are aggregated through the paper's
@@ -33,11 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = AdmmConfig::default().with_max_iter(100);
     let outcome = HorizontalLinearSvm::train(&learners, &cfg, Some(&test))?;
 
-    println!("distributed (private) accuracy: {:.3}", outcome.model.accuracy(&test));
+    println!(
+        "distributed (private) accuracy: {:.3}",
+        outcome.model.accuracy(&test)
+    );
     println!("\nconvergence ‖z(t+1) − z(t)‖² (every 10th iteration):");
     for (i, d) in outcome.history.z_delta.iter().enumerate() {
         if i % 10 == 0 {
-            println!("  iter {:>3}: {:>12.3e}   accuracy {:.3}", i + 1, d, outcome.history.accuracy[i]);
+            println!(
+                "  iter {:>3}: {:>12.3e}   accuracy {:.3}",
+                i + 1,
+                d,
+                outcome.history.accuracy[i]
+            );
         }
     }
     println!(

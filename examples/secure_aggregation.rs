@@ -13,14 +13,18 @@
 use std::time::Instant;
 
 use ppml::crypto::{
-    AdditiveSharing, FixedPointCodec, MaskingParty, PaillierAggregation, PairwiseMasking,
-    PlainSum, SecureSum, ThresholdSharing,
+    AdditiveSharing, FixedPointCodec, MaskingParty, PaillierAggregation, PairwiseMasking, PlainSum,
+    SecureSum, ThresholdSharing,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Four learners' local models (e.g. SVM weight vectors of length 64).
     let inputs: Vec<Vec<f64>> = (0..4)
-        .map(|m| (0..64).map(|i| ((m * 64 + i) as f64 * 0.37).sin()).collect())
+        .map(|m| {
+            (0..64)
+                .map(|i| ((m * 64 + i) as f64 * 0.37).sin())
+                .collect()
+        })
         .collect();
 
     let plain = PlainSum.aggregate(&inputs)?;
@@ -32,8 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(PaillierAggregation::keygen(512, 3)?),
     ];
 
-    println!("{:<20} {:>12} {:>10} {:>12}", "protocol", "max |err|", "messages", "bytes");
-    println!("{:<20} {:>12} {:>10} {:>12}", "plain (insecure)", "0", 4, 4 * 64 * 8);
+    println!(
+        "{:<20} {:>12} {:>10} {:>12}",
+        "protocol", "max |err|", "messages", "bytes"
+    );
+    println!(
+        "{:<20} {:>12} {:>10} {:>12}",
+        "plain (insecure)",
+        "0",
+        4,
+        4 * 64 * 8
+    );
     for backend in &backends {
         let t = Instant::now();
         let sum = backend.aggregate(&inputs)?;
@@ -69,6 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let share = parties[0].masked_share(&[secret], &received)?;
     println!("  secret value     : {secret}");
     println!("  fixed-point code : {:#018x}", codec.encode_u64(secret)?);
-    println!("  masked share     : {:#018x}  (statistically independent of the secret)", share.payload[0]);
+    println!(
+        "  masked share     : {:#018x}  (statistically independent of the secret)",
+        share.payload[0]
+    );
     Ok(())
 }

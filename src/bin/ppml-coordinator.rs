@@ -1,0 +1,172 @@
+//! Coordinator daemon for distributed HL-SVM training over TCP.
+//!
+//! Binds a listening socket, waits for `--learners` peers to dial in,
+//! then drives the consensus rounds of the paper's Fig. 2 star topology:
+//! broadcast `(z, s)`, collect one masked share per learner, decode the
+//! cancelled sum, repeat. Raw data never reaches this process — only
+//! masked fixed-point shares do.
+//!
+//! ```text
+//! ppml-coordinator --learners 3 [--port 7100] [--dataset blobs --n 96]
+//!                  [--data-seed 5] [--iters 12] [--c 50] [--rho 100]
+//!                  [--seed 11] [--tol T] [--out model.txt]
+//! ```
+//!
+//! Both sides regenerate the same synthetic dataset from
+//! `(--dataset, --n, --data-seed)` so the coordinator knows the feature
+//! count and can report accuracy, without any training data crossing the
+//! wire. Start the matching learners with `ppml-learner` (see README).
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ppml::core::distributed::{coordinate_linear, feature_count};
+use ppml::core::AdmmConfig;
+use ppml::data::{synth, Dataset, Partition};
+use ppml::transport::{Courier, PartyId, RetryPolicy, TcpTransport};
+
+fn usage() -> String {
+    "usage:\n  ppml-coordinator --learners M [--port P] [--dataset <cancer|higgs|ocr|blobs|xor>]\n                   \
+     [--n N] [--data-seed S] [--iters T] [--c C] [--rho RHO] [--seed S]\n                   \
+     [--tol TOL] [--connect-timeout SECS] [--out MODEL]"
+        .to_string()
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag}"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v}")),
+        None => Ok(default),
+    }
+}
+
+/// Regenerates the shared synthetic dataset — must match `ppml-learner`.
+fn dataset(flags: &BTreeMap<String, String>) -> Result<Dataset, String> {
+    let n: usize = numeric(flags, "n", 96)?;
+    let seed: u64 = numeric(flags, "data-seed", 5)?;
+    let name = flags.get("dataset").map(String::as_str).unwrap_or("blobs");
+    Ok(match name {
+        "cancer" => synth::cancer_like(n, seed),
+        "higgs" => synth::higgs_like(n, seed),
+        "ocr" => synth::ocr_like(n, seed),
+        "blobs" => synth::blobs(n, seed),
+        "xor" => synth::xor_like(n, seed),
+        other => return Err(format!("unknown dataset {other}")),
+    })
+}
+
+fn config(flags: &BTreeMap<String, String>) -> Result<AdmmConfig, String> {
+    let mut cfg = AdmmConfig::default()
+        .with_max_iter(numeric(flags, "iters", 12)?)
+        .with_c(numeric(flags, "c", 50.0)?)
+        .with_rho(numeric(flags, "rho", 100.0)?)
+        .with_seed(numeric(flags, "seed", 11)?);
+    if let Some(tol) = flags.get("tol") {
+        cfg = cfg.with_tol(tol.parse().map_err(|_| format!("--tol: bad value {tol}"))?);
+    }
+    Ok(cfg)
+}
+
+fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
+    let learners: usize = numeric(&flags, "learners", 0)?;
+    if learners == 0 {
+        return Err("--learners must be at least 1".to_string());
+    }
+    let port: u16 = numeric(&flags, "port", 0)?;
+    let connect_timeout: u64 = numeric(&flags, "connect-timeout", 30)?;
+    let cfg = config(&flags)?;
+    let ds = dataset(&flags)?;
+    let parts = Partition::horizontal(&ds, learners, numeric(&flags, "part-seed", 1)?)
+        .map_err(|e| e.to_string())?;
+    let features = feature_count(&parts).map_err(|e| e.to_string())?;
+
+    let addr: SocketAddr = format!("127.0.0.1:{port}")
+        .parse()
+        .map_err(|e| format!("bad port: {e}"))?;
+    let transport = TcpTransport::bind(
+        learners as PartyId,
+        addr,
+        HashMap::new(),
+        RetryPolicy::tcp_default(),
+        Duration::from_secs(5),
+    )
+    .map_err(|e| e.to_string())?;
+    // The learner scripts and the example parse this line for the port.
+    println!("listening on {}", transport.local_addr());
+
+    let deadline = Instant::now() + Duration::from_secs(connect_timeout);
+    while transport.connected_parties().len() < learners {
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "only {}/{learners} learners connected within {connect_timeout}s",
+                transport.connected_parties().len()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("all {learners} learners connected, training");
+
+    let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+    let outcome = coordinate_linear(
+        &mut courier,
+        learners,
+        features,
+        &cfg,
+        None,
+        Duration::from_secs(30),
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "converged in {} rounds, final |dz|^2 = {:.3e}",
+        outcome.metrics.iterations,
+        outcome.history.z_delta.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "network: {} broadcast bytes, {} share bytes",
+        outcome.metrics.bytes_broadcast, outcome.metrics.bytes_shuffled
+    );
+    println!("training accuracy: {:.4}", outcome.model.accuracy(&ds));
+    println!("model: {}", outcome.model.to_text());
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, outcome.model.to_text()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ppml-coordinator: {e}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Learner daemon for distributed HL-SVM training over TCP.
+//!
+//! Regenerates its horizontal partition deterministically from the CLI
+//! flags (the same `(--dataset, --n, --data-seed, --learners, --part-seed)`
+//! the coordinator uses — no training data ever crosses the wire), dials
+//! the coordinator, then answers each consensus broadcast with the local
+//! ADMM step's pairwise-masked share until the `done` round arrives.
+//!
+//! ```text
+//! ppml-learner --party 0 --learners 3 --coordinator 127.0.0.1:7100
+//!              [--dataset blobs --n 96] [--data-seed 5] [--iters 12]
+//!              [--c 50] [--rho 100] [--seed 11] [--tol T]
+//! ```
+//!
+//! Every training flag must match the coordinator's, as both sides drive
+//! the same deterministic protocol from their own copy of the config.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ppml::core::distributed::learn_linear;
+use ppml::core::AdmmConfig;
+use ppml::data::{synth, Dataset, Partition};
+use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
+
+fn usage() -> String {
+    "usage:\n  ppml-learner --party I --learners M --coordinator HOST:PORT\n               \
+     [--dataset <cancer|higgs|ocr|blobs|xor>] [--n N] [--data-seed S]\n               \
+     [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL]"
+        .to_string()
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag}"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v}")),
+        None => Ok(default),
+    }
+}
+
+/// Regenerates the shared synthetic dataset — must match `ppml-coordinator`.
+fn dataset(flags: &BTreeMap<String, String>) -> Result<Dataset, String> {
+    let n: usize = numeric(flags, "n", 96)?;
+    let seed: u64 = numeric(flags, "data-seed", 5)?;
+    let name = flags.get("dataset").map(String::as_str).unwrap_or("blobs");
+    Ok(match name {
+        "cancer" => synth::cancer_like(n, seed),
+        "higgs" => synth::higgs_like(n, seed),
+        "ocr" => synth::ocr_like(n, seed),
+        "blobs" => synth::blobs(n, seed),
+        "xor" => synth::xor_like(n, seed),
+        other => return Err(format!("unknown dataset {other}")),
+    })
+}
+
+fn config(flags: &BTreeMap<String, String>) -> Result<AdmmConfig, String> {
+    let mut cfg = AdmmConfig::default()
+        .with_max_iter(numeric(flags, "iters", 12)?)
+        .with_c(numeric(flags, "c", 50.0)?)
+        .with_rho(numeric(flags, "rho", 100.0)?)
+        .with_seed(numeric(flags, "seed", 11)?);
+    if let Some(tol) = flags.get("tol") {
+        cfg = cfg.with_tol(tol.parse().map_err(|_| format!("--tol: bad value {tol}"))?);
+    }
+    Ok(cfg)
+}
+
+fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
+    let learners: usize = numeric(&flags, "learners", 0)?;
+    if learners == 0 {
+        return Err("--learners must be at least 1".to_string());
+    }
+    let party: usize = match flags.get("party") {
+        Some(v) => v.parse().map_err(|_| format!("--party: bad value {v}"))?,
+        None => return Err("--party is required".to_string()),
+    };
+    if party >= learners {
+        return Err(format!("--party {party} out of range 0..{learners}"));
+    }
+    let coordinator: SocketAddr = flags
+        .get("coordinator")
+        .ok_or_else(|| "--coordinator is required".to_string())?
+        .parse()
+        .map_err(|e| format!("--coordinator: {e}"))?;
+    let cfg = config(&flags)?;
+    let ds = dataset(&flags)?;
+    let parts = Partition::horizontal(&ds, learners, numeric(&flags, "part-seed", 1)?)
+        .map_err(|e| e.to_string())?;
+    let my_part = &parts[party];
+
+    let transport = TcpTransport::bind(
+        party as PartyId,
+        "127.0.0.1:0".parse().expect("loopback addr"),
+        HashMap::from([(learners as PartyId, coordinator)]),
+        RetryPolicy::tcp_default(),
+        Duration::from_secs(5),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+
+    println!(
+        "learner {party}: {} local samples, dialing {coordinator}",
+        my_part.len()
+    );
+    // The transport dials lazily on first send; announce ourselves so the
+    // coordinator sees this learner as connected before broadcasting.
+    courier
+        .send_unreliable(
+            learners as PartyId,
+            &Message::Heartbeat {
+                nonce: party as u64,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let model = learn_linear(
+        &mut courier,
+        learners,
+        my_part,
+        &cfg,
+        Duration::from_secs(60),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("learner {party}: done");
+    println!("consensus model: {}", model.to_text());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ppml-learner: {e}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -99,7 +99,11 @@ fn cmd_gen(flags: BTreeMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown dataset {other}")),
     };
     std::fs::write(out, ds.to_csv()).map_err(|e| e.to_string())?;
-    println!("wrote {} samples x {} features to {out}", ds.len(), ds.features());
+    println!(
+        "wrote {} samples x {} features to {out}",
+        ds.len(),
+        ds.features()
+    );
     Ok(())
 }
 
@@ -129,8 +133,7 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
             (m, Vec::new())
         }
         "hl" => {
-            let parts =
-                Partition::horizontal(&data, learners, seed).map_err(|e| e.to_string())?;
+            let parts = Partition::horizontal(&data, learners, seed).map_err(|e| e.to_string())?;
             if on_cluster {
                 let (outcome, metrics) =
                     train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default())
@@ -157,9 +160,16 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
     };
 
     std::fs::write(out, model.to_text()).map_err(|e| e.to_string())?;
-    println!("trained on {} samples; train accuracy {:.3}", data.len(), model.accuracy(&data));
+    println!(
+        "trained on {} samples; train accuracy {:.3}",
+        data.len(),
+        model.accuracy(&data)
+    );
     if let Some(last) = trace.last() {
-        println!("final consensus movement: {last:.3e} after {} iterations", trace.len());
+        println!(
+            "final consensus movement: {last:.3e} after {} iterations",
+            trace.len()
+        );
     }
     println!("model written to {out}");
     Ok(())

@@ -19,6 +19,7 @@
 //! | [`kernel`] | `ppml-kernel` | kernels + landmark sets |
 //! | [`qp`] | `ppml-qp` | the dual QP solvers |
 //! | [`linalg`] | `ppml-linalg` | dense linear algebra |
+//! | [`transport`] | `ppml-transport` | wire format, loopback + TCP transports, ARQ courier |
 //!
 //! # Quickstart
 //!
@@ -46,7 +47,6 @@
 //! hospitals, banks with complementary features) and `ppml-bench` for the
 //! harness regenerating every figure of the paper's evaluation.
 
-
 #![forbid(unsafe_code)]
 pub use ppml_core as core;
 pub use ppml_crypto as crypto;
@@ -56,3 +56,4 @@ pub use ppml_linalg as linalg;
 pub use ppml_mapreduce as mapreduce;
 pub use ppml_qp as qp;
 pub use ppml_svm as svm;
+pub use ppml_transport as transport;

@@ -1,0 +1,132 @@
+//! Integration: distributed HL-SVM training through the public facade,
+//! over both transport backends.
+//!
+//! The distributed protocol aggregates fixed-point wrapping sums, so
+//! every run — simulated cluster, loopback hub (even with injected
+//! frame loss), TCP across threads — must produce bit-identical models.
+
+use std::collections::HashMap;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ppml::core::distributed::{coordinate_linear, feature_count, learn_linear};
+use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
+use ppml::core::AdmmConfig;
+use ppml::data::{synth, Dataset, Partition};
+use ppml::svm::LinearSvm;
+use ppml::transport::{
+    Courier, LinkFilter, LoopbackHub, Message, NetFaultPlan, PartyId, RetryPolicy, TcpTransport,
+};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn setup(m: usize) -> (Vec<Dataset>, AdmmConfig) {
+    let ds = synth::blobs(96, 7);
+    let parts = Partition::horizontal(&ds, m, 2).expect("partition");
+    let cfg = AdmmConfig::default().with_max_iter(10).with_seed(13);
+    (parts, cfg)
+}
+
+#[test]
+fn lossy_loopback_matches_cluster_and_charges_for_retries() {
+    let m = 3;
+    let (parts, cfg) = setup(m);
+    let (reference, _) =
+        train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).expect("cluster");
+
+    let run = |faults: NetFaultPlan| {
+        let hub = LoopbackHub::with_faults(m + 1, faults);
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(p, part)| {
+                let mut courier =
+                    Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+                let part = part.clone();
+                thread::spawn(move || {
+                    learn_linear(&mut courier, m, &part, &cfg, TIMEOUT).expect("learner")
+                })
+            })
+            .collect();
+        let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+        let features = feature_count(&parts).expect("partitions");
+        let outcome =
+            coordinate_linear(&mut courier, m, features, &cfg, None, TIMEOUT).expect("coordinator");
+        for h in handles {
+            h.join().expect("learner thread");
+        }
+        (outcome, hub.stats())
+    };
+
+    let (clean, _) = run(NetFaultPlan::none());
+    assert_eq!(clean.model, reference.model);
+    assert_eq!(clean.history.z_delta, reference.history.z_delta);
+
+    // Kill the first broadcast toward learner 2 and the first two shares
+    // from learner 0; the courier's ARQ must retransmit through it.
+    let faults = NetFaultPlan::none()
+        .drop_frames(LinkFilter::any().from(m as PartyId).to(2), 1)
+        .drop_frames(LinkFilter::any().from(0).to(m as PartyId), 2);
+    let (lossy, stats) = run(faults);
+    assert!(stats.dropped >= 3, "fault plan never fired: {stats:?}");
+    assert_eq!(lossy.model, reference.model);
+    // Retransmissions are real traffic: the lossy run must cost more.
+    assert!(lossy.metrics.total_network_bytes() > clean.metrics.total_network_bytes());
+}
+
+#[test]
+fn tcp_threads_match_cluster() {
+    let m = 2;
+    let (parts, cfg) = setup(m);
+    let (reference, _) =
+        train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).expect("cluster");
+
+    let coord_transport = TcpTransport::bind(
+        m as PartyId,
+        "127.0.0.1:0".parse().expect("addr"),
+        HashMap::new(),
+        RetryPolicy::tcp_default(),
+        Duration::from_secs(5),
+    )
+    .expect("bind coordinator");
+    let addr = coord_transport.local_addr();
+
+    let handles: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            let part = part.clone();
+            thread::spawn(move || -> LinearSvm {
+                let transport = TcpTransport::bind(
+                    p as PartyId,
+                    "127.0.0.1:0".parse().expect("addr"),
+                    HashMap::from([(m as PartyId, addr)]),
+                    RetryPolicy::tcp_default(),
+                    Duration::from_secs(5),
+                )
+                .expect("bind learner");
+                let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+                courier
+                    .send_unreliable(m as PartyId, &Message::Heartbeat { nonce: p as u64 })
+                    .expect("announce");
+                learn_linear(&mut courier, m, &part, &cfg, TIMEOUT).expect("learner")
+            })
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while coord_transport.connected_parties().len() < m {
+        assert!(Instant::now() < deadline, "learners never dialed in");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut courier = Courier::new(coord_transport, RetryPolicy::tcp_default());
+    let features = feature_count(&parts).expect("partitions");
+    let outcome =
+        coordinate_linear(&mut courier, m, features, &cfg, None, TIMEOUT).expect("coordinator");
+
+    assert_eq!(outcome.model, reference.model);
+    for h in handles {
+        assert_eq!(h.join().expect("learner thread"), reference.model);
+    }
+}

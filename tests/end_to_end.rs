@@ -115,15 +115,17 @@ fn cluster_kernel_beats_linear_on_xor_despite_faults() {
         fault_plan: FaultPlan::new().fail_first_attempts(1, BlockId(0), 1),
         max_attempts: Some(3),
     };
-    let (kernel_out, metrics) =
-        train_kernel_on_cluster(&parts, &cfg, None, tuning).unwrap();
+    let (kernel_out, metrics) = train_kernel_on_cluster(&parts, &cfg, None, tuning).unwrap();
     let linear_out = HorizontalLinearSvm::train(&parts, &cfg, None).unwrap();
 
     let ka = kernel_out.model.accuracy(&test);
     let la = linear_out.model.accuracy(&test);
     assert!(ka > 0.88, "kernel accuracy {ka}");
     assert!(ka > la + 0.08, "kernel {ka} must beat linear {la}");
-    assert_eq!(metrics.task_retries, 1, "the injected fault must be exercised");
+    assert_eq!(
+        metrics.task_retries, 1,
+        "the injected fault must be exercised"
+    );
 }
 
 /// Every secure-aggregation backend trains to the same model (the trainers
@@ -196,10 +198,14 @@ fn nystrom_vertical_on_cluster_with_faults() {
         max_attempts: Some(3),
     };
     let (out, metrics) = train_vertical_kernel_on_cluster(&view, &cfg, None, tuning).unwrap();
-    let exact = VerticalKernelSvm::train(&view, &AdmmConfig {
-        nystrom_rank: None,
-        ..cfg
-    }, None)
+    let exact = VerticalKernelSvm::train(
+        &view,
+        &AdmmConfig {
+            nystrom_rank: None,
+            ..cfg
+        },
+        None,
+    )
     .unwrap();
     let (an, ae) = (out.model.accuracy(&test), exact.model.accuracy(&test));
     assert!(an > ae - 0.07, "nystrom-on-cluster {an} vs exact {ae}");
@@ -216,8 +222,7 @@ fn threshold_backend_is_interchangeable_in_training() {
     let cfg = AdmmConfig::default().with_max_iter(10);
     let reference = HorizontalLinearSvm::train(&parts, &cfg, None).unwrap();
     let threshold =
-        HorizontalLinearSvm::train_with(&parts, &cfg, None, &ThresholdSharing::new(3, 73))
-            .unwrap();
+        HorizontalLinearSvm::train_with(&parts, &cfg, None, &ThresholdSharing::new(3, 73)).unwrap();
     for (a, b) in threshold
         .model
         .weights()
@@ -266,11 +271,7 @@ fn csv_pipeline_roundtrip() {
     let csv = ds.to_csv();
     let back = ppml::data::Dataset::from_csv(&csv).unwrap();
     let parts = Partition::horizontal(&back, 2, 82).unwrap();
-    let out = HorizontalLinearSvm::train(
-        &parts,
-        &AdmmConfig::default().with_max_iter(20),
-        None,
-    )
-    .unwrap();
+    let out =
+        HorizontalLinearSvm::train(&parts, &AdmmConfig::default().with_max_iter(20), None).unwrap();
     assert!(out.model.accuracy(&back) > 0.85);
 }

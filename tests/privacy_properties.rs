@@ -15,7 +15,10 @@ fn shares_are_masked_and_fresh() {
     let masker = SeededMasker::new(99, 0, 4);
     let codec = masker.codec();
     let value = [0.5, -0.25, 3.0];
-    let raw: Vec<u64> = value.iter().map(|&v| codec.encode_u64(v).unwrap()).collect();
+    let raw: Vec<u64> = value
+        .iter()
+        .map(|&v| codec.encode_u64(v).unwrap())
+        .collect();
     let s0 = masker.mask_share(&value, 0).unwrap();
     let s1 = masker.mask_share(&value, 1).unwrap();
     assert_ne!(s0, raw, "share leaked the raw encoding");
@@ -40,7 +43,12 @@ fn partial_sums_reveal_nothing() {
     let parties: Vec<MaskingParty> = (0..m)
         .map(|i| MaskingParty::new(i, m, 2, 1000 + i as u64, codec))
         .collect();
-    let values = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0], vec![7.0, 8.0]];
+    let values = [
+        vec![1.0, 2.0],
+        vec![3.0, 4.0],
+        vec![5.0, 6.0],
+        vec![7.0, 8.0],
+    ];
     let mut shares = Vec::new();
     for (i, p) in parties.iter().enumerate() {
         let received: Vec<&[u64]> = p
@@ -75,12 +83,8 @@ fn consensus_model_margins_do_not_single_out_a_learner() {
     let ds = synth::cancer_like(300, 91);
     let (train, test) = ds.split(0.5, 92).unwrap();
     let parts = Partition::horizontal(&train, 4, 93).unwrap();
-    let out = HorizontalLinearSvm::train(
-        &parts,
-        &AdmmConfig::default().with_max_iter(60),
-        None,
-    )
-    .unwrap();
+    let out =
+        HorizontalLinearSvm::train(&parts, &AdmmConfig::default().with_max_iter(60), None).unwrap();
     let mean_margin = |d: &ppml::data::Dataset| -> f64 {
         (0..d.len())
             .map(|i| d.label(i) * out.model.decision(d.sample(i)).unwrap())
