@@ -1,3 +1,5 @@
+use std::time::Duration;
+
 use ppml_kernel::{Kernel, LandmarkStrategy};
 use ppml_qp::QpConfig;
 
@@ -162,6 +164,73 @@ impl AdmmConfig {
     }
 }
 
+/// Timing knobs for the distributed protocol ([`crate::distributed`]).
+///
+/// Two clocks govern dropout detection, one per role:
+///
+/// * the **coordinator** gives each collection round a single deadline;
+///   learners whose shares have not arrived when it expires are declared
+///   dropped and the round is re-keyed over the survivors. Heartbeats do
+///   not extend the deadline — a learner that is alive but never produces
+///   a share still gets dropped.
+/// * each **learner** bounds how long it waits for the next protocol
+///   frame (consensus or re-key) from the coordinator. When the patience
+///   runs out it exits with a transport error instead of blocking
+///   forever on a dead coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributedTiming {
+    /// Coordinator-side deadline for collecting one round of shares.
+    pub round_deadline: Duration,
+    /// Learner-side bound on the gap between coordinator protocol frames.
+    pub learner_patience: Duration,
+}
+
+impl Default for DistributedTiming {
+    fn default() -> Self {
+        DistributedTiming {
+            round_deadline: Duration::from_secs(10),
+            learner_patience: Duration::from_secs(30),
+        }
+    }
+}
+
+impl DistributedTiming {
+    /// Sets the coordinator's per-round collection deadline.
+    pub fn with_round_deadline(mut self, deadline: Duration) -> Self {
+        self.round_deadline = deadline;
+        self
+    }
+
+    /// Sets the learner's patience for the coordinator.
+    pub fn with_learner_patience(mut self, patience: Duration) -> Self {
+        self.learner_patience = patience;
+        self
+    }
+
+    /// Validates the pair; both distributed entry points call this first.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::BadConfig`] on a zero duration, or when the patience
+    /// is shorter than the round deadline (a healthy learner can wait up
+    /// to a full round deadline between coordinator frames, so a shorter
+    /// patience would make it give up on a live coordinator).
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: &str| {
+            Err(TrainError::BadConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if self.round_deadline.is_zero() {
+            return fail("round deadline must be positive");
+        }
+        if self.learner_patience < self.round_deadline {
+            return fail("learner patience must be at least the round deadline");
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +273,16 @@ mod tests {
             ..AdmmConfig::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn timing_validates_both_clocks() {
+        assert!(DistributedTiming::default().validate().is_ok());
+        let zero = DistributedTiming::default().with_round_deadline(Duration::ZERO);
+        assert!(zero.validate().is_err());
+        let impatient = DistributedTiming::default()
+            .with_round_deadline(Duration::from_secs(5))
+            .with_learner_patience(Duration::from_secs(1));
+        assert!(impatient.validate().is_err());
     }
 }

@@ -20,22 +20,47 @@
 //! the failure model (frames can drop — the [`Courier`] ARQ recovers),
 //! not the privacy argument.
 //!
+//! # Dropout and re-keying
+//!
+//! A learner process can die mid-run. The coordinator detects this in
+//! two places: a reliable broadcast to the learner exhausts its retry
+//! budget, or the round's collection deadline
+//! ([`DistributedTiming::round_deadline`] — one [`Instant`] per round,
+//! deliberately *not* refreshed by heartbeats) expires with the
+//! learner's share still missing. Either way the learner is declared
+//! dropped, the coordinator broadcasts [`Message::Rekey`] naming the
+//! survivor set, and the survivors re-mask their cached raw share over
+//! that set and re-send it for the same round. Because pair seeds derive
+//! from `(seed, lo, hi)` alone, re-keying is pure local recomputation —
+//! no new key agreement round. Shares carry a re-key `epoch` so in-flight
+//! pre-re-key shares (masked over the old set — their masks would not
+//! cancel) are recognized and discarded rather than summed. Training then
+//! continues over `m' < m` learners with the consensus average divided by
+//! `m'`; see `DESIGN.md` §8 for what the coordinator learns at the seam.
+//!
+//! Learners are symmetric: they wait at most
+//! [`DistributedTiming::learner_patience`] between coordinator protocol
+//! frames and exit with [`TrainError::Transport`] instead of blocking
+//! forever on a dead coordinator.
+//!
 //! # Determinism
 //!
 //! Fixed-point wrapping sums are associative and mask-independent, so a
 //! distributed run reproduces [`crate::jobs::train_linear_on_cluster`]
 //! **bit for bit** given the same partitions and config. The tests below
-//! assert exact equality; `examples/distributed_hl.rs` does the same
-//! across OS processes over TCP.
+//! assert exact equality — including under injected mid-round learner
+//! kills, against an in-process reference that drops the same party at
+//! the same round; `examples/distributed_hl.rs` does the same across OS
+//! processes over TCP.
 
-use std::time::Duration;
+use std::time::Instant;
 
 use ppml_data::Dataset;
 use ppml_mapreduce::JobMetrics;
 use ppml_svm::LinearSvm;
-use ppml_transport::{Courier, Frame, Message, PartyId, Transport};
+use ppml_transport::{Courier, Frame, Message, PartyId, Transport, TransportError};
 
-use crate::config::AdmmConfig;
+use crate::config::{AdmmConfig, DistributedTiming};
 use crate::error::TrainError;
 use crate::history::ConvergenceHistory;
 use crate::horizontal::linear::{validate_parts, HlLearner};
@@ -49,15 +74,80 @@ pub struct DistributedOutcome {
     pub model: LinearSvm,
     /// Per-iteration `‖z_{t+1} − z_t‖²` (and accuracy when evaluating).
     pub history: ConvergenceHistory,
-    /// Network cost: `bytes_broadcast` counts every consensus frame the
-    /// coordinator put on the wire (retransmits included),
-    /// `bytes_shuffled` the encoded size of each accepted learner share.
+    /// Network cost: `bytes_broadcast` counts every coordinator frame put
+    /// on the wire (consensus and re-key broadcasts, retransmits
+    /// included), `bytes_shuffled` the encoded size of each accepted
+    /// learner share.
     pub metrics: JobMetrics,
+    /// Learners declared dead during the run, in drop order. Empty on a
+    /// clean run.
+    pub dropped: Vec<PartyId>,
 }
 
 fn protocol(reason: impl Into<String>) -> TrainError {
     TrainError::Protocol {
         reason: reason.into(),
+    }
+}
+
+/// Whether a reliable-send failure indicts the *peer* rather than the
+/// local fabric. A dead peer surfaces differently per transport: the
+/// loopback fabric silently destroys frames until the retry budget
+/// expires (`Timeout`), while TCP fails fast with `Unreachable` (dial
+/// refused) or `Io` (write to a reset socket). All three mean "this
+/// party is gone" and trigger dropout handling; `Closed`/`Frame` are
+/// local faults and stay fatal.
+fn peer_is_lost(e: &TransportError) -> bool {
+    matches!(
+        e,
+        TransportError::Timeout | TransportError::Unreachable(_) | TransportError::Io(_)
+    )
+}
+
+/// Declares `lost` dropped and re-keys the round over the survivors:
+/// bumps the epoch and reliably sends [`Message::Rekey`] to every
+/// survivor. A survivor that cannot be reached is itself dropped and the
+/// re-key restarts over the smaller set. Returns the new epoch.
+fn rekey<T: Transport>(
+    courier: &mut Courier<T>,
+    alive: &mut [bool],
+    dropped: &mut Vec<PartyId>,
+    mut lost: Vec<PartyId>,
+    iteration: u64,
+    mut epoch: u64,
+    metrics: &mut JobMetrics,
+) -> Result<u64> {
+    loop {
+        for &p in &lost {
+            alive[p as usize] = false;
+            dropped.push(p);
+        }
+        let survivors: Vec<PartyId> = (0..alive.len())
+            .filter(|&p| alive[p])
+            .map(|p| p as PartyId)
+            .collect();
+        if survivors.is_empty() {
+            return Err(TrainError::Dropped {
+                parties: dropped.clone(),
+            });
+        }
+        epoch += 1;
+        let msg = Message::Rekey {
+            iteration,
+            epoch,
+            survivors: survivors.clone(),
+        };
+        lost = Vec::new();
+        for &p in &survivors {
+            match courier.send_reliable(p, &msg) {
+                Ok(n) => metrics.bytes_broadcast += n,
+                Err(e) if peer_is_lost(&e) => lost.push(p),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if lost.is_empty() {
+            return Ok(epoch);
+        }
     }
 }
 
@@ -69,18 +159,23 @@ fn protocol(reason: impl Into<String>) -> TrainError {
 ///
 /// # Errors
 ///
-/// [`TrainError::Transport`] when a learner stays unreachable past the
-/// retry budget, [`TrainError::Protocol`] on malformed or out-of-round
-/// frames, plus the usual configuration errors.
+/// [`TrainError::Dropped`] when every learner dies before the run
+/// finishes, [`TrainError::Transport`] on non-timeout fabric failures,
+/// [`TrainError::Protocol`] on malformed or out-of-round frames, plus
+/// the usual configuration errors. A learner that merely times out is
+/// not an error: it is dropped, the round is re-keyed, and training
+/// continues on the survivors (reported in
+/// [`DistributedOutcome::dropped`]).
 pub fn coordinate_linear<T: Transport>(
     courier: &mut Courier<T>,
     learners: usize,
     features: usize,
     cfg: &AdmmConfig,
     eval: Option<&Dataset>,
-    timeout: Duration,
+    timing: DistributedTiming,
 ) -> Result<DistributedOutcome> {
     cfg.validate()?;
+    timing.validate()?;
     if learners == 0 {
         return Err(TrainError::BadConfig {
             reason: "need at least one learner".to_string(),
@@ -101,6 +196,9 @@ pub fn coordinate_linear<T: Transport>(
     let mut s = 0.0;
     let mut history = ConvergenceHistory::default();
     let mut metrics = JobMetrics::default();
+    let mut alive = vec![true; m];
+    let mut dropped: Vec<PartyId> = Vec::new();
+    let mut epoch: u64 = 0;
 
     for iteration in 0..cfg.max_iter as u64 {
         let broadcast = Message::Consensus {
@@ -109,56 +207,117 @@ pub fn coordinate_linear<T: Transport>(
             s: vec![s],
             done: false,
         };
-        for p in 0..m {
-            metrics.bytes_broadcast += courier.send_reliable(p as PartyId, &broadcast)?;
+        let mut lost: Vec<PartyId> = Vec::new();
+        for p in (0..m).filter(|&p| alive[p]) {
+            match courier.send_reliable(p as PartyId, &broadcast) {
+                Ok(n) => metrics.bytes_broadcast += n,
+                Err(e) if peer_is_lost(&e) => lost.push(p as PartyId),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if !lost.is_empty() {
+            epoch = rekey(
+                courier,
+                &mut alive,
+                &mut dropped,
+                lost,
+                iteration,
+                epoch,
+                &mut metrics,
+            )?;
         }
 
-        // One share per learner; the ARQ layer has already deduplicated
-        // retransmits, so a repeat here would be a protocol bug.
-        let mut shares: Vec<Option<Vec<u64>>> = vec![None; m];
-        let mut have = 0usize;
-        while have < m {
-            let env = courier.recv(timeout)?;
-            // Learners announce themselves with a heartbeat to open the
-            // connection (TCP dials lazily on first send); liveness
-            // frames are not part of the round.
-            if matches!(env.msg, Message::Heartbeat { .. }) {
-                continue;
+        // Collect one share per survivor. The whole attempt shares a
+        // single deadline: heartbeats and discarded frames never extend
+        // it, so a learner that stays silent (or only ever heartbeats)
+        // is declared dropped after exactly one round_deadline.
+        let shares = 'collect: loop {
+            let active = alive.iter().filter(|&&a| a).count();
+            let mut shares: Vec<Option<Vec<u64>>> = vec![None; m];
+            let mut have = 0usize;
+            let deadline = Instant::now() + timing.round_deadline;
+            while have < active {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let env = match courier.recv(remaining) {
+                    Ok(env) => env,
+                    Err(TransportError::Timeout) => break,
+                    Err(e) => return Err(e.into()),
+                };
+                // Learners announce themselves with a heartbeat to open
+                // the connection (TCP dials lazily on first send);
+                // liveness frames are not part of the round.
+                if matches!(env.msg, Message::Heartbeat { .. }) {
+                    continue;
+                }
+                let frame_len = Frame::encoded_len_of(&env.msg);
+                let Message::MaskedShare {
+                    iteration: it,
+                    epoch: ep,
+                    party,
+                    payload,
+                } = env.msg
+                else {
+                    return Err(protocol(format!(
+                        "coordinator expected a masked share, got {:?} from party {}",
+                        env.msg, env.from
+                    )));
+                };
+                if !alive.get(party as usize).copied().unwrap_or(false) {
+                    // A share from a party already declared dropped —
+                    // either in flight when the verdict fell or from an
+                    // unknown id; it is not part of any survivor sum.
+                    continue;
+                }
+                if ep < epoch || it < iteration {
+                    // In-flight share from before a re-key (masked over
+                    // the old survivor set — its masks would not cancel)
+                    // or a stale re-send; the re-keyed copy follows.
+                    continue;
+                }
+                if ep > epoch || it > iteration {
+                    return Err(protocol(format!(
+                        "share from the future: round {it} epoch {ep} while collecting \
+                         round {iteration} epoch {epoch}"
+                    )));
+                }
+                if payload.len() != share_len {
+                    return Err(protocol(format!(
+                        "share length mismatch: expected {share_len}, got {}",
+                        payload.len()
+                    )));
+                }
+                let slot = &mut shares[party as usize];
+                if slot.is_some() {
+                    return Err(protocol(format!("duplicate share from party {party}")));
+                }
+                *slot = Some(payload);
+                metrics.bytes_shuffled += frame_len;
+                have += 1;
             }
-            let frame_len = Frame::encoded_len_of(&env.msg);
-            let Message::MaskedShare {
-                iteration: it,
-                party,
-                payload,
-            } = env.msg
-            else {
-                return Err(protocol(format!(
-                    "coordinator expected a masked share, got {:?} from party {}",
-                    env.msg, env.from
-                )));
-            };
-            if it != iteration {
-                return Err(protocol(format!(
-                    "share for round {it} while collecting round {iteration}"
-                )));
+            if have == active {
+                break 'collect shares;
             }
-            if payload.len() != share_len {
-                return Err(protocol(format!(
-                    "share length mismatch: expected {share_len}, got {}",
-                    payload.len()
-                )));
-            }
-            let slot = shares
-                .get_mut(party as usize)
-                .ok_or_else(|| protocol(format!("share from unknown party {party}")))?;
-            if slot.is_some() {
-                return Err(protocol(format!("duplicate share from party {party}")));
-            }
-            *slot = Some(payload);
-            metrics.bytes_shuffled += frame_len;
-            have += 1;
-        }
+            // Deadline expired: every survivor still missing is dropped,
+            // the rest re-key and re-send for this same round.
+            let lost: Vec<PartyId> = (0..m)
+                .filter(|&p| alive[p] && shares[p].is_none())
+                .map(|p| p as PartyId)
+                .collect();
+            epoch = rekey(
+                courier,
+                &mut alive,
+                &mut dropped,
+                lost,
+                iteration,
+                epoch,
+                &mut metrics,
+            )?;
+        };
 
+        let active = alive.iter().filter(|&&a| a).count();
         let mut summed = vec![0u64; share_len];
         for share in shares.iter().flatten() {
             for (acc, &v) in summed.iter_mut().zip(share) {
@@ -167,9 +326,9 @@ pub fn coordinate_linear<T: Transport>(
         }
         let z_new: Vec<f64> = summed[..features]
             .iter()
-            .map(|&v| codec.decode_u64(v) / m as f64)
+            .map(|&v| codec.decode_u64(v) / active as f64)
             .collect();
-        let s_new = codec.decode_u64(summed[features]) / m as f64;
+        let s_new = codec.decode_u64(summed[features]) / active as f64;
         let delta = ppml_linalg::vecops::dist_sq(&z_new, &z);
         z = z_new;
         s = s_new;
@@ -188,20 +347,26 @@ pub fn coordinate_linear<T: Transport>(
     metrics.iterations = history.z_delta.len();
 
     // Final broadcast: carries the converged consensus and releases the
-    // learners from their receive loop.
+    // learners from their receive loop. A survivor that dies this late
+    // cannot hurt the model; it is only recorded as dropped.
     let done = Message::Consensus {
         iteration: history.z_delta.len() as u64,
         z: z.clone(),
         s: vec![s],
         done: true,
     };
-    for p in 0..m {
-        metrics.bytes_broadcast += courier.send_reliable(p as PartyId, &done)?;
+    for p in (0..m).filter(|&p| alive[p]) {
+        match courier.send_reliable(p as PartyId, &done) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => dropped.push(p as PartyId),
+            Err(e) => return Err(e.into()),
+        }
     }
     Ok(DistributedOutcome {
         model: LinearSvm::from_parts(z, s),
         history,
         metrics,
+        dropped,
     })
 }
 
@@ -215,16 +380,19 @@ pub fn coordinate_linear<T: Transport>(
 /// # Errors
 ///
 /// [`TrainError::Transport`] when the coordinator goes quiet past
-/// `timeout`, [`TrainError::Protocol`] on unexpected frames, plus the
-/// partition/config errors of the in-process trainer.
+/// [`DistributedTiming::learner_patience`] (heartbeats do not count as
+/// liveness) or a send exhausts its retries, [`TrainError::Protocol`]
+/// on unexpected frames, plus the partition/config errors of the
+/// in-process trainer.
 pub fn learn_linear<T: Transport>(
     courier: &mut Courier<T>,
     learners: usize,
     data: &Dataset,
     cfg: &AdmmConfig,
-    timeout: Duration,
+    timing: DistributedTiming,
 ) -> Result<LinearSvm> {
     cfg.validate()?;
+    timing.validate()?;
     let party = courier.party();
     if (party as usize) >= learners {
         return Err(TrainError::BadConfig {
@@ -234,42 +402,117 @@ pub fn learn_linear<T: Transport>(
     let coordinator = learners as PartyId;
     let mut learner = HlLearner::new(data, learners, cfg)?;
     let masker = SeededMasker::new(cfg.seed, party as usize, learners);
+    let mut present: Vec<usize> = (0..learners).collect();
+    let mut epoch: u64 = 0;
+    let mut expected_iter: u64 = 0;
+    // Raw (unmasked) share of the last computed round, kept so a re-key
+    // can re-mask it over the survivor set without recomputing the QP.
+    let mut last_raw: Option<(u64, Vec<f64>)> = None;
+    let mut deadline = Instant::now() + timing.learner_patience;
 
     loop {
-        let env = courier.recv(timeout)?;
-        if matches!(env.msg, Message::Heartbeat { .. }) {
-            continue;
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(TrainError::Transport(TransportError::Timeout));
         }
-        let Message::Consensus {
-            iteration,
-            z,
-            s,
-            done,
-        } = env.msg
-        else {
-            return Err(protocol(format!(
-                "learner expected a consensus broadcast, got {:?} from party {}",
-                env.msg, env.from
-            )));
+        let env = match courier.recv(remaining) {
+            Ok(env) => env,
+            Err(TransportError::Timeout) => {
+                return Err(TrainError::Transport(TransportError::Timeout))
+            }
+            Err(e) => return Err(e.into()),
         };
-        let s_val = s.first().copied().unwrap_or(0.0);
-        if done {
-            return Ok(LinearSvm::from_parts(z, s_val));
-        }
-        // Same step order as `ConsensusJob::map`: duals lag one round.
-        if iteration > 0 {
-            learner.dual_update(&z, s_val);
-        }
-        learner.local_step(&z, s_val, &cfg.qp)?;
-        let payload = masker.mask_share(&learner.share(), iteration)?;
-        courier.send_reliable(
-            coordinator,
-            &Message::MaskedShare {
+        match env.msg {
+            // Liveness noise keeps the connection warm but is no proof
+            // the protocol is advancing; it does not refresh patience.
+            Message::Heartbeat { .. } => continue,
+            Message::Consensus {
                 iteration,
-                party,
-                payload,
-            },
-        )?;
+                z,
+                s,
+                done,
+            } => {
+                let s_val = s.first().copied().unwrap_or(0.0);
+                if done {
+                    return Ok(LinearSvm::from_parts(z, s_val));
+                }
+                if iteration < expected_iter {
+                    // Stale or duplicated broadcast of an already
+                    // processed round: recomputing would desynchronize
+                    // the duals and double-send a share.
+                    continue;
+                }
+                if iteration > expected_iter {
+                    return Err(protocol(format!(
+                        "consensus skipped ahead to round {iteration} while expecting \
+                         {expected_iter}"
+                    )));
+                }
+                // Same step order as `ConsensusJob::map`: duals lag one
+                // round.
+                if iteration > 0 {
+                    learner.dual_update(&z, s_val);
+                }
+                learner.local_step(&z, s_val, &cfg.qp)?;
+                let raw = learner.share();
+                let payload = masker.mask_share_among(&raw, iteration, &present)?;
+                courier.send_reliable(
+                    coordinator,
+                    &Message::MaskedShare {
+                        iteration,
+                        epoch,
+                        party,
+                        payload,
+                    },
+                )?;
+                last_raw = Some((iteration, raw));
+                expected_iter = iteration + 1;
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            Message::Rekey {
+                iteration,
+                epoch: new_epoch,
+                survivors,
+            } => {
+                if new_epoch <= epoch {
+                    // Out-of-order or duplicated re-key; a newer one has
+                    // already been applied.
+                    continue;
+                }
+                if !survivors.contains(&party) {
+                    return Err(protocol(format!(
+                        "re-key for round {iteration} excludes this learner"
+                    )));
+                }
+                epoch = new_epoch;
+                present = survivors.iter().map(|&p| p as usize).collect();
+                let Some((it, raw)) = last_raw.as_ref() else {
+                    return Err(protocol("re-key before any share was sent".to_string()));
+                };
+                if *it != iteration {
+                    return Err(protocol(format!(
+                        "re-key for round {iteration} but last computed round is {it}"
+                    )));
+                }
+                let payload = masker.mask_share_among(raw, iteration, &present)?;
+                courier.send_reliable(
+                    coordinator,
+                    &Message::MaskedShare {
+                        iteration,
+                        epoch,
+                        party,
+                        payload,
+                    },
+                )?;
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            other => {
+                return Err(protocol(format!(
+                    "learner expected consensus or re-key, got {other:?} from party {}",
+                    env.from
+                )))
+            }
+        }
     }
 }
 
@@ -287,14 +530,31 @@ mod tests {
     use ppml_data::{synth, Partition};
     use ppml_transport::{LinkFilter, LoopbackHub, NetFaultPlan, RetryPolicy};
     use std::thread;
+    use std::time::Duration;
 
-    const TIMEOUT: Duration = Duration::from_secs(10);
+    fn calm() -> DistributedTiming {
+        DistributedTiming::default()
+    }
 
-    fn run_distributed(
+    /// Tight clocks for fault tests: one deadline's worth of waiting per
+    /// dropout, and learners that give up on a dead coordinator fast.
+    fn twitchy() -> DistributedTiming {
+        DistributedTiming::default()
+            .with_round_deadline(Duration::from_millis(800))
+            .with_learner_patience(Duration::from_secs(2))
+    }
+
+    struct DistRun {
+        outcome: Result<DistributedOutcome>,
+        finals: Vec<Result<LinearSvm>>,
+    }
+
+    fn run_with_faults(
         parts: &[Dataset],
         cfg: &AdmmConfig,
         faults: NetFaultPlan,
-    ) -> (DistributedOutcome, Vec<LinearSvm>) {
+        timing: DistributedTiming,
+    ) -> DistRun {
         let m = parts.len();
         let features = feature_count(parts).expect("partitions");
         let hub = LoopbackHub::with_faults(m + 1, faults);
@@ -304,17 +564,80 @@ mod tests {
             let part = part.clone();
             let cfg = *cfg;
             handles.push(thread::spawn(move || {
-                learn_linear(&mut courier, m, &part, &cfg, TIMEOUT).expect("learner")
+                learn_linear(&mut courier, m, &part, &cfg, timing)
             }));
         }
         let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
-        let outcome =
-            coordinate_linear(&mut courier, m, features, cfg, None, TIMEOUT).expect("coordinator");
+        let outcome = coordinate_linear(&mut courier, m, features, cfg, None, timing);
         let finals = handles
             .into_iter()
             .map(|h| h.join().expect("learner thread"))
             .collect();
-        (outcome, finals)
+        DistRun { outcome, finals }
+    }
+
+    fn run_distributed(
+        parts: &[Dataset],
+        cfg: &AdmmConfig,
+        faults: NetFaultPlan,
+    ) -> (DistributedOutcome, Vec<LinearSvm>) {
+        let run = run_with_faults(parts, cfg, faults, calm());
+        (
+            run.outcome.expect("coordinator"),
+            run.finals
+                .into_iter()
+                .map(|f| f.expect("learner"))
+                .collect(),
+        )
+    }
+
+    /// In-process replica of a run where each `(party, round)` in `drops`
+    /// stops contributing from `round` on. Mirrors the wire protocol's
+    /// arithmetic exactly: per-round fixed-point encode, wrapping sum
+    /// over the active set, decode, divide by the active count.
+    fn reference_with_dropouts(
+        parts: &[Dataset],
+        cfg: &AdmmConfig,
+        drops: &[(usize, u64)],
+    ) -> LinearSvm {
+        let m = parts.len();
+        let features = feature_count(parts).expect("partitions");
+        let codec = ppml_crypto::FixedPointCodec::default();
+        let mut learners: Vec<HlLearner> = parts
+            .iter()
+            .map(|p| HlLearner::new(p, m, cfg).expect("learner"))
+            .collect();
+        let mut z = vec![0.0; features];
+        let mut s = 0.0;
+        for it in 0..cfg.max_iter as u64 {
+            let active: Vec<usize> = (0..m)
+                .filter(|&p| !drops.iter().any(|&(dp, dr)| dp == p && it >= dr))
+                .collect();
+            let mut summed = vec![0u64; features + 1];
+            for &p in &active {
+                if it > 0 {
+                    learners[p].dual_update(&z, s);
+                }
+                learners[p].local_step(&z, s, &cfg.qp).expect("qp");
+                for (acc, v) in summed.iter_mut().zip(learners[p].share()) {
+                    *acc = acc.wrapping_add(codec.encode_u64(v).expect("encode"));
+                }
+            }
+            let z_new: Vec<f64> = summed[..features]
+                .iter()
+                .map(|&v| codec.decode_u64(v) / active.len() as f64)
+                .collect();
+            let s_new = codec.decode_u64(summed[features]) / active.len() as f64;
+            let delta = ppml_linalg::vecops::dist_sq(&z_new, &z);
+            z = z_new;
+            s = s_new;
+            if let Some(tol) = cfg.tol {
+                if delta < tol {
+                    break;
+                }
+            }
+        }
+        LinearSvm::from_parts(z, s)
     }
 
     #[test]
@@ -330,6 +653,7 @@ mod tests {
         // Fixed-point wrapping sums make the runs bit-identical.
         assert_eq!(outcome.model, reference.model);
         assert_eq!(outcome.history.z_delta, reference.history.z_delta);
+        assert!(outcome.dropped.is_empty());
         // Every learner saw the same final consensus.
         for f in &finals {
             assert_eq!(*f, outcome.model);
@@ -359,6 +683,7 @@ mod tests {
         };
         let share_len = Frame::encoded_len_of(&Message::MaskedShare {
             iteration: 0,
+            epoch: 0,
             party: 0,
             payload: vec![0; features + 1],
         });
@@ -385,6 +710,7 @@ mod tests {
         // frames toward learner 0; the ARQ retransmits both directions.
         let share_kind = Message::MaskedShare {
             iteration: 0,
+            epoch: 0,
             party: 0,
             payload: Vec::new(),
         }
@@ -395,10 +721,200 @@ mod tests {
         let (lossy, finals) = run_distributed(&parts, &cfg, faults);
 
         assert_eq!(lossy.model, clean.model);
+        assert!(lossy.dropped.is_empty(), "transient loss is not dropout");
         for f in &finals {
             assert_eq!(*f, clean.model);
         }
         // Retransmissions cost bytes: the lossy run can only be dearer.
         assert!(lossy.metrics.total_network_bytes() > clean.metrics.total_network_bytes());
+    }
+
+    #[test]
+    fn killed_learner_is_dropped_and_survivors_finish() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+
+        // Learner 1 dies after its round-0 and round-1 shares: the
+        // coordinator's round-2 broadcast to it exhausts its retries, so
+        // the drop is detected in the *broadcast* phase.
+        let faults = NetFaultPlan::none().kill_party_after(1, 2);
+        let run = run_with_faults(&parts, &cfg, faults, twitchy());
+
+        let outcome = run.outcome.expect("survivors must finish");
+        assert_eq!(outcome.dropped, vec![1]);
+        // Bit-identical to an in-process run that loses party 1 at round 2.
+        let reference = reference_with_dropouts(&parts, &cfg, &[(1, 2)]);
+        assert_eq!(outcome.model, reference);
+        // Survivors converge to the same model; the dead learner errors.
+        assert_eq!(*run.finals[0].as_ref().expect("survivor 0"), outcome.model);
+        assert_eq!(*run.finals[2].as_ref().expect("survivor 2"), outcome.model);
+        assert!(matches!(run.finals[1], Err(TrainError::Transport(_))));
+    }
+
+    #[test]
+    fn silent_learner_is_dropped_at_the_round_deadline() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+
+        // Learner 1 stays reachable (its acks flow) but its share frames
+        // from round 2 on never arrive: data seqs on the learner→
+        // coordinator link count 1, 2, 3…, so pinning seq ≥ 3 kills
+        // exactly the round-2 share and everything after. The drop is
+        // detected by the round deadline in the *collect* phase.
+        let share_kind = Message::MaskedShare {
+            iteration: 0,
+            epoch: 0,
+            party: 0,
+            payload: Vec::new(),
+        }
+        .kind();
+        let faults = NetFaultPlan::none().drop_frames(
+            LinkFilter::any()
+                .from(1)
+                .to(3)
+                .kind(share_kind)
+                .seq_at_least(3),
+            u32::MAX,
+        );
+        let run = run_with_faults(&parts, &cfg, faults, twitchy());
+
+        let outcome = run.outcome.expect("survivors must finish");
+        assert_eq!(outcome.dropped, vec![1]);
+        let reference = reference_with_dropouts(&parts, &cfg, &[(1, 2)]);
+        assert_eq!(outcome.model, reference);
+        assert_eq!(*run.finals[0].as_ref().expect("survivor 0"), outcome.model);
+        assert_eq!(*run.finals[2].as_ref().expect("survivor 2"), outcome.model);
+        // The silenced learner's own send eventually times out.
+        assert!(matches!(run.finals[1], Err(TrainError::Transport(_))));
+    }
+
+    #[test]
+    fn double_dropout_shrinks_to_a_single_survivor() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+
+        // Learner 1 dies at round 2 (after 2 countable frames). Learner 2
+        // then sends share(2) twice (pre- and post-re-key) and share(3) —
+        // five countable frames — before dying at round 4, leaving
+        // learner 0 to finish alone with bare (unmasked-by-pairs) shares.
+        let faults = NetFaultPlan::none()
+            .kill_party_after(1, 2)
+            .kill_party_after(2, 5);
+        let run = run_with_faults(&parts, &cfg, faults, twitchy());
+
+        let outcome = run.outcome.expect("last survivor must finish");
+        assert_eq!(outcome.dropped, vec![1, 2]);
+        let reference = reference_with_dropouts(&parts, &cfg, &[(1, 2), (2, 4)]);
+        assert_eq!(outcome.model, reference);
+        assert_eq!(*run.finals[0].as_ref().expect("survivor 0"), outcome.model);
+        assert!(matches!(run.finals[1], Err(TrainError::Transport(_))));
+        assert!(matches!(run.finals[2], Err(TrainError::Transport(_))));
+    }
+
+    #[test]
+    fn learners_error_out_when_the_coordinator_dies() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(8).with_seed(11);
+
+        // The coordinator dies mid-broadcast of round 1 (3 consensus
+        // frames for round 0 plus two for round 1). Nobody may hang: the
+        // coordinator fails to re-key anyone and reports total dropout;
+        // the learners hit either a send retry budget or their patience.
+        let faults = NetFaultPlan::none().kill_party_after(3, 5);
+        let run = run_with_faults(&parts, &cfg, faults, twitchy());
+
+        assert!(
+            matches!(run.outcome, Err(TrainError::Dropped { ref parties }) if parties.len() == 3),
+            "coordinator must report losing everyone, got {:?}",
+            run.outcome.as_ref().map(|_| ())
+        );
+        for f in &run.finals {
+            assert!(
+                matches!(f, Err(TrainError::Transport(_))),
+                "learner must exit with a transport error, not hang"
+            );
+        }
+    }
+
+    #[test]
+    fn learner_ignores_stale_consensus_rebroadcasts() {
+        let ds = synth::blobs(48, 7);
+        let parts = Partition::horizontal(&ds, 1, 2).expect("partition");
+        let part = parts[0].clone();
+        let features = feature_count(&parts).expect("partitions");
+        let cfg = AdmmConfig::default().with_max_iter(4).with_seed(5);
+
+        let consensus_kind = Message::Consensus {
+            iteration: 0,
+            z: Vec::new(),
+            s: Vec::new(),
+            done: false,
+        }
+        .kind();
+        // Hold back the coordinator's second consensus frame (the stale
+        // duplicate of round 0, sent unreliably at seq 2) until one later
+        // frame has been delivered — the learner then sees round 1 first
+        // and the round-0 duplicate afterwards.
+        let faults = NetFaultPlan::none().delay_frames(
+            LinkFilter::any()
+                .from(1)
+                .to(0)
+                .kind(consensus_kind)
+                .seq_at_least(2),
+            1,
+            1,
+        );
+        let hub = LoopbackHub::with_faults(2, faults);
+        let mut learner_courier = Courier::new(hub.endpoint(0), RetryPolicy::fast_local());
+        let timing = calm();
+        let cfg_l = cfg;
+        let handle =
+            thread::spawn(move || learn_linear(&mut learner_courier, 1, &part, &cfg_l, timing));
+
+        let mut c = Courier::new(hub.endpoint(1), RetryPolicy::fast_local());
+        let consensus = |iteration: u64, z: Vec<f64>, s: f64, done: bool| Message::Consensus {
+            iteration,
+            z,
+            s: vec![s],
+            done,
+        };
+        let recv_share = |c: &mut Courier<_>| loop {
+            let env = c.recv(Duration::from_secs(5)).expect("share");
+            match env.msg {
+                Message::Heartbeat { .. } => continue,
+                Message::MaskedShare {
+                    iteration, epoch, ..
+                } => break (iteration, epoch),
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        };
+
+        c.send_reliable(0, &consensus(0, vec![0.0; features], 0.0, false))
+            .expect("round 0");
+        assert_eq!(recv_share(&mut c), (0, 0));
+        // A stale re-broadcast of round 0 with a fresh sequence number —
+        // the ARQ dedup cannot flag it, only the learner's own iteration
+        // tracking can. The delay fault reorders it past round 1.
+        c.send_unreliable(0, &consensus(0, vec![0.0; features], 0.0, false))
+            .expect("stale duplicate");
+        c.send_reliable(0, &consensus(1, vec![0.1; features], 0.05, false))
+            .expect("round 1");
+        assert_eq!(recv_share(&mut c), (1, 0));
+        // The ignored duplicate must not produce a third share.
+        assert!(
+            matches!(
+                c.recv(Duration::from_millis(300)),
+                Err(TransportError::Timeout)
+            ),
+            "stale consensus must not re-trigger a share"
+        );
+        c.send_reliable(0, &consensus(2, vec![0.2; features], 0.1, true))
+            .expect("done");
+        let model = handle.join().expect("learner thread").expect("learner");
+        assert_eq!(model, LinearSvm::from_parts(vec![0.2; features], 0.1));
     }
 }

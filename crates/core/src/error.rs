@@ -34,6 +34,12 @@ pub enum TrainError {
         /// What arrived and why it was unacceptable.
         reason: String,
     },
+    /// Every learner dropped out before distributed training could
+    /// finish; the run has no quorum left to re-key over.
+    Dropped {
+        /// Parties declared dead, in the order they were dropped.
+        parties: Vec<u32>,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -49,6 +55,9 @@ impl fmt::Display for TrainError {
             TrainError::Svm(e) => write!(f, "baseline svm failed: {e}"),
             TrainError::Transport(e) => write!(f, "transport failed: {e}"),
             TrainError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            TrainError::Dropped { parties } => {
+                write!(f, "all learners dropped out (in order: {parties:?})")
+            }
         }
     }
 }

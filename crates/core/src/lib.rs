@@ -64,7 +64,7 @@ mod vertical {
     pub mod linear;
 }
 
-pub use config::AdmmConfig;
+pub use config::{AdmmConfig, DistributedTiming};
 pub use distributed::DistributedOutcome;
 pub use error::TrainError;
 pub use history::ConvergenceHistory;

@@ -71,11 +71,56 @@ impl SeededMasker {
     /// [`CryptoError::ValueOutOfRange`] when a value exceeds the fixed-point
     /// range.
     pub fn mask_share(&self, values: &[f64], iteration: u64) -> Result<Vec<u64>> {
+        self.apply_pair_masks(values, iteration, &mut (0..self.parties))
+    }
+
+    /// Masks this learner's values for `iteration` against the peers in
+    /// `present` only — the re-keyed variant used after a dropout.
+    ///
+    /// Pair seeds are derived from `(shared_seed, lo, hi)` alone, so
+    /// shrinking the set is a pure recomputation: the pair masks between
+    /// surviving parties are unchanged, and the masks this learner used to
+    /// exchange with dropped parties simply stop being applied. Summing
+    /// the shares of exactly the parties in `present` (all masked over the
+    /// same set, for the same iteration) still cancels every mask.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ProtocolMisuse`] when `present` does not contain this
+    /// learner or names a party outside `0..parties`;
+    /// [`CryptoError::ValueOutOfRange`] as [`SeededMasker::mask_share`].
+    pub fn mask_share_among(
+        &self,
+        values: &[f64],
+        iteration: u64,
+        present: &[usize],
+    ) -> Result<Vec<u64>> {
+        if !present.contains(&self.party) {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "masking party not in the survivor set",
+            }
+            .into());
+        }
+        if present.iter().any(|&p| p >= self.parties) {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "survivor set names an unknown party",
+            }
+            .into());
+        }
+        self.apply_pair_masks(values, iteration, &mut present.iter().copied())
+    }
+
+    fn apply_pair_masks(
+        &self,
+        values: &[f64],
+        iteration: u64,
+        peers: &mut dyn Iterator<Item = usize>,
+    ) -> Result<Vec<u64>> {
         let mut out = Vec::with_capacity(values.len());
         for &v in values {
             out.push(self.codec.encode_u64(v)?);
         }
-        for peer in 0..self.parties {
+        for peer in peers {
             if peer == self.party {
                 continue;
             }
@@ -112,7 +157,15 @@ impl SeededMasker {
             }
             .into());
         }
-        let len = shares[0].len();
+        // `parties == 0` with no shares passes the length check; reject it
+        // before indexing rather than panicking on `shares[0]`.
+        let Some(first) = shares.first() else {
+            return Err(CryptoError::ProtocolMisuse {
+                reason: "combine needs at least one party",
+            }
+            .into());
+        };
+        let len = first.len();
         if shares.iter().any(|s| s.len() != len) {
             return Err(CryptoError::ProtocolMisuse {
                 reason: "shares have different lengths",
@@ -186,6 +239,65 @@ mod tests {
         let codec = FixedPointCodec::default();
         assert!(SeededMasker::combine(&[vec![0]], 2, codec).is_err());
         assert!(SeededMasker::combine(&[vec![0], vec![0, 1]], 2, codec).is_err());
+    }
+
+    #[test]
+    fn combine_rejects_zero_parties_instead_of_panicking() {
+        // `parties == 0` with no shares used to pass the length check and
+        // then panic indexing `shares[0]`.
+        let err = SeededMasker::combine(&[], 0, FixedPointCodec::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn survivor_set_masks_still_cancel() {
+        let parties = 4;
+        let survivors = [0usize, 2, 3]; // party 1 dropped out
+        let values: Vec<Vec<f64>> = (0..parties)
+            .map(|p| (0..3).map(|i| (p * 3 + i) as f64 * 0.5 - 1.0).collect())
+            .collect();
+        let maskers: Vec<SeededMasker> = (0..parties)
+            .map(|p| SeededMasker::new(99, p, parties))
+            .collect();
+        let shares: Vec<Vec<u64>> = survivors
+            .iter()
+            .map(|&p| {
+                maskers[p]
+                    .mask_share_among(&values[p], 7, &survivors)
+                    .unwrap()
+            })
+            .collect();
+        let sum = SeededMasker::combine(&shares, survivors.len(), maskers[0].codec()).unwrap();
+        for i in 0..3 {
+            let want: f64 = survivors.iter().map(|&p| values[p][i]).sum();
+            assert!((sum[i] - want).abs() < 1e-6, "{} vs {}", sum[i], want);
+        }
+    }
+
+    #[test]
+    fn survivor_and_full_set_masks_agree_between_survivors() {
+        // A full-set share minus a survivor-set share must equal exactly
+        // the pair masks toward the dropped parties — i.e. re-keying only
+        // removes dead pairs, it does not reshuffle surviving ones.
+        let m = SeededMasker::new(42, 0, 3);
+        let full = m.mask_share(&[1.25], 5).unwrap();
+        let among = m.mask_share_among(&[1.25], 5, &[0, 2]).unwrap();
+        assert_ne!(full, among, "dropping a pair must change the share");
+        // Same survivor set, same iteration: deterministic recomputation.
+        assert_eq!(among, m.mask_share_among(&[1.25], 5, &[0, 2]).unwrap());
+    }
+
+    #[test]
+    fn mask_share_among_validates_the_survivor_set() {
+        let m = SeededMasker::new(7, 0, 3);
+        assert!(
+            m.mask_share_among(&[0.0], 0, &[1, 2]).is_err(),
+            "self missing"
+        );
+        assert!(
+            m.mask_share_among(&[0.0], 0, &[0, 9]).is_err(),
+            "unknown party"
+        );
     }
 
     #[test]

@@ -210,6 +210,7 @@ impl<T: Transport> PairwiseRound<T> {
             reducer,
             &Message::MaskedShare {
                 iteration,
+                epoch: 0,
                 party: share.party as u32,
                 payload: share.payload.clone(),
             },
@@ -243,6 +244,7 @@ pub fn gather_masked_sum<T: Transport>(
                 iteration: it,
                 party,
                 payload,
+                ..
             } if it == iteration => {
                 if shares.iter().any(|s| s.party == party as usize) {
                     return Err(RoundError::Protocol("two shares from one party"));
@@ -391,6 +393,7 @@ impl<T: Transport> ThresholdRound<T> {
             reducer,
             &Message::MaskedShare {
                 iteration,
+                epoch: 0,
                 party: me,
                 payload: held,
             },
@@ -424,6 +427,7 @@ pub fn reconstruct_threshold_sum<T: Transport>(
                 iteration: it,
                 party,
                 payload,
+                ..
             } if it == iteration => {
                 let party = party as usize;
                 if submissions.iter().any(|(p, _)| *p == party) {

@@ -9,15 +9,69 @@
 //! [`Message::Ack`] carrying the frame's sequence number; the sender
 //! retransmits under the *same* sequence number (flagged
 //! [`FLAG_RETRANSMIT`]) until the ack arrives or the retry budget is
-//! spent; receivers remember delivered `(sender, seq)` pairs, re-ack
-//! duplicates, and deliver each message exactly once in arrival order.
+//! spent; receivers track a per-sender contiguous watermark plus a small
+//! out-of-order window, re-ack duplicates, and deliver each message
+//! exactly once in arrival order.
+//!
+//! Acknowledgement frames travel at sequence number 0 (like the TCP
+//! backend's transport-internal Hello frames): they are identified by
+//! their message kind, never deduplicated, and never acked themselves, so
+//! data sequence numbers stay contiguous per link — which is what lets the
+//! duplicate-suppression state stay O(1) per sender instead of growing
+//! with every frame ever delivered.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use crate::frame::{Message, PartyId, FLAG_RETRANSMIT};
 use crate::retry::RetryPolicy;
 use crate::transport::{Envelope, Transport, TransportError};
+
+/// Upper bound on out-of-order sequence numbers remembered per sender.
+/// Stop-and-wait keeps at most a handful of frames in flight per link, so
+/// the window only fills when a peer misbehaves; overflowing it advances
+/// the floor, treating the oldest gaps as lost.
+const DEDUP_WINDOW: usize = 64;
+
+/// Per-sender duplicate-suppression state: every data sequence number
+/// `<= watermark` has been delivered; `window` holds delivered numbers
+/// above the watermark (out-of-order arrivals), bounded by
+/// [`DEDUP_WINDOW`].
+#[derive(Debug, Default)]
+struct DedupState {
+    watermark: u64,
+    window: BTreeSet<u64>,
+}
+
+impl DedupState {
+    /// Records `seq`; returns `true` when it is fresh (first delivery).
+    fn record(&mut self, seq: u64) -> bool {
+        if seq <= self.watermark || self.window.contains(&seq) {
+            return false;
+        }
+        self.window.insert(seq);
+        while self.window.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+        while self.window.len() > DEDUP_WINDOW {
+            // Overflow: declare the oldest gap lost and advance the floor.
+            // A frame below the new floor would now be mistaken for a
+            // duplicate, but with stop-and-wait ARQ the sender gave up on
+            // anything that far back long ago.
+            let oldest = *self.window.iter().next().expect("non-empty window");
+            self.watermark = oldest;
+            self.window.remove(&oldest);
+            while self.window.remove(&(self.watermark + 1)) {
+                self.watermark += 1;
+            }
+        }
+        true
+    }
+
+    fn footprint(&self) -> usize {
+        self.window.len()
+    }
+}
 
 /// Exactly-once messaging over a lossy transport.
 pub struct Courier<T: Transport> {
@@ -25,10 +79,10 @@ pub struct Courier<T: Transport> {
     policy: RetryPolicy,
     /// Messages received (and acked) while waiting for our own acks.
     inbox: VecDeque<Envelope>,
-    /// Sequence numbers already delivered, per sender.
-    seen: HashMap<PartyId, HashSet<u64>>,
+    /// Duplicate-suppression state, per sender.
+    seen: HashMap<PartyId, DedupState>,
     /// Acks that arrived before we looked for them: (peer, seq).
-    acks: HashSet<(PartyId, u64)>,
+    acks: BTreeSet<(PartyId, u64)>,
 }
 
 impl<T: Transport> Courier<T> {
@@ -39,13 +93,20 @@ impl<T: Transport> Courier<T> {
             policy,
             inbox: VecDeque::new(),
             seen: HashMap::new(),
-            acks: HashSet::new(),
+            acks: BTreeSet::new(),
         }
     }
 
     /// This endpoint's party id.
     pub fn party(&self) -> PartyId {
         self.transport.party()
+    }
+
+    /// Number of out-of-order sequence numbers currently held for `from`
+    /// (diagnostics; the contiguous watermark itself is O(1)). Bounded by
+    /// a small constant however much traffic the link has carried.
+    pub fn dedup_footprint(&self, from: PartyId) -> usize {
+        self.seen.get(&from).map_or(0, DedupState::footprint)
     }
 
     /// Read-only access to the wrapped transport (stats, hub handles …).
@@ -159,10 +220,10 @@ impl<T: Transport> Courier<T> {
             return Ok(());
         }
         // Always acknowledge — the sender may have missed the last ack.
+        // Acks ride at seq 0 so data sequence numbers stay contiguous.
         let ack = Message::Ack { of_seq: env.seq };
-        let ack_seq = self.transport.next_seq(env.from);
-        self.transport.send_raw(env.from, &ack, ack_seq, 0)?;
-        let fresh = self.seen.entry(env.from).or_default().insert(env.seq);
+        self.transport.send_raw(env.from, &ack, 0, 0)?;
+        let fresh = self.seen.entry(env.from).or_default().record(env.seq);
         if fresh {
             self.inbox.push_back(env);
         }
@@ -295,6 +356,69 @@ mod tests {
         });
         assert_eq!(ha.join().unwrap().msg, Message::Heartbeat { nonce: 20 });
         assert_eq!(hb.join().unwrap().msg, Message::Heartbeat { nonce: 10 });
+    }
+
+    #[test]
+    fn dedup_state_stays_bounded_over_many_sends() {
+        // The old implementation remembered every delivered (sender, seq)
+        // pair forever; the watermark must keep the footprint at zero for
+        // in-order traffic no matter how many frames cross the link.
+        let (mut a, mut b) = pair(NetFaultPlan::none());
+        let rx = std::thread::spawn(move || {
+            for _ in 0..500 {
+                b.recv(TICK).expect("delivery");
+            }
+            b
+        });
+        for nonce in 0..500 {
+            a.send_reliable(1, &Message::Heartbeat { nonce }).unwrap();
+        }
+        let b = rx.join().unwrap();
+        assert_eq!(
+            b.dedup_footprint(0),
+            0,
+            "in-order traffic must not accumulate state"
+        );
+    }
+
+    #[test]
+    fn dedup_window_absorbs_reordering_then_drains() {
+        // Delay every odd frame past its successor: the window briefly
+        // holds the out-of-order arrival, then the watermark catches up.
+        let plan = NetFaultPlan::none().delay_frames(LinkFilter::any().from(0).kind(3), 50, 1);
+        let (mut a, mut b) = pair(plan);
+        let rx = std::thread::spawn(move || {
+            let mut nonces = Vec::new();
+            for _ in 0..100 {
+                if let Message::Heartbeat { nonce } = b.recv(TICK).expect("delivery").msg {
+                    nonces.push(nonce);
+                }
+                assert!(
+                    b.dedup_footprint(0) <= super::DEDUP_WINDOW,
+                    "window exceeded its bound"
+                );
+            }
+            (nonces, b)
+        });
+        for nonce in 0..100 {
+            a.send_reliable(1, &Message::Heartbeat { nonce }).unwrap();
+        }
+        let (mut nonces, b) = rx.join().unwrap();
+        nonces.sort_unstable();
+        assert_eq!(nonces, (0..100).collect::<Vec<_>>());
+        assert_eq!(b.dedup_footprint(0), 0, "window must drain once gaps fill");
+    }
+
+    #[test]
+    fn dedup_record_overflow_advances_the_floor() {
+        let mut state = super::DedupState::default();
+        // Seq 1 never arrives; everything above it piles into the window.
+        for seq in 2..(2 + super::DEDUP_WINDOW as u64 + 10) {
+            assert!(state.record(seq));
+            assert!(state.footprint() <= super::DEDUP_WINDOW);
+        }
+        // Delivered numbers are still recognized as duplicates.
+        assert!(!state.record(2 + super::DEDUP_WINDOW as u64));
     }
 
     #[test]

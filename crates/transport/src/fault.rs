@@ -7,7 +7,7 @@
 //! left fires and consumes one unit. Everything is counter-based, so a test
 //! replaying the same traffic sees the same faults.
 
-use crate::frame::PartyId;
+use crate::frame::{Frame, PartyId, FLAG_RETRANSMIT};
 
 /// What happens to a matched frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +28,7 @@ pub struct LinkFilter {
     from: Option<PartyId>,
     to: Option<PartyId>,
     kind: Option<u8>,
+    min_seq: Option<u64>,
 }
 
 impl LinkFilter {
@@ -54,10 +55,21 @@ impl LinkFilter {
         self
     }
 
-    fn matches(&self, from: PartyId, to: PartyId, kind: u8) -> bool {
+    /// Restricts to frames whose per-link sequence number is at least
+    /// `seq`. Data sequence numbers count up from 1 per `(sender,
+    /// destination)` link, so this pins a fault to "the `n`-th message and
+    /// everything after it" — retransmissions reuse the original sequence
+    /// number and are therefore caught by the same rule.
+    pub fn seq_at_least(mut self, seq: u64) -> Self {
+        self.min_seq = Some(seq);
+        self
+    }
+
+    fn matches(&self, from: PartyId, to: PartyId, kind: u8, seq: u64) -> bool {
         self.from.is_none_or(|f| f == from)
             && self.to.is_none_or(|t| t == to)
             && self.kind.is_none_or(|k| k == kind)
+            && self.min_seq.is_none_or(|s| seq >= s)
     }
 }
 
@@ -68,10 +80,30 @@ struct Rule {
     remaining: u32,
 }
 
+/// A party that crashes mid-protocol: once it has offered `after` countable
+/// frames (originals only — retransmissions and acks are reactions to peer
+/// timing, so counting them would make the kill point nondeterministic),
+/// every subsequent frame from *or to* the party is destroyed. That is what
+/// a killed process looks like to the network: nothing more comes out of
+/// it, and everything sent its way lands nowhere.
+#[derive(Debug, Clone)]
+struct KillRule {
+    party: PartyId,
+    after: u32,
+    counted: u32,
+}
+
+impl KillRule {
+    fn dead(&self) -> bool {
+        self.counted >= self.after
+    }
+}
+
 /// An ordered set of fault rules with per-rule budgets.
 #[derive(Debug, Clone, Default)]
 pub struct NetFaultPlan {
     rules: Vec<Rule>,
+    kills: Vec<KillRule>,
 }
 
 impl NetFaultPlan {
@@ -111,16 +143,42 @@ impl NetFaultPlan {
         self
     }
 
+    /// Kills `party` after it has offered `n_frames` countable frames
+    /// (non-ack originals; retransmissions and acks are excluded so the
+    /// kill point is deterministic for a given protocol run). From then on
+    /// every frame from or to the party vanishes — the standard way to make
+    /// learner dropout reproducible in tests.
+    pub fn kill_party_after(mut self, party: PartyId, n_frames: u32) -> Self {
+        self.kills.push(KillRule {
+            party,
+            after: n_frames,
+            counted: 0,
+        });
+        self
+    }
+
     /// True when no rule can ever fire.
     pub fn is_empty(&self) -> bool {
-        self.rules.iter().all(|r| r.remaining == 0)
+        self.rules.iter().all(|r| r.remaining == 0) && self.kills.is_empty()
     }
 
     /// Decides the fate of one frame, consuming budget from the first
-    /// matching rule. `None` means deliver normally.
-    pub fn apply(&mut self, from: PartyId, to: PartyId, kind: u8) -> Option<FaultAction> {
+    /// matching rule. `None` means deliver normally. Kill rules take
+    /// precedence: a dead party neither sends nor receives.
+    pub fn apply(&mut self, frame: &Frame) -> Option<FaultAction> {
+        let kind = frame.msg.kind();
+        let countable = !matches!(frame.msg, crate::frame::Message::Ack { .. })
+            && frame.flags & FLAG_RETRANSMIT == 0;
+        for kill in &mut self.kills {
+            if kill.dead() && (frame.from == kill.party || frame.to == kill.party) {
+                return Some(FaultAction::Drop);
+            }
+            if frame.from == kill.party && countable {
+                kill.counted += 1;
+            }
+        }
         for rule in &mut self.rules {
-            if rule.remaining > 0 && rule.filter.matches(from, to, kind) {
+            if rule.remaining > 0 && rule.filter.matches(frame.from, frame.to, kind, frame.seq) {
                 rule.remaining -= 1;
                 return Some(rule.action);
             }
@@ -132,17 +190,44 @@ impl NetFaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::Message;
+
+    /// A heartbeat frame (kind 3) for exercising the plan.
+    fn probe(from: PartyId, to: PartyId, seq: u64) -> Frame {
+        Frame {
+            flags: 0,
+            from,
+            to,
+            seq,
+            msg: Message::Heartbeat { nonce: 0 },
+        }
+    }
+
+    fn share(from: PartyId, to: PartyId, seq: u64) -> Frame {
+        Frame {
+            flags: 0,
+            from,
+            to,
+            seq,
+            msg: Message::MaskedShare {
+                iteration: 0,
+                epoch: 0,
+                party: from,
+                payload: Vec::new(),
+            },
+        }
+    }
 
     #[test]
     fn budget_is_consumed_in_order() {
         let mut plan = NetFaultPlan::none()
             .drop_frames(LinkFilter::any().from(1), 2)
             .duplicate_frames(LinkFilter::any(), 1);
-        assert_eq!(plan.apply(1, 0, 6), Some(FaultAction::Drop));
-        assert_eq!(plan.apply(1, 0, 6), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&share(1, 0, 1)), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&share(1, 0, 2)), Some(FaultAction::Drop));
         // Drop budget exhausted; the catch-all duplicate rule fires next.
-        assert_eq!(plan.apply(1, 0, 6), Some(FaultAction::Duplicate));
-        assert_eq!(plan.apply(1, 0, 6), None);
+        assert_eq!(plan.apply(&share(1, 0, 3)), Some(FaultAction::Duplicate));
+        assert_eq!(plan.apply(&share(1, 0, 4)), None);
         assert!(plan.is_empty());
     }
 
@@ -150,16 +235,63 @@ mod tests {
     fn filters_restrict_matches() {
         let mut plan =
             NetFaultPlan::none().drop_frames(LinkFilter::any().from(2).to(0).kind(6), 10);
-        assert_eq!(plan.apply(1, 0, 6), None);
-        assert_eq!(plan.apply(2, 1, 6), None);
-        assert_eq!(plan.apply(2, 0, 7), None);
-        assert_eq!(plan.apply(2, 0, 6), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&share(1, 0, 1)), None);
+        assert_eq!(plan.apply(&share(2, 1, 1)), None);
+        assert_eq!(plan.apply(&probe(2, 0, 1)), None);
+        assert_eq!(plan.apply(&share(2, 0, 2)), Some(FaultAction::Drop));
+    }
+
+    #[test]
+    fn seq_filter_pins_the_tail_of_a_link() {
+        let mut plan =
+            NetFaultPlan::none().drop_frames(LinkFilter::any().seq_at_least(3), u32::MAX);
+        assert_eq!(plan.apply(&share(0, 1, 1)), None);
+        assert_eq!(plan.apply(&share(0, 1, 2)), None);
+        assert_eq!(plan.apply(&share(0, 1, 3)), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&share(0, 1, 7)), Some(FaultAction::Drop));
     }
 
     #[test]
     fn empty_plan_delivers_everything() {
         let mut plan = NetFaultPlan::none();
         assert!(plan.is_empty());
-        assert_eq!(plan.apply(0, 1, 1), None);
+        assert_eq!(plan.apply(&probe(0, 1, 1)), None);
+    }
+
+    #[test]
+    fn killed_party_goes_silent_after_its_budget() {
+        let mut plan = NetFaultPlan::none().kill_party_after(1, 2);
+        // The first two countable frames pass.
+        assert_eq!(plan.apply(&share(1, 3, 1)), None);
+        assert_eq!(plan.apply(&share(1, 3, 2)), None);
+        // Everything after — from it or to it — is destroyed.
+        assert_eq!(plan.apply(&share(1, 3, 3)), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&probe(3, 1, 9)), Some(FaultAction::Drop));
+        // Unrelated links are untouched.
+        assert_eq!(plan.apply(&share(0, 3, 5)), None);
+    }
+
+    #[test]
+    fn kill_counting_ignores_acks_and_retransmits() {
+        let mut plan = NetFaultPlan::none().kill_party_after(1, 1);
+        let ack = Frame {
+            flags: 0,
+            from: 1,
+            to: 3,
+            seq: 0,
+            msg: Message::Ack { of_seq: 4 },
+        };
+        assert_eq!(plan.apply(&ack), None, "acks are not counted");
+        let mut retransmit = share(1, 3, 1);
+        retransmit.flags = FLAG_RETRANSMIT;
+        // The original counts; its retransmission does not re-count but is
+        // destroyed because the party is already dead by then.
+        assert_eq!(plan.apply(&share(1, 3, 1)), None);
+        assert_eq!(plan.apply(&retransmit), Some(FaultAction::Drop));
+        assert_eq!(
+            plan.apply(&ack),
+            Some(FaultAction::Drop),
+            "dead parties do not ack"
+        );
     }
 }

@@ -21,7 +21,9 @@
 use crate::wire::{Reader, Wire, WireError};
 
 /// Current codec version; bump on any incompatible layout change.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the re-key epoch to [`Message::MaskedShare`] and the
+/// [`Message::Rekey`] frame for dropout recovery.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed bytes around every payload: 4 (length prefix) + 20 (version, kind,
 /// flags, from, to, seq) + 4 (crc) — i.e. a frame occupies
@@ -104,10 +106,26 @@ pub enum Message {
     MaskedShare {
         /// ADMM iteration the share belongs to.
         iteration: u64,
+        /// Re-key generation the masks were derived under. The coordinator
+        /// discards shares from superseded epochs: they were masked over a
+        /// survivor set that no longer matches, so their masks would not
+        /// cancel in the round sum.
+        epoch: u64,
         /// Originating learner.
         party: PartyId,
         /// Masked fixed-point words; masks cancel in the modular sum.
         payload: Vec<u64>,
+    },
+    /// Coordinator-declared dropout: the listed survivors must rebuild
+    /// their pairwise masks over the survivor set and re-send their share
+    /// for `iteration` tagged with the new `epoch`.
+    Rekey {
+        /// ADMM iteration being re-collected.
+        iteration: u64,
+        /// New re-key generation (strictly increasing per training run).
+        epoch: u64,
+        /// Parties still in the protocol, ascending original ids.
+        survivors: Vec<PartyId>,
     },
     /// Consensus state broadcast from the coordinator after each reduce.
     Consensus {
@@ -153,6 +171,7 @@ impl Message {
             Message::Shares { .. } => 8,
             Message::Blob { .. } => 9,
             Message::Shutdown => 10,
+            Message::Rekey { .. } => 11,
         }
     }
 
@@ -165,9 +184,15 @@ impl Message {
             Message::MaskExchange { iteration, masks } => iteration.byte_len() + masks.byte_len(),
             Message::MaskedShare {
                 iteration,
+                epoch,
                 party,
                 payload,
-            } => iteration.byte_len() + party.byte_len() + payload.byte_len(),
+            } => iteration.byte_len() + epoch.byte_len() + party.byte_len() + payload.byte_len(),
+            Message::Rekey {
+                iteration,
+                epoch,
+                survivors,
+            } => iteration.byte_len() + epoch.byte_len() + survivors.byte_len(),
             Message::Consensus {
                 iteration,
                 z,
@@ -191,12 +216,23 @@ impl Message {
             }
             Message::MaskedShare {
                 iteration,
+                epoch,
                 party,
                 payload,
             } => {
                 iteration.encode_into(out);
+                epoch.encode_into(out);
                 party.encode_into(out);
                 payload.encode_into(out);
+            }
+            Message::Rekey {
+                iteration,
+                epoch,
+                survivors,
+            } => {
+                iteration.encode_into(out);
+                epoch.encode_into(out);
+                survivors.encode_into(out);
             }
             Message::Consensus {
                 iteration,
@@ -233,6 +269,7 @@ impl Message {
             },
             6 => Message::MaskedShare {
                 iteration: r.u64()?,
+                epoch: r.u64()?,
                 party: r.u32()?,
                 payload: r.vec_u64()?,
             },
@@ -251,6 +288,11 @@ impl Message {
                 bytes: r.byte_vec()?,
             },
             10 => Message::Shutdown,
+            11 => Message::Rekey {
+                iteration: r.u64()?,
+                epoch: r.u64()?,
+                survivors: r.vec_u32()?,
+            },
             _ => return Err(WireError::Malformed("unknown message kind")),
         })
     }
@@ -318,7 +360,9 @@ pub struct Frame {
     pub from: PartyId,
     /// Destination party.
     pub to: PartyId,
-    /// Per-(sender, destination) sequence number, starting at 1.
+    /// Per-(sender, destination) sequence number. Data frames count up
+    /// from 1; control frames that need no deduplication (acks, the TCP
+    /// hello handshake) travel at 0.
     pub seq: u64,
     /// The message body.
     pub msg: Message,
@@ -420,8 +464,14 @@ mod tests {
             },
             Message::MaskedShare {
                 iteration: 9,
+                epoch: 1,
                 party: 2,
                 payload: vec![5, 6, 7, 8],
+            },
+            Message::Rekey {
+                iteration: 9,
+                epoch: 2,
+                survivors: vec![0, 2, 5],
             },
             Message::Consensus {
                 iteration: 11,
@@ -467,6 +517,7 @@ mod tests {
             seq: 1,
             msg: Message::MaskedShare {
                 iteration: 3,
+                epoch: 0,
                 party: 0,
                 payload: vec![10, 20, 30],
             },

@@ -185,7 +185,7 @@ impl Transport for LoopbackTransport {
         }
         state.stats.frames_offered += 1;
         state.stats.bytes_offered += bytes as u64;
-        match state.faults.apply(self.party, to, msg.kind()) {
+        match state.faults.apply(&frame) {
             Some(FaultAction::Drop) => {
                 state.stats.dropped += 1;
             }

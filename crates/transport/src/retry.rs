@@ -31,8 +31,21 @@ impl RetryPolicy {
     }
 
     /// Default schedule for localhost TCP: six attempts spanning ≈ 3 s.
+    /// Meant for the [courier's](crate::Courier) end-to-end ARQ loop.
     pub fn tcp_default() -> Self {
         RetryPolicy::new(6, Duration::from_millis(50), Duration::from_secs(1))
+    }
+
+    /// Link-level schedule for [`crate::TcpTransport`] itself: a short
+    /// connection-establishment window, not an ARQ. The courier already
+    /// retransmits end to end, and its schedule multiplies with this one
+    /// (every courier attempt re-enters the transport's internal retry),
+    /// so a long link schedule turns one dead peer into a multi-second
+    /// stall of the whole broadcast — long enough for healthy peers to
+    /// exhaust their own patience. Keep the link snappy and let the
+    /// courier own persistence.
+    pub fn tcp_link() -> Self {
+        RetryPolicy::new(3, Duration::from_millis(50), Duration::from_millis(250))
     }
 
     /// Backoff to sleep after attempt number `attempt` (0-based) fails.

@@ -407,6 +407,7 @@ mod tests {
             0,
             &Message::MaskedShare {
                 iteration: 1,
+                epoch: 0,
                 party: 1,
                 payload: vec![1, 2, 3],
             },
@@ -417,6 +418,7 @@ mod tests {
             env.msg,
             Message::MaskedShare {
                 iteration: 1,
+                epoch: 0,
                 party: 1,
                 payload: vec![1, 2, 3],
             }

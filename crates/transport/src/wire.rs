@@ -243,6 +243,12 @@ impl<'a> Reader<'a> {
         Ok(n as usize)
     }
 
+    /// Reads an 8-byte length prefix followed by that many `u32`s.
+    pub fn vec_u32(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.vec_len()?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
     /// Reads an 8-byte length prefix followed by that many `u64`s.
     pub fn vec_u64(&mut self) -> Result<Vec<u64>, WireError> {
         let n = self.vec_len()?;
@@ -325,6 +331,10 @@ mod tests {
         let f = vec![0.25f64, -1e300, f64::MIN_POSITIVE];
         let enc = f.encode();
         assert_eq!(Reader::new(&enc).vec_f64().unwrap(), f);
+
+        let p = vec![0u32, u32::MAX, 7];
+        let enc = p.encode();
+        assert_eq!(Reader::new(&enc).vec_u32().unwrap(), p);
 
         let s = "wire ✓".to_string();
         let enc = s.encode();

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use ppml::core::distributed::{coordinate_linear, feature_count, learn_linear};
 use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml::core::AdmmConfig;
+use ppml::core::DistributedTiming;
 use ppml::data::{synth, Dataset, Partition};
 use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
 
@@ -41,7 +42,7 @@ fn learner_process(party: usize, coordinator: SocketAddr) {
         party as PartyId,
         "127.0.0.1:0".parse().expect("loopback addr"),
         HashMap::from([(LEARNERS as PartyId, coordinator)]),
-        RetryPolicy::tcp_default(),
+        RetryPolicy::tcp_link(),
         Duration::from_secs(5),
     )
     .expect("bind learner");
@@ -55,14 +56,10 @@ fn learner_process(party: usize, coordinator: SocketAddr) {
             },
         )
         .expect("announce");
-    let model = learn_linear(
-        &mut courier,
-        LEARNERS,
-        &parts[party],
-        &cfg,
-        Duration::from_secs(30),
-    )
-    .expect("learner");
+    let timing = DistributedTiming::default()
+        .with_round_deadline(Duration::from_secs(15))
+        .with_learner_patience(Duration::from_secs(30));
+    let model = learn_linear(&mut courier, LEARNERS, &parts[party], &cfg, timing).expect("learner");
     println!(
         "learner {party} (pid {}): consensus bias {:+.6}",
         std::process::id(),
@@ -90,7 +87,7 @@ fn main() {
         LEARNERS as PartyId,
         "127.0.0.1:0".parse().expect("loopback addr"),
         HashMap::new(),
-        RetryPolicy::tcp_default(),
+        RetryPolicy::tcp_link(),
         Duration::from_secs(5),
     )
     .expect("bind coordinator");
@@ -117,15 +114,11 @@ fn main() {
     }
 
     let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
-    let outcome = coordinate_linear(
-        &mut courier,
-        LEARNERS,
-        features,
-        &cfg,
-        None,
-        Duration::from_secs(30),
-    )
-    .expect("coordinate");
+    let timing = DistributedTiming::default()
+        .with_round_deadline(Duration::from_secs(15))
+        .with_learner_patience(Duration::from_secs(30));
+    let outcome = coordinate_linear(&mut courier, LEARNERS, features, &cfg, None, timing)
+        .expect("coordinate");
 
     for mut child in children {
         let status = child.wait().expect("wait for learner");

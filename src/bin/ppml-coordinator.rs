@@ -9,7 +9,12 @@
 //! ```text
 //! ppml-coordinator --learners 3 [--port 7100] [--dataset blobs --n 96]
 //!                  [--data-seed 5] [--iters 12] [--c 50] [--rho 100]
-//!                  [--seed 11] [--tol T] [--out model.txt]
+//!                  [--seed 11] [--tol T] [--round-timeout SECS]
+//!                  [--out model.txt]
+//!
+//! `--round-timeout` bounds each collection round: a learner whose share
+//! has not arrived when it expires is declared dropped, the secure sum is
+//! re-keyed over the survivors, and training continues without it.
 //! ```
 //!
 //! Both sides regenerate the same synthetic dataset from
@@ -23,14 +28,14 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use ppml::core::distributed::{coordinate_linear, feature_count};
-use ppml::core::AdmmConfig;
+use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::transport::{Courier, PartyId, RetryPolicy, TcpTransport};
 
 fn usage() -> String {
     "usage:\n  ppml-coordinator --learners M [--port P] [--dataset <cancer|higgs|ocr|blobs|xor>]\n                   \
      [--n N] [--data-seed S] [--iters T] [--c C] [--rho RHO] [--seed S]\n                   \
-     [--tol TOL] [--connect-timeout SECS] [--out MODEL]"
+     [--tol TOL] [--connect-timeout SECS] [--round-timeout SECS] [--out MODEL]"
         .to_string()
 }
 
@@ -105,7 +110,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         learners as PartyId,
         addr,
         HashMap::new(),
-        RetryPolicy::tcp_default(),
+        RetryPolicy::tcp_link(),
         Duration::from_secs(5),
     )
     .map_err(|e| e.to_string())?;
@@ -124,17 +129,17 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     }
     println!("all {learners} learners connected, training");
 
+    let round_timeout: u64 = numeric(&flags, "round-timeout", 30)?;
+    let timing = DistributedTiming::default()
+        .with_round_deadline(Duration::from_secs(round_timeout))
+        .with_learner_patience(Duration::from_secs(round_timeout.max(1) * 4));
     let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
-    let outcome = coordinate_linear(
-        &mut courier,
-        learners,
-        features,
-        &cfg,
-        None,
-        Duration::from_secs(30),
-    )
-    .map_err(|e| e.to_string())?;
+    let outcome = coordinate_linear(&mut courier, learners, features, &cfg, None, timing)
+        .map_err(|e| e.to_string())?;
 
+    if !outcome.dropped.is_empty() {
+        println!("dropped learners (in order): {:?}", outcome.dropped);
+    }
     println!(
         "converged in {} rounds, final |dz|^2 = {:.3e}",
         outcome.metrics.iterations,

@@ -10,6 +10,11 @@
 //! ppml-learner --party 0 --learners 3 --coordinator 127.0.0.1:7100
 //!              [--dataset blobs --n 96] [--data-seed 5] [--iters 12]
 //!              [--c 50] [--rho 100] [--seed 11] [--tol T]
+//!              [--patience SECS]
+//!
+//! `--patience` bounds how long the learner waits between coordinator
+//! protocol frames; when it expires the process exits with an error
+//! instead of waiting forever on a dead coordinator.
 //! ```
 //!
 //! Every training flag must match the coordinator's, as both sides drive
@@ -21,14 +26,14 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use ppml::core::distributed::learn_linear;
-use ppml::core::AdmmConfig;
+use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
 
 fn usage() -> String {
     "usage:\n  ppml-learner --party I --learners M --coordinator HOST:PORT\n               \
      [--dataset <cancer|higgs|ocr|blobs|xor>] [--n N] [--data-seed S]\n               \
-     [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL]"
+     [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL] [--patience SECS]"
         .to_string()
 }
 
@@ -110,7 +115,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         party as PartyId,
         "127.0.0.1:0".parse().expect("loopback addr"),
         HashMap::from([(learners as PartyId, coordinator)]),
-        RetryPolicy::tcp_default(),
+        RetryPolicy::tcp_link(),
         Duration::from_secs(5),
     )
     .map_err(|e| e.to_string())?;
@@ -130,14 +135,12 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
             },
         )
         .map_err(|e| e.to_string())?;
-    let model = learn_linear(
-        &mut courier,
-        learners,
-        my_part,
-        &cfg,
-        Duration::from_secs(60),
-    )
-    .map_err(|e| e.to_string())?;
+    let patience: u64 = numeric(&flags, "patience", 60)?;
+    let timing = DistributedTiming::default()
+        .with_round_deadline(Duration::from_secs(patience.max(1)))
+        .with_learner_patience(Duration::from_secs(patience.max(1)));
+    let model =
+        learn_linear(&mut courier, learners, my_part, &cfg, timing).map_err(|e| e.to_string())?;
     println!("learner {party}: done");
     println!("consensus model: {}", model.to_text());
     Ok(())

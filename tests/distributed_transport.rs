@@ -12,13 +12,18 @@ use std::time::{Duration, Instant};
 use ppml::core::distributed::{coordinate_linear, feature_count, learn_linear};
 use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml::core::AdmmConfig;
+use ppml::core::DistributedTiming;
 use ppml::data::{synth, Dataset, Partition};
 use ppml::svm::LinearSvm;
 use ppml::transport::{
     Courier, LinkFilter, LoopbackHub, Message, NetFaultPlan, PartyId, RetryPolicy, TcpTransport,
 };
 
-const TIMEOUT: Duration = Duration::from_secs(10);
+fn timing() -> DistributedTiming {
+    DistributedTiming::default()
+        .with_round_deadline(Duration::from_secs(10))
+        .with_learner_patience(Duration::from_secs(20))
+}
 
 fn setup(m: usize) -> (Vec<Dataset>, AdmmConfig) {
     let ds = synth::blobs(96, 7);
@@ -44,14 +49,14 @@ fn lossy_loopback_matches_cluster_and_charges_for_retries() {
                     Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
                 let part = part.clone();
                 thread::spawn(move || {
-                    learn_linear(&mut courier, m, &part, &cfg, TIMEOUT).expect("learner")
+                    learn_linear(&mut courier, m, &part, &cfg, timing()).expect("learner")
                 })
             })
             .collect();
         let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
         let features = feature_count(&parts).expect("partitions");
-        let outcome =
-            coordinate_linear(&mut courier, m, features, &cfg, None, TIMEOUT).expect("coordinator");
+        let outcome = coordinate_linear(&mut courier, m, features, &cfg, None, timing())
+            .expect("coordinator");
         for h in handles {
             h.join().expect("learner thread");
         }
@@ -85,7 +90,7 @@ fn tcp_threads_match_cluster() {
         m as PartyId,
         "127.0.0.1:0".parse().expect("addr"),
         HashMap::new(),
-        RetryPolicy::tcp_default(),
+        RetryPolicy::tcp_link(),
         Duration::from_secs(5),
     )
     .expect("bind coordinator");
@@ -101,7 +106,7 @@ fn tcp_threads_match_cluster() {
                     p as PartyId,
                     "127.0.0.1:0".parse().expect("addr"),
                     HashMap::from([(m as PartyId, addr)]),
-                    RetryPolicy::tcp_default(),
+                    RetryPolicy::tcp_link(),
                     Duration::from_secs(5),
                 )
                 .expect("bind learner");
@@ -109,7 +114,7 @@ fn tcp_threads_match_cluster() {
                 courier
                     .send_unreliable(m as PartyId, &Message::Heartbeat { nonce: p as u64 })
                     .expect("announce");
-                learn_linear(&mut courier, m, &part, &cfg, TIMEOUT).expect("learner")
+                learn_linear(&mut courier, m, &part, &cfg, timing()).expect("learner")
             })
         })
         .collect();
@@ -123,7 +128,7 @@ fn tcp_threads_match_cluster() {
     let mut courier = Courier::new(coord_transport, RetryPolicy::tcp_default());
     let features = feature_count(&parts).expect("partitions");
     let outcome =
-        coordinate_linear(&mut courier, m, features, &cfg, None, TIMEOUT).expect("coordinator");
+        coordinate_linear(&mut courier, m, features, &cfg, None, timing()).expect("coordinator");
 
     assert_eq!(outcome.model, reference.model);
     for h in handles {
