@@ -58,7 +58,9 @@ use std::time::Instant;
 use ppml_data::Dataset;
 use ppml_mapreduce::JobMetrics;
 use ppml_svm::LinearSvm;
+use ppml_telemetry as telemetry;
 use ppml_transport::{Courier, Frame, Message, PartyId, Transport, TransportError};
+use telemetry::EventKind;
 
 use crate::config::{AdmmConfig, DistributedTiming};
 use crate::error::TrainError;
@@ -121,6 +123,13 @@ fn rekey<T: Transport>(
         for &p in &lost {
             alive[p as usize] = false;
             dropped.push(p);
+            telemetry::emit(
+                courier.party(),
+                EventKind::Dropout {
+                    party: p,
+                    iteration,
+                },
+            );
         }
         let survivors: Vec<PartyId> = (0..alive.len())
             .filter(|&p| alive[p])
@@ -132,6 +141,14 @@ fn rekey<T: Transport>(
             });
         }
         epoch += 1;
+        telemetry::emit(
+            courier.party(),
+            EventKind::RekeyEpoch {
+                iteration,
+                epoch,
+                survivors: survivors.len() as u32,
+            },
+        );
         let msg = Message::Rekey {
             iteration,
             epoch,
@@ -201,6 +218,8 @@ pub fn coordinate_linear<T: Transport>(
     let mut epoch: u64 = 0;
 
     for iteration in 0..cfg.max_iter as u64 {
+        let round_start = Instant::now();
+        telemetry::emit(courier.party(), EventKind::RoundOpen { iteration, epoch });
         let broadcast = Message::Consensus {
             iteration,
             z: z.clone(),
@@ -306,6 +325,14 @@ pub fn coordinate_linear<T: Transport>(
                 .filter(|&p| alive[p] && shares[p].is_none())
                 .map(|p| p as PartyId)
                 .collect();
+            telemetry::emit(
+                courier.party(),
+                EventKind::DeadlineMiss {
+                    iteration,
+                    epoch,
+                    missing: lost.len() as u32,
+                },
+            );
             epoch = rekey(
                 courier,
                 &mut alive,
@@ -318,6 +345,15 @@ pub fn coordinate_linear<T: Transport>(
         };
 
         let active = alive.iter().filter(|&&a| a).count();
+        telemetry::emit(
+            courier.party(),
+            EventKind::RoundClose {
+                iteration,
+                epoch,
+                shares: active as u32,
+                elapsed_ns: round_start.elapsed().as_nanos() as u64,
+            },
+        );
         let mut summed = vec![0u64; share_len];
         for share in shares.iter().flatten() {
             for (acc, &v) in summed.iter_mut().zip(share) {
@@ -448,6 +484,8 @@ pub fn learn_linear<T: Transport>(
                          {expected_iter}"
                     )));
                 }
+                telemetry::emit(party, EventKind::RoundOpen { iteration, epoch });
+                let round_start = Instant::now();
                 // Same step order as `ConsensusJob::map`: duals lag one
                 // round.
                 if iteration > 0 {
@@ -465,6 +503,15 @@ pub fn learn_linear<T: Transport>(
                         payload,
                     },
                 )?;
+                telemetry::emit(
+                    party,
+                    EventKind::RoundClose {
+                        iteration,
+                        epoch,
+                        shares: 1,
+                        elapsed_ns: round_start.elapsed().as_nanos() as u64,
+                    },
+                );
                 last_raw = Some((iteration, raw));
                 expected_iter = iteration + 1;
                 deadline = Instant::now() + timing.learner_patience;
@@ -486,6 +533,14 @@ pub fn learn_linear<T: Transport>(
                 }
                 epoch = new_epoch;
                 present = survivors.iter().map(|&p| p as usize).collect();
+                telemetry::emit(
+                    party,
+                    EventKind::RekeyEpoch {
+                        iteration,
+                        epoch,
+                        survivors: survivors.len() as u32,
+                    },
+                );
                 let Some((it, raw)) = last_raw.as_ref() else {
                     return Err(protocol("re-key before any share was sent".to_string()));
                 };

@@ -24,6 +24,8 @@ use ppml_data::Dataset;
 use ppml_kernel::{Kernel, LandmarkSet, LandmarkStrategy};
 use ppml_linalg::{vecops, Cholesky, Matrix};
 use ppml_qp::{solve_box_from, QpConfig};
+use ppml_telemetry as telemetry;
+use telemetry::{EventKind, NO_PARTY};
 
 use crate::horizontal::linear::validate_parts;
 use crate::{AdmmConfig, ConvergenceHistory, Result, TrainError};
@@ -298,7 +300,7 @@ impl HorizontalKernelSvm {
         let mut z = vec![0.0; l];
         let mut s = 0.0;
         let mut history = ConvergenceHistory::default();
-        for _ in 0..cfg.max_iter {
+        for iteration in 0..cfg.max_iter {
             for learner in &mut learners {
                 learner.local_step(&z, s, &cfg.qp)?;
             }
@@ -312,6 +314,23 @@ impl HorizontalKernelSvm {
             }
             std::mem::swap(&mut z, &mut z_new);
             s = s_new;
+            if telemetry::enabled() {
+                // Aggregate norms in the reduced consensus space only.
+                let primal_sq: f64 = learners
+                    .iter()
+                    .map(|lr| vecops::dist_sq(&lr.gw, &z) + (lr.b - s) * (lr.b - s))
+                    .sum();
+                telemetry::emit(
+                    NO_PARTY,
+                    EventKind::AdmmIteration {
+                        iteration: iteration as u64,
+                        primal_sq,
+                        dual_sq: cfg.rho * cfg.rho * m as f64 * delta,
+                        z_delta: delta,
+                        objective: None,
+                    },
+                );
+            }
             history.z_delta.push(delta);
             if let Some(ds) = eval {
                 history

@@ -21,6 +21,8 @@ use ppml_data::Dataset;
 use ppml_linalg::{vecops, Matrix};
 use ppml_qp::{solve_box_from, QpConfig};
 use ppml_svm::LinearSvm;
+use ppml_telemetry as telemetry;
+use telemetry::{EventKind, NO_PARTY};
 
 use crate::{AdmmConfig, ConvergenceHistory, Result, TrainError};
 
@@ -175,7 +177,7 @@ impl HorizontalLinearSvm {
         let mut z = vec![0.0; k];
         let mut s = 0.0;
         let mut history = ConvergenceHistory::default();
-        for _ in 0..cfg.max_iter {
+        for iteration in 0..cfg.max_iter {
             for learner in &mut learners {
                 learner.local_step(&z, s, &cfg.qp)?;
             }
@@ -189,6 +191,35 @@ impl HorizontalLinearSvm {
             }
             std::mem::swap(&mut z, &mut z_new);
             s = s_new;
+            if telemetry::enabled() {
+                // Aggregate diagnostics only (the §V privacy rule): norms
+                // and objective values, never coordinates.
+                let primal_sq: f64 = learners
+                    .iter()
+                    .map(|l| vecops::dist_sq(&l.w, &z) + (l.b - s) * (l.b - s))
+                    .sum();
+                let hinge: f64 = parts
+                    .iter()
+                    .map(|p| {
+                        (0..p.len())
+                            .map(|i| {
+                                let margin = p.label(i) * (vecops::dot(&z, p.sample(i)) + s);
+                                (1.0 - margin).max(0.0)
+                            })
+                            .sum::<f64>()
+                    })
+                    .sum();
+                telemetry::emit(
+                    NO_PARTY,
+                    EventKind::AdmmIteration {
+                        iteration: iteration as u64,
+                        primal_sq,
+                        dual_sq: cfg.rho * cfg.rho * m as f64 * delta,
+                        z_delta: delta,
+                        objective: Some(0.5 * vecops::norm_sq(&z) + cfg.c * hinge),
+                    },
+                );
+            }
             history.z_delta.push(delta);
             if let Some(ds) = eval {
                 let model = LinearSvm::from_parts(z.clone(), s);
@@ -289,6 +320,9 @@ mod tests {
         // must approach the centralized minimum (it can never beat it).
         let ds = synth::cancer_like(240, 5);
         let (train, test) = ds.split(0.5, 6).unwrap();
+        // ρ = 10 converges faster in objective than the paper's ρ = 100
+        // (which privileges consensus speed); 200 iterations suffice here.
+        let cfg = AdmmConfig::default().with_rho(10.0).with_max_iter(200);
         let objective = |w: &[f64], b: f64| {
             let norm = 0.5 * vecops::norm_sq(w);
             let hinge: f64 = (0..train.len())
@@ -297,13 +331,10 @@ mod tests {
                     (1.0 - margin).max(0.0)
                 })
                 .sum();
-            norm + 50.0 * hinge
+            norm + cfg.c * hinge
         };
-        let central = ppml_svm::LinearSvm::train(&train, 50.0).unwrap();
+        let central = ppml_svm::LinearSvm::train(&train, cfg.c).unwrap();
         let parts = Partition::horizontal(&train, 4, 7).unwrap();
-        // ρ = 10 converges faster in objective than the paper's ρ = 100
-        // (which privileges consensus speed); 200 iterations suffice here.
-        let cfg = AdmmConfig::default().with_rho(10.0).with_max_iter(200);
         let out = HorizontalLinearSvm::train(&parts, &cfg, None).unwrap();
         let obj_c = objective(central.weights(), central.bias());
         let obj_d = objective(out.model.weights(), out.model.bias());

@@ -16,6 +16,16 @@ use ppml_crypto::{CryptoError, FixedPointCodec};
 
 use crate::Result;
 
+/// One SplitMix64 finalization round (Steele et al.'s `mix64`): a bijective
+/// nonlinear permutation of the state. Used by [`SeededMasker::pair_rng`] to
+/// absorb seed components one at a time.
+fn mix64(mut s: u64) -> u64 {
+    s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    s ^ (s >> 31)
+}
+
 /// One learner's masking endpoint with pre-agreed pairwise seeds.
 #[derive(Debug, Clone, Copy)]
 pub struct SeededMasker {
@@ -50,15 +60,19 @@ impl SeededMasker {
     }
 
     /// Deterministic pair mask stream for `(lo, hi)` at `iteration`.
+    ///
+    /// Each tuple component is absorbed through its own SplitMix64
+    /// finalization round *sequentially*. The earlier XOR-of-three-products
+    /// mix was linear over GF(2) before the single finalization, so distinct
+    /// `(lo, hi, iteration)` tuples whose products XOR-collided produced the
+    /// same seed — and therefore identical mask streams, which a curious
+    /// reducer could cancel against each other. Chaining a full nonlinear
+    /// round per component removes that structure.
     fn pair_rng(&self, lo: usize, hi: usize, iteration: u64) -> Rng64 {
-        // Mix the tuple into one seed; SplitMix-style finalization.
-        let mut s = self.shared_seed
-            ^ (lo as u64).wrapping_mul(0x9E3779B97F4A7C15)
-            ^ (hi as u64).wrapping_mul(0xBF58476D1CE4E5B9)
-            ^ iteration.wrapping_mul(0x94D049BB133111EB);
-        s ^= s >> 30;
-        s = s.wrapping_mul(0xBF58476D1CE4E5B9);
-        s ^= s >> 27;
+        let mut s = mix64(self.shared_seed);
+        s = mix64(s ^ lo as u64);
+        s = mix64(s ^ hi as u64);
+        s = mix64(s ^ iteration);
         Rng64::new(s)
     }
 
@@ -298,6 +312,63 @@ mod tests {
             m.mask_share_among(&[0.0], 0, &[0, 9]).is_err(),
             "unknown party"
         );
+    }
+
+    #[test]
+    fn pair_streams_never_collide_across_pairs_and_iterations() {
+        // Property: over a grid of pairs × iterations, no two distinct
+        // (lo, hi, iteration) tuples may yield the same mask stream. The
+        // old XOR-of-products seed derivation had GF(2)-linear collisions;
+        // the sequential SplitMix absorb must not.
+        let parties = 8;
+        let iterations = 64u64;
+        let m = SeededMasker::new(0xDEAD_BEEF, 0, parties);
+        let mut seen = std::collections::HashMap::new();
+        for lo in 0..parties {
+            for hi in (lo + 1)..parties {
+                for it in 0..iterations {
+                    let mut rng = m.pair_rng(lo, hi, it);
+                    // Two words of the stream: a 128-bit fingerprint.
+                    let fp = (rng.next_u64(), rng.next_u64());
+                    if let Some(prev) = seen.insert(fp, (lo, hi, it)) {
+                        panic!("stream collision: {prev:?} vs {:?}", (lo, hi, it));
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            parties * (parties - 1) / 2 * iterations as usize
+        );
+    }
+
+    #[test]
+    fn permuted_seed_components_do_not_alias() {
+        // Regression for the absorb order: the sequential absorb must keep
+        // component positions distinct — swapping values between slots (a
+        // classic collision of commutative mixes) must change the stream.
+        let m = SeededMasker::new(7, 0, 8);
+        let word = |lo, hi, it| m.pair_rng(lo, hi, it).next_u64();
+        assert_ne!(word(1, 2, 3), word(1, 3, 2));
+        assert_ne!(word(1, 2, 3), word(2, 3, 1));
+        assert_ne!(word(1, 2, 3), word(2, 1, 3));
+    }
+
+    #[test]
+    fn single_survivor_share_is_unmasked_encoding() {
+        // With every peer dropped, no pair masks remain: the survivor's
+        // share must be exactly the fixed-point encoding, and combining the
+        // singleton set must round-trip the values.
+        let m = SeededMasker::new(11, 2, 4);
+        let values = [0.75, -3.5, 0.0];
+        let share = m.mask_share_among(&values, 9, &[2]).unwrap();
+        for (slot, &v) in share.iter().zip(&values) {
+            assert_eq!(*slot, m.codec().encode_u64(v).unwrap());
+        }
+        let sum = SeededMasker::combine(&[share], 1, m.codec()).unwrap();
+        for (got, &want) in sum.iter().zip(&values) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
     }
 
     #[test]

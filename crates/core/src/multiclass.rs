@@ -162,8 +162,8 @@ mod tests {
     fn distributed_ovr_matches_centralized() {
         let ds = digits_like(300, 5, 11);
         let (train, test) = ds.split(0.5, 12).unwrap();
-        let central = OneVsRestSvm::train_centralized(&train, 50.0).unwrap();
         let cfg = AdmmConfig::default().with_max_iter(40);
+        let central = OneVsRestSvm::train_centralized(&train, cfg.c).unwrap();
         let distributed = OneVsRestSvm::train_horizontal(&train, 4, &cfg).unwrap();
         let ac = central.accuracy(&test);
         let ad = distributed.accuracy(&test);

@@ -21,6 +21,8 @@ use ppml_crypto::SecureSum;
 use ppml_data::{Dataset, VerticalView};
 use ppml_kernel::Kernel;
 use ppml_linalg::{vecops, Cholesky, Matrix};
+use ppml_telemetry as telemetry;
+use telemetry::{EventKind, NO_PARTY};
 
 use crate::vertical::linear::VerticalReducer;
 use crate::{AdmmConfig, ConvergenceHistory, Result, TrainError};
@@ -145,7 +147,7 @@ impl VerticalKernelSvm {
         let mut reducer = VerticalReducer::new(view.y().to_vec(), cfg)?;
         let mut gap = vec![0.0; n];
         let mut history = ConvergenceHistory::default();
-        for _ in 0..cfg.max_iter {
+        for iteration in 0..cfg.max_iter {
             for node in &mut nodes {
                 node.step(&gap)?;
             }
@@ -153,6 +155,20 @@ impl VerticalKernelSvm {
             let cbar = aggregator.aggregate(&contribs)?;
             let delta = reducer.step(&cbar)?;
             gap = reducer.gap(&cbar);
+            if telemetry::enabled() {
+                telemetry::emit(
+                    NO_PARTY,
+                    EventKind::AdmmIteration {
+                        iteration: iteration as u64,
+                        // The consensus gap ‖z − c̄ + r‖² plays the primal
+                        // residual's role in the vertical decomposition.
+                        primal_sq: vecops::norm_sq(&gap),
+                        dual_sq: cfg.rho * cfg.rho * delta,
+                        z_delta: delta,
+                        objective: None,
+                    },
+                );
+            }
             history.z_delta.push(delta);
             if let Some(ds) = eval {
                 let expansions: Vec<(Matrix, Vec<f64>)> =

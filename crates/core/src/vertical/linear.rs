@@ -26,6 +26,8 @@ use ppml_crypto::SecureSum;
 use ppml_data::{Dataset, VerticalView};
 use ppml_linalg::{vecops, Cholesky};
 use ppml_qp::solve_separable_eq;
+use ppml_telemetry as telemetry;
+use telemetry::{EventKind, NO_PARTY};
 
 use crate::{AdmmConfig, ConvergenceHistory, Result, TrainError};
 
@@ -203,7 +205,7 @@ impl VerticalLinearSvm {
         let mut reducer = VerticalReducer::new(view.y().to_vec(), cfg)?;
         let mut gap = vec![0.0; n];
         let mut history = ConvergenceHistory::default();
-        for _ in 0..cfg.max_iter {
+        for iteration in 0..cfg.max_iter {
             for node in &mut nodes {
                 node.step(&gap)?;
             }
@@ -211,6 +213,20 @@ impl VerticalLinearSvm {
             let cbar = aggregator.aggregate(&contribs)?;
             let delta = reducer.step(&cbar)?;
             gap = reducer.gap(&cbar);
+            if telemetry::enabled() {
+                telemetry::emit(
+                    NO_PARTY,
+                    EventKind::AdmmIteration {
+                        iteration: iteration as u64,
+                        // The consensus gap ‖z − c̄ + r‖² plays the primal
+                        // residual's role in the vertical decomposition.
+                        primal_sq: vecops::norm_sq(&gap),
+                        dual_sq: cfg.rho * cfg.rho * delta,
+                        z_delta: delta,
+                        objective: None,
+                    },
+                );
+            }
             history.z_delta.push(delta);
             if let Some(ds) = eval {
                 let w: Vec<Vec<f64>> = nodes.iter().map(|nd| nd.w.clone()).collect();

@@ -48,7 +48,7 @@ impl FixedPointCodec {
     /// # Panics
     ///
     /// Panics unless `1 ≤ scale_bits ≤ 48` (beyond 48 the headroom for
-    /// aggation disappears).
+    /// aggregation disappears).
     pub fn new(scale_bits: u32) -> Self {
         assert!(
             (1..=48).contains(&scale_bits),
@@ -226,6 +226,50 @@ mod tests {
         let c = FixedPointCodec::default();
         let small = BigUint::from(12345u64);
         assert!(c.encode_group(1.0, &small).is_err());
+    }
+
+    #[test]
+    fn decode_group_sign_flips_just_above_half_modulus() {
+        // Values ≤ n/2 are positive, strictly above are negative. Use a
+        // 2⁴⁰ modulus so both sides of the boundary have magnitudes that
+        // fit an i64 and actually decode.
+        let c = FixedPointCodec::default();
+        let n = BigUint::one().shl(40);
+        let half = n.shr(1); // 2³⁹, exactly n/2
+        let at_half = c.decode_group(&half, &n).unwrap();
+        assert!((at_half - 128.0).abs() < 1e-9, "at n/2: {at_half}");
+        let just_above = c.decode_group(&half.add(&BigUint::one()), &n).unwrap();
+        assert!(just_above < 0.0, "above n/2 must be negative: {just_above}");
+        // n − (half + 1) = 2³⁹ − 1, one resolution step short of −128.
+        let want = -(((1u64 << 39) - 1) as f64) / c.scale();
+        assert!((just_above - want).abs() < 1e-9, "{just_above} vs {want}");
+    }
+
+    #[test]
+    fn decode_group_overflow_at_i64_boundary() {
+        let c = FixedPointCodec::default();
+        let n = BigUint::one().shl(127).sub(&BigUint::one());
+        // Centered magnitude of exactly i64::MAX still decodes...
+        let at_max = BigUint::from(i64::MAX as u64);
+        assert!(c.decode_group(&at_max, &n).is_ok());
+        // ...one above (2⁶³ fits a u64 but not an i64) overflows...
+        let above = BigUint::from(i64::MAX as u64).add(&BigUint::one());
+        assert!(matches!(
+            c.decode_group(&above, &n),
+            Err(CryptoError::AggregateOverflow)
+        ));
+        // ...and so does a magnitude too wide for u64 entirely (2⁷⁰),
+        // on either side of the sign boundary.
+        let wide = BigUint::one().shl(70);
+        assert!(matches!(
+            c.decode_group(&wide, &n),
+            Err(CryptoError::AggregateOverflow)
+        ));
+        let wide_neg = n.sub(&wide); // > n/2, magnitude 2⁷⁰
+        assert!(matches!(
+            c.decode_group(&wide_neg, &n),
+            Err(CryptoError::AggregateOverflow)
+        ));
     }
 
     #[test]

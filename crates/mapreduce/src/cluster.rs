@@ -6,7 +6,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ppml_telemetry as telemetry;
 use ppml_transport::FRAME_OVERHEAD;
+use telemetry::{EventKind, NO_PARTY};
 
 use crate::{
     BlockId, BlockStore, ByteSized, FaultPlan, IterativeJob, JobMetrics, MapReduceError, NodeId,
@@ -358,6 +360,20 @@ where
         let outputs = self.run_reduce_phase(groups, &mut iter_metrics)?;
 
         let iteration = self.iteration;
+        telemetry::emit(
+            NO_PARTY,
+            EventKind::BroadcastBytes {
+                iteration: iteration as u64,
+                bytes: iter_metrics.bytes_broadcast as u64,
+            },
+        );
+        telemetry::emit(
+            NO_PARTY,
+            EventKind::ShuffleBytes {
+                iteration: iteration as u64,
+                bytes: iter_metrics.bytes_shuffled as u64,
+            },
+        );
         self.iteration += 1;
         self.metrics.merge(&iter_metrics);
         Ok(IterationOutput {
@@ -447,6 +463,15 @@ where
             iter_metrics.bytes_remote_read += framed(payload.byte_len());
         }
         let attempt = attempts.entry(block).and_modify(|a| *a += 1).or_insert(1);
+        telemetry::emit(
+            NO_PARTY,
+            EventKind::TaskAttempt {
+                block: block.0,
+                node: node.0 as u32,
+                attempt: *attempt as u32,
+                local: data_local,
+            },
+        );
         let spec = self.config.fault_plan.spec(self.iteration, block);
         let inject_failure = *attempt <= spec.fail_attempts;
         self.senders[node.0]
@@ -502,6 +527,12 @@ fn worker_loop<J: IterativeJob>(
     rx: Arc<Mutex<Receiver<WorkerMsg<J>>>>,
     tx: Sender<WorkerOut<J>>,
 ) {
+    telemetry::emit(
+        NO_PARTY,
+        EventKind::WorkerUp {
+            node: node.0 as u32,
+        },
+    );
     loop {
         // Hold the lock only for the dequeue, never while mapping/reducing.
         let msg = match rx.lock().expect("worker queue lock").recv() {
@@ -562,6 +593,12 @@ fn worker_loop<J: IterativeJob>(
             }
         }
     }
+    telemetry::emit(
+        NO_PARTY,
+        EventKind::WorkerDown {
+            node: node.0 as u32,
+        },
+    );
 }
 
 impl<J: IterativeJob> Drop for Cluster<J> {

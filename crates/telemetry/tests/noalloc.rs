@@ -1,0 +1,86 @@
+//! Proves the ISSUE 3 acceptance criterion "with no sink installed,
+//! instrumented hot paths allocate nothing": every `emit` and `Span`
+//! call with telemetry disabled must perform zero heap allocations.
+//!
+//! The library itself is `#![forbid(unsafe_code)]`; the counting
+//! allocator below needs `unsafe` only to delegate to the system
+//! allocator, which is fine in an integration test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn disabled_emit_and_span_allocate_nothing() {
+    use ppml_telemetry::{emit, enabled, EventKind, Span};
+
+    assert!(!enabled(), "no sink installed in this process");
+
+    // Warm anything lazily initialized outside the measured window.
+    emit(
+        0,
+        EventKind::FrameSent {
+            to: 1,
+            bytes: 64,
+            retransmit: false,
+        },
+    );
+    let _ = Span::begin(0, "train");
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        emit(
+            0,
+            EventKind::FrameSent {
+                to: 1,
+                bytes: i,
+                retransmit: false,
+            },
+        );
+        emit(
+            1,
+            EventKind::AdmmIteration {
+                iteration: i,
+                primal_sq: 0.5,
+                dual_sq: 0.25,
+                z_delta: 1e-9,
+                objective: Some(42.0),
+            },
+        );
+        let span = Span::begin(2, "collect");
+        span.end();
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry hot path must not touch the heap"
+    );
+}

@@ -23,6 +23,9 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
+use ppml_telemetry as telemetry;
+use telemetry::EventKind;
+
 use crate::frame::{Message, PartyId, FLAG_RETRANSMIT};
 use crate::retry::RetryPolicy;
 use crate::transport::{Envelope, Transport, TransportError};
@@ -135,12 +138,24 @@ impl<T: Transport> Courier<T> {
         let seq = self.transport.next_seq(to);
         let mut total = 0usize;
         for attempt in 0..self.policy.max_attempts {
-            let flags = if attempt == 0 { 0 } else { FLAG_RETRANSMIT };
+            let flags = if attempt == 0 {
+                0
+            } else {
+                telemetry::emit(self.party(), EventKind::ArqRetransmit { to, seq, attempt });
+                FLAG_RETRANSMIT
+            };
             total += self.transport.send_raw(to, msg, seq, flags)?;
             if self.await_ack(to, seq, self.policy.backoff(attempt))? {
                 return Ok(total);
             }
         }
+        telemetry::emit(
+            self.party(),
+            EventKind::SendTimeout {
+                to,
+                attempts: self.policy.max_attempts,
+            },
+        );
         Err(TransportError::Timeout)
     }
 
@@ -226,6 +241,14 @@ impl<T: Transport> Courier<T> {
         let fresh = self.seen.entry(env.from).or_default().record(env.seq);
         if fresh {
             self.inbox.push_back(env);
+        } else {
+            telemetry::emit(
+                self.party(),
+                EventKind::DedupDrop {
+                    from: env.from,
+                    seq: env.seq,
+                },
+            );
         }
         Ok(())
     }

@@ -11,8 +11,11 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use ppml_telemetry as telemetry;
+use telemetry::EventKind;
+
 use crate::fault::{FaultAction, NetFaultPlan};
-use crate::frame::{Frame, Message, PartyId};
+use crate::frame::{Frame, Message, PartyId, FLAG_RETRANSMIT};
 use crate::transport::{Envelope, LinkStats, Transport, TransportError};
 
 /// Hub-wide traffic accounting (pre-fault, one entry per `send` call).
@@ -206,6 +209,14 @@ impl Transport for LoopbackTransport {
         self.hub.arrived.notify_all();
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        telemetry::emit(
+            self.party,
+            EventKind::FrameSent {
+                to,
+                bytes: bytes as u64,
+                retransmit: flags & FLAG_RETRANSMIT != 0,
+            },
+        );
         Ok(bytes)
     }
 
@@ -249,9 +260,27 @@ impl Transport for LoopbackTransport {
             }
         };
         drop(state);
-        let frame = Frame::decode(&encoded)?;
+        let frame = match Frame::decode(&encoded) {
+            Ok(frame) => frame,
+            Err(e) => {
+                telemetry::emit(
+                    self.party,
+                    EventKind::FrameRejected {
+                        bytes: encoded.len() as u64,
+                    },
+                );
+                return Err(e.into());
+            }
+        };
         self.stats.frames_received += 1;
         self.stats.bytes_received += encoded.len() as u64;
+        telemetry::emit(
+            self.party,
+            EventKind::FrameRecv {
+                from: frame.from,
+                bytes: encoded.len() as u64,
+            },
+        );
         Ok(Envelope {
             from: frame.from,
             seq: frame.seq,

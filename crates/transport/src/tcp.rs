@@ -21,6 +21,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
+use ppml_telemetry as telemetry;
+use telemetry::EventKind;
+
 use crate::frame::{Frame, Message, PartyId};
 use crate::retry::RetryPolicy;
 use crate::transport::{Envelope, LinkStats, Transport, TransportError};
@@ -95,13 +98,28 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
         };
         let frame = match Frame::decode(&encoded) {
             Ok(f) => f,
-            Err(_) => return, // corrupt stream: drop the connection
+            Err(_) => {
+                telemetry::emit(
+                    shared.party,
+                    EventKind::FrameRejected {
+                        bytes: encoded.len() as u64,
+                    },
+                );
+                return; // corrupt stream: drop the connection
+            }
         };
         shared
             .stats
             .bytes_received
             .fetch_add(encoded.len() as u64, Ordering::Relaxed);
         shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        telemetry::emit(
+            shared.party,
+            EventKind::FrameRecv {
+                from: frame.from,
+                bytes: encoded.len() as u64,
+            },
+        );
         if frame.to != shared.party {
             continue; // misrouted; ignore
         }
@@ -303,7 +321,17 @@ impl Transport for TcpTransport {
             }
             match self.connection_for(to, attempt) {
                 Ok(mut conn) => match self.shared.write_frame(&mut conn, &encoded) {
-                    Ok(()) => return Ok(encoded.len()),
+                    Ok(()) => {
+                        telemetry::emit(
+                            self.shared.party,
+                            EventKind::FrameSent {
+                                to,
+                                bytes: encoded.len() as u64,
+                                retransmit: flags & crate::frame::FLAG_RETRANSMIT != 0,
+                            },
+                        );
+                        return Ok(encoded.len());
+                    }
                     Err(e) => {
                         // Connection went stale: forget it and redial.
                         self.shared.conns.lock().expect("conns lock").remove(&to);
@@ -313,6 +341,13 @@ impl Transport for TcpTransport {
                 Err(e) => last_err = Some(e),
             }
         }
+        telemetry::emit(
+            self.shared.party,
+            EventKind::SendTimeout {
+                to,
+                attempts: self.retry.max_attempts,
+            },
+        );
         Err(last_err.unwrap_or(TransportError::Unreachable(to)))
     }
 

@@ -7,15 +7,21 @@
 //! must agree to well below 1e-6 — in fact bit for bit.
 //!
 //! ```text
-//! cargo run --example distributed_hl
+//! cargo run --example distributed_hl [-- --telemetry events.jsonl]
 //! ```
 //!
-//! The example re-executes itself with `learner <party> <addr>` for the
-//! child role, so it needs no other binary to be built.
+//! With `--telemetry PATH`, the coordinator streams structured events to
+//! `PATH` and each learner process to `PATH.learner<i>`; every file is
+//! re-parsed at the end (machine-readability is part of the check).
+//!
+//! The example re-executes itself with `learner <party> <addr> [path]`
+//! for the child role, so it needs no other binary to be built.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::Path;
 use std::process::{Child, Command};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ppml::core::distributed::{coordinate_linear, feature_count, learn_linear};
@@ -23,6 +29,7 @@ use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml::core::AdmmConfig;
 use ppml::core::DistributedTiming;
 use ppml::data::{synth, Dataset, Partition};
+use ppml::telemetry::{self, Event, FanoutSink, JsonlSink, Sink, SummarySink};
 use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
 
 const LEARNERS: usize = 3;
@@ -36,7 +43,23 @@ fn shared_setup() -> (Vec<Dataset>, AdmmConfig) {
     (parts, cfg)
 }
 
-fn learner_process(party: usize, coordinator: SocketAddr) {
+/// Re-parses a JSONL telemetry file, asserting it is non-empty and every
+/// line round-trips through [`Event::from_json`].
+fn validate_jsonl(path: &str) -> Vec<Event> {
+    let text = std::fs::read_to_string(path).expect("read telemetry file");
+    let events: Vec<Event> = text
+        .lines()
+        .map(|line| Event::from_json(line).unwrap_or_else(|e| panic!("{path}: {e:?}: {line}")))
+        .collect();
+    assert!(!events.is_empty(), "{path}: telemetry stream is empty");
+    events
+}
+
+fn learner_process(party: usize, coordinator: SocketAddr, telemetry_path: Option<&str>) {
+    if let Some(path) = telemetry_path {
+        let jsonl = JsonlSink::create(Path::new(path)).expect("create learner telemetry");
+        telemetry::install(jsonl);
+    }
     let (parts, cfg) = shared_setup();
     let transport = TcpTransport::bind(
         party as PartyId,
@@ -69,12 +92,26 @@ fn learner_process(party: usize, coordinator: SocketAddr) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() == 4 && args[1] == "learner" {
+    if (args.len() == 4 || args.len() == 5) && args[1] == "learner" {
         let party: usize = args[2].parse().expect("party index");
         let addr: SocketAddr = args[3].parse().expect("coordinator addr");
-        learner_process(party, addr);
+        learner_process(party, addr, args.get(4).map(String::as_str));
         return;
     }
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| args.get(i + 1).expect("--telemetry needs a path").clone());
+
+    let summary = telemetry_path.as_deref().map(|path| {
+        let jsonl = JsonlSink::create(Path::new(path)).expect("create telemetry file");
+        let summary = SummarySink::new();
+        telemetry::install(FanoutSink::new(vec![
+            jsonl as Arc<dyn Sink>,
+            summary.clone(),
+        ]));
+        summary
+    });
 
     let (parts, cfg) = shared_setup();
     let features = feature_count(&parts).expect("partitions");
@@ -100,10 +137,12 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let children: Vec<Child> = (0..LEARNERS)
         .map(|party| {
-            Command::new(&exe)
-                .args(["learner", &party.to_string(), &addr.to_string()])
-                .spawn()
-                .expect("spawn learner process")
+            let mut cmd = Command::new(&exe);
+            cmd.args(["learner", &party.to_string(), &addr.to_string()]);
+            if let Some(path) = telemetry_path.as_deref() {
+                cmd.arg(format!("{path}.learner{party}"));
+            }
+            cmd.spawn().expect("spawn learner process")
         })
         .collect();
 
@@ -148,4 +187,21 @@ fn main() {
         "distributed and in-process runs disagree: {max_dev}"
     );
     println!("distributed TCP training matches the in-process cluster result");
+
+    if let Some(path) = telemetry_path.as_deref() {
+        telemetry::uninstall();
+        let coord_events = validate_jsonl(path);
+        assert!(
+            coord_events
+                .iter()
+                .any(|e| matches!(e.kind, telemetry::EventKind::RoundClose { .. })),
+            "coordinator stream is missing round closes"
+        );
+        let mut total = coord_events.len();
+        for party in 0..LEARNERS {
+            total += validate_jsonl(&format!("{path}.learner{party}")).len();
+        }
+        print!("{}", summary.expect("summary sink").render());
+        println!("telemetry: {total} machine-parseable events across 4 streams");
+    }
 }

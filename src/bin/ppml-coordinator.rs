@@ -10,11 +10,16 @@
 //! ppml-coordinator --learners 3 [--port 7100] [--dataset blobs --n 96]
 //!                  [--data-seed 5] [--iters 12] [--c 50] [--rho 100]
 //!                  [--seed 11] [--tol T] [--round-timeout SECS]
-//!                  [--out model.txt]
+//!                  [--out model.txt] [--telemetry events.jsonl]
 //!
 //! `--round-timeout` bounds each collection round: a learner whose share
 //! has not arrived when it expires is declared dropped, the secure sum is
 //! re-keyed over the survivors, and training continues without it.
+//!
+//! `--telemetry PATH` streams structured events (round opens/closes,
+//! deadline misses, dropout declarations, re-key epochs, wire traffic) as
+//! JSONL to `PATH` and prints a human summary at exit. Events carry only
+//! sizes, timings and counts — never shares or model coordinates.
 //! ```
 //!
 //! Both sides regenerate the same synthetic dataset from
@@ -24,18 +29,22 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ppml::core::distributed::{coordinate_linear, feature_count};
 use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
+use ppml::telemetry::{self, FanoutSink, JsonlSink, Sink, SummarySink};
 use ppml::transport::{Courier, PartyId, RetryPolicy, TcpTransport};
 
 fn usage() -> String {
     "usage:\n  ppml-coordinator --learners M [--port P] [--dataset <cancer|higgs|ocr|blobs|xor>]\n                   \
      [--n N] [--data-seed S] [--iters T] [--c C] [--rho RHO] [--seed S]\n                   \
-     [--tol TOL] [--connect-timeout SECS] [--round-timeout SECS] [--out MODEL]"
+     [--tol TOL] [--connect-timeout SECS] [--round-timeout SECS] [--out MODEL]\n                   \
+     [--telemetry EVENTS.jsonl]"
         .to_string()
 }
 
@@ -97,6 +106,21 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     }
     let port: u16 = numeric(&flags, "port", 0)?;
     let connect_timeout: u64 = numeric(&flags, "connect-timeout", 30)?;
+    // Install telemetry before the transport binds so connection-phase
+    // frames are captured too.
+    let telemetry_out = match flags.get("telemetry") {
+        Some(path) => {
+            let jsonl = JsonlSink::create(Path::new(path))
+                .map_err(|e| format!("--telemetry {path}: {e}"))?;
+            let summary = SummarySink::new();
+            telemetry::install(FanoutSink::new(vec![
+                jsonl as Arc<dyn Sink>,
+                summary.clone(),
+            ]));
+            Some((summary, path.clone()))
+        }
+        None => None,
+    };
     let cfg = config(&flags)?;
     let ds = dataset(&flags)?;
     let parts = Partition::horizontal(&ds, learners, numeric(&flags, "part-seed", 1)?)
@@ -154,6 +178,11 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     if let Some(path) = flags.get("out") {
         std::fs::write(path, outcome.model.to_text()).map_err(|e| e.to_string())?;
         println!("wrote {path}");
+    }
+    if let Some((summary, path)) = telemetry_out {
+        telemetry::uninstall();
+        print!("{}", summary.render());
+        println!("telemetry written to {path}");
     }
     Ok(())
 }

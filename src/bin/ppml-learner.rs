@@ -10,11 +10,15 @@
 //! ppml-learner --party 0 --learners 3 --coordinator 127.0.0.1:7100
 //!              [--dataset blobs --n 96] [--data-seed 5] [--iters 12]
 //!              [--c 50] [--rho 100] [--seed 11] [--tol T]
-//!              [--patience SECS]
+//!              [--patience SECS] [--telemetry events.jsonl]
 //!
 //! `--patience` bounds how long the learner waits between coordinator
 //! protocol frames; when it expires the process exits with an error
 //! instead of waiting forever on a dead coordinator.
+//!
+//! `--telemetry PATH` streams this learner's structured events (round
+//! participation, re-key epochs, wire traffic) as JSONL to `PATH` and
+//! prints a summary at exit. Events carry only sizes, timings and counts.
 //! ```
 //!
 //! Every training flag must match the coordinator's, as both sides drive
@@ -22,18 +26,22 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ppml::core::distributed::learn_linear;
 use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
+use ppml::telemetry::{self, FanoutSink, JsonlSink, Sink, SummarySink};
 use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
 
 fn usage() -> String {
     "usage:\n  ppml-learner --party I --learners M --coordinator HOST:PORT\n               \
      [--dataset <cancer|higgs|ocr|blobs|xor>] [--n N] [--data-seed S]\n               \
-     [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL] [--patience SECS]"
+     [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL] [--patience SECS]\n               \
+     [--telemetry EVENTS.jsonl]"
         .to_string()
 }
 
@@ -111,6 +119,22 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let my_part = &parts[party];
 
+    // Install telemetry before the transport binds so the dial and
+    // handshake frames are captured too.
+    let telemetry_out = match flags.get("telemetry") {
+        Some(path) => {
+            let jsonl = JsonlSink::create(Path::new(path))
+                .map_err(|e| format!("--telemetry {path}: {e}"))?;
+            let summary = SummarySink::new();
+            telemetry::install(FanoutSink::new(vec![
+                jsonl as Arc<dyn Sink>,
+                summary.clone(),
+            ]));
+            Some((summary, path.clone()))
+        }
+        None => None,
+    };
+
     let transport = TcpTransport::bind(
         party as PartyId,
         "127.0.0.1:0".parse().expect("loopback addr"),
@@ -143,6 +167,11 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         learn_linear(&mut courier, learners, my_part, &cfg, timing).map_err(|e| e.to_string())?;
     println!("learner {party}: done");
     println!("consensus model: {}", model.to_text());
+    if let Some((summary, path)) = telemetry_out {
+        telemetry::uninstall();
+        print!("{}", summary.render());
+        println!("learner {party}: telemetry written to {path}");
+    }
     Ok(())
 }
 

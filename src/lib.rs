@@ -20,6 +20,7 @@
 //! | [`qp`] | `ppml-qp` | the dual QP solvers |
 //! | [`linalg`] | `ppml-linalg` | dense linear algebra |
 //! | [`transport`] | `ppml-transport` | wire format, loopback + TCP transports, ARQ courier |
+//! | [`telemetry`] | `ppml-telemetry` | structured events, span timing, JSONL/ring/summary sinks |
 //!
 //! # Quickstart
 //!
@@ -56,4 +57,5 @@ pub use ppml_linalg as linalg;
 pub use ppml_mapreduce as mapreduce;
 pub use ppml_qp as qp;
 pub use ppml_svm as svm;
+pub use ppml_telemetry as telemetry;
 pub use ppml_transport as transport;
