@@ -7,21 +7,28 @@
 //! cargo run -p ppml-bench --bin fig4 --release -- --panel baseline
 //! cargo run -p ppml-bench --bin fig4 --release -- --panel locality
 //! PPML_SCALE=full cargo run -p ppml-bench --bin fig4 --release -- --panel all
+//! cargo run -p ppml-bench --bin fig4 --release -- --panel a --telemetry fig4.jsonl
 //! ```
 //!
-//! Output goes to stdout and to `results/<panel>.csv`.
+//! Output goes to stdout and to `results/<panel>.csv`. With
+//! `--telemetry PATH` the harness streams structured events (trainer
+//! iterations, cluster task attempts, phase timings) as JSONL to `PATH`
+//! and prints the summary at exit.
 
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
 use ppml_bench::{
     panel_to_csv, run_baseline, run_comparison, run_locality, run_panel, ExperimentScale, Panel,
 };
+use ppml_telemetry::{self as telemetry, FanoutSink, JsonlSink, Sink, SummarySink};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig4 --panel <a|b|c|d|e|f|g|h|linear_horizontal|kernel_horizontal|\
-         linear_vertical|kernel_vertical|baseline|locality|comparison|all>"
+        "usage: fig4 [--panel <a|b|c|d|e|f|g|h|linear_horizontal|kernel_horizontal|\
+         linear_vertical|kernel_vertical|baseline|locality|comparison|all>]\n            \
+         [--telemetry EVENTS.jsonl]"
     );
     std::process::exit(2)
 }
@@ -148,10 +155,28 @@ fn emit_locality(scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Erro
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let panel_arg = match args.as_slice() {
-        [_, flag, value] if flag == "--panel" => value.clone(),
-        [_] => "all".to_string(),
-        _ => usage(),
+    let mut panel_arg = "all".to_string();
+    let mut telemetry_path: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--panel" => panel_arg = value.clone(),
+            "--telemetry" => telemetry_path = Some(value.clone()),
+            _ => usage(),
+        }
+    }
+    let summary = match telemetry_path.as_deref() {
+        Some(path) => {
+            let jsonl = JsonlSink::create(Path::new(path))?;
+            let summary = SummarySink::new();
+            telemetry::install(FanoutSink::new(vec![
+                jsonl as Arc<dyn Sink>,
+                summary.clone(),
+            ]));
+            Some(summary)
+        }
+        None => None,
     };
     let scale = ExperimentScale::from_env();
     eprintln!(
@@ -178,6 +203,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(p) => emit_panel(p, &scale)?,
             None => usage(),
         },
+    }
+    if let Some(summary) = summary {
+        telemetry::uninstall();
+        eprint!("{}", summary.render());
+        eprintln!(
+            "# telemetry written to {}",
+            telemetry_path.as_deref().unwrap_or_default()
+        );
     }
     Ok(())
 }

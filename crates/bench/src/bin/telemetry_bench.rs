@@ -1,0 +1,157 @@
+//! Measures what telemetry costs the hot path — the "free when off"
+//! claim, quantified — plus the latency of rendering the Prometheus
+//! exposition.
+//!
+//! ```text
+//! cargo run -p ppml-bench --bin telemetry_bench --release
+//! ```
+//!
+//! Four cases, each timed over a batch of representative events (the mix
+//! a distributed round actually produces — frames, round opens/closes,
+//! ADMM residuals, phase spans):
+//!
+//! - `emit_disabled` — no sink installed; the per-event cost is one
+//!   relaxed atomic load and a branch.
+//! - `emit_metrics_sink` — the live [`MetricsSink`] registry: atomics
+//!   only, no allocation, what `--metrics-addr` pays.
+//! - `emit_jsonl_sink` — full JSONL serialization to a file, what
+//!   `--telemetry` pays.
+//! - `render_exposition` — one render of a populated registry to
+//!   Prometheus text, what each scrape pays.
+//!
+//! One-line medians go to stdout; machine-readable results are written to
+//! `BENCH_telemetry.json` in the working directory.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use ppml_bench::timing::{bench, FAST_SAMPLES};
+use ppml_telemetry::{self as telemetry, Event, EventKind, MetricsRegistry, MetricsSink};
+
+/// Events per timed batch: large enough that the per-event figure is not
+/// dominated by loop overhead, small enough that a JSONL batch stays in
+/// page cache.
+const BATCH: usize = 10_000;
+
+/// The event mix of one distributed round, repeated to fill a batch.
+fn round_mix() -> Vec<EventKind> {
+    vec![
+        EventKind::FrameSent {
+            to: 3,
+            bytes: 512,
+            retransmit: false,
+        },
+        EventKind::FrameRecv { from: 3, bytes: 96 },
+        EventKind::RoundOpen {
+            iteration: 7,
+            epoch: 0,
+        },
+        EventKind::AdmmIteration {
+            iteration: 7,
+            primal_sq: 1.25e-3,
+            dual_sq: 8.0e-4,
+            z_delta: 3.0e-5,
+            objective: Some(41.5),
+        },
+        EventKind::PhaseElapsed {
+            phase: "collect",
+            elapsed_ns: 840_000,
+        },
+        EventKind::RoundClose {
+            iteration: 7,
+            epoch: 0,
+            shares: 3,
+            elapsed_ns: 910_000,
+        },
+    ]
+}
+
+fn emit_batch(mix: &[EventKind]) {
+    for i in 0..BATCH {
+        telemetry::emit(0, mix[i % mix.len()]);
+    }
+}
+
+struct Case {
+    name: &'static str,
+    median_ns_per_event: f64,
+}
+
+fn main() -> std::io::Result<()> {
+    let mix = round_mix();
+    let mut cases = Vec::new();
+    let per_event = |d: std::time::Duration| d.as_nanos() as f64 / BATCH as f64;
+
+    // The sink slot is process-global, so the cases run strictly one
+    // after another: off → metrics → jsonl.
+    telemetry::uninstall();
+    cases.push(Case {
+        name: "emit_disabled",
+        median_ns_per_event: per_event(bench(
+            "telemetry/emit/disabled (batch of 10k)",
+            FAST_SAMPLES,
+            || emit_batch(&mix),
+        )),
+    });
+
+    let metrics: Arc<MetricsSink> = MetricsSink::new();
+    telemetry::install(metrics);
+    cases.push(Case {
+        name: "emit_metrics_sink",
+        median_ns_per_event: per_event(bench(
+            "telemetry/emit/metrics-sink (batch of 10k)",
+            FAST_SAMPLES,
+            || emit_batch(&mix),
+        )),
+    });
+    telemetry::uninstall();
+
+    let jsonl_path =
+        std::env::temp_dir().join(format!("ppml-telemetry-bench-{}.jsonl", std::process::id()));
+    let jsonl = telemetry::JsonlSink::create(&jsonl_path)?;
+    telemetry::install(jsonl);
+    cases.push(Case {
+        name: "emit_jsonl_sink",
+        median_ns_per_event: per_event(bench(
+            "telemetry/emit/jsonl-sink (batch of 10k)",
+            FAST_SAMPLES,
+            || emit_batch(&mix),
+        )),
+    });
+    telemetry::uninstall();
+    let _ = std::fs::remove_file(&jsonl_path);
+
+    // Exposition render over a registry populated with the same mix.
+    let registry = MetricsRegistry::new();
+    for i in 0..BATCH {
+        registry.record(Event {
+            t_ns: i as u64,
+            party: 0,
+            kind: mix[i % mix.len()],
+        });
+    }
+    let render_median = bench("telemetry/render-exposition", FAST_SAMPLES, || {
+        registry.render().len()
+    });
+    let render_ns = render_median.as_nanos() as f64;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"telemetry\",");
+    let _ = writeln!(json, "  \"samples\": {FAST_SAMPLES},");
+    let _ = writeln!(json, "  \"events_per_batch\": {BATCH},");
+    let _ = writeln!(json, "  \"emit_ns_per_event\": {{");
+    for (i, case) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {:.2}{comma}",
+            case.name, case.median_ns_per_event
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"render_exposition_ns\": {render_ns:.0}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_telemetry.json", &json)?;
+    println!("wrote BENCH_telemetry.json");
+    Ok(())
+}

@@ -53,7 +53,7 @@
 //! the same round; `examples/distributed_hl.rs` does the same across OS
 //! processes over TCP.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ppml_data::Dataset;
 use ppml_mapreduce::JobMetrics;
@@ -104,6 +104,78 @@ fn peer_is_lost(e: &TransportError) -> bool {
         e,
         TransportError::Timeout | TransportError::Unreachable(_) | TransportError::Io(_)
     )
+}
+
+/// Probes sent per learner during the clock-offset handshake.
+const CLOCK_PROBES: u32 = 3;
+/// How long the coordinator waits for each [`Message::TimeReply`].
+const CLOCK_PROBE_WAIT: Duration = Duration::from_millis(300);
+
+/// RTT-based clock-offset handshake (ISSUE 4 tentpole, piece 3): before
+/// round 0 the coordinator sends each learner [`Message::TimeProbe`]
+/// frames carrying the freshly minted `run_id`, reads back the learner's
+/// telemetry clock from [`Message::TimeReply`], and — taking the
+/// minimum-RTT sample, NTP style — emits [`EventKind::ClockSync`] with
+/// `offset ≈ peer_clock − local_clock` at the probe midpoint.
+/// `ppml-trace` uses these offsets to rebase every stream onto the
+/// coordinator's clock.
+///
+/// Only called when telemetry is enabled, so an uninstrumented run sends
+/// not a single extra frame (the exact-byte-accounting tests rely on
+/// this; probe traffic is likewise never charged to [`JobMetrics`]). A
+/// learner that never answers (dead, or a pre-probe build) just costs
+/// `CLOCK_PROBES × CLOCK_PROBE_WAIT` and gets no `ClockSync` event —
+/// dropout verdicts stay the round loop's business. Runs strictly before
+/// the first broadcast, when no protocol frame can be in flight, so
+/// anything unexpected the probe loop swallows is liveness noise.
+fn clock_sync<T: Transport>(courier: &mut Courier<T>, alive: &[bool], run_id: u64) {
+    for p in (0..alive.len()).filter(|&p| alive[p]) {
+        let mut best: Option<(u64, i64)> = None; // (rtt_ns, offset_ns)
+        for attempt in 0..CLOCK_PROBES {
+            let nonce = ((p as u64) << 8) | u64::from(attempt);
+            let t0 = telemetry::now_ns();
+            if courier
+                .send_unreliable(p as PartyId, &Message::TimeProbe { nonce, run_id })
+                .is_err()
+            {
+                break;
+            }
+            let deadline = Instant::now() + CLOCK_PROBE_WAIT;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match courier.recv(remaining) {
+                    Ok(env) => match env.msg {
+                        Message::TimeReply { nonce: n, t_ns } if n == nonce => {
+                            let t1 = telemetry::now_ns();
+                            let rtt = t1.saturating_sub(t0);
+                            let midpoint = t0 + rtt / 2;
+                            let offset = (t_ns as i64).wrapping_sub(midpoint as i64);
+                            if best.is_none_or(|(best_rtt, _)| rtt < best_rtt) {
+                                best = Some((rtt, offset));
+                            }
+                            break;
+                        }
+                        // Heartbeat announcements, stale replies: ignore.
+                        _ => continue,
+                    },
+                    Err(_) => break,
+                }
+            }
+        }
+        if let Some((rtt_ns, offset_ns)) = best {
+            telemetry::emit(
+                courier.party(),
+                EventKind::ClockSync {
+                    peer: p as u32,
+                    offset_ns,
+                    rtt_ns,
+                },
+            );
+        }
+    }
 }
 
 /// Declares `lost` dropped and re-keys the round over the survivors:
@@ -217,6 +289,16 @@ pub fn coordinate_linear<T: Transport>(
     let mut dropped: Vec<PartyId> = Vec::new();
     let mut epoch: u64 = 0;
 
+    // Stamp the stream and estimate per-learner clock offsets — only
+    // when someone is listening: with telemetry off this adds zero
+    // frames, zero waits, zero bytes (probe traffic is never charged to
+    // `metrics` either way; it is observability, not protocol cost).
+    if telemetry::enabled() {
+        let run_id = telemetry::fresh_run_id();
+        telemetry::emit(courier.party(), EventKind::RunInfo { run_id });
+        clock_sync(courier, &alive, run_id);
+    }
+
     for iteration in 0..cfg.max_iter as u64 {
         let round_start = Instant::now();
         telemetry::emit(courier.party(), EventKind::RoundOpen { iteration, epoch });
@@ -267,8 +349,13 @@ pub fn coordinate_linear<T: Transport>(
                 };
                 // Learners announce themselves with a heartbeat to open
                 // the connection (TCP dials lazily on first send);
-                // liveness frames are not part of the round.
-                if matches!(env.msg, Message::Heartbeat { .. }) {
+                // liveness frames — and clock-probe replies straggling
+                // in after the handshake window — are not part of the
+                // round.
+                if matches!(
+                    env.msg,
+                    Message::Heartbeat { .. } | Message::TimeReply { .. }
+                ) {
                     continue;
                 }
                 let frame_len = Frame::encoded_len_of(&env.msg);
@@ -427,6 +514,42 @@ pub fn learn_linear<T: Transport>(
     cfg: &AdmmConfig,
     timing: DistributedTiming,
 ) -> Result<LinearSvm> {
+    learn_linear_inner(courier, learners, data, cfg, timing, None)
+}
+
+/// Fault-injection variant of [`learn_linear`]: behaves correctly for
+/// rounds `0..defect_after`, then goes *silent* — it keeps receiving
+/// (and therefore ACKing) every frame, so the coordinator's broadcasts
+/// still succeed and the dropout can only be detected by the round
+/// deadline in the collect phase, producing the canonical
+/// DeadlineMiss → Dropout → RekeyEpoch sequence on the coordinator's
+/// stream. The tests and the `--defect-after` flag of `ppml-learner`
+/// use this to script that scenario deterministically.
+///
+/// # Errors
+///
+/// The expected exit is [`TrainError::Transport`] with a timeout once
+/// the coordinator has dropped this learner and stopped talking to it;
+/// other errors as [`learn_linear`].
+pub fn learn_linear_with_defect<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    defect_after: u64,
+) -> Result<LinearSvm> {
+    learn_linear_inner(courier, learners, data, cfg, timing, Some(defect_after))
+}
+
+fn learn_linear_inner<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    defect_after: Option<u64>,
+) -> Result<LinearSvm> {
     cfg.validate()?;
     timing.validate()?;
     let party = courier.party();
@@ -445,6 +568,7 @@ pub fn learn_linear<T: Transport>(
     // can re-mask it over the survivor set without recomputing the QP.
     let mut last_raw: Option<(u64, Vec<f64>)> = None;
     let mut deadline = Instant::now() + timing.learner_patience;
+    let mut run_id_seen = false;
 
     loop {
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -462,6 +586,25 @@ pub fn learn_linear<T: Transport>(
             // Liveness noise keeps the connection warm but is no proof
             // the protocol is advancing; it does not refresh patience.
             Message::Heartbeat { .. } => continue,
+            // Clock-offset probe: stamp this stream with the gossiped
+            // run id (once) and echo the local telemetry clock back.
+            // Observability traffic, not protocol progress — patience is
+            // not refreshed, and a failed reply is the coordinator's
+            // problem to time out on.
+            Message::TimeProbe { nonce, run_id } => {
+                if telemetry::enabled() && !run_id_seen {
+                    run_id_seen = true;
+                    telemetry::emit(party, EventKind::RunInfo { run_id });
+                }
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::TimeReply {
+                        nonce,
+                        t_ns: telemetry::now_ns(),
+                    },
+                );
+                continue;
+            }
             Message::Consensus {
                 iteration,
                 z,
@@ -483,6 +626,16 @@ pub fn learn_linear<T: Transport>(
                         "consensus skipped ahead to round {iteration} while expecting \
                          {expected_iter}"
                     )));
+                }
+                if defect_after.is_some_and(|d| iteration >= d) {
+                    // Scripted defection: the round is received (and was
+                    // ACKed by the transport) but no share goes back.
+                    // Keep draining so the link stays warm until the
+                    // coordinator drops us and the patience clock runs
+                    // out.
+                    expected_iter = iteration + 1;
+                    deadline = Instant::now() + timing.learner_patience;
+                    continue;
                 }
                 telemetry::emit(party, EventKind::RoundOpen { iteration, epoch });
                 let round_start = Instant::now();
@@ -867,6 +1020,51 @@ mod tests {
         assert_eq!(*run.finals[0].as_ref().expect("survivor 0"), outcome.model);
         assert!(matches!(run.finals[1], Err(TrainError::Transport(_))));
         assert!(matches!(run.finals[2], Err(TrainError::Transport(_))));
+    }
+
+    #[test]
+    fn scripted_defection_is_dropped_like_a_real_fault() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+        let timing = twitchy();
+
+        // Learner 1 runs `learn_linear_with_defect(.., 2)`: correct for
+        // rounds 0 and 1, then silent-but-ACKing. No network faults at
+        // all — the dropout is entirely scripted, so the coordinator
+        // must detect it via the round deadline and the result must be
+        // bit-identical to losing party 1 at round 2 for real.
+        let m = parts.len();
+        let features = feature_count(&parts).expect("partitions");
+        let hub = LoopbackHub::with_faults(m + 1, NetFaultPlan::none());
+        let mut handles = Vec::new();
+        for (p, part) in parts.iter().enumerate() {
+            let mut courier = Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+            let part = part.clone();
+            handles.push(thread::spawn(move || {
+                if p == 1 {
+                    learn_linear_with_defect(&mut courier, m, &part, &cfg, timing, 2)
+                } else {
+                    learn_linear(&mut courier, m, &part, &cfg, timing)
+                }
+            }));
+        }
+        let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+        let outcome =
+            coordinate_linear(&mut courier, m, features, &cfg, None, timing).expect("survivors");
+        let finals: Vec<Result<LinearSvm>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("learner thread"))
+            .collect();
+
+        assert_eq!(outcome.dropped, vec![1]);
+        let reference = reference_with_dropouts(&parts, &cfg, &[(1, 2)]);
+        assert_eq!(outcome.model, reference);
+        assert_eq!(*finals[0].as_ref().expect("survivor 0"), outcome.model);
+        assert_eq!(*finals[2].as_ref().expect("survivor 2"), outcome.model);
+        // The defector drains until the coordinator goes quiet on it,
+        // then exits on its patience clock.
+        assert!(matches!(finals[1], Err(TrainError::Transport(_))));
     }
 
     #[test]

@@ -213,4 +213,48 @@ fn jsonl_replay_contains_the_dropout_story() {
     assert!(events
         .iter()
         .any(|e| matches!(e.kind, EventKind::FrameRecv { .. })));
+
+    // Trace correlation: the coordinator stamps the stream with a run id
+    // and completes a clock-offset handshake with every learner that
+    // answers probes — the cooperative ones. The lame learner swallows
+    // its probes, so it must have RunInfo from the probe gossip absent
+    // and no ClockSync row either.
+    let run_ids: Vec<(u32, u64)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::RunInfo { run_id } => Some((e.party, run_id)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        run_ids.iter().any(|&(p, _)| p == LEARNERS as u32),
+        "coordinator must stamp the stream with RunInfo"
+    );
+    for &learner in &[0u32, 2] {
+        assert!(
+            run_ids.iter().any(|&(p, _)| p == learner),
+            "learner {learner} must record the gossiped run id"
+        );
+    }
+    assert!(
+        run_ids.windows(2).all(|w| w[0].1 == w[1].1),
+        "every party must agree on one run id: {run_ids:?}"
+    );
+    let synced: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::ClockSync { peer, .. } => Some(peer),
+            _ => None,
+        })
+        .collect();
+    assert!(synced.contains(&0) && synced.contains(&2), "{synced:?}");
+    assert!(
+        !synced.contains(&1),
+        "the lame learner never answers probes, so no offset can exist"
+    );
+    for e in &events {
+        if let EventKind::ClockSync { rtt_ns, .. } = e.kind {
+            assert!(rtt_ns > 0, "a loopback RTT is small but never zero");
+        }
+    }
 }

@@ -181,6 +181,29 @@ pub enum EventKind {
         /// Wall clock the phase took.
         elapsed_ns: u64,
     },
+    /// Identifies the distributed run this stream belongs to. Emitted
+    /// once per process near stream start; `ppml-trace` groups streams
+    /// by it.
+    RunInfo {
+        /// Run identifier shared by every process of one run (the
+        /// coordinator mints it and gossips it over the transport).
+        run_id: u64,
+    },
+    /// Result of one RTT-based clock-offset handshake against a peer.
+    ///
+    /// On the coordinator, `offset_ns` estimates `peer_epoch_clock −
+    /// my_clock` at the probe midpoint: adding it to one of the peer's
+    /// `t_ns` values rebases that timestamp onto the coordinator's
+    /// clock. Scalars only — this is a timing statement, never payload.
+    ClockSync {
+        /// The probed peer.
+        peer: u32,
+        /// Estimated `peer_now_ns − local_now_ns` (signed; process
+        /// epochs are unrelated so this can be large either way).
+        offset_ns: i64,
+        /// Round-trip time of the winning (minimum-RTT) probe.
+        rtt_ns: u64,
+    },
 }
 
 /// Phase labels [`Event::from_json`] can map back to `&'static str`.
@@ -201,25 +224,43 @@ fn intern_phase(s: &str) -> &'static str {
 }
 
 /// Error from [`Event::from_json`].
+///
+/// [`ParseError::UnknownKind`] is split out so forward-compatible
+/// readers (`ppml-trace`) can skip-and-count lines written by a newer
+/// build instead of aborting on them; every other defect is
+/// [`ParseError::Malformed`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError(pub String);
+pub enum ParseError {
+    /// The line is valid JSON of the expected shape but names an event
+    /// `kind` this build does not know. Carries the unknown kind label.
+    UnknownKind(String),
+    /// The line is structurally broken: not a flat JSON object, missing
+    /// or mistyped fields, bad numbers.
+    Malformed(String),
+}
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "telemetry parse error: {}", self.0)
+        match self {
+            ParseError::UnknownKind(kind) => {
+                write!(f, "telemetry parse error: unknown kind {kind:?}")
+            }
+            ParseError::Malformed(msg) => write!(f, "telemetry parse error: {msg}"),
+        }
     }
 }
 
 impl std::error::Error for ParseError {}
 
 fn bad(msg: impl Into<String>) -> ParseError {
-    ParseError(msg.into())
+    ParseError::Malformed(msg.into())
 }
 
 /// A flat JSON scalar — all this format ever nests.
 #[derive(Debug, Clone, PartialEq)]
 enum Val {
     U(u64),
+    I(i64),
     F(f64),
     B(bool),
     S(String),
@@ -378,6 +419,20 @@ impl Event {
                 let _ = write!(out, ",\"phase\":\"{phase}\"");
                 u(&mut out, "elapsed_ns", elapsed_ns);
             }
+            EventKind::RunInfo { run_id } => {
+                kind(&mut out, "run_info");
+                u(&mut out, "run_id", run_id);
+            }
+            EventKind::ClockSync {
+                peer,
+                offset_ns,
+                rtt_ns,
+            } => {
+                kind(&mut out, "clock_sync");
+                u(&mut out, "peer", peer.into());
+                let _ = write!(out, ",\"offset_ns\":{offset_ns}");
+                u(&mut out, "rtt_ns", rtt_ns);
+            }
         }
         out.push('}');
         out
@@ -410,9 +465,17 @@ impl Event {
         let get_f = |key: &str| -> Result<f64, ParseError> {
             match get(key)? {
                 Val::U(v) => Ok(*v as f64),
+                Val::I(v) => Ok(*v as f64),
                 Val::F(v) => Ok(*v),
                 Val::Null => Ok(f64::NAN),
                 other => Err(bad(format!("field {key} is not a number: {other:?}"))),
+            }
+        };
+        let get_i = |key: &str| -> Result<i64, ParseError> {
+            match get(key)? {
+                Val::U(v) => i64::try_from(*v).map_err(|_| bad(format!("field {key} exceeds i64"))),
+                Val::I(v) => Ok(*v),
+                other => Err(bad(format!("field {key} is not an integer: {other:?}"))),
             }
         };
         let get_b = |key: &str| -> Result<bool, ParseError> {
@@ -512,7 +575,15 @@ impl Event {
                 phase: intern_phase(get_s("phase")?),
                 elapsed_ns: get_u("elapsed_ns")?,
             },
-            other => return Err(bad(format!("unknown kind {other:?}"))),
+            "run_info" => EventKind::RunInfo {
+                run_id: get_u("run_id")?,
+            },
+            "clock_sync" => EventKind::ClockSync {
+                peer: get_u32("peer")?,
+                offset_ns: get_i("offset_ns")?,
+                rtt_ns: get_u("rtt_ns")?,
+            },
+            other => return Err(ParseError::UnknownKind(other.to_string())),
         };
         Ok(Event {
             t_ns: get_u("t_ns")?,
@@ -584,6 +655,9 @@ fn parse_scalar(s: &str) -> Result<(Val, &str), ParseError> {
     if !num.contains(['.', 'e', 'E']) {
         if let Ok(v) = num.parse::<u64>() {
             return Ok((Val::U(v), &s[end..]));
+        }
+        if let Ok(v) = num.parse::<i64>() {
+            return Ok((Val::I(v), &s[end..]));
         }
     }
     let v: f64 = num
@@ -680,6 +754,19 @@ mod tests {
                 phase: "collect",
                 elapsed_ns: 987_654_321,
             },
+            EventKind::RunInfo {
+                run_id: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            EventKind::ClockSync {
+                peer: 2,
+                offset_ns: -1_234_567_890,
+                rtt_ns: 250_000,
+            },
+            EventKind::ClockSync {
+                peer: 0,
+                offset_ns: i64::MAX,
+                rtt_ns: 1,
+            },
         ];
         kinds
             .into_iter()
@@ -738,12 +825,93 @@ mod tests {
             "",
             "not json",
             "{\"t_ns\":1}",
-            "{\"t_ns\":1,\"party\":0,\"kind\":\"no_such_kind\"}",
             "{\"t_ns\":1,\"party\":0,\"kind\":\"dropout\"}",
             "{\"t_ns\":1,,}",
         ] {
-            assert!(Event::from_json(line).is_err(), "accepted {line:?}");
+            assert!(
+                matches!(Event::from_json(line), Err(ParseError::Malformed(_))),
+                "accepted or misclassified {line:?}"
+            );
         }
+    }
+
+    #[test]
+    fn unknown_kind_is_distinguishable_from_malformed() {
+        let line = "{\"t_ns\":1,\"party\":0,\"kind\":\"quantum_teleport\",\"qubits\":3}";
+        match Event::from_json(line) {
+            Err(ParseError::UnknownKind(kind)) => assert_eq!(kind, "quantum_teleport"),
+            other => panic!("expected UnknownKind, got {other:?}"),
+        }
+        // A known kind with broken fields stays Malformed — the split is
+        // only about forward compatibility, not error forgiveness.
+        let broken = "{\"t_ns\":1,\"party\":0,\"kind\":\"dropout\",\"dropped\":\"x\"}";
+        assert!(matches!(
+            Event::from_json(broken),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn parser_survives_adversarial_lines() {
+        // None of these may panic; all must return an error (or, for the
+        // in-range ones, a value) without slicing mid-codepoint.
+        for adversarial in [
+            // Truncated mid-object / mid-string / mid-number.
+            "{\"t_ns\":1,\"party\":0,\"kind\":\"frame_recv\",\"from\":1,\"bytes\":",
+            "{\"t_ns\":1,\"party\":0,\"kind\":\"frame_re",
+            "{\"t_ns\":1,\"party\":0,\"kind",
+            "{",
+            "}",
+            // Multi-byte UTF-8 inside keys and values (parser is byte-
+            // oriented; must not panic on char boundaries).
+            "{\"t_ns\":1,\"party\":0,\"kind\":\"дропаут\"}",
+            "{\"t_ёns\":1,\"party\":0,\"kind\":\"dropout\"}",
+            "{\"t_ns\":1,\"party\":0,\"kind\":\"phase_elapsed\",\"phase\":\"蛙🐸\",\"elapsed_ns\":1}",
+            // Absurd numerics: overflow u64, overflow i64, huge exponents,
+            // bare signs, leading-plus.
+            "{\"t_ns\":99999999999999999999999999,\"party\":0,\"kind\":\"worker_up\",\"node\":1}",
+            "{\"t_ns\":1,\"party\":-3,\"kind\":\"worker_up\",\"node\":1}",
+            "{\"t_ns\":1,\"party\":0,\"kind\":\"clock_sync\",\"peer\":1,\
+             \"offset_ns\":-99999999999999999999,\"rtt_ns\":1}",
+            "{\"t_ns\":1e400,\"party\":0,\"kind\":\"worker_up\",\"node\":1}",
+            "{\"t_ns\":+,\"party\":0,\"kind\":\"worker_up\",\"node\":1}",
+            "{\"t_ns\":1,\"party\":0,\"kind\":\"frame_recv\",\"from\":4294967296,\"bytes\":1}",
+            // Structural noise.
+            "[1,2,3]",
+            "{\"a\"\"b\":1}",
+            "{\"a\":}",
+            "{\"t_ns\":1,\"party\":0,\"kind\":\"worker_up\",\"node\":1}}",
+        ] {
+            // from_json must be total: Ok or Err, never a panic.
+            let _ = Event::from_json(adversarial);
+        }
+        // A couple of those are actually malformed in a way we want to
+        // classify precisely.
+        assert!(matches!(
+            Event::from_json("{\"t_ns\":1,\"party\":0,\"kind\":\"дропаут\"}"),
+            Err(ParseError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            Event::from_json(
+                "{\"t_ns\":1,\"party\":0,\"kind\":\"frame_recv\",\"from\":4294967296,\"bytes\":1}"
+            ),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn negative_integers_parse_via_signed_path() {
+        let line = "{\"t_ns\":9,\"party\":3,\"kind\":\"clock_sync\",\
+                    \"peer\":1,\"offset_ns\":-42,\"rtt_ns\":7}";
+        let event = Event::from_json(line).expect("parseable");
+        assert_eq!(
+            event.kind,
+            EventKind::ClockSync {
+                peer: 1,
+                offset_ns: -42,
+                rtt_ns: 7
+            }
+        );
     }
 
     #[test]

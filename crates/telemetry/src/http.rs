@@ -1,0 +1,282 @@
+//! A hand-rolled, minimal HTTP/1.1 exposition endpoint (ISSUE 4
+//! tentpole, piece 2). Zero external crates — the workspace owns its TCP
+//! code, so it owns its scrape endpoint too.
+//!
+//! The server answers exactly one question: `GET /metrics` → the
+//! [`MetricsRegistry`] rendered as Prometheus text format. It never
+//! reads a request body, never keeps a connection alive, and the only
+//! bytes it can serve are [`MetricsRegistry::render`] output — registry
+//! scalars (sizes, timings, counts, epochs), which is the §V privacy
+//! argument for exposing it on a socket at all: shares, masks and model
+//! coordinates are not representable upstream in the event vocabulary,
+//! so they cannot transit this endpoint.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::MetricsRegistry;
+
+/// Per-connection read/write budget. A scraper that cannot finish a
+/// request/response cycle in this window is cut off.
+const CONN_TIMEOUT: Duration = Duration::from_secs(2);
+/// Accept-poll interval while idle.
+const POLL: Duration = Duration::from_millis(25);
+/// Longest request head we will buffer before answering 431.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// A background thread serving `GET /metrics` over HTTP/1.1 from a
+/// shared [`MetricsRegistry`]. Dropping the handle stops the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept loop in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn serve(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("ppml-metrics-http".into())
+            .spawn(move || accept_loop(listener, registry, stop_flag))
+            .expect("spawn metrics http thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One scraper at a time: answering is a render + a write,
+                // microseconds — no need for per-connection threads.
+                let _ = answer(stream, &registry);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Reads one request head and writes one response. Any IO failure just
+/// drops the connection — a broken scraper must never disturb training.
+fn answer(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(CONN_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONN_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    let complete = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break false,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break true;
+                }
+                if head.len() > MAX_HEAD {
+                    return respond(&mut stream, "431 Request Header Fields Too Large", "");
+                }
+            }
+            Err(_) => break false,
+        }
+    };
+    if !complete {
+        return Ok(());
+    }
+
+    let request_line = head
+        .split(|&b| b == b'\n')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).trim().to_string())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "");
+    }
+    // Accept a query string; scrapers commonly append one.
+    let bare = path.split('?').next().unwrap_or(path);
+    match bare {
+        "/metrics" | "/" => respond(&mut stream, "200 OK", &registry.render()),
+        _ => respond(&mut stream, "404 Not Found", ""),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Fetches `http://{addr}/metrics` and returns the response body — the
+/// tiny client the integration tests, the example's self-scrape and CI
+/// all share. `addr` is a bare `host:port`.
+///
+/// # Errors
+///
+/// IO errors from the socket, or [`ErrorKind::InvalidData`] when the
+/// response is not a 200 or has no body separator.
+pub fn scrape(addr: &str) -> std::io::Result<String> {
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, CONN_TIMEOUT)?;
+    stream.set_read_timeout(Some(CONN_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONN_TIMEOUT))?;
+    let request = format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status_ok = response.starts_with("HTTP/1.1 200") || response.starts_with("HTTP/1.0 200");
+    if !status_ok {
+        let line = response.lines().next().unwrap_or("<empty>").to_string();
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("scrape failed: {line}"),
+        ));
+    }
+    let body = response
+        .split_once("\r\n\r\n")
+        .or_else(|| response.split_once("\n\n"))
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "no header/body separator"))?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn served_registry() -> (MetricsServer, Arc<MetricsRegistry>) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::serve("127.0.0.1:0", registry.clone()).expect("bind");
+        (server, registry)
+    }
+
+    #[test]
+    fn scrape_round_trips_the_render() {
+        let (server, registry) = served_registry();
+        registry.record(Event {
+            t_ns: 0,
+            party: 0,
+            kind: EventKind::FrameSent {
+                to: 1,
+                bytes: 64,
+                retransmit: false,
+            },
+        });
+        let body = scrape(&server.local_addr().to_string()).expect("scrape");
+        assert!(body.contains("ppml_frames_sent_total 1"), "{body}");
+        // A second scrape sees updated counters (fresh connection).
+        registry.record(Event {
+            t_ns: 1,
+            party: 0,
+            kind: EventKind::FrameSent {
+                to: 1,
+                bytes: 64,
+                retransmit: false,
+            },
+        });
+        let body = scrape(&server.local_addr().to_string()).expect("scrape 2");
+        assert!(body.contains("ppml_frames_sent_total 2"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_paths_and_methods_are_rejected() {
+        let (server, _registry) = served_registry();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /secrets HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_open_connection_does_not_wedge_the_server() {
+        let (server, registry) = served_registry();
+        let addr = server.local_addr();
+        // Connect and say nothing: the per-connection read timeout must
+        // release the accept loop for the next scraper.
+        let _mute = TcpStream::connect(addr).expect("connect");
+        registry.record(Event {
+            t_ns: 0,
+            party: 0,
+            kind: EventKind::WorkerUp { node: 1 },
+        });
+        // The mute peer occupies the single-threaded accept loop for up
+        // to CONN_TIMEOUT, so allow the scrape a few attempts.
+        let body = (0..5)
+            .find_map(|_| scrape(&addr.to_string()).ok())
+            .expect("scrape after mute peer");
+        assert!(body.contains("ppml_workers 1"), "{body}");
+        server.shutdown();
+    }
+}

@@ -54,9 +54,13 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod http;
+pub mod metrics;
 pub mod sinks;
 
 pub use event::{Event, EventKind, ParseError, NO_PARTY, PHASES};
+pub use http::MetricsServer;
+pub use metrics::{MetricsRegistry, MetricsSink};
 pub use sinks::{FanoutSink, JsonlSink, RingSink, Sink, SummarySink};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,6 +90,24 @@ pub fn enabled() -> bool {
 /// Monotonic nanoseconds since the process telemetry epoch.
 pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Mints a run identifier for [`EventKind::RunInfo`]: wall clock ⊕ pid,
+/// finalized through SplitMix64 so distinct runs collide with
+/// negligible probability. Never returns 0 (0 means "unknown" in the
+/// metrics registry).
+pub fn fresh_run_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+    let mut z = nanos ^ (u64::from(std::process::id()) << 32);
+    // SplitMix64 finalization round.
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z.max(1)
 }
 
 /// Records an event if a sink is installed; otherwise a single relaxed

@@ -1,0 +1,748 @@
+//! Fixed-capacity metrics registry and the [`MetricsSink`] that feeds it
+//! (ISSUE 4 tentpole, piece 1).
+//!
+//! Everything here is a plain atomic: counters, gauges, and log2-bucketed
+//! histograms with a *fixed* 65-slot bucket array. Recording an event
+//! touches a handful of relaxed atomics and never allocates, so the sink
+//! obeys the same "free when off, cheap when on" discipline as
+//! [`crate::emit`] itself. The registry holds only the scalars the event
+//! vocabulary already exposes — sizes, timings, counts, epochs, aggregate
+//! residual norms — so rendering it (see [`MetricsSink::render`]) cannot
+//! leak anything the §V threat model protects: shares, masks and model
+//! coordinates are unrepresentable upstream of it.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::event::{Event, EventKind, PHASES};
+use crate::sinks::Sink;
+
+/// Number of histogram buckets: one for zero, one per power-of-two
+/// magnitude of a `u64` (the last holds `2^63 ..= u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Maps a value to its bucket: 0 for 0, else `64 − leading_zeros(v)`,
+/// i.e. bucket `i ≥ 1` holds `2^(i−1) ..= 2^i − 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the Prometheus `le` label value).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed last-value gauge.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `v` (may be negative).
+    #[inline]
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An unsigned last-value gauge (run ids, epochs — values that do not
+/// fit a meaningful sign).
+#[derive(Default)]
+pub struct UintGauge(AtomicU64);
+
+impl UintGauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge for aggregate floating-point diagnostics (stored
+/// as raw bits in an `AtomicU64`).
+pub struct FloatGauge(AtomicU64);
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        FloatGauge(AtomicU64::new(f64::NAN.to_bits()))
+    }
+}
+
+impl FloatGauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (`NaN` until first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucketed histogram over `u64` observations: fixed 65-slot
+/// bucket array, running count and sum, all relaxed atomics — observing
+/// is a few `fetch_add`s and never allocates.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow, like Prometheus
+    /// counters).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Observations landed in bucket `i` (non-cumulative).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    fn highest_bucket(&self) -> Option<usize> {
+        (0..HISTOGRAM_BUCKETS).rev().find(|&i| self.bucket(i) > 0)
+    }
+}
+
+/// The fixed field set populated from the [`EventKind`] stream. Every
+/// member is named after the Prometheus family it renders as (minus the
+/// `ppml_` prefix).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    // ---- wire
+    /// Frames put on the wire ([`EventKind::FrameSent`]).
+    pub frames_sent_total: Counter,
+    /// Well-formed frames received ([`EventKind::FrameRecv`]).
+    pub frames_recv_total: Counter,
+    /// Undecodable byte runs discarded ([`EventKind::FrameRejected`]).
+    pub frames_rejected_total: Counter,
+    /// Encoded bytes sent (per-attempt, retransmits included).
+    pub bytes_sent_total: Counter,
+    /// Encoded bytes received.
+    pub bytes_recv_total: Counter,
+    /// ARQ retransmissions ([`EventKind::ArqRetransmit`]).
+    pub retransmits_total: Counter,
+    /// Duplicate deliveries dropped ([`EventKind::DedupDrop`]).
+    pub dedup_drops_total: Counter,
+    /// Sends that exhausted their retry budget.
+    pub send_timeouts_total: Counter,
+    /// Encoded frame sizes, sent and received.
+    pub frame_bytes: Histogram,
+    /// ARQ retransmission attempt numbers (1-based).
+    pub retransmit_attempts: Histogram,
+    // ---- protocol rounds
+    /// Rounds opened.
+    pub rounds_opened_total: Counter,
+    /// Rounds closed.
+    pub rounds_closed_total: Counter,
+    /// Round open→close wall clock.
+    pub round_latency_ns: Histogram,
+    /// Collection deadlines that expired with shares missing.
+    pub deadline_misses_total: Counter,
+    /// Learners declared dropped.
+    pub dropouts_total: Counter,
+    /// Secure-sum re-keys performed.
+    pub rekeys_total: Counter,
+    /// Re-key epoch currently in force.
+    pub rekey_epoch: UintGauge,
+    /// Survivor count after the last re-key.
+    pub survivors: Gauge,
+    /// Highest round number seen (open or close).
+    pub last_round: UintGauge,
+    // ---- cluster
+    /// Map-task attempts.
+    pub task_attempts_total: Counter,
+    /// Data-local map-task attempts.
+    pub local_tasks_total: Counter,
+    /// Cluster workers currently up (up minus down).
+    pub workers: Gauge,
+    /// Framed broadcast bytes charged.
+    pub broadcast_bytes_total: Counter,
+    /// Framed shuffle bytes charged.
+    pub shuffle_bytes_total: Counter,
+    // ---- trainer diagnostics (aggregate norms only — see module docs)
+    /// ADMM iterations observed.
+    pub admm_iterations_total: Counter,
+    /// Latest primal residual `Σ_m ‖x_m − z‖²`.
+    pub admm_primal_sq: FloatGauge,
+    /// Latest dual residual `ρ²·M·‖Δz‖²`.
+    pub admm_dual_sq: FloatGauge,
+    /// Latest consensus movement `‖Δz‖²`.
+    pub admm_z_delta: FloatGauge,
+    /// Latest primal objective (NaN when the trainer does not report it).
+    pub admm_objective: FloatGauge,
+    /// Consensus movement per iteration, in nano-units (`⌊‖Δz‖²·1e9⌋`),
+    /// log2-bucketed so residual decay is visible from a scrape alone.
+    pub admm_z_delta_nanos: Histogram,
+    // ---- phases
+    /// Per-phase wall clock, indexed like [`PHASES`].
+    pub phase_ns: [Histogram; PHASES.len()],
+    // ---- identity & correlation
+    /// Events recorded by this registry.
+    pub events_total: Counter,
+    /// Run id gossiped by the coordinator (0 until known).
+    pub run_id: UintGauge,
+    /// Protocol party of this process (−1 until set by the host binary).
+    pub party: Gauge,
+    /// Clock-offset handshakes completed.
+    pub clock_syncs_total: Counter,
+    /// Last estimated peer clock offset, nanoseconds.
+    pub clock_offset_ns: Gauge,
+    /// RTT of the winning probe per handshake.
+    pub clock_sync_rtt_ns: Histogram,
+}
+
+impl MetricsRegistry {
+    /// An empty registry; `party` starts at −1 and float gauges at NaN.
+    pub fn new() -> Self {
+        let registry = MetricsRegistry::default();
+        registry.party.set(-1);
+        registry
+    }
+
+    fn phase_slot(&self, phase: &str) -> &Histogram {
+        let idx = PHASES
+            .iter()
+            .position(|&p| p == phase)
+            .unwrap_or(PHASES.len() - 1);
+        &self.phase_ns[idx]
+    }
+
+    /// Folds one event into the registry. A fixed number of relaxed
+    /// atomic operations; no locks, no allocation.
+    pub fn record(&self, event: Event) {
+        self.events_total.inc();
+        match event.kind {
+            EventKind::FrameSent {
+                bytes, retransmit, ..
+            } => {
+                self.frames_sent_total.inc();
+                self.bytes_sent_total.add(bytes);
+                self.frame_bytes.observe(bytes);
+                let _ = retransmit; // per-attempt detail lives in retransmits_total
+            }
+            EventKind::FrameRecv { bytes, .. } => {
+                self.frames_recv_total.inc();
+                self.bytes_recv_total.add(bytes);
+                self.frame_bytes.observe(bytes);
+            }
+            EventKind::FrameRejected { .. } => self.frames_rejected_total.inc(),
+            EventKind::SendTimeout { .. } => self.send_timeouts_total.inc(),
+            EventKind::ArqRetransmit { attempt, .. } => {
+                self.retransmits_total.inc();
+                self.retransmit_attempts.observe(attempt.into());
+            }
+            EventKind::DedupDrop { .. } => self.dedup_drops_total.inc(),
+            EventKind::RoundOpen { iteration, .. } => {
+                self.rounds_opened_total.inc();
+                self.last_round.set(iteration);
+            }
+            EventKind::RoundClose {
+                iteration,
+                elapsed_ns,
+                ..
+            } => {
+                self.rounds_closed_total.inc();
+                self.round_latency_ns.observe(elapsed_ns);
+                self.last_round.set(iteration);
+            }
+            EventKind::DeadlineMiss { .. } => self.deadline_misses_total.inc(),
+            EventKind::Dropout { .. } => self.dropouts_total.inc(),
+            EventKind::RekeyEpoch {
+                epoch, survivors, ..
+            } => {
+                self.rekeys_total.inc();
+                self.rekey_epoch.set(epoch);
+                self.survivors.set(survivors.into());
+            }
+            EventKind::TaskAttempt { local, .. } => {
+                self.task_attempts_total.inc();
+                if local {
+                    self.local_tasks_total.inc();
+                }
+            }
+            EventKind::WorkerUp { .. } => self.workers.add(1),
+            EventKind::WorkerDown { .. } => self.workers.add(-1),
+            EventKind::BroadcastBytes { bytes, .. } => self.broadcast_bytes_total.add(bytes),
+            EventKind::ShuffleBytes { bytes, .. } => self.shuffle_bytes_total.add(bytes),
+            EventKind::AdmmIteration {
+                primal_sq,
+                dual_sq,
+                z_delta,
+                objective,
+                ..
+            } => {
+                self.admm_iterations_total.inc();
+                self.admm_primal_sq.set(primal_sq);
+                self.admm_dual_sq.set(dual_sq);
+                self.admm_z_delta.set(z_delta);
+                if let Some(obj) = objective {
+                    self.admm_objective.set(obj);
+                }
+                if z_delta.is_finite() && z_delta >= 0.0 {
+                    // Saturating f64→u64; ⌊‖Δz‖²·1e9⌋ keeps sub-unit decay
+                    // visible in integer buckets.
+                    self.admm_z_delta_nanos.observe((z_delta * 1e9) as u64);
+                }
+            }
+            EventKind::PhaseElapsed { phase, elapsed_ns } => {
+                self.phase_slot(phase).observe(elapsed_ns);
+            }
+            EventKind::RunInfo { run_id } => self.run_id.set(run_id),
+            EventKind::ClockSync {
+                offset_ns, rtt_ns, ..
+            } => {
+                self.clock_syncs_total.inc();
+                self.clock_offset_ns.set(offset_ns);
+                self.clock_sync_rtt_ns.observe(rtt_ns);
+            }
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`). Renders registry scalars only —
+    /// nothing else is reachable from here, which is the privacy
+    /// argument for serving this over HTTP (see DESIGN.md §9).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let c = |out: &mut String, name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE ppml_{name} counter\nppml_{name} {v}");
+        };
+        let g = |out: &mut String, name: &str, v: i64| {
+            let _ = writeln!(out, "# TYPE ppml_{name} gauge\nppml_{name} {v}");
+        };
+        let gu = |out: &mut String, name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE ppml_{name} gauge\nppml_{name} {v}");
+        };
+        let gf = |out: &mut String, name: &str, v: f64| {
+            let _ = writeln!(out, "# TYPE ppml_{name} gauge\nppml_{name} {v}");
+        };
+        let h = |out: &mut String, name: &str, labels: &str, hist: &Histogram| {
+            let _ = writeln!(out, "# TYPE ppml_{name} histogram");
+            let sep = if labels.is_empty() { "" } else { "," };
+            let mut cumulative = 0u64;
+            if let Some(top) = hist.highest_bucket() {
+                for i in 0..=top {
+                    cumulative += hist.bucket(i);
+                    let le = bucket_upper_bound(i);
+                    let _ = writeln!(
+                        out,
+                        "ppml_{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "ppml_{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+                hist.count()
+            );
+            let _ = writeln!(out, "ppml_{name}_sum{{{labels}}} {}", hist.sum());
+            let _ = writeln!(out, "ppml_{name}_count{{{labels}}} {}", hist.count());
+        };
+
+        gu(&mut out, "run_id", self.run_id.get());
+        g(&mut out, "party", self.party.get());
+        c(&mut out, "events_total", self.events_total.get());
+
+        c(&mut out, "frames_sent_total", self.frames_sent_total.get());
+        c(&mut out, "frames_recv_total", self.frames_recv_total.get());
+        c(
+            &mut out,
+            "frames_rejected_total",
+            self.frames_rejected_total.get(),
+        );
+        c(&mut out, "bytes_sent_total", self.bytes_sent_total.get());
+        c(&mut out, "bytes_recv_total", self.bytes_recv_total.get());
+        c(&mut out, "retransmits_total", self.retransmits_total.get());
+        c(&mut out, "dedup_drops_total", self.dedup_drops_total.get());
+        c(
+            &mut out,
+            "send_timeouts_total",
+            self.send_timeouts_total.get(),
+        );
+        h(&mut out, "frame_bytes", "", &self.frame_bytes);
+        h(
+            &mut out,
+            "retransmit_attempts",
+            "",
+            &self.retransmit_attempts,
+        );
+
+        c(
+            &mut out,
+            "rounds_opened_total",
+            self.rounds_opened_total.get(),
+        );
+        c(
+            &mut out,
+            "rounds_closed_total",
+            self.rounds_closed_total.get(),
+        );
+        h(&mut out, "round_latency_ns", "", &self.round_latency_ns);
+        c(
+            &mut out,
+            "deadline_misses_total",
+            self.deadline_misses_total.get(),
+        );
+        c(&mut out, "dropouts_total", self.dropouts_total.get());
+        c(&mut out, "rekeys_total", self.rekeys_total.get());
+        gu(&mut out, "rekey_epoch", self.rekey_epoch.get());
+        g(&mut out, "survivors", self.survivors.get());
+        gu(&mut out, "last_round", self.last_round.get());
+
+        c(
+            &mut out,
+            "task_attempts_total",
+            self.task_attempts_total.get(),
+        );
+        c(&mut out, "local_tasks_total", self.local_tasks_total.get());
+        g(&mut out, "workers", self.workers.get());
+        c(
+            &mut out,
+            "broadcast_bytes_total",
+            self.broadcast_bytes_total.get(),
+        );
+        c(
+            &mut out,
+            "shuffle_bytes_total",
+            self.shuffle_bytes_total.get(),
+        );
+
+        c(
+            &mut out,
+            "admm_iterations_total",
+            self.admm_iterations_total.get(),
+        );
+        gf(&mut out, "admm_primal_sq", self.admm_primal_sq.get());
+        gf(&mut out, "admm_dual_sq", self.admm_dual_sq.get());
+        gf(&mut out, "admm_z_delta", self.admm_z_delta.get());
+        gf(&mut out, "admm_objective", self.admm_objective.get());
+        h(&mut out, "admm_z_delta_nanos", "", &self.admm_z_delta_nanos);
+
+        let _ = writeln!(out, "# TYPE ppml_phase_ns histogram");
+        for (idx, phase) in PHASES.iter().enumerate() {
+            let hist = &self.phase_ns[idx];
+            if hist.count() == 0 {
+                continue;
+            }
+            let labels = format!("phase=\"{phase}\"");
+            let mut cumulative = 0u64;
+            if let Some(top) = hist.highest_bucket() {
+                for i in 0..=top {
+                    cumulative += hist.bucket(i);
+                    let le = bucket_upper_bound(i);
+                    let _ = writeln!(
+                        out,
+                        "ppml_phase_ns_bucket{{{labels},le=\"{le}\"}} {cumulative}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "ppml_phase_ns_bucket{{{labels},le=\"+Inf\"}} {}",
+                hist.count()
+            );
+            let _ = writeln!(out, "ppml_phase_ns_sum{{{labels}}} {}", hist.sum());
+            let _ = writeln!(out, "ppml_phase_ns_count{{{labels}}} {}", hist.count());
+        }
+
+        c(&mut out, "clock_syncs_total", self.clock_syncs_total.get());
+        g(&mut out, "clock_offset_ns", self.clock_offset_ns.get());
+        h(&mut out, "clock_sync_rtt_ns", "", &self.clock_sync_rtt_ns);
+
+        out
+    }
+}
+
+/// A [`Sink`] folding every event into a shared [`MetricsRegistry`] —
+/// install it (alone or in a fanout) and hand the same `Arc` to the
+/// exposition server.
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+}
+
+impl MetricsSink {
+    /// A sink over a fresh registry.
+    pub fn new() -> Arc<Self> {
+        MetricsSink::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// A sink over an existing registry (to share with a server).
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Arc<Self> {
+        Arc::new(MetricsSink { registry })
+    }
+
+    /// The registry this sink populates.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Renders the registry — see [`MetricsRegistry::render`].
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+impl Sink for MetricsSink {
+    fn record(&self, event: Event) {
+        self.registry.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_PARTY;
+
+    fn event(kind: EventKind) -> Event {
+        Event {
+            t_ns: 1,
+            party: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_at_zero_powers_of_two_and_max() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // Each power of two opens a new bucket; its predecessor closes one.
+        for k in 1..64 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k + 1, "2^{k}");
+            assert_eq!(bucket_index(v - 1), k, "2^{k} - 1");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Consistency: every value is ≤ its bucket's upper bound and >
+        // the previous bucket's.
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "{v}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_land_in_expected_buckets() {
+        let hist = Histogram::default();
+        for v in [0u64, 1, 2, 3, 8, u64::MAX] {
+            hist.observe(v);
+        }
+        assert_eq!(hist.count(), 6);
+        assert_eq!(
+            hist.sum(),
+            0u64.wrapping_add(1 + 2 + 3 + 8).wrapping_add(u64::MAX)
+        );
+        assert_eq!(hist.bucket(0), 1); // 0
+        assert_eq!(hist.bucket(1), 1); // 1
+        assert_eq!(hist.bucket(2), 2); // 2, 3
+        assert_eq!(hist.bucket(4), 1); // 8
+        assert_eq!(hist.bucket(64), 1); // u64::MAX
+        assert_eq!(hist.highest_bucket(), Some(64));
+    }
+
+    #[test]
+    fn registry_folds_the_event_stream() {
+        let reg = MetricsRegistry::new();
+        reg.record(event(EventKind::FrameSent {
+            to: 1,
+            bytes: 100,
+            retransmit: false,
+        }));
+        reg.record(event(EventKind::FrameRecv { from: 1, bytes: 50 }));
+        reg.record(event(EventKind::RoundOpen {
+            iteration: 0,
+            epoch: 0,
+        }));
+        reg.record(event(EventKind::RoundClose {
+            iteration: 0,
+            epoch: 0,
+            shares: 3,
+            elapsed_ns: 5_000,
+        }));
+        reg.record(event(EventKind::ArqRetransmit {
+            to: 2,
+            seq: 9,
+            attempt: 3,
+        }));
+        reg.record(event(EventKind::RekeyEpoch {
+            iteration: 1,
+            epoch: 1,
+            survivors: 2,
+        }));
+        reg.record(event(EventKind::RunInfo { run_id: 77 }));
+        reg.record(event(EventKind::ClockSync {
+            peer: 1,
+            offset_ns: -40,
+            rtt_ns: 80,
+        }));
+        assert_eq!(reg.frames_sent_total.get(), 1);
+        assert_eq!(reg.frames_recv_total.get(), 1);
+        assert_eq!(reg.bytes_sent_total.get(), 100);
+        assert_eq!(reg.bytes_recv_total.get(), 50);
+        assert_eq!(reg.frame_bytes.count(), 2);
+        assert_eq!(reg.rounds_opened_total.get(), 1);
+        assert_eq!(reg.rounds_closed_total.get(), 1);
+        assert_eq!(reg.round_latency_ns.count(), 1);
+        assert_eq!(reg.retransmits_total.get(), 1);
+        assert_eq!(reg.retransmit_attempts.bucket(bucket_index(3)), 1);
+        assert_eq!(reg.rekey_epoch.get(), 1);
+        assert_eq!(reg.survivors.get(), 2);
+        assert_eq!(reg.run_id.get(), 77);
+        assert_eq!(reg.clock_offset_ns.get(), -40);
+        assert_eq!(reg.events_total.get(), 8);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let reg = MetricsRegistry::new();
+        reg.party.set(3);
+        reg.record(event(EventKind::FrameSent {
+            to: 1,
+            bytes: 100,
+            retransmit: false,
+        }));
+        reg.record(event(EventKind::PhaseElapsed {
+            phase: "collect",
+            elapsed_ns: 1_000,
+        }));
+        let text = reg.render();
+        assert!(
+            text.contains("# TYPE ppml_frames_sent_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("ppml_frames_sent_total 1"), "{text}");
+        assert!(text.contains("ppml_party 3"), "{text}");
+        // 100 lands in bucket 7 (le 127); the cumulative line must exist.
+        assert!(
+            text.contains("ppml_frame_bytes_bucket{le=\"127\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ppml_frame_bytes_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ppml_frame_bytes_sum{} 100"), "{text}");
+        assert!(
+            text.contains("ppml_phase_ns_bucket{phase=\"collect\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        // Empty phases are not rendered.
+        assert!(!text.contains("phase=\"map\""), "{text}");
+        // Every line is either a comment or `name{...} value` / `name value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ppml_") || line.starts_with("ppml_"),
+                "odd line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_phase_labels_fold_into_other() {
+        let reg = MetricsRegistry::new();
+        reg.record(Event {
+            t_ns: 0,
+            party: NO_PARTY,
+            kind: EventKind::PhaseElapsed {
+                phase: "never-registered",
+                elapsed_ns: 10,
+            },
+        });
+        assert_eq!(reg.phase_slot("other").count(), 1);
+    }
+
+    #[test]
+    fn metrics_sink_shares_its_registry() {
+        let sink = MetricsSink::new();
+        let registry = sink.registry().clone();
+        sink.record(event(EventKind::Dropout {
+            party: 1,
+            iteration: 4,
+        }));
+        assert_eq!(registry.dropouts_total.get(), 1);
+        assert!(sink.render().contains("ppml_dropouts_total 1"));
+    }
+}

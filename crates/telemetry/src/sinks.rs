@@ -293,6 +293,7 @@ impl Sink for SummarySink {
                 slot.0 += 1;
                 slot.1 += elapsed_ns;
             }
+            EventKind::RunInfo { .. } | EventKind::ClockSync { .. } => {}
         }
     }
 }

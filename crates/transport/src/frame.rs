@@ -155,6 +155,25 @@ pub enum Message {
     },
     /// Orderly teardown.
     Shutdown,
+    /// Clock-offset probe (coordinator → learner): the receiver answers
+    /// with [`Message::TimeReply`] echoing `nonce` and its own telemetry
+    /// clock. `run_id` doubles as the run-identity gossip that stamps
+    /// every party's telemetry stream. Additive in wire version 2 — an
+    /// old peer rejects the unknown kind, which the prober tolerates.
+    TimeProbe {
+        /// Echo token correlating probe and reply.
+        nonce: u64,
+        /// Run identifier minted by the coordinator.
+        run_id: u64,
+    },
+    /// Answer to [`Message::TimeProbe`].
+    TimeReply {
+        /// The probe's echo token.
+        nonce: u64,
+        /// Responder's telemetry clock (nanoseconds since its process
+        /// telemetry epoch) when the probe was handled.
+        t_ns: u64,
+    },
 }
 
 impl Message {
@@ -172,6 +191,8 @@ impl Message {
             Message::Blob { .. } => 9,
             Message::Shutdown => 10,
             Message::Rekey { .. } => 11,
+            Message::TimeProbe { .. } => 12,
+            Message::TimeReply { .. } => 13,
         }
     }
 
@@ -202,6 +223,8 @@ impl Message {
             Message::Shares { iteration, values } => iteration.byte_len() + values.byte_len(),
             Message::Blob { tag, bytes } => tag.byte_len() + bytes.byte_len(),
             Message::Shutdown => 0,
+            Message::TimeProbe { nonce, run_id } => nonce.byte_len() + run_id.byte_len(),
+            Message::TimeReply { nonce, t_ns } => nonce.byte_len() + t_ns.byte_len(),
         }
     }
 
@@ -254,6 +277,14 @@ impl Message {
                 bytes.encode_into(out);
             }
             Message::Shutdown => {}
+            Message::TimeProbe { nonce, run_id } => {
+                nonce.encode_into(out);
+                run_id.encode_into(out);
+            }
+            Message::TimeReply { nonce, t_ns } => {
+                nonce.encode_into(out);
+                t_ns.encode_into(out);
+            }
         }
     }
 
@@ -292,6 +323,14 @@ impl Message {
                 iteration: r.u64()?,
                 epoch: r.u64()?,
                 survivors: r.vec_u32()?,
+            },
+            12 => Message::TimeProbe {
+                nonce: r.u64()?,
+                run_id: r.u64()?,
+            },
+            13 => Message::TimeReply {
+                nonce: r.u64()?,
+                t_ns: r.u64()?,
             },
             _ => return Err(WireError::Malformed("unknown message kind")),
         })
@@ -488,6 +527,14 @@ mod tests {
                 bytes: vec![1, 2, 3, 4, 5],
             },
             Message::Shutdown,
+            Message::TimeProbe {
+                nonce: 0xFACE_FEED,
+                run_id: u64::MAX,
+            },
+            Message::TimeReply {
+                nonce: 0xFACE_FEED,
+                t_ns: 123_456_789_000,
+            },
         ]
     }
 

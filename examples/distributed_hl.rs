@@ -8,11 +8,17 @@
 //!
 //! ```text
 //! cargo run --example distributed_hl [-- --telemetry events.jsonl]
+//!                                    [--metrics-addr 127.0.0.1:0]
 //! ```
 //!
 //! With `--telemetry PATH`, the coordinator streams structured events to
 //! `PATH` and each learner process to `PATH.learner<i>`; every file is
 //! re-parsed at the end (machine-readability is part of the check).
+//!
+//! With `--metrics-addr HOST:PORT`, the coordinator serves its live
+//! metrics registry in Prometheus text format (`metrics on ADDR` is
+//! printed) and a scraper thread polls the endpoint *during* the run,
+//! asserting it observes at least one closed round mid-flight.
 //!
 //! The example re-executes itself with `learner <party> <addr> [path]`
 //! for the child role, so it needs no other binary to be built.
@@ -29,7 +35,9 @@ use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml::core::AdmmConfig;
 use ppml::core::DistributedTiming;
 use ppml::data::{synth, Dataset, Partition};
-use ppml::telemetry::{self, Event, FanoutSink, JsonlSink, Sink, SummarySink};
+use ppml::telemetry::{
+    self, Event, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink,
+};
 use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
 
 const LEARNERS: usize = 3;
@@ -102,16 +110,31 @@ fn main() {
         .iter()
         .position(|a| a == "--telemetry")
         .map(|i| args.get(i + 1).expect("--telemetry needs a path").clone());
+    let metrics_addr = args.iter().position(|a| a == "--metrics-addr").map(|i| {
+        args.get(i + 1)
+            .expect("--metrics-addr needs an addr")
+            .clone()
+    });
 
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     let summary = telemetry_path.as_deref().map(|path| {
         let jsonl = JsonlSink::create(Path::new(path)).expect("create telemetry file");
         let summary = SummarySink::new();
-        telemetry::install(FanoutSink::new(vec![
-            jsonl as Arc<dyn Sink>,
-            summary.clone(),
-        ]));
+        sinks.push(jsonl);
+        sinks.push(summary.clone());
         summary
     });
+    let metrics_server = metrics_addr.as_deref().map(|addr| {
+        let sink = MetricsSink::new();
+        let server =
+            MetricsServer::serve(addr, Arc::clone(sink.registry())).expect("metrics server");
+        sinks.push(sink);
+        println!("metrics on {}", server.local_addr());
+        server
+    });
+    if !sinks.is_empty() {
+        telemetry::install(FanoutSink::new(sinks));
+    }
 
     let (parts, cfg) = shared_setup();
     let features = feature_count(&parts).expect("partitions");
@@ -152,12 +175,52 @@ fn main() {
         std::thread::sleep(Duration::from_millis(20));
     }
 
+    // Mid-run scrape: poll the live endpoint while training runs, until
+    // it shows at least one closed round — proof the registry is being
+    // populated in flight, not rendered post-hoc.
+    let scraper = metrics_server.as_ref().map(|server| {
+        let addr = server.local_addr().to_string();
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                if let Ok(body) = telemetry::http::scrape(&addr) {
+                    let live = body
+                        .lines()
+                        .any(|l| l.starts_with("ppml_rounds_closed_total") && !l.ends_with(" 0"));
+                    if live {
+                        return body;
+                    }
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "metrics endpoint never showed a closed round"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    });
+
     let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
     let timing = DistributedTiming::default()
         .with_round_deadline(Duration::from_secs(15))
         .with_learner_patience(Duration::from_secs(30));
     let outcome = coordinate_linear(&mut courier, LEARNERS, features, &cfg, None, timing)
         .expect("coordinate");
+
+    if let Some(handle) = scraper {
+        let body = handle.join().expect("scraper thread");
+        let frames = body
+            .lines()
+            .find(|l| l.starts_with("ppml_frames_sent_total"))
+            .expect("scrape must include the frame counter")
+            .to_string();
+        assert!(
+            !frames.ends_with(" 0"),
+            "no frames counted mid-run: {frames}"
+        );
+        // CI greps this line to prove the endpoint was live during the run.
+        println!("mid-run scrape saw live metrics: {frames}");
+    }
 
     for mut child in children {
         let status = child.wait().expect("wait for learner");

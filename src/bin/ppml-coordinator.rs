@@ -11,6 +11,7 @@
 //!                  [--data-seed 5] [--iters 12] [--c 50] [--rho 100]
 //!                  [--seed 11] [--tol T] [--round-timeout SECS]
 //!                  [--out model.txt] [--telemetry events.jsonl]
+//!                  [--metrics-addr 127.0.0.1:0]
 //!
 //! `--round-timeout` bounds each collection round: a learner whose share
 //! has not arrived when it expires is declared dropped, the secure sum is
@@ -20,6 +21,13 @@
 //! deadline misses, dropout declarations, re-key epochs, wire traffic) as
 //! JSONL to `PATH` and prints a human summary at exit. Events carry only
 //! sizes, timings and counts — never shares or model coordinates.
+//!
+//! `--metrics-addr HOST:PORT` additionally serves the live metrics
+//! registry in Prometheus text format at `http://HOST:PORT/metrics` for
+//! the lifetime of the run (`metrics on ADDR` is printed with the bound
+//! address; port 0 picks a free one). The endpoint exposes the same
+//! scalar aggregates — counters, gauges, log2 histograms — and nothing
+//! else.
 //! ```
 //!
 //! Both sides regenerate the same synthetic dataset from
@@ -37,14 +45,14 @@ use std::time::{Duration, Instant};
 use ppml::core::distributed::{coordinate_linear, feature_count};
 use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
-use ppml::telemetry::{self, FanoutSink, JsonlSink, Sink, SummarySink};
+use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
 use ppml::transport::{Courier, PartyId, RetryPolicy, TcpTransport};
 
 fn usage() -> String {
     "usage:\n  ppml-coordinator --learners M [--port P] [--dataset <cancer|higgs|ocr|blobs|xor>]\n                   \
      [--n N] [--data-seed S] [--iters T] [--c C] [--rho RHO] [--seed S]\n                   \
      [--tol TOL] [--connect-timeout SECS] [--round-timeout SECS] [--out MODEL]\n                   \
-     [--telemetry EVENTS.jsonl]"
+     [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT]"
         .to_string()
 }
 
@@ -107,20 +115,35 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     let port: u16 = numeric(&flags, "port", 0)?;
     let connect_timeout: u64 = numeric(&flags, "connect-timeout", 30)?;
     // Install telemetry before the transport binds so connection-phase
-    // frames are captured too.
+    // frames are captured too. The JSONL/summary pair (--telemetry) and
+    // the live metrics registry (--metrics-addr) share one fanout.
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     let telemetry_out = match flags.get("telemetry") {
         Some(path) => {
             let jsonl = JsonlSink::create(Path::new(path))
                 .map_err(|e| format!("--telemetry {path}: {e}"))?;
             let summary = SummarySink::new();
-            telemetry::install(FanoutSink::new(vec![
-                jsonl as Arc<dyn Sink>,
-                summary.clone(),
-            ]));
+            sinks.push(jsonl);
+            sinks.push(summary.clone());
             Some((summary, path.clone()))
         }
         None => None,
     };
+    let _metrics_server = match flags.get("metrics-addr") {
+        Some(addr) => {
+            let sink = MetricsSink::new();
+            let server = MetricsServer::serve(addr, Arc::clone(sink.registry()))
+                .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+            sinks.push(sink);
+            // Scrape scripts and the integration tests parse this line.
+            println!("metrics on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    if !sinks.is_empty() {
+        telemetry::install(FanoutSink::new(sinks));
+    }
     let cfg = config(&flags)?;
     let ds = dataset(&flags)?;
     let parts = Partition::horizontal(&ds, learners, numeric(&flags, "part-seed", 1)?)

@@ -11,6 +11,7 @@
 //!              [--dataset blobs --n 96] [--data-seed 5] [--iters 12]
 //!              [--c 50] [--rho 100] [--seed 11] [--tol T]
 //!              [--patience SECS] [--telemetry events.jsonl]
+//!              [--metrics-addr 127.0.0.1:0] [--defect-after R]
 //!
 //! `--patience` bounds how long the learner waits between coordinator
 //! protocol frames; when it expires the process exits with an error
@@ -19,6 +20,18 @@
 //! `--telemetry PATH` streams this learner's structured events (round
 //! participation, re-key epochs, wire traffic) as JSONL to `PATH` and
 //! prints a summary at exit. Events carry only sizes, timings and counts.
+//!
+//! `--metrics-addr HOST:PORT` additionally serves the live metrics
+//! registry in Prometheus text format at `http://HOST:PORT/metrics`
+//! (`metrics on ADDR` is printed with the bound address; port 0 picks a
+//! free one).
+//!
+//! `--defect-after R` is fault injection for drills and trace demos: the
+//! learner participates correctly for rounds `< R`, then silently stops
+//! answering consensus broadcasts while still ACKing frames — exactly
+//! the failure mode only the coordinator's round deadline can catch. The
+//! process then exits with a transport-timeout error once its own
+//! patience runs out; that exit is the injected fault working, not a bug.
 //! ```
 //!
 //! Every training flag must match the coordinator's, as both sides drive
@@ -31,17 +44,17 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ppml::core::distributed::learn_linear;
+use ppml::core::distributed::{learn_linear, learn_linear_with_defect};
 use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
-use ppml::telemetry::{self, FanoutSink, JsonlSink, Sink, SummarySink};
+use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
 use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
 
 fn usage() -> String {
     "usage:\n  ppml-learner --party I --learners M --coordinator HOST:PORT\n               \
      [--dataset <cancer|higgs|ocr|blobs|xor>] [--n N] [--data-seed S]\n               \
      [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL] [--patience SECS]\n               \
-     [--telemetry EVENTS.jsonl]"
+     [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT] [--defect-after R]"
         .to_string()
 }
 
@@ -120,20 +133,36 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     let my_part = &parts[party];
 
     // Install telemetry before the transport binds so the dial and
-    // handshake frames are captured too.
+    // handshake frames are captured too. The JSONL/summary pair
+    // (--telemetry) and the live metrics registry (--metrics-addr) share
+    // one fanout.
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     let telemetry_out = match flags.get("telemetry") {
         Some(path) => {
             let jsonl = JsonlSink::create(Path::new(path))
                 .map_err(|e| format!("--telemetry {path}: {e}"))?;
             let summary = SummarySink::new();
-            telemetry::install(FanoutSink::new(vec![
-                jsonl as Arc<dyn Sink>,
-                summary.clone(),
-            ]));
+            sinks.push(jsonl);
+            sinks.push(summary.clone());
             Some((summary, path.clone()))
         }
         None => None,
     };
+    let _metrics_server = match flags.get("metrics-addr") {
+        Some(addr) => {
+            let sink = MetricsSink::new();
+            let server = MetricsServer::serve(addr, Arc::clone(sink.registry()))
+                .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+            sinks.push(sink);
+            // Scrape scripts and the integration tests parse this line.
+            println!("metrics on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    if !sinks.is_empty() {
+        telemetry::install(FanoutSink::new(sinks));
+    }
 
     let transport = TcpTransport::bind(
         party as PartyId,
@@ -163,8 +192,17 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     let timing = DistributedTiming::default()
         .with_round_deadline(Duration::from_secs(patience.max(1)))
         .with_learner_patience(Duration::from_secs(patience.max(1)));
-    let model =
-        learn_linear(&mut courier, learners, my_part, &cfg, timing).map_err(|e| e.to_string())?;
+    let model = match flags.get("defect-after") {
+        Some(v) => {
+            let after: u64 = v
+                .parse()
+                .map_err(|_| format!("--defect-after: bad value {v}"))?;
+            println!("learner {party}: fault injection armed, defecting after round {after}");
+            learn_linear_with_defect(&mut courier, learners, my_part, &cfg, timing, after)
+        }
+        None => learn_linear(&mut courier, learners, my_part, &cfg, timing),
+    }
+    .map_err(|e| e.to_string())?;
     println!("learner {party}: done");
     println!("consensus model: {}", model.to_text());
     if let Some((summary, path)) = telemetry_out {

@@ -1,0 +1,44 @@
+//! `ppml-trace` — merge the per-process JSONL telemetry streams of one
+//! distributed run into a single causal timeline on the coordinator's
+//! clock.
+//!
+//! ```text
+//! ppml-trace <stream.jsonl>...
+//! ```
+//!
+//! Feed it every stream of a run — coordinator and learners, in any
+//! order. It identifies the coordinator (the stream carrying `ClockSync`
+//! events), rebases learner timestamps via the recorded clock offsets,
+//! and prints the merged report: per-round critical path, deadline-miss →
+//! dropout → re-key sequences, retransmit hot spots, and per-phase span
+//! summaries. Lines with unknown event kinds (from a newer build) are
+//! skipped and counted, never fatal.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ppml::trace::{Stream, Timeline};
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: ppml-trace <stream.jsonl>...");
+        eprintln!();
+        eprintln!("Merges the JSONL telemetry streams of one distributed run into a");
+        eprintln!("single timeline on the coordinator's clock. Pass every stream of");
+        eprintln!("the run (coordinator + learners), in any order.");
+        return ExitCode::FAILURE;
+    }
+    let mut streams = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match Stream::load(Path::new(path)) {
+            Ok(stream) => streams.push(stream),
+            Err(e) => {
+                eprintln!("ppml-trace: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    print!("{}", Timeline::correlate(streams).render());
+    ExitCode::SUCCESS
+}

@@ -4,9 +4,15 @@
 //! ```text
 //! ppml gen   --dataset cancer --n 569 --seed 1 --out data.csv
 //! ppml train --mode hl --data data.csv --learners 4 --iters 100 \
-//!            --c 50 --rho 100 --out model.txt [--cluster]
+//!            --c 50 --rho 100 --out model.txt [--cluster] \
+//!            [--telemetry events.jsonl]
 //! ppml eval  --model model.txt --data test.csv
 //! ```
+//!
+//! `train --telemetry PATH` streams structured events (rounds, ADMM
+//! residuals, cluster task attempts, phase timings) as JSONL to `PATH`
+//! and prints a human summary at exit — sizes, timings and counts only,
+//! never data or model coordinates.
 //!
 //! Training modes: `hl` (horizontal linear), `vl` (vertical linear),
 //! `central` (the baseline). The kernel trainers have no flat-text model
@@ -14,17 +20,19 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml::core::{AdmmConfig, HorizontalLinearSvm, VerticalLinearSvm};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::svm::LinearSvm;
+use ppml::telemetry::{self, FanoutSink, JsonlSink, Sink, SummarySink};
 
 fn usage() -> String {
     "usage:\n  ppml gen   --dataset <cancer|higgs|ocr|blobs|xor> --n <N> [--seed S] --out FILE\n  \
      ppml split --data FILE [--fraction F] [--seed S] --train FILE --test FILE\n  \
      ppml train --mode <hl|vl|central> --data FILE [--learners M] [--iters T]\n             \
-     [--c C] [--rho RHO] [--seed S] [--cluster] --out MODEL\n  \
+     [--c C] [--rho RHO] [--seed S] [--cluster] [--telemetry EVENTS.jsonl] --out MODEL\n  \
      ppml eval  --model MODEL --data FILE\n\n\
      note: each `gen` seed draws a fresh task distribution — create one file\n\
      and `split` it, rather than generating train and test separately"
@@ -126,6 +134,20 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
         .with_rho(rho)
         .with_max_iter(iters)
         .with_seed(seed);
+    // Install telemetry before training so every trainer event is caught.
+    let telemetry_out = match flags.get("telemetry") {
+        Some(path) => {
+            let jsonl = JsonlSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("--telemetry {path}: {e}"))?;
+            let summary = SummarySink::new();
+            telemetry::install(FanoutSink::new(vec![
+                jsonl as Arc<dyn Sink>,
+                summary.clone(),
+            ]));
+            Some((summary, path.clone()))
+        }
+        None => None,
+    };
 
     let (model, trace): (LinearSvm, Vec<f64>) = match required(&flags, "mode")? {
         "central" => {
@@ -172,6 +194,11 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
         );
     }
     println!("model written to {out}");
+    if let Some((summary, path)) = telemetry_out {
+        telemetry::uninstall();
+        print!("{}", summary.render());
+        println!("telemetry written to {path}");
+    }
     Ok(())
 }
 

@@ -20,7 +20,8 @@
 //! | [`qp`] | `ppml-qp` | the dual QP solvers |
 //! | [`linalg`] | `ppml-linalg` | dense linear algebra |
 //! | [`transport`] | `ppml-transport` | wire format, loopback + TCP transports, ARQ courier |
-//! | [`telemetry`] | `ppml-telemetry` | structured events, span timing, JSONL/ring/summary sinks |
+//! | [`telemetry`] | `ppml-telemetry` | structured events, span timing, JSONL/ring/summary sinks, metrics registry + exposition |
+//! | [`trace`] | *(this crate)* | cross-process trace correlation: merge + clock-rebase JSONL streams |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,8 @@
 //! harness regenerating every figure of the paper's evaluation.
 
 #![forbid(unsafe_code)]
+pub mod trace;
+
 pub use ppml_core as core;
 pub use ppml_crypto as crypto;
 pub use ppml_data as data;

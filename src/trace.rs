@@ -1,0 +1,856 @@
+//! Cross-process trace correlation (ISSUE 4 tentpole, piece 3): merge
+//! the per-process JSONL telemetry streams of one distributed run into a
+//! single causal timeline on the coordinator's clock.
+//!
+//! Telemetry timestamps are nanoseconds since a *per-process* epoch
+//! ([`ppml_telemetry::now_ns`]), so the raw streams of a coordinator and
+//! its learners are mutually incomparable. The coordinator closes that
+//! gap at run start: it probes each learner over the transport and emits
+//! one [`EventKind::ClockSync`] per answering peer with the estimated
+//! `offset ≈ peer_clock − coordinator_clock` (minimum-RTT sample, NTP
+//! style). This module replays those offsets: given N parsed streams it
+//! identifies the coordinator, rebases every learner event by
+//! `t − offset`, merges, and derives the per-round views an operator
+//! actually asks for — round critical path (slowest learner per
+//! iteration), retransmit hot spots, deadline-miss → dropout → re-key
+//! sequences, and per-phase span summaries. The `ppml-trace` binary is a
+//! thin CLI over [`Stream::load`] + [`Timeline::correlate`] +
+//! [`Timeline::render`].
+//!
+//! Parsing is forward-compatible: a line whose `kind` this build does
+//! not know ([`ParseError::UnknownKind`]) is skipped and counted, never
+//! fatal — a trace reader must survive streams written by a newer build.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use ppml_telemetry::{Event, EventKind, ParseError, NO_PARTY};
+
+/// One parsed JSONL telemetry stream (one process of the run).
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Display name (usually the file name).
+    pub name: String,
+    /// Events that parsed, in file order.
+    pub events: Vec<Event>,
+    /// Lines skipped because their `kind` is unknown to this build.
+    pub skipped_unknown: usize,
+    /// Lines skipped because they were structurally malformed.
+    pub skipped_malformed: usize,
+}
+
+impl Stream {
+    /// Parses a JSONL stream, skipping-and-counting undecodable lines
+    /// instead of failing: unknown kinds are expected from newer builds,
+    /// malformed lines from truncated writes at process death.
+    pub fn parse(name: impl Into<String>, text: &str) -> Stream {
+        let mut events = Vec::new();
+        let mut skipped_unknown = 0;
+        let mut skipped_malformed = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Event::from_json(line) {
+                Ok(event) => events.push(event),
+                Err(ParseError::UnknownKind(_)) => skipped_unknown += 1,
+                Err(ParseError::Malformed(_)) => skipped_malformed += 1,
+            }
+        }
+        Stream {
+            name: name.into(),
+            events,
+            skipped_unknown,
+            skipped_malformed,
+        }
+    }
+
+    /// Reads and parses the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from reading the file (parse defects are
+    /// not errors — see [`Stream::parse`]).
+    pub fn load(path: &Path) -> std::io::Result<Stream> {
+        let text = std::fs::read_to_string(path)?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        Ok(Stream::parse(name, &text))
+    }
+
+    /// The protocol party this stream belongs to: every instrumented
+    /// call site stamps events with the owning process's party id, so
+    /// the most frequent non-[`NO_PARTY`] id is the owner.
+    pub fn owner(&self) -> Option<u32> {
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for e in &self.events {
+            if e.party != NO_PARTY {
+                *counts.entry(e.party).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, count)| count)
+            .map(|(party, _)| party)
+    }
+
+    /// The run id stamped on this stream, if any.
+    pub fn run_id(&self) -> Option<u64> {
+        self.events.iter().find_map(|e| match e.kind {
+            EventKind::RunInfo { run_id } => Some(run_id),
+            _ => None,
+        })
+    }
+}
+
+/// One event on the merged timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Timestamp rebased onto the coordinator's clock (signed: a learner
+    /// event can rebase to before the coordinator's own epoch).
+    pub t_ns: i64,
+    /// False when no clock offset was known for the source stream (its
+    /// events stay on their own clock and cross-stream order against
+    /// them is unreliable).
+    pub rebased: bool,
+    /// Index of the source stream in [`Timeline::streams`].
+    pub stream: usize,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Per-iteration view assembled from the coordinator's stream plus the
+/// rebased learner streams.
+#[derive(Debug, Clone)]
+pub struct RoundView {
+    /// ADMM iteration number.
+    pub iteration: u64,
+    /// Coordinator `RoundOpen` time (coordinator clock).
+    pub open_t_ns: i64,
+    /// Coordinator `RoundClose` time; `None` for a round cut short.
+    pub close_t_ns: Option<i64>,
+    /// Coordinator-measured open→close wall clock.
+    pub elapsed_ns: Option<u64>,
+    /// The round's critical path: the learner whose own `RoundClose`
+    /// (share sent, rebased to coordinator clock) came last, with that
+    /// time. `None` when no rebased learner closes exist for the round.
+    pub slowest_learner: Option<(u32, i64)>,
+    /// Deadline misses the coordinator recorded within the round.
+    pub deadline_misses: u32,
+    /// Learners declared dropped in this round, in declaration order.
+    pub dropped: Vec<u32>,
+    /// Re-keys in this round as `(epoch, survivors)`.
+    pub rekeys: Vec<(u64, u32)>,
+}
+
+/// The merged, clock-rebased view over all streams of one run.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// The input streams, as given.
+    pub streams: Vec<Stream>,
+    /// Index into [`Timeline::streams`] of the coordinator's stream.
+    pub coordinator_stream: Option<usize>,
+    /// The coordinator's party id.
+    pub coordinator_party: Option<u32>,
+    /// `party → offset_ns` (peer clock − coordinator clock) from the
+    /// coordinator's `ClockSync` events; rebasing subtracts this.
+    pub offsets: BTreeMap<u32, i64>,
+    /// Winning-probe RTT per party, for the report.
+    pub rtts: BTreeMap<u32, u64>,
+    /// All events of all streams, rebased where possible, sorted by
+    /// rebased time.
+    pub events: Vec<TraceEvent>,
+    /// Rounds reconstructed from the coordinator's stream, ascending.
+    pub rounds: Vec<RoundView>,
+}
+
+/// One deadline-miss → dropout → re-key sequence on the coordinator's
+/// clock, as `(miss_t, (dropped_party, drop_t), rekey_t)`.
+pub type DropoutSequence = (Option<i64>, (u32, i64), Option<i64>);
+
+impl Timeline {
+    /// Correlates `streams` into one timeline: identifies the
+    /// coordinator (the stream carrying `ClockSync` events; falling back
+    /// to the highest owner party, which is the coordinator's slot in
+    /// the star topology), collects its offset table, rebases and merges
+    /// every event, and reconstructs the per-round views.
+    pub fn correlate(streams: Vec<Stream>) -> Timeline {
+        let coordinator_stream = streams
+            .iter()
+            .position(|s| {
+                s.events
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::ClockSync { .. }))
+            })
+            .or_else(|| {
+                let owners: Vec<Option<u32>> = streams.iter().map(Stream::owner).collect();
+                owners
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, o)| o.map(|p| (i, p)))
+                    .max_by_key(|&(_, p)| p)
+                    .map(|(i, _)| i)
+            });
+        let coordinator_party = coordinator_stream.and_then(|i| streams[i].owner());
+
+        let mut offsets = BTreeMap::new();
+        let mut rtts = BTreeMap::new();
+        if let Some(ci) = coordinator_stream {
+            for e in &streams[ci].events {
+                if let EventKind::ClockSync {
+                    peer,
+                    offset_ns,
+                    rtt_ns,
+                } = e.kind
+                {
+                    offsets.insert(peer, offset_ns);
+                    rtts.insert(peer, rtt_ns);
+                }
+            }
+        }
+
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for (si, stream) in streams.iter().enumerate() {
+            let is_coordinator = Some(si) == coordinator_stream;
+            let offset = stream.owner().and_then(|p| offsets.get(&p).copied());
+            for &event in &stream.events {
+                let (t_ns, rebased) = if is_coordinator {
+                    (event.t_ns as i64, true)
+                } else if let Some(off) = offset {
+                    ((event.t_ns as i64).wrapping_sub(off), true)
+                } else {
+                    (event.t_ns as i64, false)
+                };
+                events.push(TraceEvent {
+                    t_ns,
+                    rebased,
+                    stream: si,
+                    event,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.t_ns);
+
+        let rounds = build_rounds(&streams, coordinator_stream, coordinator_party, &offsets);
+
+        Timeline {
+            streams,
+            coordinator_stream,
+            coordinator_party,
+            offsets,
+            rtts,
+            events,
+            rounds,
+        }
+    }
+
+    /// Rounds the coordinator both opened and closed.
+    pub fn complete_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.close_t_ns.is_some())
+            .count()
+    }
+
+    /// Total lines skipped across all streams as `(unknown, malformed)`.
+    pub fn skipped(&self) -> (usize, usize) {
+        self.streams.iter().fold((0, 0), |(u, m), s| {
+            (u + s.skipped_unknown, m + s.skipped_malformed)
+        })
+    }
+
+    /// The deadline-miss → dropout → re-key sequences on the
+    /// coordinator's clock: for every dropout declaration, the nearest
+    /// preceding deadline miss and nearest following re-key (if any).
+    pub fn dropout_sequences(&self) -> Vec<DropoutSequence> {
+        let coordinator = self.coordinator_party;
+        let on_coordinator = |e: &&TraceEvent| Some(e.event.party) == coordinator;
+        let mut out = Vec::new();
+        for drop_event in self.events.iter().filter(on_coordinator) {
+            let EventKind::Dropout { party, .. } = drop_event.event.kind else {
+                continue;
+            };
+            let miss = self
+                .events
+                .iter()
+                .filter(on_coordinator)
+                .filter(|e| {
+                    matches!(e.event.kind, EventKind::DeadlineMiss { .. })
+                        && e.t_ns <= drop_event.t_ns
+                })
+                .map(|e| e.t_ns)
+                .next_back();
+            let rekey = self
+                .events
+                .iter()
+                .filter(on_coordinator)
+                .find(|e| {
+                    matches!(e.event.kind, EventKind::RekeyEpoch { .. })
+                        && e.t_ns >= drop_event.t_ns
+                })
+                .map(|e| e.t_ns);
+            out.push((miss, (party, drop_event.t_ns), rekey));
+        }
+        out
+    }
+
+    /// Renders the human report: identity block, offset table, per-round
+    /// causal timeline with critical path, the dropout story, retransmit
+    /// hot spots and per-phase span summaries. The `rounds: N complete`
+    /// line is a stable interface — CI greps for it.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let (unknown, malformed) = self.skipped();
+        let total: usize = self.streams.iter().map(|s| s.events.len()).sum();
+        let _ = writeln!(
+            out,
+            "ppml-trace: {} streams, {total} events merged \
+             ({unknown} unknown-kind lines skipped, {malformed} malformed lines skipped)",
+            self.streams.len()
+        );
+
+        // Identity: run ids must agree across streams.
+        let run_ids: Vec<(String, Option<u64>)> = self
+            .streams
+            .iter()
+            .map(|s| (s.name.clone(), s.run_id()))
+            .collect();
+        let known: Vec<u64> = run_ids.iter().filter_map(|(_, id)| *id).collect();
+        match (
+            known.first(),
+            known.iter().all(|&id| Some(&id) == known.first()),
+        ) {
+            (Some(id), true) => {
+                let _ = writeln!(
+                    out,
+                    "run id: {id:#018x} ({} of {} streams stamped)",
+                    known.len(),
+                    self.streams.len()
+                );
+            }
+            (Some(_), false) => {
+                let _ = writeln!(
+                    out,
+                    "WARNING: run ids disagree — these streams may be from different runs:"
+                );
+                for (name, id) in &run_ids {
+                    let _ = writeln!(out, "  {name}: {:?}", id.map(|v| format!("{v:#018x}")));
+                }
+            }
+            (None, _) => {
+                let _ = writeln!(out, "run id: none recorded");
+            }
+        }
+
+        match (self.coordinator_stream, self.coordinator_party) {
+            (Some(ci), Some(party)) => {
+                let _ = writeln!(
+                    out,
+                    "coordinator: party {party} ({})",
+                    self.streams[ci].name
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "coordinator: not identified (no ClockSync events)");
+            }
+        }
+        for (&party, &offset) in &self.offsets {
+            let rtt = self.rtts.get(&party).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "clock offset: party {party} {}{:.3}ms (winning rtt {:.3}ms)",
+                if offset >= 0 { "+" } else { "-" },
+                offset.unsigned_abs() as f64 / 1e6,
+                rtt as f64 / 1e6
+            );
+        }
+        let unrebased: Vec<&str> = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|&(si, _)| {
+                Some(si) != self.coordinator_stream
+                    && self.streams[si]
+                        .owner()
+                        .is_none_or(|p| !self.offsets.contains_key(&p))
+            })
+            .map(|(_, s)| s.name.as_str())
+            .collect();
+        if !unrebased.is_empty() {
+            let _ = writeln!(
+                out,
+                "WARNING: no clock offset for {} — their timestamps stay on their own clocks",
+                unrebased.join(", ")
+            );
+        }
+
+        // Rounds + critical path.
+        let _ = writeln!(out, "rounds: {} complete", self.complete_rounds());
+        let origin = self.rounds.first().map(|r| r.open_t_ns).unwrap_or(0);
+        let ms = |t: i64| (t - origin) as f64 / 1e6;
+        for round in &self.rounds {
+            let mut line = format!(
+                "round {:>3}: open +{:.3}ms",
+                round.iteration,
+                ms(round.open_t_ns)
+            );
+            match (round.close_t_ns, round.elapsed_ns) {
+                (Some(close), Some(elapsed)) => {
+                    let _ = write!(
+                        line,
+                        ", close +{:.3}ms ({:.3}ms)",
+                        ms(close),
+                        elapsed as f64 / 1e6
+                    );
+                }
+                _ => line.push_str(", never closed"),
+            }
+            if let Some((party, t)) = round.slowest_learner {
+                let _ = write!(
+                    line,
+                    "; critical path: learner {party} (share sent +{:.3}ms)",
+                    ms(t)
+                );
+            }
+            let _ = writeln!(out, "{line}");
+            if round.deadline_misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "  deadline missed {}x; dropped {:?}; re-keyed {:?}",
+                    round.deadline_misses, round.dropped, round.rekeys
+                );
+            }
+        }
+
+        // Dropout story on the coordinator clock.
+        for (miss, (party, drop_t), rekey) in self.dropout_sequences() {
+            let fmt = |t: Option<i64>| match t {
+                Some(t) => format!("+{:.3}ms", ms(t)),
+                None => "—".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "dropout story: deadline miss {} → party {party} dropped {} → re-key {}",
+                fmt(miss),
+                fmt(Some(drop_t)),
+                fmt(rekey)
+            );
+        }
+
+        // Retransmit hot spots: per (sender party, destination).
+        let mut retransmits: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for e in &self.events {
+            if let EventKind::ArqRetransmit { to, .. } = e.event.kind {
+                *retransmits.entry((e.event.party, to)).or_insert(0) += 1;
+            }
+        }
+        if !retransmits.is_empty() {
+            let mut pairs: Vec<((u32, u32), u64)> = retransmits.into_iter().collect();
+            pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            let text: Vec<String> = pairs
+                .iter()
+                .take(8)
+                .map(|&((from, to), n)| format!("{from}→{to}: {n}"))
+                .collect();
+            let _ = writeln!(out, "retransmit hot spots: {}", text.join(", "));
+        }
+
+        // Per-phase span summaries, per party.
+        let mut phases: BTreeMap<(u32, &'static str), (u64, u64)> = BTreeMap::new();
+        for e in &self.events {
+            if let EventKind::PhaseElapsed { phase, elapsed_ns } = e.event.kind {
+                let slot = phases.entry((e.event.party, phase)).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += elapsed_ns;
+            }
+        }
+        for ((party, phase), (count, total_ns)) in phases {
+            let _ = writeln!(
+                out,
+                "phase {phase} [party {party}]: {count} spans, {:.3}s total",
+                total_ns as f64 / 1e9
+            );
+        }
+        out
+    }
+}
+
+/// Reconstructs [`RoundView`]s: coordinator opens/closes/faults keyed by
+/// iteration, then the critical path from rebased learner closes.
+fn build_rounds(
+    streams: &[Stream],
+    coordinator_stream: Option<usize>,
+    coordinator_party: Option<u32>,
+    offsets: &BTreeMap<u32, i64>,
+) -> Vec<RoundView> {
+    let Some(ci) = coordinator_stream else {
+        return Vec::new();
+    };
+    let mut rounds: BTreeMap<u64, RoundView> = BTreeMap::new();
+    for e in &streams[ci].events {
+        if Some(e.party) != coordinator_party {
+            continue;
+        }
+        let t = e.t_ns as i64;
+        match e.kind {
+            EventKind::RoundOpen { iteration, .. } => {
+                rounds.entry(iteration).or_insert(RoundView {
+                    iteration,
+                    open_t_ns: t,
+                    close_t_ns: None,
+                    elapsed_ns: None,
+                    slowest_learner: None,
+                    deadline_misses: 0,
+                    dropped: Vec::new(),
+                    rekeys: Vec::new(),
+                });
+            }
+            EventKind::RoundClose {
+                iteration,
+                elapsed_ns,
+                ..
+            } => {
+                if let Some(round) = rounds.get_mut(&iteration) {
+                    round.close_t_ns = Some(t);
+                    round.elapsed_ns = Some(elapsed_ns);
+                }
+            }
+            EventKind::DeadlineMiss { iteration, .. } => {
+                if let Some(round) = rounds.get_mut(&iteration) {
+                    round.deadline_misses += 1;
+                }
+            }
+            EventKind::Dropout { party, iteration } => {
+                if let Some(round) = rounds.get_mut(&iteration) {
+                    round.dropped.push(party);
+                }
+            }
+            EventKind::RekeyEpoch {
+                iteration,
+                epoch,
+                survivors,
+            } => {
+                if let Some(round) = rounds.get_mut(&iteration) {
+                    round.rekeys.push((epoch, survivors));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Critical path: latest rebased learner RoundClose per iteration.
+    for (si, stream) in streams.iter().enumerate() {
+        if Some(si) == coordinator_stream {
+            continue;
+        }
+        let Some(owner) = stream.owner() else {
+            continue;
+        };
+        let Some(&offset) = offsets.get(&owner) else {
+            continue;
+        };
+        for e in &stream.events {
+            if e.party != owner {
+                continue;
+            }
+            if let EventKind::RoundClose { iteration, .. } = e.kind {
+                if let Some(round) = rounds.get_mut(&iteration) {
+                    let t = (e.t_ns as i64).wrapping_sub(offset);
+                    if round.slowest_learner.is_none_or(|(_, best)| t > best) {
+                        round.slowest_learner = Some((owner, t));
+                    }
+                }
+            }
+        }
+    }
+    rounds.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jsonl(events: &[Event]) -> String {
+        let mut out = String::new();
+        for e in events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn ev(t_ns: u64, party: u32, kind: EventKind) -> Event {
+        Event { t_ns, party, kind }
+    }
+
+    /// Two-learner run scripted on paper: the coordinator's clock is the
+    /// reference; learner 0's epoch started 1 s earlier (its clock reads
+    /// 1 s *more*, offset +1 s) and learner 1's 2 s earlier (offset
+    /// +2 s). Events are placed so the true coordinator-clock order
+    /// interleaves the streams.
+    fn scripted() -> Vec<Stream> {
+        let run = 0xABCD;
+        let coordinator = vec![
+            ev(1_000, 2, EventKind::RunInfo { run_id: run }),
+            ev(
+                2_000,
+                2,
+                EventKind::ClockSync {
+                    peer: 0,
+                    offset_ns: 1_000_000_000,
+                    rtt_ns: 50_000,
+                },
+            ),
+            ev(
+                3_000,
+                2,
+                EventKind::ClockSync {
+                    peer: 1,
+                    offset_ns: 2_000_000_000,
+                    rtt_ns: 60_000,
+                },
+            ),
+            ev(
+                10_000,
+                2,
+                EventKind::RoundOpen {
+                    iteration: 0,
+                    epoch: 0,
+                },
+            ),
+            ev(
+                900_000,
+                2,
+                EventKind::RoundClose {
+                    iteration: 0,
+                    epoch: 0,
+                    shares: 2,
+                    elapsed_ns: 890_000,
+                },
+            ),
+            ev(
+                1_000_000,
+                2,
+                EventKind::RoundOpen {
+                    iteration: 1,
+                    epoch: 0,
+                },
+            ),
+            ev(
+                5_000_000,
+                2,
+                EventKind::DeadlineMiss {
+                    iteration: 1,
+                    epoch: 0,
+                    missing: 1,
+                },
+            ),
+            ev(
+                5_100_000,
+                2,
+                EventKind::Dropout {
+                    party: 1,
+                    iteration: 1,
+                },
+            ),
+            ev(
+                5_200_000,
+                2,
+                EventKind::RekeyEpoch {
+                    iteration: 1,
+                    epoch: 1,
+                    survivors: 1,
+                },
+            ),
+            ev(
+                6_000_000,
+                2,
+                EventKind::RoundClose {
+                    iteration: 1,
+                    epoch: 1,
+                    shares: 1,
+                    elapsed_ns: 5_000_000,
+                },
+            ),
+        ];
+        // Learner 0 clock = coordinator clock + 1e9 (its epoch began 1 s
+        // before the coordinator's): raw t = true + 1e9, and rebasing
+        // subtracts the +1e9 offset back out.
+        let learner0 = vec![
+            ev(
+                1_000_000_000 + 20_000,
+                0,
+                EventKind::RunInfo { run_id: run },
+            ),
+            ev(
+                1_000_000_000 + 100_000,
+                0,
+                EventKind::RoundOpen {
+                    iteration: 0,
+                    epoch: 0,
+                },
+            ),
+            ev(
+                1_000_000_000 + 500_000,
+                0,
+                EventKind::RoundClose {
+                    iteration: 0,
+                    epoch: 0,
+                    shares: 1,
+                    elapsed_ns: 400_000,
+                },
+            ),
+        ];
+        // Learner 1 clock = coordinator clock + 2e9; it closed round 0
+        // *later* than learner 0 (true +800_000) — the critical path.
+        let learner1 = vec![
+            ev(
+                2_000_000_000 + 30_000,
+                1,
+                EventKind::RunInfo { run_id: run },
+            ),
+            ev(
+                2_000_000_000 + 200_000,
+                1,
+                EventKind::RoundOpen {
+                    iteration: 0,
+                    epoch: 0,
+                },
+            ),
+            ev(
+                2_000_000_000 + 800_000,
+                1,
+                EventKind::RoundClose {
+                    iteration: 0,
+                    epoch: 0,
+                    shares: 1,
+                    elapsed_ns: 600_000,
+                },
+            ),
+            ev(
+                2_000_000_000 + 900_000,
+                1,
+                EventKind::ArqRetransmit {
+                    to: 2,
+                    seq: 7,
+                    attempt: 1,
+                },
+            ),
+        ];
+        vec![
+            Stream::parse("coordinator.jsonl", &jsonl(&coordinator)),
+            Stream::parse("learner0.jsonl", &jsonl(&learner0)),
+            Stream::parse("learner1.jsonl", &jsonl(&learner1)),
+        ]
+    }
+
+    #[test]
+    fn identifies_coordinator_and_offsets() {
+        let tl = Timeline::correlate(scripted());
+        assert_eq!(tl.coordinator_stream, Some(0));
+        assert_eq!(tl.coordinator_party, Some(2));
+        assert_eq!(tl.offsets.get(&0), Some(&1_000_000_000));
+        assert_eq!(tl.offsets.get(&1), Some(&2_000_000_000));
+    }
+
+    #[test]
+    fn rebasing_restores_true_cross_stream_order() {
+        let tl = Timeline::correlate(scripted());
+        assert!(tl.events.iter().all(|e| e.rebased));
+        // After rebasing, learner closes land inside the coordinator's
+        // round-0 window (open 10_000, close 900_000).
+        let learner_closes: Vec<(u32, i64)> = tl
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e.event.kind, EventKind::RoundClose { iteration: 0, .. })
+                    && e.event.party != 2
+            })
+            .map(|e| (e.event.party, e.t_ns))
+            .collect();
+        assert_eq!(learner_closes, vec![(0, 500_000), (1, 800_000)]);
+        // Merged order is by rebased time, interleaving the streams.
+        let order: Vec<i64> = tl.events.iter().map(|e| e.t_ns).collect();
+        assert!(order.windows(2).all(|w| w[0] <= w[1]), "{order:?}");
+    }
+
+    #[test]
+    fn rounds_carry_critical_path_and_fault_story() {
+        let tl = Timeline::correlate(scripted());
+        assert_eq!(tl.rounds.len(), 2);
+        assert_eq!(tl.complete_rounds(), 2);
+        // Round 0: learner 1's share (true +800_000) is the critical path.
+        assert_eq!(tl.rounds[0].slowest_learner, Some((1, 800_000)));
+        // Round 1: deadline miss → dropout of 1 → re-key to 1 survivor.
+        assert_eq!(tl.rounds[1].deadline_misses, 1);
+        assert_eq!(tl.rounds[1].dropped, vec![1]);
+        assert_eq!(tl.rounds[1].rekeys, vec![(1, 1)]);
+        let sequences = tl.dropout_sequences();
+        assert_eq!(sequences.len(), 1);
+        let (miss, (party, drop_t), rekey) = sequences[0];
+        assert_eq!(party, 1);
+        assert!(miss.expect("miss") <= drop_t);
+        assert!(rekey.expect("rekey") >= drop_t);
+    }
+
+    #[test]
+    fn render_reports_the_story() {
+        let tl = Timeline::correlate(scripted());
+        let text = tl.render();
+        assert!(text.contains("rounds: 2 complete"), "{text}");
+        assert!(text.contains("coordinator: party 2"), "{text}");
+        assert!(text.contains("critical path: learner 1"), "{text}");
+        assert!(text.contains("dropout story: deadline miss"), "{text}");
+        assert!(text.contains("retransmit hot spots: 1→2: 1"), "{text}");
+        assert!(text.contains("run id: 0x000000000000abcd"), "{text}");
+    }
+
+    #[test]
+    fn unknown_kinds_are_skipped_and_counted() {
+        let text = "{\"t_ns\":1,\"party\":0,\"kind\":\"from_the_future\",\"x\":1}\n\
+                    {\"t_ns\":2,\"party\":0,\"kind\":\"worker_up\",\"node\":0}\n\
+                    {\"t_ns\":3,\"party\":0,\"kind\":\"truncated\n\
+                    \n";
+        let stream = Stream::parse("future.jsonl", text);
+        assert_eq!(stream.events.len(), 1);
+        assert_eq!(stream.skipped_unknown, 1);
+        assert_eq!(stream.skipped_malformed, 1);
+        let tl = Timeline::correlate(vec![stream]);
+        assert_eq!(tl.skipped(), (1, 1));
+        assert!(tl.render().contains("1 unknown-kind lines skipped"));
+    }
+
+    #[test]
+    fn streams_without_offsets_are_flagged_not_dropped() {
+        let mut streams = scripted();
+        // Strip the ClockSync for learner 1 from the coordinator stream.
+        streams[0]
+            .events
+            .retain(|e| !matches!(e.kind, EventKind::ClockSync { peer: 1, .. }));
+        let tl = Timeline::correlate(streams);
+        // Learner 1's events survive, but unrebased.
+        assert!(tl.events.iter().any(|e| e.event.party == 1 && !e.rebased));
+        assert!(
+            tl.render().contains("WARNING: no clock offset"),
+            "report must flag it"
+        );
+        // And it cannot be a critical-path witness.
+        assert_eq!(tl.rounds[0].slowest_learner, Some((0, 500_000)));
+    }
+
+    #[test]
+    fn run_id_disagreement_is_reported() {
+        let mut streams = scripted();
+        let idx = streams[1]
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::RunInfo { .. }))
+            .expect("run info");
+        streams[1].events[idx].kind = EventKind::RunInfo { run_id: 0x9999 };
+        let tl = Timeline::correlate(streams);
+        assert!(tl.render().contains("WARNING: run ids disagree"));
+    }
+}

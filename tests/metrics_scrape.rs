@@ -1,0 +1,164 @@
+//! Live metrics exposition over a real 3-learner distributed TCP run.
+//!
+//! Spawns the actual `ppml-coordinator` and `ppml-learner` binaries as
+//! OS processes, each with `--metrics-addr 127.0.0.1:0`, and scrapes
+//! coordinator and learner endpoints *while the run is in flight*:
+//! frame and round counters must be non-zero and monotone between two
+//! scrapes. This is the acceptance check that the registry is populated
+//! live from the event stream, not rendered after the fact.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ppml::telemetry::http::scrape;
+
+const LEARNERS: usize = 3;
+/// Long enough that training is still running while the test scrapes
+/// (localhost rounds take well under a millisecond each).
+const ITERS: &str = "1500";
+
+/// Spawns `exe` with piped stdout and returns the child plus the first
+/// line starting with each requested prefix, in order of appearance. A
+/// drain thread keeps consuming stdout so the child never blocks on a
+/// full pipe.
+fn spawn_scan(exe: &str, args: &[&str], prefixes: &[&str]) -> (Child, Vec<String>) {
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut found: Vec<Option<String>> = vec![None; prefixes.len()];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while found.iter().any(Option::is_none) {
+        assert!(Instant::now() < deadline, "timed out scanning stdout");
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read stdout");
+        assert!(n > 0, "stdout closed before {prefixes:?} all appeared");
+        for (i, prefix) in prefixes.iter().enumerate() {
+            if found[i].is_none() && line.starts_with(prefix) {
+                found[i] = Some(line.trim_end().to_string());
+            }
+        }
+    }
+    thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = std::io::Read::read_to_string(&mut reader, &mut rest);
+    });
+    (child, found.into_iter().map(Option::unwrap).collect())
+}
+
+/// Extracts the address from a `"<label> ADDR"` stdout line.
+fn addr_of(line: &str, label: &str) -> String {
+    line.strip_prefix(label)
+        .unwrap_or_else(|| panic!("bad line {line:?}"))
+        .trim()
+        .to_string()
+}
+
+/// Reads an integer-valued metric from a Prometheus text body.
+fn metric(body: &str, name: &str) -> Option<u64> {
+    body.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse().ok())
+}
+
+/// Polls `addr` until `name` is present and non-zero, returning the body.
+fn scrape_until_nonzero(addr: &str, name: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(body) = scrape(addr) {
+            if metric(&body, name).is_some_and(|v| v > 0) {
+                return body;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{addr}: {name} never became non-zero"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn live_endpoints_scrape_nonzero_and_monotone_mid_run() {
+    // No --tol: without one the trainers never stop early, so the run
+    // stays alive for the full iteration budget while we scrape.
+    let common = ["--iters", ITERS, "--metrics-addr", "127.0.0.1:0"];
+
+    let mut args: Vec<&str> = vec!["--learners", "3", "--port", "0"];
+    args.extend_from_slice(&common);
+    let (coordinator, lines) = spawn_scan(
+        env!("CARGO_BIN_EXE_ppml-coordinator"),
+        &args,
+        &["metrics on ", "listening on "],
+    );
+    let coord_metrics = addr_of(&lines[0], "metrics on ");
+    let coord_addr = addr_of(&lines[1], "listening on ");
+
+    let mut learners = Vec::new();
+    let mut learner_metrics = Vec::new();
+    for party in 0..LEARNERS {
+        let party_s = party.to_string();
+        let mut args: Vec<&str> = vec![
+            "--party",
+            &party_s,
+            "--learners",
+            "3",
+            "--coordinator",
+            &coord_addr,
+        ];
+        args.extend_from_slice(&common);
+        let (child, lines) =
+            spawn_scan(env!("CARGO_BIN_EXE_ppml-learner"), &args, &["metrics on "]);
+        learners.push(child);
+        learner_metrics.push(addr_of(&lines[0], "metrics on "));
+    }
+
+    // Mid-run: the coordinator must show closed rounds and sent frames…
+    let first = scrape_until_nonzero(&coord_metrics, "ppml_rounds_closed_total");
+    let frames_1 = metric(&first, "ppml_frames_sent_total").expect("frame counter");
+    let rounds_1 = metric(&first, "ppml_rounds_closed_total").expect("round counter");
+    assert!(frames_1 > 0 && rounds_1 > 0);
+    assert!(
+        metric(&first, "ppml_run_id").is_some_and(|id| id > 0),
+        "run id gauge must be stamped"
+    );
+
+    // …monotone between two scrapes of the same live run…
+    thread::sleep(Duration::from_millis(50));
+    let second = scrape(&coord_metrics).expect("second scrape");
+    let frames_2 = metric(&second, "ppml_frames_sent_total").expect("frame counter");
+    let rounds_2 = metric(&second, "ppml_rounds_closed_total").expect("round counter");
+    assert!(frames_2 >= frames_1, "{frames_2} < {frames_1}");
+    assert!(rounds_2 >= rounds_1, "{rounds_2} < {rounds_1}");
+    assert!(rounds_2 > rounds_1, "run appears stalled between scrapes");
+
+    // …and every learner's endpoint is live with real traffic too.
+    for (party, addr) in learner_metrics.iter().enumerate() {
+        let body = scrape_until_nonzero(addr, "ppml_frames_recv_total");
+        assert!(
+            metric(&body, "ppml_rounds_closed_total").is_some_and(|v| v > 0),
+            "learner {party} shows no closed rounds"
+        );
+        assert!(
+            metric(&body, "ppml_run_id").is_some_and(|id| id > 0),
+            "learner {party} never received the gossiped run id"
+        );
+    }
+
+    let mut coordinator = coordinator;
+    assert!(
+        coordinator.wait().expect("wait").success(),
+        "coordinator failed"
+    );
+    for (party, mut child) in learners.into_iter().enumerate() {
+        assert!(
+            child.wait().expect("wait").success(),
+            "learner {party} failed"
+        );
+    }
+}

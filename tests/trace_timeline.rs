@@ -1,0 +1,199 @@
+//! End-to-end trace correlation over a faulty distributed run.
+//!
+//! Spawns the real `ppml-coordinator` + three `ppml-learner` processes
+//! with `--telemetry`, injecting a defection into learner 1 via
+//! `--defect-after 2`. The four JSONL streams are then merged by the
+//! trace library (and the `ppml-trace` binary), which must rebase them
+//! onto the coordinator's clock and show the deadline-miss → dropout →
+//! re-key sequence in coordinator-clock order, plus a per-round critical
+//! path — exactly the ISSUE 4 acceptance scenario.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use ppml::telemetry::EventKind;
+use ppml::trace::{Stream, Timeline};
+
+const LEARNERS: usize = 3;
+
+fn stream_path(dir: &std::path::Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.jsonl"))
+}
+
+fn spawn_learner(party: usize, coord_addr: &str, telemetry: &std::path::Path) -> Child {
+    let mut args = vec![
+        "--party".to_string(),
+        party.to_string(),
+        "--learners".to_string(),
+        LEARNERS.to_string(),
+        "--coordinator".to_string(),
+        coord_addr.to_string(),
+        "--iters".to_string(),
+        "8".to_string(),
+        "--patience".to_string(),
+        "4".to_string(),
+        "--telemetry".to_string(),
+        telemetry.display().to_string(),
+    ];
+    if party == 1 {
+        args.push("--defect-after".to_string());
+        args.push("2".to_string());
+    }
+    Command::new(env!("CARGO_BIN_EXE_ppml-learner"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn learner")
+}
+
+#[test]
+fn four_streams_merge_into_one_causal_timeline_with_the_dropout_story() {
+    let dir = std::env::temp_dir().join(format!("ppml-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let coord_jsonl = stream_path(&dir, "coordinator");
+
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_ppml-coordinator"))
+        .args([
+            "--learners",
+            "3",
+            "--port",
+            "0",
+            "--iters",
+            "8",
+            "--round-timeout",
+            "2",
+            "--telemetry",
+        ])
+        .arg(&coord_jsonl)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn coordinator");
+
+    // First stdout line is "listening on ADDR".
+    let stdout = coordinator.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read line");
+    let coord_addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("bad line {line:?}"))
+        .trim()
+        .to_string();
+    std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = std::io::Read::read_to_string(&mut reader, &mut rest);
+    });
+
+    let learner_paths: Vec<PathBuf> = (0..LEARNERS)
+        .map(|p| stream_path(&dir, &format!("learner{p}")))
+        .collect();
+    let learners: Vec<(usize, Child)> = (0..LEARNERS)
+        .map(|p| (p, spawn_learner(p, &coord_addr, &learner_paths[p])))
+        .collect();
+
+    // The coordinator must survive the defection and finish with the two
+    // cooperative learners; the defector must die of transport timeout.
+    assert!(
+        coordinator.wait().expect("wait").success(),
+        "coordinator failed"
+    );
+    for (party, mut child) in learners {
+        let ok = child.wait().expect("wait").success();
+        if party == 1 {
+            assert!(!ok, "the defecting learner must exit with an error");
+        } else {
+            assert!(ok, "learner {party} failed");
+        }
+    }
+
+    // Forward compatibility: a stream written by a future build carries
+    // kinds this one does not know. The reader must skip and count, not
+    // die.
+    let future_line = "{\"t_ns\":1,\"party\":0,\"kind\":\"gpu_kernel_launch\",\"grid\":128}\n";
+    let l0_text = std::fs::read_to_string(&learner_paths[0]).expect("learner 0 stream");
+    std::fs::write(&learner_paths[0], format!("{future_line}{l0_text}")).expect("prepend");
+
+    let mut streams = vec![Stream::load(&coord_jsonl).expect("coordinator stream")];
+    for path in &learner_paths {
+        streams.push(Stream::load(path).expect("learner stream"));
+    }
+    let timeline = Timeline::correlate(streams);
+
+    // One run, one clock: every stream stamped with the same run id, and
+    // every learner answered the probe handshake (the defector was still
+    // cooperative at run start).
+    let run_ids: Vec<u64> = timeline
+        .streams
+        .iter()
+        .map(|s| s.run_id().expect("stream missing RunInfo"))
+        .collect();
+    assert!(run_ids.windows(2).all(|w| w[0] == w[1]), "{run_ids:?}");
+    for party in 0..LEARNERS as u32 {
+        assert!(
+            timeline.offsets.contains_key(&party),
+            "no clock offset for learner {party}: {:?}",
+            timeline.offsets
+        );
+    }
+    assert!(timeline.events.iter().all(|e| e.rebased));
+    assert_eq!(timeline.skipped(), (1, 0), "the future-kind line");
+
+    // At least the two pre-defection rounds completed, and some round has
+    // a rebased critical-path witness.
+    assert!(timeline.complete_rounds() >= 1, "no complete rounds");
+    assert!(
+        timeline.rounds.iter().any(|r| r.slowest_learner.is_some()),
+        "no critical path identified in any round"
+    );
+
+    // The dropout story, in coordinator-clock order: deadline miss at or
+    // before the dropout of party 1, re-key at or after it.
+    let sequences = timeline.dropout_sequences();
+    assert_eq!(sequences.len(), 1, "{sequences:?}");
+    let (miss, (party, drop_t), rekey) = sequences[0];
+    assert_eq!(party, 1);
+    assert!(miss.expect("deadline miss") <= drop_t);
+    assert!(rekey.expect("re-key") >= drop_t);
+    // The same ordering must hold in the merged event list itself.
+    let coord = timeline.coordinator_party.expect("coordinator");
+    let pos = |pred: &dyn Fn(&EventKind) -> bool| {
+        timeline
+            .events
+            .iter()
+            .position(|e| e.event.party == coord && pred(&e.event.kind))
+            .expect("event present")
+    };
+    let i_miss = pos(&|k| matches!(k, EventKind::DeadlineMiss { .. }));
+    let i_drop = pos(&|k| matches!(k, EventKind::Dropout { party: 1, .. }));
+    let i_rekey = pos(&|k| matches!(k, EventKind::RekeyEpoch { .. }));
+    assert!(i_miss < i_drop && i_drop < i_rekey);
+
+    // The rendered report carries the CI-facing lines.
+    let report = timeline.render();
+    assert!(report.contains("dropout story: deadline miss"), "{report}");
+    let rounds_line = report
+        .lines()
+        .find(|l| l.starts_with("rounds: "))
+        .expect("rounds line");
+    let n: usize = rounds_line
+        .trim_start_matches("rounds: ")
+        .trim_end_matches(" complete")
+        .parse()
+        .expect("round count");
+    assert!(n >= 1);
+
+    // And the ppml-trace binary agrees with the library.
+    let output = Command::new(env!("CARGO_BIN_EXE_ppml-trace"))
+        .arg(&coord_jsonl)
+        .args(&learner_paths)
+        .output()
+        .expect("run ppml-trace");
+    assert!(output.status.success());
+    let cli_report = String::from_utf8(output.stdout).expect("utf-8 report");
+    assert!(cli_report.contains(rounds_line), "{cli_report}");
+    assert!(cli_report.contains("dropout story: deadline miss"));
+    assert!(cli_report.contains("1 unknown-kind lines skipped"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
