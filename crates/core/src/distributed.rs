@@ -41,7 +41,34 @@
 //! Learners are symmetric: they wait at most
 //! [`DistributedTiming::learner_patience`] between coordinator protocol
 //! frames and exit with [`TrainError::Transport`] instead of blocking
-//! forever on a dead coordinator.
+//! forever on a dead coordinator. While waiting they poll in short
+//! slices and keep the coordinator link warm with heartbeats, so a
+//! coordinator that *restarts* (below) is re-dialed automatically.
+//!
+//! # Crash recovery: checkpoint, resume, rejoin
+//!
+//! [`RecoveryOptions`] turns the one-shot protocol into a recoverable
+//! one:
+//!
+//! * with `checkpoint_to` set, the coordinator writes a crash-consistent
+//!   [`Checkpoint`] after every accepted round (write-temp → fsync →
+//!   rename, so a crash never leaves a torn file);
+//! * with `resume_from` set, a restarted coordinator re-enters the run
+//!   mid-flight: it restores the iterate and roster, bumps the re-key
+//!   epoch past anything a surviving learner can hold, and reliably
+//!   re-introduces itself with [`Message::Welcome`] before
+//!   re-broadcasting the checkpointed round. A learner that already
+//!   computed that round re-sends its cached share re-masked under the
+//!   new epoch instead of recomputing, so the resumed run reproduces the
+//!   uninterrupted one bit for bit;
+//! * a killed-and-restarted *learner* calls [`rejoin_linear`]: it probes
+//!   with [`Message::Join`] until the coordinator re-admits it at a
+//!   round boundary — re-keying the §V masks over the enlarged survivor
+//!   set and streaming the current iterate in a Welcome. The rejoiner
+//!   warm-starts with zeroed duals; because pair seeds derive from
+//!   `(seed, lo, hi)` alone, enlarging the set is pure local
+//!   recomputation and the rejoiner learns nothing about the rounds it
+//!   missed (see `DESIGN.md` §8).
 //!
 //! # Determinism
 //!
@@ -53,6 +80,8 @@
 //! the same round; `examples/distributed_hl.rs` does the same across OS
 //! processes over TCP.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use ppml_data::Dataset;
@@ -62,6 +91,7 @@ use ppml_telemetry as telemetry;
 use ppml_transport::{Courier, Frame, Message, PartyId, Transport, TransportError};
 use telemetry::EventKind;
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{AdmmConfig, DistributedTiming};
 use crate::error::TrainError;
 use crate::history::ConvergenceHistory;
@@ -84,6 +114,39 @@ pub struct DistributedOutcome {
     /// Learners declared dead during the run, in drop order. Empty on a
     /// clean run.
     pub dropped: Vec<PartyId>,
+}
+
+/// Crash-recovery knobs for [`coordinate_linear_with_recovery`]: where
+/// to write per-round checkpoints, and optionally a checkpoint to resume
+/// from instead of starting at round 0. The default (no checkpointing,
+/// no resume) reproduces [`coordinate_linear`] exactly.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOptions {
+    /// Write a crash-consistent [`Checkpoint`] here after every accepted
+    /// round (atomic write-temp → fsync → rename; see
+    /// [`Checkpoint::save`]).
+    pub checkpoint_to: Option<PathBuf>,
+    /// Resume a crashed run from this (already loaded and validated)
+    /// checkpoint: restore the iterate and roster, bump the epoch past
+    /// anything a learner can hold, re-welcome the survivors, and
+    /// continue at the checkpointed round.
+    pub resume_from: Option<Checkpoint>,
+}
+
+impl RecoveryOptions {
+    /// Enables per-round checkpoint writes to `path`.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_to = Some(path.into());
+        self
+    }
+
+    /// Resumes the run recorded in `ckpt` instead of starting fresh.
+    #[must_use]
+    pub fn with_resume(mut self, ckpt: Checkpoint) -> Self {
+        self.resume_from = Some(ckpt);
+        self
+    }
 }
 
 fn protocol(reason: impl Into<String>) -> TrainError {
@@ -240,6 +303,156 @@ fn rekey<T: Transport>(
     }
 }
 
+/// Re-enters a run from a checkpoint: emits the resume event, clears
+/// per-peer transport state (the restarted process's sequence numbers
+/// start over — without the reset every learner would treat them as
+/// replays), and reliably streams a [`Message::Welcome`] — new epoch,
+/// survivor set, current iterate — to every learner the checkpoint
+/// believed alive. A learner that cannot be reached any more is dropped
+/// and the survivor set re-keyed, exactly as in a live round. Returns
+/// the (possibly further bumped) epoch.
+#[allow(clippy::too_many_arguments)]
+fn resume_handshake<T: Transport>(
+    courier: &mut Courier<T>,
+    alive: &mut [bool],
+    dropped: &mut Vec<PartyId>,
+    start_round: u64,
+    epoch: u64,
+    z: &[f64],
+    s: f64,
+    metrics: &mut JobMetrics,
+) -> Result<u64> {
+    let survivors: Vec<PartyId> = (0..alive.len())
+        .filter(|&p| alive[p])
+        .map(|p| p as PartyId)
+        .collect();
+    telemetry::emit(
+        courier.party(),
+        EventKind::ResumeFromCheckpoint {
+            iteration: start_round,
+            epoch,
+            survivors: survivors.len() as u32,
+        },
+    );
+    let welcome = Message::Welcome {
+        nonce: 0,
+        iteration: start_round,
+        epoch,
+        survivors: survivors.clone(),
+        z: z.to_vec(),
+        s: vec![s],
+    };
+    let mut lost: Vec<PartyId> = Vec::new();
+    for &p in &survivors {
+        match courier.send_reliable(p, &welcome) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => lost.push(p),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if lost.is_empty() {
+        Ok(epoch)
+    } else {
+        rekey(courier, alive, dropped, lost, start_round, epoch, metrics)
+    }
+}
+
+/// Re-admits rejoining learners at a round boundary: marks each pending
+/// joiner alive again, bumps the §V re-key epoch once over the enlarged
+/// survivor set, answers every joiner's [`Message::Join`] with a
+/// [`Message::Welcome`] carrying its nonce and the current iterate, and
+/// tells the veterans via [`Message::Rekey`] naming the *upcoming*
+/// round (nothing to re-send — the consensus broadcast that follows
+/// carries the work). Joins from parties still alive (duplicates, or
+/// frames from a live learner's earlier incarnation) are ignored.
+/// Anyone unreachable during the fan-out is dropped through the normal
+/// [`rekey`] path. Returns the new epoch.
+#[allow(clippy::too_many_arguments)]
+fn admit_rejoiners<T: Transport>(
+    courier: &mut Courier<T>,
+    alive: &mut [bool],
+    dropped: &mut Vec<PartyId>,
+    joins: BTreeMap<PartyId, u64>,
+    iteration: u64,
+    mut epoch: u64,
+    z: &[f64],
+    s: f64,
+    metrics: &mut JobMetrics,
+) -> Result<u64> {
+    let joiners: Vec<(PartyId, u64)> = joins
+        .into_iter()
+        .filter(|&(p, _)| !alive[p as usize])
+        .collect();
+    if joiners.is_empty() {
+        return Ok(epoch);
+    }
+    let veterans: Vec<PartyId> = (0..alive.len())
+        .filter(|&p| alive[p])
+        .map(|p| p as PartyId)
+        .collect();
+    for &(p, _) in &joiners {
+        alive[p as usize] = true;
+        dropped.retain(|&d| d != p);
+        telemetry::emit(
+            courier.party(),
+            EventKind::Rejoin {
+                party: p,
+                iteration,
+            },
+        );
+    }
+    epoch += 1;
+    let survivors: Vec<PartyId> = (0..alive.len())
+        .filter(|&p| alive[p])
+        .map(|p| p as PartyId)
+        .collect();
+    telemetry::emit(
+        courier.party(),
+        EventKind::RekeyEpoch {
+            iteration,
+            epoch,
+            survivors: survivors.len() as u32,
+        },
+    );
+    let mut lost: Vec<PartyId> = Vec::new();
+    for &(p, nonce) in &joiners {
+        // The joiner is a fresh process: its sequence numbers restart,
+        // so the dead incarnation's dedup watermark would swallow
+        // everything it sends. Clear it before talking to the new one.
+        courier.reset_peer(p);
+        let welcome = Message::Welcome {
+            nonce,
+            iteration,
+            epoch,
+            survivors: survivors.clone(),
+            z: z.to_vec(),
+            s: vec![s],
+        };
+        match courier.send_reliable(p, &welcome) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => lost.push(p),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let rekey_msg = Message::Rekey {
+        iteration,
+        epoch,
+        survivors,
+    };
+    for &p in &veterans {
+        match courier.send_reliable(p, &rekey_msg) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => lost.push(p),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if lost.is_empty() {
+        Ok(epoch)
+    } else {
+        rekey(courier, alive, dropped, lost, iteration, epoch, metrics)
+    }
+}
+
 /// Drives the coordinator side of distributed HL-SVM training.
 ///
 /// `courier` must be the endpoint for party `learners` (the coordinator
@@ -262,6 +475,37 @@ pub fn coordinate_linear<T: Transport>(
     cfg: &AdmmConfig,
     eval: Option<&Dataset>,
     timing: DistributedTiming,
+) -> Result<DistributedOutcome> {
+    coordinate_linear_with_recovery(
+        courier,
+        learners,
+        features,
+        cfg,
+        eval,
+        timing,
+        RecoveryOptions::default(),
+    )
+}
+
+/// [`coordinate_linear`] with crash recovery: optional per-round
+/// checkpoint writes and optional resume from a checkpoint (see
+/// [`RecoveryOptions`] and the module docs). Mid-run [`Message::Join`]
+/// probes from restarted learners are honored either way — re-admission
+/// happens at the next round boundary.
+///
+/// # Errors
+///
+/// As [`coordinate_linear`], plus [`TrainError::Checkpoint`] when a
+/// checkpoint cannot be written or the resume checkpoint does not match
+/// this run's `learners`/`features`/`seed`.
+pub fn coordinate_linear_with_recovery<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    features: usize,
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    timing: DistributedTiming,
+    recovery: RecoveryOptions,
 ) -> Result<DistributedOutcome> {
     cfg.validate()?;
     timing.validate()?;
@@ -288,18 +532,77 @@ pub fn coordinate_linear<T: Transport>(
     let mut alive = vec![true; m];
     let mut dropped: Vec<PartyId> = Vec::new();
     let mut epoch: u64 = 0;
+    let mut start_round: u64 = 0;
+    let mut run_id: u64 = 0;
+
+    if let Some(ckpt) = &recovery.resume_from {
+        ckpt.check_compatible(m, features, cfg.seed)?;
+        z = ckpt.z.clone();
+        s = ckpt.s;
+        history.z_delta = ckpt.z_delta.clone();
+        history.accuracy = ckpt.accuracy.clone();
+        metrics.bytes_broadcast = ckpt.bytes_broadcast as usize;
+        metrics.bytes_shuffled = ckpt.bytes_shuffled as usize;
+        alive = vec![false; m];
+        for &p in &ckpt.alive {
+            alive[p as usize] = true;
+        }
+        dropped = ckpt.dropped.clone();
+        // Strictly exceed any epoch a surviving learner can hold: after
+        // the snapshot the dead incarnation bumped at most once per
+        // party it could still drop (≤ m) plus one rejoin batch, so
+        // `+ m + 2` wins every learner-side "newer epoch" comparison.
+        epoch = ckpt.epoch + m as u64 + 2;
+        start_round = ckpt.next_round;
+        run_id = ckpt.run_id;
+    }
 
     // Stamp the stream and estimate per-learner clock offsets — only
     // when someone is listening: with telemetry off this adds zero
     // frames, zero waits, zero bytes (probe traffic is never charged to
-    // `metrics` either way; it is observability, not protocol cost).
+    // `metrics` either way; it is observability, not protocol cost). A
+    // resume re-gossips the checkpointed run id so the pre- and
+    // post-crash streams correlate into one timeline.
     if telemetry::enabled() {
-        let run_id = telemetry::fresh_run_id();
+        if run_id == 0 {
+            run_id = telemetry::fresh_run_id();
+        }
         telemetry::emit(courier.party(), EventKind::RunInfo { run_id });
         clock_sync(courier, &alive, run_id);
     }
 
-    for iteration in 0..cfg.max_iter as u64 {
+    if recovery.resume_from.is_some() {
+        epoch = resume_handshake(
+            courier,
+            &mut alive,
+            &mut dropped,
+            start_round,
+            epoch,
+            &z,
+            s,
+            &mut metrics,
+        )?;
+    }
+
+    // Restarted learners asking to be re-admitted: recorded whenever
+    // their Join frames surface mid-collect, acted on at the next round
+    // boundary when the iterate is consistent.
+    let mut pending_joins: BTreeMap<PartyId, u64> = BTreeMap::new();
+
+    for iteration in start_round..cfg.max_iter as u64 {
+        if !pending_joins.is_empty() {
+            epoch = admit_rejoiners(
+                courier,
+                &mut alive,
+                &mut dropped,
+                std::mem::take(&mut pending_joins),
+                iteration,
+                epoch,
+                &z,
+                s,
+                &mut metrics,
+            )?;
+        }
         let round_start = Instant::now();
         telemetry::emit(courier.party(), EventKind::RoundOpen { iteration, epoch });
         let broadcast = Message::Consensus {
@@ -358,6 +661,15 @@ pub fn coordinate_linear<T: Transport>(
                 ) {
                     continue;
                 }
+                if let Message::Join { party, nonce } = env.msg {
+                    // A restarted learner asking back in: remember the
+                    // request, act at the next round boundary. Joins
+                    // from parties still alive are filtered there.
+                    if (party as usize) < m {
+                        pending_joins.insert(party, nonce);
+                    }
+                    continue;
+                }
                 let frame_len = Frame::encoded_len_of(&env.msg);
                 let Message::MaskedShare {
                     iteration: it,
@@ -396,8 +708,19 @@ pub fn coordinate_linear<T: Transport>(
                     )));
                 }
                 let slot = &mut shares[party as usize];
-                if slot.is_some() {
-                    return Err(protocol(format!("duplicate share from party {party}")));
+                if let Some(existing) = slot {
+                    // Masking is deterministic in (raw, iteration,
+                    // survivor set), so a legitimate re-send — e.g. a
+                    // learner answering both a resumed coordinator's
+                    // rebroadcast and a re-key — is byte-identical to
+                    // the accepted copy and safely ignored. Anything
+                    // else is two *different* claims for one slot.
+                    if *existing == payload {
+                        continue;
+                    }
+                    return Err(protocol(format!(
+                        "conflicting duplicate share from party {party}"
+                    )));
                 }
                 *slot = Some(payload);
                 metrics.bytes_shuffled += frame_len;
@@ -461,6 +784,33 @@ pub fn coordinate_linear<T: Transport>(
                 .accuracy
                 .push(LinearSvm::from_parts(z.clone(), s).accuracy(ds));
         }
+        if let Some(path) = &recovery.checkpoint_to {
+            let ckpt = Checkpoint {
+                run_id,
+                learners: m as u32,
+                features: features as u32,
+                seed: cfg.seed,
+                next_round: iteration + 1,
+                epoch,
+                z: z.clone(),
+                s,
+                alive: (0..m).filter(|&p| alive[p]).map(|p| p as u32).collect(),
+                dropped: dropped.clone(),
+                z_delta: history.z_delta.clone(),
+                accuracy: history.accuracy.clone(),
+                bytes_broadcast: metrics.bytes_broadcast as u64,
+                bytes_shuffled: metrics.bytes_shuffled as u64,
+            };
+            let bytes = ckpt.save(path)?;
+            telemetry::emit(
+                courier.party(),
+                EventKind::CheckpointWrite {
+                    iteration,
+                    epoch,
+                    bytes: bytes as u64,
+                },
+            );
+        }
         if let Some(tol) = cfg.tol {
             if delta < tol {
                 break;
@@ -514,7 +864,30 @@ pub fn learn_linear<T: Transport>(
     cfg: &AdmmConfig,
     timing: DistributedTiming,
 ) -> Result<LinearSvm> {
-    learn_linear_inner(courier, learners, data, cfg, timing, None)
+    learn_linear_inner(courier, learners, data, cfg, timing, None, false)
+}
+
+/// Re-admission variant of [`learn_linear`] for a restarted learner
+/// process: probes the coordinator with [`Message::Join`] until it
+/// answers with a [`Message::Welcome`], then participates from the
+/// granted round onward. The rejoiner warm-starts with zeroed duals
+/// (see `DESIGN.md` §8 for the convergence impact); the §V re-key on
+/// admission makes its masks valid for the enlarged survivor set and
+/// teaches it nothing about the rounds it missed.
+///
+/// # Errors
+///
+/// [`TrainError::Transport`] with a timeout when no Welcome arrives
+/// within [`DistributedTiming::learner_patience`]; otherwise as
+/// [`learn_linear`].
+pub fn rejoin_linear<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+) -> Result<LinearSvm> {
+    learn_linear_inner(courier, learners, data, cfg, timing, None, true)
 }
 
 /// Fault-injection variant of [`learn_linear`]: behaves correctly for
@@ -539,7 +912,43 @@ pub fn learn_linear_with_defect<T: Transport>(
     timing: DistributedTiming,
     defect_after: u64,
 ) -> Result<LinearSvm> {
-    learn_linear_inner(courier, learners, data, cfg, timing, Some(defect_after))
+    learn_linear_inner(
+        courier,
+        learners,
+        data,
+        cfg,
+        timing,
+        Some(defect_after),
+        false,
+    )
+}
+
+/// How long a learner blocks on one receive before checking its patience
+/// clock and nudging the coordinator with a heartbeat. Short enough that
+/// a restarted coordinator is re-dialed (TCP heartbeats trigger the
+/// dial) well within any realistic patience budget.
+const LEARNER_POLL: Duration = Duration::from_millis(500);
+
+/// Sends a share to the coordinator, riding out a coordinator that is
+/// mid-restart: failures that merely mean "peer unreachable right now"
+/// are retried until `patience` is spent — the same budget after which
+/// the learner would give up waiting for protocol frames anyway.
+fn send_share_patiently<T: Transport>(
+    courier: &mut Courier<T>,
+    coordinator: PartyId,
+    msg: &Message,
+    patience: Duration,
+) -> Result<()> {
+    let give_up = Instant::now() + patience;
+    loop {
+        match courier.send_reliable(coordinator, msg) {
+            Ok(_) => return Ok(()),
+            Err(e) if peer_is_lost(&e) && Instant::now() < give_up => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 fn learn_linear_inner<T: Transport>(
@@ -549,6 +958,7 @@ fn learn_linear_inner<T: Transport>(
     cfg: &AdmmConfig,
     timing: DistributedTiming,
     defect_after: Option<u64>,
+    rejoin: bool,
 ) -> Result<LinearSvm> {
     cfg.validate()?;
     timing.validate()?;
@@ -565,20 +975,75 @@ fn learn_linear_inner<T: Transport>(
     let mut epoch: u64 = 0;
     let mut expected_iter: u64 = 0;
     // Raw (unmasked) share of the last computed round, kept so a re-key
-    // can re-mask it over the survivor set without recomputing the QP.
+    // (or a resumed coordinator re-collecting that round) can re-mask it
+    // over the survivor set without recomputing the QP.
     let mut last_raw: Option<(u64, Vec<f64>)> = None;
+    // Duals lag one *computed* round, so the first round this learner
+    // takes part in — round 0, or the re-admission round of a rejoiner
+    // warm-starting with zeroed duals — skips the dual update.
+    let mut dual_ready = false;
     let mut deadline = Instant::now() + timing.learner_patience;
     let mut run_id_seen = false;
+
+    if rejoin {
+        // Re-admission handshake: probe with Join until the coordinator
+        // welcomes us back (it acts on joins at round boundaries only).
+        let nonce = telemetry::now_ns() | 1;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(TrainError::Transport(TransportError::Timeout));
+            }
+            let _ = courier.send_unreliable(coordinator, &Message::Join { party, nonce });
+            match courier.recv(LEARNER_POLL) {
+                Ok(env) => match env.msg {
+                    Message::Welcome {
+                        iteration,
+                        epoch: new_epoch,
+                        survivors,
+                        ..
+                    } if survivors.contains(&party) => {
+                        // Absorbing the Welcome already re-synced the
+                        // dedup watermark to the (possibly restarted)
+                        // coordinator's fresh sequence space; a full
+                        // reset_peer here would throw away frames that
+                        // arrived right behind it.
+                        epoch = new_epoch;
+                        present = survivors.iter().map(|&p| p as usize).collect();
+                        expected_iter = iteration;
+                        telemetry::emit(party, EventKind::Rejoin { party, iteration });
+                        deadline = Instant::now() + timing.learner_patience;
+                        break;
+                    }
+                    // Everything else predates re-admission — broadcasts
+                    // of rounds we are not part of, stale re-keys. Drain
+                    // (and thereby ack) them so the run keeps moving.
+                    _ => continue,
+                },
+                Err(TransportError::Timeout) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
 
     loop {
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
             return Err(TrainError::Transport(TransportError::Timeout));
         }
-        let env = match courier.recv(remaining) {
+        let env = match courier.recv(remaining.min(LEARNER_POLL)) {
             Ok(env) => env,
             Err(TransportError::Timeout) => {
-                return Err(TrainError::Transport(TransportError::Timeout))
+                // Only this poll slice expired, not the patience budget.
+                // Nudge the coordinator: over TCP this (re-)dials a
+                // restarted coordinator so its Welcome can reach us;
+                // elsewhere it is liveness noise the coordinator drops.
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::Heartbeat {
+                        nonce: u64::from(party),
+                    },
+                );
+                continue;
             }
             Err(e) => return Err(e.into()),
         };
@@ -618,7 +1083,30 @@ fn learn_linear_inner<T: Transport>(
                 if iteration < expected_iter {
                     // Stale or duplicated broadcast of an already
                     // processed round: recomputing would desynchronize
-                    // the duals and double-send a share.
+                    // the duals and double-send a share. One exception —
+                    // a resumed coordinator re-collecting exactly the
+                    // round we last computed lost our share with its
+                    // state, so re-mask the cached raw share over the
+                    // current survivor set and send it again (masking is
+                    // deterministic, so a copy the coordinator did keep
+                    // is byte-identical and merely ignored).
+                    if let Some((it, raw)) = last_raw.as_ref() {
+                        if *it == iteration {
+                            let payload = masker.mask_share_among(raw, iteration, &present)?;
+                            send_share_patiently(
+                                courier,
+                                coordinator,
+                                &Message::MaskedShare {
+                                    iteration,
+                                    epoch,
+                                    party,
+                                    payload,
+                                },
+                                timing.learner_patience,
+                            )?;
+                            deadline = Instant::now() + timing.learner_patience;
+                        }
+                    }
                     continue;
                 }
                 if iteration > expected_iter {
@@ -640,14 +1128,16 @@ fn learn_linear_inner<T: Transport>(
                 telemetry::emit(party, EventKind::RoundOpen { iteration, epoch });
                 let round_start = Instant::now();
                 // Same step order as `ConsensusJob::map`: duals lag one
-                // round.
-                if iteration > 0 {
+                // computed round.
+                if dual_ready {
                     learner.dual_update(&z, s_val);
                 }
                 learner.local_step(&z, s_val, &cfg.qp)?;
+                dual_ready = true;
                 let raw = learner.share();
                 let payload = masker.mask_share_among(&raw, iteration, &present)?;
-                courier.send_reliable(
+                send_share_patiently(
+                    courier,
                     coordinator,
                     &Message::MaskedShare {
                         iteration,
@@ -655,6 +1145,7 @@ fn learn_linear_inner<T: Transport>(
                         party,
                         payload,
                     },
+                    timing.learner_patience,
                 )?;
                 telemetry::emit(
                     party,
@@ -694,29 +1185,77 @@ fn learn_linear_inner<T: Transport>(
                         survivors: survivors.len() as u32,
                     },
                 );
-                let Some((it, raw)) = last_raw.as_ref() else {
-                    return Err(protocol("re-key before any share was sent".to_string()));
-                };
-                if *it != iteration {
+                // A mid-collect re-key names the round we just sent for:
+                // re-mask the cached share over the survivors and send
+                // again. A boundary re-key (rejoin admission) names the
+                // *upcoming* round instead — nothing to re-send, the
+                // consensus broadcast that follows carries the work.
+                if let Some((it, raw)) = last_raw.as_ref() {
+                    if *it == iteration {
+                        let payload = masker.mask_share_among(raw, iteration, &present)?;
+                        send_share_patiently(
+                            courier,
+                            coordinator,
+                            &Message::MaskedShare {
+                                iteration,
+                                epoch,
+                                party,
+                                payload,
+                            },
+                            timing.learner_patience,
+                        )?;
+                    }
+                }
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            Message::Welcome {
+                iteration,
+                epoch: new_epoch,
+                survivors,
+                ..
+            } => {
+                // A coordinator resumed from a checkpoint re-introduces
+                // itself mid-run. Only strictly newer epochs apply —
+                // anything else is a stale or duplicated rendezvous
+                // frame (equal-epoch duplicates still refresh patience:
+                // the coordinator is demonstrably alive).
+                if new_epoch < epoch {
+                    continue;
+                }
+                if new_epoch == epoch {
+                    deadline = Instant::now() + timing.learner_patience;
+                    continue;
+                }
+                if !survivors.contains(&party) {
                     return Err(protocol(format!(
-                        "re-key for round {iteration} but last computed round is {it}"
+                        "welcome for epoch {new_epoch} excludes this learner"
                     )));
                 }
-                let payload = masker.mask_share_among(raw, iteration, &present)?;
-                courier.send_reliable(
-                    coordinator,
-                    &Message::MaskedShare {
+                // The restarted coordinator's sequence numbers start
+                // over, but absorbing the Welcome already re-synced the
+                // dedup watermark — and frames sent right behind the
+                // Welcome may already sit in the inbox, so a reset_peer
+                // here would destroy them.
+                epoch = new_epoch;
+                present = survivors.iter().map(|&p| p as usize).collect();
+                // Never move backwards: a Welcome for a round we already
+                // computed means the coordinator lost our share, and the
+                // rebroadcast of that round is handled by the stale-
+                // consensus re-send path above.
+                expected_iter = expected_iter.max(iteration);
+                telemetry::emit(
+                    party,
+                    EventKind::RekeyEpoch {
                         iteration,
                         epoch,
-                        party,
-                        payload,
+                        survivors: survivors.len() as u32,
                     },
-                )?;
+                );
                 deadline = Instant::now() + timing.learner_patience;
             }
             other => {
                 return Err(protocol(format!(
-                    "learner expected consensus or re-key, got {other:?} from party {}",
+                    "learner expected consensus, re-key or welcome, got {other:?} from party {}",
                     env.from
                 )))
             }
@@ -808,6 +1347,19 @@ mod tests {
         cfg: &AdmmConfig,
         drops: &[(usize, u64)],
     ) -> LinearSvm {
+        reference_with_membership(parts, cfg, drops, &[])
+    }
+
+    /// [`reference_with_dropouts`] plus re-admissions: each `(party,
+    /// round)` in `rejoins` re-enters at `round` as a *fresh* process —
+    /// new learner state, zeroed duals. `computed` gates the dual update
+    /// per learner exactly as `dual_ready` does on the wire.
+    fn reference_with_membership(
+        parts: &[Dataset],
+        cfg: &AdmmConfig,
+        drops: &[(usize, u64)],
+        rejoins: &[(usize, u64)],
+    ) -> LinearSvm {
         let m = parts.len();
         let features = feature_count(parts).expect("partitions");
         let codec = ppml_crypto::FixedPointCodec::default();
@@ -815,18 +1367,30 @@ mod tests {
             .iter()
             .map(|p| HlLearner::new(p, m, cfg).expect("learner"))
             .collect();
+        let mut computed = vec![false; m];
         let mut z = vec![0.0; features];
         let mut s = 0.0;
         for it in 0..cfg.max_iter as u64 {
+            for &(p, r) in rejoins {
+                if r == it {
+                    learners[p] = HlLearner::new(&parts[p], m, cfg).expect("learner");
+                    computed[p] = false;
+                }
+            }
             let active: Vec<usize> = (0..m)
-                .filter(|&p| !drops.iter().any(|&(dp, dr)| dp == p && it >= dr))
+                .filter(|&p| {
+                    let gone = drops.iter().any(|&(dp, dr)| dp == p && it >= dr);
+                    let back = rejoins.iter().any(|&(rp, rr)| rp == p && it >= rr);
+                    !gone || back
+                })
                 .collect();
             let mut summed = vec![0u64; features + 1];
             for &p in &active {
-                if it > 0 {
+                if computed[p] {
                     learners[p].dual_update(&z, s);
                 }
                 learners[p].local_step(&z, s, &cfg.qp).expect("qp");
+                computed[p] = true;
                 for (acc, v) in summed.iter_mut().zip(learners[p].share()) {
                     *acc = acc.wrapping_add(codec.encode_u64(v).expect("encode"));
                 }
@@ -1169,5 +1733,144 @@ mod tests {
             .expect("done");
         let model = handle.join().expect("learner thread").expect("learner");
         assert_eq!(model, LinearSvm::from_parts(vec![0.2; features], 0.1));
+    }
+
+    #[test]
+    fn coordinator_crash_resume_reproduces_the_uninterrupted_run() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+        let m = parts.len();
+        let features = feature_count(&parts).expect("partitions");
+        let timing = DistributedTiming::default()
+            .with_round_deadline(Duration::from_secs(1))
+            .with_learner_patience(Duration::from_secs(20));
+
+        let (clean, _) = run_distributed(&parts, &cfg, NetFaultPlan::none());
+
+        let ckpt_path =
+            std::env::temp_dir().join(format!("ppml-resume-test-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&ckpt_path);
+
+        // The coordinator goes dead after its ninth countable frame —
+        // the rounds 0–2 broadcasts — so the round-2 shares never reach
+        // it: rounds 0 and 1 are accepted and checkpointed, round 2 dies
+        // at the collection deadline, and every re-key attempt fails.
+        let faults = NetFaultPlan::none().kill_party_after(m as PartyId, 9);
+        let hub = LoopbackHub::with_faults(m + 1, faults);
+        let mut handles = Vec::new();
+        for (p, part) in parts.iter().enumerate() {
+            let mut courier = Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+            let part = part.clone();
+            let cfg_l = cfg;
+            handles.push(thread::spawn(move || {
+                learn_linear(&mut courier, m, &part, &cfg_l, timing)
+            }));
+        }
+        let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+        let crashed = coordinate_linear_with_recovery(
+            &mut courier,
+            m,
+            features,
+            &cfg,
+            None,
+            timing,
+            RecoveryOptions::default().with_checkpoint(&ckpt_path),
+        );
+        assert!(
+            matches!(crashed, Err(TrainError::Dropped { .. })),
+            "the dying incarnation must fail, got {:?}",
+            crashed.map(|_| ())
+        );
+
+        // "Restart": heal the network, load the checkpoint, resume on a
+        // fresh endpoint — fresh sequence numbers and empty dedup state,
+        // exactly what a new OS process would have.
+        hub.set_faults(NetFaultPlan::none());
+        let ckpt = Checkpoint::load(&ckpt_path).expect("crash left a complete checkpoint");
+        assert_eq!(
+            ckpt.next_round, 2,
+            "rounds 0 and 1 were accepted before the crash"
+        );
+        assert_eq!(ckpt.alive, vec![0, 1, 2]);
+        let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+        let outcome = coordinate_linear_with_recovery(
+            &mut courier,
+            m,
+            features,
+            &cfg,
+            None,
+            timing,
+            RecoveryOptions::default()
+                .with_checkpoint(&ckpt_path)
+                .with_resume(ckpt),
+        )
+        .expect("resumed run");
+        let _ = std::fs::remove_file(&ckpt_path);
+
+        // Bit-identical to the run that never crashed: learners that had
+        // already computed the re-collected round re-send their cached
+        // raw share re-masked under the bumped epoch, so every round sum
+        // — and hence every iterate — is reproduced exactly.
+        assert_eq!(outcome.history.z_delta, clean.history.z_delta);
+        assert_eq!(outcome.model, clean.model);
+        assert!(outcome.dropped.is_empty(), "got {:?}", outcome.dropped);
+        for h in handles {
+            let f = h
+                .join()
+                .expect("learner thread")
+                .expect("learner survives the coordinator restart");
+            assert_eq!(f, outcome.model);
+        }
+    }
+
+    #[test]
+    fn rejoining_learner_is_readmitted_with_a_rekey() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+        let timing = DistributedTiming::default()
+            .with_round_deadline(Duration::from_millis(800))
+            .with_learner_patience(Duration::from_secs(4));
+        let m = parts.len();
+        let features = feature_count(&parts).expect("partitions");
+        let hub = LoopbackHub::with_faults(m + 1, NetFaultPlan::none());
+        let mut handles = Vec::new();
+        for (p, part) in parts.iter().enumerate() {
+            let mut courier = Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+            let part = part.clone();
+            handles.push(thread::spawn(move || {
+                if p == 1 {
+                    // A "restarted process": knows nothing of the run and
+                    // asks back in via Join. The coordinator misses its
+                    // round-0 share at the deadline, drops it, then
+                    // re-admits it at the round-1 boundary.
+                    rejoin_linear(&mut courier, m, &part, &cfg, timing)
+                } else {
+                    learn_linear(&mut courier, m, &part, &cfg, timing)
+                }
+            }));
+        }
+        let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+        let outcome =
+            coordinate_linear(&mut courier, m, features, &cfg, None, timing).expect("coordinator");
+        let finals: Vec<Result<LinearSvm>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("learner thread"))
+            .collect();
+
+        // Round 0 runs over {0, 2}; from round 1 on, all three — with
+        // the rejoiner entering as a fresh learner with zeroed duals,
+        // exactly like the in-process membership reference.
+        let reference = reference_with_membership(&parts, &cfg, &[(1, 0)], &[(1, 1)]);
+        assert_eq!(outcome.model, reference);
+        assert!(
+            outcome.dropped.is_empty(),
+            "re-admission must clear the dropout record, got {:?}",
+            outcome.dropped
+        );
+        for f in &finals {
+            assert_eq!(*f.as_ref().expect("every learner finishes"), outcome.model);
+        }
     }
 }

@@ -40,6 +40,11 @@ pub enum TrainError {
         /// Parties declared dead, in the order they were dropped.
         parties: Vec<u32>,
     },
+    /// A checkpoint could not be written, read or validated.
+    Checkpoint {
+        /// The path (when known) and what went wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -58,6 +63,7 @@ impl fmt::Display for TrainError {
             TrainError::Dropped { parties } => {
                 write!(f, "all learners dropped out (in order: {parties:?})")
             }
+            TrainError::Checkpoint { reason } => write!(f, "checkpoint failed: {reason}"),
         }
     }
 }

@@ -45,6 +45,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+pub mod checkpoint;
 mod config;
 pub mod distributed;
 pub mod dp;
@@ -64,8 +65,9 @@ mod vertical {
     pub mod linear;
 }
 
+pub use checkpoint::Checkpoint;
 pub use config::{AdmmConfig, DistributedTiming};
-pub use distributed::DistributedOutcome;
+pub use distributed::{DistributedOutcome, RecoveryOptions};
 pub use error::TrainError;
 pub use history::ConvergenceHistory;
 pub use horizontal::kernel::{HorizontalKernelSvm, KernelConsensusModel, KernelOutcome};

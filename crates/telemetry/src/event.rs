@@ -204,6 +204,32 @@ pub enum EventKind {
         /// Round-trip time of the winning (minimum-RTT) probe.
         rtt_ns: u64,
     },
+    /// The coordinator durably checkpointed its round state (after the
+    /// write-temp → fsync → rename sequence completed).
+    CheckpointWrite {
+        /// Next round the checkpoint would resume at.
+        iteration: u64,
+        /// Re-key epoch captured in the checkpoint.
+        epoch: u64,
+        /// Encoded checkpoint size on disk.
+        bytes: u64,
+    },
+    /// A coordinator came back from a checkpoint and re-entered the run.
+    ResumeFromCheckpoint {
+        /// Round the resumed coordinator will re-broadcast.
+        iteration: u64,
+        /// Epoch in force after the post-resume bump.
+        epoch: u64,
+        /// Learners believed alive at resume.
+        survivors: u32,
+    },
+    /// A previously dropped (or restarted) learner was re-admitted.
+    Rejoin {
+        /// The returning learner.
+        party: u32,
+        /// Round at which it re-enters the protocol.
+        iteration: u64,
+    },
 }
 
 /// Phase labels [`Event::from_json`] can map back to `&'static str`.
@@ -433,6 +459,31 @@ impl Event {
                 let _ = write!(out, ",\"offset_ns\":{offset_ns}");
                 u(&mut out, "rtt_ns", rtt_ns);
             }
+            EventKind::CheckpointWrite {
+                iteration,
+                epoch,
+                bytes,
+            } => {
+                kind(&mut out, "checkpoint_write");
+                u(&mut out, "iteration", iteration);
+                u(&mut out, "epoch", epoch);
+                u(&mut out, "bytes", bytes);
+            }
+            EventKind::ResumeFromCheckpoint {
+                iteration,
+                epoch,
+                survivors,
+            } => {
+                kind(&mut out, "resume_from_checkpoint");
+                u(&mut out, "iteration", iteration);
+                u(&mut out, "epoch", epoch);
+                u(&mut out, "survivors", survivors.into());
+            }
+            EventKind::Rejoin { party, iteration } => {
+                kind(&mut out, "rejoin");
+                u(&mut out, "rejoined", party.into());
+                u(&mut out, "iteration", iteration);
+            }
         }
         out.push('}');
         out
@@ -582,6 +633,20 @@ impl Event {
                 peer: get_u32("peer")?,
                 offset_ns: get_i("offset_ns")?,
                 rtt_ns: get_u("rtt_ns")?,
+            },
+            "checkpoint_write" => EventKind::CheckpointWrite {
+                iteration: get_u("iteration")?,
+                epoch: get_u("epoch")?,
+                bytes: get_u("bytes")?,
+            },
+            "resume_from_checkpoint" => EventKind::ResumeFromCheckpoint {
+                iteration: get_u("iteration")?,
+                epoch: get_u("epoch")?,
+                survivors: get_u32("survivors")?,
+            },
+            "rejoin" => EventKind::Rejoin {
+                party: get_u32("rejoined")?,
+                iteration: get_u("iteration")?,
             },
             other => return Err(ParseError::UnknownKind(other.to_string())),
         };
@@ -766,6 +831,20 @@ mod tests {
                 peer: 0,
                 offset_ns: i64::MAX,
                 rtt_ns: 1,
+            },
+            EventKind::CheckpointWrite {
+                iteration: 6,
+                epoch: 2,
+                bytes: 1632,
+            },
+            EventKind::ResumeFromCheckpoint {
+                iteration: 6,
+                epoch: 6,
+                survivors: 3,
+            },
+            EventKind::Rejoin {
+                party: 1,
+                iteration: 7,
             },
         ];
         kinds

@@ -266,6 +266,15 @@ pub struct MetricsRegistry {
     pub clock_offset_ns: Gauge,
     /// RTT of the winning probe per handshake.
     pub clock_sync_rtt_ns: Histogram,
+    // ---- recovery
+    /// Durable checkpoints written ([`EventKind::CheckpointWrite`]).
+    pub checkpoints_total: Counter,
+    /// Encoded size of the last checkpoint on disk.
+    pub checkpoint_bytes: UintGauge,
+    /// Coordinator resumes from a checkpoint.
+    pub resumes_total: Counter,
+    /// Learners re-admitted mid-run ([`EventKind::Rejoin`]).
+    pub rejoins_total: Counter,
 }
 
 impl MetricsRegistry {
@@ -372,6 +381,18 @@ impl MetricsRegistry {
                 self.clock_offset_ns.set(offset_ns);
                 self.clock_sync_rtt_ns.observe(rtt_ns);
             }
+            EventKind::CheckpointWrite { bytes, .. } => {
+                self.checkpoints_total.inc();
+                self.checkpoint_bytes.set(bytes);
+            }
+            EventKind::ResumeFromCheckpoint {
+                epoch, survivors, ..
+            } => {
+                self.resumes_total.inc();
+                self.rekey_epoch.set(epoch);
+                self.survivors.set(survivors.into());
+            }
+            EventKind::Rejoin { .. } => self.rejoins_total.inc(),
         }
     }
 
@@ -525,6 +546,11 @@ impl MetricsRegistry {
         c(&mut out, "clock_syncs_total", self.clock_syncs_total.get());
         g(&mut out, "clock_offset_ns", self.clock_offset_ns.get());
         h(&mut out, "clock_sync_rtt_ns", "", &self.clock_sync_rtt_ns);
+
+        c(&mut out, "checkpoints_total", self.checkpoints_total.get());
+        gu(&mut out, "checkpoint_bytes", self.checkpoint_bytes.get());
+        c(&mut out, "resumes_total", self.resumes_total.get());
+        c(&mut out, "rejoins_total", self.rejoins_total.get());
 
         out
     }

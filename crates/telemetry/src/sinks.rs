@@ -133,6 +133,11 @@ struct Totals {
     dropouts: Vec<(u64, u32, u64)>,
     /// `(t_ns, epoch, survivors)` per re-key.
     rekeys: Vec<(u64, u64, u32)>,
+    checkpoints: u64,
+    /// `(t_ns, iteration)` per coordinator resume.
+    resumes: Vec<(u64, u64)>,
+    /// `(t_ns, party, iteration)` per learner re-admission.
+    rejoins: Vec<(u64, u32, u64)>,
     /// label → (count, total ns).
     phases: BTreeMap<&'static str, (u64, u64)>,
 }
@@ -231,6 +236,25 @@ impl SummarySink {
                 rel as f64 / 1e9
             );
         }
+        if t.checkpoints > 0 {
+            let _ = writeln!(out, "  checkpoints: {} written", t.checkpoints);
+        }
+        for &(t_ns, iteration) in &t.resumes {
+            let rel = t.first_t_ns.map_or(0, |f| t_ns.saturating_sub(f));
+            let _ = writeln!(
+                out,
+                "  resume: from checkpoint at round {iteration} (+{:.3}s)",
+                rel as f64 / 1e9
+            );
+        }
+        for &(t_ns, party, iteration) in &t.rejoins {
+            let rel = t.first_t_ns.map_or(0, |f| t_ns.saturating_sub(f));
+            let _ = writeln!(
+                out,
+                "  rejoin: party {party} at round {iteration} (+{:.3}s)",
+                rel as f64 / 1e9
+            );
+        }
         for (phase, &(count, total_ns)) in &t.phases {
             let _ = writeln!(
                 out,
@@ -294,6 +318,13 @@ impl Sink for SummarySink {
                 slot.1 += elapsed_ns;
             }
             EventKind::RunInfo { .. } | EventKind::ClockSync { .. } => {}
+            EventKind::CheckpointWrite { .. } => t.checkpoints += 1,
+            EventKind::ResumeFromCheckpoint { iteration, .. } => {
+                t.resumes.push((event.t_ns, iteration));
+            }
+            EventKind::Rejoin { party, iteration } => {
+                t.rejoins.push((event.t_ns, party, iteration));
+            }
         }
     }
 }

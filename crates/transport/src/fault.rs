@@ -81,21 +81,29 @@ struct Rule {
 }
 
 /// A party that crashes mid-protocol: once it has offered `after` countable
-/// frames (originals only — retransmissions and acks are reactions to peer
-/// timing, so counting them would make the kill point nondeterministic),
-/// every subsequent frame from *or to* the party is destroyed. That is what
-/// a killed process looks like to the network: nothing more comes out of
-/// it, and everything sent its way lands nowhere.
+/// frames (protocol originals only — retransmissions and acks are reactions
+/// to peer timing, and heartbeats and clock probes fire on wall-clock
+/// schedules, so counting any of them would make the kill point
+/// nondeterministic), every subsequent frame from *or to* the party is
+/// destroyed. That is what a killed process looks like to the network:
+/// nothing more comes out of it, and everything sent its way lands nowhere.
+///
+/// With `until` set the death is a *window*: the party revives once its
+/// countable-frame counter reaches `until`. Frames keep being counted while
+/// dead (the process restarting still tries to talk), so the revival point
+/// is as deterministic as the kill point — the chaos harness uses this for
+/// timed kill-then-restart schedules.
 #[derive(Debug, Clone)]
 struct KillRule {
     party: PartyId,
     after: u32,
+    until: Option<u32>,
     counted: u32,
 }
 
 impl KillRule {
     fn dead(&self) -> bool {
-        self.counted >= self.after
+        self.counted >= self.after && self.until.is_none_or(|u| self.counted < u)
     }
 }
 
@@ -144,17 +152,44 @@ impl NetFaultPlan {
     }
 
     /// Kills `party` after it has offered `n_frames` countable frames
-    /// (non-ack originals; retransmissions and acks are excluded so the
-    /// kill point is deterministic for a given protocol run). From then on
+    /// (protocol originals; retransmissions, acks, heartbeats and clock
+    /// probes are excluded so the kill point is deterministic for a given
+    /// protocol run regardless of wall-clock timing). From then on
     /// every frame from or to the party vanishes — the standard way to make
     /// learner dropout reproducible in tests.
     pub fn kill_party_after(mut self, party: PartyId, n_frames: u32) -> Self {
         self.kills.push(KillRule {
             party,
             after: n_frames,
+            until: None,
             counted: 0,
         });
         self
+    }
+
+    /// Kills `party` for a *window* of its own countable frames: dead from
+    /// its `after`-th original frame, revived at its `until`-th (so `until`
+    /// must exceed `after` for the window to exist). While dead the party's
+    /// protocol frames are destroyed but still counted — a restarted
+    /// process keeps emitting (fresh sends, `Join` probes), and those
+    /// attempts are what march the counter to the revival point. The chaos
+    /// harness scripts deterministic kill-then-restart schedules with this.
+    pub fn kill_party_between(mut self, party: PartyId, after: u32, until: u32) -> Self {
+        self.kills.push(KillRule {
+            party,
+            after,
+            until: Some(until),
+            counted: 0,
+        });
+        self
+    }
+
+    /// Severs the `from → to` direction permanently while leaving the
+    /// reverse direction intact — a one-way partition. Built on the same
+    /// [`LinkFilter`] machinery as every other rule, so it composes with
+    /// kinds and budgets added separately.
+    pub fn partition_one_way(self, from: PartyId, to: PartyId) -> Self {
+        self.drop_frames(LinkFilter::any().from(from).to(to), u32::MAX)
     }
 
     /// True when no rule can ever fire.
@@ -167,15 +202,28 @@ impl NetFaultPlan {
     /// precedence: a dead party neither sends nor receives.
     pub fn apply(&mut self, frame: &Frame) -> Option<FaultAction> {
         let kind = frame.msg.kind();
-        let countable = !matches!(frame.msg, crate::frame::Message::Ack { .. })
-            && frame.flags & FLAG_RETRANSMIT == 0;
+        let countable = !matches!(
+            frame.msg,
+            crate::frame::Message::Ack { .. }
+                | crate::frame::Message::Heartbeat { .. }
+                | crate::frame::Message::TimeProbe { .. }
+                | crate::frame::Message::TimeReply { .. }
+        ) && frame.flags & FLAG_RETRANSMIT == 0;
+        // The verdict for this frame uses the counters as they stood
+        // *before* it: the frame that exhausts a kill budget still passes.
+        // Counting never stops, even while dead, so a kill window's
+        // revival point stays frame-deterministic.
+        let mut killed = false;
         for kill in &mut self.kills {
             if kill.dead() && (frame.from == kill.party || frame.to == kill.party) {
-                return Some(FaultAction::Drop);
+                killed = true;
             }
             if frame.from == kill.party && countable {
                 kill.counted += 1;
             }
+        }
+        if killed {
+            return Some(FaultAction::Drop);
         }
         for rule in &mut self.rules {
             if rule.remaining > 0 && rule.filter.matches(frame.from, frame.to, kind, frame.seq) {
@@ -272,6 +320,30 @@ mod tests {
     }
 
     #[test]
+    fn kill_window_revives_the_party_deterministically() {
+        let mut plan = NetFaultPlan::none().kill_party_between(1, 2, 4);
+        assert_eq!(plan.apply(&share(1, 3, 1)), None);
+        assert_eq!(plan.apply(&share(1, 3, 2)), None);
+        // Dead: frames are destroyed in both directions, but the party's
+        // own originals are still counted toward the revival point.
+        assert_eq!(plan.apply(&share(1, 3, 3)), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&probe(3, 1, 9)), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&share(1, 3, 4)), Some(FaultAction::Drop));
+        // Counter reached `until`: the party is back in both directions.
+        assert_eq!(plan.apply(&share(1, 3, 5)), None);
+        assert_eq!(plan.apply(&probe(3, 1, 10)), None);
+    }
+
+    #[test]
+    fn one_way_partition_severs_exactly_one_direction() {
+        let mut plan = NetFaultPlan::none().partition_one_way(0, 2);
+        assert_eq!(plan.apply(&share(0, 2, 1)), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&share(0, 2, 9)), Some(FaultAction::Drop));
+        assert_eq!(plan.apply(&share(2, 0, 1)), None, "reverse path stays up");
+        assert_eq!(plan.apply(&share(0, 1, 1)), None, "other links stay up");
+    }
+
+    #[test]
     fn kill_counting_ignores_acks_and_retransmits() {
         let mut plan = NetFaultPlan::none().kill_party_after(1, 1);
         let ack = Frame {
@@ -282,6 +354,11 @@ mod tests {
             msg: Message::Ack { of_seq: 4 },
         };
         assert_eq!(plan.apply(&ack), None, "acks are not counted");
+        assert_eq!(
+            plan.apply(&probe(1, 3, 1)),
+            None,
+            "liveness heartbeats fire on wall-clock schedules and are not counted"
+        );
         let mut retransmit = share(1, 3, 1);
         retransmit.flags = FLAG_RETRANSMIT;
         // The original counts; its retransmission does not re-count but is

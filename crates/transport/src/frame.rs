@@ -174,6 +174,36 @@ pub enum Message {
         /// telemetry epoch) when the probe was handled.
         t_ns: u64,
     },
+    /// A restarted (or previously dropped) learner asking the coordinator
+    /// to re-admit it mid-run. Sent repeatedly until a
+    /// [`Message::Welcome`] arrives. Additive in wire version 2 — an old
+    /// coordinator rejects the unknown kind and the joiner times out.
+    Join {
+        /// The returning party.
+        party: PartyId,
+        /// Echo token distinguishing join attempts (a restarted process
+        /// picks a fresh one so stale Welcomes can be told apart).
+        nonce: u64,
+    },
+    /// Coordinator's re-admission grant: the full state a rejoiner (or a
+    /// learner greeting a resumed coordinator) needs to take part in the
+    /// next collection round. Also additive in wire version 2.
+    Welcome {
+        /// The join nonce being answered (0 when the Welcome is pushed
+        /// unsolicited by a resumed coordinator).
+        nonce: u64,
+        /// Next ADMM iteration the coordinator will broadcast.
+        iteration: u64,
+        /// Re-key generation in force; the receiver must mask over
+        /// `survivors` under this epoch from now on.
+        epoch: u64,
+        /// Parties in the protocol after re-admission, ascending ids.
+        survivors: Vec<PartyId>,
+        /// Current consensus iterate `z` (the warm start).
+        z: Vec<f64>,
+        /// Auxiliary consensus state (matches [`Message::Consensus::s`]).
+        s: Vec<f64>,
+    },
 }
 
 impl Message {
@@ -193,6 +223,8 @@ impl Message {
             Message::Rekey { .. } => 11,
             Message::TimeProbe { .. } => 12,
             Message::TimeReply { .. } => 13,
+            Message::Join { .. } => 14,
+            Message::Welcome { .. } => 15,
         }
     }
 
@@ -225,6 +257,22 @@ impl Message {
             Message::Shutdown => 0,
             Message::TimeProbe { nonce, run_id } => nonce.byte_len() + run_id.byte_len(),
             Message::TimeReply { nonce, t_ns } => nonce.byte_len() + t_ns.byte_len(),
+            Message::Join { party, nonce } => party.byte_len() + nonce.byte_len(),
+            Message::Welcome {
+                nonce,
+                iteration,
+                epoch,
+                survivors,
+                z,
+                s,
+            } => {
+                nonce.byte_len()
+                    + iteration.byte_len()
+                    + epoch.byte_len()
+                    + survivors.byte_len()
+                    + z.byte_len()
+                    + s.byte_len()
+            }
         }
     }
 
@@ -285,6 +333,25 @@ impl Message {
                 nonce.encode_into(out);
                 t_ns.encode_into(out);
             }
+            Message::Join { party, nonce } => {
+                party.encode_into(out);
+                nonce.encode_into(out);
+            }
+            Message::Welcome {
+                nonce,
+                iteration,
+                epoch,
+                survivors,
+                z,
+                s,
+            } => {
+                nonce.encode_into(out);
+                iteration.encode_into(out);
+                epoch.encode_into(out);
+                survivors.encode_into(out);
+                z.encode_into(out);
+                s.encode_into(out);
+            }
         }
     }
 
@@ -331,6 +398,18 @@ impl Message {
             13 => Message::TimeReply {
                 nonce: r.u64()?,
                 t_ns: r.u64()?,
+            },
+            14 => Message::Join {
+                party: r.u32()?,
+                nonce: r.u64()?,
+            },
+            15 => Message::Welcome {
+                nonce: r.u64()?,
+                iteration: r.u64()?,
+                epoch: r.u64()?,
+                survivors: r.vec_u32()?,
+                z: r.vec_f64()?,
+                s: r.vec_f64()?,
             },
             _ => return Err(WireError::Malformed("unknown message kind")),
         })
@@ -535,6 +614,18 @@ mod tests {
                 nonce: 0xFACE_FEED,
                 t_ns: 123_456_789_000,
             },
+            Message::Join {
+                party: 4,
+                nonce: 0xBAD_C0DE,
+            },
+            Message::Welcome {
+                nonce: 0xBAD_C0DE,
+                iteration: 17,
+                epoch: 3,
+                survivors: vec![0, 1, 4],
+                z: vec![0.25, -8.0],
+                s: vec![1.5, 0.0],
+            },
         ]
     }
 
@@ -637,5 +728,125 @@ mod tests {
     fn crc32_known_vector() {
         // The classic check value for IEEE CRC-32.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    /// Re-frames `msg` with its payload replaced by `payload`, CRC fixed
+    /// up so only the payload structure is wrong.
+    fn reframe_with_payload(msg: &Message, payload: &[u8]) -> Vec<u8> {
+        let body_len = 20 + payload.len() + 4;
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(&(body_len as u32).to_le_bytes());
+        out.push(WIRE_VERSION);
+        out.push(msg.kind());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(payload);
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn join_and_welcome_truncated_payloads_rejected() {
+        // Every strict prefix of a valid Join / Welcome payload must fail
+        // structurally (BadPayload), never decode to garbage.
+        for msg in [
+            Message::Join {
+                party: 2,
+                nonce: 99,
+            },
+            Message::Welcome {
+                nonce: 1,
+                iteration: 5,
+                epoch: 2,
+                survivors: vec![0, 2],
+                z: vec![1.0],
+                s: vec![],
+            },
+        ] {
+            let mut full = Vec::new();
+            msg.encode_payload(&mut full);
+            for cut in 0..full.len() {
+                let framed = reframe_with_payload(&msg, &full[..cut]);
+                match Frame::decode(&framed) {
+                    Err(FrameError::BadPayload(_)) => {}
+                    other => panic!("truncation at {cut} of {msg:?} gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_and_welcome_oversized_payloads_rejected() {
+        // Trailing junk after a structurally complete payload must be
+        // caught by the trailing-bytes check, and a Welcome whose vector
+        // length prefix promises more elements than the payload holds must
+        // fail structurally rather than over-read.
+        for msg in [
+            Message::Join {
+                party: 2,
+                nonce: 99,
+            },
+            Message::Welcome {
+                nonce: 0,
+                iteration: 5,
+                epoch: 2,
+                survivors: vec![0, 2],
+                z: vec![1.0],
+                s: vec![2.0],
+            },
+        ] {
+            let mut payload = Vec::new();
+            msg.encode_payload(&mut payload);
+            payload.extend_from_slice(&[0xAA; 3]);
+            let framed = reframe_with_payload(&msg, &payload);
+            assert_eq!(Frame::decode(&framed), Err(FrameError::TrailingBytes(3)));
+        }
+        // Claim 1000 survivors but supply none.
+        let mut lying = Vec::new();
+        0u64.encode_into(&mut lying); // nonce
+        5u64.encode_into(&mut lying); // iteration
+        2u64.encode_into(&mut lying); // epoch
+        lying.extend_from_slice(&1000u32.to_le_bytes()); // survivors length prefix
+        let framed = reframe_with_payload(
+            &Message::Welcome {
+                nonce: 0,
+                iteration: 0,
+                epoch: 0,
+                survivors: vec![],
+                z: vec![],
+                s: vec![],
+            },
+            &lying,
+        );
+        assert!(matches!(
+            Frame::decode(&framed),
+            Err(FrameError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_above_welcome_is_rejected_not_misparsed() {
+        // Forward compatibility: a frame from a future build using kind 16
+        // must come back as an unknown-kind error, exactly like the
+        // pre-Join/Welcome builds treat kinds 14/15.
+        let msg = Message::Join { party: 1, nonce: 7 };
+        let mut enc = reframe_with_payload(&msg, &{
+            let mut p = Vec::new();
+            msg.encode_payload(&mut p);
+            p
+        });
+        enc[5] = 16; // kind byte
+        let crc = crc32(&enc[4..enc.len() - 4]);
+        let n = enc.len();
+        enc[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&enc),
+            Err(FrameError::BadPayload(WireError::Malformed(
+                "unknown message kind"
+            )))
+        ));
     }
 }

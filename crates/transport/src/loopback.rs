@@ -107,6 +107,14 @@ impl LoopbackHub {
         self.state.lock().expect("hub lock").stats
     }
 
+    /// Replaces the fault plan mid-run — the chaos harness's lever for
+    /// healing a partition or clearing a kill so a restarted incarnation
+    /// of a party can talk. Frames already queued are unaffected; only
+    /// subsequent sends consult the new plan.
+    pub fn set_faults(&self, faults: NetFaultPlan) {
+        self.state.lock().expect("hub lock").faults = faults;
+    }
+
     /// Marks the fabric closed; blocked receivers wake with
     /// [`TransportError::Closed`] once their queues drain.
     pub fn close(&self) {

@@ -12,6 +12,7 @@
 //!                  [--seed 11] [--tol T] [--round-timeout SECS]
 //!                  [--out model.txt] [--telemetry events.jsonl]
 //!                  [--metrics-addr 127.0.0.1:0]
+//!                  [--checkpoint run.ckpt] [--resume run.ckpt]
 //!
 //! `--round-timeout` bounds each collection round: a learner whose share
 //! has not arrived when it expires is declared dropped, the secure sum is
@@ -22,6 +23,14 @@
 //! JSONL to `PATH` and prints a human summary at exit. Events carry only
 //! sizes, timings and counts — never shares or model coordinates.
 //!
+//! `--checkpoint PATH` writes a crash-consistent snapshot of the run
+//! after every accepted round (write-temp, fsync, atomic rename). If the
+//! coordinator process dies mid-run, restart it with the same flags plus
+//! `--resume PATH`: it re-binds the port, waits for the surviving
+//! learners to re-dial, re-keys the secure sum over them and continues
+//! from the first round the snapshot had not yet completed — the final
+//! model is bit-identical to the uninterrupted run.
+//!
 //! `--metrics-addr HOST:PORT` additionally serves the live metrics
 //! registry in Prometheus text format at `http://HOST:PORT/metrics` for
 //! the lifetime of the run (`metrics on ADDR` is printed with the bound
@@ -29,6 +38,9 @@
 //! scalar aggregates — counters, gauges, log2 histograms — and nothing
 //! else.
 //! ```
+//!
+//! Exit codes are typed (see `ppml::cli`): 2 usage/config, 3
+//! I/O/checkpoint, 4 transport/protocol, 5 all learners dropped.
 //!
 //! Both sides regenerate the same synthetic dataset from
 //! `(--dataset, --n, --data-seed)` so the coordinator knows the feature
@@ -42,8 +54,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ppml::core::distributed::{coordinate_linear, feature_count};
-use ppml::core::{AdmmConfig, DistributedTiming};
+use ppml::cli::CliError;
+use ppml::core::distributed::{coordinate_linear_with_recovery, feature_count};
+use ppml::core::{AdmmConfig, Checkpoint, DistributedTiming, RecoveryOptions};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
 use ppml::transport::{Courier, PartyId, RetryPolicy, TcpTransport};
@@ -52,7 +65,8 @@ fn usage() -> String {
     "usage:\n  ppml-coordinator --learners M [--port P] [--dataset <cancer|higgs|ocr|blobs|xor>]\n                   \
      [--n N] [--data-seed S] [--iters T] [--c C] [--rho RHO] [--seed S]\n                   \
      [--tol TOL] [--connect-timeout SECS] [--round-timeout SECS] [--out MODEL]\n                   \
-     [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT]"
+     [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT]\n                   \
+     [--checkpoint RUN.ckpt] [--resume RUN.ckpt]"
         .to_string()
 }
 
@@ -107,13 +121,13 @@ fn config(flags: &BTreeMap<String, String>) -> Result<AdmmConfig, String> {
     Ok(cfg)
 }
 
-fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
-    let learners: usize = numeric(&flags, "learners", 0)?;
+fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
+    let learners: usize = numeric(&flags, "learners", 0).map_err(CliError::usage)?;
     if learners == 0 {
-        return Err("--learners must be at least 1".to_string());
+        return Err(CliError::usage("--learners must be at least 1"));
     }
-    let port: u16 = numeric(&flags, "port", 0)?;
-    let connect_timeout: u64 = numeric(&flags, "connect-timeout", 30)?;
+    let port: u16 = numeric(&flags, "port", 0).map_err(CliError::usage)?;
+    let connect_timeout: u64 = numeric(&flags, "connect-timeout", 30).map_err(CliError::usage)?;
     // Install telemetry before the transport binds so connection-phase
     // frames are captured too. The JSONL/summary pair (--telemetry) and
     // the live metrics registry (--metrics-addr) share one fanout.
@@ -121,7 +135,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     let telemetry_out = match flags.get("telemetry") {
         Some(path) => {
             let jsonl = JsonlSink::create(Path::new(path))
-                .map_err(|e| format!("--telemetry {path}: {e}"))?;
+                .map_err(|e| CliError::io(format!("--telemetry {path}: {e}")))?;
             let summary = SummarySink::new();
             sinks.push(jsonl);
             sinks.push(summary.clone());
@@ -133,7 +147,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         Some(addr) => {
             let sink = MetricsSink::new();
             let server = MetricsServer::serve(addr, Arc::clone(sink.registry()))
-                .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+                .map_err(|e| CliError::io(format!("--metrics-addr {addr}: {e}")))?;
             sinks.push(sink);
             // Scrape scripts and the integration tests parse this line.
             println!("metrics on {}", server.local_addr());
@@ -144,15 +158,43 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     if !sinks.is_empty() {
         telemetry::install(FanoutSink::new(sinks));
     }
-    let cfg = config(&flags)?;
-    let ds = dataset(&flags)?;
-    let parts = Partition::horizontal(&ds, learners, numeric(&flags, "part-seed", 1)?)
-        .map_err(|e| e.to_string())?;
-    let features = feature_count(&parts).map_err(|e| e.to_string())?;
+    let cfg = config(&flags).map_err(CliError::usage)?;
+    let ds = dataset(&flags).map_err(CliError::usage)?;
+    let part_seed: u64 = numeric(&flags, "part-seed", 1).map_err(CliError::usage)?;
+    let parts = Partition::horizontal(&ds, learners, part_seed)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let features = feature_count(&parts).map_err(CliError::from)?;
+
+    // Crash recovery: `--checkpoint` snapshots after every accepted
+    // round; `--resume` restores such a snapshot and continues the run.
+    let mut recovery = RecoveryOptions::default();
+    if let Some(path) = flags.get("checkpoint") {
+        recovery = recovery.with_checkpoint(path);
+    }
+    let resumed = match flags.get("resume") {
+        Some(path) => {
+            let ckpt = Checkpoint::load(Path::new(path)).map_err(CliError::from)?;
+            ckpt.check_compatible(learners, features, cfg.seed)
+                .map_err(CliError::from)?;
+            println!(
+                "resuming from {path}: next round {}, epoch {}, {} survivors",
+                ckpt.next_round,
+                ckpt.epoch,
+                ckpt.alive.len()
+            );
+            let survivors = ckpt.alive.len();
+            recovery = recovery.with_resume(ckpt);
+            Some(survivors)
+        }
+        None => None,
+    };
+    // A resumed coordinator only waits for the snapshot's survivors —
+    // learners dropped before the crash stay dropped.
+    let expect_connected = resumed.unwrap_or(learners);
 
     let addr: SocketAddr = format!("127.0.0.1:{port}")
         .parse()
-        .map_err(|e| format!("bad port: {e}"))?;
+        .map_err(|e| CliError::usage(format!("bad port: {e}")))?;
     let transport = TcpTransport::bind(
         learners as PartyId,
         addr,
@@ -160,29 +202,37 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         RetryPolicy::tcp_link(),
         Duration::from_secs(5),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::transport(e.to_string()))?;
     // The learner scripts and the example parse this line for the port.
     println!("listening on {}", transport.local_addr());
 
     let deadline = Instant::now() + Duration::from_secs(connect_timeout);
-    while transport.connected_parties().len() < learners {
+    while transport.connected_parties().len() < expect_connected {
         if Instant::now() >= deadline {
-            return Err(format!(
-                "only {}/{learners} learners connected within {connect_timeout}s",
+            return Err(CliError::transport(format!(
+                "only {}/{expect_connected} learners connected within {connect_timeout}s",
                 transport.connected_parties().len()
-            ));
+            )));
         }
         std::thread::sleep(Duration::from_millis(20));
     }
-    println!("all {learners} learners connected, training");
+    println!("all {expect_connected} learners connected, training");
 
-    let round_timeout: u64 = numeric(&flags, "round-timeout", 30)?;
+    let round_timeout: u64 = numeric(&flags, "round-timeout", 30).map_err(CliError::usage)?;
     let timing = DistributedTiming::default()
         .with_round_deadline(Duration::from_secs(round_timeout))
         .with_learner_patience(Duration::from_secs(round_timeout.max(1) * 4));
     let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
-    let outcome = coordinate_linear(&mut courier, learners, features, &cfg, None, timing)
-        .map_err(|e| e.to_string())?;
+    let outcome = coordinate_linear_with_recovery(
+        &mut courier,
+        learners,
+        features,
+        &cfg,
+        None,
+        timing,
+        recovery,
+    )
+    .map_err(CliError::from)?;
 
     if !outcome.dropped.is_empty() {
         println!("dropped learners (in order): {:?}", outcome.dropped);
@@ -199,7 +249,8 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     println!("training accuracy: {:.4}", outcome.model.accuracy(&ds));
     println!("model: {}", outcome.model.to_text());
     if let Some(path) = flags.get("out") {
-        std::fs::write(path, outcome.model.to_text()).map_err(|e| e.to_string())?;
+        std::fs::write(path, outcome.model.to_text())
+            .map_err(|e| CliError::io(format!("--out {path}: {e}")))?;
         println!("wrote {path}");
     }
     if let Some((summary, path)) = telemetry_out {
@@ -215,15 +266,22 @@ fn main() -> ExitCode {
     let flags = match parse_flags(&args) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}\n{}", usage());
-            return ExitCode::FAILURE;
+            let e = CliError::usage(e);
+            eprintln!("ppml-coordinator: {}\n{}", e.msg, usage());
+            return e.exit_code();
         }
     };
     match run(flags) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("ppml-coordinator: {e}\n{}", usage());
-            ExitCode::FAILURE
+            // One line to stderr, typed exit code; usage errors also get
+            // the usage block since the fix is a different invocation.
+            if e.code == ppml::cli::EXIT_USAGE {
+                eprintln!("ppml-coordinator: {}\n{}", e.msg, usage());
+            } else {
+                eprintln!("ppml-coordinator: {}", e.msg);
+            }
+            e.exit_code()
         }
     }
 }

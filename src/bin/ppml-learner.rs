@@ -12,6 +12,7 @@
 //!              [--c 50] [--rho 100] [--seed 11] [--tol T]
 //!              [--patience SECS] [--telemetry events.jsonl]
 //!              [--metrics-addr 127.0.0.1:0] [--defect-after R]
+//!              [--rejoin true]
 //!
 //! `--patience` bounds how long the learner waits between coordinator
 //! protocol frames; when it expires the process exits with an error
@@ -26,6 +27,12 @@
 //! (`metrics on ADDR` is printed with the bound address; port 0 picks a
 //! free one).
 //!
+//! `--rejoin true` makes this a *re-admission*: instead of waiting for
+//! the round-0 broadcast, the learner sends Join probes until the
+//! coordinator answers with a Welcome carrying the current iterate, then
+//! participates normally (duals warm-start at zero). Use it to bring a
+//! previously-dropped learner back into a live run.
+//!
 //! `--defect-after R` is fault injection for drills and trace demos: the
 //! learner participates correctly for rounds `< R`, then silently stops
 //! answering consensus broadcasts while still ACKing frames — exactly
@@ -36,6 +43,9 @@
 //!
 //! Every training flag must match the coordinator's, as both sides drive
 //! the same deterministic protocol from their own copy of the config.
+//!
+//! Exit codes are typed (see `ppml::cli`): 2 usage/config, 3
+//! I/O/checkpoint, 4 transport/protocol.
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
@@ -44,7 +54,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ppml::core::distributed::{learn_linear, learn_linear_with_defect};
+use ppml::cli::CliError;
+use ppml::core::distributed::{learn_linear, learn_linear_with_defect, rejoin_linear};
 use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
@@ -54,7 +65,8 @@ fn usage() -> String {
     "usage:\n  ppml-learner --party I --learners M --coordinator HOST:PORT\n               \
      [--dataset <cancer|higgs|ocr|blobs|xor>] [--n N] [--data-seed S]\n               \
      [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL] [--patience SECS]\n               \
-     [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT] [--defect-after R]"
+     [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT] [--defect-after R]\n               \
+     [--rejoin true]"
         .to_string()
 }
 
@@ -109,27 +121,44 @@ fn config(flags: &BTreeMap<String, String>) -> Result<AdmmConfig, String> {
     Ok(cfg)
 }
 
-fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
-    let learners: usize = numeric(&flags, "learners", 0)?;
+fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
+    let learners: usize = numeric(&flags, "learners", 0).map_err(CliError::usage)?;
     if learners == 0 {
-        return Err("--learners must be at least 1".to_string());
+        return Err(CliError::usage("--learners must be at least 1"));
     }
     let party: usize = match flags.get("party") {
-        Some(v) => v.parse().map_err(|_| format!("--party: bad value {v}"))?,
-        None => return Err("--party is required".to_string()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--party: bad value {v}")))?,
+        None => return Err(CliError::usage("--party is required")),
     };
     if party >= learners {
-        return Err(format!("--party {party} out of range 0..{learners}"));
+        return Err(CliError::usage(format!(
+            "--party {party} out of range 0..{learners}"
+        )));
     }
     let coordinator: SocketAddr = flags
         .get("coordinator")
-        .ok_or_else(|| "--coordinator is required".to_string())?
+        .ok_or_else(|| CliError::usage("--coordinator is required"))?
         .parse()
-        .map_err(|e| format!("--coordinator: {e}"))?;
-    let cfg = config(&flags)?;
-    let ds = dataset(&flags)?;
-    let parts = Partition::horizontal(&ds, learners, numeric(&flags, "part-seed", 1)?)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::usage(format!("--coordinator: {e}")))?;
+    let rejoin = match flags.get("rejoin").map(String::as_str) {
+        None | Some("false") | Some("0") | Some("no") => false,
+        Some("true") | Some("1") | Some("yes") => true,
+        Some(v) => {
+            return Err(CliError::usage(format!(
+                "--rejoin: bad value {v} (use true or false)"
+            )))
+        }
+    };
+    if rejoin && flags.contains_key("defect-after") {
+        return Err(CliError::usage("--rejoin and --defect-after are exclusive"));
+    }
+    let cfg = config(&flags).map_err(CliError::usage)?;
+    let ds = dataset(&flags).map_err(CliError::usage)?;
+    let part_seed: u64 = numeric(&flags, "part-seed", 1).map_err(CliError::usage)?;
+    let parts = Partition::horizontal(&ds, learners, part_seed)
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let my_part = &parts[party];
 
     // Install telemetry before the transport binds so the dial and
@@ -140,7 +169,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
     let telemetry_out = match flags.get("telemetry") {
         Some(path) => {
             let jsonl = JsonlSink::create(Path::new(path))
-                .map_err(|e| format!("--telemetry {path}: {e}"))?;
+                .map_err(|e| CliError::io(format!("--telemetry {path}: {e}")))?;
             let summary = SummarySink::new();
             sinks.push(jsonl);
             sinks.push(summary.clone());
@@ -152,7 +181,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         Some(addr) => {
             let sink = MetricsSink::new();
             let server = MetricsServer::serve(addr, Arc::clone(sink.registry()))
-                .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+                .map_err(|e| CliError::io(format!("--metrics-addr {addr}: {e}")))?;
             sinks.push(sink);
             // Scrape scripts and the integration tests parse this line.
             println!("metrics on {}", server.local_addr());
@@ -171,7 +200,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
         RetryPolicy::tcp_link(),
         Duration::from_secs(5),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::transport(e.to_string()))?;
     let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
 
     println!(
@@ -187,22 +216,27 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), String> {
                 nonce: party as u64,
             },
         )
-        .map_err(|e| e.to_string())?;
-    let patience: u64 = numeric(&flags, "patience", 60)?;
+        .map_err(|e| CliError::transport(e.to_string()))?;
+    let patience: u64 = numeric(&flags, "patience", 60).map_err(CliError::usage)?;
     let timing = DistributedTiming::default()
         .with_round_deadline(Duration::from_secs(patience.max(1)))
         .with_learner_patience(Duration::from_secs(patience.max(1)));
-    let model = match flags.get("defect-after") {
-        Some(v) => {
-            let after: u64 = v
-                .parse()
-                .map_err(|_| format!("--defect-after: bad value {v}"))?;
-            println!("learner {party}: fault injection armed, defecting after round {after}");
-            learn_linear_with_defect(&mut courier, learners, my_part, &cfg, timing, after)
+    let model = if rejoin {
+        println!("learner {party}: asking to rejoin the run at {coordinator}");
+        rejoin_linear(&mut courier, learners, my_part, &cfg, timing)
+    } else {
+        match flags.get("defect-after") {
+            Some(v) => {
+                let after: u64 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("--defect-after: bad value {v}")))?;
+                println!("learner {party}: fault injection armed, defecting after round {after}");
+                learn_linear_with_defect(&mut courier, learners, my_part, &cfg, timing, after)
+            }
+            None => learn_linear(&mut courier, learners, my_part, &cfg, timing),
         }
-        None => learn_linear(&mut courier, learners, my_part, &cfg, timing),
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(CliError::from)?;
     println!("learner {party}: done");
     println!("consensus model: {}", model.to_text());
     if let Some((summary, path)) = telemetry_out {
@@ -218,15 +252,22 @@ fn main() -> ExitCode {
     let flags = match parse_flags(&args) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("{e}\n{}", usage());
-            return ExitCode::FAILURE;
+            let e = CliError::usage(e);
+            eprintln!("ppml-learner: {}\n{}", e.msg, usage());
+            return e.exit_code();
         }
     };
     match run(flags) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("ppml-learner: {e}\n{}", usage());
-            ExitCode::FAILURE
+            // One line to stderr, typed exit code; usage errors also get
+            // the usage block since the fix is a different invocation.
+            if e.code == ppml::cli::EXIT_USAGE {
+                eprintln!("ppml-learner: {}\n{}", e.msg, usage());
+            } else {
+                eprintln!("ppml-learner: {}", e.msg);
+            }
+            e.exit_code()
         }
     }
 }

@@ -22,6 +22,7 @@
 //! | [`transport`] | `ppml-transport` | wire format, loopback + TCP transports, ARQ courier |
 //! | [`telemetry`] | `ppml-telemetry` | structured events, span timing, JSONL/ring/summary sinks, metrics registry + exposition |
 //! | [`trace`] | *(this crate)* | cross-process trace correlation: merge + clock-rebase JSONL streams |
+//! | [`cli`] | *(this crate)* | shared binary plumbing: typed exit codes + one-line stderr reasons |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 //! harness regenerating every figure of the paper's evaluation.
 
 #![forbid(unsafe_code)]
+pub mod cli;
 pub mod trace;
 
 pub use ppml_core as core;

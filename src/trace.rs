@@ -171,6 +171,20 @@ pub struct Timeline {
 /// clock, as `(miss_t, (dropped_party, drop_t), rekey_t)`.
 pub type DropoutSequence = (Option<i64>, (u32, i64), Option<i64>);
 
+/// One re-admission: the rejoining party, the round it re-enters at, and
+/// the re-key `(epoch, survivors)` that sealed it (if recorded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinStory {
+    /// The returning learner.
+    pub party: u32,
+    /// Round the coordinator originally dropped it in, when recorded.
+    pub dropped_at: Option<u64>,
+    /// Round it re-enters the protocol at.
+    pub iteration: u64,
+    /// The re-key that admitted it, as `(epoch, survivors)`.
+    pub rekey: Option<(u64, u32)>,
+}
+
 impl Timeline {
     /// Correlates `streams` into one timeline: identifies the
     /// coordinator (the stream carrying `ClockSync` events; falling back
@@ -293,6 +307,77 @@ impl Timeline {
                 })
                 .map(|e| e.t_ns);
             out.push((miss, (party, drop_event.t_ns), rekey));
+        }
+        out
+    }
+
+    /// Recovery counts across all streams as
+    /// `(checkpoint writes, resumes, rejoins)`. Rejoins are counted on
+    /// the coordinator side only (the learner logs a mirror event).
+    pub fn recovery_counts(&self) -> (usize, usize, usize) {
+        let coordinator = self.coordinator_party;
+        let mut checkpoints = 0;
+        let mut resumes = 0;
+        let mut rejoins = 0;
+        for e in &self.events {
+            match e.event.kind {
+                EventKind::CheckpointWrite { .. } => checkpoints += 1,
+                EventKind::ResumeFromCheckpoint { .. } => resumes += 1,
+                EventKind::Rejoin { .. } if Some(e.event.party) == coordinator => rejoins += 1,
+                _ => {}
+            }
+        }
+        (checkpoints, resumes, rejoins)
+    }
+
+    /// The re-admission stories, coordinator side: each `Rejoin` paired
+    /// with the party's nearest preceding `Dropout` and the first
+    /// following `RekeyEpoch` *from the same stream* — a resumed run can
+    /// contribute a second coordinator stream whose clock is its own, so
+    /// cross-stream time pairing would lie.
+    pub fn rejoin_stories(&self) -> Vec<RejoinStory> {
+        let coordinator = self.coordinator_party;
+        let mut out = Vec::new();
+        for rejoin in &self.events {
+            let EventKind::Rejoin { party, iteration } = rejoin.event.kind else {
+                continue;
+            };
+            if Some(rejoin.event.party) != coordinator {
+                continue;
+            }
+            let same_stream = |e: &&TraceEvent| e.stream == rejoin.stream;
+            let dropped_at = self
+                .events
+                .iter()
+                .filter(same_stream)
+                .filter(|e| {
+                    e.t_ns <= rejoin.t_ns
+                        && matches!(e.event.kind, EventKind::Dropout { party: p, .. } if p == party)
+                })
+                .map(|e| match e.event.kind {
+                    EventKind::Dropout { iteration, .. } => iteration,
+                    _ => unreachable!(),
+                })
+                .next_back();
+            let rekey = self
+                .events
+                .iter()
+                .filter(same_stream)
+                .find(|e| {
+                    e.t_ns >= rejoin.t_ns && matches!(e.event.kind, EventKind::RekeyEpoch { .. })
+                })
+                .map(|e| match e.event.kind {
+                    EventKind::RekeyEpoch {
+                        epoch, survivors, ..
+                    } => (epoch, survivors),
+                    _ => unreachable!(),
+                });
+            out.push(RejoinStory {
+                party,
+                dropped_at,
+                iteration,
+                rekey,
+            });
         }
         out
     }
@@ -437,6 +522,68 @@ impl Timeline {
                 fmt(miss),
                 fmt(Some(drop_t)),
                 fmt(rekey)
+            );
+        }
+
+        // Recovery story: checkpoints, resume, rejoins. The `recovery:`
+        // counts line is a stable interface — CI greps for it.
+        let (checkpoints, resumes, rejoins) = self.recovery_counts();
+        if checkpoints + resumes + rejoins > 0 {
+            let _ = writeln!(
+                out,
+                "recovery: {checkpoints} checkpoints, {resumes} resumes, {rejoins} rejoins"
+            );
+        }
+        // Highest-round checkpoint, not last-by-time: a resumed run adds
+        // a second coordinator stream on its own clock, but checkpoint
+        // rounds are monotone across incarnations.
+        let last_ckpt = self
+            .events
+            .iter()
+            .filter_map(|e| match e.event.kind {
+                EventKind::CheckpointWrite {
+                    iteration,
+                    epoch,
+                    bytes,
+                } => Some((iteration, epoch, bytes)),
+                _ => None,
+            })
+            .max_by_key(|&(iteration, ..)| iteration);
+        if let Some((iteration, epoch, bytes)) = last_ckpt {
+            let _ = writeln!(
+                out,
+                "last checkpoint: resumable at round {iteration} (epoch {epoch}, {bytes} bytes)"
+            );
+        }
+        for e in &self.events {
+            if let EventKind::ResumeFromCheckpoint {
+                iteration,
+                epoch,
+                survivors,
+            } = e.event.kind
+            {
+                let _ = writeln!(
+                    out,
+                    "resume story: coordinator re-entered at round {iteration} \
+                     (epoch {epoch}, {survivors} survivors)"
+                );
+            }
+        }
+        for story in self.rejoin_stories() {
+            let dropped = match story.dropped_at {
+                Some(round) => format!("dropped round {round}"),
+                None => "restarted".to_string(),
+            };
+            let sealed = match story.rekey {
+                Some((epoch, survivors)) => {
+                    format!("re-key epoch {epoch} over {survivors} survivors")
+                }
+                None => "re-key not recorded".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "rejoin story: party {} {dropped} → re-admitted at round {} → {sealed}",
+                story.party, story.iteration
             );
         }
 
@@ -839,6 +986,160 @@ mod tests {
         );
         // And it cannot be a critical-path witness.
         assert_eq!(tl.rounds[0].slowest_learner, Some((0, 500_000)));
+    }
+
+    /// A run with the full recovery arc: checkpoints every round, a
+    /// dropout, the party's re-admission (Rejoin → RekeyEpoch), and a
+    /// second incarnation that resumed from the round-1 checkpoint.
+    fn scripted_recovery() -> Vec<Stream> {
+        let mut coordinator = vec![
+            ev(1_000, 2, EventKind::RunInfo { run_id: 0x77 }),
+            ev(
+                2_000,
+                2,
+                EventKind::ClockSync {
+                    peer: 0,
+                    offset_ns: 0,
+                    rtt_ns: 10_000,
+                },
+            ),
+            ev(
+                10_000,
+                2,
+                EventKind::CheckpointWrite {
+                    iteration: 1,
+                    epoch: 0,
+                    bytes: 200,
+                },
+            ),
+            ev(
+                20_000,
+                2,
+                EventKind::Dropout {
+                    party: 1,
+                    iteration: 1,
+                },
+            ),
+            ev(
+                30_000,
+                2,
+                EventKind::Rejoin {
+                    party: 1,
+                    iteration: 2,
+                },
+            ),
+            ev(
+                40_000,
+                2,
+                EventKind::RekeyEpoch {
+                    iteration: 2,
+                    epoch: 3,
+                    survivors: 2,
+                },
+            ),
+            ev(
+                50_000,
+                2,
+                EventKind::CheckpointWrite {
+                    iteration: 3,
+                    epoch: 3,
+                    bytes: 220,
+                },
+            ),
+        ];
+        let resumed = vec![
+            ev(500, 2, EventKind::RunInfo { run_id: 0x77 }),
+            ev(
+                1_500,
+                2,
+                EventKind::ResumeFromCheckpoint {
+                    iteration: 3,
+                    epoch: 6,
+                    survivors: 2,
+                },
+            ),
+            ev(
+                9_000,
+                2,
+                EventKind::CheckpointWrite {
+                    iteration: 4,
+                    epoch: 6,
+                    bytes: 220,
+                },
+            ),
+        ];
+        // The learner mirrors its own Rejoin — must not double-count.
+        let learner = vec![
+            ev(5_000, 1, EventKind::RunInfo { run_id: 0x77 }),
+            ev(
+                6_000,
+                1,
+                EventKind::Rejoin {
+                    party: 1,
+                    iteration: 2,
+                },
+            ),
+        ];
+        coordinator.sort_by_key(|e| e.t_ns);
+        vec![
+            Stream::parse("coordinator.jsonl", &jsonl(&coordinator)),
+            Stream::parse("coordinator-resumed.jsonl", &jsonl(&resumed)),
+            Stream::parse("learner1.jsonl", &jsonl(&learner)),
+        ]
+    }
+
+    #[test]
+    fn recovery_counts_span_incarnations_without_double_counting_rejoins() {
+        let tl = Timeline::correlate(scripted_recovery());
+        assert_eq!(tl.recovery_counts(), (3, 1, 1));
+    }
+
+    #[test]
+    fn rejoin_stories_pair_dropout_and_rekey_from_the_same_stream() {
+        let tl = Timeline::correlate(scripted_recovery());
+        let stories = tl.rejoin_stories();
+        assert_eq!(
+            stories,
+            vec![RejoinStory {
+                party: 1,
+                dropped_at: Some(1),
+                iteration: 2,
+                rekey: Some((3, 2)),
+            }]
+        );
+    }
+
+    #[test]
+    fn render_reports_the_recovery_story() {
+        let tl = Timeline::correlate(scripted_recovery());
+        let text = tl.render();
+        assert!(
+            text.contains("recovery: 3 checkpoints, 1 resumes, 1 rejoins"),
+            "{text}"
+        );
+        assert!(
+            text.contains("last checkpoint: resumable at round 4 (epoch 6, 220 bytes)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("resume story: coordinator re-entered at round 3 (epoch 6, 2 survivors)"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "rejoin story: party 1 dropped round 1 → re-admitted at round 2 \
+                 → re-key epoch 3 over 2 survivors"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn runs_without_recovery_events_omit_the_recovery_block() {
+        let tl = Timeline::correlate(scripted());
+        let text = tl.render();
+        assert!(!text.contains("recovery:"), "{text}");
+        assert!(!text.contains("resume story"), "{text}");
     }
 
     #[test]
