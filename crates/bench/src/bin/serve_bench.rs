@@ -1,0 +1,193 @@
+//! Serving throughput and latency: `ppml-serve`'s two fronts under
+//! concurrent load (ISSUE 6 bench).
+//!
+//! ```text
+//! cargo run -p ppml-bench --bin serve_bench --release
+//! ```
+//!
+//! Grid: {linear, kernel-rbf} model × {http, frames} front × batch size
+//! {1, 16, 256}, each cell driven by 4 client threads issuing whole
+//! batches and timing each request round trip. Reported per cell:
+//! throughput (rows/s across all threads) and p50/p99 request latency.
+//! One-line results go to stdout; machine-readable results are written
+//! to `BENCH_serve.json` in the working directory.
+//!
+//! `PPML_BENCH_QUICK=1` shrinks the request count for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppml_data::synth;
+use ppml_kernel::Kernel;
+use ppml_serve::{router, Engine, FrameScoreClient, FrameServer, SavedModel};
+use ppml_svm::{KernelSvm, LinearSvm, SvmParams};
+use ppml_telemetry::{request, HttpServer, MetricsRegistry};
+
+/// Client threads per cell.
+const THREADS: usize = 4;
+/// Batch sizes in the grid.
+const BATCHES: [usize; 3] = [1, 16, 256];
+
+fn requests_per_thread() -> usize {
+    if std::env::var_os("PPML_BENCH_QUICK").is_some() {
+        10
+    } else {
+        50
+    }
+}
+
+struct Cell {
+    model: &'static str,
+    front: &'static str,
+    batch: usize,
+    rows_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_nanos() as f64 / 1e3
+}
+
+/// One text body for `POST /score`: `batch` rows of `features` columns.
+fn http_body(features: usize, batch: usize) -> Vec<u8> {
+    let mut body = String::with_capacity(batch * features * 8);
+    for i in 0..batch {
+        for j in 0..features {
+            if j > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "{:.4}", ((i * features + j) as f64).sin());
+        }
+        body.push('\n');
+    }
+    body.into_bytes()
+}
+
+/// One flattened frame batch of the same probe rows.
+fn frame_batch(features: usize, batch: usize) -> Vec<f64> {
+    (0..batch * features).map(|k| (k as f64).sin()).collect()
+}
+
+fn drive(
+    model: &'static str,
+    front: &'static str,
+    batch: usize,
+    per_request: impl Fn() -> Duration + Send + Sync,
+) -> Cell {
+    let n = requests_per_thread();
+    let per_request = &per_request;
+    let wall = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| scope.spawn(move || (0..n).map(|_| per_request()).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = wall.elapsed();
+    latencies.sort_unstable();
+    let rows = (THREADS * n * batch) as f64;
+    let cell = Cell {
+        model,
+        front,
+        batch,
+        rows_per_sec: rows / wall.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    };
+    println!(
+        "serve/{}/{}/batch-{:<4} {:>12.0} rows/s   p50 {:>9.1}µs   p99 {:>9.1}µs",
+        cell.model, cell.front, cell.batch, cell.rows_per_sec, cell.p50_us, cell.p99_us
+    );
+    cell
+}
+
+fn bench_model(name: &'static str, model: SavedModel, out: &mut Vec<Cell>) {
+    let features = model.features();
+    let engine = Engine::new(model, 0);
+    let registry = Arc::new(MetricsRegistry::new());
+    let http = HttpServer::serve("127.0.0.1:0", router(engine.clone(), registry)).expect("bind");
+    let frames = FrameServer::serve("127.0.0.1:0", engine.clone()).expect("bind");
+    let http_addr = http.local_addr().to_string();
+    let frames_addr = frames.local_addr().to_string();
+
+    for batch in BATCHES {
+        let body = http_body(features, batch);
+        out.push(drive(name, "http", batch, || {
+            let start = Instant::now();
+            let (status, _) = request(&http_addr, "POST", "/score", &body).expect("http score");
+            assert_eq!(status, 200);
+            start.elapsed()
+        }));
+    }
+    for batch in BATCHES {
+        let xs = frame_batch(features, batch);
+        // One persistent connection per thread, like a real client.
+        out.push(drive(name, "frames", batch, || {
+            thread_local! {
+                static CLIENT: std::cell::RefCell<Option<FrameScoreClient>> =
+                    const { std::cell::RefCell::new(None) };
+            }
+            let xs = xs.clone();
+            let addr = frames_addr.clone();
+            CLIENT.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(FrameScoreClient::connect(&addr).expect("connect"));
+                }
+                let client = slot.as_mut().expect("client");
+                let start = Instant::now();
+                let margins = client.score(features as u32, xs).expect("frame score");
+                assert_eq!(margins.len(), batch);
+                start.elapsed()
+            })
+        }));
+    }
+    http.shutdown();
+    frames.shutdown();
+}
+
+fn main() -> std::io::Result<()> {
+    let train = synth::cancer_like(400, 7);
+    let linear = SavedModel::Linear(LinearSvm::train(&train, 50.0).expect("train linear"));
+
+    let kernel_train = synth::xor_like(300, 9);
+    let params = SvmParams {
+        kernel: Kernel::Rbf { gamma: 0.5 },
+        ..Default::default()
+    };
+    let kernel = SavedModel::Kernel(KernelSvm::train(&kernel_train, &params).expect("train rbf"));
+
+    let mut cells = Vec::new();
+    bench_model("linear", linear, &mut cells);
+    bench_model("kernel-rbf", kernel, &mut cells);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"threads\": {THREADS},");
+    let _ = writeln!(
+        json,
+        "  \"requests_per_thread\": {},",
+        requests_per_thread()
+    );
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"front\": \"{}\", \"batch\": {}, \
+             \"rows_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{comma}",
+            c.model, c.front, c.batch, c.rows_per_sec, c.p50_us, c.p99_us
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &json)?;
+    println!("wrote BENCH_serve.json");
+    Ok(())
+}

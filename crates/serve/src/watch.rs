@@ -1,0 +1,123 @@
+//! Hot-reload: a polling watcher that re-reads the model file on change.
+//!
+//! `std` offers no portable file-notification or signal API, so the
+//! watcher polls mtime + length on an interval (default 500 ms). When
+//! either changes it re-loads the file through [`SavedModel::load`]; the
+//! CRC trailer rejects torn or half-written reads, and on any load error
+//! the engine keeps serving the previous model. Writers that use
+//! [`SavedModel::save`]'s atomic temp-and-rename never expose a torn file
+//! in the first place, so in practice one poll tick after the rename the
+//! new model is live.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, SystemTime};
+
+use crate::engine::Engine;
+use crate::model::SavedModel;
+
+/// Fingerprint of a file state: (mtime, length).
+type Stamp = (SystemTime, u64);
+
+fn stamp(path: &std::path::Path) -> Option<Stamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+/// Handle for a running model watcher; dropping it stops the thread.
+pub struct ModelWatcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ModelWatcher {
+    /// Starts polling `path` every `interval`, swapping `engine` to each
+    /// successfully loaded new version.
+    pub fn spawn(path: PathBuf, engine: Arc<Engine>, interval: Duration) -> ModelWatcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = thread::spawn(move || {
+            let mut last = stamp(&path);
+            while !stop_flag.load(Ordering::SeqCst) {
+                thread::sleep(interval);
+                let now = stamp(&path);
+                if now.is_some() && now != last {
+                    // On a torn or mid-write file the load fails; `last`
+                    // is left alone so the next tick retries, and the old
+                    // model keeps serving.
+                    if let Ok(model) = SavedModel::load(&path) {
+                        let bytes = now.map(|(_, len)| len).unwrap_or(0);
+                        engine.swap(model, bytes);
+                        last = now;
+                    }
+                }
+            }
+        });
+        ModelWatcher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the polling thread to exit and joins it.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ModelWatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppml_svm::LinearSvm;
+
+    fn linear(w: Vec<f64>, b: f64) -> SavedModel {
+        SavedModel::Linear(LinearSvm::from_parts(w, b))
+    }
+
+    fn wait_for_generation(engine: &Engine, want: u64) -> bool {
+        for _ in 0..400 {
+            if engine.current().generation >= want {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn watcher_picks_up_a_rewrite_and_survives_corruption() {
+        let dir = std::env::temp_dir().join(format!("ppml-watch-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        linear(vec![1.0], 0.0).save(&path).unwrap();
+
+        let engine = Engine::new(SavedModel::load(&path).unwrap(), 0);
+        let mut watcher =
+            ModelWatcher::spawn(path.clone(), Arc::clone(&engine), Duration::from_millis(10));
+
+        // A corrupt overwrite must NOT be swapped in.
+        std::fs::write(&path, b"PPMLMODLgarbage-that-fails-crc").unwrap();
+        thread::sleep(Duration::from_millis(80));
+        assert_eq!(engine.current().generation, 1);
+        assert_eq!(engine.score_batch(1, &[3.0]).unwrap(), vec![3.0]);
+
+        // A valid rewrite is, and scores flip with it.
+        linear(vec![-1.0], 0.0).save(&path).unwrap();
+        assert!(wait_for_generation(&engine, 2), "reload never happened");
+        assert_eq!(engine.score_batch(1, &[3.0]).unwrap(), vec![-3.0]);
+
+        watcher.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -200,6 +200,37 @@ impl KernelSvm {
     pub fn support_vectors(&self) -> (&Matrix, &[f64]) {
         (&self.support_x, &self.coeffs)
     }
+
+    /// Rebuilds a model from its parts — the deserialization path for the
+    /// binary model format, and the bridge from trainers that produce
+    /// kernel-expansion models in other shapes. The feature dimension is
+    /// `support_x.cols()`.
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] when `coeffs.len()` differs from
+    /// `support_x.rows()`.
+    pub fn from_parts(
+        kernel: Kernel,
+        support_x: Matrix,
+        coeffs: Vec<f64>,
+        bias: f64,
+    ) -> Result<Self> {
+        if coeffs.len() != support_x.rows() {
+            return Err(SvmError::DimensionMismatch {
+                expected: support_x.rows(),
+                found: coeffs.len(),
+            });
+        }
+        let features = support_x.cols();
+        Ok(KernelSvm {
+            kernel,
+            support_x,
+            coeffs,
+            bias,
+            features,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +340,29 @@ mod tests {
         )
         .unwrap();
         assert!(hard.accuracy(&ds) >= soft.accuracy(&ds));
+    }
+
+    #[test]
+    fn from_parts_reproduces_the_decision_function() {
+        let ds = synth::xor_like(80, 9);
+        let params = SvmParams {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            ..Default::default()
+        };
+        let m = KernelSvm::train(&ds, &params).unwrap();
+        let (sv, coeffs) = m.support_vectors();
+        let rebuilt =
+            KernelSvm::from_parts(m.kernel(), sv.clone(), coeffs.to_vec(), m.bias()).unwrap();
+        assert_eq!(rebuilt.features(), m.features());
+        for i in 0..ds.len() {
+            let x = ds.sample(i);
+            assert_eq!(rebuilt.decision(x).unwrap(), m.decision(x).unwrap());
+        }
+        // Coefficient/support mismatches are rejected.
+        assert!(matches!(
+            KernelSvm::from_parts(m.kernel(), sv.clone(), vec![0.0], m.bias()),
+            Err(SvmError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -230,6 +230,27 @@ pub enum EventKind {
         /// Round at which it re-enters the protocol.
         iteration: u64,
     },
+    /// `ppml-serve` answered one batched scoring request. Counts and
+    /// timings only — margins and features never enter telemetry.
+    ScoreBatch {
+        /// Rows in the batch.
+        batch: u32,
+        /// Wall clock from decoded request to margins ready.
+        elapsed_ns: u64,
+    },
+    /// `ppml-serve` rejected a scoring request (dimension mismatch,
+    /// empty batch) without scoring it.
+    ScoreRejected {
+        /// Rows in the rejected batch.
+        batch: u32,
+    },
+    /// The serving engine (re)loaded its model and swapped it in.
+    ModelReload {
+        /// Monotonic model generation; 1 is the startup load.
+        generation: u64,
+        /// Encoded model size on disk.
+        bytes: u64,
+    },
 }
 
 /// Phase labels [`Event::from_json`] can map back to `&'static str`.
@@ -484,6 +505,20 @@ impl Event {
                 u(&mut out, "rejoined", party.into());
                 u(&mut out, "iteration", iteration);
             }
+            EventKind::ScoreBatch { batch, elapsed_ns } => {
+                kind(&mut out, "score_batch");
+                u(&mut out, "batch", batch.into());
+                u(&mut out, "elapsed_ns", elapsed_ns);
+            }
+            EventKind::ScoreRejected { batch } => {
+                kind(&mut out, "score_rejected");
+                u(&mut out, "batch", batch.into());
+            }
+            EventKind::ModelReload { generation, bytes } => {
+                kind(&mut out, "model_reload");
+                u(&mut out, "generation", generation);
+                u(&mut out, "bytes", bytes);
+            }
         }
         out.push('}');
         out
@@ -647,6 +682,17 @@ impl Event {
             "rejoin" => EventKind::Rejoin {
                 party: get_u32("rejoined")?,
                 iteration: get_u("iteration")?,
+            },
+            "score_batch" => EventKind::ScoreBatch {
+                batch: get_u32("batch")?,
+                elapsed_ns: get_u("elapsed_ns")?,
+            },
+            "score_rejected" => EventKind::ScoreRejected {
+                batch: get_u32("batch")?,
+            },
+            "model_reload" => EventKind::ModelReload {
+                generation: get_u("generation")?,
+                bytes: get_u("bytes")?,
             },
             other => return Err(ParseError::UnknownKind(other.to_string())),
         };
@@ -845,6 +891,15 @@ mod tests {
             EventKind::Rejoin {
                 party: 1,
                 iteration: 7,
+            },
+            EventKind::ScoreBatch {
+                batch: 256,
+                elapsed_ns: 41_000,
+            },
+            EventKind::ScoreRejected { batch: 16 },
+            EventKind::ModelReload {
+                generation: 2,
+                bytes: 4_096,
             },
         ];
         kinds

@@ -1,15 +1,24 @@
-//! A hand-rolled, minimal HTTP/1.1 exposition endpoint (ISSUE 4
-//! tentpole, piece 2). Zero external crates — the workspace owns its TCP
-//! code, so it owns its scrape endpoint too.
+//! A hand-rolled, minimal HTTP/1.1 server (ISSUE 4 tentpole, piece 2;
+//! generalized for serving in ISSUE 6). Zero external crates — the
+//! workspace owns its TCP code, so it owns its HTTP endpoints too.
 //!
-//! The server answers exactly one question: `GET /metrics` → the
-//! [`MetricsRegistry`] rendered as Prometheus text format. It never
-//! reads a request body, never keeps a connection alive, and the only
-//! bytes it can serve are [`MetricsRegistry::render`] output — registry
-//! scalars (sizes, timings, counts, epochs), which is the §V privacy
-//! argument for exposing it on a socket at all: shares, masks and model
-//! coordinates are not representable upstream in the event vocabulary,
-//! so they cannot transit this endpoint.
+//! The building blocks are [`Request`], [`Response`] and [`Router`]: a
+//! route table of `(method, path) → handler` closures served by
+//! [`HttpServer`], one short-lived thread per connection, one request per
+//! connection (`Connection: close`). [`MetricsServer`] remains the
+//! metrics-only wrapper the training binaries use: `GET /metrics` → the
+//! [`MetricsRegistry`] rendered as Prometheus text. Handlers decide what
+//! bytes leave the process; the metrics handler can only ever serve
+//! registry scalars (sizes, timings, counts, epochs), which is the §V
+//! privacy argument for exposing it on a socket at all — shares, masks
+//! and model coordinates are not representable upstream in the event
+//! vocabulary, so they cannot transit that endpoint.
+//!
+//! Defenses for the public role: request heads over [`MAX_HEAD`] and
+//! bodies over [`MAX_BODY`] are answered `413`; a method no route uses
+//! gets `405`, an unknown path `404`, and an unparseable request line
+//! `400`. A half-open peer is cut off by the per-connection timeout
+//! without wedging the accept loop.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -20,40 +29,150 @@ use std::time::Duration;
 
 use crate::metrics::MetricsRegistry;
 
-/// Per-connection read/write budget. A scraper that cannot finish a
+/// Per-connection read/write budget. A client that cannot finish a
 /// request/response cycle in this window is cut off.
 const CONN_TIMEOUT: Duration = Duration::from_secs(2);
 /// Accept-poll interval while idle.
 const POLL: Duration = Duration::from_millis(25);
-/// Longest request head we will buffer before answering 431.
-const MAX_HEAD: usize = 8 * 1024;
+/// Longest request head we will buffer before answering 413.
+pub const MAX_HEAD: usize = 8 * 1024;
+/// Longest request body we will read before answering 413.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
 
-/// A background thread serving `GET /metrics` over HTTP/1.1 from a
-/// shared [`MetricsRegistry`]. Dropping the handle stops the thread.
-pub struct MetricsServer {
+/// One parsed HTTP request, as much of it as handlers need.
+pub struct Request {
+    /// Uppercase method token as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Raw request body (empty unless the client sent `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A response a handler returns; the server adds framing headers.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with a plain-text body.
+    pub fn ok_text(body: impl Into<String>) -> Response {
+        Response::text(200, body)
+    }
+
+    /// A plain-text response with an arbitrary status.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A bodyless response carrying only a status.
+    pub fn status(status: u16) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: Vec::new(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// An exact-match route table. Paths are compared after the query string
+/// is stripped; method comparison is exact (methods are conventionally
+/// uppercase on the wire).
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<(&'static str, &'static str, Handler)>,
+}
+
+impl Router {
+    /// An empty router (every request answers 404).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a route; builder-style.
+    pub fn route(
+        mut self,
+        method: &'static str,
+        path: &'static str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push((method, path, Box::new(handler)));
+        self
+    }
+
+    /// Resolves a request: matched handler, else `405` when the path
+    /// exists under another method or the method is entirely unknown to
+    /// this router, else `404`.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        for (method, path, handler) in &self.routes {
+            if *method == req.method && *path == req.path {
+                return handler(req);
+            }
+        }
+        let path_known = self.routes.iter().any(|(_, p, _)| *p == req.path);
+        let method_known = self.routes.iter().any(|(m, _, _)| *m == req.method);
+        if path_known || !method_known {
+            Response::status(405)
+        } else {
+            Response::status(404)
+        }
+    }
+}
+
+/// A background HTTP/1.1 server dispatching through a [`Router`], one
+/// thread per connection, one request per connection. Dropping the
+/// handle stops the accept loop (in-flight connections finish on their
+/// own threads).
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
-impl MetricsServer {
+impl HttpServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
     /// starts the accept loop in a background thread.
     ///
     /// # Errors
     ///
     /// Any [`std::io::Error`] from binding the listener.
-    pub fn serve(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsServer> {
+    pub fn serve(addr: &str, router: Router) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
+        let router = Arc::new(router);
         let handle = std::thread::Builder::new()
-            .name("ppml-metrics-http".into())
-            .spawn(move || accept_loop(listener, registry, stop_flag))
-            .expect("spawn metrics http thread");
-        Ok(MetricsServer {
+            .name("ppml-http".into())
+            .spawn(move || accept_loop(listener, router, stop_flag))
+            .expect("spawn http accept thread");
+        Ok(HttpServer {
             addr,
             stop,
             handle: Some(handle),
@@ -65,7 +184,7 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins the thread.
+    /// Stops the accept loop and joins its thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -78,19 +197,24 @@ impl MetricsServer {
     }
 }
 
-impl Drop for MetricsServer {
+impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
-fn accept_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, router: Arc<Router>, stop: Arc<AtomicBool>) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // One scraper at a time: answering is a render + a write,
-                // microseconds — no need for per-connection threads.
-                let _ = answer(stream, &registry);
+                // One thread per connection so a slow or mute client can
+                // never block other requests behind its timeout.
+                let router = router.clone();
+                let _ = std::thread::Builder::new()
+                    .name("ppml-http-conn".into())
+                    .spawn(move || {
+                        let _ = answer(stream, &router);
+                    });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
             Err(_) => std::thread::sleep(POLL),
@@ -98,78 +222,170 @@ fn accept_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<
     }
 }
 
-/// Reads one request head and writes one response. Any IO failure just
-/// drops the connection — a broken scraper must never disturb training.
-fn answer(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+/// Position of the first header/body separator in `buf`, returned as
+/// (separator start, separator length).
+fn find_separator(buf: &[u8]) -> Option<(usize, usize)> {
+    let crlf = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| (i, 4));
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|i| (i, 2));
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Reads one request and writes one response. Any IO failure just drops
+/// the connection — a broken client must never disturb the host process.
+fn answer(mut stream: TcpStream, router: &Router) -> std::io::Result<()> {
     stream.set_read_timeout(Some(CONN_TIMEOUT))?;
     stream.set_write_timeout(Some(CONN_TIMEOUT))?;
     stream.set_nonblocking(false)?;
 
-    let mut head = Vec::with_capacity(512);
-    let mut buf = [0u8; 512];
-    let complete = loop {
-        match stream.read(&mut buf) {
-            Ok(0) => break false,
-            Ok(n) => {
-                head.extend_from_slice(&buf[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n")
-                    || head.windows(2).any(|w| w == b"\n\n")
-                {
-                    break true;
-                }
-                if head.len() > MAX_HEAD {
-                    return respond(&mut stream, "431 Request Header Fields Too Large", "");
-                }
-            }
-            Err(_) => break false,
+    // Read until the header/body separator; anything past it is the
+    // start of the body.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let separator = loop {
+        if let Some(sep) = find_separator(&buf) {
+            break sep;
+        }
+        if buf.len() > MAX_HEAD {
+            return respond(&mut stream, Response::status(413));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer vanished mid-head
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Ok(()), // timeout on a half-open peer
         }
     };
-    if !complete {
-        return Ok(());
-    }
+    let (sep_at, sep_len) = separator;
+    let head = String::from_utf8_lossy(&buf[..sep_at]).to_string();
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
 
-    let request_line = head
-        .split(|&b| b == b'\n')
-        .next()
-        .map(|l| String::from_utf8_lossy(l).trim().to_string())
-        .unwrap_or_default();
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return respond(&mut stream, Response::status(400));
+    };
 
-    if method != "GET" {
-        return respond(&mut stream, "405 Method Not Allowed", "");
+    // Headers: only Content-Length matters to this server.
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return respond(&mut stream, Response::status(400)),
+            }
+        }
     }
-    // Accept a query string; scrapers commonly append one.
-    let bare = path.split('?').next().unwrap_or(path);
-    match bare {
-        "/metrics" | "/" => respond(&mut stream, "200 OK", &registry.render()),
-        _ => respond(&mut stream, "404 Not Found", ""),
+    if content_length > MAX_BODY {
+        return respond(&mut stream, Response::status(413));
     }
+
+    let mut body = buf[sep_at + sep_len..].to_vec();
+    if body.len() > content_length {
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer vanished mid-body
+            Ok(n) => {
+                let need = content_length - body.len();
+                body.extend_from_slice(&chunk[..n.min(need)]);
+            }
+            Err(_) => return Ok(()),
+        }
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        // Accept a query string; scrapers commonly append one.
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        body,
+    };
+    respond(&mut stream, router.dispatch(&request))
 }
 
-fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+fn respond(stream: &mut TcpStream, response: Response) -> std::io::Result<()> {
     let header = format!(
-        "HTTP/1.1 {status}\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.1 {} {}\r\n\
+         Content-Type: {}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n",
-        body.len()
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
     );
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&response.body)?;
     stream.flush()
 }
 
-/// Fetches `http://{addr}/metrics` and returns the response body — the
-/// tiny client the integration tests, the example's self-scrape and CI
-/// all share. `addr` is a bare `host:port`.
+/// A background thread serving `GET /metrics` over HTTP/1.1 from a
+/// shared [`MetricsRegistry`] — the metrics-only facade over
+/// [`HttpServer`] the training binaries use. Dropping the handle stops
+/// the thread.
+pub struct MetricsServer {
+    inner: HttpServer,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `GET /metrics` (and `GET /`, for convenience).
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn serve(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsServer> {
+        let render = {
+            let registry = registry.clone();
+            move |_req: &Request| {
+                let mut response = Response::ok_text(registry.render());
+                response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                response
+            }
+        };
+        let render_root = render.clone();
+        let router = Router::new()
+            .route("GET", "/metrics", render)
+            .route("GET", "/", render_root);
+        Ok(MetricsServer {
+            inner: HttpServer::serve(addr, router)?,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
+/// Sends one HTTP/1.1 request to `addr` and returns `(status, body)` —
+/// the tiny client the integration tests, benches and CI share. `addr`
+/// is a bare `host:port`; `body` is sent with a `Content-Length` header
+/// when non-empty.
 ///
 /// # Errors
 ///
 /// IO errors from the socket, or [`ErrorKind::InvalidData`] when the
-/// response is not a 200 or has no body separator.
-pub fn scrape(addr: &str) -> std::io::Result<String> {
+/// response has no status line or no header/body separator.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
     let sockaddr = addr
         .to_socket_addrs()?
         .next()
@@ -177,23 +393,42 @@ pub fn scrape(addr: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect_timeout(&sockaddr, CONN_TIMEOUT)?;
     stream.set_read_timeout(Some(CONN_TIMEOUT))?;
     stream.set_write_timeout(Some(CONN_TIMEOUT))?;
-    let request = format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes())?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
-    let status_ok = response.starts_with("HTTP/1.1 200") || response.starts_with("HTTP/1.0 200");
-    if !status_ok {
-        let line = response.lines().next().unwrap_or("<empty>").to_string();
-        return Err(std::io::Error::new(
-            ErrorKind::InvalidData,
-            format!("scrape failed: {line}"),
-        ));
-    }
-    let body = response
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| response.strip_prefix("HTTP/1.0 "))
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "no status line"))?;
+    let response_body = response
         .split_once("\r\n\r\n")
         .or_else(|| response.split_once("\n\n"))
         .map(|(_, b)| b.to_string())
         .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "no header/body separator"))?;
+    Ok((status, response_body))
+}
+
+/// Fetches `http://{addr}/metrics` and returns the response body.
+///
+/// # Errors
+///
+/// IO errors from the socket, or [`ErrorKind::InvalidData`] when the
+/// response is not a 200 or has no body separator.
+pub fn scrape(addr: &str) -> std::io::Result<String> {
+    let (status, body) = request(addr, "GET", "/metrics", b"")?;
+    if status != 200 {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("scrape failed: status {status}"),
+        ));
+    }
     Ok(body)
 }
 
@@ -240,22 +475,13 @@ mod tests {
     #[test]
     fn wrong_paths_and_methods_are_rejected() {
         let (server, _registry) = served_registry();
-        let addr = server.local_addr();
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .write_all(b"GET /secrets HTTP/1.1\r\nHost: x\r\n\r\n")
-            .expect("write");
-        let mut response = String::new();
-        stream.read_to_string(&mut response).expect("read");
-        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
-
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
-            .expect("write");
-        let mut response = String::new();
-        stream.read_to_string(&mut response).expect("read");
-        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        let addr = server.local_addr().to_string();
+        let (status, _) = request(&addr, "GET", "/secrets", b"").expect("request");
+        assert_eq!(status, 404);
+        let (status, _) = request(&addr, "POST", "/metrics", b"").expect("request");
+        assert_eq!(status, 405);
+        let (status, _) = request(&addr, "BREW", "/metrics", b"").expect("request");
+        assert_eq!(status, 405);
         server.shutdown();
     }
 
@@ -263,20 +489,116 @@ mod tests {
     fn half_open_connection_does_not_wedge_the_server() {
         let (server, registry) = served_registry();
         let addr = server.local_addr();
-        // Connect and say nothing: the per-connection read timeout must
-        // release the accept loop for the next scraper.
+        // Connect and say nothing: the mute peer gets its own connection
+        // thread, so the next scrape must go straight through.
         let _mute = TcpStream::connect(addr).expect("connect");
         registry.record(Event {
             t_ns: 0,
             party: 0,
             kind: EventKind::WorkerUp { node: 1 },
         });
-        // The mute peer occupies the single-threaded accept loop for up
-        // to CONN_TIMEOUT, so allow the scrape a few attempts.
-        let body = (0..5)
-            .find_map(|_| scrape(&addr.to_string()).ok())
-            .expect("scrape after mute peer");
+        let body = scrape(&addr.to_string()).expect("scrape alongside mute peer");
         assert!(body.contains("ppml_workers 1"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn router_dispatch_prefers_exact_match_then_405_then_404() {
+        let router = Router::new()
+            .route("GET", "/a", |_| Response::ok_text("a"))
+            .route("POST", "/b", |req| {
+                Response::ok_text(format!("b:{}", req.body.len()))
+            });
+        let req = |method: &str, path: &str| Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: vec![0; 3],
+        };
+        assert_eq!(router.dispatch(&req("GET", "/a")).status, 200);
+        let ok = router.dispatch(&req("POST", "/b"));
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, b"b:3");
+        // Known path, wrong method.
+        assert_eq!(router.dispatch(&req("POST", "/a")).status, 405);
+        // Unknown method anywhere.
+        assert_eq!(router.dispatch(&req("DELETE", "/nowhere")).status, 405);
+        // Known method, unknown path.
+        assert_eq!(router.dispatch(&req("GET", "/nowhere")).status, 404);
+    }
+
+    #[test]
+    fn post_bodies_reach_the_handler() {
+        let router = Router::new().route("POST", "/echo-len", |req| {
+            Response::ok_text(format!("{}", req.body.len()))
+        });
+        let server = HttpServer::serve("127.0.0.1:0", router).expect("bind");
+        let addr = server.local_addr().to_string();
+        let payload = vec![b'x'; 100_000];
+        let (status, body) = request(&addr, "POST", "/echo-len", &payload).expect("request");
+        assert_eq!(status, 200);
+        assert_eq!(body, "100000");
+        server.shutdown();
+    }
+
+    #[test]
+    fn overlong_heads_and_bodies_answer_413() {
+        let router = Router::new().route("POST", "/x", |_| Response::ok_text("ok"));
+        let server = HttpServer::serve("127.0.0.1:0", router).expect("bind");
+        let addr = server.local_addr();
+
+        // A request line longer than MAX_HEAD.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let long_path = "a".repeat(MAX_HEAD + 100);
+        let head = format!("GET /{long_path} HTTP/1.1\r\n");
+        stream.write_all(head.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+
+        // A declared body over MAX_BODY: rejected from the header alone,
+        // without reading the body.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let head = format!(
+            "POST /x HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        stream.write_all(head.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_partial_requests_are_handled() {
+        let router = Router::new().route("GET", "/", |_| Response::ok_text("ok"));
+        let server = HttpServer::serve("127.0.0.1:0", router).expect("bind");
+        let addr = server.local_addr();
+
+        // Garbage request line → 400.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"NONSENSE\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        // Unparseable Content-Length → 400.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        // A partial head followed by a hangup: the server just drops the
+        // connection, and stays serviceable for the next client.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET / HT").expect("write");
+        drop(stream);
+        let (status, body) = request(&addr.to_string(), "GET", "/", b"").expect("request");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
         server.shutdown();
     }
 }

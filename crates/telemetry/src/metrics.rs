@@ -275,6 +275,23 @@ pub struct MetricsRegistry {
     pub resumes_total: Counter,
     /// Learners re-admitted mid-run ([`EventKind::Rejoin`]).
     pub rejoins_total: Counter,
+    // ---- serving
+    /// Scoring batches answered ([`EventKind::ScoreBatch`]).
+    pub score_requests_total: Counter,
+    /// Rows scored across all batches.
+    pub score_rows_total: Counter,
+    /// Scoring batches rejected ([`EventKind::ScoreRejected`]).
+    pub score_rejected_total: Counter,
+    /// Rows per scoring batch.
+    pub score_batch_size: Histogram,
+    /// Per-batch scoring wall clock (p50/p99 come from the buckets).
+    pub score_latency_ns: Histogram,
+    /// Model (re)loads performed ([`EventKind::ModelReload`]).
+    pub model_reloads_total: Counter,
+    /// Generation of the model currently serving (1 = startup load).
+    pub model_generation: UintGauge,
+    /// Encoded size of the model currently serving.
+    pub model_bytes: UintGauge,
 }
 
 impl MetricsRegistry {
@@ -393,6 +410,18 @@ impl MetricsRegistry {
                 self.survivors.set(survivors.into());
             }
             EventKind::Rejoin { .. } => self.rejoins_total.inc(),
+            EventKind::ScoreBatch { batch, elapsed_ns } => {
+                self.score_requests_total.inc();
+                self.score_rows_total.add(batch.into());
+                self.score_batch_size.observe(batch.into());
+                self.score_latency_ns.observe(elapsed_ns);
+            }
+            EventKind::ScoreRejected { .. } => self.score_rejected_total.inc(),
+            EventKind::ModelReload { generation, bytes } => {
+                self.model_reloads_total.inc();
+                self.model_generation.set(generation);
+                self.model_bytes.set(bytes);
+            }
         }
     }
 
@@ -551,6 +580,27 @@ impl MetricsRegistry {
         gu(&mut out, "checkpoint_bytes", self.checkpoint_bytes.get());
         c(&mut out, "resumes_total", self.resumes_total.get());
         c(&mut out, "rejoins_total", self.rejoins_total.get());
+
+        c(
+            &mut out,
+            "score_requests_total",
+            self.score_requests_total.get(),
+        );
+        c(&mut out, "score_rows_total", self.score_rows_total.get());
+        c(
+            &mut out,
+            "score_rejected_total",
+            self.score_rejected_total.get(),
+        );
+        h(&mut out, "score_batch_size", "", &self.score_batch_size);
+        h(&mut out, "score_latency_ns", "", &self.score_latency_ns);
+        c(
+            &mut out,
+            "model_reloads_total",
+            self.model_reloads_total.get(),
+        );
+        gu(&mut out, "model_generation", self.model_generation.get());
+        gu(&mut out, "model_bytes", self.model_bytes.get());
 
         out
     }
@@ -744,6 +794,41 @@ mod tests {
                 "odd line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn registry_folds_serving_events() {
+        let reg = MetricsRegistry::new();
+        reg.record(event(EventKind::ModelReload {
+            generation: 1,
+            bytes: 512,
+        }));
+        reg.record(event(EventKind::ScoreBatch {
+            batch: 16,
+            elapsed_ns: 9_000,
+        }));
+        reg.record(event(EventKind::ScoreBatch {
+            batch: 1,
+            elapsed_ns: 700,
+        }));
+        reg.record(event(EventKind::ScoreRejected { batch: 3 }));
+        reg.record(event(EventKind::ModelReload {
+            generation: 2,
+            bytes: 640,
+        }));
+        assert_eq!(reg.score_requests_total.get(), 2);
+        assert_eq!(reg.score_rows_total.get(), 17);
+        assert_eq!(reg.score_rejected_total.get(), 1);
+        assert_eq!(reg.score_batch_size.count(), 2);
+        assert_eq!(reg.score_batch_size.bucket(bucket_index(16)), 1);
+        assert_eq!(reg.score_latency_ns.sum(), 9_700);
+        assert_eq!(reg.model_reloads_total.get(), 2);
+        assert_eq!(reg.model_generation.get(), 2);
+        assert_eq!(reg.model_bytes.get(), 640);
+        let text = reg.render();
+        assert!(text.contains("ppml_score_requests_total 2"), "{text}");
+        assert!(text.contains("ppml_model_reloads_total 2"), "{text}");
+        assert!(text.contains("ppml_score_latency_ns_count{} 2"), "{text}");
     }
 
     #[test]

@@ -129,6 +129,11 @@ struct Totals {
     local_tasks: u64,
     admm_iterations: u64,
     last_z_delta: Option<f64>,
+    score_batches: u64,
+    score_rows: u64,
+    score_ns: u64,
+    score_rejected: u64,
+    model_reloads: u64,
     /// `(t_ns, party, iteration)` per dropout declaration.
     dropouts: Vec<(u64, u32, u64)>,
     /// `(t_ns, epoch, survivors)` per re-key.
@@ -239,6 +244,17 @@ impl SummarySink {
         if t.checkpoints > 0 {
             let _ = writeln!(out, "  checkpoints: {} written", t.checkpoints);
         }
+        if t.score_batches + t.score_rejected > 0 {
+            let _ = writeln!(
+                out,
+                "  serving: {} batches ({} rows) in {:.3}s, {} rejected, {} model loads",
+                t.score_batches,
+                t.score_rows,
+                t.score_ns as f64 / 1e9,
+                t.score_rejected,
+                t.model_reloads
+            );
+        }
         for &(t_ns, iteration) in &t.resumes {
             let rel = t.first_t_ns.map_or(0, |f| t_ns.saturating_sub(f));
             let _ = writeln!(
@@ -325,6 +341,13 @@ impl Sink for SummarySink {
             EventKind::Rejoin { party, iteration } => {
                 t.rejoins.push((event.t_ns, party, iteration));
             }
+            EventKind::ScoreBatch { batch, elapsed_ns } => {
+                t.score_batches += 1;
+                t.score_rows += u64::from(batch);
+                t.score_ns += elapsed_ns;
+            }
+            EventKind::ScoreRejected { .. } => t.score_rejected += 1,
+            EventKind::ModelReload { .. } => t.model_reloads += 1,
         }
     }
 }

@@ -22,7 +22,9 @@ use crate::wire::{Reader, Wire, WireError};
 
 /// Current codec version; bump on any incompatible layout change.
 /// Version 2 added the re-key epoch to [`Message::MaskedShare`] and the
-/// [`Message::Rekey`] frame for dropout recovery.
+/// [`Message::Rekey`] frame for dropout recovery. [`Message::Score`] and
+/// [`Message::ScoreReply`] are additive within version 2: new kind bytes,
+/// no layout change to any existing frame.
 pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed bytes around every payload: 4 (length prefix) + 20 (version, kind,
@@ -204,6 +206,31 @@ pub enum Message {
         /// Auxiliary consensus state (matches [`Message::Consensus::s`]).
         s: Vec<f64>,
     },
+    /// Batched inference request (client → `ppml-serve`): `rows × features`
+    /// samples flattened row-major into `xs`. Additive in wire version 2 —
+    /// a training-only peer rejects the unknown kind, which a scoring
+    /// client must treat as "this endpoint does not serve".
+    Score {
+        /// Client-chosen token echoed verbatim in the reply.
+        request_id: u64,
+        /// Feature count per sample; `xs.len()` must be a multiple of it.
+        features: u32,
+        /// Row-major flattened samples.
+        xs: Vec<f64>,
+    },
+    /// Answer to [`Message::Score`]. Carries only decision margins — never
+    /// model coordinates — per the serving privacy rule. Additive in wire
+    /// version 2.
+    ScoreReply {
+        /// The request's echo token.
+        request_id: u64,
+        /// True when every row was scored; false when the batch was
+        /// rejected (dimension mismatch, empty batch), in which case
+        /// `margins` is empty.
+        ok: bool,
+        /// One decision margin per request row (sign = predicted label).
+        margins: Vec<f64>,
+    },
 }
 
 impl Message {
@@ -225,6 +252,8 @@ impl Message {
             Message::TimeReply { .. } => 13,
             Message::Join { .. } => 14,
             Message::Welcome { .. } => 15,
+            Message::Score { .. } => 16,
+            Message::ScoreReply { .. } => 17,
         }
     }
 
@@ -273,6 +302,16 @@ impl Message {
                     + z.byte_len()
                     + s.byte_len()
             }
+            Message::Score {
+                request_id,
+                features,
+                xs,
+            } => request_id.byte_len() + features.byte_len() + xs.byte_len(),
+            Message::ScoreReply {
+                request_id,
+                ok,
+                margins,
+            } => request_id.byte_len() + ok.byte_len() + margins.byte_len(),
         }
     }
 
@@ -352,6 +391,24 @@ impl Message {
                 z.encode_into(out);
                 s.encode_into(out);
             }
+            Message::Score {
+                request_id,
+                features,
+                xs,
+            } => {
+                request_id.encode_into(out);
+                features.encode_into(out);
+                xs.encode_into(out);
+            }
+            Message::ScoreReply {
+                request_id,
+                ok,
+                margins,
+            } => {
+                request_id.encode_into(out);
+                ok.encode_into(out);
+                margins.encode_into(out);
+            }
         }
     }
 
@@ -410,6 +467,16 @@ impl Message {
                 survivors: r.vec_u32()?,
                 z: r.vec_f64()?,
                 s: r.vec_f64()?,
+            },
+            16 => Message::Score {
+                request_id: r.u64()?,
+                features: r.u32()?,
+                xs: r.vec_f64()?,
+            },
+            17 => Message::ScoreReply {
+                request_id: r.u64()?,
+                ok: r.bool()?,
+                margins: r.vec_f64()?,
             },
             _ => return Err(WireError::Malformed("unknown message kind")),
         })
@@ -626,6 +693,16 @@ mod tests {
                 z: vec![0.25, -8.0],
                 s: vec![1.5, 0.0],
             },
+            Message::Score {
+                request_id: 0xABCD,
+                features: 3,
+                xs: vec![1.0, -2.5, 0.0, 4.0, 5.0, -6.0],
+            },
+            Message::ScoreReply {
+                request_id: 0xABCD,
+                ok: true,
+                margins: vec![0.75, -1.25],
+            },
         ]
     }
 
@@ -828,17 +905,45 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kind_above_welcome_is_rejected_not_misparsed() {
-        // Forward compatibility: a frame from a future build using kind 16
+    fn score_truncated_payloads_rejected() {
+        // Every strict prefix of a valid Score / ScoreReply payload must
+        // fail structurally (BadPayload), never decode to garbage.
+        for msg in [
+            Message::Score {
+                request_id: 7,
+                features: 2,
+                xs: vec![1.0, 2.0, 3.0, 4.0],
+            },
+            Message::ScoreReply {
+                request_id: 7,
+                ok: true,
+                margins: vec![-0.5, 0.5],
+            },
+        ] {
+            let mut full = Vec::new();
+            msg.encode_payload(&mut full);
+            for cut in 0..full.len() {
+                let framed = reframe_with_payload(&msg, &full[..cut]);
+                match Frame::decode(&framed) {
+                    Err(FrameError::BadPayload(_)) => {}
+                    other => panic!("truncation at {cut} of {msg:?} gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_above_score_reply_is_rejected_not_misparsed() {
+        // Forward compatibility: a frame from a future build using kind 18
         // must come back as an unknown-kind error, exactly like the
-        // pre-Join/Welcome builds treat kinds 14/15.
+        // pre-Score builds treat kinds 16/17.
         let msg = Message::Join { party: 1, nonce: 7 };
         let mut enc = reframe_with_payload(&msg, &{
             let mut p = Vec::new();
             msg.encode_payload(&mut p);
             p
         });
-        enc[5] = 16; // kind byte
+        enc[5] = 18; // kind byte
         let crc = crc32(&enc[4..enc.len() - 4]);
         let n = enc.len();
         enc[n - 4..].copy_from_slice(&crc.to_le_bytes());

@@ -1,0 +1,155 @@
+//! `ppml-serve`: batched, hot-reloading SVM inference (ISSUE 6 tentpole).
+//!
+//! ```text
+//! ppml-serve --model model.bin [--http 127.0.0.1:0] [--frames 127.0.0.1:0]
+//!            [--watch-ms 500] [--telemetry events.jsonl]
+//! ```
+//!
+//! Loads a trained model (binary `PPMLMODL` or flat-text linear) and
+//! answers scoring requests on two fronts: HTTP/1.1 (`POST /score`,
+//! `GET /healthz`, `GET /model`, `GET /metrics`) and the frame protocol
+//! (`Score` → `ScoreReply`). Both default to an ephemeral port; the bound
+//! addresses are printed to stdout as `http: ADDR` / `frames: ADDR` lines
+//! so a supervisor can parse them. The model file is polled every
+//! `--watch-ms` milliseconds (0 disables watching) and atomically swapped
+//! in when it changes — in-flight requests finish on the model they
+//! started with.
+//!
+//! The process serves until stdin reaches EOF, then exits cleanly —
+//! `echo | ppml-serve …` for a smoke run, or keep the pipe open from a
+//! supervisor. Exit codes follow the `ppml::cli` contract: 2 usage,
+//! 3 model I/O, 4 bind failure.
+
+use std::collections::BTreeMap;
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppml::cli::CliError;
+use ppml::serve::{router, Engine, FrameServer, ModelWatcher, SavedModel};
+use ppml::telemetry::{
+    self, FanoutSink, HttpServer, JsonlSink, MetricsRegistry, MetricsSink, Sink,
+};
+
+fn usage() -> String {
+    "usage:\n  ppml-serve --model MODEL [--http ADDR] [--frames ADDR]\n             \
+     [--watch-ms MS] [--telemetry EVENTS.jsonl]\n\n\
+     MODEL is a binary model from `ppml train --model-out` (or a flat-text\n\
+     linear model). Both fronts default to 127.0.0.1:0 (ephemeral); the\n\
+     bound addresses are printed as `http: ADDR` / `frames: ADDR`.\n\
+     --watch-ms 0 disables hot reload (default 500). Serves until stdin\n\
+     reaches EOF."
+        .to_string()
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
+    let mut map = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| CliError::usage(format!("expected --flag, got {flag}")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::usage(format!("missing value for --{key}")))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    for key in flags.keys() {
+        if !matches!(
+            key.as_str(),
+            "model" | "http" | "frames" | "watch-ms" | "telemetry"
+        ) {
+            return Err(CliError::usage(format!("unknown flag --{key}")));
+        }
+    }
+    let model_path = PathBuf::from(
+        flags
+            .get("model")
+            .ok_or_else(|| CliError::usage("missing required --model"))?,
+    );
+    let http_addr = flags
+        .get("http")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let frames_addr = flags
+        .get("frames")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let watch_ms: u64 = match flags.get("watch-ms") {
+        None => 500,
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--watch-ms: bad value {v}")))?,
+    };
+
+    // Telemetry first, so the generation-1 model load is already counted.
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![MetricsSink::with_registry(registry.clone())];
+    if let Some(path) = flags.get("telemetry") {
+        let jsonl = JsonlSink::create(Path::new(path))
+            .map_err(|e| CliError::io(format!("--telemetry {path}: {e}")))?;
+        sinks.push(jsonl);
+    }
+    telemetry::install(FanoutSink::new(sinks));
+
+    let bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
+    let model = SavedModel::load_auto(&model_path)
+        .map_err(|e| CliError::io(format!("{}: {e}", model_path.display())))?;
+    println!(
+        "model: {} ({}, {} features)",
+        model_path.display(),
+        model.kind(),
+        model.features()
+    );
+    let engine = Engine::new(model, bytes);
+
+    let http = HttpServer::serve(http_addr, router(engine.clone(), registry))
+        .map_err(|e| CliError::transport(format!("bind http {http_addr}: {e}")))?;
+    let frames = FrameServer::serve(frames_addr, engine.clone())
+        .map_err(|e| CliError::transport(format!("bind frames {frames_addr}: {e}")))?;
+    println!("http: {}", http.local_addr());
+    println!("frames: {}", frames.local_addr());
+    // Flush so a supervisor that spawned us piped can read the addresses
+    // before sending any traffic.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let _watcher = (watch_ms > 0).then(|| {
+        ModelWatcher::spawn(
+            model_path.clone(),
+            engine.clone(),
+            Duration::from_millis(watch_ms),
+        )
+    });
+
+    // Serve until our supervisor hangs up stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    http.shutdown();
+    frames.shutdown();
+    telemetry::uninstall();
+    println!("ppml-serve: clean shutdown");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ppml-serve: {}", e.msg);
+            if e.code == ppml::cli::EXIT_USAGE {
+                eprintln!("{}", usage());
+            }
+            e.exit_code()
+        }
+    }
+}

@@ -4,9 +4,9 @@
 //! ```text
 //! ppml gen   --dataset cancer --n 569 --seed 1 --out data.csv
 //! ppml train --mode hl --data data.csv --learners 4 --iters 100 \
-//!            --c 50 --rho 100 --out model.txt [--cluster] \
-//!            [--telemetry events.jsonl]
-//! ppml eval  --model model.txt --data test.csv
+//!            --c 50 --rho 100 --out model.txt [--model-out model.bin] \
+//!            [--cluster] [--telemetry events.jsonl]
+//! ppml eval  --model model.bin --data test.csv
 //! ```
 //!
 //! `train --telemetry PATH` streams structured events (rounds, ADMM
@@ -15,24 +15,32 @@
 //! never data or model coordinates.
 //!
 //! Training modes: `hl` (horizontal linear), `vl` (vertical linear),
-//! `central` (the baseline). The kernel trainers have no flat-text model
-//! format and are reachable through the library API and examples instead.
+//! `central` (the baseline), and `kernel` (centralized kernel SVM —
+//! nonlinear, so it has no flat-text format and requires `--model-out`).
+//! `--model-out` writes the checksummed binary `PPMLMODL` format that
+//! `ppml-serve` loads and hot-reloads; `--out` writes the legacy
+//! flat-text linear format. `ppml eval` accepts either.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
 use ppml::core::{AdmmConfig, HorizontalLinearSvm, VerticalLinearSvm};
 use ppml::data::{synth, Dataset, Partition};
-use ppml::svm::LinearSvm;
+use ppml::kernel::Kernel;
+use ppml::serve::SavedModel;
+use ppml::svm::{KernelSvm, LinearSvm, SvmParams};
 use ppml::telemetry::{self, FanoutSink, JsonlSink, Sink, SummarySink};
 
 fn usage() -> String {
     "usage:\n  ppml gen   --dataset <cancer|higgs|ocr|blobs|xor> --n <N> [--seed S] --out FILE\n  \
      ppml split --data FILE [--fraction F] [--seed S] --train FILE --test FILE\n  \
-     ppml train --mode <hl|vl|central> --data FILE [--learners M] [--iters T]\n             \
-     [--c C] [--rho RHO] [--seed S] [--cluster] [--telemetry EVENTS.jsonl] --out MODEL\n  \
+     ppml train --mode <hl|vl|central|kernel> --data FILE [--learners M] [--iters T]\n             \
+     [--c C] [--rho RHO] [--seed S] [--cluster] [--telemetry EVENTS.jsonl]\n             \
+     [--kernel <linear|rbf|poly|sigmoid>] [--gamma G] [--degree D] [--coef0 R]\n             \
+     [--out MODEL.txt] [--model-out MODEL.bin]\n  \
      ppml eval  --model MODEL --data FILE\n\n\
      note: each `gen` seed draws a fresh task distribution — create one file\n\
      and `split` it, rather than generating train and test separately"
@@ -120,6 +128,27 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
     Dataset::from_csv(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Kernel selection from `--kernel` + its parameter flags, libsvm-style:
+/// poly is `(gamma·⟨x,y⟩ + coef0)^degree`, sigmoid takes its scale from
+/// `--gamma`.
+fn parse_kernel(flags: &BTreeMap<String, String>) -> Result<Kernel, String> {
+    match flags.get("kernel").map(String::as_str).unwrap_or("rbf") {
+        "linear" => Ok(Kernel::Linear),
+        "rbf" => Ok(Kernel::Rbf {
+            gamma: numeric(flags, "gamma", 0.5)?,
+        }),
+        "poly" => Ok(Kernel::Polynomial {
+            a: numeric(flags, "gamma", 1.0)?,
+            b: numeric(flags, "coef0", 1.0)?,
+            degree: numeric(flags, "degree", 3u32)?,
+        }),
+        "sigmoid" => Ok(Kernel::Sigmoid {
+            c: numeric(flags, "gamma", 0.01)?,
+        }),
+        other => Err(format!("unknown kernel {other}")),
+    }
+}
+
 fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
     let data = load_dataset(required(&flags, "data")?)?;
     let learners: usize = numeric(&flags, "learners", 4)?;
@@ -127,7 +156,11 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
     let c: f64 = numeric(&flags, "c", 50.0)?;
     let rho: f64 = numeric(&flags, "rho", 100.0)?;
     let seed: u64 = numeric(&flags, "seed", 1)?;
-    let out = required(&flags, "out")?;
+    let out = flags.get("out").map(String::as_str);
+    let model_out = flags.get("model-out").map(String::as_str);
+    if out.is_none() && model_out.is_none() {
+        return Err("need --out (flat text) and/or --model-out (binary)".to_string());
+    }
     let on_cluster = flags.contains_key("cluster");
     let cfg = AdmmConfig::default()
         .with_c(c)
@@ -149,10 +182,19 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
         None => None,
     };
 
-    let (model, trace): (LinearSvm, Vec<f64>) = match required(&flags, "mode")? {
+    let (saved, trace): (SavedModel, Vec<f64>) = match required(&flags, "mode")? {
         "central" => {
             let m = LinearSvm::train(&data, c).map_err(|e| e.to_string())?;
-            (m, Vec::new())
+            (SavedModel::Linear(m), Vec::new())
+        }
+        "kernel" => {
+            let params = SvmParams {
+                c,
+                kernel: parse_kernel(&flags)?,
+                ..Default::default()
+            };
+            let m = KernelSvm::train(&data, &params).map_err(|e| e.to_string())?;
+            (SavedModel::Kernel(m), Vec::new())
         }
         "hl" => {
             let parts = Partition::horizontal(&data, learners, seed).map_err(|e| e.to_string())?;
@@ -166,26 +208,41 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
                     metrics.bytes_shuffled,
                     metrics.bytes_broadcast
                 );
-                (outcome.model, outcome.history.z_delta)
+                (SavedModel::Linear(outcome.model), outcome.history.z_delta)
             } else {
                 let outcome =
                     HorizontalLinearSvm::train(&parts, &cfg, None).map_err(|e| e.to_string())?;
-                (outcome.model, outcome.history.z_delta)
+                (SavedModel::Linear(outcome.model), outcome.history.z_delta)
             }
         }
         "vl" => {
             let view = Partition::vertical(&data, learners, seed).map_err(|e| e.to_string())?;
             let outcome = VerticalLinearSvm::train(&view, &cfg, None).map_err(|e| e.to_string())?;
-            (outcome.model.to_linear_svm(), outcome.history.z_delta)
+            (
+                SavedModel::Linear(outcome.model.to_linear_svm()),
+                outcome.history.z_delta,
+            )
         }
         other => return Err(format!("unknown mode {other}")),
     };
 
-    std::fs::write(out, model.to_text()).map_err(|e| e.to_string())?;
+    if let Some(out) = out {
+        let SavedModel::Linear(linear) = &saved else {
+            return Err(
+                "--mode kernel has no flat-text format; write it with --model-out".to_string(),
+            );
+        };
+        std::fs::write(out, linear.to_text()).map_err(|e| e.to_string())?;
+    }
+    if let Some(model_out) = model_out {
+        saved
+            .save(Path::new(model_out))
+            .map_err(|e| e.to_string())?;
+    }
     println!(
         "trained on {} samples; train accuracy {:.3}",
         data.len(),
-        model.accuracy(&data)
+        model_accuracy(&saved, &data)
     );
     if let Some(last) = trace.last() {
         println!(
@@ -193,7 +250,12 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
             trace.len()
         );
     }
-    println!("model written to {out}");
+    match (out, model_out) {
+        (Some(o), Some(m)) => println!("model written to {o} (text) and {m} (binary)"),
+        (Some(o), None) => println!("model written to {o}"),
+        (None, Some(m)) => println!("model written to {m}"),
+        (None, None) => unreachable!("validated above"),
+    }
     if let Some((summary, path)) = telemetry_out {
         telemetry::uninstall();
         print!("{}", summary.render());
@@ -202,10 +264,26 @@ fn cmd_train(flags: BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Accuracy of a saved model over a dataset (dimension mismatches count
+/// as wrong, though `train` can never produce one).
+fn model_accuracy(model: &SavedModel, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = (0..data.len())
+        .filter(|&i| {
+            model
+                .classify(data.sample(i))
+                .map(|label| label == data.label(i))
+                .unwrap_or(false)
+        })
+        .count();
+    correct as f64 / data.len() as f64
+}
+
 fn cmd_eval(flags: BTreeMap<String, String>) -> Result<(), String> {
-    let model_text =
-        std::fs::read_to_string(required(&flags, "model")?).map_err(|e| e.to_string())?;
-    let model = LinearSvm::from_text(&model_text).map_err(|e| e.to_string())?;
+    let model =
+        SavedModel::load_auto(Path::new(required(&flags, "model")?)).map_err(|e| e.to_string())?;
     let data = load_dataset(required(&flags, "data")?)?;
     let confusion = ppml::svm::confusion((0..data.len()).map(|i| {
         (

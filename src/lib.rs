@@ -19,6 +19,7 @@
 //! | [`kernel`] | `ppml-kernel` | kernels + landmark sets |
 //! | [`qp`] | `ppml-qp` | the dual QP solvers |
 //! | [`linalg`] | `ppml-linalg` | dense linear algebra |
+//! | [`serve`] | `ppml-serve` | batched, hot-reloading inference over HTTP + frame fronts |
 //! | [`transport`] | `ppml-transport` | wire format, loopback + TCP transports, ARQ courier |
 //! | [`telemetry`] | `ppml-telemetry` | structured events, span timing, JSONL/ring/summary sinks, metrics registry + exposition |
 //! | [`trace`] | *(this crate)* | cross-process trace correlation: merge + clock-rebase JSONL streams |
@@ -61,6 +62,7 @@ pub use ppml_kernel as kernel;
 pub use ppml_linalg as linalg;
 pub use ppml_mapreduce as mapreduce;
 pub use ppml_qp as qp;
+pub use ppml_serve as serve;
 pub use ppml_svm as svm;
 pub use ppml_telemetry as telemetry;
 pub use ppml_transport as transport;
