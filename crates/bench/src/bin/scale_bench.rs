@@ -1,0 +1,469 @@
+//! Coordinator scaling: round latency and coordinator CPU as the
+//! learner count grows, old (thread-per-connection) versus new
+//! (event-loop) transport backend (ISSUE 7 bench).
+//!
+//! ```text
+//! cargo run -p ppml-bench --bin scale_bench --release
+//! ```
+//!
+//! For each backend × m in {8, 32, 64, 128, 256, 512}, the parent
+//! process binds a
+//! coordinator transport, spawns m echo children (separate OS processes,
+//! so the coordinator's CPU is measured alone), and drives R
+//! consensus-shaped rounds: broadcast a `Consensus` iterate to every
+//! learner, collect one `MaskedShare` from each. Reported per cell:
+//! p50/p99 round latency, coordinator CPU milliseconds per round
+//! (nanosecond-resolution `sum_exec_runtime` from
+//! `/proc/self/task/*/schedstat`, summed over every thread), and the
+//! coordinator's thread count mid-run. Results go to stdout and to
+//! `BENCH_scale.json` in the working directory.
+//!
+//! The children always run the event-loop backend, so the only variable
+//! across cells is the coordinator's side of the fabric.
+//!
+//! `PPML_BENCH_QUICK=1` shrinks the grid to m in {8, 32} and fewer
+//! rounds for CI smoke runs. `PPML_BENCH_M=64,256` overrides the m grid
+//! outright, and `PPML_BENCH_THREADPROF=1` prints a per-thread CPU
+//! breakdown of each cell to stderr.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ppml_transport::{
+    EventTransport, Message, PartyId, RetryPolicy, TcpTransport, Transport, TransportError,
+};
+
+/// The coordinator's party id; children learn it from their argv.
+const COORD: PartyId = 10_000;
+/// Words per broadcast iterate and per masked share (8 bytes each).
+const SHARE_WORDS: usize = 16;
+
+fn quick() -> bool {
+    std::env::var_os("PPML_BENCH_QUICK").is_some()
+}
+
+fn learner_counts() -> Vec<usize> {
+    if let Ok(grid) = std::env::var("PPML_BENCH_M") {
+        let m: Vec<usize> = grid
+            .split(',')
+            .filter_map(|v| v.trim().parse().ok())
+            .collect();
+        if !m.is_empty() {
+            return m;
+        }
+    }
+    if quick() {
+        vec![8, 32]
+    } else {
+        // 8..128 are the required comparison rows; 256 and 512 chart
+        // the legacy backend past its breaking point (at 512 it cannot
+        // even form the cluster on a small host).
+        vec![8, 32, 64, 128, 256, 512]
+    }
+}
+
+fn rounds() -> usize {
+    if quick() {
+        15
+    } else {
+        40
+    }
+}
+
+/// CPU time this process has consumed, in microseconds.
+///
+/// Prefers the scheduler's nanosecond-resolution `sum_exec_runtime`
+/// (`/proc/self/task/*/schedstat`, summed over every thread — reader
+/// threads included, which is the whole point of the comparison); falls
+/// back to `utime + stime` jiffies from `/proc/self/stat` where
+/// schedstats are compiled out. Returns 0 off Linux — the bench still
+/// runs, the CPU column is just meaningless there.
+/// Debug aid (`PPML_BENCH_THREADPROF=1`): per-thread (tid, comm,
+/// cpu-ns). Keyed by tid — reader-pool threads all share one comm.
+fn thread_cpu_snapshot() -> Vec<(u64, String, u64)> {
+    let mut out = Vec::new();
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for task in tasks.flatten() {
+            let Some(tid) = task
+                .file_name()
+                .to_str()
+                .and_then(|v| v.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let comm = std::fs::read_to_string(task.path().join("comm"))
+                .unwrap_or_default()
+                .trim()
+                .to_string();
+            let ns = std::fs::read_to_string(task.path().join("schedstat"))
+                .ok()
+                .and_then(|s| {
+                    s.split_whitespace()
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                })
+                .unwrap_or(0);
+            out.push((tid, comm, ns));
+        }
+    }
+    out
+}
+
+fn self_cpu_us() -> u64 {
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        let mut total_ns: u64 = 0;
+        let mut seen = false;
+        for task in tasks.flatten() {
+            let path = task.path().join("schedstat");
+            if let Some(ns) = std::fs::read_to_string(path).ok().and_then(|s| {
+                s.split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+            }) {
+                total_ns += ns;
+                seen = true;
+            }
+        }
+        if seen {
+            return total_ns / 1_000;
+        }
+    }
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0;
+    };
+    // Fields after the parenthesised comm (which may contain spaces):
+    // state is index 0 there, utime is index 11, stime index 12.
+    let Some(rest) = stat.rsplit(')').next() else {
+        return 0;
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11).and_then(|v| v.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.get(12).and_then(|v| v.parse().ok()).unwrap_or(0);
+    (utime + stime) * 10_000
+}
+
+/// `Threads:` from `/proc/self/status` (0 off Linux).
+fn self_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Echo child: dials the coordinator, answers every `Consensus`
+/// broadcast with one `MaskedShare`, exits on `Shutdown` or when the
+/// coordinator goes silent.
+fn child(party: PartyId, coordinator: SocketAddr) {
+    let mut transport = EventTransport::bind(
+        party,
+        "127.0.0.1:0".parse().expect("loopback"),
+        HashMap::from([(COORD, coordinator)]),
+        RetryPolicy::tcp_link(),
+        Duration::from_secs(5),
+    )
+    .expect("child bind");
+    transport
+        .send(COORD, &Message::Heartbeat { nonce: u64::MAX })
+        .expect("announce");
+    let share = vec![party as u64; SHARE_WORDS];
+    loop {
+        match transport.recv(Duration::from_secs(60)) {
+            Ok(env) => match env.msg {
+                Message::Consensus { iteration, .. } => {
+                    let reply = Message::MaskedShare {
+                        iteration,
+                        epoch: 0,
+                        party,
+                        payload: share.clone(),
+                    };
+                    if transport.send(COORD, &reply).is_err() {
+                        return;
+                    }
+                }
+                Message::Shutdown => return,
+                _ => {}
+            },
+            Err(_) => return,
+        }
+    }
+}
+
+struct Row {
+    backend: &'static str,
+    m: usize,
+    rounds_completed: usize,
+    round_ms_p50: f64,
+    round_ms_p99: f64,
+    coord_cpu_ms_per_round: f64,
+    coord_threads: usize,
+    ok: bool,
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_nanos() as f64 / 1e6
+}
+
+/// The few inherent accessors the phase driver needs on top of the
+/// `Transport` trait, present on both backends.
+trait CoordinatorSide: Transport {
+    fn addr(&self) -> SocketAddr;
+    fn connected(&self) -> usize;
+}
+
+impl CoordinatorSide for EventTransport {
+    fn addr(&self) -> SocketAddr {
+        self.local_addr()
+    }
+    fn connected(&self) -> usize {
+        self.connected_parties().len()
+    }
+}
+
+impl CoordinatorSide for TcpTransport {
+    fn addr(&self) -> SocketAddr {
+        self.local_addr()
+    }
+    fn connected(&self) -> usize {
+        self.connected_parties().len()
+    }
+}
+
+/// Drives R rounds against m spawned echo children and tears everything
+/// down. A round that cannot complete (send failure or a reply missing
+/// past the deadline) ends the phase with `ok: false` — at the biggest
+/// m the legacy backend is *expected* to be the one that breaks first.
+fn run_phase<T: CoordinatorSide>(
+    backend: &'static str,
+    mut transport: T,
+    m: usize,
+    exe: &std::path::Path,
+) -> Row {
+    let addr = transport.addr();
+    let mut children: Vec<Child> = (0..m)
+        .map(|party| {
+            Command::new(exe)
+                .args(["scale-echo", &party.to_string(), &addr.to_string()])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn echo child")
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut connected = true;
+    while transport.connected() < m {
+        if Instant::now() >= deadline {
+            // The backend could not even form the cluster — the
+            // qualitative failure this bench exists to expose. Record
+            // the cell as incomplete instead of aborting the sweep.
+            eprintln!(
+                "scale/{backend}/m={m}: only {}/{m} children connected within 60s",
+                transport.connected()
+            );
+            connected = false;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let coord_threads = self_threads();
+
+    let z: Vec<f64> = (0..SHARE_WORDS).map(|k| k as f64 * 0.5).collect();
+    let total = rounds();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    let cpu_before = self_cpu_us();
+    let prof_before = thread_cpu_snapshot();
+    let mut ok = connected;
+    'rounds: for r in 0..(if connected { total } else { 0 }) {
+        let start = Instant::now();
+        let broadcast = Message::Consensus {
+            iteration: r as u64,
+            z: z.clone(),
+            s: Vec::new(),
+            done: false,
+        };
+        for party in 0..m as PartyId {
+            if transport.send(party, &broadcast).is_err() {
+                ok = false;
+                break 'rounds;
+            }
+        }
+        let mut seen = vec![false; m];
+        let mut have = 0usize;
+        while have < m {
+            match transport.recv(Duration::from_secs(60)) {
+                Ok(env) => {
+                    if let Message::MaskedShare {
+                        iteration, party, ..
+                    } = env.msg
+                    {
+                        let p = party as usize;
+                        if iteration == r as u64 && p < m && !seen[p] {
+                            seen[p] = true;
+                            have += 1;
+                        }
+                    }
+                }
+                Err(TransportError::Timeout) | Err(_) => {
+                    ok = false;
+                    break 'rounds;
+                }
+            }
+        }
+        latencies.push(start.elapsed());
+    }
+    let cpu_after = self_cpu_us();
+    if std::env::var("PPML_BENCH_THREADPROF").is_ok() {
+        let after = thread_cpu_snapshot();
+        let mut rollup: HashMap<&str, (usize, u64)> = HashMap::new();
+        for (tid, comm, ns) in &after {
+            let before = prof_before
+                .iter()
+                .find(|(t, _, _)| t == tid)
+                .map_or(0, |(_, _, n)| *n);
+            let slot = rollup.entry(comm.as_str()).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += ns.saturating_sub(before);
+        }
+        for (comm, (count, ns)) in rollup {
+            eprintln!(
+                "threadprof {backend}/m={m}: {comm} x{count} {:.2}ms",
+                ns as f64 / 1e6
+            );
+        }
+    }
+
+    for party in 0..m as PartyId {
+        let _ = transport.send(party, &Message::Shutdown);
+    }
+    drop(transport);
+    // One global grace window for the whole brood: a cell that failed
+    // to form (hundreds of children that never saw Shutdown) must not
+    // serialize a per-child timeout.
+    let grace = Instant::now() + Duration::from_secs(5);
+    for child in &mut children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < grace => std::thread::sleep(Duration::from_millis(10)),
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
+
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    let row = Row {
+        backend,
+        m,
+        rounds_completed: completed,
+        round_ms_p50: percentile_ms(&latencies, 0.50),
+        round_ms_p99: percentile_ms(&latencies, 0.99),
+        coord_cpu_ms_per_round: if completed > 0 {
+            (cpu_after.saturating_sub(cpu_before)) as f64 / 1_000.0 / completed as f64
+        } else {
+            0.0
+        },
+        coord_threads,
+        ok: ok && completed == total,
+    };
+    println!(
+        "scale/{}/m={:<4} rounds {:>3}/{}  p50 {:>8.2}ms  p99 {:>8.2}ms  cpu {:>7.2}ms/round  threads {:>4}  {}",
+        row.backend,
+        row.m,
+        row.rounds_completed,
+        total,
+        row.round_ms_p50,
+        row.round_ms_p99,
+        row.coord_cpu_ms_per_round,
+        row.coord_threads,
+        if row.ok { "ok" } else { "INCOMPLETE" }
+    );
+    row
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("scale-echo") {
+        let party: PartyId = args[2].parse().expect("party");
+        let coordinator: SocketAddr = args[3].parse().expect("coordinator addr");
+        child(party, coordinator);
+        return Ok(());
+    }
+
+    let exe = std::env::current_exe().expect("current exe");
+    let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+    let mut rows = Vec::new();
+    for &m in &learner_counts() {
+        for backend in ["threads", "event"] {
+            let row = match backend {
+                "threads" => {
+                    let t = TcpTransport::bind(
+                        COORD,
+                        loopback,
+                        HashMap::new(),
+                        RetryPolicy::tcp_link(),
+                        Duration::from_secs(5),
+                    )
+                    .expect("bind threads coordinator");
+                    run_phase("threads", t, m, &exe)
+                }
+                _ => {
+                    let t = EventTransport::bind(
+                        COORD,
+                        loopback,
+                        HashMap::new(),
+                        RetryPolicy::tcp_link(),
+                        Duration::from_secs(5),
+                    )
+                    .expect("bind event coordinator");
+                    run_phase("event", t, m, &exe)
+                }
+            };
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"scale\",");
+    let _ = writeln!(json, "  \"rounds\": {},", rounds());
+    let _ = writeln!(json, "  \"share_bytes\": {},", SHARE_WORDS * 8);
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"m\": {}, \"rounds_completed\": {}, \
+             \"round_ms_p50\": {:.3}, \"round_ms_p99\": {:.3}, \
+             \"coord_cpu_ms_per_round\": {:.3}, \"coord_threads\": {}, \"ok\": {}}}{comma}",
+            r.backend,
+            r.m,
+            r.rounds_completed,
+            r.round_ms_p50,
+            r.round_ms_p99,
+            r.coord_cpu_ms_per_round,
+            r.coord_threads,
+            r.ok
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_scale.json", &json)?;
+    println!("wrote BENCH_scale.json");
+    Ok(())
+}

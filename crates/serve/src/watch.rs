@@ -1,14 +1,22 @@
 //! Hot-reload: a polling watcher that re-reads the model file on change.
 //!
 //! `std` offers no portable file-notification or signal API, so the
-//! watcher polls mtime + length on an interval (default 500 ms). When
-//! either changes it re-loads the file through [`SavedModel::load`]; the
+//! watcher polls the file's fingerprint on an interval (default 500 ms).
+//! When it changes it re-loads the file through [`SavedModel::load`]; the
 //! CRC trailer rejects torn or half-written reads, and on any load error
 //! the engine keeps serving the previous model. Writers that use
 //! [`SavedModel::save`]'s atomic temp-and-rename never expose a torn file
 //! in the first place, so in practice one poll tick after the rename the
 //! new model is live.
+//!
+//! The fingerprint is mtime + length + the CRC-32 the `PPMLMODL` format
+//! already stores in its trailer. mtime + length alone is not enough: a
+//! rewrite that lands within the filesystem's mtime granularity with an
+//! identical byte length (two same-shape models saved back to back) is
+//! invisible to metadata, and the stale model would serve forever. The
+//! trailer CRC is content-derived, so any payload change flips it.
 
+use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -18,12 +26,34 @@ use std::time::{Duration, SystemTime};
 use crate::engine::Engine;
 use crate::model::SavedModel;
 
-/// Fingerprint of a file state: (mtime, length).
-type Stamp = (SystemTime, u64);
+/// Fingerprint of a file state: (mtime, length, trailer CRC-32).
+type Stamp = (SystemTime, u64, u32);
+
+/// The `PPMLMODL` trailer: the last 4 bytes are the little-endian
+/// CRC-32 of everything before them. For a file too short to carry a
+/// trailer (or an unreadable one) the CRC slot is 0 — the load will
+/// reject it anyway; the stamp only has to *change* when content does.
+fn trailer_crc(path: &std::path::Path, len: u64) -> u32 {
+    if len < 4 {
+        return 0;
+    }
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return 0;
+    };
+    if file.seek(SeekFrom::End(-4)).is_err() {
+        return 0;
+    }
+    let mut crc = [0u8; 4];
+    if file.read_exact(&mut crc).is_err() {
+        return 0;
+    }
+    u32::from_le_bytes(crc)
+}
 
 fn stamp(path: &std::path::Path) -> Option<Stamp> {
     let meta = std::fs::metadata(path).ok()?;
-    Some((meta.modified().ok()?, meta.len()))
+    let len = meta.len();
+    Some((meta.modified().ok()?, len, trailer_crc(path, len)))
 }
 
 /// Handle for a running model watcher; dropping it stops the thread.
@@ -48,7 +78,7 @@ impl ModelWatcher {
                     // is left alone so the next tick retries, and the old
                     // model keeps serving.
                     if let Ok(model) = SavedModel::load(&path) {
-                        let bytes = now.map(|(_, len)| len).unwrap_or(0);
+                        let bytes = now.map(|(_, len, _)| len).unwrap_or(0);
                         engine.swap(model, bytes);
                         last = now;
                     }
@@ -116,6 +146,49 @@ mod tests {
         linear(vec![-1.0], 0.0).save(&path).unwrap();
         assert!(wait_for_generation(&engine, 2), "reload never happened");
         assert_eq!(engine.score_batch(1, &[3.0]).unwrap(), vec![-3.0]);
+
+        watcher.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_length_rewrite_within_mtime_granularity_still_reloads() {
+        // Two same-shape models encode to identical byte lengths; pinning
+        // the mtime makes the metadata fingerprint identical too. Only
+        // the trailer CRC distinguishes them — the old mtime+len stamp
+        // never reloaded and served the stale model forever.
+        let dir = std::env::temp_dir().join(format!("ppml-watch-crc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        linear(vec![1.0], 0.0).save(&path).unwrap();
+        let pinned_mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+        let initial_len = std::fs::metadata(&path).unwrap().len();
+
+        let engine = Engine::new(SavedModel::load(&path).unwrap(), 0);
+        let mut watcher =
+            ModelWatcher::spawn(path.clone(), Arc::clone(&engine), Duration::from_millis(10));
+
+        let mut expected_generation = 1;
+        for weight in [-1.0, 2.0, -3.0] {
+            // Stage the rewrite beside the watched path, pin its mtime to
+            // the original, then rename it in (rename preserves mtime):
+            // the watched path never exposes a differing mtime or length,
+            // so only the CRC can betray the change.
+            let side = dir.join("incoming.bin");
+            linear(vec![weight], 0.0).save(&side).unwrap();
+            assert_eq!(std::fs::metadata(&side).unwrap().len(), initial_len);
+            let f = std::fs::File::options().write(true).open(&side).unwrap();
+            f.set_modified(pinned_mtime).unwrap();
+            drop(f);
+            std::fs::rename(&side, &path).unwrap();
+
+            expected_generation += 1;
+            assert!(
+                wait_for_generation(&engine, expected_generation),
+                "generation never ticked for the same-length rewrite to w={weight}"
+            );
+            assert_eq!(engine.score_batch(1, &[1.0]).unwrap(), vec![weight]);
+        }
 
         watcher.shutdown();
         let _ = std::fs::remove_dir_all(&dir);

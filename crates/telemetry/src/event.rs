@@ -80,6 +80,16 @@ pub enum EventKind {
         /// The duplicated sequence number.
         seq: u64,
     },
+    /// An acknowledgement could not be delivered (the peer vanished
+    /// between sending its frame and our ack) and was dropped. Safe
+    /// under stop-and-wait: a live sender retransmits and the duplicate
+    /// is re-acked.
+    AckDropped {
+        /// The unreachable peer.
+        to: u32,
+        /// Sequence number the lost ack covered.
+        of_seq: u64,
+    },
     /// A protocol round opened (coordinator: broadcast sent; learner:
     /// consensus received).
     RoundOpen {
@@ -251,6 +261,30 @@ pub enum EventKind {
         /// Encoded model size on disk.
         bytes: u64,
     },
+    /// A transport connection was registered under a party id (hello
+    /// handshake completed).
+    ConnOpen {
+        /// The peer the connection now carries.
+        peer: u32,
+        /// `true` when the peer dialed in; `false` when we dialed out.
+        inbound: bool,
+    },
+    /// A transport connection closed (EOF, socket error, corrupt
+    /// stream, handler panic, or replacement by a newer connection).
+    ConnClose {
+        /// The registered peer; [`NO_PARTY`] if it never identified
+        /// itself.
+        peer: u32,
+    },
+    /// A transport connection was reaped by the idle-read deadline: the
+    /// peer produced no bytes for too long (half-open or stalled).
+    ConnReaped {
+        /// The registered peer; [`NO_PARTY`] if it never identified
+        /// itself.
+        peer: u32,
+        /// How long the connection had been silent when reaped.
+        idle_ms: u64,
+    },
 }
 
 /// Phase labels [`Event::from_json`] can map back to `&'static str`.
@@ -372,6 +406,11 @@ impl Event {
                 kind(&mut out, "dedup_drop");
                 u(&mut out, "from", from.into());
                 u(&mut out, "seq", seq);
+            }
+            EventKind::AckDropped { to, of_seq } => {
+                kind(&mut out, "ack_dropped");
+                u(&mut out, "to", to.into());
+                u(&mut out, "of_seq", of_seq);
             }
             EventKind::RoundOpen { iteration, epoch } => {
                 kind(&mut out, "round_open");
@@ -519,6 +558,20 @@ impl Event {
                 u(&mut out, "generation", generation);
                 u(&mut out, "bytes", bytes);
             }
+            EventKind::ConnOpen { peer, inbound } => {
+                kind(&mut out, "conn_open");
+                u(&mut out, "peer", peer.into());
+                b(&mut out, "inbound", inbound);
+            }
+            EventKind::ConnClose { peer } => {
+                kind(&mut out, "conn_close");
+                u(&mut out, "peer", peer.into());
+            }
+            EventKind::ConnReaped { peer, idle_ms } => {
+                kind(&mut out, "conn_reaped");
+                u(&mut out, "peer", peer.into());
+                u(&mut out, "idle_ms", idle_ms);
+            }
         }
         out.push('}');
         out
@@ -602,6 +655,10 @@ impl Event {
             "dedup_drop" => EventKind::DedupDrop {
                 from: get_u32("from")?,
                 seq: get_u("seq")?,
+            },
+            "ack_dropped" => EventKind::AckDropped {
+                to: get_u32("to")?,
+                of_seq: get_u("of_seq")?,
             },
             "round_open" => EventKind::RoundOpen {
                 iteration: get_u("iteration")?,
@@ -693,6 +750,17 @@ impl Event {
             "model_reload" => EventKind::ModelReload {
                 generation: get_u("generation")?,
                 bytes: get_u("bytes")?,
+            },
+            "conn_open" => EventKind::ConnOpen {
+                peer: get_u32("peer")?,
+                inbound: get_b("inbound")?,
+            },
+            "conn_close" => EventKind::ConnClose {
+                peer: get_u32("peer")?,
+            },
+            "conn_reaped" => EventKind::ConnReaped {
+                peer: get_u32("peer")?,
+                idle_ms: get_u("idle_ms")?,
             },
             other => return Err(ParseError::UnknownKind(other.to_string())),
         };
@@ -807,6 +875,7 @@ mod tests {
                 attempt: 2,
             },
             EventKind::DedupDrop { from: 2, seq: 5 },
+            EventKind::AckDropped { to: 1, of_seq: 8 },
             EventKind::RoundOpen {
                 iteration: 4,
                 epoch: 1,
@@ -900,6 +969,15 @@ mod tests {
             EventKind::ModelReload {
                 generation: 2,
                 bytes: 4_096,
+            },
+            EventKind::ConnOpen {
+                peer: 3,
+                inbound: true,
+            },
+            EventKind::ConnClose { peer: NO_PARTY },
+            EventKind::ConnReaped {
+                peer: 1,
+                idle_ms: 61_250,
             },
         ];
         kinds

@@ -200,6 +200,9 @@ pub struct MetricsRegistry {
     pub retransmits_total: Counter,
     /// Duplicate deliveries dropped ([`EventKind::DedupDrop`]).
     pub dedup_drops_total: Counter,
+    /// Acknowledgements dropped because the peer vanished
+    /// ([`EventKind::AckDropped`]).
+    pub acks_dropped_total: Counter,
     /// Sends that exhausted their retry budget.
     pub send_timeouts_total: Counter,
     /// Encoded frame sizes, sent and received.
@@ -292,6 +295,15 @@ pub struct MetricsRegistry {
     pub model_generation: UintGauge,
     /// Encoded size of the model currently serving.
     pub model_bytes: UintGauge,
+    // ---- connection lifecycle
+    /// Connections registered ([`EventKind::ConnOpen`]).
+    pub conns_opened_total: Counter,
+    /// Connections closed ([`EventKind::ConnClose`]).
+    pub conns_closed_total: Counter,
+    /// Connections reaped by the idle deadline ([`EventKind::ConnReaped`]).
+    pub conns_reaped_total: Counter,
+    /// Connections currently registered (opened minus closed/reaped).
+    pub conns_open: Gauge,
 }
 
 impl MetricsRegistry {
@@ -335,6 +347,7 @@ impl MetricsRegistry {
                 self.retransmit_attempts.observe(attempt.into());
             }
             EventKind::DedupDrop { .. } => self.dedup_drops_total.inc(),
+            EventKind::AckDropped { .. } => self.acks_dropped_total.inc(),
             EventKind::RoundOpen { iteration, .. } => {
                 self.rounds_opened_total.inc();
                 self.last_round.set(iteration);
@@ -422,6 +435,18 @@ impl MetricsRegistry {
                 self.model_generation.set(generation);
                 self.model_bytes.set(bytes);
             }
+            EventKind::ConnOpen { .. } => {
+                self.conns_opened_total.inc();
+                self.conns_open.add(1);
+            }
+            EventKind::ConnClose { .. } => {
+                self.conns_closed_total.inc();
+                self.conns_open.add(-1);
+            }
+            EventKind::ConnReaped { .. } => {
+                self.conns_reaped_total.inc();
+                self.conns_open.add(-1);
+            }
         }
     }
 
@@ -481,6 +506,11 @@ impl MetricsRegistry {
         c(&mut out, "bytes_recv_total", self.bytes_recv_total.get());
         c(&mut out, "retransmits_total", self.retransmits_total.get());
         c(&mut out, "dedup_drops_total", self.dedup_drops_total.get());
+        c(
+            &mut out,
+            "acks_dropped_total",
+            self.acks_dropped_total.get(),
+        );
         c(
             &mut out,
             "send_timeouts_total",
@@ -601,6 +631,23 @@ impl MetricsRegistry {
         );
         gu(&mut out, "model_generation", self.model_generation.get());
         gu(&mut out, "model_bytes", self.model_bytes.get());
+
+        c(
+            &mut out,
+            "conns_opened_total",
+            self.conns_opened_total.get(),
+        );
+        c(
+            &mut out,
+            "conns_closed_total",
+            self.conns_closed_total.get(),
+        );
+        c(
+            &mut out,
+            "conns_reaped_total",
+            self.conns_reaped_total.get(),
+        );
+        g(&mut out, "conns_open", self.conns_open.get());
 
         out
     }

@@ -134,6 +134,9 @@ struct Totals {
     score_ns: u64,
     score_rejected: u64,
     model_reloads: u64,
+    conns_opened: u64,
+    conns_closed: u64,
+    conns_reaped: u64,
     /// `(t_ns, party, iteration)` per dropout declaration.
     dropouts: Vec<(u64, u32, u64)>,
     /// `(t_ns, epoch, survivors)` per re-key.
@@ -244,6 +247,13 @@ impl SummarySink {
         if t.checkpoints > 0 {
             let _ = writeln!(out, "  checkpoints: {} written", t.checkpoints);
         }
+        if t.conns_opened + t.conns_closed + t.conns_reaped > 0 {
+            let _ = writeln!(
+                out,
+                "  conns: {} opened, {} closed, {} idle-reaped",
+                t.conns_opened, t.conns_closed, t.conns_reaped
+            );
+        }
         if t.score_batches + t.score_rejected > 0 {
             let _ = writeln!(
                 out,
@@ -306,6 +316,7 @@ impl Sink for SummarySink {
             EventKind::SendTimeout { .. } => t.send_timeouts += 1,
             EventKind::ArqRetransmit { .. } => t.arq_retransmits += 1,
             EventKind::DedupDrop { .. } => t.dedup_drops += 1,
+            EventKind::AckDropped { .. } => {}
             EventKind::RoundOpen { .. } => {}
             EventKind::RoundClose { .. } => t.rounds_closed += 1,
             EventKind::DeadlineMiss { .. } => t.deadline_misses += 1,
@@ -348,6 +359,9 @@ impl Sink for SummarySink {
             }
             EventKind::ScoreRejected { .. } => t.score_rejected += 1,
             EventKind::ModelReload { .. } => t.model_reloads += 1,
+            EventKind::ConnOpen { .. } => t.conns_opened += 1,
+            EventKind::ConnClose { .. } => t.conns_closed += 1,
+            EventKind::ConnReaped { .. } => t.conns_reaped += 1,
         }
     }
 }

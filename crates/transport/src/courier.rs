@@ -255,8 +255,26 @@ impl<T: Transport> Courier<T> {
         }
         // Always acknowledge — the sender may have missed the last ack.
         // Acks ride at seq 0 so data sequence numbers stay contiguous.
+        // An unreachable peer does NOT fail the receive: the frame may
+        // have been the sender's last breath before dying (the event
+        // backend deregisters the connection on EOF and fails the send
+        // fast, where a TCP write into a freshly half-closed socket
+        // succeeds silently). Dropping an ack is always safe under
+        // stop-and-wait — a live sender retransmits and the duplicate
+        // is re-acked; a dead one no longer cares. Only [`Closed`]
+        // (our own transport shut down) still propagates.
         let ack = Message::Ack { of_seq: env.seq };
-        self.transport.send_raw(env.from, &ack, 0, 0)?;
+        match self.transport.send_raw(env.from, &ack, 0, 0) {
+            Ok(_) => {}
+            Err(TransportError::Closed) => return Err(TransportError::Closed),
+            Err(_) => telemetry::emit(
+                self.party(),
+                EventKind::AckDropped {
+                    to: env.from,
+                    of_seq: env.seq,
+                },
+            ),
+        }
         // Join/Welcome announce a *restarted* peer whose sequence counters
         // started over; judged against the old watermark they would be
         // "duplicates" and the rendezvous could never happen. Both bypass
@@ -653,6 +671,71 @@ mod tests {
             assert!(policy.backoff(policy.max_attempts.saturating_mul(1000)) <= cap);
             assert!(cap > Duration::ZERO);
         }
+    }
+
+    /// A transport whose inbox holds one last frame from a peer that has
+    /// since vanished: every send toward it fails fast with
+    /// [`TransportError::Unreachable`], the way the event backend does
+    /// once EOF deregisters the connection.
+    struct DeadPeerTransport {
+        queued: VecDeque<Envelope>,
+        acks_attempted: u32,
+    }
+
+    impl Transport for DeadPeerTransport {
+        fn party(&self) -> PartyId {
+            0
+        }
+        fn next_seq(&mut self, _to: PartyId) -> u64 {
+            1
+        }
+        fn send_raw(
+            &mut self,
+            to: PartyId,
+            _msg: &Message,
+            _seq: u64,
+            _flags: u16,
+        ) -> Result<usize, TransportError> {
+            self.acks_attempted += 1;
+            Err(TransportError::Unreachable(to))
+        }
+        fn recv(&mut self, _timeout: Duration) -> Result<Envelope, TransportError> {
+            self.queued.pop_front().ok_or(TransportError::Timeout)
+        }
+        fn stats(&self) -> crate::LinkStats {
+            crate::LinkStats::default()
+        }
+    }
+
+    #[test]
+    fn dead_letter_frame_still_delivers_when_the_ack_cannot() {
+        // The peer's last frame before dying must reach the protocol
+        // layer even though acking it fails — a dropped ack is always
+        // safe under stop-and-wait, while failing the receive here used
+        // to kill a coordinator that had already survived the dropout.
+        let transport = DeadPeerTransport {
+            queued: VecDeque::from([Envelope {
+                from: 1,
+                seq: 1,
+                flags: 0,
+                msg: Message::Heartbeat { nonce: 9 },
+            }]),
+            acks_attempted: 0,
+        };
+        let mut courier = Courier::new(transport, RetryPolicy::fast_local());
+        let env = courier.recv(TICK).expect("frame from a dead peer");
+        assert_eq!(env.from, 1);
+        assert!(matches!(env.msg, Message::Heartbeat { nonce: 9 }));
+        assert!(
+            courier.transport().acks_attempted >= 1,
+            "the ack must still be attempted"
+        );
+        // Nothing further queued: back to an ordinary timeout, not an
+        // error.
+        assert!(matches!(
+            courier.recv(Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        ));
     }
 
     #[test]

@@ -18,15 +18,21 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use ppml_telemetry as telemetry;
 use telemetry::EventKind;
 
+use crate::event_loop::lock_recover;
 use crate::frame::{Frame, Message, PartyId};
 use crate::retry::RetryPolicy;
 use crate::transport::{Envelope, LinkStats, Transport, TransportError};
+
+/// Default idle-read deadline: a connection that produces no bytes for
+/// this long is reaped. Learners heartbeat every 500 ms and the
+/// coordinator broadcasts every round, so live links refresh constantly.
+const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
 
 #[derive(Default)]
 struct AtomicStats {
@@ -44,17 +50,28 @@ struct Shared {
     stats: AtomicStats,
     shutdown: AtomicBool,
     io_timeout: Duration,
+    /// Idle-read deadline in milliseconds (atomic so tests can shrink it
+    /// on a live endpoint).
+    idle_timeout_ms: AtomicU64,
 }
 
 impl Shared {
+    /// The connection registry, recovering from a poisoned lock: a
+    /// panicked reader thread must cost its own connection, never brick
+    /// sends to every other peer.
+    fn conns(&self) -> MutexGuard<'_, HashMap<PartyId, TcpStream>> {
+        lock_recover(&self.conns)
+    }
+
+    fn idle_timeout(&self) -> Duration {
+        Duration::from_millis(self.idle_timeout_ms.load(Ordering::Relaxed))
+    }
+
     fn register(&self, party: PartyId, stream: &TcpStream) {
         if let Ok(write_half) = stream.try_clone() {
             let _ = write_half.set_write_timeout(Some(self.io_timeout));
             let _ = write_half.set_nodelay(true);
-            self.conns
-                .lock()
-                .expect("conns lock")
-                .insert(party, write_half);
+            self.conns().insert(party, write_half);
         }
     }
 
@@ -70,32 +87,117 @@ impl Shared {
     }
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut len_buf = [0u8; 4];
-    stream.read_exact(&mut len_buf)?;
-    let body_len = u32::from_le_bytes(len_buf) as usize;
-    // Defensive ceiling: a single model broadcast is far below this.
-    if body_len > 1 << 28 {
-        return Err(std::io::Error::other("frame length exceeds 256 MiB cap"));
-    }
-    let mut buf = vec![0u8; 4 + body_len];
-    buf[..4].copy_from_slice(&len_buf);
-    stream.read_exact(&mut buf[4..])?;
-    Ok(buf)
+/// How one bounded read ended.
+enum ReadStatus {
+    /// The buffer was filled.
+    Ok,
+    /// EOF, socket error, or shutdown — the connection is done.
+    Closed,
+    /// No byte arrived within the idle deadline.
+    IdleExpired,
 }
 
-/// Reads frames off one socket until EOF/error, delivering app messages to
-/// the inbox and handling the hello handshake in place.
-fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(None);
+/// Fills `buf`, blocking in bounded slices (the socket carries a read
+/// timeout) so the thread can observe shutdown and enforce the idle
+/// deadline instead of parking forever on a half-open peer — the fix
+/// for the old `set_read_timeout(None)`.
+fn read_full(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    last_data: &mut Instant,
+) -> ReadStatus {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return ReadStatus::Closed;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadStatus::Closed,
+            Ok(n) => {
+                filled += n;
+                *last_data = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_data.elapsed() > shared.idle_timeout() {
+                    return ReadStatus::IdleExpired;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadStatus::Closed,
+        }
+    }
+    ReadStatus::Ok
+}
+
+/// Reaps an idle connection: deregisters the write half (only if it is
+/// still this very socket — a reconnect may have replaced it) and emits
+/// the lifecycle event.
+fn reap_idle_conn(
+    shared: &Shared,
+    stream: &TcpStream,
+    registered: Option<PartyId>,
+    last_data: Instant,
+) {
+    if let Some(party) = registered {
+        let mut conns = shared.conns();
+        let ours = stream.peer_addr().ok();
+        let current = conns.get(&party).and_then(|c| c.peer_addr().ok());
+        if ours.is_some() && ours == current {
+            conns.remove(&party);
+        }
+    }
+    telemetry::emit(
+        shared.party,
+        EventKind::ConnReaped {
+            peer: registered.unwrap_or(telemetry::NO_PARTY),
+            idle_ms: last_data.elapsed().as_millis() as u64,
+        },
+    );
+}
+
+/// Reads frames off one socket until EOF/error/idle-expiry, delivering
+/// app messages to the inbox and handling the hello handshake in place.
+/// `registered` is the party this socket is known to carry (the dialed
+/// peer, or whoever said hello).
+fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, mut registered: Option<PartyId>) {
+    // Bounded slices, not a frame deadline: a slow frame keeps making
+    // progress as long as bytes trickle in; only full silence past the
+    // idle deadline reaps the connection.
+    let slice = shared.io_timeout.min(Duration::from_millis(500));
+    let _ = stream.set_read_timeout(Some(slice.max(Duration::from_millis(1))));
+    let mut last_data = Instant::now();
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let encoded = match read_frame(&mut stream) {
-            Ok(buf) => buf,
-            Err(_) => return, // peer closed or socket failed; dialer will reconnect
-        };
+        let mut len_buf = [0u8; 4];
+        match read_full(shared, &mut stream, &mut len_buf, &mut last_data) {
+            ReadStatus::Ok => {}
+            ReadStatus::Closed => return, // dialer will reconnect
+            ReadStatus::IdleExpired => {
+                return reap_idle_conn(shared, &stream, registered, last_data);
+            }
+        }
+        let body_len = u32::from_le_bytes(len_buf) as usize;
+        // Defensive ceiling: a single model broadcast is far below this.
+        if body_len > 1 << 28 {
+            return;
+        }
+        let mut encoded = vec![0u8; 4 + body_len];
+        encoded[..4].copy_from_slice(&len_buf);
+        match read_full(shared, &mut stream, &mut encoded[4..], &mut last_data) {
+            ReadStatus::Ok => {}
+            ReadStatus::Closed => return,
+            ReadStatus::IdleExpired => {
+                return reap_idle_conn(shared, &stream, registered, last_data);
+            }
+        }
         let frame = match Frame::decode(&encoded) {
             Ok(f) => f,
             Err(_) => {
@@ -126,6 +228,14 @@ fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
         match frame.msg {
             Message::Hello { party } => {
                 shared.register(party, &stream);
+                registered = Some(party);
+                telemetry::emit(
+                    shared.party,
+                    EventKind::ConnOpen {
+                        peer: party,
+                        inbound: true,
+                    },
+                );
                 let ack = Frame {
                     flags: 0,
                     from: shared.party,
@@ -189,6 +299,7 @@ impl TcpTransport {
             stats: AtomicStats::default(),
             shutdown: AtomicBool::new(false),
             io_timeout,
+            idle_timeout_ms: AtomicU64::new(DEFAULT_IDLE_TIMEOUT.as_millis() as u64),
         });
         {
             let shared = Arc::clone(&shared);
@@ -199,7 +310,7 @@ impl TcpTransport {
                     }
                     let Ok(stream) = stream else { continue };
                     let shared = Arc::clone(&shared);
-                    std::thread::spawn(move || reader_loop(&shared, stream));
+                    std::thread::spawn(move || reader_loop(&shared, stream, None));
                 }
             });
         }
@@ -219,11 +330,20 @@ impl TcpTransport {
         self.local_addr
     }
 
+    /// Overrides the idle-read deadline (default 60 s). A connection
+    /// whose peer produces no bytes for this long is reaped — the
+    /// defense against half-open peers parking reader threads forever.
+    pub fn set_idle_timeout(&self, idle: Duration) {
+        self.shared
+            .idle_timeout_ms
+            .store(idle.as_millis() as u64, Ordering::Relaxed);
+    }
+
     /// Parties with a registered live connection — peers we dialed plus
     /// peers that dialed in and completed the hello handshake. Lets a
     /// coordinator wait for its learners before the first broadcast.
     pub fn connected_parties(&self) -> Vec<PartyId> {
-        let conns = self.shared.conns.lock().expect("conns lock");
+        let conns = self.shared.conns();
         let mut parties: Vec<PartyId> = conns.keys().copied().collect();
         parties.sort_unstable();
         parties
@@ -252,21 +372,28 @@ impl TcpTransport {
         {
             let shared = Arc::clone(&self.shared);
             let reader = stream.try_clone()?;
-            std::thread::spawn(move || reader_loop(&shared, reader));
+            std::thread::spawn(move || reader_loop(&shared, reader, Some(to)));
         }
         self.shared.register(to, &stream);
+        telemetry::emit(
+            self.shared.party,
+            EventKind::ConnOpen {
+                peer: to,
+                inbound: false,
+            },
+        );
         Ok(())
     }
 
     /// Fetches (establishing if necessary) a write half for `to`.
     fn connection_for(&self, to: PartyId, attempt: u32) -> Result<TcpStream, TransportError> {
-        if let Some(conn) = self.shared.conns.lock().expect("conns lock").get(&to) {
+        if let Some(conn) = self.shared.conns().get(&to) {
             return Ok(conn.try_clone()?);
         }
         match self.peers.get(&to) {
             Some(&addr) => {
                 self.dial(to, addr)?;
-                let conns = self.shared.conns.lock().expect("conns lock");
+                let conns = self.shared.conns();
                 Ok(conns
                     .get(&to)
                     .ok_or(TransportError::Unreachable(to))?
@@ -276,7 +403,7 @@ impl TcpTransport {
             // handshake time to land before the caller retries.
             None => {
                 std::thread::sleep(self.retry.backoff(attempt));
-                let conns = self.shared.conns.lock().expect("conns lock");
+                let conns = self.shared.conns();
                 conns
                     .get(&to)
                     .ok_or(TransportError::Unreachable(to))?
@@ -334,7 +461,7 @@ impl Transport for TcpTransport {
                     }
                     Err(e) => {
                         // Connection went stale: forget it and redial.
-                        self.shared.conns.lock().expect("conns lock").remove(&to);
+                        self.shared.conns().remove(&to);
                         last_err = Some(TransportError::Io(e));
                     }
                 },
@@ -377,7 +504,7 @@ impl Drop for TcpTransport {
         // Nudge the accept loop awake so it observes the flag.
         let _ = TcpStream::connect_timeout(&self.listener_addr, Duration::from_millis(100));
         // Closing the write halves makes reader threads see EOF.
-        self.shared.conns.lock().expect("conns lock").clear();
+        self.shared.conns().clear();
     }
 }
 
@@ -458,6 +585,80 @@ mod tests {
                 payload: vec![1, 2, 3],
             }
         );
+    }
+
+    #[test]
+    fn half_open_peer_is_reaped_instead_of_parking_a_thread() {
+        // A raw socket that handshakes then stalls without closing. With
+        // `set_read_timeout(None)` the reader thread parked forever and
+        // the connection was never reaped; now the bounded slices let the
+        // idle deadline fire.
+        let server = bind(0, HashMap::new());
+        server.set_idle_timeout(Duration::from_millis(150));
+        let stalled = TcpStream::connect(server.local_addr()).expect("connect");
+        let hello = Frame {
+            flags: 0,
+            from: 7,
+            to: 0,
+            seq: 0,
+            msg: Message::Hello { party: 7 },
+        }
+        .encode();
+        (&stalled).write_all(&hello).expect("hello");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.connected_parties() != vec![7] {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "peer 7 never registered"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Total silence afterwards reaps it; our side keeps the socket
+        // open the whole time, so this is idle-reaping, not EOF.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !server.connected_parties().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stalled half-open peer never reaped"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(stalled);
+    }
+
+    #[test]
+    fn poisoned_conns_mutex_leaves_other_peers_sendable() {
+        // A thread that panics while holding the registry lock poisons
+        // it; every lock site must recover instead of propagating the
+        // panic to all peers.
+        let mut server = bind(0, HashMap::new());
+        let mut client = bind(1, HashMap::from([(0, server.local_addr())]));
+        client.send(0, &Message::Heartbeat { nonce: 1 }).unwrap();
+        server.recv(Duration::from_secs(5)).expect("announce");
+
+        let shared = Arc::clone(&server.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.conns.lock().expect("clean lock");
+            panic!("deliberate panic while holding the conns lock");
+        })
+        .join();
+        assert!(
+            server.shared.conns.lock().is_err(),
+            "mutex should be poisoned by the panicked holder"
+        );
+
+        // Both directions still work through the poisoned mutex.
+        client.send(0, &Message::Heartbeat { nonce: 2 }).unwrap();
+        assert_eq!(
+            server.recv(Duration::from_secs(5)).unwrap().msg,
+            Message::Heartbeat { nonce: 2 }
+        );
+        server.send(1, &Message::Heartbeat { nonce: 3 }).unwrap();
+        assert_eq!(
+            client.recv(Duration::from_secs(5)).unwrap().msg,
+            Message::Heartbeat { nonce: 3 }
+        );
+        assert_eq!(server.connected_parties(), vec![1]);
     }
 
     #[test]

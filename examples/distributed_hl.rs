@@ -38,7 +38,7 @@ use ppml::data::{synth, Dataset, Partition};
 use ppml::telemetry::{
     self, Event, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink,
 };
-use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
+use ppml::transport::{Courier, EventTransport, Message, PartyId, RetryPolicy, TcpTransport};
 
 const LEARNERS: usize = 3;
 
@@ -143,7 +143,10 @@ fn main() {
     let (reference, _) =
         train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).expect("cluster run");
 
-    let transport = TcpTransport::bind(
+    // The coordinator runs the event-loop backend (one I/O thread for
+    // all learners); the learner children stay on the thread-per-conn
+    // backend, demonstrating that the two interoperate on one wire.
+    let transport = EventTransport::bind(
         LEARNERS as PartyId,
         "127.0.0.1:0".parse().expect("loopback addr"),
         HashMap::new(),

@@ -10,6 +10,7 @@
 //! ppml-coordinator --learners 3 [--port 7100] [--dataset blobs --n 96]
 //!                  [--data-seed 5] [--iters 12] [--c 50] [--rho 100]
 //!                  [--seed 11] [--tol T] [--round-timeout SECS]
+//!                  [--transport event|threads]
 //!                  [--out model.txt] [--telemetry events.jsonl]
 //!                  [--metrics-addr 127.0.0.1:0]
 //!                  [--checkpoint run.ckpt] [--resume run.ckpt]
@@ -17,6 +18,11 @@
 //! `--round-timeout` bounds each collection round: a learner whose share
 //! has not arrived when it expires is declared dropped, the secure sum is
 //! re-keyed over the survivors, and training continues without it.
+//!
+//! `--transport` picks the socket backend: `event` (default) drives
+//! every connection from one readiness-loop thread and scales to ~100
+//! learners; `threads` is the legacy thread-per-connection backend,
+//! kept for comparison and fallback. Both speak the same wire format.
 //!
 //! `--telemetry PATH` streams structured events (round opens/closes,
 //! deadline misses, dropout declarations, re-key epochs, wire traffic) as
@@ -59,15 +65,39 @@ use ppml::core::distributed::{coordinate_linear_with_recovery, feature_count};
 use ppml::core::{AdmmConfig, Checkpoint, DistributedTiming, RecoveryOptions};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
-use ppml::transport::{Courier, PartyId, RetryPolicy, TcpTransport};
+use ppml::transport::{Courier, EventTransport, PartyId, RetryPolicy, TcpTransport, Transport};
 
 fn usage() -> String {
     "usage:\n  ppml-coordinator --learners M [--port P] [--dataset <cancer|higgs|ocr|blobs|xor>]\n                   \
      [--n N] [--data-seed S] [--iters T] [--c C] [--rho RHO] [--seed S]\n                   \
      [--tol TOL] [--connect-timeout SECS] [--round-timeout SECS] [--out MODEL]\n                   \
+     [--transport <event|threads>]\n                   \
      [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT]\n                   \
      [--checkpoint RUN.ckpt] [--resume RUN.ckpt]"
         .to_string()
+}
+
+/// Polls `connected` until it reaches `expect` or the timeout elapses.
+/// Shared by both transport backends so the wait logic (and its error
+/// message, which operators grep for) stays identical.
+fn wait_for_learners(
+    connected: &dyn Fn() -> usize,
+    expect: usize,
+    timeout_secs: u64,
+) -> Result<(), CliError> {
+    let deadline = Instant::now() + Duration::from_secs(timeout_secs);
+    loop {
+        let now = connected();
+        if now >= expect {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(CliError::transport(format!(
+                "only {now}/{expect} learners connected within {timeout_secs}s"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
@@ -195,27 +225,57 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
     let addr: SocketAddr = format!("127.0.0.1:{port}")
         .parse()
         .map_err(|e| CliError::usage(format!("bad port: {e}")))?;
-    let transport = TcpTransport::bind(
-        learners as PartyId,
-        addr,
-        HashMap::new(),
-        RetryPolicy::tcp_link(),
-        Duration::from_secs(5),
-    )
-    .map_err(|e| CliError::transport(e.to_string()))?;
-    // The learner scripts and the example parse this line for the port.
-    println!("listening on {}", transport.local_addr());
-
-    let deadline = Instant::now() + Duration::from_secs(connect_timeout);
-    while transport.connected_parties().len() < expect_connected {
-        if Instant::now() >= deadline {
-            return Err(CliError::transport(format!(
-                "only {}/{expect_connected} learners connected within {connect_timeout}s",
-                transport.connected_parties().len()
-            )));
+    // `--transport` picks the socket backend: `event` (default) is the
+    // single-thread readiness loop that scales to ~100 learners;
+    // `threads` is the legacy thread-per-connection backend, kept for
+    // comparison benchmarks and as a fallback. Both speak the same wire
+    // format, so learners on either backend interoperate.
+    let backend = flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("event");
+    let transport: Box<dyn Transport> = match backend {
+        "event" => {
+            let t = EventTransport::bind(
+                learners as PartyId,
+                addr,
+                HashMap::new(),
+                RetryPolicy::tcp_link(),
+                Duration::from_secs(5),
+            )
+            .map_err(|e| CliError::transport(e.to_string()))?;
+            // The learner scripts and the example parse this line.
+            println!("listening on {}", t.local_addr());
+            wait_for_learners(
+                &|| t.connected_parties().len(),
+                expect_connected,
+                connect_timeout,
+            )?;
+            Box::new(t)
         }
-        std::thread::sleep(Duration::from_millis(20));
-    }
+        "threads" => {
+            let t = TcpTransport::bind(
+                learners as PartyId,
+                addr,
+                HashMap::new(),
+                RetryPolicy::tcp_link(),
+                Duration::from_secs(5),
+            )
+            .map_err(|e| CliError::transport(e.to_string()))?;
+            println!("listening on {}", t.local_addr());
+            wait_for_learners(
+                &|| t.connected_parties().len(),
+                expect_connected,
+                connect_timeout,
+            )?;
+            Box::new(t)
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "--transport: unknown backend {other} (use event or threads)"
+            )))
+        }
+    };
     println!("all {expect_connected} learners connected, training");
 
     let round_timeout: u64 = numeric(&flags, "round-timeout", 30).map_err(CliError::usage)?;

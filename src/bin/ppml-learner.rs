@@ -10,13 +10,19 @@
 //! ppml-learner --party 0 --learners 3 --coordinator 127.0.0.1:7100
 //!              [--dataset blobs --n 96] [--data-seed 5] [--iters 12]
 //!              [--c 50] [--rho 100] [--seed 11] [--tol T]
-//!              [--patience SECS] [--telemetry events.jsonl]
+//!              [--patience SECS] [--transport event|threads]
+//!              [--telemetry events.jsonl]
 //!              [--metrics-addr 127.0.0.1:0] [--defect-after R]
 //!              [--rejoin true]
 //!
 //! `--patience` bounds how long the learner waits between coordinator
 //! protocol frames; when it expires the process exits with an error
 //! instead of waiting forever on a dead coordinator.
+//!
+//! `--transport` matches the coordinator's flag: `event` (default) is
+//! the single-thread readiness-loop backend, `threads` the legacy
+//! per-connection one. Either side may use either backend — the wire
+//! format is shared.
 //!
 //! `--telemetry PATH` streams this learner's structured events (round
 //! participation, re-key epochs, wire traffic) as JSONL to `PATH` and
@@ -59,12 +65,15 @@ use ppml::core::distributed::{learn_linear, learn_linear_with_defect, rejoin_lin
 use ppml::core::{AdmmConfig, DistributedTiming};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
-use ppml::transport::{Courier, Message, PartyId, RetryPolicy, TcpTransport};
+use ppml::transport::{
+    Courier, EventTransport, Message, PartyId, RetryPolicy, TcpTransport, Transport,
+};
 
 fn usage() -> String {
     "usage:\n  ppml-learner --party I --learners M --coordinator HOST:PORT\n               \
      [--dataset <cancer|higgs|ocr|blobs|xor>] [--n N] [--data-seed S]\n               \
      [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL] [--patience SECS]\n               \
+     [--transport <event|threads>]\n               \
      [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT] [--defect-after R]\n               \
      [--rejoin true]"
         .to_string()
@@ -193,14 +202,43 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
         telemetry::install(FanoutSink::new(sinks));
     }
 
-    let transport = TcpTransport::bind(
-        party as PartyId,
-        "127.0.0.1:0".parse().expect("loopback addr"),
-        HashMap::from([(learners as PartyId, coordinator)]),
-        RetryPolicy::tcp_link(),
-        Duration::from_secs(5),
-    )
-    .map_err(|e| CliError::transport(e.to_string()))?;
+    // `--transport` mirrors the coordinator's flag: `event` (default)
+    // runs all sockets on one readiness-loop thread, `threads` is the
+    // legacy per-connection backend. The wire format is identical, so
+    // the two sides may mix backends freely.
+    let backend = flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("event");
+    let bind_addr: SocketAddr = "127.0.0.1:0".parse().expect("loopback addr");
+    let peers = HashMap::from([(learners as PartyId, coordinator)]);
+    let transport: Box<dyn Transport> = match backend {
+        "event" => Box::new(
+            EventTransport::bind(
+                party as PartyId,
+                bind_addr,
+                peers,
+                RetryPolicy::tcp_link(),
+                Duration::from_secs(5),
+            )
+            .map_err(|e| CliError::transport(e.to_string()))?,
+        ),
+        "threads" => Box::new(
+            TcpTransport::bind(
+                party as PartyId,
+                bind_addr,
+                peers,
+                RetryPolicy::tcp_link(),
+                Duration::from_secs(5),
+            )
+            .map_err(|e| CliError::transport(e.to_string()))?,
+        ),
+        other => {
+            return Err(CliError::usage(format!(
+                "--transport: unknown backend {other} (use event or threads)"
+            )))
+        }
+    };
     let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
 
     println!(

@@ -52,9 +52,19 @@ fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| s.to_string()).collect()
 }
 
+/// Spawns a coordinator or learner child. `PPML_TRANSPORT=event|threads`
+/// appends `--transport` to every child so CI can run the whole drill
+/// matrix against either socket backend; unset, the binaries' default
+/// (the event loop) applies.
 fn spawn(bin: &str, argv: &[String]) -> Child {
+    let mut argv = argv.to_vec();
+    if let Ok(backend) = std::env::var("PPML_TRANSPORT") {
+        if !backend.is_empty() {
+            argv.extend(["--transport".to_string(), backend]);
+        }
+    }
     Command::new(bin)
-        .args(argv)
+        .args(&argv)
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()

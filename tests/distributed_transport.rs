@@ -16,7 +16,8 @@ use ppml::core::DistributedTiming;
 use ppml::data::{synth, Dataset, Partition};
 use ppml::svm::LinearSvm;
 use ppml::transport::{
-    Courier, LinkFilter, LoopbackHub, Message, NetFaultPlan, PartyId, RetryPolicy, TcpTransport,
+    Courier, EventTransport, LinkFilter, LoopbackHub, Message, NetFaultPlan, PartyId, RetryPolicy,
+    TcpTransport,
 };
 
 fn timing() -> DistributedTiming {
@@ -103,6 +104,68 @@ fn tcp_threads_match_cluster() {
             let part = part.clone();
             thread::spawn(move || -> LinearSvm {
                 let transport = TcpTransport::bind(
+                    p as PartyId,
+                    "127.0.0.1:0".parse().expect("addr"),
+                    HashMap::from([(m as PartyId, addr)]),
+                    RetryPolicy::tcp_link(),
+                    Duration::from_secs(5),
+                )
+                .expect("bind learner");
+                let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+                courier
+                    .send_unreliable(m as PartyId, &Message::Heartbeat { nonce: p as u64 })
+                    .expect("announce");
+                learn_linear(&mut courier, m, &part, &cfg, timing()).expect("learner")
+            })
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while coord_transport.connected_parties().len() < m {
+        assert!(Instant::now() < deadline, "learners never dialed in");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut courier = Courier::new(coord_transport, RetryPolicy::tcp_default());
+    let features = feature_count(&parts).expect("partitions");
+    let outcome =
+        coordinate_linear(&mut courier, m, features, &cfg, None, timing()).expect("coordinator");
+
+    assert_eq!(outcome.model, reference.model);
+    for h in handles {
+        assert_eq!(h.join().expect("learner thread"), reference.model);
+    }
+}
+
+/// The event-loop backend must be a drop-in replacement: the same
+/// protocol over `EventTransport` endpoints on every side produces the
+/// bit-identical model the in-process cluster (and the thread backend)
+/// does. The protocol aggregates wrapping fixed-point sums, so "close"
+/// is not good enough — equality is exact.
+#[test]
+fn event_loop_backend_matches_cluster() {
+    let m = 3;
+    let (parts, cfg) = setup(m);
+    let (reference, _) =
+        train_linear_on_cluster(&parts, &cfg, None, ClusterTuning::default()).expect("cluster");
+
+    let coord_transport = EventTransport::bind(
+        m as PartyId,
+        "127.0.0.1:0".parse().expect("addr"),
+        HashMap::new(),
+        RetryPolicy::tcp_link(),
+        Duration::from_secs(5),
+    )
+    .expect("bind coordinator");
+    let addr = coord_transport.local_addr();
+
+    let handles: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            let part = part.clone();
+            thread::spawn(move || -> LinearSvm {
+                let transport = EventTransport::bind(
                     p as PartyId,
                     "127.0.0.1:0".parse().expect("addr"),
                     HashMap::from([(m as PartyId, addr)]),
