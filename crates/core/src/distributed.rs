@@ -149,7 +149,7 @@ impl RecoveryOptions {
     }
 }
 
-fn protocol(reason: impl Into<String>) -> TrainError {
+pub(crate) fn protocol(reason: impl Into<String>) -> TrainError {
     TrainError::Protocol {
         reason: reason.into(),
     }
@@ -162,7 +162,7 @@ fn protocol(reason: impl Into<String>) -> TrainError {
 /// refused) or `Io` (write to a reset socket). All three mean "this
 /// party is gone" and trigger dropout handling; `Closed`/`Frame` are
 /// local faults and stay fatal.
-fn peer_is_lost(e: &TransportError) -> bool {
+pub(crate) fn peer_is_lost(e: &TransportError) -> bool {
     matches!(
         e,
         TransportError::Timeout | TransportError::Unreachable(_) | TransportError::Io(_)
@@ -191,7 +191,7 @@ const CLOCK_PROBE_WAIT: Duration = Duration::from_millis(300);
 /// dropout verdicts stay the round loop's business. Runs strictly before
 /// the first broadcast, when no protocol frame can be in flight, so
 /// anything unexpected the probe loop swallows is liveness noise.
-fn clock_sync<T: Transport>(courier: &mut Courier<T>, alive: &[bool], run_id: u64) {
+pub(crate) fn clock_sync<T: Transport>(courier: &mut Courier<T>, alive: &[bool], run_id: u64) {
     for p in (0..alive.len()).filter(|&p| alive[p]) {
         let mut best: Option<(u64, i64)> = None; // (rtt_ns, offset_ns)
         for attempt in 0..CLOCK_PROBES {
@@ -604,6 +604,7 @@ pub fn coordinate_linear_with_recovery<T: Transport>(
             )?;
         }
         let round_start = Instant::now();
+        let round_bytes_before = metrics.bytes_broadcast + metrics.bytes_shuffled;
         telemetry::emit(courier.party(), EventKind::RoundOpen { iteration, epoch });
         let broadcast = Message::Consensus {
             iteration,
@@ -761,6 +762,16 @@ pub fn coordinate_linear_with_recovery<T: Transport>(
                 iteration,
                 epoch,
                 shares: active as u32,
+                elapsed_ns: round_start.elapsed().as_nanos() as u64,
+            },
+        );
+        telemetry::emit(
+            courier.party(),
+            EventKind::SecAggRound {
+                backend: "pairwise",
+                iteration,
+                bytes: (metrics.bytes_broadcast + metrics.bytes_shuffled - round_bytes_before)
+                    as u64,
                 elapsed_ns: round_start.elapsed().as_nanos() as u64,
             },
         );
@@ -933,7 +944,7 @@ const LEARNER_POLL: Duration = Duration::from_millis(500);
 /// mid-restart: failures that merely mean "peer unreachable right now"
 /// are retried until `patience` is spent — the same budget after which
 /// the learner would give up waiting for protocol frames anyway.
-fn send_share_patiently<T: Transport>(
+pub(crate) fn send_share_patiently<T: Transport>(
     courier: &mut Courier<T>,
     coordinator: PartyId,
     msg: &Message,
@@ -951,7 +962,7 @@ fn send_share_patiently<T: Transport>(
     }
 }
 
-fn learn_linear_inner<T: Transport>(
+pub(crate) fn learn_linear_inner<T: Transport>(
     courier: &mut Courier<T>,
     learners: usize,
     data: &Dataset,

@@ -55,6 +55,7 @@ pub mod jobs;
 mod masks;
 pub mod multiclass;
 pub mod preprocessing;
+pub mod secagg;
 
 mod horizontal {
     pub mod kernel;
@@ -73,6 +74,11 @@ pub use history::ConvergenceHistory;
 pub use horizontal::kernel::{HorizontalKernelSvm, KernelConsensusModel, KernelOutcome};
 pub use horizontal::linear::{HorizontalLinearSvm, LinearOutcome};
 pub use masks::SeededMasker;
+pub use secagg::{
+    coordinate_linear_secagg, coordinate_linear_secagg_with_recovery, learn_linear_secagg,
+    learn_linear_secagg_with_defect, rejoin_linear_secagg, PaillierBackend, PairwiseBackend,
+    SecAggConfig, SecAggKind, SecureAggregator, ShamirBackend,
+};
 pub use vertical::kernel::{VerticalKernelModel, VerticalKernelOutcome, VerticalKernelSvm};
 pub use vertical::linear::{VerticalLinearModel, VerticalLinearSvm, VerticalOutcome};
 

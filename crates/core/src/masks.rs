@@ -19,7 +19,7 @@ use crate::Result;
 /// One SplitMix64 finalization round (Steele et al.'s `mix64`): a bijective
 /// nonlinear permutation of the state. Used by [`SeededMasker::pair_rng`] to
 /// absorb seed components one at a time.
-fn mix64(mut s: u64) -> u64 {
+pub(crate) fn mix64(mut s: u64) -> u64 {
     s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
     s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

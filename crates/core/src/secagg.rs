@@ -1,0 +1,2329 @@
+//! Pluggable secure-aggregation backends for distributed training
+//! (ISSUE 8 tentpole).
+//!
+//! [`crate::distributed`] hard-wires the §V pairwise-masking scheme into
+//! its round loop. This module lifts the aggregation step behind the
+//! [`SecureAggregator`] trait and adds two more wire-backed protocols, so
+//! a run can pick its dropout/threat trade-off per deployment:
+//!
+//! * **`pairwise`** ([`PairwiseBackend`]) — the §V default, delegating to
+//!   the untouched [`crate::distributed`] machinery. Dropout costs one
+//!   re-key round ([`ppml_transport::Message::Rekey`]); byte- and
+//!   bit-identical to calling [`crate::distributed::coordinate_linear`]
+//!   directly.
+//! * **`shamir`** ([`ShamirBackend`]) — `t`-of-`m` Shamir threshold
+//!   sharing over GF(2⁶¹−1). Each learner splits its share across the
+//!   *original* roster and the coordinator relays blinded share blocks,
+//!   so a learner that dies mid-collect (after distributing, before
+//!   submitting) costs **no re-key round** and its input still lands in
+//!   the round sum — reconstruction needs any `t` survivors.
+//! * **`paillier`** ([`PaillierBackend`]) — additively homomorphic
+//!   encryption. The coordinator folds ciphertexts with only the public
+//!   key; learner 0 acts as the key authority and decrypts the aggregate
+//!   alone. The expensive baseline the paper's masking protocol is
+//!   designed to avoid, here as a live wire protocol for comparison
+//!   (`secagg_bench` quantifies the gap).
+//!
+//! # Wire shapes per round
+//!
+//! | backend | learner → coordinator | coordinator → learner |
+//! |---|---|---|
+//! | pairwise | `MaskedShare` | `Consensus` (+ `Rekey` on dropout) |
+//! | shamir | `ShamirDist`, then `Shares` | `Consensus`, `ShamirCollect` |
+//! | paillier | `CipherShare` (authority also `CipherSum`) | `Consensus` (authority also `CipherAgg`) |
+//!
+//! # Shamir round anatomy
+//!
+//! 1. Every learner Shamir-splits each fixed-point coordinate `t`-of-`m`
+//!    (share `x = party + 1`), keeps its own block, blinds each peer
+//!    block with a deterministic ordered-pair pad stream, and sends the
+//!    blinded blocks to the coordinator in one [`ShamirDist`] frame.
+//! 2. At the round deadline the coordinator fixes the contributor set
+//!    `C` (absentees are dropped — **no re-key frame**, the remaining
+//!    shares stay valid) and relays to each `p ∈ C` the blocks destined
+//!    for it ([`ShamirCollect`]). The pads keep the relayed shares
+//!    opaque to the coordinator; `t − 1` colluding learners still learn
+//!    nothing about another learner's input.
+//! 3. Survivors unblind, field-sum (a sum of shares at one `x` is a
+//!    share of the sum, by linearity), and submit via [`Shares`]. The
+//!    coordinator Lagrange-reconstructs from the first `t` submissions
+//!    and divides by `|C|`. A learner dying between distribution and
+//!    submission therefore still contributes its input to the round.
+//!
+//! Because GF(2⁶¹−1) sums of [`ThresholdSharing`]-encoded values decode
+//! to exactly the integer the pairwise path computes in `Z_{2⁶⁴}`, a
+//! shamir run is **bit-identical** to the pairwise run with the same
+//! membership schedule — the tests below assert exact equality.
+//!
+//! # Paillier round anatomy
+//!
+//! All learners derive the run keypair deterministically from
+//! `cfg.seed`; the coordinator derives (and keeps) only the public half,
+//! so it can fold but never decrypt. Per round each learner encrypts its
+//! fixed-point coordinates ([`CipherShare`]); the coordinator multiplies
+//! the ciphertexts coordinate-wise and sends the aggregate to learner 0
+//! ([`CipherAgg`]), which decrypts the *sum* only and replies with the
+//! decoded totals ([`CipherSum`]). Absent contributors are dropped with
+//! no re-key; losing the authority ends the run with
+//! [`TrainError::Dropped`].
+//!
+//! [`ShamirDist`]: ppml_transport::Message::ShamirDist
+//! [`ShamirCollect`]: ppml_transport::Message::ShamirCollect
+//! [`Shares`]: ppml_transport::Message::Shares
+//! [`CipherShare`]: ppml_transport::Message::CipherShare
+//! [`CipherAgg`]: ppml_transport::Message::CipherAgg
+//! [`CipherSum`]: ppml_transport::Message::CipherSum
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use ppml_crypto::shamir::{self, MODULUS};
+use ppml_crypto::{FixedPointCodec, Paillier, PaillierPublicKey, ThresholdSharing};
+use ppml_data::rng::Rng64;
+use ppml_data::Dataset;
+use ppml_mapreduce::JobMetrics;
+use ppml_svm::LinearSvm;
+use ppml_telemetry as telemetry;
+use ppml_transport::{Courier, Frame, Message, PartyId, Transport, TransportError};
+use telemetry::EventKind;
+
+use crate::config::{AdmmConfig, DistributedTiming};
+use crate::distributed::{
+    clock_sync, coordinate_linear_with_recovery, learn_linear_inner, peer_is_lost, protocol,
+    send_share_patiently, DistributedOutcome, RecoveryOptions,
+};
+use crate::error::TrainError;
+use crate::history::ConvergenceHistory;
+use crate::horizontal::linear::HlLearner;
+use crate::masks::mix64;
+use crate::Result;
+
+/// Which secure-aggregation protocol a distributed run speaks.
+///
+/// The string forms (`pairwise` / `shamir` / `paillier`) are shared by
+/// the `--secagg` CLI flag, the `PPML_SECAGG` environment variable and
+/// the telemetry backend labels ([`ppml_telemetry::BACKENDS`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SecAggKind {
+    /// §V pairwise masking with re-keying on dropout (the default).
+    #[default]
+    Pairwise,
+    /// `t`-of-`m` Shamir threshold sharing; dropout needs no re-key.
+    Shamir,
+    /// Paillier additively homomorphic aggregation via a key authority.
+    Paillier,
+}
+
+impl SecAggKind {
+    /// Canonical lowercase name (also the telemetry backend label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SecAggKind::Pairwise => "pairwise",
+            SecAggKind::Shamir => "shamir",
+            SecAggKind::Paillier => "paillier",
+        }
+    }
+}
+
+impl std::fmt::Display for SecAggKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SecAggKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "pairwise" => Ok(SecAggKind::Pairwise),
+            "shamir" => Ok(SecAggKind::Shamir),
+            "paillier" => Ok(SecAggKind::Paillier),
+            other => Err(format!(
+                "unknown secure-aggregation backend {other:?} (expected pairwise, shamir or \
+                 paillier)"
+            )),
+        }
+    }
+}
+
+/// Backend selection plus its knobs, shared by coordinator and learners
+/// (all parties must agree, like [`AdmmConfig`] itself).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SecAggConfig {
+    /// The protocol to speak.
+    pub kind: SecAggKind,
+    /// Shamir reconstruction threshold `t`; `None` picks
+    /// `max(2, ⌈2m/3⌉)` clamped to `m`. Rejected for other backends.
+    pub threshold: Option<usize>,
+}
+
+impl SecAggConfig {
+    /// Config for `kind` with default knobs.
+    pub fn new(kind: SecAggKind) -> Self {
+        SecAggConfig {
+            kind,
+            threshold: None,
+        }
+    }
+
+    /// The §V pairwise default.
+    pub fn pairwise() -> Self {
+        Self::new(SecAggKind::Pairwise)
+    }
+
+    /// Shamir threshold sharing with the default threshold.
+    pub fn shamir() -> Self {
+        Self::new(SecAggKind::Shamir)
+    }
+
+    /// Paillier homomorphic aggregation.
+    pub fn paillier() -> Self {
+        Self::new(SecAggKind::Paillier)
+    }
+
+    /// Overrides the Shamir threshold (validated against the roster at
+    /// run start).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// The reconstruction threshold a run over `learners` parties uses:
+    /// the explicit override, else `max(2, ⌈2·learners/3⌉)` clamped to
+    /// the roster size.
+    pub fn effective_threshold(&self, learners: usize) -> usize {
+        self.threshold
+            .unwrap_or_else(|| ((2 * learners).div_ceil(3)).max(2))
+            .min(learners.max(1))
+    }
+
+    /// Checks the config against a roster of `learners` parties.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::BadConfig`] when a threshold is supplied for a
+    /// non-Shamir backend or falls outside `1..=learners`.
+    pub fn validate(&self, learners: usize) -> Result<()> {
+        if let Some(t) = self.threshold {
+            if self.kind != SecAggKind::Shamir {
+                return Err(TrainError::BadConfig {
+                    reason: format!(
+                        "--secagg-threshold only applies to the shamir backend, not {}",
+                        self.kind
+                    ),
+                });
+            }
+            if t < 1 || t > learners {
+                return Err(TrainError::BadConfig {
+                    reason: format!("shamir threshold {t} out of range 1..={learners}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One secure-aggregation protocol, wire side included: drives either
+/// end of a distributed linear-SVM run. [`coordinate_linear_secagg`] and
+/// [`learn_linear_secagg`] dispatch to the backend named by a
+/// [`SecAggConfig`]; the trait is public so embedders can drive a
+/// backend directly or supply their own.
+pub trait SecureAggregator<T: Transport> {
+    /// Stable backend label (also used for telemetry).
+    fn name(&self) -> &'static str;
+
+    /// Drives the coordinator (party `learners`) end to end.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::distributed::coordinate_linear`]; backends without
+    /// re-keying return [`TrainError::Dropped`] as soon as the survivor
+    /// set can no longer complete a round.
+    fn coordinate(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        features: usize,
+        cfg: &AdmmConfig,
+        eval: Option<&Dataset>,
+        timing: DistributedTiming,
+    ) -> Result<DistributedOutcome>;
+
+    /// Drives one learner end to end. `defect_after` scripts a dropout
+    /// at the backend's characteristic loss point (see
+    /// [`learn_linear_secagg_with_defect`]); `rejoin` re-enters a run as
+    /// a restarted process.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::distributed::learn_linear`].
+    #[allow(clippy::too_many_arguments)]
+    fn learn(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        data: &Dataset,
+        cfg: &AdmmConfig,
+        timing: DistributedTiming,
+        defect_after: Option<u64>,
+        rejoin: bool,
+    ) -> Result<LinearSvm>;
+}
+
+/// The §V pairwise-masking backend: thin delegation to the untouched
+/// [`crate::distributed`] implementation, so selecting `pairwise`
+/// through this module is bit- and byte-identical to calling it
+/// directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairwiseBackend;
+
+impl<T: Transport> SecureAggregator<T> for PairwiseBackend {
+    fn name(&self) -> &'static str {
+        SecAggKind::Pairwise.as_str()
+    }
+
+    fn coordinate(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        features: usize,
+        cfg: &AdmmConfig,
+        eval: Option<&Dataset>,
+        timing: DistributedTiming,
+    ) -> Result<DistributedOutcome> {
+        coordinate_linear_with_recovery(
+            courier,
+            learners,
+            features,
+            cfg,
+            eval,
+            timing,
+            RecoveryOptions::default(),
+        )
+    }
+
+    fn learn(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        data: &Dataset,
+        cfg: &AdmmConfig,
+        timing: DistributedTiming,
+        defect_after: Option<u64>,
+        rejoin: bool,
+    ) -> Result<LinearSvm> {
+        learn_linear_inner(courier, learners, data, cfg, timing, defect_after, rejoin)
+    }
+}
+
+/// The `t`-of-`m` Shamir threshold backend (see the module docs for the
+/// round anatomy). Dropout costs no re-key round; any `t` survivors
+/// reconstruct.
+#[derive(Debug, Clone, Copy)]
+pub struct ShamirBackend {
+    /// Reconstruction threshold `t` (1 ≤ `t` ≤ `m`).
+    pub threshold: usize,
+}
+
+impl<T: Transport> SecureAggregator<T> for ShamirBackend {
+    fn name(&self) -> &'static str {
+        SecAggKind::Shamir.as_str()
+    }
+
+    fn coordinate(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        features: usize,
+        cfg: &AdmmConfig,
+        eval: Option<&Dataset>,
+        timing: DistributedTiming,
+    ) -> Result<DistributedOutcome> {
+        shamir_coordinate(
+            courier,
+            learners,
+            features,
+            cfg,
+            eval,
+            timing,
+            self.threshold,
+        )
+    }
+
+    fn learn(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        data: &Dataset,
+        cfg: &AdmmConfig,
+        timing: DistributedTiming,
+        defect_after: Option<u64>,
+        rejoin: bool,
+    ) -> Result<LinearSvm> {
+        shamir_learn(
+            courier,
+            learners,
+            data,
+            cfg,
+            timing,
+            self.threshold,
+            defect_after,
+            rejoin,
+        )
+    }
+}
+
+/// The Paillier homomorphic backend with learner 0 as key authority
+/// (see the module docs for the round anatomy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaillierBackend;
+
+impl<T: Transport> SecureAggregator<T> for PaillierBackend {
+    fn name(&self) -> &'static str {
+        SecAggKind::Paillier.as_str()
+    }
+
+    fn coordinate(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        features: usize,
+        cfg: &AdmmConfig,
+        eval: Option<&Dataset>,
+        timing: DistributedTiming,
+    ) -> Result<DistributedOutcome> {
+        paillier_coordinate(courier, learners, features, cfg, eval, timing)
+    }
+
+    fn learn(
+        &self,
+        courier: &mut Courier<T>,
+        learners: usize,
+        data: &Dataset,
+        cfg: &AdmmConfig,
+        timing: DistributedTiming,
+        defect_after: Option<u64>,
+        rejoin: bool,
+    ) -> Result<LinearSvm> {
+        paillier_learn(courier, learners, data, cfg, timing, defect_after, rejoin)
+    }
+}
+
+/// Coordinator entry point with backend selection: the
+/// [`SecAggConfig::pairwise`] default is exactly
+/// [`crate::distributed::coordinate_linear`].
+///
+/// # Errors
+///
+/// Config errors from [`SecAggConfig::validate`], plus the backend's
+/// own (see [`SecureAggregator::coordinate`]).
+pub fn coordinate_linear_secagg<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    features: usize,
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    timing: DistributedTiming,
+    secagg: SecAggConfig,
+) -> Result<DistributedOutcome> {
+    coordinate_linear_secagg_with_recovery(
+        courier,
+        learners,
+        features,
+        cfg,
+        eval,
+        timing,
+        secagg,
+        RecoveryOptions::default(),
+    )
+}
+
+/// [`coordinate_linear_secagg`] plus crash recovery. Checkpoint/resume
+/// is a pairwise-only feature for now: the shamir and paillier loops
+/// have no re-key epochs to fence resumed rounds with, so requesting
+/// recovery under them is rejected rather than silently ignored.
+///
+/// # Errors
+///
+/// [`TrainError::BadConfig`] when recovery options are combined with a
+/// non-pairwise backend; otherwise as [`coordinate_linear_secagg`].
+#[allow(clippy::too_many_arguments)]
+pub fn coordinate_linear_secagg_with_recovery<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    features: usize,
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    timing: DistributedTiming,
+    secagg: SecAggConfig,
+    recovery: RecoveryOptions,
+) -> Result<DistributedOutcome> {
+    secagg.validate(learners)?;
+    if secagg.kind == SecAggKind::Pairwise {
+        return coordinate_linear_with_recovery(
+            courier, learners, features, cfg, eval, timing, recovery,
+        );
+    }
+    if recovery.checkpoint_to.is_some() || recovery.resume_from.is_some() {
+        return Err(TrainError::BadConfig {
+            reason: format!(
+                "checkpoint/resume is only supported by the pairwise backend, not {}",
+                secagg.kind
+            ),
+        });
+    }
+    match secagg.kind {
+        SecAggKind::Pairwise => unreachable!("handled above"),
+        SecAggKind::Shamir => ShamirBackend {
+            threshold: secagg.effective_threshold(learners),
+        }
+        .coordinate(courier, learners, features, cfg, eval, timing),
+        SecAggKind::Paillier => {
+            PaillierBackend.coordinate(courier, learners, features, cfg, eval, timing)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn learn_dispatch<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    secagg: SecAggConfig,
+    defect_after: Option<u64>,
+    rejoin: bool,
+) -> Result<LinearSvm> {
+    secagg.validate(learners)?;
+    match secagg.kind {
+        SecAggKind::Pairwise => {
+            PairwiseBackend.learn(courier, learners, data, cfg, timing, defect_after, rejoin)
+        }
+        SecAggKind::Shamir => ShamirBackend {
+            threshold: secagg.effective_threshold(learners),
+        }
+        .learn(courier, learners, data, cfg, timing, defect_after, rejoin),
+        SecAggKind::Paillier => {
+            PaillierBackend.learn(courier, learners, data, cfg, timing, defect_after, rejoin)
+        }
+    }
+}
+
+/// Learner entry point with backend selection; the pairwise default is
+/// exactly [`crate::distributed::learn_linear`].
+///
+/// # Errors
+///
+/// As [`crate::distributed::learn_linear`], plus config errors from
+/// [`SecAggConfig::validate`].
+pub fn learn_linear_secagg<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    secagg: SecAggConfig,
+) -> Result<LinearSvm> {
+    learn_dispatch(courier, learners, data, cfg, timing, secagg, None, false)
+}
+
+/// Re-admission variant of [`learn_linear_secagg`] for a restarted
+/// learner process (see [`crate::distributed::rejoin_linear`]). Under
+/// shamir and paillier, re-admission needs no re-key at all — the
+/// coordinator simply welcomes the party back at a round boundary.
+///
+/// # Errors
+///
+/// As [`crate::distributed::rejoin_linear`].
+pub fn rejoin_linear_secagg<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    secagg: SecAggConfig,
+) -> Result<LinearSvm> {
+    learn_dispatch(courier, learners, data, cfg, timing, secagg, None, true)
+}
+
+/// Fault-injection variant of [`learn_linear_secagg`]: behaves
+/// correctly for rounds `0..defect_after`, then drops out at the
+/// backend's characteristic loss point while still draining (and
+/// thereby ACKing) frames:
+///
+/// * **pairwise** — stops sending [`MaskedShare`] from round
+///   `defect_after` on (the round excludes the defector after a re-key);
+/// * **shamir** — still *distributes* its round-`defect_after` shares
+///   but never submits its summed share: the canonical mid-collect
+///   death, whose round-`defect_after` input still lands in the sum;
+/// * **paillier** — stops sending [`CipherShare`] from round
+///   `defect_after` on (the authority keeps answering [`CipherAgg`] so
+///   a defecting learner 0 does not wedge the run).
+///
+/// # Errors
+///
+/// The expected exit is [`TrainError::Transport`] with a timeout once
+/// the coordinator drops this learner; otherwise as
+/// [`learn_linear_secagg`].
+///
+/// [`MaskedShare`]: ppml_transport::Message::MaskedShare
+/// [`CipherShare`]: ppml_transport::Message::CipherShare
+/// [`CipherAgg`]: ppml_transport::Message::CipherAgg
+#[allow(clippy::too_many_arguments)]
+pub fn learn_linear_secagg_with_defect<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    secagg: SecAggConfig,
+    defect_after: u64,
+) -> Result<LinearSvm> {
+    learn_dispatch(
+        courier,
+        learners,
+        data,
+        cfg,
+        timing,
+        secagg,
+        Some(defect_after),
+        false,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deterministic seed derivation. Domain-separated from the pairwise
+// masker's (seed, lo, hi, iteration) absorb by a per-purpose constant
+// folded into the base seed, then the same sequential SplitMix64 absorb
+// (see `masks::mix64` for why sequential absorption is required).
+
+/// Domain tag for Shamir polynomial coefficient streams.
+const DOMAIN_SPLIT: u64 = 0x5348_4D52_5350_4C54;
+/// Domain tag for ordered-pair relay-blinding pad streams.
+const DOMAIN_PAD: u64 = 0x5348_4D52_5041_4421;
+/// Domain tag for the deterministic Paillier keypair.
+const DOMAIN_KEY: u64 = 0x504C_4C52_4B45_5921;
+/// Domain tag for Paillier encryption randomness.
+const DOMAIN_ENC: u64 = 0x504C_4C52_454E_4352;
+
+/// Paillier modulus size for the wire protocol: comfortably above the
+/// 64-bit floor [`FixedPointCodec::encode_group`] requires, with room
+/// for [`FixedPointCodec::max_parties`] summands.
+const PAILLIER_BITS: usize = 128;
+
+/// Coefficient stream for `party`'s Shamir split at `iteration`.
+fn split_rng(seed: u64, party: usize, iteration: u64) -> Rng64 {
+    let mut s = mix64(seed ^ DOMAIN_SPLIT);
+    s = mix64(s ^ party as u64);
+    s = mix64(s ^ iteration);
+    Rng64::new(s)
+}
+
+/// Ordered-pair pad stream blinding the share block `from → to` at
+/// `iteration` against the relaying coordinator. Both endpoints derive
+/// it locally; the pair order matters (`from → to` ≠ `to → from`).
+fn pad_rng(seed: u64, from: usize, to: usize, iteration: u64) -> Rng64 {
+    let mut s = mix64(seed ^ DOMAIN_PAD);
+    s = mix64(s ^ from as u64);
+    s = mix64(s ^ to as u64);
+    s = mix64(s ^ iteration);
+    Rng64::new(s)
+}
+
+/// Prime stream for the run's deterministic Paillier keypair.
+fn keygen_rng(seed: u64) -> Rng64 {
+    Rng64::new(mix64(seed ^ DOMAIN_KEY))
+}
+
+/// Encryption randomness for `party` at `iteration`.
+fn encrypt_rng(seed: u64, party: usize, iteration: u64) -> Rng64 {
+    let mut s = mix64(seed ^ DOMAIN_ENC);
+    s = mix64(s ^ party as u64);
+    s = mix64(s ^ iteration);
+    Rng64::new(s)
+}
+
+/// Index of destination `dest`'s block inside sender `from`'s flat
+/// [`ppml_transport::Message::ShamirDist`] vector: blocks are laid out
+/// in ascending destination order over the full roster, the sender's
+/// own (locally kept) block excluded.
+fn block_index(from: usize, dest: usize) -> usize {
+    debug_assert_ne!(from, dest, "a sender keeps its own block locally");
+    if dest > from {
+        dest - 1
+    } else {
+        dest
+    }
+}
+
+/// Marks `lost` parties dead: flips `alive`, records drop order, emits
+/// [`EventKind::Dropout`]. Unlike the pairwise path this sends **no**
+/// re-key — the remaining shares stay valid by construction.
+fn declare_dropped<T: Transport>(
+    courier: &Courier<T>,
+    alive: &mut [bool],
+    dropped: &mut Vec<PartyId>,
+    lost: &[PartyId],
+    iteration: u64,
+) {
+    for &p in lost {
+        if alive[p as usize] {
+            alive[p as usize] = false;
+            dropped.push(p);
+            telemetry::emit(
+                courier.party(),
+                EventKind::Dropout {
+                    party: p,
+                    iteration,
+                },
+            );
+        }
+    }
+}
+
+/// Re-admits rejoining learners at a round boundary for the stateless
+/// backends: marks the joiner alive, resets its transport watermark and
+/// answers its [`Message::Join`] with a [`Message::Welcome`]. Veterans
+/// are not told — with no masks to re-key, membership changes only
+/// matter to the coordinator's bookkeeping.
+#[allow(clippy::too_many_arguments)]
+fn admit_stateless<T: Transport>(
+    courier: &mut Courier<T>,
+    alive: &mut [bool],
+    dropped: &mut Vec<PartyId>,
+    joins: BTreeMap<PartyId, u64>,
+    iteration: u64,
+    z: &[f64],
+    s: f64,
+    metrics: &mut JobMetrics,
+) -> Result<()> {
+    for (p, nonce) in joins {
+        if alive[p as usize] {
+            continue;
+        }
+        alive[p as usize] = true;
+        dropped.retain(|&d| d != p);
+        telemetry::emit(
+            courier.party(),
+            EventKind::Rejoin {
+                party: p,
+                iteration,
+            },
+        );
+        // The joiner is a fresh process: clear the dead incarnation's
+        // dedup watermark before talking to it.
+        courier.reset_peer(p);
+        let survivors: Vec<PartyId> = (0..alive.len())
+            .filter(|&q| alive[q])
+            .map(|q| q as PartyId)
+            .collect();
+        let welcome = Message::Welcome {
+            nonce,
+            iteration,
+            epoch: 0,
+            survivors,
+            z: z.to_vec(),
+            s: vec![s],
+        };
+        match courier.send_reliable(p, &welcome) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => {
+                declare_dropped(courier, alive, dropped, &[p], iteration);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Shared coordinator-side validation for the non-pairwise loops.
+fn validate_coordinator<T: Transport>(
+    courier: &Courier<T>,
+    learners: usize,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+) -> Result<()> {
+    cfg.validate()?;
+    timing.validate()?;
+    if learners == 0 {
+        return Err(TrainError::BadConfig {
+            reason: "need at least one learner".to_string(),
+        });
+    }
+    if (courier.party() as usize) != learners {
+        return Err(TrainError::BadConfig {
+            reason: format!(
+                "coordinator must be party {learners}, got {}",
+                courier.party()
+            ),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Shamir backend.
+
+#[allow(clippy::too_many_lines)]
+fn shamir_coordinate<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    features: usize,
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    timing: DistributedTiming,
+    threshold: usize,
+) -> Result<DistributedOutcome> {
+    validate_coordinator(courier, learners, cfg, timing)?;
+    let m = learners;
+    if threshold < 1 || threshold > m {
+        return Err(TrainError::BadConfig {
+            reason: format!("shamir threshold {threshold} out of range 1..={m}"),
+        });
+    }
+    let share_len = features + 1;
+    let scheme = ThresholdSharing::new(threshold, cfg.seed);
+    let mut z = vec![0.0; features];
+    let mut s = 0.0;
+    let mut history = ConvergenceHistory::default();
+    let mut metrics = JobMetrics::default();
+    let mut alive = vec![true; m];
+    let mut dropped: Vec<PartyId> = Vec::new();
+    let mut pending_joins: BTreeMap<PartyId, u64> = BTreeMap::new();
+
+    if telemetry::enabled() {
+        let run_id = telemetry::fresh_run_id();
+        telemetry::emit(courier.party(), EventKind::RunInfo { run_id });
+        clock_sync(courier, &alive, run_id);
+    }
+
+    for iteration in 0..cfg.max_iter as u64 {
+        if !pending_joins.is_empty() {
+            admit_stateless(
+                courier,
+                &mut alive,
+                &mut dropped,
+                std::mem::take(&mut pending_joins),
+                iteration,
+                &z,
+                s,
+                &mut metrics,
+            )?;
+        }
+        let round_start = Instant::now();
+        let round_bytes_before = metrics.bytes_broadcast + metrics.bytes_shuffled;
+        telemetry::emit(
+            courier.party(),
+            EventKind::RoundOpen {
+                iteration,
+                epoch: 0,
+            },
+        );
+        let broadcast = Message::Consensus {
+            iteration,
+            z: z.clone(),
+            s: vec![s],
+            done: false,
+        };
+        let mut lost: Vec<PartyId> = Vec::new();
+        for p in (0..m).filter(|&p| alive[p]) {
+            match courier.send_reliable(p as PartyId, &broadcast) {
+                Ok(n) => metrics.bytes_broadcast += n,
+                Err(e) if peer_is_lost(&e) => lost.push(p as PartyId),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        declare_dropped(courier, &mut alive, &mut dropped, &lost, iteration);
+
+        // Phase 1: one ShamirDist per survivor, single deadline.
+        let mut dists: Vec<Option<Vec<u64>>> = vec![None; m];
+        let active = alive.iter().filter(|&&a| a).count();
+        let mut have = 0usize;
+        let deadline = Instant::now() + timing.round_deadline;
+        while have < active {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let env = match courier.recv(remaining) {
+                Ok(env) => env,
+                Err(TransportError::Timeout) => break,
+                Err(e) => return Err(e.into()),
+            };
+            if matches!(
+                env.msg,
+                Message::Heartbeat { .. } | Message::TimeReply { .. }
+            ) {
+                continue;
+            }
+            if let Message::Join { party, nonce } = env.msg {
+                if (party as usize) < m {
+                    pending_joins.insert(party, nonce);
+                }
+                continue;
+            }
+            // Straggler submissions of an earlier round that arrived
+            // after reconstruction had enough shares.
+            if matches!(env.msg, Message::Shares { iteration: it, .. } if it < iteration) {
+                continue;
+            }
+            let frame_len = Frame::encoded_len_of(&env.msg);
+            let Message::ShamirDist {
+                iteration: it,
+                party,
+                flat,
+            } = env.msg
+            else {
+                return Err(protocol(format!(
+                    "coordinator expected a shamir distribution, got {:?} from party {}",
+                    env.msg, env.from
+                )));
+            };
+            if it < iteration {
+                continue;
+            }
+            if it > iteration {
+                return Err(protocol(format!(
+                    "shamir distribution from the future: round {it} while collecting \
+                     round {iteration}"
+                )));
+            }
+            if !alive.get(party as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            if flat.len() != (m - 1) * share_len {
+                return Err(protocol(format!(
+                    "shamir distribution length mismatch: expected {}, got {}",
+                    (m - 1) * share_len,
+                    flat.len()
+                )));
+            }
+            let slot = &mut dists[party as usize];
+            if let Some(existing) = slot {
+                if *existing == flat {
+                    continue;
+                }
+                return Err(protocol(format!(
+                    "conflicting duplicate shamir distribution from party {party}"
+                )));
+            }
+            *slot = Some(flat);
+            metrics.bytes_shuffled += frame_len;
+            have += 1;
+        }
+        if have < active {
+            let lost: Vec<PartyId> = (0..m)
+                .filter(|&p| alive[p] && dists[p].is_none())
+                .map(|p| p as PartyId)
+                .collect();
+            telemetry::emit(
+                courier.party(),
+                EventKind::DeadlineMiss {
+                    iteration,
+                    epoch: 0,
+                    missing: lost.len() as u32,
+                },
+            );
+            declare_dropped(courier, &mut alive, &mut dropped, &lost, iteration);
+        }
+        let contributors: Vec<PartyId> = (0..m)
+            .filter(|&p| dists[p].is_some())
+            .map(|p| p as PartyId)
+            .collect();
+        if contributors.len() < threshold {
+            return Err(TrainError::Dropped {
+                parties: dropped.clone(),
+            });
+        }
+
+        // Phase 2: relay each contributor its blinded blocks. A
+        // contributor that became unreachable is dropped for *future*
+        // rounds; its input is already inside this round's sum.
+        for &p in &contributors {
+            let mut flat = Vec::with_capacity((contributors.len() - 1) * share_len);
+            for &q in &contributors {
+                if q == p {
+                    continue;
+                }
+                let dist = dists[q as usize].as_ref().expect("contributor has a dist");
+                let base = block_index(q as usize, p as usize) * share_len;
+                flat.extend_from_slice(&dist[base..base + share_len]);
+            }
+            let msg = Message::ShamirCollect {
+                iteration,
+                contributors: contributors.clone(),
+                flat,
+            };
+            match courier.send_reliable(p, &msg) {
+                Ok(n) => metrics.bytes_broadcast += n,
+                Err(e) if peer_is_lost(&e) => {
+                    declare_dropped(courier, &mut alive, &mut dropped, &[p], iteration);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // Phase 3: summed-share submissions; any `threshold` of them
+        // reconstruct, so submitters lost mid-collect cost nothing but
+        // their future membership.
+        let mut subs: Vec<Option<Vec<u64>>> = vec![None; m];
+        let mut have = 0usize;
+        let want = contributors.iter().filter(|&&p| alive[p as usize]).count();
+        let deadline = Instant::now() + timing.round_deadline;
+        while have < want {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let env = match courier.recv(remaining) {
+                Ok(env) => env,
+                Err(TransportError::Timeout) => break,
+                Err(e) => return Err(e.into()),
+            };
+            if matches!(
+                env.msg,
+                Message::Heartbeat { .. } | Message::TimeReply { .. }
+            ) {
+                continue;
+            }
+            if let Message::Join { party, nonce } = env.msg {
+                if (party as usize) < m {
+                    pending_joins.insert(party, nonce);
+                }
+                continue;
+            }
+            if matches!(env.msg, Message::ShamirDist { iteration: it, .. } if it <= iteration) {
+                continue;
+            }
+            let frame_len = Frame::encoded_len_of(&env.msg);
+            let Message::Shares {
+                iteration: it,
+                values,
+            } = env.msg
+            else {
+                return Err(protocol(format!(
+                    "coordinator expected a summed share, got {:?} from party {}",
+                    env.msg, env.from
+                )));
+            };
+            if it < iteration {
+                continue;
+            }
+            if it > iteration {
+                return Err(protocol(format!(
+                    "summed share from the future: round {it} while collecting round {iteration}"
+                )));
+            }
+            let party = env.from;
+            if !contributors.contains(&party) {
+                continue;
+            }
+            if values.len() != share_len {
+                return Err(protocol(format!(
+                    "summed share length mismatch: expected {share_len}, got {}",
+                    values.len()
+                )));
+            }
+            let slot = &mut subs[party as usize];
+            if let Some(existing) = slot {
+                if *existing == values {
+                    continue;
+                }
+                return Err(protocol(format!(
+                    "conflicting duplicate summed share from party {party}"
+                )));
+            }
+            *slot = Some(values);
+            metrics.bytes_shuffled += frame_len;
+            have += 1;
+        }
+        let got = subs.iter().filter(|s| s.is_some()).count();
+        if got < want {
+            let lost: Vec<PartyId> = contributors
+                .iter()
+                .copied()
+                .filter(|&p| alive[p as usize] && subs[p as usize].is_none())
+                .collect();
+            telemetry::emit(
+                courier.party(),
+                EventKind::DeadlineMiss {
+                    iteration,
+                    epoch: 0,
+                    missing: lost.len() as u32,
+                },
+            );
+            declare_dropped(courier, &mut alive, &mut dropped, &lost, iteration);
+        }
+        if got < threshold {
+            return Err(TrainError::Dropped {
+                parties: dropped.clone(),
+            });
+        }
+
+        // Reconstruct from the `threshold` lowest-indexed submissions —
+        // any `t` shares give the same exact field element, so the
+        // choice cannot change the result; fixing it keeps the loop
+        // deterministic to read.
+        let chosen: Vec<usize> = (0..m)
+            .filter(|&p| subs[p].is_some())
+            .take(threshold)
+            .collect();
+        let mut sums = vec![0.0; share_len];
+        for (i, sum) in sums.iter_mut().enumerate() {
+            let column: Vec<shamir::Share> = chosen
+                .iter()
+                .map(|&p| shamir::Share {
+                    x: p as u64 + 1,
+                    y: subs[p].as_ref().expect("chosen submissions exist")[i],
+                })
+                .collect();
+            *sum = scheme.decode(shamir::reconstruct(&column)?);
+        }
+        let divisor = contributors.len() as f64;
+        telemetry::emit(
+            courier.party(),
+            EventKind::RoundClose {
+                iteration,
+                epoch: 0,
+                shares: contributors.len() as u32,
+                elapsed_ns: round_start.elapsed().as_nanos() as u64,
+            },
+        );
+        telemetry::emit(
+            courier.party(),
+            EventKind::SecAggRound {
+                backend: "shamir",
+                iteration,
+                bytes: (metrics.bytes_broadcast + metrics.bytes_shuffled - round_bytes_before)
+                    as u64,
+                elapsed_ns: round_start.elapsed().as_nanos() as u64,
+            },
+        );
+        let z_new: Vec<f64> = sums[..features].iter().map(|&v| v / divisor).collect();
+        let s_new = sums[features] / divisor;
+        let delta = ppml_linalg::vecops::dist_sq(&z_new, &z);
+        z = z_new;
+        s = s_new;
+        history.z_delta.push(delta);
+        if let Some(ds) = eval {
+            history
+                .accuracy
+                .push(LinearSvm::from_parts(z.clone(), s).accuracy(ds));
+        }
+        if let Some(tol) = cfg.tol {
+            if delta < tol {
+                break;
+            }
+        }
+    }
+    metrics.iterations = history.z_delta.len();
+
+    let done = Message::Consensus {
+        iteration: history.z_delta.len() as u64,
+        z: z.clone(),
+        s: vec![s],
+        done: true,
+    };
+    let mut lost: Vec<PartyId> = Vec::new();
+    for p in (0..m).filter(|&p| alive[p]) {
+        match courier.send_reliable(p as PartyId, &done) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => lost.push(p as PartyId),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    declare_dropped(
+        courier,
+        &mut alive,
+        &mut dropped,
+        &lost,
+        history.z_delta.len() as u64,
+    );
+    Ok(DistributedOutcome {
+        model: LinearSvm::from_parts(z, s),
+        history,
+        metrics,
+        dropped,
+    })
+}
+
+/// How long a learner blocks on one receive before heartbeating, same
+/// as the pairwise loop.
+const LEARNER_POLL: std::time::Duration = std::time::Duration::from_millis(500);
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn shamir_learn<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    threshold: usize,
+    defect_after: Option<u64>,
+    rejoin: bool,
+) -> Result<LinearSvm> {
+    cfg.validate()?;
+    timing.validate()?;
+    let party = courier.party();
+    let me = party as usize;
+    let m = learners;
+    if me >= m {
+        return Err(TrainError::BadConfig {
+            reason: format!("learner party {party} out of range 0..{m}"),
+        });
+    }
+    if threshold < 1 || threshold > m {
+        return Err(TrainError::BadConfig {
+            reason: format!("shamir threshold {threshold} out of range 1..={m}"),
+        });
+    }
+    let coordinator = m as PartyId;
+    let mut learner = HlLearner::new(data, m, cfg)?;
+    let scheme = ThresholdSharing::new(threshold, cfg.seed);
+    let mut expected_iter: u64 = 0;
+    let mut dual_ready = false;
+    let mut deadline = Instant::now() + timing.learner_patience;
+    let mut run_id_seen = false;
+
+    if rejoin {
+        expected_iter = join_handshake(courier, party, coordinator, timing)?;
+        deadline = Instant::now() + timing.learner_patience;
+    }
+
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(TrainError::Transport(TransportError::Timeout));
+        }
+        let env = match courier.recv(remaining.min(LEARNER_POLL)) {
+            Ok(env) => env,
+            Err(TransportError::Timeout) => {
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::Heartbeat {
+                        nonce: u64::from(party),
+                    },
+                );
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        match env.msg {
+            Message::Heartbeat { .. } => continue,
+            Message::TimeProbe { nonce, run_id } => {
+                if telemetry::enabled() && !run_id_seen {
+                    run_id_seen = true;
+                    telemetry::emit(party, EventKind::RunInfo { run_id });
+                }
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::TimeReply {
+                        nonce,
+                        t_ns: telemetry::now_ns(),
+                    },
+                );
+                continue;
+            }
+            Message::Consensus {
+                iteration,
+                z,
+                s,
+                done,
+            } => {
+                let s_val = s.first().copied().unwrap_or(0.0);
+                if done {
+                    return Ok(LinearSvm::from_parts(z, s_val));
+                }
+                if iteration < expected_iter {
+                    continue;
+                }
+                if iteration > expected_iter {
+                    return Err(protocol(format!(
+                        "consensus skipped ahead to round {iteration} while expecting \
+                         {expected_iter}"
+                    )));
+                }
+                telemetry::emit(
+                    party,
+                    EventKind::RoundOpen {
+                        iteration,
+                        epoch: 0,
+                    },
+                );
+                let round_start = Instant::now();
+                if dual_ready {
+                    learner.dual_update(&z, s_val);
+                }
+                learner.local_step(&z, s_val, &cfg.qp)?;
+                dual_ready = true;
+                let raw = learner.share();
+                let share_len = raw.len();
+
+                // Split every coordinate t-of-m over the *original*
+                // roster (dead parties' shares are simply never
+                // delivered), keep our own block, blind each peer block
+                // with the ordered-pair pad and ship everything in one
+                // frame.
+                let mut rng = split_rng(cfg.seed, me, iteration);
+                let mut dest = vec![vec![0u64; share_len]; m];
+                for (i, &v) in raw.iter().enumerate() {
+                    let shares = shamir::split(scheme.encode(v)?, threshold, m, &mut rng)?;
+                    for (j, sh) in shares.into_iter().enumerate() {
+                        dest[j][i] = sh.y;
+                    }
+                }
+                let held_self = std::mem::take(&mut dest[me]);
+                let mut flat = Vec::with_capacity((m - 1) * share_len);
+                for (j, block) in dest.into_iter().enumerate() {
+                    if j == me {
+                        continue;
+                    }
+                    let mut pad = pad_rng(cfg.seed, me, j, iteration);
+                    flat.extend(
+                        block
+                            .into_iter()
+                            .map(|y| shamir::field_add(y, pad.below(MODULUS))),
+                    );
+                }
+                send_share_patiently(
+                    courier,
+                    coordinator,
+                    &Message::ShamirDist {
+                        iteration,
+                        party,
+                        flat,
+                    },
+                    timing.learner_patience,
+                )?;
+                expected_iter = iteration + 1;
+                deadline = Instant::now() + timing.learner_patience;
+                if defect_after.is_some_and(|d| iteration >= d) {
+                    // Scripted mid-collect death: the shares are out —
+                    // this round's input survives us — but the summed
+                    // share never will be. Keep draining so the link
+                    // stays warm until the coordinator drops us.
+                    continue;
+                }
+                let held = await_collect(
+                    courier,
+                    coordinator,
+                    party,
+                    m,
+                    cfg.seed,
+                    iteration,
+                    share_len,
+                    held_self,
+                    timing,
+                )?;
+                send_share_patiently(
+                    courier,
+                    coordinator,
+                    &Message::Shares {
+                        iteration,
+                        values: held,
+                    },
+                    timing.learner_patience,
+                )?;
+                telemetry::emit(
+                    party,
+                    EventKind::RoundClose {
+                        iteration,
+                        epoch: 0,
+                        shares: 1,
+                        elapsed_ns: round_start.elapsed().as_nanos() as u64,
+                    },
+                );
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            // A duplicate of our own rejoin Welcome: the coordinator is
+            // demonstrably alive, nothing else to apply.
+            Message::Welcome {
+                iteration,
+                survivors,
+                ..
+            } => {
+                if !survivors.contains(&party) {
+                    return Err(protocol(format!(
+                        "welcome for round {iteration} excludes this learner"
+                    )));
+                }
+                expected_iter = expected_iter.max(iteration);
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            // Collect frames for rounds we already finished (or, while
+            // defecting, deliberately walked away from): drain them so
+            // the transport stays acked.
+            Message::ShamirCollect { iteration: it, .. } if it < expected_iter => continue,
+            other => {
+                return Err(protocol(format!(
+                    "shamir learner expected consensus or collect, got {other:?} from party {}",
+                    env.from
+                )))
+            }
+        }
+    }
+}
+
+/// Waits for this round's [`Message::ShamirCollect`], unblinds each
+/// contributor block with the sender-pair pad and field-sums everything
+/// (self block included) into this party's share of the round total.
+#[allow(clippy::too_many_arguments)]
+fn await_collect<T: Transport>(
+    courier: &mut Courier<T>,
+    coordinator: PartyId,
+    party: PartyId,
+    m: usize,
+    seed: u64,
+    iteration: u64,
+    share_len: usize,
+    held_self: Vec<u64>,
+    timing: DistributedTiming,
+) -> Result<Vec<u64>> {
+    let me = party as usize;
+    let deadline = Instant::now() + timing.learner_patience;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(TrainError::Transport(TransportError::Timeout));
+        }
+        let env = match courier.recv(remaining.min(LEARNER_POLL)) {
+            Ok(env) => env,
+            Err(TransportError::Timeout) => {
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::Heartbeat {
+                        nonce: u64::from(party),
+                    },
+                );
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        match env.msg {
+            Message::Heartbeat { .. } => continue,
+            Message::TimeProbe { nonce, .. } => {
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::TimeReply {
+                        nonce,
+                        t_ns: telemetry::now_ns(),
+                    },
+                );
+                continue;
+            }
+            Message::ShamirCollect {
+                iteration: it,
+                contributors,
+                flat,
+            } => {
+                if it < iteration {
+                    continue;
+                }
+                if it > iteration {
+                    return Err(protocol(format!(
+                        "collect skipped ahead to round {it} while expecting {iteration}"
+                    )));
+                }
+                if !contributors.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(protocol("collect contributor set is not ascending"));
+                }
+                if contributors.iter().any(|&q| (q as usize) >= m) {
+                    return Err(protocol("collect names a party outside the roster"));
+                }
+                if !contributors.contains(&party) {
+                    return Err(protocol(format!(
+                        "collect for round {it} excludes this learner"
+                    )));
+                }
+                if flat.len() != (contributors.len() - 1) * share_len {
+                    return Err(protocol(format!(
+                        "collect length mismatch: expected {}, got {}",
+                        (contributors.len() - 1) * share_len,
+                        flat.len()
+                    )));
+                }
+                let mut held = held_self;
+                for (slot, &q) in contributors.iter().filter(|&&q| q != party).enumerate() {
+                    let block = &flat[slot * share_len..(slot + 1) * share_len];
+                    let mut pad = pad_rng(seed, q as usize, me, iteration);
+                    for (h, &v) in held.iter_mut().zip(block) {
+                        *h = shamir::field_add(*h, shamir::field_sub(v, pad.below(MODULUS)));
+                    }
+                }
+                return Ok(held);
+            }
+            other => {
+                return Err(protocol(format!(
+                    "shamir learner expected a collect, got {other:?} from party {}",
+                    env.from
+                )))
+            }
+        }
+    }
+}
+
+/// Probe-with-[`Message::Join`] handshake for a rejoining learner under
+/// a stateless backend: loops until the coordinator's
+/// [`Message::Welcome`] names us a survivor, then returns the next
+/// round it will broadcast. Mirrors the pairwise handshake minus all
+/// epoch bookkeeping — there is none to restore.
+fn join_handshake<T: Transport>(
+    courier: &mut Courier<T>,
+    party: PartyId,
+    coordinator: PartyId,
+    timing: DistributedTiming,
+) -> Result<u64> {
+    let deadline = Instant::now() + timing.learner_patience;
+    let nonce = telemetry::now_ns() | 1;
+    loop {
+        if Instant::now() >= deadline {
+            return Err(TrainError::Transport(TransportError::Timeout));
+        }
+        let _ = courier.send_unreliable(coordinator, &Message::Join { party, nonce });
+        match courier.recv(LEARNER_POLL) {
+            Ok(env) => match env.msg {
+                Message::Welcome {
+                    iteration,
+                    survivors,
+                    ..
+                } if survivors.contains(&party) => {
+                    telemetry::emit(party, EventKind::Rejoin { party, iteration });
+                    return Ok(iteration);
+                }
+                // Frames predating re-admission: rounds we are not part
+                // of yet. Drain (and thereby ack) them.
+                _ => continue,
+            },
+            Err(TransportError::Timeout) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paillier backend.
+
+/// Appends `v` big-endian, left-padded with zeros to exactly `width`
+/// bytes, so ciphertexts pack at fixed offsets on the wire.
+fn push_fixed_width(out: &mut Vec<u8>, v: &ppml_crypto::BigUint, width: usize) {
+    let be = v.to_bytes_be();
+    debug_assert!(be.len() <= width, "ciphertext wider than n²");
+    out.resize(out.len() + width.saturating_sub(be.len()), 0);
+    out.extend_from_slice(&be);
+}
+
+#[allow(clippy::too_many_lines)]
+fn paillier_coordinate<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    features: usize,
+    cfg: &AdmmConfig,
+    eval: Option<&Dataset>,
+    timing: DistributedTiming,
+) -> Result<DistributedOutcome> {
+    validate_coordinator(courier, learners, cfg, timing)?;
+    let m = learners;
+    let share_len = features + 1;
+    // Derive the run keypair only to clone its public half: from here
+    // on the coordinator *cannot* decrypt, by construction — folding
+    // needs nothing but `pk`.
+    let pk: PaillierPublicKey = Paillier::keygen(PAILLIER_BITS, &mut keygen_rng(cfg.seed))?
+        .public_key()
+        .clone();
+    let width = pk.ciphertext_width();
+    let authority: PartyId = 0;
+    let mut z = vec![0.0; features];
+    let mut s = 0.0;
+    let mut history = ConvergenceHistory::default();
+    let mut metrics = JobMetrics::default();
+    let mut alive = vec![true; m];
+    let mut dropped: Vec<PartyId> = Vec::new();
+    let mut pending_joins: BTreeMap<PartyId, u64> = BTreeMap::new();
+
+    if telemetry::enabled() {
+        let run_id = telemetry::fresh_run_id();
+        telemetry::emit(courier.party(), EventKind::RunInfo { run_id });
+        clock_sync(courier, &alive, run_id);
+    }
+
+    for iteration in 0..cfg.max_iter as u64 {
+        if !pending_joins.is_empty() {
+            admit_stateless(
+                courier,
+                &mut alive,
+                &mut dropped,
+                std::mem::take(&mut pending_joins),
+                iteration,
+                &z,
+                s,
+                &mut metrics,
+            )?;
+        }
+        let round_start = Instant::now();
+        let round_bytes_before = metrics.bytes_broadcast + metrics.bytes_shuffled;
+        telemetry::emit(
+            courier.party(),
+            EventKind::RoundOpen {
+                iteration,
+                epoch: 0,
+            },
+        );
+        let broadcast = Message::Consensus {
+            iteration,
+            z: z.clone(),
+            s: vec![s],
+            done: false,
+        };
+        let mut lost: Vec<PartyId> = Vec::new();
+        for p in (0..m).filter(|&p| alive[p]) {
+            match courier.send_reliable(p as PartyId, &broadcast) {
+                Ok(n) => metrics.bytes_broadcast += n,
+                Err(e) if peer_is_lost(&e) => lost.push(p as PartyId),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        declare_dropped(courier, &mut alive, &mut dropped, &lost, iteration);
+
+        // Phase 1: one CipherShare per survivor, single deadline. A
+        // learner that misses it is dropped for future rounds — no
+        // re-key, the remaining ciphertexts still fold.
+        let mut cts: Vec<Option<Vec<u8>>> = vec![None; m];
+        let active = alive.iter().filter(|&&a| a).count();
+        let mut have = 0usize;
+        let deadline = Instant::now() + timing.round_deadline;
+        while have < active {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let env = match courier.recv(remaining) {
+                Ok(env) => env,
+                Err(TransportError::Timeout) => break,
+                Err(e) => return Err(e.into()),
+            };
+            if matches!(
+                env.msg,
+                Message::Heartbeat { .. } | Message::TimeReply { .. }
+            ) {
+                continue;
+            }
+            if let Message::Join { party, nonce } = env.msg {
+                if (party as usize) < m {
+                    pending_joins.insert(party, nonce);
+                }
+                continue;
+            }
+            // A straggling decryption of an earlier round's aggregate.
+            if matches!(env.msg, Message::CipherSum { iteration: it, .. } if it < iteration) {
+                continue;
+            }
+            let frame_len = Frame::encoded_len_of(&env.msg);
+            let Message::CipherShare {
+                iteration: it,
+                party,
+                bytes,
+            } = env.msg
+            else {
+                return Err(protocol(format!(
+                    "coordinator expected a ciphertext share, got {:?} from party {}",
+                    env.msg, env.from
+                )));
+            };
+            if it < iteration {
+                continue;
+            }
+            if it > iteration {
+                return Err(protocol(format!(
+                    "ciphertext share from the future: round {it} while collecting \
+                     round {iteration}"
+                )));
+            }
+            if !alive.get(party as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            if bytes.len() != share_len * width {
+                return Err(protocol(format!(
+                    "ciphertext share length mismatch: expected {}, got {}",
+                    share_len * width,
+                    bytes.len()
+                )));
+            }
+            let slot = &mut cts[party as usize];
+            if let Some(existing) = slot {
+                if *existing == bytes {
+                    continue;
+                }
+                return Err(protocol(format!(
+                    "conflicting duplicate ciphertext share from party {party}"
+                )));
+            }
+            *slot = Some(bytes);
+            metrics.bytes_shuffled += frame_len;
+            have += 1;
+        }
+        if have < active {
+            let lost: Vec<PartyId> = (0..m)
+                .filter(|&p| alive[p] && cts[p].is_none())
+                .map(|p| p as PartyId)
+                .collect();
+            telemetry::emit(
+                courier.party(),
+                EventKind::DeadlineMiss {
+                    iteration,
+                    epoch: 0,
+                    missing: lost.len() as u32,
+                },
+            );
+            declare_dropped(courier, &mut alive, &mut dropped, &lost, iteration);
+        }
+        let contributors: Vec<PartyId> = (0..m)
+            .filter(|&p| cts[p].is_some())
+            .map(|p| p as PartyId)
+            .collect();
+        if contributors.is_empty() {
+            return Err(TrainError::Dropped {
+                parties: dropped.clone(),
+            });
+        }
+
+        // Fold the round: coordinate-wise homomorphic addition with the
+        // public key only.
+        let mut agg = Vec::with_capacity(share_len * width);
+        for i in 0..share_len {
+            let mut acc = pk.neutral();
+            for &p in &contributors {
+                let bytes = cts[p as usize].as_ref().expect("contributor ciphertext");
+                let c = pk.ciphertext_from_bytes(&bytes[i * width..(i + 1) * width])?;
+                acc = pk.add(&acc, &c);
+            }
+            push_fixed_width(&mut agg, acc.as_biguint(), width);
+        }
+
+        // Phase 2: authority round-trip. The aggregate (and only the
+        // aggregate) is decryptable, and only by learner 0. Note the
+        // authority answers even when it stopped *contributing*; losing
+        // it outright ends the run — nobody else holds the private key.
+        let request = Message::CipherAgg {
+            iteration,
+            contributors: contributors.len() as u32,
+            bytes: agg,
+        };
+        match courier.send_reliable(authority, &request) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => {
+                declare_dropped(courier, &mut alive, &mut dropped, &[authority], iteration);
+                return Err(TrainError::Dropped {
+                    parties: dropped.clone(),
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let sums: Vec<f64> = loop {
+            let deadline = Instant::now() + timing.round_deadline;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                telemetry::emit(
+                    courier.party(),
+                    EventKind::DeadlineMiss {
+                        iteration,
+                        epoch: 0,
+                        missing: 1,
+                    },
+                );
+                declare_dropped(courier, &mut alive, &mut dropped, &[authority], iteration);
+                return Err(TrainError::Dropped {
+                    parties: dropped.clone(),
+                });
+            }
+            let env = match courier.recv(remaining) {
+                Ok(env) => env,
+                Err(TransportError::Timeout) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            if matches!(
+                env.msg,
+                Message::Heartbeat { .. } | Message::TimeReply { .. }
+            ) {
+                continue;
+            }
+            if let Message::Join { party, nonce } = env.msg {
+                if (party as usize) < m {
+                    pending_joins.insert(party, nonce);
+                }
+                continue;
+            }
+            if matches!(env.msg, Message::CipherShare { iteration: it, .. } if it <= iteration) {
+                continue;
+            }
+            let frame_len = Frame::encoded_len_of(&env.msg);
+            let Message::CipherSum {
+                iteration: it,
+                values,
+            } = env.msg
+            else {
+                return Err(protocol(format!(
+                    "coordinator expected the decrypted aggregate, got {:?} from party {}",
+                    env.msg, env.from
+                )));
+            };
+            if it < iteration {
+                continue;
+            }
+            if it > iteration {
+                return Err(protocol(format!(
+                    "decrypted aggregate from the future: round {it} while in round {iteration}"
+                )));
+            }
+            if env.from != authority {
+                return Err(protocol(format!(
+                    "decrypted aggregate from party {} instead of the authority",
+                    env.from
+                )));
+            }
+            if values.len() != share_len {
+                return Err(protocol(format!(
+                    "decrypted aggregate length mismatch: expected {share_len}, got {}",
+                    values.len()
+                )));
+            }
+            metrics.bytes_shuffled += frame_len;
+            break values;
+        };
+
+        let divisor = contributors.len() as f64;
+        telemetry::emit(
+            courier.party(),
+            EventKind::RoundClose {
+                iteration,
+                epoch: 0,
+                shares: contributors.len() as u32,
+                elapsed_ns: round_start.elapsed().as_nanos() as u64,
+            },
+        );
+        telemetry::emit(
+            courier.party(),
+            EventKind::SecAggRound {
+                backend: "paillier",
+                iteration,
+                bytes: (metrics.bytes_broadcast + metrics.bytes_shuffled - round_bytes_before)
+                    as u64,
+                elapsed_ns: round_start.elapsed().as_nanos() as u64,
+            },
+        );
+        let z_new: Vec<f64> = sums[..features].iter().map(|&v| v / divisor).collect();
+        let s_new = sums[features] / divisor;
+        let delta = ppml_linalg::vecops::dist_sq(&z_new, &z);
+        z = z_new;
+        s = s_new;
+        history.z_delta.push(delta);
+        if let Some(ds) = eval {
+            history
+                .accuracy
+                .push(LinearSvm::from_parts(z.clone(), s).accuracy(ds));
+        }
+        if let Some(tol) = cfg.tol {
+            if delta < tol {
+                break;
+            }
+        }
+    }
+    metrics.iterations = history.z_delta.len();
+
+    let done = Message::Consensus {
+        iteration: history.z_delta.len() as u64,
+        z: z.clone(),
+        s: vec![s],
+        done: true,
+    };
+    let mut lost: Vec<PartyId> = Vec::new();
+    for p in (0..m).filter(|&p| alive[p]) {
+        match courier.send_reliable(p as PartyId, &done) {
+            Ok(n) => metrics.bytes_broadcast += n,
+            Err(e) if peer_is_lost(&e) => lost.push(p as PartyId),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    declare_dropped(
+        courier,
+        &mut alive,
+        &mut dropped,
+        &lost,
+        history.z_delta.len() as u64,
+    );
+    Ok(DistributedOutcome {
+        model: LinearSvm::from_parts(z, s),
+        history,
+        metrics,
+        dropped,
+    })
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn paillier_learn<T: Transport>(
+    courier: &mut Courier<T>,
+    learners: usize,
+    data: &Dataset,
+    cfg: &AdmmConfig,
+    timing: DistributedTiming,
+    defect_after: Option<u64>,
+    rejoin: bool,
+) -> Result<LinearSvm> {
+    cfg.validate()?;
+    timing.validate()?;
+    let party = courier.party();
+    let me = party as usize;
+    let m = learners;
+    if me >= m {
+        return Err(TrainError::BadConfig {
+            reason: format!("learner party {party} out of range 0..{m}"),
+        });
+    }
+    let coordinator = m as PartyId;
+    // Every learner derives the full keypair from the run seed; only
+    // party 0 ever *uses* the private half (the CipherAgg arm below).
+    let keypair = Paillier::keygen(PAILLIER_BITS, &mut keygen_rng(cfg.seed))?;
+    let codec = FixedPointCodec::default();
+    let width = keypair.public_key().ciphertext_width();
+    let mut learner = HlLearner::new(data, m, cfg)?;
+    let mut expected_iter: u64 = 0;
+    let mut dual_ready = false;
+    let mut deadline = Instant::now() + timing.learner_patience;
+    let mut run_id_seen = false;
+
+    if rejoin {
+        expected_iter = join_handshake(courier, party, coordinator, timing)?;
+        deadline = Instant::now() + timing.learner_patience;
+    }
+
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(TrainError::Transport(TransportError::Timeout));
+        }
+        let env = match courier.recv(remaining.min(LEARNER_POLL)) {
+            Ok(env) => env,
+            Err(TransportError::Timeout) => {
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::Heartbeat {
+                        nonce: u64::from(party),
+                    },
+                );
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        match env.msg {
+            Message::Heartbeat { .. } => continue,
+            Message::TimeProbe { nonce, run_id } => {
+                if telemetry::enabled() && !run_id_seen {
+                    run_id_seen = true;
+                    telemetry::emit(party, EventKind::RunInfo { run_id });
+                }
+                let _ = courier.send_unreliable(
+                    coordinator,
+                    &Message::TimeReply {
+                        nonce,
+                        t_ns: telemetry::now_ns(),
+                    },
+                );
+                continue;
+            }
+            // The authority arm: decrypt the folded aggregate — the
+            // round *sum*, never an individual share — and hand the
+            // plaintext totals back. Served even while defecting, so a
+            // scripted authority dropout cannot wedge the run.
+            Message::CipherAgg {
+                iteration: it,
+                contributors: _,
+                bytes,
+            } => {
+                if me != 0 {
+                    return Err(protocol(
+                        "ciphertext aggregate sent to a non-authority learner".to_string(),
+                    ));
+                }
+                if bytes.is_empty() || bytes.len() % width != 0 {
+                    return Err(protocol(format!(
+                        "ciphertext aggregate length {} is not a multiple of the ciphertext \
+                         width {width}",
+                        bytes.len()
+                    )));
+                }
+                let mut values = Vec::with_capacity(bytes.len() / width);
+                for chunk in bytes.chunks(width) {
+                    let c = keypair.public_key().ciphertext_from_bytes(chunk)?;
+                    let sum = keypair.decrypt(&c);
+                    values.push(codec.decode_group(&sum, keypair.public_key().modulus())?);
+                }
+                send_share_patiently(
+                    courier,
+                    coordinator,
+                    &Message::CipherSum {
+                        iteration: it,
+                        values,
+                    },
+                    timing.learner_patience,
+                )?;
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            Message::Consensus {
+                iteration,
+                z,
+                s,
+                done,
+            } => {
+                let s_val = s.first().copied().unwrap_or(0.0);
+                if done {
+                    return Ok(LinearSvm::from_parts(z, s_val));
+                }
+                if iteration < expected_iter {
+                    continue;
+                }
+                if iteration > expected_iter {
+                    return Err(protocol(format!(
+                        "consensus skipped ahead to round {iteration} while expecting \
+                         {expected_iter}"
+                    )));
+                }
+                if defect_after.is_some_and(|d| iteration >= d) {
+                    // Scripted dropout: stop contributing, keep
+                    // draining (the authority arm above still serves).
+                    expected_iter = iteration + 1;
+                    continue;
+                }
+                telemetry::emit(
+                    party,
+                    EventKind::RoundOpen {
+                        iteration,
+                        epoch: 0,
+                    },
+                );
+                let round_start = Instant::now();
+                if dual_ready {
+                    learner.dual_update(&z, s_val);
+                }
+                learner.local_step(&z, s_val, &cfg.qp)?;
+                dual_ready = true;
+                let raw = learner.share();
+                let mut rng = encrypt_rng(cfg.seed, me, iteration);
+                let mut bytes = Vec::with_capacity(raw.len() * width);
+                for &v in &raw {
+                    let plain = codec.encode_group(v, keypair.public_key().modulus())?;
+                    let c = keypair.encrypt(&plain, &mut rng)?;
+                    push_fixed_width(&mut bytes, c.as_biguint(), width);
+                }
+                send_share_patiently(
+                    courier,
+                    coordinator,
+                    &Message::CipherShare {
+                        iteration,
+                        party,
+                        bytes,
+                    },
+                    timing.learner_patience,
+                )?;
+                expected_iter = iteration + 1;
+                telemetry::emit(
+                    party,
+                    EventKind::RoundClose {
+                        iteration,
+                        epoch: 0,
+                        shares: 1,
+                        elapsed_ns: round_start.elapsed().as_nanos() as u64,
+                    },
+                );
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            Message::Welcome {
+                iteration,
+                survivors,
+                ..
+            } => {
+                if !survivors.contains(&party) {
+                    return Err(protocol(format!(
+                        "welcome for round {iteration} excludes this learner"
+                    )));
+                }
+                expected_iter = expected_iter.max(iteration);
+                deadline = Instant::now() + timing.learner_patience;
+            }
+            other => {
+                return Err(protocol(format!(
+                    "paillier learner expected consensus or an aggregate, got {other:?} from \
+                     party {}",
+                    env.from
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::feature_count;
+    use ppml_data::{synth, Partition};
+    use ppml_transport::{LoopbackHub, NetFaultPlan, RetryPolicy};
+    use std::thread;
+    use std::time::Duration;
+
+    fn twitchy() -> DistributedTiming {
+        DistributedTiming::default()
+            .with_round_deadline(Duration::from_millis(800))
+            .with_learner_patience(Duration::from_secs(2))
+    }
+
+    struct SecAggRun {
+        outcome: Result<DistributedOutcome>,
+        finals: Vec<Result<LinearSvm>>,
+    }
+
+    /// Full in-process run over a loopback hub: `defects` scripts
+    /// `(party, round)` dropouts at each backend's characteristic loss
+    /// point.
+    fn run_secagg(
+        parts: &[Dataset],
+        cfg: &AdmmConfig,
+        secagg: SecAggConfig,
+        defects: &[(usize, u64)],
+    ) -> SecAggRun {
+        let m = parts.len();
+        let features = feature_count(parts).expect("partitions");
+        let hub = LoopbackHub::with_faults(m + 1, NetFaultPlan::none());
+        let timing = twitchy();
+        let mut handles = Vec::new();
+        for (p, part) in parts.iter().enumerate() {
+            let mut courier = Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+            let part = part.clone();
+            let cfg = *cfg;
+            let defect = defects.iter().find(|&&(dp, _)| dp == p).map(|&(_, d)| d);
+            handles.push(thread::spawn(move || match defect {
+                Some(d) => {
+                    learn_linear_secagg_with_defect(&mut courier, m, &part, &cfg, timing, secagg, d)
+                }
+                None => learn_linear_secagg(&mut courier, m, &part, &cfg, timing, secagg),
+            }));
+        }
+        let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+        let outcome =
+            coordinate_linear_secagg(&mut courier, m, features, cfg, None, timing, secagg);
+        let finals = handles
+            .into_iter()
+            .map(|h| h.join().expect("learner thread"))
+            .collect();
+        SecAggRun { outcome, finals }
+    }
+
+    fn assert_models_identical(a: &LinearSvm, b: &LinearSvm) {
+        assert_eq!(a.weights(), b.weights(), "weights diverged");
+        assert_eq!(a.bias(), b.bias(), "bias diverged");
+    }
+
+    #[test]
+    fn kind_parses_round_trips_and_rejects_unknown() {
+        for kind in [
+            SecAggKind::Pairwise,
+            SecAggKind::Shamir,
+            SecAggKind::Paillier,
+        ] {
+            assert_eq!(kind.as_str().parse::<SecAggKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert!("masking".parse::<SecAggKind>().is_err());
+    }
+
+    #[test]
+    fn config_validates_threshold_placement_and_range() {
+        assert!(SecAggConfig::shamir().validate(4).is_ok());
+        assert!(SecAggConfig::shamir().with_threshold(3).validate(4).is_ok());
+        assert!(SecAggConfig::shamir()
+            .with_threshold(0)
+            .validate(4)
+            .is_err());
+        assert!(SecAggConfig::shamir()
+            .with_threshold(5)
+            .validate(4)
+            .is_err());
+        assert!(SecAggConfig::pairwise()
+            .with_threshold(2)
+            .validate(4)
+            .is_err());
+        assert!(SecAggConfig::paillier()
+            .with_threshold(2)
+            .validate(4)
+            .is_err());
+    }
+
+    #[test]
+    fn default_threshold_is_two_thirds_clamped() {
+        assert_eq!(SecAggConfig::shamir().effective_threshold(1), 1);
+        assert_eq!(SecAggConfig::shamir().effective_threshold(2), 2);
+        assert_eq!(SecAggConfig::shamir().effective_threshold(3), 2);
+        assert_eq!(SecAggConfig::shamir().effective_threshold(4), 3);
+        assert_eq!(SecAggConfig::shamir().effective_threshold(64), 43);
+        assert_eq!(
+            SecAggConfig::shamir()
+                .with_threshold(4)
+                .effective_threshold(8),
+            4
+        );
+    }
+
+    #[test]
+    fn block_index_skips_the_sender() {
+        // Sender 2 of a 4-party roster lays out blocks for 0, 1, 3.
+        assert_eq!(block_index(2, 0), 0);
+        assert_eq!(block_index(2, 1), 1);
+        assert_eq!(block_index(2, 3), 2);
+        // Sender 0 lays out 1, 2, 3.
+        assert_eq!(block_index(0, 1), 0);
+        assert_eq!(block_index(0, 3), 2);
+    }
+
+    #[test]
+    fn pad_streams_agree_between_endpoints_and_separate_pairs() {
+        let a: Vec<u64> = {
+            let mut r = pad_rng(7, 1, 2, 3);
+            (0..8).map(|_| r.below(MODULUS)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = pad_rng(7, 1, 2, 3);
+            (0..8).map(|_| r.below(MODULUS)).collect()
+        };
+        assert_eq!(a, b, "sender and receiver must derive the same stream");
+        let reversed: Vec<u64> = {
+            let mut r = pad_rng(7, 2, 1, 3);
+            (0..8).map(|_| r.below(MODULUS)).collect()
+        };
+        assert_ne!(a, reversed, "pair order must matter");
+    }
+
+    #[test]
+    fn recovery_options_rejected_for_stateless_backends() {
+        let hub = LoopbackHub::with_faults(2, NetFaultPlan::none());
+        let mut courier = Courier::new(hub.endpoint(1), RetryPolicy::fast_local());
+        let cfg = AdmmConfig::default().with_max_iter(2).with_seed(1);
+        let err = coordinate_linear_secagg_with_recovery(
+            &mut courier,
+            1,
+            2,
+            &cfg,
+            None,
+            twitchy(),
+            SecAggConfig::shamir(),
+            RecoveryOptions::default().with_checkpoint("/tmp/never-written.ckpt"),
+        )
+        .expect_err("checkpointing under shamir must be rejected");
+        assert!(matches!(err, TrainError::BadConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn shamir_clean_run_is_bit_identical_to_pairwise() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+        let pairwise = run_secagg(&parts, &cfg, SecAggConfig::pairwise(), &[]);
+        let shamir = run_secagg(&parts, &cfg, SecAggConfig::shamir(), &[]);
+        let pw = pairwise.outcome.expect("pairwise run");
+        let sh = shamir.outcome.expect("shamir run");
+        assert_models_identical(&pw.model, &sh.model);
+        assert_eq!(pw.history.z_delta, sh.history.z_delta);
+        assert!(sh.dropped.is_empty());
+        for (p_model, s_model) in pairwise.finals.iter().zip(&shamir.finals) {
+            assert_models_identical(
+                p_model.as_ref().expect("pairwise learner"),
+                s_model.as_ref().expect("shamir learner"),
+            );
+        }
+    }
+
+    #[test]
+    fn paillier_clean_run_is_bit_identical_to_pairwise() {
+        let ds = synth::blobs(64, 1);
+        let parts = Partition::horizontal(&ds, 2, 2).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(3).with_seed(7);
+        let pairwise = run_secagg(&parts, &cfg, SecAggConfig::pairwise(), &[]);
+        let paillier = run_secagg(&parts, &cfg, SecAggConfig::paillier(), &[]);
+        let pw = pairwise.outcome.expect("pairwise run");
+        let pl = paillier.outcome.expect("paillier run");
+        assert_models_identical(&pw.model, &pl.model);
+        assert_eq!(pw.history.z_delta, pl.history.z_delta);
+        assert!(pl.dropped.is_empty());
+    }
+
+    /// The headline Shamir property: a learner dying *mid-collect* —
+    /// after distributing its round-`d` shares, before submitting its
+    /// summed share — still lands its round-`d` input in the sum and
+    /// needs no re-key. Membership-wise that equals a pairwise defector
+    /// at round `d + 1`, so the surviving models must match that run
+    /// bit for bit.
+    #[test]
+    fn shamir_mid_collect_death_keeps_the_round_and_skips_rekey() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 4, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(6).with_seed(11);
+        let victim = 1usize;
+        let d = 2u64;
+        let shamir = run_secagg(&parts, &cfg, SecAggConfig::shamir(), &[(victim, d)]);
+        let reference = run_secagg(&parts, &cfg, SecAggConfig::pairwise(), &[(victim, d + 1)]);
+        let sh = shamir.outcome.expect("shamir survivors");
+        let pw = reference.outcome.expect("pairwise reference");
+        assert_eq!(sh.dropped, vec![victim as PartyId]);
+        assert_models_identical(&sh.model, &pw.model);
+        for (p, result) in shamir.finals.iter().enumerate() {
+            if p == victim {
+                assert!(result.is_err(), "the defector cannot finish");
+            } else {
+                assert_models_identical(result.as_ref().expect("survivor"), &sh.model);
+            }
+        }
+    }
+
+    /// A Paillier defector stops encrypting from round `d` on, so its
+    /// membership schedule equals the pairwise defector at `d` — and the
+    /// surviving models must match that run bit for bit, again with no
+    /// re-keying anywhere.
+    #[test]
+    fn paillier_defector_is_dropped_and_matches_pairwise() {
+        let ds = synth::blobs(64, 1);
+        let parts = Partition::horizontal(&ds, 2, 2).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(3).with_seed(7);
+        let victim = 1usize; // never 0: the authority holds the key
+        let d = 1u64;
+        let paillier = run_secagg(&parts, &cfg, SecAggConfig::paillier(), &[(victim, d)]);
+        let reference = run_secagg(&parts, &cfg, SecAggConfig::pairwise(), &[(victim, d)]);
+        let pl = paillier.outcome.expect("paillier survivors");
+        let pw = reference.outcome.expect("pairwise reference");
+        assert_eq!(pl.dropped, vec![victim as PartyId]);
+        assert_models_identical(&pl.model, &pw.model);
+        assert!(
+            paillier.finals[victim].is_err(),
+            "the defector cannot finish"
+        );
+        assert_models_identical(
+            paillier.finals[0].as_ref().expect("authority survives"),
+            &pl.model,
+        );
+    }
+
+    #[test]
+    fn shamir_aborts_when_survivors_fall_below_threshold() {
+        let ds = synth::blobs(96, 3);
+        let parts = Partition::horizontal(&ds, 3, 5).expect("partition");
+        let cfg = AdmmConfig::default().with_max_iter(4).with_seed(11);
+        let run = run_secagg(
+            &parts,
+            &cfg,
+            SecAggConfig::shamir().with_threshold(3),
+            &[(2, 0)],
+        );
+        match run.outcome {
+            Err(TrainError::Dropped { parties }) => assert_eq!(parties, vec![2]),
+            other => panic!("expected a threshold abort, got {other:?}"),
+        }
+    }
+}

@@ -39,6 +39,41 @@ impl PaillierPublicKey {
     pub fn bits(&self) -> usize {
         self.n.bits()
     }
+
+    /// Homomorphic addition with only the public half:
+    /// `Dec(add(c1, c2)) = m1 + m2 mod n`. An aggregator that must never
+    /// be able to decrypt holds a [`PaillierPublicKey`] and folds
+    /// ciphertexts with this.
+    pub fn add(&self, c1: &PaillierCiphertext, c2: &PaillierCiphertext) -> PaillierCiphertext {
+        PaillierCiphertext(self.mont.mod_mul(&c1.0, &c2.0))
+    }
+
+    /// The identity element for [`PaillierPublicKey::add`] (an encryption
+    /// of zero with trivial randomness). Useful as a fold seed.
+    pub fn neutral(&self) -> PaillierCiphertext {
+        PaillierCiphertext(BigUint::one())
+    }
+
+    /// Serialized ciphertext width in bytes: every element of `Z_{n²}`
+    /// fits in this many big-endian bytes, so wire formats can use a
+    /// fixed-width encoding derived from the key alone.
+    pub fn ciphertext_width(&self) -> usize {
+        self.n_squared.bits().div_ceil(8)
+    }
+
+    /// Deserializes a big-endian ciphertext previously produced by
+    /// [`PaillierCiphertext::as_biguint`] (leading zero padding allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::NotInGroup`] when the value is not below `n²`.
+    pub fn ciphertext_from_bytes(&self, bytes: &[u8]) -> Result<PaillierCiphertext> {
+        let v = BigUint::from_bytes_be(bytes);
+        if v >= self.n_squared {
+            return Err(CryptoError::NotInGroup);
+        }
+        Ok(PaillierCiphertext(v))
+    }
 }
 
 /// Private decryption key.
@@ -174,7 +209,7 @@ impl Paillier {
 
     /// Homomorphic addition: `Dec(add(c1, c2)) = m1 + m2 mod n`.
     pub fn add(&self, c1: &PaillierCiphertext, c2: &PaillierCiphertext) -> PaillierCiphertext {
-        PaillierCiphertext(self.public.mont.mod_mul(&c1.0, &c2.0))
+        self.public.add(c1, c2)
     }
 
     /// Homomorphic plaintext multiplication: `Dec(mul_plain(c, k)) = k·m mod n`.
@@ -185,7 +220,7 @@ impl Paillier {
     /// The encryption of zero with trivial randomness — identity for
     /// [`Paillier::add`]. Useful as a fold seed.
     pub fn neutral(&self) -> PaillierCiphertext {
-        PaillierCiphertext(BigUint::one())
+        self.public.neutral()
     }
 }
 
@@ -239,6 +274,39 @@ mod tests {
         let c = ph.encrypt(&BigUint::from(9u64), &mut rng).unwrap();
         let c2 = ph.add(&c, &ph.neutral());
         assert_eq!(ph.decrypt(&c2).to_u64(), Some(9));
+    }
+
+    #[test]
+    fn public_key_alone_can_aggregate() {
+        // An aggregator holding only the public half folds ciphertexts and
+        // re-parses them from fixed-width bytes, without decryption ability.
+        let (ph, mut rng) = setup();
+        let pk = ph.public_key().clone();
+        let w = pk.ciphertext_width();
+        let mut acc = pk.neutral();
+        for m in [11u64, 22, 33] {
+            let c = ph.encrypt(&BigUint::from(m), &mut rng).unwrap();
+            let mut bytes = c.as_biguint().to_bytes_be();
+            assert!(bytes.len() <= w, "ciphertext exceeds declared width");
+            // Left-pad to the fixed wire width, as the transport would.
+            let mut padded = vec![0u8; w - bytes.len()];
+            padded.append(&mut bytes);
+            let parsed = pk.ciphertext_from_bytes(&padded).unwrap();
+            assert_eq!(&parsed, &c);
+            acc = pk.add(&acc, &parsed);
+        }
+        assert_eq!(ph.decrypt(&acc).to_u64(), Some(66));
+    }
+
+    #[test]
+    fn ciphertext_from_bytes_rejects_out_of_group() {
+        let (ph, _) = setup();
+        let pk = ph.public_key();
+        let too_big = pk.modulus_squared().to_bytes_be();
+        assert!(matches!(
+            pk.ciphertext_from_bytes(&too_big),
+            Err(CryptoError::NotInGroup)
+        ));
     }
 
     #[test]

@@ -248,11 +248,11 @@ impl SecureSum for PairwiseMasking {
             let mut received: Vec<&[u64]> = Vec::with_capacity(m - 1);
             for &peer in &party.peers() {
                 let sender = &parties[peer];
-                let k = sender
-                    .peers()
-                    .iter()
-                    .position(|&p| p == i)
-                    .expect("peer graphs are symmetric");
+                let k = sender.peers().iter().position(|&p| p == i).ok_or(
+                    CryptoError::ProtocolMisuse {
+                        reason: "peer graph is not symmetric",
+                    },
+                )?;
                 received.push(sender.outgoing(k));
             }
             shares.push(party.masked_share(&inputs[i], &received)?);
@@ -265,6 +265,9 @@ impl SecureSum for PairwiseMasking {
     }
 
     fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        if parties == 0 {
+            return (0, 0);
+        }
         // M(M-1) mask messages + M shares; every message carries `len` u64s.
         let messages = parties * (parties - 1) + parties;
         (messages, messages * len * 8)
@@ -343,6 +346,9 @@ impl SecureSum for AdditiveSharing {
     }
 
     fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        if parties == 0 {
+            return (0, 0);
+        }
         let messages = parties * (parties - 1) + parties;
         (messages, messages * len * 8)
     }
@@ -421,6 +427,9 @@ impl SecureSum for PaillierAggregation {
     }
 
     fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        if parties == 0 {
+            return (0, 0);
+        }
         // One ciphertext per coordinate per party, plus the aggregate back
         // to the authority. Ciphertexts live in Z_{n²}.
         let ct_bytes = self.paillier.public_key().modulus_squared().bits() / 8 + 1;
@@ -475,9 +484,21 @@ impl ThresholdSharing {
         self.threshold
     }
 
+    /// Overrides the fixed-point codec.
+    pub fn with_codec(mut self, codec: FixedPointCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// Encodes an `f64` into the field (two's-complement style around the
-    /// Mersenne modulus).
-    pub(crate) fn encode(&self, v: f64) -> Result<u64> {
+    /// Mersenne modulus), so field sums decode to the same result as
+    /// wrapping-integer sums while every value stays in range.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::ValueOutOfRange`] when the value exceeds the
+    /// fixed-point range.
+    pub fn encode(&self, v: f64) -> Result<u64> {
         let i = self.codec.encode_i64(v)?;
         Ok(if i >= 0 {
             i as u64 % crate::shamir::MODULUS
@@ -486,7 +507,9 @@ impl ThresholdSharing {
         })
     }
 
-    pub(crate) fn decode(&self, v: u64) -> f64 {
+    /// Inverse of [`ThresholdSharing::encode`]: maps a field element back
+    /// to an `f64` (values above `p/2` are negative).
+    pub fn decode(&self, v: u64) -> f64 {
         let half = crate::shamir::MODULUS / 2;
         if v > half {
             -self.codec.decode_i64((crate::shamir::MODULUS - v) as i64)
@@ -501,8 +524,9 @@ impl ThresholdSharing {
     ///
     /// # Errors
     ///
-    /// [`CryptoError::ProtocolMisuse`] when fewer than `t` parties are
-    /// alive, `alive` references unknown parties, or inputs are malformed.
+    /// [`CryptoError::ProtocolMisuse`] when fewer than `t` distinct parties
+    /// are alive, `alive` references unknown or duplicate parties, or
+    /// inputs are malformed.
     pub fn aggregate_with_dropout(&self, inputs: &[Vec<f64>], alive: &[usize]) -> Result<Vec<f64>> {
         let len = validate(inputs)?;
         let n = inputs.len();
@@ -511,10 +535,22 @@ impl ThresholdSharing {
                 reason: "fewer live parties than the threshold",
             });
         }
-        if alive.iter().any(|&p| p >= n) {
-            return Err(CryptoError::ProtocolMisuse {
-                reason: "alive set references unknown party",
-            });
+        let mut seen = vec![false; n];
+        for &p in alive {
+            if p >= n {
+                return Err(CryptoError::ProtocolMisuse {
+                    reason: "alive set references unknown party",
+                });
+            }
+            if seen[p] {
+                // A duplicated survivor would hand Lagrange reconstruction
+                // duplicate evaluation points while still passing the
+                // threshold head-count above.
+                return Err(CryptoError::ProtocolMisuse {
+                    reason: "alive set contains duplicate party indices",
+                });
+            }
+            seen[p] = true;
         }
         let mut rng = Rng64::new(self.seed ^ 0x7582);
         // held[j][i]: the field-sum of coordinate i shares held by party j.
@@ -557,6 +593,9 @@ impl SecureSum for ThresholdSharing {
     }
 
     fn cost(&self, parties: usize, len: usize) -> (usize, usize) {
+        if parties == 0 {
+            return (0, 0);
+        }
         // n² share messages + n submissions, 8 bytes per field element.
         let messages = parties * parties + parties;
         (messages, messages * len * 8)
@@ -755,6 +794,45 @@ mod tests {
         let ts = ThresholdSharing::new(3, 11);
         assert!(ts.aggregate_with_dropout(&inputs(), &[0, 1]).is_err());
         assert!(ts.aggregate_with_dropout(&inputs(), &[0, 1, 9]).is_err());
+    }
+
+    #[test]
+    fn threshold_rejects_duplicate_alive_indices() {
+        // `[2, 2, 2]` passes the head-count and range checks but must not
+        // reach Lagrange reconstruction with duplicate evaluation points.
+        let ts = ThresholdSharing::new(3, 13);
+        let err = ts
+            .aggregate_with_dropout(&inputs(), &[2, 2, 2])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CryptoError::ProtocolMisuse { reason } if reason.contains("duplicate")
+            ),
+            "unexpected error: {err:?}"
+        );
+        // A duplicate hiding in an otherwise-valid oversized set too.
+        assert!(ts.aggregate_with_dropout(&inputs(), &[0, 1, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn cost_is_zero_for_zero_parties() {
+        assert_eq!(PairwiseMasking::new(0).cost(0, 10), (0, 0));
+        assert_eq!(AdditiveSharing::new(0).cost(0, 10), (0, 0));
+        assert_eq!(ThresholdSharing::new(2, 0).cost(0, 10), (0, 0));
+        assert_eq!(PlainSum.cost(0, 10), (0, 0));
+        let pa = PaillierAggregation::keygen(128, 1).unwrap();
+        assert_eq!(pa.cost(0, 10), (0, 0));
+    }
+
+    #[test]
+    fn field_encode_decode_roundtrip() {
+        let ts = ThresholdSharing::new(2, 0);
+        for v in [0.0, 1.5, -1.5, 1024.25, -4096.75] {
+            let enc = ts.encode(v).unwrap();
+            assert!(enc < crate::shamir::MODULUS);
+            assert_eq!(ts.decode(enc), v, "roundtrip of {v}");
+        }
     }
 
     #[test]

@@ -37,6 +37,19 @@ fn add(a: u64, b: u64) -> u64 {
     reduce(a as u128 + b as u128)
 }
 
+/// Field addition `a + b mod 2⁶¹ − 1`, for summing shares (Shamir sharing
+/// is linear: a sum of shares at the same `x` is a share of the sum).
+/// Inputs need not be pre-reduced.
+pub fn field_add(a: u64, b: u64) -> u64 {
+    add(a, b)
+}
+
+/// Field subtraction `a − b mod 2⁶¹ − 1`, for removing blinding pads from
+/// relayed shares. Inputs need not be pre-reduced.
+pub fn field_sub(a: u64, b: u64) -> u64 {
+    sub(a, b)
+}
+
 fn mul(a: u64, b: u64) -> u64 {
     reduce(a as u128 * b as u128)
 }
@@ -296,5 +309,9 @@ mod tests {
             assert_eq!(mul(a, inv(a).unwrap()), 1, "inverse of {a}");
         }
         assert!(inv(0).is_err());
+        // The public wrappers agree with the internal operations.
+        assert_eq!(field_add(MODULUS - 1, 2), 1);
+        assert_eq!(field_sub(1, 2), MODULUS - 1);
+        assert_eq!(field_sub(field_add(5, 7), 7), 5);
     }
 }

@@ -173,6 +173,58 @@ fn secure_sums_agree_with_plain() {
     });
 }
 
+#[test]
+fn all_backends_agree_cross_backend() {
+    use ppml_crypto::{PaillierAggregation, ThresholdSharing};
+    use std::sync::OnceLock;
+    // One shared Paillier system: keygen dominates the runtime.
+    fn paillier() -> &'static PaillierAggregation {
+        static SYS: OnceLock<PaillierAggregation> = OnceLock::new();
+        SYS.get_or_init(|| PaillierAggregation::keygen(128, 4242).expect("keygen"))
+    }
+    run_cases("all_backends_agree_cross_backend", 12, |g, _| {
+        let parties = g.usize_in(2, 6);
+        let len = g.usize_in(1, 6);
+        let inputs: Vec<Vec<f64>> = (0..parties).map(|_| g.vec_f64(-1e3, 1e3, len)).collect();
+        let seed = g.rng().next_u64();
+        let threshold = g.usize_in(2, parties + 1);
+        let plain = PlainSum.aggregate(&inputs).unwrap();
+        let ts = ThresholdSharing::new(threshold, seed);
+        let sums = [
+            PairwiseMasking::new(seed).aggregate(&inputs).unwrap(),
+            AdditiveSharing::new(seed).aggregate(&inputs).unwrap(),
+            ts.aggregate(&inputs).unwrap(),
+            paillier().aggregate(&inputs).unwrap(),
+        ];
+        let tol = parties as f64 * FixedPointCodec::default().resolution();
+        for (b, sum) in sums.iter().enumerate() {
+            for i in 0..len {
+                assert!(
+                    (plain[i] - sum[i]).abs() <= tol,
+                    "backend {b} coordinate {i}: {} vs plain {}",
+                    sum[i],
+                    plain[i]
+                );
+            }
+        }
+        // Dropout: keep a random survivor subset of exactly `threshold`
+        // distinct parties. Reconstruction is exact over the field, so the
+        // result must be BIT-identical to the full-roster reference — this
+        // is the property the distributed Shamir backend's no-re-key
+        // dropout path relies on.
+        let start = g.usize_in(0, parties);
+        let survivors: Vec<usize> = (0..threshold).map(|k| (start + k) % parties).collect();
+        let with_dropout = ts.aggregate_with_dropout(&inputs, &survivors).unwrap();
+        for i in 0..len {
+            assert_eq!(
+                with_dropout[i].to_bits(),
+                sums[2][i].to_bits(),
+                "dropout reconstruction diverged at coordinate {i} (survivors {survivors:?})"
+            );
+        }
+    });
+}
+
 // Paillier property tests are heavier (keygen), so one shared key pair is
 // reused across cases via a lazily initialized static.
 mod paillier_props {

@@ -285,6 +285,20 @@ pub enum EventKind {
         /// How long the connection had been silent when reaped.
         idle_ms: u64,
     },
+    /// The coordinator completed one secure-aggregation round under a
+    /// pluggable backend. Labels, byte counts and timings only — never
+    /// shares, ciphertexts, or coordinates.
+    SecAggRound {
+        /// Backend label (static strings only — see [`BACKENDS`]).
+        backend: &'static str,
+        /// ADMM iteration the round served.
+        iteration: u64,
+        /// Framed aggregation bytes the coordinator moved this round
+        /// (shares in, relays/collects out).
+        bytes: u64,
+        /// Wall clock from round open to the decoded aggregate.
+        elapsed_ns: u64,
+    },
 }
 
 /// Phase labels [`Event::from_json`] can map back to `&'static str`.
@@ -302,6 +316,18 @@ pub const PHASES: &[&str] = &[
 
 fn intern_phase(s: &str) -> &'static str {
     PHASES.iter().find(|&&p| p == s).copied().unwrap_or("other")
+}
+
+/// Secure-aggregation backend labels [`Event::from_json`] can map back to
+/// `&'static str`. Parsing an unknown label yields `"other"`.
+pub const BACKENDS: &[&str] = &["pairwise", "shamir", "paillier", "other"];
+
+fn intern_backend(s: &str) -> &'static str {
+    BACKENDS
+        .iter()
+        .find(|&&b| b == s)
+        .copied()
+        .unwrap_or("other")
 }
 
 /// Error from [`Event::from_json`].
@@ -572,6 +598,18 @@ impl Event {
                 u(&mut out, "peer", peer.into());
                 u(&mut out, "idle_ms", idle_ms);
             }
+            EventKind::SecAggRound {
+                backend,
+                iteration,
+                bytes,
+                elapsed_ns,
+            } => {
+                kind(&mut out, "secagg_round");
+                let _ = write!(out, ",\"backend\":\"{backend}\"");
+                u(&mut out, "iteration", iteration);
+                u(&mut out, "bytes", bytes);
+                u(&mut out, "elapsed_ns", elapsed_ns);
+            }
         }
         out.push('}');
         out
@@ -761,6 +799,12 @@ impl Event {
             "conn_reaped" => EventKind::ConnReaped {
                 peer: get_u32("peer")?,
                 idle_ms: get_u("idle_ms")?,
+            },
+            "secagg_round" => EventKind::SecAggRound {
+                backend: intern_backend(get_s("backend")?),
+                iteration: get_u("iteration")?,
+                bytes: get_u("bytes")?,
+                elapsed_ns: get_u("elapsed_ns")?,
             },
             other => return Err(ParseError::UnknownKind(other.to_string())),
         };
@@ -979,6 +1023,12 @@ mod tests {
                 peer: 1,
                 idle_ms: 61_250,
             },
+            EventKind::SecAggRound {
+                backend: "shamir",
+                iteration: 9,
+                bytes: 18_432,
+                elapsed_ns: 2_750_000,
+            },
         ];
         kinds
             .into_iter()
@@ -1136,6 +1186,23 @@ mod tests {
             EventKind::PhaseElapsed {
                 phase: "other",
                 elapsed_ns: 7
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_backend_labels_intern_to_other() {
+        let line = "{\"t_ns\":5,\"party\":0,\"kind\":\"secagg_round\",\
+                    \"backend\":\"quantum\",\"iteration\":1,\"bytes\":2,\
+                    \"elapsed_ns\":3}";
+        let event = Event::from_json(line).expect("parseable");
+        assert_eq!(
+            event.kind,
+            EventKind::SecAggRound {
+                backend: "other",
+                iteration: 1,
+                bytes: 2,
+                elapsed_ns: 3
             }
         );
     }

@@ -58,7 +58,7 @@ pub mod http;
 pub mod metrics;
 pub mod sinks;
 
-pub use event::{Event, EventKind, ParseError, NO_PARTY, PHASES};
+pub use event::{Event, EventKind, ParseError, BACKENDS, NO_PARTY, PHASES};
 pub use http::{request, scrape, HttpServer, MetricsServer, Request, Response, Router};
 pub use metrics::{MetricsRegistry, MetricsSink};
 pub use sinks::{FanoutSink, JsonlSink, RingSink, Sink, SummarySink};

@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::event::{Event, EventKind, PHASES};
+use crate::event::{Event, EventKind, BACKENDS, PHASES};
 use crate::sinks::Sink;
 
 /// Number of histogram buckets: one for zero, one per power-of-two
@@ -304,6 +304,14 @@ pub struct MetricsRegistry {
     pub conns_reaped_total: Counter,
     /// Connections currently registered (opened minus closed/reaped).
     pub conns_open: Gauge,
+    // ---- secure aggregation
+    /// Aggregation rounds completed per backend (indexed like [`BACKENDS`]).
+    pub secagg_rounds_total: [Counter; BACKENDS.len()],
+    /// Aggregation bytes moved per backend (indexed like [`BACKENDS`]).
+    pub secagg_bytes_total: [Counter; BACKENDS.len()],
+    /// Per-round aggregation wall clock per backend (indexed like
+    /// [`BACKENDS`]).
+    pub secagg_round_ns: [Histogram; BACKENDS.len()],
 }
 
 impl MetricsRegistry {
@@ -446,6 +454,20 @@ impl MetricsRegistry {
             EventKind::ConnReaped { .. } => {
                 self.conns_reaped_total.inc();
                 self.conns_open.add(-1);
+            }
+            EventKind::SecAggRound {
+                backend,
+                bytes,
+                elapsed_ns,
+                ..
+            } => {
+                let idx = BACKENDS
+                    .iter()
+                    .position(|&b| b == backend)
+                    .unwrap_or(BACKENDS.len() - 1);
+                self.secagg_rounds_total[idx].inc();
+                self.secagg_bytes_total[idx].add(bytes);
+                self.secagg_round_ns[idx].observe(elapsed_ns);
             }
         }
     }
@@ -648,6 +670,54 @@ impl MetricsRegistry {
             self.conns_reaped_total.get(),
         );
         g(&mut out, "conns_open", self.conns_open.get());
+
+        let _ = writeln!(out, "# TYPE ppml_secagg_rounds_total counter");
+        let _ = writeln!(out, "# TYPE ppml_secagg_bytes_total counter");
+        for (idx, backend) in BACKENDS.iter().enumerate() {
+            let rounds = self.secagg_rounds_total[idx].get();
+            if rounds == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "ppml_secagg_rounds_total{{backend=\"{backend}\"}} {rounds}"
+            );
+            let _ = writeln!(
+                out,
+                "ppml_secagg_bytes_total{{backend=\"{backend}\"}} {}",
+                self.secagg_bytes_total[idx].get()
+            );
+        }
+        let _ = writeln!(out, "# TYPE ppml_secagg_round_ns histogram");
+        for (idx, backend) in BACKENDS.iter().enumerate() {
+            let hist = &self.secagg_round_ns[idx];
+            if hist.count() == 0 {
+                continue;
+            }
+            let labels = format!("backend=\"{backend}\"");
+            let mut cumulative = 0u64;
+            if let Some(top) = hist.highest_bucket() {
+                for i in 0..=top {
+                    cumulative += hist.bucket(i);
+                    let le = bucket_upper_bound(i);
+                    let _ = writeln!(
+                        out,
+                        "ppml_secagg_round_ns_bucket{{{labels},le=\"{le}\"}} {cumulative}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "ppml_secagg_round_ns_bucket{{{labels},le=\"+Inf\"}} {}",
+                hist.count()
+            );
+            let _ = writeln!(out, "ppml_secagg_round_ns_sum{{{labels}}} {}", hist.sum());
+            let _ = writeln!(
+                out,
+                "ppml_secagg_round_ns_count{{{labels}}} {}",
+                hist.count()
+            );
+        }
 
         out
     }

@@ -148,6 +148,8 @@ struct Totals {
     rejoins: Vec<(u64, u32, u64)>,
     /// label → (count, total ns).
     phases: BTreeMap<&'static str, (u64, u64)>,
+    /// backend label → (rounds, bytes, total ns).
+    secagg: BTreeMap<&'static str, (u64, u64, u64)>,
 }
 
 /// O(1)-per-event accumulators rendering an end-of-run human summary:
@@ -288,6 +290,13 @@ impl SummarySink {
                 total_ns as f64 / 1e9
             );
         }
+        for (backend, &(rounds, bytes, total_ns)) in &t.secagg {
+            let _ = writeln!(
+                out,
+                "  secagg {backend}: {rounds} rounds, {bytes} B, {:.3}s total",
+                total_ns as f64 / 1e9
+            );
+        }
         out
     }
 }
@@ -362,6 +371,17 @@ impl Sink for SummarySink {
             EventKind::ConnOpen { .. } => t.conns_opened += 1,
             EventKind::ConnClose { .. } => t.conns_closed += 1,
             EventKind::ConnReaped { .. } => t.conns_reaped += 1,
+            EventKind::SecAggRound {
+                backend,
+                bytes,
+                elapsed_ns,
+                ..
+            } => {
+                let slot = t.secagg.entry(backend).or_insert((0, 0, 0));
+                slot.0 += 1;
+                slot.1 += bytes;
+                slot.2 += elapsed_ns;
+            }
         }
     }
 }

@@ -24,7 +24,9 @@ use crate::wire::{Reader, Wire, WireError};
 /// Version 2 added the re-key epoch to [`Message::MaskedShare`] and the
 /// [`Message::Rekey`] frame for dropout recovery. [`Message::Score`] and
 /// [`Message::ScoreReply`] are additive within version 2: new kind bytes,
-/// no layout change to any existing frame.
+/// no layout change to any existing frame. The secure-aggregation kinds
+/// ([`Message::ShamirDist`] through [`Message::CipherSum`]) follow the
+/// same additive rule.
 pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed bytes around every payload: 4 (length prefix) + 20 (version, kind,
@@ -231,6 +233,63 @@ pub enum Message {
         /// One decision margin per request row (sign = predicted label).
         margins: Vec<f64>,
     },
+    /// Shamir share distribution (learner → coordinator relay): the
+    /// sender's pad-blinded share blocks for every *other* learner,
+    /// ascending destination id, each block `share_len` field words over
+    /// `GF(2⁶¹−1)`. The coordinator forwards blocks without being able to
+    /// unblind them. Additive in wire version 2.
+    ShamirDist {
+        /// Protocol round the shares belong to.
+        iteration: u64,
+        /// Originating party.
+        party: PartyId,
+        /// Concatenated blinded destination blocks.
+        flat: Vec<u64>,
+    },
+    /// Shamir share delivery (coordinator → survivor): the blinded blocks
+    /// destined for the receiver, one per contributor in `contributors`
+    /// order. The receiver unblinds each with the sender-pair pad and
+    /// field-sums them into its summed share. Additive in wire version 2.
+    ShamirCollect {
+        /// Protocol round the shares belong to.
+        iteration: u64,
+        /// Parties whose blocks are included, ascending ids.
+        contributors: Vec<PartyId>,
+        /// Concatenated blinded blocks, `contributors` order.
+        flat: Vec<u64>,
+    },
+    /// Paillier encrypted contribution (learner → coordinator): one
+    /// fixed-width big-endian ciphertext per model coordinate under the
+    /// run's public key. Additive in wire version 2.
+    CipherShare {
+        /// Protocol round the ciphertexts belong to.
+        iteration: u64,
+        /// Originating party.
+        party: PartyId,
+        /// Concatenated fixed-width ciphertexts.
+        bytes: Vec<u8>,
+    },
+    /// Homomorphically folded aggregate (coordinator → key authority):
+    /// the coordinate-wise ciphertext products, same fixed-width layout
+    /// as [`Message::CipherShare`]. Additive in wire version 2.
+    CipherAgg {
+        /// Protocol round the aggregate concludes.
+        iteration: u64,
+        /// Number of contributions folded in (the divisor for averaging).
+        contributors: u32,
+        /// Concatenated fixed-width aggregate ciphertexts.
+        bytes: Vec<u8>,
+    },
+    /// Decrypted aggregate sums (key authority → coordinator): the
+    /// coordinate-wise plaintext *sums* — exactly what the coordinator
+    /// learns under every backend, never an individual contribution.
+    /// Additive in wire version 2.
+    CipherSum {
+        /// Protocol round the sums conclude.
+        iteration: u64,
+        /// Decoded coordinate sums.
+        values: Vec<f64>,
+    },
 }
 
 impl Message {
@@ -254,6 +313,11 @@ impl Message {
             Message::Welcome { .. } => 15,
             Message::Score { .. } => 16,
             Message::ScoreReply { .. } => 17,
+            Message::ShamirDist { .. } => 18,
+            Message::ShamirCollect { .. } => 19,
+            Message::CipherShare { .. } => 20,
+            Message::CipherAgg { .. } => 21,
+            Message::CipherSum { .. } => 22,
         }
     }
 
@@ -312,6 +376,27 @@ impl Message {
                 ok,
                 margins,
             } => request_id.byte_len() + ok.byte_len() + margins.byte_len(),
+            Message::ShamirDist {
+                iteration,
+                party,
+                flat,
+            } => iteration.byte_len() + party.byte_len() + flat.byte_len(),
+            Message::ShamirCollect {
+                iteration,
+                contributors,
+                flat,
+            } => iteration.byte_len() + contributors.byte_len() + flat.byte_len(),
+            Message::CipherShare {
+                iteration,
+                party,
+                bytes,
+            } => iteration.byte_len() + party.byte_len() + bytes.byte_len(),
+            Message::CipherAgg {
+                iteration,
+                contributors,
+                bytes,
+            } => iteration.byte_len() + contributors.byte_len() + bytes.byte_len(),
+            Message::CipherSum { iteration, values } => iteration.byte_len() + values.byte_len(),
         }
     }
 
@@ -409,6 +494,46 @@ impl Message {
                 ok.encode_into(out);
                 margins.encode_into(out);
             }
+            Message::ShamirDist {
+                iteration,
+                party,
+                flat,
+            } => {
+                iteration.encode_into(out);
+                party.encode_into(out);
+                flat.encode_into(out);
+            }
+            Message::ShamirCollect {
+                iteration,
+                contributors,
+                flat,
+            } => {
+                iteration.encode_into(out);
+                contributors.encode_into(out);
+                flat.encode_into(out);
+            }
+            Message::CipherShare {
+                iteration,
+                party,
+                bytes,
+            } => {
+                iteration.encode_into(out);
+                party.encode_into(out);
+                bytes.encode_into(out);
+            }
+            Message::CipherAgg {
+                iteration,
+                contributors,
+                bytes,
+            } => {
+                iteration.encode_into(out);
+                contributors.encode_into(out);
+                bytes.encode_into(out);
+            }
+            Message::CipherSum { iteration, values } => {
+                iteration.encode_into(out);
+                values.encode_into(out);
+            }
         }
     }
 
@@ -477,6 +602,30 @@ impl Message {
                 request_id: r.u64()?,
                 ok: r.bool()?,
                 margins: r.vec_f64()?,
+            },
+            18 => Message::ShamirDist {
+                iteration: r.u64()?,
+                party: r.u32()?,
+                flat: r.vec_u64()?,
+            },
+            19 => Message::ShamirCollect {
+                iteration: r.u64()?,
+                contributors: r.vec_u32()?,
+                flat: r.vec_u64()?,
+            },
+            20 => Message::CipherShare {
+                iteration: r.u64()?,
+                party: r.u32()?,
+                bytes: r.byte_vec()?,
+            },
+            21 => Message::CipherAgg {
+                iteration: r.u64()?,
+                contributors: r.u32()?,
+                bytes: r.byte_vec()?,
+            },
+            22 => Message::CipherSum {
+                iteration: r.u64()?,
+                values: r.vec_f64()?,
             },
             _ => return Err(WireError::Malformed("unknown message kind")),
         })
@@ -702,6 +851,30 @@ mod tests {
                 request_id: 0xABCD,
                 ok: true,
                 margins: vec![0.75, -1.25],
+            },
+            Message::ShamirDist {
+                iteration: 4,
+                party: 1,
+                flat: vec![17, 0, u64::MAX >> 3],
+            },
+            Message::ShamirCollect {
+                iteration: 4,
+                contributors: vec![0, 2, 3],
+                flat: vec![5, 6, 7, 8, 9, 10],
+            },
+            Message::CipherShare {
+                iteration: 6,
+                party: 3,
+                bytes: vec![0xAB; 33],
+            },
+            Message::CipherAgg {
+                iteration: 6,
+                contributors: 4,
+                bytes: vec![0xCD; 33],
+            },
+            Message::CipherSum {
+                iteration: 6,
+                values: vec![-12.5, 0.0, 4.25],
             },
         ]
     }
@@ -933,17 +1106,63 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kind_above_score_reply_is_rejected_not_misparsed() {
-        // Forward compatibility: a frame from a future build using kind 18
+    fn secagg_truncated_payloads_rejected() {
+        // Every strict prefix of a valid secure-aggregation payload must
+        // fail structurally (BadPayload), never decode to garbage.
+        for msg in [
+            Message::ShamirDist {
+                iteration: 2,
+                party: 1,
+                flat: vec![3, 4],
+            },
+            Message::ShamirCollect {
+                iteration: 2,
+                contributors: vec![0, 3],
+                flat: vec![3, 4, 5, 6],
+            },
+            Message::CipherShare {
+                iteration: 2,
+                party: 1,
+                bytes: vec![9; 5],
+            },
+            Message::CipherAgg {
+                iteration: 2,
+                contributors: 3,
+                bytes: vec![9; 5],
+            },
+            Message::CipherSum {
+                iteration: 2,
+                values: vec![1.0, -1.0],
+            },
+        ] {
+            let mut full = Vec::new();
+            msg.encode_payload(&mut full);
+            for cut in 0..full.len() {
+                let framed = reframe_with_payload(&msg, &full[..cut]);
+                match Frame::decode(&framed) {
+                    Err(FrameError::BadPayload(_)) => {}
+                    other => panic!("truncation at {cut} of {msg:?} gave {other:?}"),
+                }
+            }
+            let mut padded = full.clone();
+            padded.extend_from_slice(&[0xEE; 2]);
+            let framed = reframe_with_payload(&msg, &padded);
+            assert_eq!(Frame::decode(&framed), Err(FrameError::TrailingBytes(2)));
+        }
+    }
+
+    #[test]
+    fn unknown_kind_above_cipher_sum_is_rejected_not_misparsed() {
+        // Forward compatibility: a frame from a future build using kind 23
         // must come back as an unknown-kind error, exactly like the
-        // pre-Score builds treat kinds 16/17.
+        // pre-secagg builds treat kinds 18..=22.
         let msg = Message::Join { party: 1, nonce: 7 };
         let mut enc = reframe_with_payload(&msg, &{
             let mut p = Vec::new();
             msg.encode_payload(&mut p);
             p
         });
-        enc[5] = 18; // kind byte
+        enc[5] = 23; // kind byte
         let crc = crc32(&enc[4..enc.len() - 4]);
         let n = enc.len();
         enc[n - 4..].copy_from_slice(&crc.to_le_bytes());

@@ -11,6 +11,7 @@
 //!                  [--data-seed 5] [--iters 12] [--c 50] [--rho 100]
 //!                  [--seed 11] [--tol T] [--round-timeout SECS]
 //!                  [--transport event|threads]
+//!                  [--secagg pairwise|shamir|paillier] [--secagg-threshold T]
 //!                  [--out model.txt] [--telemetry events.jsonl]
 //!                  [--metrics-addr 127.0.0.1:0]
 //!                  [--checkpoint run.ckpt] [--resume run.ckpt]
@@ -18,6 +19,15 @@
 //! `--round-timeout` bounds each collection round: a learner whose share
 //! has not arrived when it expires is declared dropped, the secure sum is
 //! re-keyed over the survivors, and training continues without it.
+//!
+//! `--secagg` picks the secure-aggregation backend (all parties must
+//! agree): `pairwise` (default) is the paper's §V masking with re-keying
+//! on dropout; `shamir` is t-of-m threshold sharing where dropout needs
+//! no re-key round at all (`--secagg-threshold` overrides t, default
+//! max(2, ceil(2m/3))); `paillier` is additively homomorphic encryption
+//! with learner 0 as key authority — the expensive baseline, kept live
+//! for comparison. All three produce bit-identical models on the same
+//! membership schedule. Checkpoint/resume is pairwise-only.
 //!
 //! `--transport` picks the socket backend: `event` (default) drives
 //! every connection from one readiness-loop thread and scales to ~100
@@ -61,8 +71,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ppml::cli::CliError;
-use ppml::core::distributed::{coordinate_linear_with_recovery, feature_count};
-use ppml::core::{AdmmConfig, Checkpoint, DistributedTiming, RecoveryOptions};
+use ppml::core::distributed::feature_count;
+use ppml::core::secagg::coordinate_linear_secagg_with_recovery;
+use ppml::core::{
+    AdmmConfig, Checkpoint, DistributedTiming, RecoveryOptions, SecAggConfig, SecAggKind,
+};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
 use ppml::transport::{Courier, EventTransport, PartyId, RetryPolicy, TcpTransport, Transport};
@@ -72,6 +85,7 @@ fn usage() -> String {
      [--n N] [--data-seed S] [--iters T] [--c C] [--rho RHO] [--seed S]\n                   \
      [--tol TOL] [--connect-timeout SECS] [--round-timeout SECS] [--out MODEL]\n                   \
      [--transport <event|threads>]\n                   \
+     [--secagg <pairwise|shamir|paillier>] [--secagg-threshold T]\n                   \
      [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT]\n                   \
      [--checkpoint RUN.ckpt] [--resume RUN.ckpt]"
         .to_string()
@@ -151,6 +165,24 @@ fn config(flags: &BTreeMap<String, String>) -> Result<AdmmConfig, String> {
     Ok(cfg)
 }
 
+/// Secure-aggregation backend selection — must match the learners'.
+fn secagg_config(flags: &BTreeMap<String, String>) -> Result<SecAggConfig, String> {
+    let kind = match flags.get("secagg") {
+        Some(v) => v
+            .parse::<SecAggKind>()
+            .map_err(|e| format!("--secagg: {e}"))?,
+        None => SecAggKind::Pairwise,
+    };
+    let mut secagg = SecAggConfig::new(kind);
+    if let Some(t) = flags.get("secagg-threshold") {
+        secagg = secagg.with_threshold(
+            t.parse()
+                .map_err(|_| format!("--secagg-threshold: bad value {t}"))?,
+        );
+    }
+    Ok(secagg)
+}
+
 fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
     let learners: usize = numeric(&flags, "learners", 0).map_err(CliError::usage)?;
     if learners == 0 {
@@ -189,6 +221,10 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
         telemetry::install(FanoutSink::new(sinks));
     }
     let cfg = config(&flags).map_err(CliError::usage)?;
+    let secagg = secagg_config(&flags).map_err(CliError::usage)?;
+    secagg
+        .validate(learners)
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let ds = dataset(&flags).map_err(CliError::usage)?;
     let part_seed: u64 = numeric(&flags, "part-seed", 1).map_err(CliError::usage)?;
     let parts = Partition::horizontal(&ds, learners, part_seed)
@@ -276,20 +312,24 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
             )))
         }
     };
-    println!("all {expect_connected} learners connected, training");
+    println!(
+        "all {expect_connected} learners connected, training with {secagg_name} aggregation",
+        secagg_name = secagg.kind
+    );
 
     let round_timeout: u64 = numeric(&flags, "round-timeout", 30).map_err(CliError::usage)?;
     let timing = DistributedTiming::default()
         .with_round_deadline(Duration::from_secs(round_timeout))
         .with_learner_patience(Duration::from_secs(round_timeout.max(1) * 4));
     let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
-    let outcome = coordinate_linear_with_recovery(
+    let outcome = coordinate_linear_secagg_with_recovery(
         &mut courier,
         learners,
         features,
         &cfg,
         None,
         timing,
+        secagg,
         recovery,
     )
     .map_err(CliError::from)?;

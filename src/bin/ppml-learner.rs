@@ -11,6 +11,7 @@
 //!              [--dataset blobs --n 96] [--data-seed 5] [--iters 12]
 //!              [--c 50] [--rho 100] [--seed 11] [--tol T]
 //!              [--patience SECS] [--transport event|threads]
+//!              [--secagg pairwise|shamir|paillier] [--secagg-threshold T]
 //!              [--telemetry events.jsonl]
 //!              [--metrics-addr 127.0.0.1:0] [--defect-after R]
 //!              [--rejoin true]
@@ -23,6 +24,11 @@
 //! the single-thread readiness-loop backend, `threads` the legacy
 //! per-connection one. Either side may use either backend — the wire
 //! format is shared.
+//!
+//! `--secagg` and `--secagg-threshold` pick the secure-aggregation
+//! backend and must match the coordinator's flags exactly (see
+//! `ppml-coordinator`): `pairwise` (default), `shamir` (no re-key on
+//! dropout) or `paillier` (learner 0 is the key authority).
 //!
 //! `--telemetry PATH` streams this learner's structured events (round
 //! participation, re-key epochs, wire traffic) as JSONL to `PATH` and
@@ -61,8 +67,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ppml::cli::CliError;
-use ppml::core::distributed::{learn_linear, learn_linear_with_defect, rejoin_linear};
-use ppml::core::{AdmmConfig, DistributedTiming};
+use ppml::core::secagg::{
+    learn_linear_secagg, learn_linear_secagg_with_defect, rejoin_linear_secagg,
+};
+use ppml::core::{AdmmConfig, DistributedTiming, SecAggConfig, SecAggKind};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::telemetry::{self, FanoutSink, JsonlSink, MetricsServer, MetricsSink, Sink, SummarySink};
 use ppml::transport::{
@@ -74,6 +82,7 @@ fn usage() -> String {
      [--dataset <cancer|higgs|ocr|blobs|xor>] [--n N] [--data-seed S]\n               \
      [--iters T] [--c C] [--rho RHO] [--seed S] [--tol TOL] [--patience SECS]\n               \
      [--transport <event|threads>]\n               \
+     [--secagg <pairwise|shamir|paillier>] [--secagg-threshold T]\n               \
      [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT] [--defect-after R]\n               \
      [--rejoin true]"
         .to_string()
@@ -130,6 +139,24 @@ fn config(flags: &BTreeMap<String, String>) -> Result<AdmmConfig, String> {
     Ok(cfg)
 }
 
+/// Secure-aggregation backend selection — must match the coordinator's.
+fn secagg_config(flags: &BTreeMap<String, String>) -> Result<SecAggConfig, String> {
+    let kind = match flags.get("secagg") {
+        Some(v) => v
+            .parse::<SecAggKind>()
+            .map_err(|e| format!("--secagg: {e}"))?,
+        None => SecAggKind::Pairwise,
+    };
+    let mut secagg = SecAggConfig::new(kind);
+    if let Some(t) = flags.get("secagg-threshold") {
+        secagg = secagg.with_threshold(
+            t.parse()
+                .map_err(|_| format!("--secagg-threshold: bad value {t}"))?,
+        );
+    }
+    Ok(secagg)
+}
+
 fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
     let learners: usize = numeric(&flags, "learners", 0).map_err(CliError::usage)?;
     if learners == 0 {
@@ -164,6 +191,10 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
         return Err(CliError::usage("--rejoin and --defect-after are exclusive"));
     }
     let cfg = config(&flags).map_err(CliError::usage)?;
+    let secagg = secagg_config(&flags).map_err(CliError::usage)?;
+    secagg
+        .validate(learners)
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let ds = dataset(&flags).map_err(CliError::usage)?;
     let part_seed: u64 = numeric(&flags, "part-seed", 1).map_err(CliError::usage)?;
     let parts = Partition::horizontal(&ds, learners, part_seed)
@@ -261,7 +292,7 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
         .with_learner_patience(Duration::from_secs(patience.max(1)));
     let model = if rejoin {
         println!("learner {party}: asking to rejoin the run at {coordinator}");
-        rejoin_linear(&mut courier, learners, my_part, &cfg, timing)
+        rejoin_linear_secagg(&mut courier, learners, my_part, &cfg, timing, secagg)
     } else {
         match flags.get("defect-after") {
             Some(v) => {
@@ -269,9 +300,17 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
                     .parse()
                     .map_err(|_| CliError::usage(format!("--defect-after: bad value {v}")))?;
                 println!("learner {party}: fault injection armed, defecting after round {after}");
-                learn_linear_with_defect(&mut courier, learners, my_part, &cfg, timing, after)
+                learn_linear_secagg_with_defect(
+                    &mut courier,
+                    learners,
+                    my_part,
+                    &cfg,
+                    timing,
+                    secagg,
+                    after,
+                )
             }
-            None => learn_linear(&mut courier, learners, my_part, &cfg, timing),
+            None => learn_linear_secagg(&mut courier, learners, my_part, &cfg, timing, secagg),
         }
     }
     .map_err(CliError::from)?;

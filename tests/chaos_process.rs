@@ -12,6 +12,9 @@
 //! - kill a learner (via scripted defection) and bring a fresh process
 //!   back with `--rejoin true` — the coordinator drops it, re-keys, then
 //!   re-admits it, and `ppml-trace` renders the rejoin story;
+//! - SIGKILL a learner of a 4-party `--secagg shamir` run mid-collect —
+//!   the round still completes from the survivors' shares, with no
+//!   re-key round anywhere in the telemetry;
 //! - every documented exit code (2 usage, 3 I/O/checkpoint,
 //!   4 transport, 5 lost quorum) is produced by a real invocation.
 
@@ -55,12 +58,21 @@ fn args(list: &[&str]) -> Vec<String> {
 /// Spawns a coordinator or learner child. `PPML_TRANSPORT=event|threads`
 /// appends `--transport` to every child so CI can run the whole drill
 /// matrix against either socket backend; unset, the binaries' default
-/// (the event loop) applies.
+/// (the event loop) applies. `PPML_SECAGG=pairwise|shamir|paillier`
+/// does the same for `--secagg`, except for drills that pin a specific
+/// backend themselves (checkpoint/resume is pairwise-only, and the
+/// SIGKILL drill below needs a pairwise reference next to a shamir
+/// run).
 fn spawn(bin: &str, argv: &[String]) -> Child {
     let mut argv = argv.to_vec();
     if let Ok(backend) = std::env::var("PPML_TRANSPORT") {
         if !backend.is_empty() {
             argv.extend(["--transport".to_string(), backend]);
+        }
+    }
+    if let Ok(backend) = std::env::var("PPML_SECAGG") {
+        if !backend.is_empty() && !argv.iter().any(|a| a == "--secagg") {
+            argv.extend(["--secagg".to_string(), backend]);
         }
     }
     Command::new(bin)
@@ -151,7 +163,9 @@ fn coordinator_crash_and_resume_across_processes() {
     let telemetry_b = dir.join("coordinator-resumed.jsonl");
     // A dataset big enough that 120 rounds take whole seconds: the
     // checkpoint poll below must observe an early round long before the
-    // run can finish.
+    // run can finish. The backend is pinned: checkpoint/resume is a
+    // pairwise-epoch feature, so a PPML_SECAGG override must not leak
+    // into this drill.
     let shared = [
         "--dataset",
         "blobs",
@@ -165,6 +179,8 @@ fn coordinator_crash_and_resume_across_processes() {
         "11",
         "--tol",
         "1e-12",
+        "--secagg",
+        "pairwise",
     ];
     let coord_flags = |extra: &[&str]| {
         let mut v = args(&["--learners", "3", "--round-timeout", "20"]);
@@ -414,7 +430,9 @@ fn learner_death_and_rejoin_across_processes() {
     }
 
     // The coordinator's stream alone carries the whole arc:
-    // Dropout(1) -> Rejoin(1) -> RekeyEpoch over the full set again.
+    // Dropout(1) -> Rejoin(1) -> and, under pairwise, a RekeyEpoch over
+    // the full set again. The stateless backends (PPML_SECAGG=shamir or
+    // paillier) must re-admit with no re-key round at all.
     let timeline =
         Timeline::correlate(vec![Stream::load(&coord_jsonl).expect("coordinator stream")]);
     let stories = timeline.rejoin_stories();
@@ -422,7 +440,18 @@ fn learner_death_and_rejoin_across_processes() {
     assert_eq!(stories[0].party, 1);
     assert_eq!(stories[0].dropped_at, Some(1));
     assert_eq!(stories[0].iteration, 2);
-    assert_eq!(stories[0].rekey.map(|(_, survivors)| survivors), Some(3));
+    let stateless = matches!(
+        std::env::var("PPML_SECAGG").as_deref(),
+        Ok("shamir") | Ok("paillier")
+    );
+    if stateless {
+        assert_eq!(
+            stories[0].rekey, None,
+            "stateless backend re-keyed: {stories:?}"
+        );
+    } else {
+        assert_eq!(stories[0].rekey.map(|(_, survivors)| survivors), Some(3));
+    }
     let report = timeline.render();
     assert!(report.contains("rejoin story: party 1"), "{report}");
 
@@ -546,6 +575,205 @@ fn typed_exit_codes_come_from_real_invocations() {
     assert!(stderr.contains("ppml-coordinator:"), "{stderr}");
     let out = defector.wait_with_output().expect("defector learner");
     assert_eq!(out.status.code(), Some(4));
+
+    cleanup(&dir);
+}
+
+/// SIGKILL a learner of a 4-party `--secagg shamir` run after it has
+/// distributed its round-2 shares but before it submits its sum — the
+/// paper's dropout case for threshold sharing. The round must still
+/// complete *with the victim's input counted* (reconstructed from the
+/// survivors' blinded blocks), there must be no re-key round anywhere,
+/// and the survivors' model must be bit-identical to the reference.
+///
+/// The reference is a pairwise run whose victim defects one round
+/// later: pairwise loses the victim's round-d input at the collect,
+/// Shamir keeps it, so shamir-defect-at-2 and pairwise-defect-at-3 see
+/// identical per-round memberships (the in-process sweep pins the same
+/// equivalence bit for bit).
+#[test]
+fn shamir_mid_collect_sigkill_across_processes() {
+    let dir = scratch_dir("secagg_sigkill");
+    let coord_jsonl = dir.join("coordinator-shamir.jsonl");
+    let shared = [
+        "--n",
+        "128",
+        "--data-seed",
+        "5",
+        "--iters",
+        "8",
+        "--seed",
+        "11",
+    ];
+    let learner_flags = |party: usize, addr: &str, extra: &[&str]| {
+        let mut v = args(&[
+            "--party",
+            &party.to_string(),
+            "--learners",
+            "4",
+            "--coordinator",
+            addr,
+        ]);
+        v.extend(args(&shared));
+        v.extend(args(extra));
+        v
+    };
+
+    // Reference: pairwise, the victim scripted to defect at round 3 and
+    // starve out on a short patience.
+    let mut reference = {
+        let mut v = args(&[
+            "--learners",
+            "4",
+            "--round-timeout",
+            "6",
+            "--secagg",
+            "pairwise",
+        ]);
+        v.extend(args(&shared));
+        spawn(COORDINATOR, &v)
+    };
+    let (ref_addr, _, ref_drain) = await_listening(&mut reference).expect("reference banner");
+    let ref_survivors: Vec<Child> = [0usize, 2, 3]
+        .iter()
+        .map(|&p| {
+            spawn(
+                LEARNER,
+                &learner_flags(p, &ref_addr, &["--secagg", "pairwise", "--patience", "60"]),
+            )
+        })
+        .collect();
+    let ref_victim = spawn(
+        LEARNER,
+        &learner_flags(
+            1,
+            &ref_addr,
+            &[
+                "--secagg",
+                "pairwise",
+                "--defect-after",
+                "3",
+                "--patience",
+                "2",
+            ],
+        ),
+    );
+    let (ok, ref_stdout, ref_stderr) = finish(reference, ref_drain);
+    assert!(ok, "reference run failed:\n{ref_stderr}");
+    let want_model = model_text(&ref_stdout);
+    assert_eq!(
+        ref_victim
+            .wait_with_output()
+            .expect("reference victim")
+            .status
+            .code(),
+        Some(4)
+    );
+    for child in ref_survivors {
+        let out = child.wait_with_output().expect("reference survivor");
+        assert!(out.status.success());
+        let text = String::from_utf8(out.stdout).expect("utf-8 survivor stdout");
+        assert_eq!(learner_model_text(&text), want_model);
+    }
+
+    // The shamir run. The victim distributes round-2 shares and then
+    // never submits; its patience is long so only the SIGKILL below
+    // ends it.
+    let mut coordinator = {
+        let mut v = args(&[
+            "--learners",
+            "4",
+            "--round-timeout",
+            "6",
+            "--secagg",
+            "shamir",
+            "--telemetry",
+            coord_jsonl.to_str().expect("telemetry path"),
+        ]);
+        v.extend(args(&shared));
+        spawn(COORDINATOR, &v)
+    };
+    let (addr, _, drain) = await_listening(&mut coordinator).expect("coordinator banner");
+    let survivors: Vec<Child> = [0usize, 2, 3]
+        .iter()
+        .map(|&p| {
+            spawn(
+                LEARNER,
+                &learner_flags(p, &addr, &["--secagg", "shamir", "--patience", "60"]),
+            )
+        })
+        .collect();
+    let mut victim = spawn(
+        LEARNER,
+        &learner_flags(
+            1,
+            &addr,
+            &[
+                "--secagg",
+                "shamir",
+                "--defect-after",
+                "2",
+                "--patience",
+                "60",
+            ],
+        ),
+    );
+
+    // The JSONL sink writes unbuffered, so poll it for round 2 opening,
+    // give the victim's distribution frame a beat to land, then deliver
+    // a real SIGKILL mid-collect. (If the kill raced the distribution,
+    // the scripted defection still guarantees the mid-collect shape —
+    // the round-2 blocks are sent before the defection check bites.)
+    let poll_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < poll_deadline, "round 2 never opened");
+        let text = std::fs::read_to_string(&coord_jsonl).unwrap_or_default();
+        if text
+            .lines()
+            .any(|l| l.contains("\"kind\":\"round_open\"") && l.contains("\"iteration\":2"))
+        {
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    thread::sleep(Duration::from_millis(300));
+    victim.kill().expect("SIGKILL the victim");
+    let out = victim.wait_with_output().expect("victim learner");
+    assert!(!out.status.success(), "the victim must die by signal");
+
+    let (ok, stdout, stderr) = finish(coordinator, drain);
+    assert!(ok, "shamir coordinator failed:\n{stderr}");
+    assert_eq!(
+        model_text(&stdout),
+        want_model,
+        "shamir survivors diverged from the pairwise reference"
+    );
+    for child in survivors {
+        let out = child.wait_with_output().expect("shamir survivor");
+        assert!(out.status.success(), "a shamir survivor failed");
+        let text = String::from_utf8(out.stdout).expect("utf-8 survivor stdout");
+        assert_eq!(learner_model_text(&text), want_model);
+    }
+
+    // The telemetry must show the dropout, a shamir label on every
+    // round, and — the point of the backend — not a single re-key.
+    let text = std::fs::read_to_string(&coord_jsonl).expect("coordinator telemetry");
+    assert!(text.contains("\"kind\":\"dropout\""), "no dropout recorded");
+    assert!(
+        !text.contains("\"kind\":\"rekey_epoch\""),
+        "the shamir run re-keyed"
+    );
+    let rounds = text
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"secagg_round\""))
+        .count();
+    assert_eq!(rounds, 8, "expected a secagg_round record per round");
+    assert!(
+        text.lines()
+            .filter(|l| l.contains("\"kind\":\"secagg_round\""))
+            .all(|l| l.contains("\"backend\":\"shamir\"")),
+        "a round was not labelled shamir"
+    );
 
     cleanup(&dir);
 }

@@ -24,10 +24,15 @@ use ppml::core::distributed::{
     learn_linear_with_defect, rejoin_linear,
 };
 use ppml::core::jobs::{train_linear_on_cluster, ClusterTuning};
-use ppml::core::{
-    AdmmConfig, Checkpoint, DistributedOutcome, DistributedTiming, RecoveryOptions, TrainError,
+use ppml::core::secagg::{
+    coordinate_linear_secagg, learn_linear_secagg, learn_linear_secagg_with_defect,
+    rejoin_linear_secagg,
 };
-use ppml::crypto::{FixedPointCodec, MaskedShare, MaskingParty};
+use ppml::core::{
+    AdmmConfig, Checkpoint, DistributedOutcome, DistributedTiming, RecoveryOptions, SecAggConfig,
+    TrainError,
+};
+use ppml::crypto::{FixedPointCodec, MaskedShare, MaskingParty, ThresholdSharing};
 use ppml::data::{synth, Dataset, Partition};
 use ppml::svm::LinearSvm;
 use ppml::telemetry::{self, Event, EventKind, RingSink};
@@ -43,7 +48,11 @@ use ppml::transport::{
 const SEEDS: [u64; 2] = [13, 29];
 const M: usize = 3;
 
-/// Telemetry is process-global; schedules that install a sink take this.
+/// Telemetry is process-global, and every protocol run now emits into
+/// whatever sink is installed — so every schedule takes this for its
+/// whole body, serializing the sweep. A schedule that only held it
+/// around its capture would still see frames from a concurrently
+/// running schedule's coordinator (same party id, same event kinds).
 static TELEMETRY_GUARD: Mutex<()> = Mutex::new(());
 
 fn guard() -> MutexGuard<'static, ()> {
@@ -144,9 +153,9 @@ fn run_star_without(
     outcome
 }
 
-/// Captures the process-global telemetry emitted while `f` runs.
+/// Captures the process-global telemetry emitted while `f` runs. The
+/// caller must already hold [`TELEMETRY_GUARD`] (every schedule does).
 fn with_telemetry<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
-    let _g = guard();
     let ring = RingSink::new(1 << 16);
     telemetry::install(ring.clone());
     let result = f();
@@ -173,6 +182,7 @@ fn stream_of(events: &[Event], party: u32, name: &str) -> Stream {
 
 #[test]
 fn benign_chaos_schedules_match_the_no_fault_reference_exactly() {
+    let _guard = guard();
     type Schedule = fn(PartyId) -> NetFaultPlan;
     let c = M as PartyId;
     let schedules: Vec<(&str, Schedule)> = vec![
@@ -230,6 +240,7 @@ fn benign_chaos_schedules_match_the_no_fault_reference_exactly() {
 
 #[test]
 fn learner_kill_schedule_drops_the_victim_and_survivors_match_the_absent_reference() {
+    let _guard = guard();
     let mut models = Vec::new();
     for seed in SEEDS {
         let (parts, cfg) = setup(seed);
@@ -287,6 +298,7 @@ fn learner_kill_schedule_drops_the_victim_and_survivors_match_the_absent_referen
 
 #[test]
 fn one_way_partition_schedule_isolates_the_silent_sender() {
+    let _guard = guard();
     for seed in SEEDS {
         let (parts, cfg) = setup(seed);
         let timing = timing_ms(1_200, 20_000);
@@ -333,6 +345,7 @@ fn one_way_partition_schedule_isolates_the_silent_sender() {
 
 #[test]
 fn learner_death_then_rejoin_schedule_readmits_the_learner() {
+    let _guard = guard();
     for seed in SEEDS {
         let (parts, cfg) = setup(seed);
         // Learner 1 plays round 0 then goes silent while still ACKing
@@ -436,6 +449,7 @@ fn learner_death_then_rejoin_schedule_readmits_the_learner() {
 
 #[test]
 fn coordinator_kill_and_resume_schedule_reproduces_the_reference_bitwise() {
+    let _guard = guard();
     for seed in SEEDS {
         let (parts, cfg) = setup(seed);
         let reference = cluster_reference(&parts, &cfg);
@@ -580,6 +594,7 @@ impl<T: Transport> Transport for TapTransport<T> {
 
 #[test]
 fn wire_tap_sees_only_masked_shares_and_a_lone_share_decodes_to_garbage() {
+    let _guard = guard();
     for seed in SEEDS {
         let (parts, cfg) = setup(seed);
         let hub = LoopbackHub::new(M + 1);
@@ -680,5 +695,532 @@ fn wire_tap_sees_only_masked_shares_and_a_lone_share_decodes_to_garbage() {
                  (distance {distance:.3e}) — masks leaked"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Secure-aggregation schedules (ISSUE 8): the pluggable backends must
+// survive the same chaos the pairwise path does. Shamir and Paillier
+// runs are held to *bit-identity* against pairwise references — the
+// GF(2^61-1) and Paillier group sums decode to the same integer the
+// pairwise path computes, so any drift is a protocol bug, not noise.
+// ---------------------------------------------------------------------
+
+/// `run_star` for an explicit backend, with optional per-party defect
+/// rounds (`(party, defect_after)`).
+fn run_star_secagg(
+    hub: &Arc<LoopbackHub>,
+    parts: &[Dataset],
+    cfg: &AdmmConfig,
+    secagg: SecAggConfig,
+    coord_timing: DistributedTiming,
+    learner_timing: &[DistributedTiming],
+    defects: &[(usize, u64)],
+) -> (
+    ppml::core::Result<DistributedOutcome>,
+    Vec<Result<LinearSvm, TrainError>>,
+) {
+    let m = parts.len();
+    let handles: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            let mut courier = Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+            let part = part.clone();
+            let cfg = *cfg;
+            let timing = learner_timing[p];
+            let defect = defects
+                .iter()
+                .find(|&&(party, _)| party == p)
+                .map(|&(_, d)| d);
+            thread::spawn(move || match defect {
+                Some(d) => {
+                    learn_linear_secagg_with_defect(&mut courier, m, &part, &cfg, timing, secagg, d)
+                }
+                None => learn_linear_secagg(&mut courier, m, &part, &cfg, timing, secagg),
+            })
+        })
+        .collect();
+    let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+    let features = feature_count(parts).expect("partitions");
+    let outcome =
+        coordinate_linear_secagg(&mut courier, m, features, cfg, None, coord_timing, secagg);
+    let learners = handles
+        .into_iter()
+        .map(|h| h.join().expect("learner thread"))
+        .collect();
+    (outcome, learners)
+}
+
+/// Coordinator-side `SecAggRound` labels, in round order.
+fn secagg_round_labels(events: &[Event]) -> Vec<&'static str> {
+    events
+        .iter()
+        .filter(|e| e.party == M as u32)
+        .filter_map(|e| match e.kind {
+            EventKind::SecAggRound { backend, .. } => Some(backend),
+            _ => None,
+        })
+        .collect()
+}
+
+fn assert_no_rekey(events: &[Event], context: &str) {
+    assert!(
+        events
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::RekeyEpoch { .. })),
+        "{context}: a stateless backend emitted a re-key round"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Schedule 9: benign chaos per backend. Shamir rides the nastiest fault
+// plan (drops + dups + delays) and must still land bit-identical to the
+// fault-free pairwise run; Paillier gets a duplicate storm.
+// ---------------------------------------------------------------------
+
+#[test]
+fn secagg_backends_survive_benign_chaos_bit_identical_to_pairwise() {
+    let _guard = guard();
+    let c = M as PartyId;
+    for seed in SEEDS {
+        let (parts, cfg) = setup(seed);
+        let timing = timing_ms(10_000, 20_000);
+        let reference = {
+            let hub = LoopbackHub::new(M + 1);
+            let (outcome, _) = run_star_secagg(
+                &hub,
+                &parts,
+                &cfg,
+                SecAggConfig::pairwise(),
+                timing,
+                &[timing; M],
+                &[],
+            );
+            outcome.expect("pairwise reference")
+        };
+        let legs: Vec<(SecAggConfig, NetFaultPlan)> = vec![
+            (
+                SecAggConfig::shamir(),
+                NetFaultPlan::none()
+                    .drop_frames(LinkFilter::any().from(c).to(2), 1)
+                    .drop_frames(LinkFilter::any().from(0).to(c), 2)
+                    .duplicate_frames(LinkFilter::any().from(c).to(1), 3)
+                    .delay_frames(LinkFilter::any().from(1).to(c), 2, 3),
+            ),
+            (
+                SecAggConfig::paillier(),
+                NetFaultPlan::none()
+                    .duplicate_frames(LinkFilter::any().from(c), 8)
+                    .duplicate_frames(LinkFilter::any().to(c), 8),
+            ),
+        ];
+        for (secagg, plan) in legs {
+            let name = secagg.kind.as_str();
+            let hub = LoopbackHub::with_faults(M + 1, plan);
+            let ((outcome, learners), events) = with_telemetry(|| {
+                run_star_secagg(&hub, &parts, &cfg, secagg, timing, &[timing; M], &[])
+            });
+            let outcome = outcome.unwrap_or_else(|e| panic!("{name}/seed {seed}: {e}"));
+            assert_eq!(outcome.model, reference.model, "{name}/seed {seed}");
+            assert_eq!(
+                outcome.history.z_delta, reference.history.z_delta,
+                "{name}/seed {seed}: convergence history diverged from pairwise"
+            );
+            assert!(outcome.dropped.is_empty(), "{name}/seed {seed}");
+            for (p, model) in learners.into_iter().enumerate() {
+                let model = model.unwrap_or_else(|e| panic!("{name}/seed {seed}/l{p}: {e}"));
+                assert_eq!(model, reference.model, "{name}/seed {seed}/learner {p}");
+            }
+            assert_no_rekey(&events, &format!("{name}/seed {seed}"));
+            let labels = secagg_round_labels(&events);
+            assert_eq!(labels.len(), cfg.max_iter, "{name}/seed {seed}");
+            assert!(labels.iter().all(|&b| b == name), "{name}: {labels:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule 10: the headline Shamir property. A learner dies mid-collect
+// — it distributed its round-d shares but never submits its sum — and
+// the round STILL completes with the victim's input counted, with no
+// re-key round anywhere. Membership-wise that equals a pairwise run
+// whose victim defects one round later (pairwise loses the victim's
+// round-d input at the collect; Shamir keeps it via reconstruction), so
+// the pairwise defect-at-d+1 run is the bitwise reference.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shamir_mid_collect_death_completes_the_round_without_a_rekey() {
+    let _guard = guard();
+    for seed in SEEDS {
+        let (parts, cfg) = setup(seed);
+        let timing = timing_ms(1_200, 20_000);
+        let defect_round = 2u64;
+        let reference = {
+            let hub = LoopbackHub::new(M + 1);
+            let mut timings = [timing; M];
+            timings[1] = timing_ms(1_200, 800);
+            let (outcome, _) = run_star_secagg(
+                &hub,
+                &parts,
+                &cfg,
+                SecAggConfig::pairwise(),
+                timing,
+                &timings,
+                &[(1, defect_round + 1)],
+            );
+            outcome.expect("pairwise reference")
+        };
+        assert_eq!(reference.dropped, vec![1]);
+        let hub = LoopbackHub::new(M + 1);
+        let mut timings = [timing; M];
+        timings[1] = timing_ms(1_200, 800);
+        let ((outcome, learners), events) = with_telemetry(|| {
+            run_star_secagg(
+                &hub,
+                &parts,
+                &cfg,
+                SecAggConfig::shamir(),
+                timing,
+                &timings,
+                &[(1, defect_round)],
+            )
+        });
+        let outcome = outcome.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(outcome.dropped, vec![1], "seed {seed}");
+        assert_eq!(
+            outcome.model,
+            reference.model,
+            "seed {seed}: survivors diverged from the pairwise defect-at-{}-reference",
+            defect_round + 1
+        );
+        assert_eq!(
+            outcome.history.z_delta, reference.history.z_delta,
+            "seed {seed}: the mid-collect round lost the victim's input"
+        );
+        for (p, model) in learners.into_iter().enumerate() {
+            if p == 1 {
+                assert!(model.is_err(), "seed {seed}: the dead learner succeeded");
+            } else {
+                assert_eq!(model.expect("survivor"), reference.model, "seed {seed}");
+            }
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| e.party == M as u32
+                    && matches!(e.kind, EventKind::Dropout { party: 1, .. })),
+            "seed {seed}: no Dropout recorded for the mid-collect death"
+        );
+        assert_no_rekey(&events, &format!("shamir/seed {seed}"));
+        let labels = secagg_round_labels(&events);
+        assert_eq!(
+            labels.len(),
+            cfg.max_iter,
+            "seed {seed}: the dropout cost a round — {labels:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule 11: death then rejoin under Shamir. Same shape as schedule 7
+// but the re-admission must happen with NO re-key at all — threshold
+// sharing has no epoch state to rebuild.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shamir_death_then_rejoin_readmits_without_any_rekey() {
+    let _guard = guard();
+    let seed = SEEDS[0];
+    let (parts, cfg) = setup(seed);
+    let secagg = SecAggConfig::shamir();
+    let hub = LoopbackHub::new(M + 1);
+    let m = M;
+    let handles: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            let hub = Arc::clone(&hub);
+            let part = part.clone();
+            thread::spawn(move || -> Result<LinearSvm, TrainError> {
+                if p == 1 {
+                    let mut courier = Courier::new(hub.endpoint(1), RetryPolicy::fast_local());
+                    let first = learn_linear_secagg_with_defect(
+                        &mut courier,
+                        m,
+                        &part,
+                        &cfg,
+                        timing_ms(500, 500),
+                        secagg,
+                        1,
+                    );
+                    assert!(
+                        matches!(first, Err(TrainError::Transport(_))),
+                        "the defecting learner should starve, got {first:?}"
+                    );
+                    let mut courier = Courier::new(hub.endpoint(1), RetryPolicy::fast_local());
+                    rejoin_linear_secagg(
+                        &mut courier,
+                        m,
+                        &part,
+                        &cfg,
+                        timing_ms(2_500, 20_000),
+                        secagg,
+                    )
+                } else {
+                    let mut courier =
+                        Courier::new(hub.endpoint(p as PartyId), RetryPolicy::fast_local());
+                    learn_linear_secagg(
+                        &mut courier,
+                        m,
+                        &part,
+                        &cfg,
+                        timing_ms(2_500, 20_000),
+                        secagg,
+                    )
+                }
+            })
+        })
+        .collect();
+    let (outcome, events) = with_telemetry(|| {
+        let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+        let features = feature_count(&parts).expect("partitions");
+        coordinate_linear_secagg(
+            &mut courier,
+            m,
+            features,
+            &cfg,
+            None,
+            timing_ms(2_500, 20_000),
+            secagg,
+        )
+    });
+    let outcome = outcome.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    assert!(
+        outcome.dropped.is_empty(),
+        "seed {seed}: rejoin did not clear the dropped list: {:?}",
+        outcome.dropped
+    );
+    for (p, handle) in handles.into_iter().enumerate() {
+        let model = handle.join().expect("learner thread");
+        assert_eq!(
+            model.unwrap_or_else(|e| panic!("seed {seed}/learner {p}: {e}")),
+            outcome.model,
+            "seed {seed}: learner {p} disagrees after the rejoin"
+        );
+    }
+    let coordinator: Vec<&Event> = events.iter().filter(|e| e.party == M as u32).collect();
+    assert!(
+        coordinator
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Dropout { party: 1, .. })),
+        "seed {seed}: no Dropout for the dead incarnation"
+    );
+    assert!(
+        coordinator
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Rejoin { party: 1, .. })),
+        "seed {seed}: no Rejoin for the fresh incarnation"
+    );
+    assert_no_rekey(&events, &format!("shamir rejoin/seed {seed}"));
+}
+
+// ---------------------------------------------------------------------
+// Schedule 12: Paillier dropout. A defector is dropped at the round
+// deadline with no re-key; the survivors match the pairwise run with
+// the same defect round bit for bit (both backends lose the victim's
+// round-d input at the collect).
+// ---------------------------------------------------------------------
+
+#[test]
+fn paillier_defector_is_dropped_without_a_rekey_and_matches_pairwise() {
+    let _guard = guard();
+    let seed = SEEDS[1];
+    let (parts, cfg) = setup(seed);
+    let timing = timing_ms(1_200, 20_000);
+    let defect_round = 1u64;
+    let reference = {
+        let hub = LoopbackHub::new(M + 1);
+        let mut timings = [timing; M];
+        timings[1] = timing_ms(1_200, 800);
+        let (outcome, _) = run_star_secagg(
+            &hub,
+            &parts,
+            &cfg,
+            SecAggConfig::pairwise(),
+            timing,
+            &timings,
+            &[(1, defect_round)],
+        );
+        outcome.expect("pairwise reference")
+    };
+    assert_eq!(reference.dropped, vec![1]);
+    let hub = LoopbackHub::new(M + 1);
+    let mut timings = [timing; M];
+    timings[1] = timing_ms(1_200, 800);
+    let ((outcome, learners), events) = with_telemetry(|| {
+        run_star_secagg(
+            &hub,
+            &parts,
+            &cfg,
+            SecAggConfig::paillier(),
+            timing,
+            &timings,
+            &[(1, defect_round)],
+        )
+    });
+    let outcome = outcome.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    assert_eq!(outcome.dropped, vec![1], "seed {seed}");
+    assert_eq!(outcome.model, reference.model, "seed {seed}");
+    assert_eq!(
+        outcome.history.z_delta, reference.history.z_delta,
+        "seed {seed}: convergence history diverged from pairwise"
+    );
+    for (p, model) in learners.into_iter().enumerate() {
+        if p == 1 {
+            assert!(model.is_err(), "seed {seed}: the defector succeeded");
+        } else {
+            assert_eq!(model.expect("survivor"), reference.model, "seed {seed}");
+        }
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| e.party == M as u32 && matches!(e.kind, EventKind::Dropout { party: 1, .. })),
+        "seed {seed}: no Dropout recorded"
+    );
+    assert_no_rekey(&events, &format!("paillier/seed {seed}"));
+    let labels = secagg_round_labels(&events);
+    assert_eq!(labels.len(), cfg.max_iter, "seed {seed}");
+    assert!(labels.iter().all(|&b| b == "paillier"), "{labels:?}");
+}
+
+// ---------------------------------------------------------------------
+// Shamir wire tap: a learner's outbound traffic is blinded share blocks
+// and summed shares only, and a lone summed share (one point of a
+// degree t-1 polynomial, t = 2 here) decodes to garbage.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shamir_wire_tap_sees_only_blinded_blocks_and_a_lone_share_decodes_to_garbage() {
+    let _guard = guard();
+    let seed = SEEDS[0];
+    let (parts, cfg) = setup(seed);
+    let secagg = SecAggConfig::shamir();
+    let hub = LoopbackHub::new(M + 1);
+    let sent = Arc::new(Mutex::new(Vec::new()));
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let m = M;
+    let handles: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            let part = part.clone();
+            let transport = hub.endpoint(p as PartyId);
+            if p == 0 {
+                let tap = TapTransport {
+                    inner: transport,
+                    sent: Arc::clone(&sent),
+                    received: Arc::clone(&received),
+                };
+                thread::spawn(move || {
+                    let mut courier = Courier::new(tap, RetryPolicy::fast_local());
+                    learn_linear_secagg(
+                        &mut courier,
+                        m,
+                        &part,
+                        &cfg,
+                        timing_ms(10_000, 20_000),
+                        secagg,
+                    )
+                })
+            } else {
+                thread::spawn(move || {
+                    let mut courier = Courier::new(transport, RetryPolicy::fast_local());
+                    learn_linear_secagg(
+                        &mut courier,
+                        m,
+                        &part,
+                        &cfg,
+                        timing_ms(10_000, 20_000),
+                        secagg,
+                    )
+                })
+            }
+        })
+        .collect();
+    let mut courier = Courier::new(hub.endpoint(m as PartyId), RetryPolicy::fast_local());
+    let features = feature_count(&parts).expect("partitions");
+    coordinate_linear_secagg(
+        &mut courier,
+        m,
+        features,
+        &cfg,
+        None,
+        timing_ms(10_000, 20_000),
+        secagg,
+    )
+    .expect("coordinator");
+    for h in handles {
+        h.join().expect("learner thread").expect("learner");
+    }
+
+    // Learner 0 only ever sends pad-blinded distribution blocks, summed
+    // shares and control frames — never a raw model or a bare share.
+    let sent = sent.lock().expect("tap");
+    assert!(!sent.is_empty());
+    let mut dists = 0usize;
+    let mut sums: Vec<(u64, Vec<u64>)> = Vec::new();
+    for (to, msg) in sent.iter() {
+        assert_eq!(*to, m as PartyId, "learner spoke to a non-coordinator");
+        match msg {
+            Message::ShamirDist { party, .. } => {
+                assert_eq!(*party, 0);
+                dists += 1;
+            }
+            Message::Shares { iteration, values } => sums.push((*iteration, values.clone())),
+            Message::Ack { .. }
+            | Message::Heartbeat { .. }
+            | Message::TimeReply { .. }
+            | Message::Join { .. } => {}
+            other => panic!("unexpected frame kind on the wire: {other:?}"),
+        }
+    }
+    assert_eq!(dists, cfg.max_iter, "seed {seed}");
+    assert_eq!(sums.len(), cfg.max_iter, "seed {seed}");
+
+    // One summed share is a single evaluation of a random degree-(t-1)
+    // polynomial whose constant term is the secret sum: decoding it
+    // alone must land nowhere near the consensus the round produced.
+    let scheme = ThresholdSharing::new(secagg.effective_threshold(m), cfg.seed);
+    let consensus: Vec<(u64, Vec<f64>)> = received
+        .lock()
+        .expect("tap")
+        .iter()
+        .filter_map(|msg| match msg {
+            Message::Consensus { iteration, z, .. } => Some((*iteration, z.clone())),
+            _ => None,
+        })
+        .collect();
+    for (iteration, values) in &sums {
+        let alone: Vec<f64> = values
+            .iter()
+            .map(|&y| scheme.decode(y) / m as f64)
+            .collect();
+        let (_, z) = consensus
+            .iter()
+            .find(|(it, _)| it == iteration)
+            .unwrap_or_else(|| panic!("no consensus for round {iteration}"));
+        let distance = alone
+            .iter()
+            .zip(z.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(
+            distance > 1.0,
+            "seed {seed} round {iteration}: lone summed share decoded next to consensus \
+             (distance {distance:.3e}) — blinding leaked"
+        );
     }
 }
