@@ -97,6 +97,7 @@ use crate::error::TrainError;
 use crate::history::ConvergenceHistory;
 use crate::horizontal::linear::{validate_parts, HlLearner};
 use crate::masks::SeededMasker;
+use crate::observe::{self, TelemetryRelay};
 use crate::Result;
 
 /// Result of a coordinated distributed training run.
@@ -662,6 +663,13 @@ pub fn coordinate_linear_with_recovery<T: Transport>(
                 ) {
                     continue;
                 }
+                // In-band telemetry deltas ride the round like the clock
+                // probes do: fold and move on, never charging them to
+                // the protocol's byte accounting.
+                if matches!(env.msg, Message::Telemetry { .. }) {
+                    observe::fold_telemetry(courier.party(), &env.msg);
+                    continue;
+                }
                 if let Message::Join { party, nonce } = env.msg {
                     // A restarted learner asking back in: remember the
                     // request, act at the next round boundary. Joins
@@ -726,6 +734,11 @@ pub fn coordinate_linear_with_recovery<T: Transport>(
                 *slot = Some(payload);
                 metrics.bytes_shuffled += frame_len;
                 have += 1;
+                observe::observe_share_lag(
+                    party,
+                    iteration,
+                    round_start.elapsed().as_nanos() as u64,
+                );
             }
             if have == active {
                 break 'collect shares;
@@ -765,6 +778,7 @@ pub fn coordinate_linear_with_recovery<T: Transport>(
                 elapsed_ns: round_start.elapsed().as_nanos() as u64,
             },
         );
+        observe::score_round(courier.party(), iteration);
         telemetry::emit(
             courier.party(),
             EventKind::SecAggRound {
@@ -995,6 +1009,7 @@ pub(crate) fn learn_linear_inner<T: Transport>(
     let mut dual_ready = false;
     let mut deadline = Instant::now() + timing.learner_patience;
     let mut run_id_seen = false;
+    let mut relay = TelemetryRelay::new();
 
     if rejoin {
         // Re-admission handshake: probe with Join until the coordinator
@@ -1072,6 +1087,7 @@ pub(crate) fn learn_linear_inner<T: Transport>(
                     run_id_seen = true;
                     telemetry::emit(party, EventKind::RunInfo { run_id });
                 }
+                relay.set_run_id(run_id);
                 let _ = courier.send_unreliable(
                     coordinator,
                     &Message::TimeReply {
@@ -1138,6 +1154,7 @@ pub(crate) fn learn_linear_inner<T: Transport>(
                 }
                 telemetry::emit(party, EventKind::RoundOpen { iteration, epoch });
                 let round_start = Instant::now();
+                observe::injected_lag_sleep();
                 // Same step order as `ConsensusJob::map`: duals lag one
                 // computed round.
                 if dual_ready {
@@ -1158,15 +1175,19 @@ pub(crate) fn learn_linear_inner<T: Transport>(
                     },
                     timing.learner_patience,
                 )?;
+                let elapsed_ns = round_start.elapsed().as_nanos() as u64;
                 telemetry::emit(
                     party,
                     EventKind::RoundClose {
                         iteration,
                         epoch,
                         shares: 1,
-                        elapsed_ns: round_start.elapsed().as_nanos() as u64,
+                        elapsed_ns,
                     },
                 );
+                // Piggy-back this round's telemetry delta behind the
+                // share (a no-op, zero frames, with telemetry off).
+                relay.report(courier, coordinator, iteration, epoch, elapsed_ns);
                 last_raw = Some((iteration, raw));
                 expected_iter = iteration + 1;
                 deadline = Instant::now() + timing.learner_patience;

@@ -96,6 +96,7 @@ use crate::error::TrainError;
 use crate::history::ConvergenceHistory;
 use crate::horizontal::linear::HlLearner;
 use crate::masks::mix64;
+use crate::observe::{self, TelemetryRelay};
 use crate::Result;
 
 /// Which secure-aggregation protocol a distributed run speaks.
@@ -859,6 +860,10 @@ fn shamir_coordinate<T: Transport>(
             ) {
                 continue;
             }
+            if matches!(env.msg, Message::Telemetry { .. }) {
+                observe::fold_telemetry(courier.party(), &env.msg);
+                continue;
+            }
             if let Message::Join { party, nonce } = env.msg {
                 if (party as usize) < m {
                     pending_joins.insert(party, nonce);
@@ -989,6 +994,10 @@ fn shamir_coordinate<T: Transport>(
             ) {
                 continue;
             }
+            if matches!(env.msg, Message::Telemetry { .. }) {
+                observe::fold_telemetry(courier.party(), &env.msg);
+                continue;
+            }
             if let Message::Join { party, nonce } = env.msg {
                 if (party as usize) < m {
                     pending_joins.insert(party, nonce);
@@ -1039,6 +1048,7 @@ fn shamir_coordinate<T: Transport>(
             *slot = Some(values);
             metrics.bytes_shuffled += frame_len;
             have += 1;
+            observe::observe_share_lag(party, iteration, round_start.elapsed().as_nanos() as u64);
         }
         let got = subs.iter().filter(|s| s.is_some()).count();
         if got < want {
@@ -1092,6 +1102,7 @@ fn shamir_coordinate<T: Transport>(
                 elapsed_ns: round_start.elapsed().as_nanos() as u64,
             },
         );
+        observe::score_round(courier.party(), iteration);
         telemetry::emit(
             courier.party(),
             EventKind::SecAggRound {
@@ -1187,6 +1198,7 @@ fn shamir_learn<T: Transport>(
     let mut dual_ready = false;
     let mut deadline = Instant::now() + timing.learner_patience;
     let mut run_id_seen = false;
+    let mut relay = TelemetryRelay::new();
 
     if rejoin {
         expected_iter = join_handshake(courier, party, coordinator, timing)?;
@@ -1218,6 +1230,7 @@ fn shamir_learn<T: Transport>(
                     run_id_seen = true;
                     telemetry::emit(party, EventKind::RunInfo { run_id });
                 }
+                relay.set_run_id(run_id);
                 let _ = courier.send_unreliable(
                     coordinator,
                     &Message::TimeReply {
@@ -1254,6 +1267,7 @@ fn shamir_learn<T: Transport>(
                     },
                 );
                 let round_start = Instant::now();
+                observe::injected_lag_sleep();
                 if dual_ready {
                     learner.dual_update(&z, s_val);
                 }
@@ -1327,15 +1341,17 @@ fn shamir_learn<T: Transport>(
                     },
                     timing.learner_patience,
                 )?;
+                let elapsed_ns = round_start.elapsed().as_nanos() as u64;
                 telemetry::emit(
                     party,
                     EventKind::RoundClose {
                         iteration,
                         epoch: 0,
                         shares: 1,
-                        elapsed_ns: round_start.elapsed().as_nanos() as u64,
+                        elapsed_ns,
                     },
                 );
+                relay.report(courier, coordinator, iteration, 0, elapsed_ns);
                 deadline = Instant::now() + timing.learner_patience;
             }
             // A duplicate of our own rejoin Welcome: the coordinator is
@@ -1616,6 +1632,13 @@ fn paillier_coordinate<T: Transport>(
                 }
                 continue;
             }
+            // In-band telemetry deltas ride the round like the clock
+            // probes do: fold and move on, never charging them to the
+            // protocol's byte accounting.
+            if matches!(env.msg, Message::Telemetry { .. }) {
+                observe::fold_telemetry(courier.party(), &env.msg);
+                continue;
+            }
             // A straggling decryption of an earlier round's aggregate.
             if matches!(env.msg, Message::CipherSum { iteration: it, .. } if it < iteration) {
                 continue;
@@ -1661,6 +1684,7 @@ fn paillier_coordinate<T: Transport>(
                 )));
             }
             *slot = Some(bytes);
+            observe::observe_share_lag(party, iteration, round_start.elapsed().as_nanos() as u64);
             metrics.bytes_shuffled += frame_len;
             have += 1;
         }
@@ -1755,6 +1779,10 @@ fn paillier_coordinate<T: Transport>(
                 }
                 continue;
             }
+            if matches!(env.msg, Message::Telemetry { .. }) {
+                observe::fold_telemetry(courier.party(), &env.msg);
+                continue;
+            }
             if matches!(env.msg, Message::CipherShare { iteration: it, .. } if it <= iteration) {
                 continue;
             }
@@ -1803,6 +1831,7 @@ fn paillier_coordinate<T: Transport>(
                 elapsed_ns: round_start.elapsed().as_nanos() as u64,
             },
         );
+        observe::score_round(courier.party(), iteration);
         telemetry::emit(
             courier.party(),
             EventKind::SecAggRound {
@@ -1892,6 +1921,7 @@ fn paillier_learn<T: Transport>(
     let mut dual_ready = false;
     let mut deadline = Instant::now() + timing.learner_patience;
     let mut run_id_seen = false;
+    let mut relay = TelemetryRelay::new();
 
     if rejoin {
         expected_iter = join_handshake(courier, party, coordinator, timing)?;
@@ -1919,6 +1949,7 @@ fn paillier_learn<T: Transport>(
         match env.msg {
             Message::Heartbeat { .. } => continue,
             Message::TimeProbe { nonce, run_id } => {
+                relay.set_run_id(run_id);
                 if telemetry::enabled() && !run_id_seen {
                     run_id_seen = true;
                     telemetry::emit(party, EventKind::RunInfo { run_id });
@@ -2003,6 +2034,7 @@ fn paillier_learn<T: Transport>(
                     },
                 );
                 let round_start = Instant::now();
+                observe::injected_lag_sleep();
                 if dual_ready {
                     learner.dual_update(&z, s_val);
                 }
@@ -2027,15 +2059,17 @@ fn paillier_learn<T: Transport>(
                     timing.learner_patience,
                 )?;
                 expected_iter = iteration + 1;
+                let elapsed_ns = round_start.elapsed().as_nanos() as u64;
                 telemetry::emit(
                     party,
                     EventKind::RoundClose {
                         iteration,
                         epoch: 0,
                         shares: 1,
-                        elapsed_ns: round_start.elapsed().as_nanos() as u64,
+                        elapsed_ns,
                     },
                 );
+                relay.report(courier, coordinator, iteration, 0, elapsed_ns);
                 deadline = Instant::now() + timing.learner_patience;
             }
             Message::Welcome {

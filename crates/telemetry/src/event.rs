@@ -299,6 +299,40 @@ pub enum EventKind {
         /// Wall clock from round open to the decoded aggregate.
         elapsed_ns: u64,
     },
+    /// The coordinator folded one in-band telemetry delta from a learner
+    /// (a `Telemetry` wire frame) into its cluster registry. Counts and
+    /// sizes only — the delta itself already carries nothing else.
+    TelemetryDelta {
+        /// The reporting learner.
+        from: u32,
+        /// Round the delta covers.
+        iteration: u64,
+        /// Causal correlation id stamped on the delta
+        /// (`mix64(run_id ^ iteration)`).
+        span: u64,
+        /// Frames the learner reported sending since its last delta.
+        frames: u64,
+        /// Bytes the learner reported sending since its last delta.
+        bytes: u64,
+        /// The learner's local wall clock for the round.
+        elapsed_ns: u64,
+    },
+    /// The straggler scorer flagged a learner: its share arrived late
+    /// relative to the round's median collect lag. A timing verdict
+    /// about protocol behaviour — never about data.
+    SlowLearner {
+        /// The slow learner.
+        party: u32,
+        /// Round the verdict is for.
+        iteration: u64,
+        /// This learner's collect lag (round open → share accepted).
+        lag_ns: u64,
+        /// The round's median collect lag across accepted shares.
+        median_ns: u64,
+        /// `lag_ns / median_ns` — ≥ the scorer's threshold by
+        /// construction (1.0 means exactly median).
+        score: f64,
+    },
 }
 
 /// Phase labels [`Event::from_json`] can map back to `&'static str`.
@@ -610,6 +644,36 @@ impl Event {
                 u(&mut out, "bytes", bytes);
                 u(&mut out, "elapsed_ns", elapsed_ns);
             }
+            EventKind::TelemetryDelta {
+                from,
+                iteration,
+                span,
+                frames,
+                bytes,
+                elapsed_ns,
+            } => {
+                kind(&mut out, "telemetry_delta");
+                u(&mut out, "from", from.into());
+                u(&mut out, "iteration", iteration);
+                u(&mut out, "span", span);
+                u(&mut out, "frames", frames);
+                u(&mut out, "bytes", bytes);
+                u(&mut out, "elapsed_ns", elapsed_ns);
+            }
+            EventKind::SlowLearner {
+                party: learner,
+                iteration,
+                lag_ns,
+                median_ns,
+                score,
+            } => {
+                kind(&mut out, "slow_learner");
+                u(&mut out, "learner", learner.into());
+                u(&mut out, "iteration", iteration);
+                u(&mut out, "lag_ns", lag_ns);
+                u(&mut out, "median_ns", median_ns);
+                push_f64(&mut out, "score", score);
+            }
         }
         out.push('}');
         out
@@ -805,6 +869,21 @@ impl Event {
                 iteration: get_u("iteration")?,
                 bytes: get_u("bytes")?,
                 elapsed_ns: get_u("elapsed_ns")?,
+            },
+            "telemetry_delta" => EventKind::TelemetryDelta {
+                from: get_u32("from")?,
+                iteration: get_u("iteration")?,
+                span: get_u("span")?,
+                frames: get_u("frames")?,
+                bytes: get_u("bytes")?,
+                elapsed_ns: get_u("elapsed_ns")?,
+            },
+            "slow_learner" => EventKind::SlowLearner {
+                party: get_u32("learner")?,
+                iteration: get_u("iteration")?,
+                lag_ns: get_u("lag_ns")?,
+                median_ns: get_u("median_ns")?,
+                score: get_f("score")?,
             },
             other => return Err(ParseError::UnknownKind(other.to_string())),
         };
@@ -1028,6 +1107,21 @@ mod tests {
                 iteration: 9,
                 bytes: 18_432,
                 elapsed_ns: 2_750_000,
+            },
+            EventKind::TelemetryDelta {
+                from: 2,
+                iteration: 9,
+                span: 0x9e37_79b9_7f4a_7c15,
+                frames: 6,
+                bytes: 4_280,
+                elapsed_ns: 1_920_000,
+            },
+            EventKind::SlowLearner {
+                party: 3,
+                iteration: 9,
+                lag_ns: 8_400_000,
+                median_ns: 2_100_000,
+                score: 4.0,
             },
         ];
         kinds

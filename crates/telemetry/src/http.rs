@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::cluster::ClusterRegistry;
 use crate::metrics::MetricsRegistry;
 
 /// Per-connection read/write budget. A client that cannot finish a
@@ -337,7 +338,10 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// starts serving `GET /metrics` (and `GET /`, for convenience).
+    /// starts serving `GET /metrics` (and `GET /`, for convenience),
+    /// plus `GET /cluster` — the per-learner series the coordinator
+    /// folds from in-band telemetry deltas (empty text until a
+    /// distributed loop feeds [`ClusterRegistry::global`]).
     ///
     /// # Errors
     ///
@@ -352,9 +356,15 @@ impl MetricsServer {
             }
         };
         let render_root = render.clone();
+        let render_cluster = |_req: &Request| {
+            let mut response = Response::ok_text(ClusterRegistry::global().render());
+            response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+            response
+        };
         let router = Router::new()
             .route("GET", "/metrics", render)
-            .route("GET", "/", render_root);
+            .route("GET", "/", render_root)
+            .route("GET", "/cluster", render_cluster);
         Ok(MetricsServer {
             inner: HttpServer::serve(addr, router)?,
         })
@@ -469,6 +479,29 @@ mod tests {
         });
         let body = scrape(&server.local_addr().to_string()).expect("scrape 2");
         assert!(body.contains("ppml_frames_sent_total 2"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cluster_endpoint_serves_the_global_registry() {
+        let (server, _registry) = served_registry();
+        let addr = server.local_addr().to_string();
+        // Learner id chosen to be unique to this test: the global
+        // cluster registry is process-wide shared state.
+        ClusterRegistry::global().fold(
+            4_041,
+            &crate::cluster::ClusterDelta {
+                iteration: 1,
+                bytes_sent: 77,
+                ..Default::default()
+            },
+        );
+        let (status, body) = request(&addr, "GET", "/cluster", b"").expect("request");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("ppml_cluster_bytes_sent_total{learner=\"4041\"} 77"),
+            "{body}"
+        );
         server.shutdown();
     }
 

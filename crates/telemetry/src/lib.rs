@@ -53,11 +53,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod event;
 pub mod http;
 pub mod metrics;
 pub mod sinks;
 
+pub use cluster::{mix64, ClusterDelta, ClusterRegistry, StragglerVerdict};
 pub use event::{Event, EventKind, ParseError, BACKENDS, NO_PARTY, PHASES};
 pub use http::{request, scrape, HttpServer, MetricsServer, Request, Response, Router};
 pub use metrics::{MetricsRegistry, MetricsSink};
@@ -139,11 +141,15 @@ pub fn install(sink: Arc<dyn Sink>) {
     ENABLED.store(true, Ordering::SeqCst);
 }
 
-/// Disables telemetry and returns the sink that was installed, so the
-/// caller can flush or render it.
+/// Disables telemetry, flushes any buffering sink, and returns the sink
+/// that was installed so the caller can render it.
 pub fn uninstall() -> Option<Arc<dyn Sink>> {
     ENABLED.store(false, Ordering::SeqCst);
-    SINK.lock().expect("telemetry sink registry").take()
+    let sink = SINK.lock().expect("telemetry sink registry").take();
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    sink
 }
 
 /// A scoped phase timer: captures the clock at [`Span::begin`] when

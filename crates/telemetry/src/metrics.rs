@@ -54,10 +54,24 @@ impl Counter {
         self.add(1);
     }
 
-    /// Adds `v`.
+    /// Adds `v`, saturating at `u64::MAX`. A long-lived serve process
+    /// must never wrap a counter: Prometheus clients treat a decrease as
+    /// a process restart, and a wrapped value renders as a bogus small
+    /// number. The CAS loop costs the same one atomic RMW as `fetch_add`
+    /// until the counter actually pins.
     #[inline]
     pub fn add(&self, v: u64) {
-        self.0.fetch_add(v, Ordering::Relaxed);
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Current value.
@@ -312,6 +326,13 @@ pub struct MetricsRegistry {
     /// Per-round aggregation wall clock per backend (indexed like
     /// [`BACKENDS`]).
     pub secagg_round_ns: [Histogram; BACKENDS.len()],
+    // ---- cluster observability (ISSUE 9)
+    /// In-band telemetry deltas folded ([`EventKind::TelemetryDelta`]).
+    pub telemetry_deltas_total: Counter,
+    /// Straggler verdicts emitted ([`EventKind::SlowLearner`]).
+    pub slow_learners_total: Counter,
+    /// Collect lag of the last flagged straggler.
+    pub straggler_lag_ns: Histogram,
 }
 
 impl MetricsRegistry {
@@ -468,6 +489,11 @@ impl MetricsRegistry {
                 self.secagg_rounds_total[idx].inc();
                 self.secagg_bytes_total[idx].add(bytes);
                 self.secagg_round_ns[idx].observe(elapsed_ns);
+            }
+            EventKind::TelemetryDelta { .. } => self.telemetry_deltas_total.inc(),
+            EventKind::SlowLearner { lag_ns, .. } => {
+                self.slow_learners_total.inc();
+                self.straggler_lag_ns.observe(lag_ns);
             }
         }
     }
@@ -719,6 +745,18 @@ impl MetricsRegistry {
             );
         }
 
+        c(
+            &mut out,
+            "telemetry_deltas_total",
+            self.telemetry_deltas_total.get(),
+        );
+        c(
+            &mut out,
+            "slow_learners_total",
+            self.slow_learners_total.get(),
+        );
+        h(&mut out, "straggler_lag_ns", "", &self.straggler_lag_ns);
+
         out
     }
 }
@@ -795,6 +833,91 @@ mod tests {
                 assert!(v > bucket_upper_bound(i - 1), "{v}");
             }
         }
+    }
+
+    #[test]
+    fn counter_add_saturates_instead_of_wrapping() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        // One past the top must pin, not wrap to 0 (a wrapped counter
+        // reads as a restart to Prometheus clients).
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_exposition_le_buckets_are_monotonic() {
+        let reg = MetricsRegistry::new();
+        // Spread observations across several buckets including the edges.
+        for v in [0u64, 1, 2, 127, 128, 1023, u64::MAX] {
+            reg.frame_bytes.observe(v);
+        }
+        let text = reg.render();
+        let mut last_le = -1i128;
+        let mut last_cum = 0u64;
+        let mut lines = 0;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("ppml_frame_bytes_bucket{le=\"") else {
+                continue;
+            };
+            lines += 1;
+            let (le_str, cum_str) = rest.split_once("\"} ").expect("bucket line shape");
+            let cum: u64 = cum_str.parse().expect("cumulative count");
+            let le: i128 = if le_str == "+Inf" {
+                i128::MAX
+            } else {
+                le_str.parse().expect("le bound")
+            };
+            assert!(le > last_le, "le not increasing: {line}");
+            assert!(cum >= last_cum, "cumulative count decreased: {line}");
+            last_le = le;
+            last_cum = cum;
+        }
+        assert!(lines >= 4, "expected several bucket lines:\n{text}");
+        assert_eq!(last_cum, 7, "+Inf bucket must equal the total count");
+        // The exact-edge observations land under their documented bounds.
+        assert!(
+            text.contains("ppml_frame_bytes_bucket{le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ppml_frame_bytes_bucket{le=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("ppml_frame_bytes_bucket{{le=\"{}\"}} 7", u64::MAX)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn registry_folds_cluster_observability_events() {
+        let reg = MetricsRegistry::new();
+        reg.record(event(EventKind::TelemetryDelta {
+            from: 2,
+            iteration: 5,
+            span: 99,
+            frames: 4,
+            bytes: 2_048,
+            elapsed_ns: 1_000_000,
+        }));
+        reg.record(event(EventKind::SlowLearner {
+            party: 3,
+            iteration: 5,
+            lag_ns: 8_000_000,
+            median_ns: 2_000_000,
+            score: 4.0,
+        }));
+        assert_eq!(reg.telemetry_deltas_total.get(), 1);
+        assert_eq!(reg.slow_learners_total.get(), 1);
+        assert_eq!(reg.straggler_lag_ns.count(), 1);
+        let text = reg.render();
+        assert!(text.contains("ppml_telemetry_deltas_total 1"), "{text}");
+        assert!(text.contains("ppml_slow_learners_total 1"), "{text}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::Write as _;
+use std::io::{BufWriter, Write as _};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -16,6 +16,11 @@ pub trait Sink: Send + Sync {
     /// Accepts one event. Must not panic and must not call back into
     /// [`crate::emit`].
     fn record(&self, event: Event);
+
+    /// Pushes any buffered events to durable storage. Called by
+    /// [`crate::uninstall`] before the host renders its summary; sinks
+    /// that write eagerly need not override the default no-op.
+    fn flush(&self) {}
 }
 
 // ---------------------------------------------------------------- ring
@@ -75,11 +80,33 @@ impl Sink for RingSink {
 
 // --------------------------------------------------------------- jsonl
 
-/// Appends one [`Event::to_json`] line per event to a file. Writes are
-/// unbuffered (one line, one write) so a crashed process still leaves a
-/// parseable prefix behind.
+/// Appends one [`Event::to_json`] line per event to a file, buffered
+/// behind a [`BufWriter`] — high-rate wire events cost a memcpy, not a
+/// syscall each. Durability comes from explicit flush points rather
+/// than per-line writes: the buffer drains on [`Sink::flush`] (which
+/// [`crate::uninstall`] calls), on drop, and immediately after any
+/// *barrier* event — round closes, checkpoints, dropouts, re-keys,
+/// resumes, rejoins, deadline misses, straggler verdicts — so a process
+/// killed mid-run (the chaos drills SIGKILL on purpose) still leaves a
+/// parseable prefix that includes every protocol milestone it reached.
 pub struct JsonlSink {
-    file: Mutex<File>,
+    writer: Mutex<BufWriter<File>>,
+}
+
+/// Events whose presence on disk the chaos drills and `ppml-trace`
+/// depend on: buffered lines are flushed as soon as one is recorded.
+fn is_barrier(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::RoundClose { .. }
+            | EventKind::DeadlineMiss { .. }
+            | EventKind::Dropout { .. }
+            | EventKind::RekeyEpoch { .. }
+            | EventKind::CheckpointWrite { .. }
+            | EventKind::ResumeFromCheckpoint { .. }
+            | EventKind::Rejoin { .. }
+            | EventKind::SlowLearner { .. }
+    )
 }
 
 impl JsonlSink {
@@ -90,7 +117,7 @@ impl JsonlSink {
     /// Any [`std::io::Error`] from creating the file.
     pub fn create(path: &Path) -> std::io::Result<Arc<Self>> {
         Ok(Arc::new(JsonlSink {
-            file: Mutex::new(File::create(path)?),
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
         }))
     }
 }
@@ -99,9 +126,24 @@ impl Sink for JsonlSink {
     fn record(&self, event: Event) {
         let mut line = event.to_json();
         line.push('\n');
-        let mut file = self.file.lock().expect("jsonl lock");
+        let mut writer = self.writer.lock().expect("jsonl lock");
         // A full disk must not take the training run down with it.
-        let _ = file.write_all(line.as_bytes());
+        let _ = writer.write_all(line.as_bytes());
+        if is_barrier(&event.kind) {
+            let _ = writer.flush();
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl lock").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(writer) = self.writer.get_mut() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -150,6 +192,9 @@ struct Totals {
     phases: BTreeMap<&'static str, (u64, u64)>,
     /// backend label → (rounds, bytes, total ns).
     secagg: BTreeMap<&'static str, (u64, u64, u64)>,
+    telemetry_deltas: u64,
+    /// `(t_ns, party, iteration, score)` per straggler verdict.
+    slow_learners: Vec<(u64, u32, u64, f64)>,
 }
 
 /// O(1)-per-event accumulators rendering an end-of-run human summary:
@@ -297,6 +342,21 @@ impl SummarySink {
                 total_ns as f64 / 1e9
             );
         }
+        if t.telemetry_deltas > 0 {
+            let _ = writeln!(
+                out,
+                "  cluster: {} telemetry deltas folded",
+                t.telemetry_deltas
+            );
+        }
+        for &(t_ns, party, iteration, score) in &t.slow_learners {
+            let rel = t.first_t_ns.map_or(0, |f| t_ns.saturating_sub(f));
+            let _ = writeln!(
+                out,
+                "  straggler: party {party} at round {iteration}, score {score:.2} (+{:.3}s)",
+                rel as f64 / 1e9
+            );
+        }
         out
     }
 }
@@ -382,6 +442,13 @@ impl Sink for SummarySink {
                 slot.1 += bytes;
                 slot.2 += elapsed_ns;
             }
+            EventKind::TelemetryDelta { .. } => t.telemetry_deltas += 1,
+            EventKind::SlowLearner {
+                party,
+                iteration,
+                score,
+                ..
+            } => t.slow_learners.push((event.t_ns, party, iteration, score)),
         }
     }
 }
@@ -405,6 +472,12 @@ impl Sink for FanoutSink {
     fn record(&self, event: Event) {
         for sink in &self.sinks {
             sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
         }
     }
 }
@@ -480,6 +553,92 @@ mod tests {
         assert!(text.contains("dropout: party 1 at round 2"), "{text}");
         assert!(text.contains("re-key: epoch 1, 2 survivors"), "{text}");
         assert!(text.contains("phase collect: 1 spans, 0.500s"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_buffers_until_flush_and_flushes_on_barriers() {
+        let dir = std::env::temp_dir().join(format!("ppml-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("buffered.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+
+        // A high-rate wire event sits in the buffer: nothing on disk yet.
+        sink.record(event(1, EventKind::DedupDrop { from: 1, seq: 7 }));
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read").len(),
+            0,
+            "non-barrier events must be buffered, not synced per line"
+        );
+
+        // A barrier event forces everything buffered so far out.
+        sink.record(event(
+            2,
+            EventKind::RoundClose {
+                iteration: 3,
+                epoch: 0,
+                shares: 4,
+                elapsed_ns: 9,
+            },
+        ));
+        let on_disk = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(on_disk.lines().count(), 2, "{on_disk}");
+        assert!(on_disk.contains("\"round_close\""), "{on_disk}");
+
+        // Explicit flush drains later non-barrier lines too.
+        sink.record(event(3, EventKind::WorkerUp { node: 2 }));
+        sink.flush();
+        let on_disk = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(on_disk.lines().count(), 3, "{on_disk}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("ppml-jsonl-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("dropped.jsonl");
+        {
+            let sink = JsonlSink::create(&path).expect("create");
+            sink.record(event(1, EventKind::WorkerUp { node: 1 }));
+        }
+        let on_disk = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(on_disk.lines().count(), 1, "{on_disk}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_renders_straggler_verdicts() {
+        let summary = SummarySink::new();
+        summary.record(event(
+            0,
+            EventKind::TelemetryDelta {
+                from: 1,
+                iteration: 2,
+                span: 9,
+                frames: 3,
+                bytes: 512,
+                elapsed_ns: 1_000,
+            },
+        ));
+        summary.record(event(
+            1_500_000_000,
+            EventKind::SlowLearner {
+                party: 2,
+                iteration: 4,
+                lag_ns: 6_000_000,
+                median_ns: 2_000_000,
+                score: 3.0,
+            },
+        ));
+        let text = summary.render();
+        assert!(
+            text.contains("cluster: 1 telemetry deltas folded"),
+            "{text}"
+        );
+        assert!(
+            text.contains("straggler: party 2 at round 4, score 3.00 (+1.500s)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -25,8 +25,9 @@ use crate::wire::{Reader, Wire, WireError};
 /// [`Message::Rekey`] frame for dropout recovery. [`Message::Score`] and
 /// [`Message::ScoreReply`] are additive within version 2: new kind bytes,
 /// no layout change to any existing frame. The secure-aggregation kinds
-/// ([`Message::ShamirDist`] through [`Message::CipherSum`]) follow the
-/// same additive rule.
+/// ([`Message::ShamirDist`] through [`Message::CipherSum`]) and the
+/// observability kind ([`Message::Telemetry`]) follow the same additive
+/// rule.
 pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed bytes around every payload: 4 (length prefix) + 20 (version, kind,
@@ -290,6 +291,38 @@ pub enum Message {
         /// Decoded coordinate sums.
         values: Vec<f64>,
     },
+    /// In-band observability deltas (learner → coordinator), piggy-backed
+    /// at a round boundary. Carries only privacy-typed scalars — sizes,
+    /// timings, counts, epochs, the same rule `EventKind` enforces — and
+    /// never shares, masks or model coordinates. The coordinator folds
+    /// the deltas into its per-learner cluster registry; the frame is
+    /// pure observability: it is sent unreliably, never charged to the
+    /// run's byte accounting, and losing it costs nothing but a gap in a
+    /// gauge. Additive in wire version 2.
+    Telemetry {
+        /// Protocol round the deltas cover.
+        iteration: u64,
+        /// Causal correlation id (`mix64(run_id ^ iteration)`): streams
+        /// of one run stamp the same span per round, so traces merge by
+        /// id instead of clock rebasing.
+        span: u64,
+        /// Originating party.
+        party: PartyId,
+        /// Sender's mask epoch at the time of the report.
+        epoch: u64,
+        /// Frames the sender put on the wire since its last report.
+        frames_sent: u64,
+        /// Frames the sender received since its last report.
+        frames_recv: u64,
+        /// Encoded bytes sent since the last report.
+        bytes_sent: u64,
+        /// Encoded bytes received since the last report.
+        bytes_recv: u64,
+        /// Send retries (reconnects + retransmits) since the last report.
+        retransmits: u64,
+        /// The sender's local wall clock for the round, nanoseconds.
+        elapsed_ns: u64,
+    },
 }
 
 impl Message {
@@ -318,6 +351,7 @@ impl Message {
             Message::CipherShare { .. } => 20,
             Message::CipherAgg { .. } => 21,
             Message::CipherSum { .. } => 22,
+            Message::Telemetry { .. } => 23,
         }
     }
 
@@ -397,6 +431,29 @@ impl Message {
                 bytes,
             } => iteration.byte_len() + contributors.byte_len() + bytes.byte_len(),
             Message::CipherSum { iteration, values } => iteration.byte_len() + values.byte_len(),
+            Message::Telemetry {
+                iteration,
+                span,
+                party,
+                epoch,
+                frames_sent,
+                frames_recv,
+                bytes_sent,
+                bytes_recv,
+                retransmits,
+                elapsed_ns,
+            } => {
+                iteration.byte_len()
+                    + span.byte_len()
+                    + party.byte_len()
+                    + epoch.byte_len()
+                    + frames_sent.byte_len()
+                    + frames_recv.byte_len()
+                    + bytes_sent.byte_len()
+                    + bytes_recv.byte_len()
+                    + retransmits.byte_len()
+                    + elapsed_ns.byte_len()
+            }
         }
     }
 
@@ -534,6 +591,29 @@ impl Message {
                 iteration.encode_into(out);
                 values.encode_into(out);
             }
+            Message::Telemetry {
+                iteration,
+                span,
+                party,
+                epoch,
+                frames_sent,
+                frames_recv,
+                bytes_sent,
+                bytes_recv,
+                retransmits,
+                elapsed_ns,
+            } => {
+                iteration.encode_into(out);
+                span.encode_into(out);
+                party.encode_into(out);
+                epoch.encode_into(out);
+                frames_sent.encode_into(out);
+                frames_recv.encode_into(out);
+                bytes_sent.encode_into(out);
+                bytes_recv.encode_into(out);
+                retransmits.encode_into(out);
+                elapsed_ns.encode_into(out);
+            }
         }
     }
 
@@ -626,6 +706,18 @@ impl Message {
             22 => Message::CipherSum {
                 iteration: r.u64()?,
                 values: r.vec_f64()?,
+            },
+            23 => Message::Telemetry {
+                iteration: r.u64()?,
+                span: r.u64()?,
+                party: r.u32()?,
+                epoch: r.u64()?,
+                frames_sent: r.u64()?,
+                frames_recv: r.u64()?,
+                bytes_sent: r.u64()?,
+                bytes_recv: r.u64()?,
+                retransmits: r.u64()?,
+                elapsed_ns: r.u64()?,
             },
             _ => return Err(WireError::Malformed("unknown message kind")),
         })
@@ -875,6 +967,18 @@ mod tests {
             Message::CipherSum {
                 iteration: 6,
                 values: vec![-12.5, 0.0, 4.25],
+            },
+            Message::Telemetry {
+                iteration: 8,
+                span: 0x5EED_CAFE,
+                party: 2,
+                epoch: 1,
+                frames_sent: 40,
+                frames_recv: 39,
+                bytes_sent: 16_384,
+                bytes_recv: 9_000,
+                retransmits: 1,
+                elapsed_ns: 870_000,
             },
         ]
     }
@@ -1134,6 +1238,18 @@ mod tests {
                 iteration: 2,
                 values: vec![1.0, -1.0],
             },
+            Message::Telemetry {
+                iteration: 2,
+                span: 0xFEED,
+                party: 1,
+                epoch: 0,
+                frames_sent: 10,
+                frames_recv: 9,
+                bytes_sent: 4_096,
+                bytes_recv: 2_048,
+                retransmits: 0,
+                elapsed_ns: 500_000,
+            },
         ] {
             let mut full = Vec::new();
             msg.encode_payload(&mut full);
@@ -1152,17 +1268,17 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kind_above_cipher_sum_is_rejected_not_misparsed() {
-        // Forward compatibility: a frame from a future build using kind 23
+    fn unknown_kind_above_telemetry_is_rejected_not_misparsed() {
+        // Forward compatibility: a frame from a future build using kind 24
         // must come back as an unknown-kind error, exactly like the
-        // pre-secagg builds treat kinds 18..=22.
+        // pre-secagg builds treat kinds 18..=23.
         let msg = Message::Join { party: 1, nonce: 7 };
         let mut enc = reframe_with_payload(&msg, &{
             let mut p = Vec::new();
             msg.encode_payload(&mut p);
             p
         });
-        enc[5] = 23; // kind byte
+        enc[5] = 24; // kind byte
         let crc = crc32(&enc[4..enc.len() - 4]);
         let n = enc.len();
         enc[n - 4..].copy_from_slice(&crc.to_le_bytes());

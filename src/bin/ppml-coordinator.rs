@@ -52,7 +52,11 @@
 //! the lifetime of the run (`metrics on ADDR` is printed with the bound
 //! address; port 0 picks a free one). The endpoint exposes the same
 //! scalar aggregates — counters, gauges, log2 histograms — and nothing
-//! else.
+//! else. The same server also answers `GET /cluster` with the per-learner
+//! cluster view: counter deltas each learner relays in-band at its round
+//! boundaries, folded into labelled `ppml_cluster_*` series plus a
+//! `ppml_straggler_score` gauge per learner (watch it live with
+//! `ppml-trace --live HOST:PORT`).
 //! ```
 //!
 //! Exit codes are typed (see `ppml::cli`): 2 usage/config, 3

@@ -14,7 +14,7 @@
 //!              [--secagg pairwise|shamir|paillier] [--secagg-threshold T]
 //!              [--telemetry events.jsonl]
 //!              [--metrics-addr 127.0.0.1:0] [--defect-after R]
-//!              [--rejoin true]
+//!              [--lag-ms N] [--rejoin true]
 //!
 //! `--patience` bounds how long the learner waits between coordinator
 //! protocol frames; when it expires the process exits with an error
@@ -51,6 +51,12 @@
 //! the failure mode only the coordinator's round deadline can catch. The
 //! process then exits with a transport-timeout error once its own
 //! patience runs out; that exit is the injected fault working, not a bug.
+//!
+//! `--lag-ms N` is the gentler sibling: the learner sleeps N ms before
+//! every local step but otherwise participates correctly. Use it to
+//! exercise the coordinator's straggler scorer (`ppml_straggler_score`
+//! on its `/cluster` endpoint and `slow_learner` events in its JSONL)
+//! without losing the learner.
 //! ```
 //!
 //! Every training flag must match the coordinator's, as both sides drive
@@ -84,7 +90,7 @@ fn usage() -> String {
      [--transport <event|threads>]\n               \
      [--secagg <pairwise|shamir|paillier>] [--secagg-threshold T]\n               \
      [--telemetry EVENTS.jsonl] [--metrics-addr HOST:PORT] [--defect-after R]\n               \
-     [--rejoin true]"
+     [--lag-ms N] [--rejoin true]"
         .to_string()
 }
 
@@ -286,6 +292,11 @@ fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
             },
         )
         .map_err(|e| CliError::transport(e.to_string()))?;
+    let lag_ms: u64 = numeric(&flags, "lag-ms", 0).map_err(CliError::usage)?;
+    if lag_ms > 0 {
+        println!("learner {party}: straggler injection armed, +{lag_ms}ms per round");
+        ppml::core::set_injected_lag(Duration::from_millis(lag_ms));
+    }
     let patience: u64 = numeric(&flags, "patience", 60).map_err(CliError::usage)?;
     let timing = DistributedTiming::default()
         .with_round_deadline(Duration::from_secs(patience.max(1)))

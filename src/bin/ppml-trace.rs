@@ -1,44 +1,271 @@
 //! `ppml-trace` — merge the per-process JSONL telemetry streams of one
 //! distributed run into a single causal timeline on the coordinator's
-//! clock.
+//! clock, or watch a live run's per-learner cluster view.
 //!
 //! ```text
 //! ppml-trace <stream.jsonl>...
+//! ppml-trace --live HOST:PORT [--interval-ms N] [--iterations K]
 //! ```
 //!
-//! Feed it every stream of a run — coordinator and learners, in any
-//! order. It identifies the coordinator (the stream carrying `ClockSync`
-//! events), rebases learner timestamps via the recorded clock offsets,
-//! and prints the merged report: per-round critical path, deadline-miss →
-//! dropout → re-key sequences, retransmit hot spots, and per-phase span
-//! summaries. Lines with unknown event kinds (from a newer build) are
-//! skipped and counted, never fatal.
+//! **Merge mode**: feed it every stream of a run — coordinator and
+//! learners, in any order. It identifies the coordinator (the stream
+//! carrying `ClockSync` events), rebases learner timestamps via the
+//! recorded clock offsets — falling back to causal anchoring on shared
+//! round opens when a stream has no offset — and prints the merged
+//! report: per-round critical path, deadline-miss → dropout → re-key
+//! sequences, straggler verdicts, retransmit hot spots, and per-phase
+//! span summaries. Lines with unknown event kinds (from a newer build)
+//! are skipped and counted, never fatal; a stream with *no* parseable
+//! events at all is a usage error (exit 2) — the file is empty or not
+//! JSONL telemetry.
+//!
+//! **Live mode** (`--live`): polls the coordinator's `GET /cluster`
+//! endpoint (the Prometheus exposition served next to `/metrics` when
+//! the coordinator runs with `--metrics-addr`) every `--interval-ms`
+//! (default 1000) and renders a refreshing per-learner table: last
+//! round, relayed frame/byte counters, retransmits, and the straggler
+//! score. `--iterations K` stops after K polls (CI uses 1); the default
+//! is to poll until interrupted.
+//!
+//! Exit codes are typed (see `ppml::cli`): 2 usage/empty/malformed
+//! input, 3 unreadable stream file, 4 scrape/transport failure.
 
+use std::collections::BTreeMap;
+use std::io::IsTerminal as _;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use ppml::cli::CliError;
+use ppml::telemetry;
 use ppml::trace::{Stream, Timeline};
 
-fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() || paths.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: ppml-trace <stream.jsonl>...");
-        eprintln!();
-        eprintln!("Merges the JSONL telemetry streams of one distributed run into a");
-        eprintln!("single timeline on the coordinator's clock. Pass every stream of");
-        eprintln!("the run (coordinator + learners), in any order.");
-        return ExitCode::FAILURE;
+fn usage() -> String {
+    "usage:\n  ppml-trace <stream.jsonl>...\n  \
+     ppml-trace --live HOST:PORT [--interval-ms N] [--iterations K]\n\n\
+     Merges the JSONL telemetry streams of one distributed run into a\n\
+     single timeline on the coordinator's clock (pass every stream of\n\
+     the run, in any order), or with --live polls a running\n\
+     coordinator's /cluster endpoint and renders the per-learner view."
+        .to_string()
+}
+
+enum Mode {
+    Merge(Vec<String>),
+    Live {
+        addr: String,
+        interval: Duration,
+        iterations: Option<u64>,
+    },
+}
+
+fn parse_args(args: &[String]) -> Result<Mode, CliError> {
+    if args.is_empty() {
+        return Err(CliError::usage("no input streams"));
     }
-    let mut streams = Vec::with_capacity(paths.len());
-    for path in &paths {
-        match Stream::load(Path::new(path)) {
-            Ok(stream) => streams.push(stream),
-            Err(e) => {
-                eprintln!("ppml-trace: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+    if !args.iter().any(|a| a == "--live") {
+        if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+            return Err(CliError::usage(format!("unknown flag {flag}")));
+        }
+        return Ok(Mode::Merge(args.to_vec()));
+    }
+    let mut addr = None;
+    let mut interval_ms: u64 = 1_000;
+    let mut iterations = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--live" => {
+                addr = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--live needs HOST:PORT"))?
+                        .clone(),
+                );
+            }
+            "--interval-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--interval-ms needs a value"))?;
+                interval_ms = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("--interval-ms: bad value {v}")))?;
+            }
+            "--iterations" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--iterations needs a value"))?;
+                let k: u64 = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("--iterations: bad value {v}")))?;
+                if k == 0 {
+                    return Err(CliError::usage("--iterations must be at least 1"));
+                }
+                iterations = Some(k);
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument {other} in --live mode"
+                )));
             }
         }
     }
+    Ok(Mode::Live {
+        addr: addr.expect("--live parsed"),
+        interval: Duration::from_millis(interval_ms.max(10)),
+        iterations,
+    })
+}
+
+fn run_merge(paths: &[String]) -> Result<(), CliError> {
+    let mut streams = Vec::with_capacity(paths.len());
+    for path in paths {
+        let stream = Stream::load(Path::new(path))
+            .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+        if stream.events.is_empty() {
+            // Distinguish "no telemetry at all" from "newer build": a
+            // stream that is *only* unknown kinds still merges fine.
+            if stream.skipped_unknown == 0 {
+                return Err(CliError::usage(format!(
+                    "{path}: no parseable telemetry events (empty or malformed stream)"
+                )));
+            }
+        }
+        streams.push(stream);
+    }
     print!("{}", Timeline::correlate(streams).render());
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// One learner's row of the live view, filled from the `/cluster`
+/// exposition.
+#[derive(Default)]
+struct LearnerRow {
+    round: u64,
+    epoch: u64,
+    deltas: u64,
+    frames_sent: u64,
+    bytes_sent: u64,
+    retransmits: u64,
+    score: f64,
+}
+
+/// Parses the `/cluster` Prometheus text into per-learner rows. Unknown
+/// series are ignored — the endpoint may grow.
+fn parse_cluster(text: &str) -> BTreeMap<u64, LearnerRow> {
+    let mut rows: BTreeMap<u64, LearnerRow> = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Some((name, labels)) = series.split_once('{') else {
+            continue;
+        };
+        let Some(learner) = labels
+            .split(',')
+            .find_map(|l| l.strip_prefix("learner=\""))
+            .and_then(|l| l.strip_suffix("\"}").or_else(|| l.strip_suffix('"')))
+            .and_then(|l| l.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let row = rows.entry(learner).or_default();
+        let as_u64 = || value.parse::<u64>().unwrap_or(0);
+        match name {
+            "ppml_cluster_last_round" => row.round = as_u64(),
+            "ppml_cluster_epoch" => row.epoch = as_u64(),
+            "ppml_cluster_deltas_total" => row.deltas = as_u64(),
+            "ppml_cluster_frames_sent_total" => row.frames_sent = as_u64(),
+            "ppml_cluster_bytes_sent_total" => row.bytes_sent = as_u64(),
+            "ppml_cluster_retransmits_total" => row.retransmits = as_u64(),
+            "ppml_straggler_score" => row.score = value.parse().unwrap_or(0.0),
+            _ => {}
+        }
+    }
+    rows
+}
+
+fn render_table(addr: &str, tick: u64, rows: &BTreeMap<u64, LearnerRow>) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "live cluster view @ {addr} — poll {tick}, {} learners\n",
+        rows.len()
+    ));
+    if rows.is_empty() {
+        out.push_str("(no learner series yet — learners relay telemetry at round boundaries)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:>7} {:>6} {:>6} {:>7} {:>8} {:>12} {:>8} {:>6}\n",
+        "learner", "round", "epoch", "deltas", "frames", "bytes", "retrans", "score"
+    ));
+    for (learner, row) in rows {
+        out.push_str(&format!(
+            "{learner:>7} {:>6} {:>6} {:>7} {:>8} {:>12} {:>8} {:>6.2}\n",
+            row.round,
+            row.epoch,
+            row.deltas,
+            row.frames_sent,
+            row.bytes_sent,
+            row.retransmits,
+            row.score
+        ));
+    }
+    out
+}
+
+fn run_live(addr: &str, interval: Duration, iterations: Option<u64>) -> Result<(), CliError> {
+    let clear_screen = std::io::stdout().is_terminal();
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let (status, body) = telemetry::request(addr, "GET", "/cluster", b"")
+            .map_err(|e| CliError::transport(format!("scrape {addr}/cluster: {e}")))?;
+        if status != 200 {
+            return Err(CliError::transport(format!(
+                "scrape {addr}/cluster: HTTP {status}"
+            )));
+        }
+        if clear_screen {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_table(addr, tick, &parse_cluster(&body)));
+        if iterations.is_some_and(|k| tick >= k) {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let mode = match parse_args(&args) {
+        Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("ppml-trace: {}\n{}", e.msg, usage());
+            return e.exit_code();
+        }
+    };
+    let result = match mode {
+        Mode::Merge(paths) => run_merge(&paths),
+        Mode::Live {
+            addr,
+            interval,
+            iterations,
+        } => run_live(&addr, interval, iterations),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // One line to stderr, typed exit code (see ppml::cli).
+            eprintln!("ppml-trace: {}", e.msg);
+            e.exit_code()
+        }
+    }
 }

@@ -17,6 +17,15 @@
 //! thin CLI over [`Stream::load`] + [`Timeline::correlate`] +
 //! [`Timeline::render`].
 //!
+//! Clock rebasing has a causal fallback (ISSUE 9): a stream whose owner
+//! has no `ClockSync` offset — its process outlived the probe window, or
+//! the probes were lost — is anchored on the earliest `RoundOpen`
+//! iteration it shares with the coordinator. The coordinator's open is
+//! the broadcast that *caused* the learner's, so the anchor aligns the
+//! two clocks to within one network delivery: coarser than the NTP-style
+//! probe offset, but enough for causal ordering, and derived entirely
+//! from ids both sides already stamp.
+//!
 //! Parsing is forward-compatible: a line whose `kind` this build does
 //! not know ([`ParseError::UnknownKind`]) is skipped and counted, never
 //! fatal — a trace reader must survive streams written by a newer build.
@@ -158,6 +167,10 @@ pub struct Timeline {
     /// `party → offset_ns` (peer clock − coordinator clock) from the
     /// coordinator's `ClockSync` events; rebasing subtracts this.
     pub offsets: BTreeMap<u32, i64>,
+    /// Causal fallback offsets for parties absent from [`Timeline::offsets`]:
+    /// derived from the earliest `RoundOpen` iteration the party's stream
+    /// shares with the coordinator's. Good to within one network delivery.
+    pub derived_offsets: BTreeMap<u32, i64>,
     /// Winning-probe RTT per party, for the report.
     pub rtts: BTreeMap<u32, u64>,
     /// All events of all streams, rebased where possible, sorted by
@@ -226,10 +239,54 @@ impl Timeline {
             }
         }
 
+        // Causal fallback: a party with no probe offset is anchored on
+        // the earliest RoundOpen iteration its stream shares with the
+        // coordinator's — the coordinator's open *causes* the learner's,
+        // so the difference of the two stamps is the clock offset plus
+        // one network delivery.
+        let mut derived_offsets: BTreeMap<u32, i64> = BTreeMap::new();
+        if let Some(ci) = coordinator_stream {
+            let mut coordinator_opens: BTreeMap<u64, i64> = BTreeMap::new();
+            for e in &streams[ci].events {
+                if Some(e.party) == coordinator_party {
+                    if let EventKind::RoundOpen { iteration, .. } = e.kind {
+                        coordinator_opens.entry(iteration).or_insert(e.t_ns as i64);
+                    }
+                }
+            }
+            for (si, stream) in streams.iter().enumerate() {
+                if Some(si) == coordinator_stream {
+                    continue;
+                }
+                let Some(owner) = stream.owner() else {
+                    continue;
+                };
+                if offsets.contains_key(&owner) || derived_offsets.contains_key(&owner) {
+                    continue;
+                }
+                let anchor = stream
+                    .events
+                    .iter()
+                    .filter(|e| e.party == owner)
+                    .filter_map(|e| match e.kind {
+                        EventKind::RoundOpen { iteration, .. } => coordinator_opens
+                            .get(&iteration)
+                            .map(|&ct| (iteration, (e.t_ns as i64).wrapping_sub(ct))),
+                        _ => None,
+                    })
+                    .min_by_key(|&(iteration, _)| iteration);
+                if let Some((_, off)) = anchor {
+                    derived_offsets.insert(owner, off);
+                }
+            }
+        }
+        let mut all_offsets = offsets.clone();
+        all_offsets.extend(derived_offsets.iter().map(|(&p, &o)| (p, o)));
+
         let mut events: Vec<TraceEvent> = Vec::new();
         for (si, stream) in streams.iter().enumerate() {
             let is_coordinator = Some(si) == coordinator_stream;
-            let offset = stream.owner().and_then(|p| offsets.get(&p).copied());
+            let offset = stream.owner().and_then(|p| all_offsets.get(&p).copied());
             for &event in &stream.events {
                 let (t_ns, rebased) = if is_coordinator {
                     (event.t_ns as i64, true)
@@ -248,13 +305,19 @@ impl Timeline {
         }
         events.sort_by_key(|e| e.t_ns);
 
-        let rounds = build_rounds(&streams, coordinator_stream, coordinator_party, &offsets);
+        let rounds = build_rounds(
+            &streams,
+            coordinator_stream,
+            coordinator_party,
+            &all_offsets,
+        );
 
         Timeline {
             streams,
             coordinator_stream,
             coordinator_party,
             offsets,
+            derived_offsets,
             rtts,
             events,
             rounds,
@@ -452,15 +515,24 @@ impl Timeline {
                 rtt as f64 / 1e6
             );
         }
+        for (&party, &offset) in &self.derived_offsets {
+            let _ = writeln!(
+                out,
+                "causal offset: party {party} {}{:.3}ms (derived from shared round opens; \
+                 no ClockSync)",
+                if offset >= 0 { "+" } else { "-" },
+                offset.unsigned_abs() as f64 / 1e6
+            );
+        }
         let unrebased: Vec<&str> = self
             .streams
             .iter()
             .enumerate()
             .filter(|&(si, _)| {
                 Some(si) != self.coordinator_stream
-                    && self.streams[si]
-                        .owner()
-                        .is_none_or(|p| !self.offsets.contains_key(&p))
+                    && self.streams[si].owner().is_none_or(|p| {
+                        !self.offsets.contains_key(&p) && !self.derived_offsets.contains_key(&p)
+                    })
             })
             .map(|(_, s)| s.name.as_str())
             .collect();
@@ -585,6 +657,27 @@ impl Timeline {
                 "rejoin story: party {} {dropped} → re-admitted at round {} → {sealed}",
                 story.party, story.iteration
             );
+        }
+
+        // Straggler story: the coordinator's per-round slow-learner
+        // verdicts (collect lag scored against the round median).
+        for e in &self.events {
+            if let EventKind::SlowLearner {
+                party,
+                iteration,
+                lag_ns,
+                median_ns,
+                score,
+            } = e.event.kind
+            {
+                let _ = writeln!(
+                    out,
+                    "straggler: party {party} round {iteration} score {score:.2} \
+                     (lag {:.3}ms vs median {:.3}ms)",
+                    lag_ns as f64 / 1e6,
+                    median_ns as f64 / 1e6
+                );
+            }
         }
 
         // Retransmit hot spots: per (sender party, destination).
@@ -971,13 +1064,37 @@ mod tests {
     }
 
     #[test]
-    fn streams_without_offsets_are_flagged_not_dropped() {
+    fn missing_clock_sync_falls_back_to_causal_round_anchoring() {
         let mut streams = scripted();
         // Strip the ClockSync for learner 1 from the coordinator stream.
         streams[0]
             .events
             .retain(|e| !matches!(e.kind, EventKind::ClockSync { peer: 1, .. }));
         let tl = Timeline::correlate(streams);
+        // The shared round-0 opens anchor the stream: learner 1's open
+        // (raw 2e9+200_000) vs the coordinator's (10_000) derives the
+        // true +2e9 offset plus the 190_000 ns delivery skew.
+        assert_eq!(tl.derived_offsets.get(&1), Some(&2_000_190_000));
+        assert!(tl.events.iter().all(|e| e.rebased));
+        let text = tl.render();
+        assert!(text.contains("causal offset: party 1"), "{text}");
+        assert!(!text.contains("WARNING: no clock offset"), "{text}");
+        // Rebased via the anchor, learner 1 is still the critical path.
+        assert_eq!(tl.rounds[0].slowest_learner, Some((1, 610_000)));
+    }
+
+    #[test]
+    fn streams_without_any_anchor_are_flagged_not_dropped() {
+        let mut streams = scripted();
+        // No ClockSync *and* no shared round opens: nothing to anchor on.
+        streams[0]
+            .events
+            .retain(|e| !matches!(e.kind, EventKind::ClockSync { peer: 1, .. }));
+        streams[2]
+            .events
+            .retain(|e| !matches!(e.kind, EventKind::RoundOpen { .. }));
+        let tl = Timeline::correlate(streams);
+        assert!(tl.derived_offsets.is_empty());
         // Learner 1's events survive, but unrebased.
         assert!(tl.events.iter().any(|e| e.event.party == 1 && !e.rebased));
         assert!(
@@ -986,6 +1103,27 @@ mod tests {
         );
         // And it cannot be a critical-path witness.
         assert_eq!(tl.rounds[0].slowest_learner, Some((0, 500_000)));
+    }
+
+    #[test]
+    fn render_reports_the_straggler_story() {
+        let mut streams = scripted();
+        streams[0].events.push(ev(
+            5_900_000,
+            2,
+            EventKind::SlowLearner {
+                party: 1,
+                iteration: 1,
+                lag_ns: 4_800_000,
+                median_ns: 1_200_000,
+                score: 4.0,
+            },
+        ));
+        let text = Timeline::correlate(streams).render();
+        assert!(
+            text.contains("straggler: party 1 round 1 score 4.00 (lag 4.800ms vs median 1.200ms)"),
+            "{text}"
+        );
     }
 
     /// A run with the full recovery arc: checkpoints every round, a
