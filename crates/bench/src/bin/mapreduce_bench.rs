@@ -1,0 +1,286 @@
+//! Multi-process MapReduce scheduling: round wall-clock versus worker
+//! count with an injected straggler, speculation off versus on
+//! (ISSUE 10 bench).
+//!
+//! ```text
+//! cargo run -p ppml-bench --bin mapreduce_bench --release
+//! ```
+//!
+//! For each worker count m, three cells over the CPU-bound `spin` job:
+//!
+//! * `baseline` — m healthy workers, speculation on at the default
+//!   threshold (it should stay close to zero firings — a large count
+//!   here means the threshold is mis-tuned, and the column reports it);
+//! * `straggler` — the last worker sleeps `STRAGGLER_MS` before every
+//!   task, speculation *off*: every round eats the full injected lag;
+//! * `speculate` — same straggler, speculation *on*: the scheduler
+//!   duplicates the straggling attempt onto a healthy worker and the
+//!   round finishes at roughly baseline speed, which is the entire
+//!   argument for speculative re-execution.
+//!
+//! Workers are separate OS processes (the bench re-executes itself with
+//! `mr-worker <party> <addr> <m> <blocks> <lag_ms>`), so a straggler
+//! sleeps in its own process and the driver's liveness machinery sees
+//! the same thing it would in production. Every cell also re-checks the
+//! round output against `run_local` — a scheduling bench that returned
+//! wrong bytes would be measuring noise.
+//!
+//! Results go to stdout and `BENCH_mapreduce.json`. `PPML_BENCH_QUICK=1`
+//! shrinks the grid for CI smoke runs.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ppml_mapreduce::{
+    process_job, run_local, spin_broadcast, TaskPolicy, TaskScheduler, WorkerOptions,
+};
+use ppml_transport::{Courier, EventTransport, PartyId, RetryPolicy};
+
+const SEED: u64 = 4242;
+const STRAGGLER_MS: u64 = 120;
+/// Spin rounds per map task — enough CPU per task that scheduling
+/// overhead is not the whole measurement.
+const SPIN_ROUNDS: u64 = 200;
+
+fn quick() -> bool {
+    std::env::var_os("PPML_BENCH_QUICK").is_some()
+}
+
+fn worker_counts() -> Vec<usize> {
+    if quick() {
+        vec![2, 4]
+    } else {
+        vec![2, 4, 8]
+    }
+}
+
+fn rounds() -> usize {
+    if quick() {
+        4
+    } else {
+        10
+    }
+}
+
+/// Worker child: serves map tasks until the driver shuts it down.
+fn worker(party: usize, driver: SocketAddr, workers: usize, blocks: u64, lag_ms: u64) {
+    let transport = EventTransport::bind(
+        party as PartyId,
+        "127.0.0.1:0".parse().expect("loopback"),
+        HashMap::from([(0 as PartyId, driver)]),
+        RetryPolicy::tcp_link(),
+        Duration::from_secs(5),
+    )
+    .expect("worker bind");
+    let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+    let job = process_job("spin").expect("spin job");
+    let resident: Vec<u64> = (0..blocks)
+        .filter(|b| 1 + (b % workers as u64) as usize == party)
+        .collect();
+    let opts = WorkerOptions {
+        lag: Duration::from_millis(lag_ms),
+        idle_timeout: Duration::from_secs(60),
+        ..Default::default()
+    };
+    ppml_mapreduce::worker::serve(&mut courier, 0, job.as_ref(), SEED, &resident, &opts)
+        .expect("worker serve");
+}
+
+struct Row {
+    cell: &'static str,
+    m: usize,
+    straggler_ms: u64,
+    speculate: bool,
+    rounds_completed: usize,
+    round_ms_p50: f64,
+    round_ms_p99: f64,
+    speculations: usize,
+    ok: bool,
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_nanos() as f64 / 1e6
+}
+
+fn run_cell(
+    cell: &'static str,
+    m: usize,
+    straggler_ms: u64,
+    speculate: bool,
+    exe: &std::path::Path,
+) -> Row {
+    let blocks_total = 2 * m as u64;
+    let blocks: Vec<u64> = (0..blocks_total).collect();
+    let broadcast = spin_broadcast(SPIN_ROUNDS);
+    let job = process_job("spin").expect("spin job");
+    let reference = run_local(job.as_ref(), SEED, &blocks, &broadcast);
+
+    let transport = EventTransport::bind(
+        0,
+        "127.0.0.1:0".parse().expect("loopback"),
+        HashMap::new(),
+        RetryPolicy::tcp_link(),
+        Duration::from_secs(5),
+    )
+    .expect("driver bind");
+    let addr = transport.local_addr();
+    let mut children: Vec<Child> = (1..=m)
+        .map(|party| {
+            let lag = if straggler_ms > 0 && party == m {
+                straggler_ms
+            } else {
+                0
+            };
+            Command::new(exe)
+                .args([
+                    "mr-worker",
+                    &party.to_string(),
+                    &addr.to_string(),
+                    &m.to_string(),
+                    &blocks_total.to_string(),
+                    &lag.to_string(),
+                ])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn worker child")
+        })
+        .collect();
+
+    let courier = Courier::new(transport, RetryPolicy::tcp_default());
+    let policy = TaskPolicy {
+        speculate,
+        // The straggler cells use an aggressive duplication threshold so
+        // the injected lag is reliably caught; the baseline keeps the
+        // default so its speculation count measures false positives.
+        speculation_factor: if straggler_ms > 0 {
+            1.5
+        } else {
+            TaskPolicy::default().speculation_factor
+        },
+        ..TaskPolicy::default()
+    };
+    let mut sched = TaskScheduler::new(courier, job, policy);
+    sched
+        .register_workers(m, Duration::from_secs(30))
+        .expect("workers register");
+
+    let total = rounds();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    let mut ok = true;
+    for _ in 0..total {
+        let start = Instant::now();
+        match sched.run_round(&blocks, &broadcast) {
+            Ok(out) if out == reference => latencies.push(start.elapsed()),
+            Ok(_) => {
+                eprintln!("mapreduce/{cell}/m={m}: round output diverged from run_local");
+                ok = false;
+                break;
+            }
+            Err(e) => {
+                eprintln!("mapreduce/{cell}/m={m}: round failed: {e:?}");
+                ok = false;
+                break;
+            }
+        }
+    }
+    let speculations = sched.metrics.task_speculations;
+    sched.shutdown();
+    let grace = Instant::now() + Duration::from_secs(5);
+    for child in &mut children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < grace => std::thread::sleep(Duration::from_millis(10)),
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
+
+    latencies.sort_unstable();
+    let row = Row {
+        cell,
+        m,
+        straggler_ms,
+        speculate,
+        rounds_completed: latencies.len(),
+        round_ms_p50: percentile_ms(&latencies, 0.50),
+        round_ms_p99: percentile_ms(&latencies, 0.99),
+        speculations,
+        ok: ok && latencies.len() == total,
+    };
+    println!(
+        "mapreduce/{:<9}/m={:<2} rounds {:>2}/{}  p50 {:>8.2}ms  p99 {:>8.2}ms  speculations {:>2}  {}",
+        row.cell,
+        row.m,
+        row.rounds_completed,
+        total,
+        row.round_ms_p50,
+        row.round_ms_p99,
+        row.speculations,
+        if row.ok { "ok" } else { "INCOMPLETE" }
+    );
+    row
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("mr-worker") {
+        let party: usize = args[2].parse().expect("party");
+        let driver: SocketAddr = args[3].parse().expect("driver addr");
+        let m: usize = args[4].parse().expect("worker count");
+        let blocks: u64 = args[5].parse().expect("block count");
+        let lag_ms: u64 = args[6].parse().expect("lag ms");
+        worker(party, driver, m, blocks, lag_ms);
+        return Ok(());
+    }
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut rows = Vec::new();
+    for &m in &worker_counts() {
+        rows.push(run_cell("baseline", m, 0, true, &exe));
+        rows.push(run_cell("straggler", m, STRAGGLER_MS, false, &exe));
+        rows.push(run_cell("speculate", m, STRAGGLER_MS, true, &exe));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"mapreduce\",");
+    let _ = writeln!(json, "  \"rounds\": {},", rounds());
+    let _ = writeln!(json, "  \"spin_rounds\": {SPIN_ROUNDS},");
+    let _ = writeln!(json, "  \"straggler_ms\": {STRAGGLER_MS},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"cell\": \"{}\", \"m\": {}, \"straggler_ms\": {}, \"speculate\": {}, \
+             \"rounds_completed\": {}, \"round_ms_p50\": {:.3}, \"round_ms_p99\": {:.3}, \
+             \"speculations\": {}, \"ok\": {}}}{comma}",
+            r.cell,
+            r.m,
+            r.straggler_ms,
+            r.speculate,
+            r.rounds_completed,
+            r.round_ms_p50,
+            r.round_ms_p99,
+            r.speculations,
+            r.ok
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_mapreduce.json", &json)?;
+    println!("wrote BENCH_mapreduce.json");
+    Ok(())
+}

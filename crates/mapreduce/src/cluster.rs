@@ -1,19 +1,24 @@
 //! The threaded cluster runtime: workers, shuffle, reduce, iteration driver.
 
-use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ppml_telemetry as telemetry;
 use ppml_transport::FRAME_OVERHEAD;
-use telemetry::{EventKind, NO_PARTY};
+use telemetry::{ClusterRegistry, EventKind, NO_PARTY};
 
+use crate::fault::WorkerFault;
 use crate::{
     BlockId, BlockStore, ByteSized, FaultPlan, IterativeJob, JobMetrics, MapReduceError, NodeId,
     Scheduler,
 };
+
+/// How often the driver wakes from the result queue to sweep for
+/// overdue attempts.
+const RECV_SLICE: Duration = Duration::from_millis(5);
 
 /// Static description of the simulated cluster.
 #[derive(Debug, Clone)]
@@ -36,6 +41,11 @@ pub struct ClusterConfig {
     /// the driver (the paper's single-Reducer topology); larger values
     /// partition the key space round-robin across worker nodes.
     pub reduce_tasks: usize,
+    /// A map attempt older than this declares its node dead: the
+    /// attempt's tasks re-queue on survivors and the node is never
+    /// scheduled again. Generous by default (a minute) so legitimate
+    /// long maps survive; chaos tests shrink it.
+    pub task_timeout: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -50,6 +60,7 @@ impl Default for ClusterConfig {
             fault_plan: FaultPlan::new(),
             locality_slack: 1,
             reduce_tasks: 1,
+            task_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -75,6 +86,9 @@ impl ClusterConfig {
         }
         if self.reduce_tasks == 0 {
             return fail("reduce_tasks must be at least 1");
+        }
+        if self.task_timeout.is_zero() {
+            return fail("task_timeout must be nonzero");
         }
         Ok(())
     }
@@ -108,6 +122,9 @@ where
 enum WorkerMsg<J: IterativeJob> {
     Map {
         block: BlockId,
+        /// Attempt id within the iteration; results echo it so the
+        /// driver can drop stale answers from nodes it gave up on.
+        attempt: usize,
         payload: Arc<J::BlockPayload>,
         state: J::MapperState,
         broadcast: J::Broadcast,
@@ -122,6 +139,8 @@ enum WorkerMsg<J: IterativeJob> {
 
 struct MapResult<J: IterativeJob> {
     block: BlockId,
+    attempt: usize,
+    node: NodeId,
     state: J::MapperState,
     pairs: Option<Vec<(J::Key, J::MapOut)>>,
     elapsed: Duration,
@@ -150,6 +169,9 @@ pub struct Cluster<J: IterativeJob> {
     scheduler: Scheduler,
     metrics: JobMetrics,
     iteration: usize,
+    /// Nodes declared dead (overdue attempt or closed channel). A dead
+    /// node is blacklisted for the rest of the cluster's life.
+    dead: Vec<bool>,
 }
 
 impl<J: IterativeJob> Cluster<J>
@@ -174,6 +196,7 @@ where
             let (tx, rx) = channel::<WorkerMsg<J>>();
             senders.push(tx);
             let rx = Arc::new(Mutex::new(rx));
+            let fault = config.fault_plan.worker(NodeId(node));
             for slot in 0..config.map_slots_per_node {
                 let rx = Arc::clone(&rx);
                 let result_tx = result_tx.clone();
@@ -181,7 +204,7 @@ where
                 let node_id = NodeId(node);
                 let handle = std::thread::Builder::new()
                     .name(format!("mr-node{node}-slot{slot}"))
-                    .spawn(move || worker_loop(node_id, job, rx, result_tx))
+                    .spawn(move || worker_loop(node_id, fault, job, rx, result_tx))
                     .expect("spawning worker thread");
                 handles.push(handle);
             }
@@ -189,6 +212,7 @@ where
         Ok(Cluster {
             scheduler: Scheduler::new(config.nodes).with_locality_slack(config.locality_slack),
             store: BlockStore::new(config.nodes, config.replication),
+            dead: vec![false; config.nodes],
             job,
             config,
             states: BTreeMap::new(),
@@ -247,11 +271,21 @@ where
     /// Runs one Map → Shuffle → Reduce round with the given broadcast and
     /// returns the reduce outputs (in key order) plus per-iteration metrics.
     ///
+    /// Fault tolerance mirrors the multi-process
+    /// [`TaskScheduler`](crate::TaskScheduler): failed attempts retry on
+    /// other nodes within `max_attempts`; a node whose attempt outlives
+    /// `task_timeout` (or whose channel is closed) is declared dead, its
+    /// in-flight tasks re-queue on survivors, and the node is never
+    /// scheduled again. Late results from a node the driver gave up on
+    /// are dropped by their `(attempt, node)` tag.
+    ///
     /// # Errors
     ///
     /// [`MapReduceError::NoBlocks`] before any data is loaded;
     /// [`MapReduceError::TaskFailed`] when a task exhausts its attempts;
-    /// [`MapReduceError::WorkerLost`] if a worker thread died.
+    /// [`MapReduceError::QuorumLost`] when every node has died;
+    /// [`MapReduceError::WorkerLost`] if a worker thread panicked
+    /// mid-reduce.
     pub fn run_iteration(
         &mut self,
         broadcast: &J::Broadcast,
@@ -264,88 +298,132 @@ where
             iterations: 1,
             ..Default::default()
         };
-        let assignments = self.scheduler.assign(&self.store, &blocks, &[]);
 
-        // Broadcast cost: once per node that receives at least one task.
+        // Broadcast cost: once per node that receives at least one task
+        // (charged lazily as dispatches actually land).
         let mut nodes_hit: Vec<bool> = vec![false; self.config.nodes];
-        for a in &assignments {
-            nodes_hit[a.node.0] = true;
-        }
-        iter_metrics.bytes_broadcast +=
-            framed(broadcast.byte_len()) * nodes_hit.iter().filter(|h| **h).count();
-
-        // Track attempts, current placement and exclusions per block for
-        // retry placement.
+        // Tasks awaiting (re-)placement, attempts handed out so far,
+        // current placements, and per-block node exclusions from failed
+        // attempts.
+        let mut pending: Vec<BlockId> = blocks.clone();
         let mut attempts: BTreeMap<BlockId, usize> = BTreeMap::new();
-        let mut inflight: BTreeMap<BlockId, NodeId> = BTreeMap::new();
+        let mut inflight: BTreeMap<BlockId, (NodeId, usize, Instant)> = BTreeMap::new();
         let mut exclusions: Vec<(BlockId, NodeId)> = Vec::new();
-        for a in &assignments {
-            inflight.insert(a.block, a.node);
-            self.dispatch(
-                a.block,
-                a.node,
-                a.data_local,
-                broadcast,
-                &mut attempts,
-                &mut iter_metrics,
-            )?;
-        }
 
-        // Collect results, retrying failures on other nodes.
         #[allow(clippy::type_complexity)]
         let mut block_outputs: BTreeMap<BlockId, Vec<(J::Key, J::MapOut)>> = BTreeMap::new();
-        let mut done = 0usize;
-        while done < blocks.len() {
-            let out = self
-                .results
-                .recv()
-                .map_err(|_| MapReduceError::WorkerLost { node: NodeId(0) })?;
-            let WorkerOut::Map(res) = out else {
-                // A stray reduce result cannot occur: reduce tasks are only
-                // dispatched after every map result is in.
-                unreachable!("reduce result during map phase");
-            };
-            iter_metrics.map_time += res.elapsed;
-            self.states.insert(res.block, res.state);
-            match res.pairs {
-                Some(pairs) => {
-                    for (_, v) in &pairs {
-                        iter_metrics.bytes_shuffled += framed(v.byte_len());
-                    }
-                    block_outputs.insert(res.block, pairs);
-                    done += 1;
+        while block_outputs.len() < blocks.len() {
+            if self.dead.iter().all(|d| *d) {
+                return Err(MapReduceError::QuorumLost {
+                    alive: 0,
+                    needed: 1,
+                });
+            }
+
+            // Dispatch the queued wave in one batch so the placement
+            // heuristic balances load across it.
+            if !pending.is_empty() {
+                let wave = std::mem::take(&mut pending);
+                let mut banned: Vec<(BlockId, NodeId)> = Vec::new();
+                for &block in &wave {
+                    banned.extend(self.banned_for(block, &exclusions));
                 }
-                None => {
-                    iter_metrics.task_retries += 1;
-                    let tried = attempts.get(&res.block).copied().unwrap_or(1);
-                    if tried >= self.config.max_attempts {
-                        return Err(MapReduceError::TaskFailed {
-                            block: res.block,
-                            attempts: tried,
-                        });
-                    }
-                    // Exclude the node that just ran (and failed) this
-                    // attempt, then re-place the task elsewhere.
-                    let failed_on = inflight
-                        .get(&res.block)
-                        .copied()
-                        .expect("failed block was dispatched");
-                    exclusions.push((res.block, failed_on));
-                    let replacement = self
-                        .scheduler
-                        .assign(&self.store, &[res.block], &exclusions)
-                        .pop()
-                        .expect("one block in, one assignment out");
-                    inflight.insert(res.block, replacement.node);
-                    self.dispatch(
-                        replacement.block,
-                        replacement.node,
-                        replacement.data_local,
+                for a in self.scheduler.assign(&self.store, &wave, &banned) {
+                    let attempt = attempts.entry(a.block).and_modify(|n| *n += 1).or_insert(1);
+                    let attempt = *attempt;
+                    if self.dispatch(
+                        a.block,
+                        a.node,
+                        a.data_local,
+                        attempt,
                         broadcast,
-                        &mut attempts,
+                        &mut nodes_hit,
                         &mut iter_metrics,
-                    )?;
+                    ) {
+                        inflight.insert(a.block, (a.node, attempt, Instant::now()));
+                    } else {
+                        // Channel closed: every thread of that node is
+                        // gone. Declare it and re-queue for the next
+                        // wave (placement must re-run without it).
+                        self.declare_node_dead(
+                            a.node,
+                            &mut inflight,
+                            &mut pending,
+                            &mut iter_metrics,
+                        );
+                        pending.push(a.block);
+                    }
                 }
+                continue;
+            }
+
+            // Collect one result slice, retrying failures on other nodes.
+            match self.results.recv_timeout(RECV_SLICE) {
+                Ok(WorkerOut::Map(res)) => {
+                    let current = inflight.get(&res.block).copied();
+                    let Some((node, attempt, _)) = current else {
+                        continue; // late result for a block already done
+                    };
+                    if attempt != res.attempt || node != res.node {
+                        continue; // stale attempt from a node given up on
+                    }
+                    inflight.remove(&res.block);
+                    iter_metrics.map_time += res.elapsed;
+                    self.states.insert(res.block, res.state);
+                    match res.pairs {
+                        Some(pairs) => {
+                            for (_, v) in &pairs {
+                                iter_metrics.bytes_shuffled += framed(v.byte_len());
+                            }
+                            if telemetry::enabled() {
+                                ClusterRegistry::global().observe_task_lag(
+                                    res.node.0 as u32,
+                                    self.iteration as u64,
+                                    res.elapsed.as_nanos() as u64,
+                                );
+                            }
+                            block_outputs.insert(res.block, pairs);
+                        }
+                        None => {
+                            iter_metrics.task_retries += 1;
+                            let tried = attempts.get(&res.block).copied().unwrap_or(1);
+                            if tried >= self.config.max_attempts {
+                                return Err(MapReduceError::TaskFailed {
+                                    block: res.block,
+                                    attempts: tried,
+                                });
+                            }
+                            // Exclude the node that just failed this
+                            // attempt, then re-place the task elsewhere.
+                            exclusions.push((res.block, res.node));
+                            pending.push(res.block);
+                        }
+                    }
+                }
+                Ok(WorkerOut::Reduce { .. }) => {
+                    // A stray reduce result cannot occur: reduce tasks are
+                    // only dispatched after every map result is in.
+                    unreachable!("reduce result during map phase");
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MapReduceError::QuorumLost {
+                        alive: 0,
+                        needed: 1,
+                    });
+                }
+            }
+
+            // Liveness sweep: an attempt older than task_timeout means
+            // its node is dead or wedged — either way, give up on it.
+            let now = Instant::now();
+            let overdue: Vec<NodeId> = inflight
+                .values()
+                .filter(|(_, _, started)| now.duration_since(*started) > self.config.task_timeout)
+                .map(|(node, _, _)| *node)
+                .collect();
+            for node in overdue {
+                self.declare_node_dead(node, &mut inflight, &mut pending, &mut iter_metrics);
             }
         }
 
@@ -358,6 +436,25 @@ where
             }
         }
         let outputs = self.run_reduce_phase(groups, &mut iter_metrics)?;
+
+        // Hand the round's attempt timings to the straggler scorer and
+        // surface its verdicts (twin of the TaskScheduler path).
+        if telemetry::enabled() {
+            for v in ClusterRegistry::global().score_task_round(self.iteration as u64) {
+                if v.is_slow() {
+                    telemetry::emit(
+                        NO_PARTY,
+                        EventKind::SlowWorker {
+                            node: v.party,
+                            iteration: v.iteration,
+                            lag_ns: v.lag_ns,
+                            median_ns: v.median_ns,
+                            score: v.score,
+                        },
+                    );
+                }
+            }
+        }
 
         let iteration = self.iteration;
         telemetry::emit(
@@ -413,8 +510,17 @@ where
         for (i, kv) in groups.into_iter().enumerate() {
             partitions[i % r_tasks].push(kv);
         }
+        // Round-robin over *live* nodes only — a dead node's channel
+        // would swallow its partition forever.
+        let live: Vec<usize> = (0..self.config.nodes).filter(|&n| !self.dead[n]).collect();
+        if live.is_empty() {
+            return Err(MapReduceError::QuorumLost {
+                alive: 0,
+                needed: 1,
+            });
+        }
         for (task, part) in partitions.into_iter().enumerate() {
-            let node = task % self.config.nodes;
+            let node = live[task % live.len()];
             self.senders[node]
                 .send(WorkerMsg::Reduce { groups: part })
                 .map_err(|_| MapReduceError::WorkerLost { node: NodeId(node) })?;
@@ -442,49 +548,134 @@ where
         Ok(merged.into_iter().collect())
     }
 
+    /// Sends one map attempt to `node`. Returns `false` when the node's
+    /// channel is closed (all its threads are gone); the mapper state is
+    /// recovered from the undelivered message so the caller can re-queue.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
         block: BlockId,
         node: NodeId,
         data_local: bool,
+        attempt: usize,
         broadcast: &J::Broadcast,
-        attempts: &mut BTreeMap<BlockId, usize>,
+        nodes_hit: &mut [bool],
         iter_metrics: &mut JobMetrics,
-    ) -> Result<(), MapReduceError> {
+    ) -> bool {
         let payload = self.store.payload(block).expect("scheduled block exists");
         let state = self
             .states
             .remove(&block)
             .expect("state present for scheduled block");
-        if data_local {
-            iter_metrics.locality_hits += 1;
-        } else {
-            iter_metrics.remote_reads += 1;
-            iter_metrics.bytes_remote_read += framed(payload.byte_len());
-        }
-        let attempt = attempts.entry(block).and_modify(|a| *a += 1).or_insert(1);
-        telemetry::emit(
-            NO_PARTY,
-            EventKind::TaskAttempt {
-                block: block.0,
-                node: node.0 as u32,
-                attempt: *attempt as u32,
-                local: data_local,
-            },
-        );
+        let payload_len = payload.byte_len();
         let spec = self.config.fault_plan.spec(self.iteration, block);
-        let inject_failure = *attempt <= spec.fail_attempts;
-        self.senders[node.0]
-            .send(WorkerMsg::Map {
-                block,
-                payload,
-                state,
-                broadcast: broadcast.clone(),
-                inject_failure,
-                delay: spec.delay,
-            })
-            .map_err(|_| MapReduceError::WorkerLost { node })?;
-        Ok(())
+        let inject_failure = attempt <= spec.fail_attempts;
+        match self.senders[node.0].send(WorkerMsg::Map {
+            block,
+            attempt,
+            payload,
+            state,
+            broadcast: broadcast.clone(),
+            inject_failure,
+            delay: spec.delay,
+        }) {
+            Ok(()) => {
+                if data_local {
+                    iter_metrics.locality_hits += 1;
+                } else {
+                    iter_metrics.remote_reads += 1;
+                    iter_metrics.bytes_remote_read += framed(payload_len);
+                }
+                if !nodes_hit[node.0] {
+                    nodes_hit[node.0] = true;
+                    iter_metrics.bytes_broadcast += framed(broadcast.byte_len());
+                }
+                telemetry::emit(
+                    NO_PARTY,
+                    EventKind::TaskAttempt {
+                        block: block.0,
+                        node: node.0 as u32,
+                        attempt: attempt as u32,
+                        local: data_local,
+                    },
+                );
+                if telemetry::enabled() {
+                    ClusterRegistry::global().fold_task_attempt(node.0 as u32);
+                }
+                true
+            }
+            Err(std::sync::mpsc::SendError(msg)) => {
+                // The message never left; put its state back.
+                if let WorkerMsg::Map { state, .. } = msg {
+                    self.states.insert(block, state);
+                }
+                false
+            }
+        }
+    }
+
+    /// Node exclusions for one block: nodes that already failed it plus
+    /// every dead node. When each live node has already failed the block,
+    /// the failure history is forgiven (only death stays permanent) so a
+    /// retry within budget still has somewhere to run.
+    fn banned_for(
+        &self,
+        block: BlockId,
+        exclusions: &[(BlockId, NodeId)],
+    ) -> Vec<(BlockId, NodeId)> {
+        let mut banned: Vec<(BlockId, NodeId)> = exclusions
+            .iter()
+            .copied()
+            .filter(|(b, _)| *b == block)
+            .collect();
+        for n in 0..self.config.nodes {
+            if self.dead[n] {
+                banned.push((block, NodeId(n)));
+            }
+        }
+        let distinct: BTreeSet<usize> = banned.iter().map(|(_, n)| n.0).collect();
+        if distinct.len() >= self.config.nodes {
+            banned.retain(|(_, n)| self.dead[n.0]);
+        }
+        banned
+    }
+
+    /// Declares `node` dead: blacklists it, re-queues its in-flight tasks
+    /// (their mapper state went down with it and is re-derived from the
+    /// block payload), and emits the death once.
+    fn declare_node_dead(
+        &mut self,
+        node: NodeId,
+        inflight: &mut BTreeMap<BlockId, (NodeId, usize, Instant)>,
+        pending: &mut Vec<BlockId>,
+        iter_metrics: &mut JobMetrics,
+    ) {
+        let lost: Vec<BlockId> = inflight
+            .iter()
+            .filter(|(_, (n, _, _))| *n == node)
+            .map(|(b, _)| *b)
+            .collect();
+        for block in &lost {
+            inflight.remove(block);
+            let payload = self.store.payload(*block).expect("scheduled block exists");
+            self.states
+                .insert(*block, self.job.init_state(*block, &payload));
+            pending.push(*block);
+        }
+        if !self.dead[node.0] {
+            self.dead[node.0] = true;
+            iter_metrics.workers_lost += 1;
+            telemetry::emit(
+                NO_PARTY,
+                EventKind::WorkerDead {
+                    node: node.0 as u32,
+                    inflight: lost.len() as u32,
+                },
+            );
+            if telemetry::enabled() {
+                ClusterRegistry::global().fold_worker_death(node.0 as u32);
+            }
+        }
     }
 
     /// Cumulative metrics since the cluster booted.
@@ -495,6 +686,11 @@ where
     /// Number of iterations driven so far.
     pub fn iterations_run(&self) -> usize {
         self.iteration
+    }
+
+    /// Nodes not declared dead so far.
+    pub fn live_nodes(&self) -> usize {
+        self.dead.iter().filter(|d| !**d).count()
     }
 
     /// The block directory (placement inspection for tests/benches).
@@ -523,6 +719,7 @@ fn framed(payload_len: usize) -> usize {
 
 fn worker_loop<J: IterativeJob>(
     node: NodeId,
+    fault: WorkerFault,
     job: Arc<J>,
     rx: Arc<Mutex<Receiver<WorkerMsg<J>>>>,
     tx: Sender<WorkerOut<J>>,
@@ -533,6 +730,9 @@ fn worker_loop<J: IterativeJob>(
             node: node.0 as u32,
         },
     );
+    // Worker-level fault counter: map tasks dequeued by *this* slot
+    // (with one slot per node — the default — that is the node's count).
+    let mut tasks_taken = 0usize;
     loop {
         // Hold the lock only for the dequeue, never while mapping/reducing.
         let msg = match rx.lock().expect("worker queue lock").recv() {
@@ -557,12 +757,23 @@ fn worker_loop<J: IterativeJob>(
             }
             WorkerMsg::Map {
                 block,
+                attempt,
                 payload,
                 mut state,
                 broadcast,
                 inject_failure,
                 delay,
             } => {
+                tasks_taken += 1;
+                if fault.kill_on_task == Some(tasks_taken) {
+                    // Mid-task death: no result is ever sent and the slot
+                    // is gone — indistinguishable from a SIGKILL to the
+                    // driver, which must notice via its task timeout.
+                    break;
+                }
+                if !fault.slow_by.is_zero() {
+                    std::thread::sleep(fault.slow_by);
+                }
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
@@ -586,6 +797,8 @@ fn worker_loop<J: IterativeJob>(
                 };
                 let _ = tx.send(WorkerOut::Map(MapResult {
                     block,
+                    attempt,
+                    node,
                     state,
                     pairs,
                     elapsed: start.elapsed(),
@@ -939,6 +1152,99 @@ mod tests {
                 .checked_mul(framed("words number 0".to_string().byte_len()))
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn killed_worker_requeues_tasks_and_result_unchanged() {
+        let reference = {
+            let mut c = wc_cluster(ClusterConfig::default());
+            counts(&c.run_iteration(&()).unwrap())
+        };
+        // Node 0 holds block 0 (round-robin placement) and dies mid-way
+        // through its first map; the task must re-run on a survivor.
+        let cfg = ClusterConfig {
+            fault_plan: FaultPlan::new().kill_worker_on_task(NodeId(0), 1),
+            task_timeout: Duration::from_millis(250),
+            ..Default::default()
+        };
+        let mut c = wc_cluster(cfg);
+        let out = c.run_iteration(&()).unwrap();
+        assert_eq!(counts(&out), reference, "death changed the answer");
+        assert_eq!(out.metrics.workers_lost, 1);
+        assert!(
+            out.metrics.remote_reads >= 1,
+            "requeue must pay a remote read"
+        );
+        assert_eq!(c.live_nodes(), 3);
+
+        // The dead node stays blacklisted; later iterations still work
+        // and do not re-count the death.
+        let out2 = c.run_iteration(&()).unwrap();
+        assert_eq!(counts(&out2), reference);
+        assert_eq!(out2.metrics.workers_lost, 0);
+    }
+
+    #[test]
+    fn lone_dead_worker_is_quorum_lost() {
+        let cfg = ClusterConfig {
+            nodes: 1,
+            fault_plan: FaultPlan::new().kill_worker_on_task(NodeId(0), 1),
+            task_timeout: Duration::from_millis(150),
+            ..Default::default()
+        };
+        let mut c = wc_cluster(cfg);
+        match c.run_iteration(&()) {
+            Err(MapReduceError::QuorumLost { alive, needed }) => {
+                assert_eq!(alive, 0);
+                assert_eq!(needed, 1);
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_worker_fault_stalls_but_answers() {
+        let cfg = ClusterConfig {
+            fault_plan: FaultPlan::new().slow_worker(NodeId(1), Duration::from_millis(40)),
+            ..Default::default()
+        };
+        let mut c = wc_cluster(cfg);
+        let t0 = Instant::now();
+        let out = c.run_iteration(&()).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(40));
+        assert_eq!(counts(&out)["the"], 3);
+        assert_eq!(out.metrics.workers_lost, 0);
+    }
+
+    #[test]
+    fn overdue_straggler_is_abandoned_and_its_late_result_ignored() {
+        // Node 0 is slowed far past the task timeout: the driver gives
+        // up on it, re-runs its block elsewhere, and must drop the
+        // straggler's eventual (stale) result instead of double-counting.
+        let cfg = ClusterConfig {
+            fault_plan: FaultPlan::new().slow_worker(NodeId(0), Duration::from_millis(400)),
+            task_timeout: Duration::from_millis(80),
+            ..Default::default()
+        };
+        let mut c = wc_cluster(cfg);
+        let out = c.run_iteration(&()).unwrap();
+        assert_eq!(counts(&out)["the"], 3);
+        assert_eq!(out.metrics.workers_lost, 1);
+        assert_eq!(c.live_nodes(), 3);
+        // The stale result lands during the next iteration and must not
+        // disturb it.
+        let out2 = c.run_iteration(&()).unwrap();
+        assert_eq!(counts(&out2)["the"], 3);
+        assert_eq!(counts(&out2).len(), 6);
+    }
+
+    #[test]
+    fn zero_task_timeout_rejected() {
+        let cfg = ClusterConfig {
+            task_timeout: Duration::ZERO,
+            ..Default::default()
+        };
+        assert!(Cluster::new(cfg, WordCount).is_err());
     }
 
     #[test]

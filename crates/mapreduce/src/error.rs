@@ -25,6 +25,21 @@ pub enum MapReduceError {
     },
     /// Job was driven with no blocks loaded.
     NoBlocks,
+    /// Too many workers died: fewer than the configured quorum survive,
+    /// so the job cannot make progress and fails fast instead of
+    /// retrying into an empty cluster.
+    QuorumLost {
+        /// Workers still alive.
+        alive: usize,
+        /// Minimum live workers the job needs.
+        needed: usize,
+    },
+    /// The remote worker pool is unusable: a worker registered for a
+    /// different job, or registration never arrived.
+    BadWorker {
+        /// What is wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MapReduceError {
@@ -36,6 +51,13 @@ impl fmt::Display for MapReduceError {
             }
             MapReduceError::WorkerLost { node } => write!(f, "worker for {node} terminated"),
             MapReduceError::NoBlocks => write!(f, "no blocks loaded into the cluster"),
+            MapReduceError::QuorumLost { alive, needed } => {
+                write!(
+                    f,
+                    "cluster lost quorum: {alive} workers alive, {needed} needed"
+                )
+            }
+            MapReduceError::BadWorker { reason } => write!(f, "bad worker: {reason}"),
         }
     }
 }
@@ -54,5 +76,11 @@ mod tests {
         };
         assert!(e.to_string().contains("4 attempts"));
         assert!(MapReduceError::NoBlocks.to_string().contains("no blocks"));
+        let q = MapReduceError::QuorumLost {
+            alive: 0,
+            needed: 1,
+        };
+        assert!(q.to_string().contains("lost quorum"));
+        assert!(q.to_string().contains("0 workers alive"));
     }
 }

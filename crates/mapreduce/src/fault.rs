@@ -9,7 +9,9 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use crate::BlockId;
+use ppml_telemetry::mix64;
+
+use crate::{BlockId, NodeId};
 
 /// What to do to one (iteration, block) map task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,9 +37,33 @@ pub struct FaultSpec {
 ///     .delay(3, BlockId(1), Duration::from_millis(5)); // iteration 3: straggler
 /// assert_eq!(plan.spec(2, BlockId(0)).fail_attempts, 1);
 /// ```
+/// What to do to one worker (node), across every task it runs — the
+/// worker-level twin of the per-task [`FaultSpec`], mirroring the
+/// transport crate's `LinkFilter`-style plans: a straggler is slowed on
+/// *every* attempt, and a crash kills the worker at a counted point so
+/// the schedule is deterministic and reusable across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerFault {
+    /// Artificial per-task delay (straggler simulation): the worker
+    /// sleeps this long before every map attempt it executes.
+    pub slow_by: Duration,
+    /// Kill the worker *mid-task* while it executes its Nth assigned
+    /// task (1-based count across the whole job): the task's result is
+    /// never sent and the worker is gone, exactly like a SIGKILL at
+    /// that point. `None` = never.
+    pub kill_on_task: Option<usize>,
+}
+
+/// A schedule of injected faults.
+///
+/// Per-task faults (`fail_first_attempts`, `delay`) are keyed by
+/// `(iteration, block)`; worker-level faults (`slow_worker`,
+/// `kill_worker_on_task`, or a whole [`FaultPlan::seeded`] schedule)
+/// are keyed by node and apply for the worker's lifetime.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     specs: BTreeMap<(usize, BlockId), FaultSpec>,
+    workers: BTreeMap<NodeId, WorkerFault>,
 }
 
 impl FaultPlan {
@@ -67,6 +93,38 @@ impl FaultPlan {
         self
     }
 
+    /// Slows `node` down: every map attempt it executes sleeps `by`
+    /// first (worker-level straggler).
+    pub fn slow_worker(mut self, node: NodeId, by: Duration) -> Self {
+        self.workers.entry(node).or_default().slow_by = by;
+        self
+    }
+
+    /// Kills `node` mid-task while it executes its `task`th assigned
+    /// task (1-based): the result is never sent and the worker is gone.
+    pub fn kill_worker_on_task(mut self, node: NodeId, task: usize) -> Self {
+        self.workers.entry(node).or_default().kill_on_task = Some(task.max(1));
+        self
+    }
+
+    /// A deterministic straggler-and-crash schedule derived from `seed`:
+    /// one worker is slowed by `slow_by` on every task and a *different*
+    /// worker is killed mid-way through its second task. Which workers
+    /// draw the short straws is a pure function of `(seed, nodes)`, so a
+    /// chaos test can replay the exact same schedule by replaying the
+    /// seed. Needs `nodes >= 2`; with fewer there is no "different
+    /// worker" and the plan stays empty.
+    pub fn seeded(seed: u64, nodes: usize, slow_by: Duration) -> Self {
+        if nodes < 2 {
+            return FaultPlan::new();
+        }
+        let slow = (mix64(seed) % nodes as u64) as usize;
+        let victim = (slow + 1 + (mix64(seed ^ 0xDEAD) % (nodes as u64 - 1)) as usize) % nodes;
+        FaultPlan::new()
+            .slow_worker(NodeId(slow), slow_by)
+            .kill_worker_on_task(NodeId(victim), 2)
+    }
+
     /// The spec applying to one task (default = no fault).
     pub fn spec(&self, iteration: usize, block: BlockId) -> FaultSpec {
         self.specs
@@ -75,9 +133,14 @@ impl FaultPlan {
             .unwrap_or_default()
     }
 
+    /// The fault applying to one worker (default = no fault).
+    pub fn worker(&self, node: NodeId) -> WorkerFault {
+        self.workers.get(&node).copied().unwrap_or_default()
+    }
+
     /// `true` when the plan contains no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.specs.is_empty()
+        self.specs.is_empty() && self.workers.is_empty()
     }
 }
 
@@ -110,5 +173,47 @@ mod tests {
         let plan = FaultPlan::new().fail_first_attempts(1, BlockId(0), 1);
         assert_eq!(plan.spec(1, BlockId(1)).fail_attempts, 0);
         assert_eq!(plan.spec(2, BlockId(0)).fail_attempts, 0);
+    }
+
+    #[test]
+    fn worker_faults_are_per_node() {
+        let plan = FaultPlan::new()
+            .slow_worker(NodeId(1), Duration::from_millis(9))
+            .kill_worker_on_task(NodeId(2), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.worker(NodeId(1)).slow_by, Duration::from_millis(9));
+        assert_eq!(plan.worker(NodeId(1)).kill_on_task, None);
+        assert_eq!(plan.worker(NodeId(2)).kill_on_task, Some(3));
+        assert_eq!(plan.worker(NodeId(0)), WorkerFault::default());
+    }
+
+    #[test]
+    fn kill_on_task_zero_clamps_to_first_task() {
+        let plan = FaultPlan::new().kill_worker_on_task(NodeId(0), 0);
+        assert_eq!(plan.worker(NodeId(0)).kill_on_task, Some(1));
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_and_disjoint() {
+        for seed in 0..64 {
+            let a = FaultPlan::seeded(seed, 4, Duration::from_millis(5));
+            let b = FaultPlan::seeded(seed, 4, Duration::from_millis(5));
+            let slow_a: Vec<_> = (0..4)
+                .map(NodeId)
+                .filter(|&n| a.worker(n).slow_by > Duration::ZERO)
+                .collect();
+            let kill_a: Vec<_> = (0..4)
+                .map(NodeId)
+                .filter(|&n| a.worker(n).kill_on_task.is_some())
+                .collect();
+            assert_eq!(slow_a.len(), 1, "seed {seed}");
+            assert_eq!(kill_a.len(), 1, "seed {seed}");
+            assert_ne!(slow_a[0], kill_a[0], "seed {seed}: victims must differ");
+            for n in (0..4).map(NodeId) {
+                assert_eq!(a.worker(n), b.worker(n), "seed {seed} not reproducible");
+            }
+        }
+        // Too small a cluster to keep the victims disjoint: no faults.
+        assert!(FaultPlan::seeded(7, 1, Duration::from_millis(5)).is_empty());
     }
 }

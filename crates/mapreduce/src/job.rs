@@ -1,0 +1,272 @@
+//! Byte-level jobs for remote (multi-process) execution.
+//!
+//! The in-process engine runs arbitrary [`crate::IterativeJob`]
+//! closures, but a job that crosses a process boundary must be named,
+//! not captured: the driver and every `ppml-worker` process agree on a
+//! job by its registry name, and exchange only *bytes* — task
+//! descriptors and map outputs — over the wire. Raw block data never
+//! moves; a worker materialises its blocks deterministically from
+//! `(seed, block)` with [`ProcessJob::make_block`], which is the
+//! locality/privacy argument of DESIGN.md §13 in miniature.
+//!
+//! Two invariants make fault tolerance free:
+//!
+//! * [`ProcessJob::map`] is a **pure function** of its inputs. A retry
+//!   or a speculative duplicate therefore produces bit-identical
+//!   output, so the scheduler may accept whichever attempt lands first.
+//! * [`ProcessJob::reduce`] consumes outputs sorted by block id, so the
+//!   job result is independent of completion order.
+
+use ppml_telemetry::mix64;
+
+/// A job executable by remote workers: pure byte-level map and reduce
+/// over deterministically materialised blocks.
+pub trait ProcessJob: Send + Sync {
+    /// Registry name the driver and workers agree on.
+    fn name(&self) -> &'static str;
+
+    /// Deterministically materialises block `block`'s payload from the
+    /// job seed. Every holder of `(seed, block)` derives identical
+    /// bytes, so placement is pure metadata — no data transfer needed
+    /// to "move" a block.
+    fn make_block(&self, seed: u64, block: u64) -> Vec<u8>;
+
+    /// Maps one block under the round's broadcast. MUST be a pure,
+    /// deterministic function of `(block_bytes, broadcast)`: retries
+    /// and speculative duplicates rely on bit-identical output.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; the driver counts it as a failed
+    /// attempt and retries within the task's budget.
+    fn map(&self, block_bytes: &[u8], broadcast: &[u8]) -> Result<Vec<u8>, String>;
+
+    /// Folds the per-block map outputs (sorted by block id) into the
+    /// job result.
+    fn reduce(&self, outputs: &[(u64, Vec<u8>)]) -> Vec<u8>;
+}
+
+/// Looks a job up by registry name.
+#[must_use]
+pub fn process_job(name: &str) -> Option<Box<dyn ProcessJob>> {
+    match name {
+        "wordcount" => Some(Box::new(WordCountJob)),
+        "spin" => Some(Box::new(SpinJob)),
+        _ => None,
+    }
+}
+
+/// Reference fault-free execution: maps every block in-process and
+/// reduces, with no scheduler in the loop. The chaos drills compare a
+/// faulted distributed run against this byte-for-byte.
+#[must_use]
+pub fn run_local(job: &dyn ProcessJob, seed: u64, blocks: &[u64], broadcast: &[u8]) -> Vec<u8> {
+    let mut sorted: Vec<u64> = blocks.to_vec();
+    sorted.sort_unstable();
+    let outputs: Vec<(u64, Vec<u8>)> = sorted
+        .iter()
+        .map(|&b| {
+            let payload = job.make_block(seed, b);
+            let out = job
+                .map(&payload, broadcast)
+                .expect("reference run must not fail");
+            (b, out)
+        })
+        .collect();
+    job.reduce(&outputs)
+}
+
+/// Classic word-count over deterministically generated text. Blocks are
+/// sentences drawn from a fixed lexicon by `mix64(seed ^ block ^ i)`;
+/// map emits sorted `word count` lines; reduce merges the counts.
+struct WordCountJob;
+
+const LEXICON: &[&str] = &[
+    "consensus",
+    "admm",
+    "map",
+    "reduce",
+    "block",
+    "worker",
+    "shuffle",
+    "broadcast",
+    "privacy",
+    "partition",
+    "iterate",
+    "converge",
+];
+
+impl ProcessJob for WordCountJob {
+    fn name(&self) -> &'static str {
+        "wordcount"
+    }
+
+    fn make_block(&self, seed: u64, block: u64) -> Vec<u8> {
+        let mut text = String::new();
+        for i in 0..200u64 {
+            let pick = mix64(seed ^ block.wrapping_mul(0x9E37) ^ i) as usize % LEXICON.len();
+            if i > 0 {
+                text.push(' ');
+            }
+            text.push_str(LEXICON[pick]);
+        }
+        text.into_bytes()
+    }
+
+    fn map(&self, block_bytes: &[u8], _broadcast: &[u8]) -> Result<Vec<u8>, String> {
+        let text = std::str::from_utf8(block_bytes).map_err(|e| format!("non-utf8 block: {e}"))?;
+        let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for word in text.split_whitespace() {
+            *counts.entry(word).or_default() += 1;
+        }
+        let mut out = String::new();
+        for (word, n) in counts {
+            out.push_str(word);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        Ok(out.into_bytes())
+    }
+
+    fn reduce(&self, outputs: &[(u64, Vec<u8>)]) -> Vec<u8> {
+        let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (_, bytes) in outputs {
+            let text = String::from_utf8_lossy(bytes);
+            for line in text.lines() {
+                if let Some((word, n)) = line.rsplit_once(' ') {
+                    if let Ok(n) = n.parse::<u64>() {
+                        *counts.entry(word.to_string()).or_default() += n;
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (word, n) in counts {
+            out.push_str(&word);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+}
+
+/// Compute-bound benchmark job: map folds `mix64` over the block's
+/// words for a broadcast-controlled number of rounds and emits an
+/// 8-byte digest; reduce XOR-folds the digests in block order. Wall
+/// clock scales linearly with the broadcast rounds, which is what the
+/// speculation benchmark needs from a straggler victim.
+struct SpinJob;
+
+/// Broadcast layout for the `spin` job: 8 little-endian bytes holding the
+/// fold-round count (empty broadcast = 1 round).
+#[must_use]
+pub fn spin_broadcast(rounds: u64) -> Vec<u8> {
+    rounds.to_le_bytes().to_vec()
+}
+
+impl ProcessJob for SpinJob {
+    fn name(&self) -> &'static str {
+        "spin"
+    }
+
+    fn make_block(&self, seed: u64, block: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4096);
+        for i in 0..512u64 {
+            out.extend_from_slice(&mix64(seed ^ block.rotate_left(17) ^ i).to_le_bytes());
+        }
+        out
+    }
+
+    fn map(&self, block_bytes: &[u8], broadcast: &[u8]) -> Result<Vec<u8>, String> {
+        let rounds = match broadcast.len() {
+            0 => 1,
+            8 => u64::from_le_bytes(broadcast.try_into().expect("length checked")),
+            n => return Err(format!("spin broadcast must be 0 or 8 bytes, got {n}")),
+        };
+        let mut acc = 0u64;
+        for _ in 0..rounds {
+            for chunk in block_bytes.chunks_exact(8) {
+                let w = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+                acc = mix64(acc ^ w);
+            }
+        }
+        Ok(acc.to_le_bytes().to_vec())
+    }
+
+    fn reduce(&self, outputs: &[(u64, Vec<u8>)]) -> Vec<u8> {
+        let mut acc = 0u64;
+        for (block, bytes) in outputs {
+            let mut word = [0u8; 8];
+            word[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+            acc = mix64(acc ^ block ^ u64::from_le_bytes(word));
+        }
+        acc.to_le_bytes().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_known_jobs_only() {
+        assert!(process_job("wordcount").is_some());
+        assert!(process_job("spin").is_some());
+        assert!(process_job("no-such-job").is_none());
+    }
+
+    #[test]
+    fn blocks_and_maps_are_deterministic() {
+        for name in ["wordcount", "spin"] {
+            let job = process_job(name).unwrap();
+            let broadcast = if name == "spin" {
+                spin_broadcast(2)
+            } else {
+                Vec::new()
+            };
+            for block in 0..4u64 {
+                let a = job.make_block(7, block);
+                let b = job.make_block(7, block);
+                assert_eq!(a, b, "{name} block {block} not deterministic");
+                let ma = job.map(&a, &broadcast).unwrap();
+                let mb = job.map(&b, &broadcast).unwrap();
+                assert_eq!(ma, mb, "{name} map {block} not deterministic");
+            }
+            assert_ne!(
+                job.make_block(7, 0),
+                job.make_block(8, 0),
+                "{name} seed must matter"
+            );
+        }
+    }
+
+    #[test]
+    fn wordcount_counts_add_up() {
+        let job = process_job("wordcount").unwrap();
+        let result = run_local(job.as_ref(), 3, &[0, 1, 2], &[]);
+        let text = String::from_utf8(result).unwrap();
+        let total: u64 = text
+            .lines()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        // 3 blocks × 200 words each.
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn run_local_is_order_independent() {
+        let job = process_job("spin").unwrap();
+        let a = run_local(job.as_ref(), 11, &[0, 1, 2, 3], &spin_broadcast(1));
+        let b = run_local(job.as_ref(), 11, &[3, 1, 0, 2], &spin_broadcast(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spin_rejects_malformed_broadcast() {
+        let job = process_job("spin").unwrap();
+        let block = job.make_block(1, 0);
+        assert!(job.map(&block, &[1, 2, 3]).is_err());
+    }
+}

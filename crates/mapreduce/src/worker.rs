@@ -1,0 +1,217 @@
+//! The worker half of the multi-process MapReduce protocol.
+//!
+//! A worker is one OS process serving map tasks over a
+//! [`Courier`]: it registers with the driver
+//! (a [`Message::Blob`] carrying job name and resident blocks), then
+//! loops on [`Message::TaskDispatch`] → map → [`Message::TaskResult`]
+//! until a [`Message::Shutdown`] arrives. The loop is deliberately
+//! single-threaded — one task at a time — which is what makes a slow
+//! worker *visibly* slow to the driver and gives the speculation drill
+//! something real to race against.
+//!
+//! Fault hooks ([`WorkerOptions`]) mirror the in-process
+//! [`crate::FaultPlan`] worker faults: an artificial per-task lag
+//! (straggler), a counted mid-task death (the process returns without
+//! replying, indistinguishable from SIGKILL to the driver), and
+//! per-block failure injection (exercises bounded retry).
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use ppml_transport::{
+    Courier, Envelope, Message, PartyId, Reader, Transport, TransportError, Wire,
+};
+
+use crate::job::ProcessJob;
+
+/// `Blob` tag announcing a worker to the driver ("MR" little-endian).
+pub const REGISTER_TAG: u16 = 0x524D;
+
+/// Encodes a worker registration blob: job name plus resident blocks.
+#[must_use]
+pub fn encode_register(job: &str, blocks: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    job.to_string().encode_into(&mut out);
+    blocks.to_vec().encode_into(&mut out);
+    out
+}
+
+/// Decodes a worker registration blob back into `(job, blocks)`.
+///
+/// # Errors
+///
+/// A human-readable reason when the blob is truncated or malformed.
+pub fn decode_register(bytes: &[u8]) -> Result<(String, Vec<u64>), String> {
+    let mut r = Reader::new(bytes);
+    let job = r.string().map_err(|e| format!("register job: {e}"))?;
+    let blocks = r.vec_u64().map_err(|e| format!("register blocks: {e}"))?;
+    if r.remaining() != 0 {
+        return Err(format!(
+            "register blob has {} trailing bytes",
+            r.remaining()
+        ));
+    }
+    Ok((job, blocks))
+}
+
+/// Fault hooks and loop knobs for one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Sleep this long before executing every map task (straggler).
+    pub lag: Duration,
+    /// Exit the serve loop *mid-task* while executing the Nth dispatched
+    /// task (1-based) — the result is never sent, so the driver sees a
+    /// silent death exactly like a SIGKILL. `None` = never.
+    pub die_on_task: Option<usize>,
+    /// Blocks whose map attempts report failure instead of running
+    /// (bounded-retry exercise).
+    pub fail_blocks: Vec<u64>,
+    /// Give up when no message arrives for this long. A worker that has
+    /// lost its driver must exit rather than hang forever.
+    pub idle_timeout: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            lag: Duration::ZERO,
+            die_on_task: None,
+            fail_blocks: Vec::new(),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a worker did over its lifetime (returned by [`serve`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Map attempts executed and answered (ok or injected failure).
+    pub tasks_done: usize,
+    /// Dispatches skipped because a cancel arrived first, plus cancels
+    /// for tasks already answered (speculation losers).
+    pub cancels_seen: usize,
+    /// True when the worker exited via its `die_on_task` fault.
+    pub died: bool,
+}
+
+/// Serves map tasks to the driver until shutdown.
+///
+/// Registers `(job, blocks)` with the driver, then answers every
+/// [`Message::TaskDispatch`] with a [`Message::TaskResult`] (`ok=false`
+/// carries a UTF-8 reason in `output`). [`Message::TaskCancel`]
+/// suppresses a not-yet-executed dispatch of that exact attempt;
+/// cancels that arrive late are counted but otherwise moot, because the
+/// driver de-duplicates results by attempt id.
+///
+/// # Errors
+///
+/// Propagates transport failures; [`TransportError::Timeout`] after
+/// `idle_timeout` of silence.
+pub fn serve<T: Transport>(
+    courier: &mut Courier<T>,
+    driver: PartyId,
+    job: &dyn ProcessJob,
+    seed: u64,
+    blocks: &[u64],
+    opts: &WorkerOptions,
+) -> Result<WorkerReport, TransportError> {
+    courier.send_reliable(
+        driver,
+        &Message::Blob {
+            tag: REGISTER_TAG,
+            bytes: encode_register(job.name(), blocks),
+        },
+    )?;
+
+    let mut report = WorkerReport::default();
+    let mut dispatched = 0usize;
+    let mut cancelled: BTreeSet<(u64, u64, u32)> = BTreeSet::new();
+    loop {
+        let Envelope { from, msg, .. } = courier.recv(opts.idle_timeout)?;
+        if from != driver {
+            continue;
+        }
+        match msg {
+            Message::TaskDispatch {
+                iteration,
+                block,
+                attempt,
+                broadcast,
+            } => {
+                if cancelled.remove(&(iteration, block, attempt)) {
+                    report.cancels_seen += 1;
+                    continue;
+                }
+                dispatched += 1;
+                if opts.die_on_task == Some(dispatched) {
+                    report.died = true;
+                    return Ok(report);
+                }
+                if opts.lag > Duration::ZERO {
+                    std::thread::sleep(opts.lag);
+                }
+                let started = Instant::now();
+                let outcome = if opts.fail_blocks.contains(&block) {
+                    Err(format!("injected failure for block {block}"))
+                } else {
+                    job.map(&job.make_block(seed, block), &broadcast)
+                };
+                let elapsed_ns = started.elapsed().as_nanos() as u64;
+                let (ok, output) = match outcome {
+                    Ok(bytes) => (true, bytes),
+                    Err(reason) => (false, reason.into_bytes()),
+                };
+                report.tasks_done += 1;
+                courier.send_reliable(
+                    driver,
+                    &Message::TaskResult {
+                        iteration,
+                        block,
+                        attempt,
+                        ok,
+                        elapsed_ns,
+                        output,
+                    },
+                )?;
+            }
+            Message::TaskCancel {
+                iteration,
+                block,
+                attempt,
+            } => {
+                // Single-threaded loop: a cancel can only preempt a
+                // dispatch still queued behind it. Late cancels (the
+                // common speculation-loser case) are counted so drills
+                // can assert the loser was told.
+                cancelled.insert((iteration, block, attempt));
+                report.cancels_seen += 1;
+            }
+            Message::Shutdown => return Ok(report),
+            // Liveness probes and anything else are the courier's
+            // business (acked there); the task loop ignores them.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_blob_round_trips() {
+        let bytes = encode_register("wordcount", &[0, 3, 9]);
+        let (job, blocks) = decode_register(&bytes).unwrap();
+        assert_eq!(job, "wordcount");
+        assert_eq!(blocks, vec![0, 3, 9]);
+    }
+
+    #[test]
+    fn register_blob_rejects_junk() {
+        assert!(decode_register(&[1, 2, 3]).is_err());
+        let mut bytes = encode_register("spin", &[1]);
+        bytes.push(0xFF);
+        let err = decode_register(&bytes).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+}

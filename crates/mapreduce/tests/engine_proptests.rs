@@ -82,6 +82,7 @@ fn output_independent_of_cluster_shape_and_faults() {
                 fault_plan,
                 locality_slack: 1,
                 reduce_tasks: 1 + nodes % 3,
+                ..Default::default()
             };
             let mut cluster = Cluster::new(cfg, Histogram).unwrap();
             cluster.load_blocks(blocks.clone()).unwrap();

@@ -152,12 +152,30 @@ struct LearnerSeries {
     collect_lag_ns: LagHistogram,
 }
 
+/// Everything the driver knows about one MapReduce worker (ISSUE 10):
+/// attempt/speculation/death counters plus the task-attempt half of the
+/// straggler scorer. Kept separate from [`LearnerSeries`] because the
+/// id spaces differ — a worker node id is not a protocol party.
+#[derive(Clone, Default)]
+struct WorkerSeries {
+    attempts: u64,
+    speculations: u64,
+    deaths: u64,
+    /// Most recent task [`StragglerVerdict::score`]; 0 until first scored.
+    straggler_score: f64,
+    attempt_lag_ns: LagHistogram,
+}
+
 #[derive(Default)]
 struct Inner {
     learners: BTreeMap<u32, LearnerSeries>,
     /// Collect lags awaiting [`ClusterRegistry::score_round`], keyed by
     /// round.
     pending: BTreeMap<u64, Vec<(u32, u64)>>,
+    workers: BTreeMap<u32, WorkerSeries>,
+    /// Task-attempt lags awaiting [`ClusterRegistry::score_task_round`],
+    /// keyed by round.
+    pending_tasks: BTreeMap<u64, Vec<(u32, u64)>>,
 }
 
 /// Per-learner labelled series folded from in-band telemetry deltas
@@ -250,6 +268,73 @@ impl ClusterRegistry {
         verdicts
     }
 
+    /// Counts one map-task attempt dispatched to `worker`.
+    pub fn fold_task_attempt(&self, worker: u32) {
+        let mut inner = self.inner.lock().expect("cluster registry");
+        inner.workers.entry(worker).or_default().attempts += 1;
+    }
+
+    /// Counts one speculative duplicate attempt dispatched to `worker`.
+    pub fn fold_task_speculation(&self, worker: u32) {
+        let mut inner = self.inner.lock().expect("cluster registry");
+        inner.workers.entry(worker).or_default().speculations += 1;
+    }
+
+    /// Counts `worker` dying mid-job.
+    pub fn fold_worker_death(&self, worker: u32) {
+        let mut inner = self.inner.lock().expect("cluster registry");
+        inner.workers.entry(worker).or_default().deaths += 1;
+    }
+
+    /// Records `worker`'s wall clock for one completed map attempt in
+    /// `iteration`. Scored when the round closes via
+    /// [`ClusterRegistry::score_task_round`].
+    pub fn observe_task_lag(&self, worker: u32, iteration: u64, lag_ns: u64) {
+        let mut inner = self.inner.lock().expect("cluster registry");
+        inner
+            .pending_tasks
+            .entry(iteration)
+            .or_default()
+            .push((worker, lag_ns));
+        inner
+            .workers
+            .entry(worker)
+            .or_default()
+            .attempt_lag_ns
+            .observe(lag_ns);
+    }
+
+    /// Scores every task-attempt lag recorded for `iteration` against
+    /// the round's lower median — the MapReduce twin of
+    /// [`ClusterRegistry::score_round`]. `StragglerVerdict::party`
+    /// carries the worker node id. Consumes the round; fewer than two
+    /// attempts score nothing.
+    pub fn score_task_round(&self, iteration: u64) -> Vec<StragglerVerdict> {
+        let mut inner = self.inner.lock().expect("cluster registry");
+        let Some(lags) = inner.pending_tasks.remove(&iteration) else {
+            return Vec::new();
+        };
+        if lags.len() < 2 {
+            return Vec::new();
+        }
+        let mut sorted: Vec<u64> = lags.iter().map(|&(_, lag)| lag).collect();
+        sorted.sort_unstable();
+        let median_ns = sorted[(sorted.len() - 1) / 2].max(1);
+        let mut verdicts = Vec::with_capacity(lags.len());
+        for (worker, lag_ns) in lags {
+            let score = lag_ns as f64 / median_ns as f64;
+            inner.workers.entry(worker).or_default().straggler_score = score;
+            verdicts.push(StragglerVerdict {
+                party: worker,
+                iteration,
+                lag_ns,
+                median_ns,
+                score,
+            });
+        }
+        verdicts
+    }
+
     /// Learners with at least one folded delta or observed lag.
     #[must_use]
     pub fn learners(&self) -> Vec<u32> {
@@ -262,11 +347,26 @@ impl ClusterRegistry {
             .collect()
     }
 
+    /// Workers with at least one counted attempt, speculation, death or
+    /// observed task lag.
+    #[must_use]
+    pub fn workers(&self) -> Vec<u32> {
+        self.inner
+            .lock()
+            .expect("cluster registry")
+            .workers
+            .keys()
+            .copied()
+            .collect()
+    }
+
     /// Clears everything — between runs in one process, and in tests.
     pub fn reset(&self) {
         let mut inner = self.inner.lock().expect("cluster registry");
         inner.learners.clear();
         inner.pending.clear();
+        inner.workers.clear();
+        inner.pending_tasks.clear();
     }
 
     /// Renders the per-learner series in the Prometheus text exposition
@@ -334,6 +434,35 @@ impl ClusterRegistry {
                 &mut out,
                 "ppml_cluster_collect_lag_ns",
                 &format!("learner=\"{learner}\""),
+            );
+        }
+        // ---- MapReduce worker series (ISSUE 10)
+        let worker_counter = |out: &mut String, name: &str, pick: &dyn Fn(&WorkerSeries) -> u64| {
+            let _ = writeln!(out, "# TYPE ppml_{name} counter");
+            for (worker, series) in &inner.workers {
+                let _ = writeln!(out, "ppml_{name}{{worker=\"{worker}\"}} {}", pick(series));
+            }
+        };
+        worker_counter(&mut out, "task_attempts_total", &|s| s.attempts);
+        worker_counter(&mut out, "task_speculations_total", &|s| s.speculations);
+        worker_counter(&mut out, "worker_deaths_total", &|s| s.deaths);
+        let _ = writeln!(out, "# TYPE ppml_task_straggler_score gauge");
+        for (worker, series) in &inner.workers {
+            let _ = writeln!(
+                out,
+                "ppml_task_straggler_score{{worker=\"{worker}\"}} {}",
+                series.straggler_score
+            );
+        }
+        let _ = writeln!(out, "# TYPE ppml_task_attempt_lag_ns histogram");
+        for (worker, series) in &inner.workers {
+            if series.attempt_lag_ns.count == 0 {
+                continue;
+            }
+            series.attempt_lag_ns.render(
+                &mut out,
+                "ppml_task_attempt_lag_ns",
+                &format!("worker=\"{worker}\""),
             );
         }
         out
@@ -458,9 +587,76 @@ mod tests {
         let reg = ClusterRegistry::new();
         reg.fold(1, &delta(0, 10, 5));
         reg.observe_lag(1, 0, 99);
+        reg.fold_task_attempt(2);
+        reg.observe_task_lag(2, 0, 50);
         reg.reset();
         assert!(reg.learners().is_empty());
+        assert!(reg.workers().is_empty());
         assert!(reg.score_round(0).is_empty());
+        assert!(reg.score_task_round(0).is_empty());
         assert!(!reg.render().contains("learner=\"1\""));
+        assert!(!reg.render().contains("worker=\"2\""));
+    }
+
+    #[test]
+    fn worker_series_surface_on_the_exposition() {
+        let reg = ClusterRegistry::new();
+        reg.fold_task_attempt(1);
+        reg.fold_task_attempt(1);
+        reg.fold_task_attempt(2);
+        reg.fold_task_speculation(2);
+        reg.fold_worker_death(1);
+        assert_eq!(reg.workers(), vec![1, 2]);
+        let text = reg.render();
+        assert!(
+            text.contains("ppml_task_attempts_total{worker=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ppml_task_attempts_total{worker=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ppml_task_speculations_total{worker=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ppml_worker_deaths_total{worker=\"1\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn task_scorer_flags_the_straggling_worker() {
+        let reg = ClusterRegistry::new();
+        reg.observe_task_lag(0, 3, 2_000_000);
+        reg.observe_task_lag(1, 3, 2_200_000);
+        reg.observe_task_lag(2, 3, 11_000_000);
+        let verdicts = reg.score_task_round(3);
+        assert_eq!(verdicts.len(), 3);
+        // Lower median of [2.0, 2.2, 11.0] ms is 2.2 ms.
+        assert!(verdicts.iter().all(|v| v.median_ns == 2_200_000));
+        let slow: Vec<_> = verdicts.iter().filter(|v| v.is_slow()).collect();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].party, 2);
+        let text = reg.render();
+        assert!(
+            text.contains("ppml_task_straggler_score{worker=\"2\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ppml_task_attempt_lag_ns_count{worker=\"0\"} 1"),
+            "{text}"
+        );
+        // Scoring consumed the round and never mixes with learner lags.
+        assert!(reg.score_task_round(3).is_empty());
+        assert!(reg.score_round(3).is_empty());
+    }
+
+    #[test]
+    fn single_attempt_task_rounds_score_nothing() {
+        let reg = ClusterRegistry::new();
+        reg.observe_task_lag(0, 4, 5_000_000);
+        assert!(reg.score_task_round(4).is_empty());
     }
 }

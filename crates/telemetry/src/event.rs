@@ -333,6 +333,46 @@ pub enum EventKind {
         /// construction (1.0 means exactly median).
         score: f64,
     },
+    /// The task scheduler launched a speculative duplicate of a map
+    /// attempt whose elapsed time exceeded the round's lower-median by
+    /// the speculation factor. First result wins; the loser is
+    /// cancelled.
+    TaskSpeculated {
+        /// Block id of the straggling task.
+        block: u64,
+        /// Node/worker the duplicate attempt was dispatched to.
+        node: u32,
+        /// Attempt number of the duplicate (the original keeps its own).
+        attempt: u32,
+        /// How long the original attempt had been running when the
+        /// duplicate launched.
+        elapsed_ns: u64,
+    },
+    /// A MapReduce worker died mid-job (process crash, SIGKILL, or a
+    /// send to it failed); its in-flight tasks were re-queued on the
+    /// survivors.
+    WorkerDead {
+        /// The dead worker's node id.
+        node: u32,
+        /// Tasks that were in flight on the worker when it died.
+        inflight: u32,
+    },
+    /// The task-attempt straggler scorer flagged a worker: its map
+    /// attempt ran long relative to the round's lower-median attempt
+    /// time. The MapReduce twin of [`EventKind::SlowLearner`].
+    SlowWorker {
+        /// The slow worker's node id.
+        node: u32,
+        /// Iteration (round) the verdict is for.
+        iteration: u64,
+        /// This worker's attempt wall clock.
+        lag_ns: u64,
+        /// The round's lower-median attempt wall clock.
+        median_ns: u64,
+        /// `lag_ns / median_ns` — ≥ the scorer's threshold by
+        /// construction.
+        score: f64,
+    },
 }
 
 /// Phase labels [`Event::from_json`] can map back to `&'static str`.
@@ -674,6 +714,37 @@ impl Event {
                 u(&mut out, "median_ns", median_ns);
                 push_f64(&mut out, "score", score);
             }
+            EventKind::TaskSpeculated {
+                block,
+                node,
+                attempt,
+                elapsed_ns,
+            } => {
+                kind(&mut out, "task_speculated");
+                u(&mut out, "block", block);
+                u(&mut out, "node", node.into());
+                u(&mut out, "attempt", attempt.into());
+                u(&mut out, "elapsed_ns", elapsed_ns);
+            }
+            EventKind::WorkerDead { node, inflight } => {
+                kind(&mut out, "worker_dead");
+                u(&mut out, "node", node.into());
+                u(&mut out, "inflight", inflight.into());
+            }
+            EventKind::SlowWorker {
+                node,
+                iteration,
+                lag_ns,
+                median_ns,
+                score,
+            } => {
+                kind(&mut out, "slow_worker");
+                u(&mut out, "node", node.into());
+                u(&mut out, "iteration", iteration);
+                u(&mut out, "lag_ns", lag_ns);
+                u(&mut out, "median_ns", median_ns);
+                push_f64(&mut out, "score", score);
+            }
         }
         out.push('}');
         out
@@ -880,6 +951,23 @@ impl Event {
             },
             "slow_learner" => EventKind::SlowLearner {
                 party: get_u32("learner")?,
+                iteration: get_u("iteration")?,
+                lag_ns: get_u("lag_ns")?,
+                median_ns: get_u("median_ns")?,
+                score: get_f("score")?,
+            },
+            "task_speculated" => EventKind::TaskSpeculated {
+                block: get_u("block")?,
+                node: get_u32("node")?,
+                attempt: get_u32("attempt")?,
+                elapsed_ns: get_u("elapsed_ns")?,
+            },
+            "worker_dead" => EventKind::WorkerDead {
+                node: get_u32("node")?,
+                inflight: get_u32("inflight")?,
+            },
+            "slow_worker" => EventKind::SlowWorker {
+                node: get_u32("node")?,
                 iteration: get_u("iteration")?,
                 lag_ns: get_u("lag_ns")?,
                 median_ns: get_u("median_ns")?,
@@ -1122,6 +1210,23 @@ mod tests {
                 lag_ns: 8_400_000,
                 median_ns: 2_100_000,
                 score: 4.0,
+            },
+            EventKind::TaskSpeculated {
+                block: 4,
+                node: 2,
+                attempt: 2,
+                elapsed_ns: 6_200_000,
+            },
+            EventKind::WorkerDead {
+                node: 1,
+                inflight: 2,
+            },
+            EventKind::SlowWorker {
+                node: 2,
+                iteration: 9,
+                lag_ns: 9_300_000,
+                median_ns: 3_100_000,
+                score: 3.0,
             },
         ];
         kinds

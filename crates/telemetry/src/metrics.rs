@@ -333,6 +333,17 @@ pub struct MetricsRegistry {
     pub slow_learners_total: Counter,
     /// Collect lag of the last flagged straggler.
     pub straggler_lag_ns: Histogram,
+    // ---- fault-tolerant scheduling (ISSUE 10)
+    /// Speculative duplicate attempts launched
+    /// ([`EventKind::TaskSpeculated`]).
+    pub task_speculations_total: Counter,
+    /// Workers declared dead mid-job ([`EventKind::WorkerDead`]).
+    pub worker_deaths_total: Counter,
+    /// Task-attempt straggler verdicts emitted
+    /// ([`EventKind::SlowWorker`]).
+    pub slow_workers_total: Counter,
+    /// Attempt wall clock of flagged slow workers.
+    pub task_straggler_lag_ns: Histogram,
 }
 
 impl MetricsRegistry {
@@ -494,6 +505,15 @@ impl MetricsRegistry {
             EventKind::SlowLearner { lag_ns, .. } => {
                 self.slow_learners_total.inc();
                 self.straggler_lag_ns.observe(lag_ns);
+            }
+            EventKind::TaskSpeculated { .. } => self.task_speculations_total.inc(),
+            EventKind::WorkerDead { .. } => {
+                self.worker_deaths_total.inc();
+                self.workers.add(-1);
+            }
+            EventKind::SlowWorker { lag_ns, .. } => {
+                self.slow_workers_total.inc();
+                self.task_straggler_lag_ns.observe(lag_ns);
             }
         }
     }
@@ -756,6 +776,28 @@ impl MetricsRegistry {
             self.slow_learners_total.get(),
         );
         h(&mut out, "straggler_lag_ns", "", &self.straggler_lag_ns);
+
+        c(
+            &mut out,
+            "task_speculations_total",
+            self.task_speculations_total.get(),
+        );
+        c(
+            &mut out,
+            "worker_deaths_total",
+            self.worker_deaths_total.get(),
+        );
+        c(
+            &mut out,
+            "slow_workers_total",
+            self.slow_workers_total.get(),
+        );
+        h(
+            &mut out,
+            "task_straggler_lag_ns",
+            "",
+            &self.task_straggler_lag_ns,
+        );
 
         out
     }

@@ -106,6 +106,9 @@ fn is_barrier(kind: &EventKind) -> bool {
             | EventKind::ResumeFromCheckpoint { .. }
             | EventKind::Rejoin { .. }
             | EventKind::SlowLearner { .. }
+            | EventKind::TaskSpeculated { .. }
+            | EventKind::WorkerDead { .. }
+            | EventKind::SlowWorker { .. }
     )
 }
 
@@ -195,6 +198,10 @@ struct Totals {
     telemetry_deltas: u64,
     /// `(t_ns, party, iteration, score)` per straggler verdict.
     slow_learners: Vec<(u64, u32, u64, f64)>,
+    task_speculations: u64,
+    /// `(t_ns, node, inflight)` per worker death.
+    worker_deaths: Vec<(u64, u32, u32)>,
+    slow_workers: u64,
 }
 
 /// O(1)-per-event accumulators rendering an end-of-run human summary:
@@ -265,6 +272,21 @@ impl SummarySink {
                 out,
                 "  tasks: {} attempts, {} data-local",
                 t.task_attempts, t.local_tasks
+            );
+        }
+        if t.task_speculations + t.slow_workers > 0 {
+            let _ = writeln!(
+                out,
+                "  speculation: {} duplicate attempts launched, {} slow-worker verdicts",
+                t.task_speculations, t.slow_workers
+            );
+        }
+        for &(t_ns, node, inflight) in &t.worker_deaths {
+            let rel = t.first_t_ns.map_or(0, |f| t_ns.saturating_sub(f));
+            let _ = writeln!(
+                out,
+                "  worker dead: node {node} with {inflight} in flight (+{:.3}s)",
+                rel as f64 / 1e9
             );
         }
         if t.admm_iterations > 0 {
@@ -449,6 +471,11 @@ impl Sink for SummarySink {
                 score,
                 ..
             } => t.slow_learners.push((event.t_ns, party, iteration, score)),
+            EventKind::TaskSpeculated { .. } => t.task_speculations += 1,
+            EventKind::WorkerDead { node, inflight } => {
+                t.worker_deaths.push((event.t_ns, node, inflight));
+            }
+            EventKind::SlowWorker { .. } => t.slow_workers += 1,
         }
     }
 }

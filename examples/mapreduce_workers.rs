@@ -1,0 +1,239 @@
+//! Multi-process MapReduce driver: spawns `--workers N` real
+//! `ppml-worker` processes, drives one job round through a fault-tolerant
+//! [`TaskScheduler`], and checks the distributed result bit for bit
+//! against the in-process `run_local` reference.
+//!
+//! ```text
+//! cargo build --bin ppml-worker        # the worker binary must exist
+//! cargo run --example mapreduce_workers [-- --workers 3] [--blocks 6]
+//!           [--job <wordcount|spin>] [--straggler-ms 300] [--kill-ms 150]
+//!           [--no-speculation] [--telemetry events.jsonl]
+//! ```
+//!
+//! Fault drills, composable:
+//! * `--straggler-ms N` slows the last worker by N ms per task — bait for
+//!   the scheduler's speculative re-execution (watch `task_speculated`);
+//! * `--kill-ms N` SIGKILLs worker 1 N ms into the round — its tasks
+//!   re-queue on the survivors (watch `worker_dead`), so at least two
+//!   workers are required.
+//!
+//! Whatever is injected, the job result must not change: the final line
+//! only prints after the distributed output matched `run_local` exactly.
+//!
+//! The worker binary is found next to this example in the target dir;
+//! `PPML_WORKER_BIN` overrides the path outright.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppml::mapreduce::{process_job, run_local, TaskPolicy, TaskScheduler};
+use ppml::telemetry::{self, Event, FanoutSink, JsonlSink, Sink, SummarySink};
+use ppml::transport::{Courier, EventTransport, RetryPolicy};
+
+const SEED: u64 = 42;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    })
+}
+
+fn numeric_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    flag_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag}: bad value {v}"))
+        })
+        .unwrap_or(default)
+}
+
+/// Locates the `ppml-worker` binary: `PPML_WORKER_BIN` if set, else the
+/// sibling of this example in the cargo target directory.
+fn worker_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("PPML_WORKER_BIN") {
+        return PathBuf::from(path);
+    }
+    let exe = std::env::current_exe().expect("current exe");
+    // target/<profile>/examples/mapreduce_workers -> target/<profile>/ppml-worker
+    let candidate = exe
+        .parent()
+        .and_then(Path::parent)
+        .map(|dir| dir.join(format!("ppml-worker{}", std::env::consts::EXE_SUFFIX)))
+        .expect("target directory layout");
+    assert!(
+        candidate.exists(),
+        "worker binary {} not found — run `cargo build --bin ppml-worker` first \
+         (or point PPML_WORKER_BIN at it)",
+        candidate.display()
+    );
+    candidate
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = numeric_flag(&args, "--workers", 3) as usize;
+    assert!(workers >= 1, "--workers must be at least 1");
+    let blocks_total = numeric_flag(&args, "--blocks", 2 * workers as u64);
+    let job_name = flag_value(&args, "--job").unwrap_or_else(|| "wordcount".to_string());
+    let straggler_ms = numeric_flag(&args, "--straggler-ms", 0);
+    let kill_ms = numeric_flag(&args, "--kill-ms", 0);
+    let speculate = !args.iter().any(|a| a == "--no-speculation");
+    let telemetry_path = flag_value(&args, "--telemetry");
+    if kill_ms > 0 {
+        assert!(workers >= 2, "--kill-ms needs a survivor: use --workers 2+");
+    }
+
+    let summary = telemetry_path.as_deref().map(|path| {
+        let jsonl = JsonlSink::create(Path::new(path)).expect("create telemetry file");
+        let summary = SummarySink::new();
+        let sinks: Vec<Arc<dyn Sink>> = vec![jsonl, summary.clone()];
+        telemetry::install(FanoutSink::new(sinks));
+        summary
+    });
+
+    let job = process_job(&job_name).expect("unknown job (use wordcount or spin)");
+    let blocks: Vec<u64> = (0..blocks_total).collect();
+    let reference = run_local(job.as_ref(), SEED, &blocks, &[]);
+
+    let transport = EventTransport::bind(
+        0,
+        "127.0.0.1:0".parse().expect("loopback addr"),
+        HashMap::new(),
+        RetryPolicy::tcp_link(),
+        Duration::from_secs(5),
+    )
+    .expect("bind driver transport");
+    let addr = transport.local_addr();
+    println!(
+        "driver (pid {}) listening on {addr}: job {job_name}, {blocks_total} blocks, {workers} workers",
+        std::process::id()
+    );
+
+    let bin = worker_bin();
+    let mut children: Vec<Child> = (1..=workers)
+        .map(|party| {
+            let mut cmd = Command::new(&bin);
+            cmd.args([
+                "--party",
+                &party.to_string(),
+                "--workers",
+                &workers.to_string(),
+                "--blocks",
+                &blocks_total.to_string(),
+                "--driver",
+                &addr.to_string(),
+                "--job",
+                &job_name,
+                "--data-seed",
+                &SEED.to_string(),
+            ]);
+            if party == workers && straggler_ms > 0 {
+                cmd.args(["--lag-ms", &straggler_ms.to_string()]);
+            }
+            // The kill victim is slowed past the kill instant so the
+            // signal reliably catches it mid-task; wordcount maps are
+            // otherwise too fast to still be running at +kill_ms.
+            if party == 1 && kill_ms > 0 {
+                cmd.args(["--lag-ms", &(kill_ms + 250).to_string()]);
+            }
+            cmd.spawn().expect("spawn ppml-worker")
+        })
+        .collect();
+
+    let policy = TaskPolicy {
+        speculate,
+        // When a kill is armed the attempt timeout is the detection
+        // latency; keep it tight so the drill finishes promptly.
+        attempt_timeout: if kill_ms > 0 {
+            Duration::from_secs(1)
+        } else {
+            TaskPolicy::default().attempt_timeout
+        },
+        ..TaskPolicy::default()
+    };
+    let courier = Courier::new(transport, RetryPolicy::tcp_default());
+    let mut sched = TaskScheduler::new(courier, job, policy.clone());
+    sched
+        .register_workers(workers, Duration::from_secs(30))
+        .expect("workers never registered");
+    println!("all {workers} workers registered");
+
+    let killer = (kill_ms > 0).then(|| {
+        let pid = children[0].id();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(kill_ms));
+            let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+            println!("SIGKILLed worker 1 (pid {pid}) {kill_ms}ms into the round");
+        })
+    });
+
+    let result = sched.run_round(&blocks, &[]).expect("round failed");
+    if let Some(handle) = killer {
+        handle.join().expect("killer thread");
+    }
+    assert_eq!(
+        result, reference,
+        "distributed result diverged from run_local"
+    );
+    if kill_ms > 0 {
+        // Round 1 usually finishes through a speculative copy before the
+        // victim's attempt times out — speculation masks the death, and
+        // the cancelled attempt leaves a zombie slot on its liveness
+        // clock. Wait out that clock, then run a degraded round: its
+        // first liveness sweep expires the zombie, declares the worker
+        // dead, and the survivors absorb its blocks.
+        std::thread::sleep(policy.attempt_timeout + Duration::from_millis(100));
+        let again = sched
+            .run_round(&blocks, &[])
+            .expect("degraded round failed");
+        assert_eq!(again, reference, "degraded round diverged from run_local");
+    }
+
+    let m = &sched.metrics;
+    println!(
+        "round done: {} local / {} remote attempts, {} retries, {} speculations, \
+         {} cancels sent, {} workers lost, {} workers alive",
+        m.locality_hits,
+        m.remote_reads,
+        m.task_retries,
+        m.task_speculations,
+        sched.cancels_sent,
+        m.workers_lost,
+        sched.alive_workers()
+    );
+    if kill_ms > 0 {
+        assert!(m.workers_lost >= 1, "the kill drill lost no worker");
+    }
+
+    sched.shutdown();
+    for (i, child) in children.iter_mut().enumerate() {
+        let status = child.wait().expect("wait for worker");
+        let party = i + 1;
+        if kill_ms > 0 && party == 1 {
+            assert!(!status.success(), "worker 1 should have died by signal");
+        } else {
+            assert!(status.success(), "worker {party} failed");
+        }
+    }
+
+    if let Some(path) = telemetry_path.as_deref() {
+        telemetry::uninstall();
+        let text = std::fs::read_to_string(path).expect("read telemetry file");
+        let events: Vec<Event> = text
+            .lines()
+            .map(|line| Event::from_json(line).unwrap_or_else(|e| panic!("{path}: {e:?}: {line}")))
+            .collect();
+        assert!(!events.is_empty(), "{path}: telemetry stream is empty");
+        print!("{}", summary.expect("summary sink").render());
+        println!(
+            "telemetry: {} machine-parseable events in {path}",
+            events.len()
+        );
+    }
+    println!("multi-process MapReduce matches the in-process reference bit for bit");
+}

@@ -1,0 +1,236 @@
+//! MapReduce worker daemon: serves map tasks to a `TaskScheduler` driver.
+//!
+//! One OS process per worker. The worker derives its resident blocks
+//! deterministically from the CLI flags — block `b` of a `--blocks B`
+//! job lives on worker `1 + (b % M)` of `--workers M` — materialises
+//! their payloads locally from `(--job, --data-seed)`, registers with
+//! the driver, then answers `task_dispatch` frames with `task_result`
+//! frames until `shutdown`. Raw block data never crosses the wire; only
+//! task descriptors and map outputs do (DESIGN.md §13).
+//!
+//! ```text
+//! ppml-worker --party 1 --workers 2 --driver 127.0.0.1:7400
+//!             [--job <wordcount|spin>] [--data-seed S] [--blocks B]
+//!             [--patience SECS] [--transport <event|threads>]
+//!             [--lag-ms N] [--die-after-tasks N] [--fail-blocks 0,3]
+//!             [--telemetry events.jsonl]
+//!
+//! `--party` is 1-based: the driver is party 0, workers are 1..=M.
+//!
+//! `--patience` bounds how long the worker waits between driver frames;
+//! when it expires the process exits with a transport error instead of
+//! waiting forever on a dead driver.
+//!
+//! Fault injection for chaos drills (each mirrors a `FaultPlan` worker
+//! fault): `--lag-ms N` sleeps N ms before every map task (straggler —
+//! speculation bait); `--die-after-tasks N` exits mid-way through the
+//! Nth dispatched task without replying, indistinguishable from a
+//! SIGKILL to the driver; `--fail-blocks a,b` reports failure for those
+//! blocks instead of mapping them (bounded-retry exercise).
+//! ```
+//!
+//! Exit codes are typed (see `ppml::cli`): 2 usage/config, 3 I/O,
+//! 4 transport/protocol. An injected `--die-after-tasks` death exits 0 —
+//! that exit is the fault working, not an error.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppml::cli::CliError;
+use ppml::mapreduce::{process_job, WorkerOptions};
+use ppml::telemetry::{self, FanoutSink, JsonlSink, Sink, SummarySink};
+use ppml::transport::{Courier, EventTransport, PartyId, RetryPolicy, TcpTransport, Transport};
+
+fn usage() -> String {
+    "usage:\n  ppml-worker --party I --workers M --driver HOST:PORT\n              \
+     [--job <wordcount|spin>] [--data-seed S] [--blocks B]\n              \
+     [--patience SECS] [--transport <event|threads>]\n              \
+     [--lag-ms N] [--die-after-tasks N] [--fail-blocks 0,3]\n              \
+     [--telemetry EVENTS.jsonl]"
+        .to_string()
+}
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag}"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn numeric<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad value {v}")),
+        None => Ok(default),
+    }
+}
+
+fn run(flags: BTreeMap<String, String>) -> Result<(), CliError> {
+    let workers: usize = numeric(&flags, "workers", 0).map_err(CliError::usage)?;
+    if workers == 0 {
+        return Err(CliError::usage("--workers must be at least 1"));
+    }
+    let party: usize = match flags.get("party") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--party: bad value {v}")))?,
+        None => return Err(CliError::usage("--party is required")),
+    };
+    if party == 0 || party > workers {
+        return Err(CliError::usage(format!(
+            "--party {party} out of range 1..={workers} (0 is the driver)"
+        )));
+    }
+    let driver: SocketAddr = flags
+        .get("driver")
+        .ok_or_else(|| CliError::usage("--driver is required"))?
+        .parse()
+        .map_err(|e| CliError::usage(format!("--driver: {e}")))?;
+    let job_name = flags.get("job").map(String::as_str).unwrap_or("wordcount");
+    let job = process_job(job_name)
+        .ok_or_else(|| CliError::usage(format!("--job: unknown job {job_name}")))?;
+    let seed: u64 = numeric(&flags, "data-seed", 42).map_err(CliError::usage)?;
+    let total_blocks: u64 = numeric(&flags, "blocks", workers as u64).map_err(CliError::usage)?;
+    // Static placement shared with the driver: block b lives on worker
+    // 1 + (b mod M). Residency is derived, never transferred.
+    let resident: Vec<u64> = (0..total_blocks)
+        .filter(|b| 1 + (b % workers as u64) as usize == party)
+        .collect();
+
+    let mut opts = WorkerOptions {
+        lag: Duration::from_millis(numeric(&flags, "lag-ms", 0u64).map_err(CliError::usage)?),
+        idle_timeout: Duration::from_secs(
+            numeric(&flags, "patience", 30u64)
+                .map_err(CliError::usage)?
+                .max(1),
+        ),
+        ..Default::default()
+    };
+    if let Some(v) = flags.get("die-after-tasks") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--die-after-tasks: bad value {v}")))?;
+        opts.die_on_task = Some(n.max(1));
+    }
+    if let Some(v) = flags.get("fail-blocks") {
+        for part in v.split(',').filter(|p| !p.is_empty()) {
+            opts.fail_blocks.push(
+                part.trim()
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("--fail-blocks: bad value {part}")))?,
+            );
+        }
+    }
+
+    // Telemetry first, so the dial and registration frames are captured.
+    let telemetry_out = match flags.get("telemetry") {
+        Some(path) => {
+            let jsonl = JsonlSink::create(Path::new(path))
+                .map_err(|e| CliError::io(format!("--telemetry {path}: {e}")))?;
+            let summary = SummarySink::new();
+            let sinks: Vec<Arc<dyn Sink>> = vec![jsonl, summary.clone()];
+            telemetry::install(FanoutSink::new(sinks));
+            Some((summary, path.clone()))
+        }
+        None => None,
+    };
+
+    let backend = flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("event");
+    let bind_addr: SocketAddr = "127.0.0.1:0".parse().expect("loopback addr");
+    let peers = HashMap::from([(0 as PartyId, driver)]);
+    let transport: Box<dyn Transport> = match backend {
+        "event" => Box::new(
+            EventTransport::bind(
+                party as PartyId,
+                bind_addr,
+                peers,
+                RetryPolicy::tcp_link(),
+                Duration::from_secs(5),
+            )
+            .map_err(|e| CliError::transport(e.to_string()))?,
+        ),
+        "threads" => Box::new(
+            TcpTransport::bind(
+                party as PartyId,
+                bind_addr,
+                peers,
+                RetryPolicy::tcp_link(),
+                Duration::from_secs(5),
+            )
+            .map_err(|e| CliError::transport(e.to_string()))?,
+        ),
+        other => {
+            return Err(CliError::usage(format!(
+                "--transport: unknown backend {other} (use event or threads)"
+            )))
+        }
+    };
+    let mut courier = Courier::new(transport, RetryPolicy::tcp_default());
+
+    println!(
+        "worker {party}: job {job_name}, {} resident blocks of {total_blocks}, dialing {driver}",
+        resident.len()
+    );
+    let report =
+        ppml::mapreduce::worker::serve(&mut courier, 0, job.as_ref(), seed, &resident, &opts)
+            .map_err(|e| CliError::transport(e.to_string()))?;
+    if report.died {
+        // The injected mid-task death fired; this is the drill working.
+        println!(
+            "worker {party}: injected death after {} tasks",
+            report.tasks_done
+        );
+    } else {
+        println!(
+            "worker {party}: done, {} tasks, {} cancels",
+            report.tasks_done, report.cancels_seen
+        );
+    }
+    if let Some((summary, path)) = telemetry_out {
+        telemetry::uninstall();
+        print!("{}", summary.render());
+        println!("worker {party}: telemetry written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            let e = CliError::usage(e);
+            eprintln!("ppml-worker: {}\n{}", e.msg, usage());
+            return e.exit_code();
+        }
+    };
+    match run(flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // One line to stderr, typed exit code; usage errors also get
+            // the usage block since the fix is a different invocation.
+            if e.code == ppml::cli::EXIT_USAGE {
+                eprintln!("ppml-worker: {}\n{}", e.msg, usage());
+            } else {
+                eprintln!("ppml-worker: {}", e.msg);
+            }
+            e.exit_code()
+        }
+    }
+}
